@@ -1,0 +1,84 @@
+#include "common.hpp"
+
+#include <stdexcept>
+
+namespace toss::bench {
+
+std::unique_ptr<TossFunction> run_toss_to_tiered(SimEnv& env,
+                                                 const FunctionModel& model,
+                                                 ProfileMix mix, u64 stable,
+                                                 u64 max_invocations,
+                                                 u64 seed) {
+  TossOptions opt;
+  opt.stable_invocations = stable;
+  opt.max_profiling_invocations = max_invocations;
+  auto toss = std::make_unique<TossFunction>(env.cfg, env.store, model, opt,
+                                             seed);
+  Rng rng(seed);
+  // First request: for the input-IV snapshot everything is input IV; for
+  // the all-inputs snapshot we cycle I..IV.
+  for (u64 i = 0; i < max_invocations + 2; ++i) {
+    const int input = mix == ProfileMix::kInputIvOnly
+                          ? kNumInputs - 1
+                          : static_cast<int>(i % kNumInputs);
+    toss->handle(input, rng.next());
+    if (toss->phase() == TossPhase::kTiered) return toss;
+  }
+  throw std::runtime_error("TOSS profiling did not converge for " +
+                           model.name());
+}
+
+SnapshotWithWs make_snapshot(SimEnv& env, const FunctionModel& model,
+                             int input, u64 seed) {
+  const Invocation inv = model.invoke(input, seed);
+  SnapshotWithWs out;
+  out.snapshot_id = env.invoker.initial_execution(model, inv);
+  out.ws = ReapPolicy::record_working_set(inv.trace, model.guest_pages());
+  return out;
+}
+
+Nanos mean_warm_dram_ns(SimEnv& env, const FunctionModel& model, int input,
+                        int iters, u64 seed_base) {
+  OnlineStats st;
+  for (int i = 0; i < iters; ++i)
+    st.add(env.invoker.warm_dram_exec_ns(
+        model.invoke(input, seed_base + static_cast<u64>(i))));
+  return st.mean();
+}
+
+InvocationResult vanilla_invocation(SimEnv& env, u64 snapshot_id,
+                                    const Invocation& inv) {
+  VanillaPolicy policy(env.store, snapshot_id);
+  return env.invoker.invoke(policy, inv);
+}
+
+InvocationResult reap_invocation(SimEnv& env, const SnapshotWithWs& snap,
+                                 const Invocation& inv) {
+  ReapPolicy policy(env.store, snap.snapshot_id, snap.ws);
+  return env.invoker.invoke(policy, inv);
+}
+
+ExecutionResult dram_resident_execution(SimEnv& env, const FunctionModel& m,
+                                        const Invocation& inv) {
+  MicroVm vm(env.cfg, env.store);
+  vm.boot(m.guest_bytes(), VmState{});
+  vm.execute(inv.trace, inv.cpu_ns);  // populate residency
+  return vm.execute(inv.trace, inv.cpu_ns);  // warm, fault-free run
+}
+
+Nanos dram_resident_total_ns(SimEnv& env, const FunctionModel& m,
+                             const Invocation& inv) {
+  return dram_resident_setup_ns(env) +
+         dram_resident_execution(env, m, inv).exec_ns;
+}
+
+Nanos dram_resident_setup_ns(const SimEnv& env) {
+  return env.cfg.vmm.vm_state_load_ns + env.cfg.vmm.mmap_region_ns;
+}
+
+const char* roman(int input) {
+  static const char* kRoman[] = {"I", "II", "III", "IV"};
+  return kRoman[input];
+}
+
+}  // namespace toss::bench

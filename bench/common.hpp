@@ -1,0 +1,84 @@
+// Shared experiment plumbing for the bench harness: one simulated host, the
+// Table-I registry, and helpers to build single-tier snapshots, REAP
+// policies and fully-tiered TOSS functions the way the paper's methodology
+// does (host page cache dropped between invocations; snapshots profiled on
+// either all inputs or input IV only).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/reap.hpp"
+#include "baseline/vanilla.hpp"
+#include "core/toss.hpp"
+#include "platform/concurrency.hpp"
+#include "platform/invoker.hpp"
+#include "platform/request_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace toss::bench {
+
+/// One simulated host shared by an experiment.
+struct SimEnv {
+  SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store{cfg};
+  Invoker invoker{cfg, store};
+  FunctionRegistry registry = FunctionRegistry::table1();
+};
+
+/// Which inputs the profiling phase sees (Section VI-A's two snapshots).
+enum class ProfileMix {
+  kAllInputs,  ///< round-robin over inputs I..IV
+  kInputIvOnly,
+};
+
+/// Drive a TossFunction through Steps I-IV until the tiered snapshot
+/// exists. `stable` shrinks the paper's N=100 to keep experiment runtimes
+/// sane without changing behaviour (convergence is convergence).
+std::unique_ptr<TossFunction> run_toss_to_tiered(
+    SimEnv& env, const FunctionModel& model, ProfileMix mix,
+    u64 stable = 15, u64 max_invocations = 400, u64 seed = 4242);
+
+/// Initial execution with `input`, returning the single-tier snapshot id
+/// and the uffd working set REAP records during it.
+struct SnapshotWithWs {
+  u64 snapshot_id = 0;
+  WorkingSet ws;
+};
+SnapshotWithWs make_snapshot(SimEnv& env, const FunctionModel& model,
+                             int input, u64 seed);
+
+/// Warm DRAM execution time (mean over `iters` seeds).
+Nanos mean_warm_dram_ns(SimEnv& env, const FunctionModel& model, int input,
+                        int iters, u64 seed_base);
+
+/// Cold vanilla ("DRAM snapshot") invocation.
+InvocationResult vanilla_invocation(SimEnv& env, u64 snapshot_id,
+                                    const Invocation& inv);
+
+/// Cold REAP invocation against a recorded working set.
+InvocationResult reap_invocation(SimEnv& env, const SnapshotWithWs& snap,
+                                 const Invocation& inv);
+
+/// The paper's DRAM-only baseline: the function's memory permanently
+/// resides in DRAM (that residency is exactly the cost TOSS attacks), so an
+/// invocation pays only the VMM state load + one mapping, and execution is
+/// warm (no faults). Returns the warm ExecutionResult (with the bandwidth
+/// demand fields the concurrency model needs).
+ExecutionResult dram_resident_execution(SimEnv& env, const FunctionModel& m,
+                                        const Invocation& inv);
+
+/// Total invocation time of the DRAM-resident baseline.
+Nanos dram_resident_total_ns(SimEnv& env, const FunctionModel& m,
+                             const Invocation& inv);
+
+/// Setup time of the DRAM-resident baseline (vm state + one mapping).
+Nanos dram_resident_setup_ns(const SimEnv& env);
+
+/// Paper-standard input labels ("I".."IV").
+const char* roman(int input);
+
+}  // namespace toss::bench

@@ -1,0 +1,68 @@
+// Figure 2: normalized slowdown when functions run fully on the slow tier
+// (Intel Optane PMem in the paper), for every function and input,
+// arithmetic mean over 10 iterations.
+//
+// Expected shape: compress/json/lr_training negligible; slowdown grows with
+// input size; pagerank worst (>2x at input IV).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+constexpr int kIters = 10;
+
+void print_fig2() {
+  SimEnv env;
+  AccessCostModel model(env.cfg);
+  AsciiTable t({"function", "input I", "input II", "input III", "input IV"});
+  OnlineStats all;
+  for (const FunctionModel& m : env.registry.models()) {
+    std::vector<std::string> row{m.name()};
+    for (int input = 0; input < kNumInputs; ++input) {
+      OnlineStats st;
+      for (int it = 0; it < kIters; ++it) {
+        const Invocation inv =
+            m.invoke(input, 100 + static_cast<u64>(it));
+        const Nanos fast =
+            inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+        const Nanos slow =
+            inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
+        st.add(slow / fast);
+      }
+      all.add(st.mean());
+      row.push_back(fmt_x(st.mean()));
+    }
+    t.add_row(row);
+  }
+  std::puts(
+      "Fig 2: slowdown fully offloaded to the slow tier (normalized to "
+      "DRAM, mean of 10 iterations)");
+  t.print();
+  std::printf("mean over all functions/inputs: %s\n",
+              fmt_x(all.mean()).c_str());
+}
+
+void BM_full_slow_timing(benchmark::State& state) {
+  SimEnv env;
+  AccessCostModel model(env.cfg);
+  const FunctionModel& m =
+      env.registry.models()[static_cast<size_t>(state.range(0))];
+  const Invocation inv = m.invoke(3, 7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(inv.trace.time_uniform(model, Tier::kSlow));
+  state.SetLabel(m.name());
+}
+BENCHMARK(BM_full_slow_timing)->DenseRange(0, 9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3: REAP's sensitivity to the snapshot input.
+//
+// For every (snapshot input, execution input) pair, the cold invocation
+// time (setup + execution) is normalized to the matched case (snapshot ==
+// execution input). The paper reports an average slowdown of 26% and a
+// maximum of 3.47x.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+void print_fig3() {
+  SimEnv env;
+  AsciiTable t({"function", "exec input", "mean slowdown", "max slowdown"});
+  OnlineStats overall;
+  double global_max = 0;
+
+  for (const FunctionModel& m : env.registry.models()) {
+    // One snapshot (and recorded WS) per snapshot input.
+    std::vector<SnapshotWithWs> snaps;
+    for (int s = 0; s < kNumInputs; ++s)
+      snaps.push_back(make_snapshot(env, m, s, 900 + static_cast<u64>(s)));
+
+    for (int e = 0; e < kNumInputs; ++e) {
+      // Matched baseline: snapshot input == execution input.
+      const Invocation matched_inv =
+          m.invoke(e, 2000 + static_cast<u64>(e));
+      const Nanos matched =
+          reap_invocation(env, snaps[static_cast<size_t>(e)], matched_inv)
+              .total_ns();
+
+      OnlineStats st;
+      for (int s = 0; s < kNumInputs; ++s) {
+        const Invocation inv = m.invoke(e, 2000 + static_cast<u64>(e));
+        const Nanos time =
+            reap_invocation(env, snaps[static_cast<size_t>(s)], inv)
+                .total_ns();
+        st.add(time / matched);
+      }
+      overall.merge(st);
+      global_max = std::max(global_max, st.max());
+      t.add_row({m.name(), roman(e), fmt_x(st.mean()), fmt_x(st.max())});
+    }
+  }
+  std::puts(
+      "Fig 3: REAP invocation time across snapshot inputs, normalized to "
+      "matched snapshot/execution input");
+  t.print();
+  std::printf("overall: mean slowdown %s (paper: ~1.26x), max %s "
+              "(paper: ~3.47x)\n",
+              fmt_x(overall.mean()).c_str(), fmt_x(global_max).c_str());
+}
+
+void BM_reap_cold_invocation(benchmark::State& state) {
+  SimEnv env;
+  const FunctionModel& m = *env.registry.find("lr_serving");
+  const SnapshotWithWs snap = make_snapshot(env, m, 0, 900);
+  u64 seed = 1;
+  for (auto _ : state) {
+    const Invocation inv = m.invoke(3, seed++);
+    benchmark::DoNotOptimize(reap_invocation(env, snap, inv).total_ns());
+  }
+}
+BENCHMARK(BM_reap_cold_invocation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

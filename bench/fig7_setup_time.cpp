@@ -1,0 +1,96 @@
+// Figure 7: snapshot setup time — REAP (min/avg/max over all snapshot x
+// execution input combinations) vs TOSS, normalized to the vanilla DRAM
+// snapshot setup.
+//
+// Paper shape: TOSS's setup is constant (a few mmaps more than vanilla);
+// REAP's grows with the recorded working set, up to ~52x TOSS's; REAP is
+// cheaper than TOSS only for the functions with tiny working sets
+// (pyaes, float_operation).
+#include <benchmark/benchmark.h>
+
+#include "core/tierer.hpp"
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+void print_fig7() {
+  SimEnv env;
+  AsciiTable t({"function", "DRAM", "TOSS", "REAP min", "REAP avg",
+                "REAP max", "REAP max / TOSS"});
+  double worst_ratio = 0;
+  for (const FunctionModel& m : env.registry.models()) {
+    // "DRAM snapshot" baseline: memory already resident in DRAM, so setup
+    // is the VM state load plus one mapping.
+    const Nanos vanilla = dram_resident_setup_ns(env);
+
+    // TOSS: tiered snapshot restore (constant, eager-free).
+    const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
+    env.store.drop_caches();
+    const Nanos toss_setup =
+        toss->handle(3, 99991).result.setup.setup_ns;
+
+    // REAP across every snapshot input (execution input does not affect
+    // setup; the WS does).
+    OnlineStats reap;
+    for (int s = 0; s < kNumInputs; ++s) {
+      const SnapshotWithWs snap =
+          make_snapshot(env, m, s, 444 + static_cast<u64>(s));
+      env.store.drop_caches();
+      MicroVm rvm(env.cfg, env.store);
+      reap.add(
+          rvm.restore(ReapPolicy(env.store, snap.snapshot_id, snap.ws)
+                          .plan_restore())
+              .setup_ns);
+    }
+    const double ratio = reap.max() / toss_setup;
+    worst_ratio = std::max(worst_ratio, ratio);
+    t.add_row({m.name(), "1.00", fmt_f(toss_setup / vanilla),
+               fmt_f(reap.min() / vanilla), fmt_f(reap.mean() / vanilla),
+               fmt_f(reap.max() / vanilla), fmt_x(ratio)});
+  }
+  std::puts(
+      "Fig 7: setup time normalized to the DRAM snapshot setup (memory "
+      "resident in DRAM)");
+  t.print();
+  std::printf("worst REAP/TOSS setup ratio: %s (paper: up to ~52x)\n",
+              fmt_x(worst_ratio).c_str());
+}
+
+void BM_toss_restore(benchmark::State& state) {
+  SimEnv env;
+  const FunctionModel& m = *env.registry.find("lr_training");
+  const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
+  const TossPolicy policy(env.store,
+                          toss->tiered_snapshot()->fast_file_id());
+  for (auto _ : state) {
+    env.store.drop_caches();
+    MicroVm vm(env.cfg, env.store);
+    benchmark::DoNotOptimize(vm.restore(policy.plan_restore()).setup_ns);
+  }
+}
+BENCHMARK(BM_toss_restore);
+
+void BM_reap_restore(benchmark::State& state) {
+  SimEnv env;
+  const FunctionModel& m = *env.registry.find("lr_training");
+  const SnapshotWithWs snap = make_snapshot(env, m, 3, 444);
+  const ReapPolicy policy(env.store, snap.snapshot_id, snap.ws);
+  for (auto _ : state) {
+    env.store.drop_caches();
+    MicroVm vm(env.cfg, env.store);
+    benchmark::DoNotOptimize(vm.restore(policy.plan_restore()).setup_ns);
+  }
+}
+BENCHMARK(BM_reap_restore);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8: total invocation time (setup + execution), REAP across all
+// snapshot/execution input combinations vs TOSS with its minimum-cost
+// tiered snapshot, normalized to the vanilla DRAM snapshot invocation of
+// the same execution input.
+//
+// Paper shape: TOSS ~1.78x DRAM on average (max ~3.8x); REAP ~2.5x on
+// average (max ~13x).
+#include <benchmark/benchmark.h>
+
+#include "core/tierer.hpp"
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+void print_fig8() {
+  SimEnv env;
+  AsciiTable t({"function", "exec input", "TOSS", "REAP min", "REAP avg",
+                "REAP max"});
+  OnlineStats toss_all, reap_all;
+  double toss_max = 0, reap_max = 0;
+
+  for (const FunctionModel& m : env.registry.models()) {
+    const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
+    std::vector<SnapshotWithWs> snaps;
+    for (int s = 0; s < kNumInputs; ++s)
+      snaps.push_back(make_snapshot(env, m, s, 600 + static_cast<u64>(s)));
+
+    for (int e = 0; e < kNumInputs; ++e) {
+      // DRAM baseline: the DRAM-only mechanism keeps the function's memory
+      // resident, so an invocation is vm-state load + warm execution.
+      const u64 seed = 7000 + static_cast<u64>(e);
+      const Invocation base_inv = m.invoke(e, seed);
+      const Nanos dram = dram_resident_total_ns(env, m, base_inv);
+
+      env.store.drop_caches();
+      const Nanos toss_time = toss->handle(e, seed).result.total_ns();
+      const double toss_norm = toss_time / dram;
+      toss_all.add(toss_norm);
+      toss_max = std::max(toss_max, toss_norm);
+
+      OnlineStats reap;
+      for (int s = 0; s < kNumInputs; ++s) {
+        const Invocation inv = m.invoke(e, seed);
+        reap.add(reap_invocation(env, snaps[static_cast<size_t>(s)], inv)
+                     .total_ns() /
+                 dram);
+      }
+      reap_all.merge(reap);
+      reap_max = std::max(reap_max, reap.max());
+      t.add_row({m.name(), roman(e), fmt_x(toss_norm), fmt_x(reap.min()),
+                 fmt_x(reap.mean()), fmt_x(reap.max())});
+    }
+  }
+  std::puts(
+      "Fig 8: total invocation time (setup + execution), normalized to the "
+      "DRAM snapshot invocation");
+  t.print();
+  std::printf(
+      "TOSS: avg %s max %s (paper ~1.78x / ~3.8x); REAP: avg %s max %s "
+      "(paper ~2.5x / ~13x)\n",
+      fmt_x(toss_all.mean()).c_str(), fmt_x(toss_max).c_str(),
+      fmt_x(reap_all.mean()).c_str(), fmt_x(reap_max).c_str());
+}
+
+void BM_vanilla_invocation(benchmark::State& state) {
+  SimEnv env;
+  const FunctionModel& m = *env.registry.find("compress");
+  const SnapshotWithWs snap = make_snapshot(env, m, 3, 600);
+  u64 seed = 1;
+  for (auto _ : state) {
+    const Invocation inv = m.invoke(3, seed++);
+    benchmark::DoNotOptimize(
+        vanilla_invocation(env, snap.snapshot_id, inv).total_ns());
+  }
+}
+BENCHMARK(BM_vanilla_invocation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 9: execution-time slowdown under 1/5/10/20 concurrent invocations
+// of execution input IV, normalized to the DRAM case at the same
+// concurrency. Three systems: TOSS (min-cost tiered snapshot), REAP Best
+// (snapshot input == execution input) and REAP Worst (snapshot input I).
+//
+// Paper shape at 20-way: REAP Worst avg ~3.79x (up to ~19x); TOSS avg
+// ~1.95x (up to ~4.2x); about half the functions track DRAM under TOSS;
+// pagerank scales like DRAM because its hot half stays in DRAM.
+#include <benchmark/benchmark.h>
+
+#include "core/tierer.hpp"
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+constexpr int kLevels[] = {1, 5, 10, 20};
+
+/// Solo execution under a policy; only the execution (not setup) feeds the
+/// contention model, matching the figure's "execution time slowdown".
+ExecutionResult solo_exec(SimEnv& env, const RestorePolicy& policy,
+                          const Invocation& inv) {
+  env.store.drop_caches();
+  MicroVm vm(env.cfg, env.store);
+  vm.restore(policy.plan_restore());
+  return vm.execute(inv.trace, inv.cpu_ns);
+}
+
+Nanos contended_mean(const SimEnv& env, const ExecutionResult& solo, int k) {
+  const std::vector<ExecutionResult> group(static_cast<size_t>(k), solo);
+  const auto out = run_concurrent(env.cfg, group);
+  OnlineStats st;
+  for (Nanos t : out.exec_ns) st.add(t);
+  return st.mean();
+}
+
+void print_fig9() {
+  SimEnv env;
+  AsciiTable t({"function", "system", "K=1", "K=5", "K=10", "K=20"});
+  OnlineStats toss20, reapw20;
+  double toss20_max = 0, reapw20_max = 0;
+
+  for (const FunctionModel& m : env.registry.models()) {
+    const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
+    const TossPolicy toss_policy(env.store,
+                                 toss->tiered_snapshot()->fast_file_id());
+    const SnapshotWithWs best = make_snapshot(env, m, 3, 801);
+    const SnapshotWithWs worst = make_snapshot(env, m, 0, 802);
+
+    const Invocation inv = m.invoke(3, 9090);
+    const ExecutionResult dram = dram_resident_execution(env, m, inv);
+    const ExecutionResult toss_run = solo_exec(env, toss_policy, inv);
+    const ExecutionResult reap_best = solo_exec(
+        env, ReapPolicy(env.store, best.snapshot_id, best.ws), inv);
+    const ExecutionResult reap_worst = solo_exec(
+        env, ReapPolicy(env.store, worst.snapshot_id, worst.ws), inv);
+
+    struct Row {
+      const char* label;
+      const ExecutionResult* solo;
+    };
+    const Row rows[] = {{"TOSS", &toss_run},
+                        {"REAP Best", &reap_best},
+                        {"REAP Worst", &reap_worst}};
+    for (const Row& row : rows) {
+      std::vector<std::string> cells{m.name(), row.label};
+      for (int k : kLevels) {
+        const Nanos dram_k = contended_mean(env, dram, k);
+        const double norm = contended_mean(env, *row.solo, k) / dram_k;
+        cells.push_back(fmt_x(norm));
+        if (k == 20 && std::string(row.label) == "TOSS") {
+          toss20.add(norm);
+          toss20_max = std::max(toss20_max, norm);
+        }
+        if (k == 20 && std::string(row.label) == "REAP Worst") {
+          reapw20.add(norm);
+          reapw20_max = std::max(reapw20_max, norm);
+        }
+      }
+      t.add_row(cells);
+    }
+  }
+  std::puts(
+      "Fig 9: execution time slowdown for concurrent invocations (input "
+      "IV), normalized to DRAM at the same concurrency");
+  t.print();
+  std::printf(
+      "at K=20: TOSS avg %s max %s (paper ~1.95x / ~4.2x); REAP Worst avg "
+      "%s max %s (paper ~3.79x / ~19x)\n",
+      fmt_x(toss20.mean()).c_str(), fmt_x(toss20_max).c_str(),
+      fmt_x(reapw20.mean()).c_str(), fmt_x(reapw20_max).c_str());
+}
+
+void BM_contention_model(benchmark::State& state) {
+  SimEnv env;
+  ExecutionResult solo;
+  solo.exec_ns = ms(100);
+  solo.cpu_ns = ms(20);
+  solo.mem_slow_ns = ms(80);
+  solo.slow_read_bytes = 4e9;
+  const std::vector<ExecutionResult> group(20, solo);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_concurrent(env.cfg, group).iterations);
+}
+BENCHMARK(BM_contention_model);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

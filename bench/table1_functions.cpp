@@ -1,0 +1,50 @@
+// Table I: the function suite, memory configurations and inputs.
+//
+// Prints the registry the way the paper tabulates it, then benchmarks the
+// trace-generation machinery (the cost of instantiating invocations).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+void print_table1() {
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  AsciiTable t({"Name", "Description", "Memory", "Inputs"});
+  for (const FunctionModel& m : reg.models()) {
+    std::string inputs;
+    for (int i = 0; i < kNumInputs; ++i) {
+      if (i) inputs += ", ";
+      inputs += m.spec().input_labels[static_cast<size_t>(i)];
+    }
+    t.add_row({m.name(), m.spec().description,
+               std::to_string(m.spec().memory_mb) + " MB", inputs});
+  }
+  std::puts("TABLE I: Functions, memory configurations and inputs");
+  t.print();
+}
+
+void BM_invocation_trace_build(benchmark::State& state) {
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  const FunctionModel& m =
+      reg.models()[static_cast<size_t>(state.range(0))];
+  u64 seed = 1;
+  for (auto _ : state) {
+    const Invocation inv = m.invoke(3, seed++);
+    benchmark::DoNotOptimize(inv.trace.total_accesses());
+  }
+  state.SetLabel(m.name());
+}
+BENCHMARK(BM_invocation_trace_build)->DenseRange(0, 9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

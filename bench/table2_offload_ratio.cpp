@@ -1,0 +1,52 @@
+// Table II: memory offloaded to the slow tier at the minimum-cost
+// configuration. Paper: average 92%, five functions fully offloaded,
+// pagerank capped at 49.1%.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace toss;
+using namespace toss::bench;
+
+namespace {
+
+void print_table2() {
+  SimEnv env;
+  AsciiTable t({"Function", "Slow Tier Percentage"});
+  OnlineStats st;
+  int fully = 0;
+  for (const FunctionModel& m : env.registry.models()) {
+    const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
+    const double frac = toss->decision()->slow_fraction;
+    st.add(frac);
+    if (frac > 0.995) ++fully;
+    t.add_row({m.name(), fmt_pct(frac)});
+  }
+  std::puts(
+      "TABLE II: memory offloaded to the slow tier at minimum cost");
+  t.print();
+  std::printf(
+      "average offload: %s (paper ~92%%); fully offloaded functions: %d "
+      "(paper 5)\n",
+      fmt_pct(st.mean()).c_str(), fully);
+}
+
+void BM_toss_full_pipeline(benchmark::State& state) {
+  // End-to-end Steps I-IV wall time for a 128 MB function.
+  for (auto _ : state) {
+    SimEnv env;
+    const FunctionModel& m = *env.registry.find("pyaes");
+    benchmark::DoNotOptimize(
+        run_toss_to_tiered(env, m, ProfileMix::kAllInputs)->decision());
+  }
+}
+BENCHMARK(BM_toss_full_pipeline);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// A multi-tenant platform scenario: the workloads the paper's introduction
+// motivates — a mix of short CPU-bound functions, bursty data-processing
+// functions and memory-hungry ML functions — run side by side under three
+// snapshot policies (vanilla Firecracker, REAP, TOSS). Prints per-function
+// latency and dollar-cost outcomes.
+//
+// Build & run:  ./build/examples/serverless_platform
+#include <cstdio>
+
+#include "platform/platform.hpp"
+#include "util/table.hpp"
+#include "workloads/functions.hpp"
+
+using namespace toss;
+
+namespace {
+
+struct Tenant {
+  FunctionSpec (*spec)();
+  size_t requests;
+};
+
+double run_policy(PolicyKind kind, const std::vector<Tenant>& tenants,
+                  AsciiTable& table) {
+  ServerlessPlatform platform;
+  TossOptions options;
+  options.stable_invocations = 10;
+
+  for (const Tenant& t : tenants)
+    platform.register_function(t.spec(), kind, options);
+
+  double total_charge = 0;
+  for (const Tenant& t : tenants) {
+    const std::string name = t.spec().name;
+    // Realistic traffic: inputs drawn non-uniformly (small requests
+    // dominate, occasional large ones), seeded per function.
+    const auto requests = RequestGenerator::weighted(
+        t.requests, {0.4, 0.3, 0.2, 0.1}, mix_seed(99, name));
+    platform.run(name, requests);
+
+    const FunctionStats& stats = platform.stats(name);
+    table.add_row({name, policy_name(kind),
+                   std::to_string(stats.invocations),
+                   format_nanos(stats.total_ns.mean()),
+                   format_nanos(stats.total_ns.max()),
+                   "$" + fmt_f(stats.total_charge * 1e6, 2) + "e-6"});
+    total_charge += stats.total_charge;
+  }
+  return total_charge;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Tenant> tenants = {
+      {workloads::pyaes, 160},            // short, CPU-bound API endpoint
+      {workloads::json_load_dump, 160},   // bursty ETL
+      {workloads::image_processing, 120}, // media thumbnailer
+      {workloads::lr_serving, 120},       // ML inference service
+  };
+
+  AsciiTable table({"function", "policy", "requests", "mean latency",
+                    "max latency", "total charge"});
+  double vanilla_cost = run_policy(PolicyKind::kVanilla, tenants, table);
+  double reap_cost = run_policy(PolicyKind::kReap, tenants, table);
+  double toss_cost = run_policy(PolicyKind::kToss, tenants, table);
+  table.print();
+
+  std::printf("\nplatform memory bill (all tenants):\n");
+  std::printf("  vanilla : $%.3e\n", vanilla_cost);
+  std::printf("  REAP    : $%.3e\n", reap_cost);
+  std::printf("  TOSS    : $%.3e  (%.0f%% below vanilla)\n", toss_cost,
+              (1.0 - toss_cost / vanilla_cost) * 100);
+  std::puts(
+      "\nTOSS bills most invocations at the tiered rate once profiling "
+      "converges; vanilla and REAP pay the DRAM-only rate forever.");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "baseline/vanilla.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+VanillaPolicy::VanillaPolicy(const SnapshotStore& store, u64 snapshot_file_id,
+                             bool eager)
+    : store_(&store), snapshot_file_id_(snapshot_file_id), eager_(eager) {
+  assert(store_->get_single_tier(snapshot_file_id_) != nullptr);
+}
+
+RestorePlan VanillaPolicy::plan_restore() const {
+  const SingleTierSnapshot* snap = store_->get_single_tier(snapshot_file_id_);
+  RestorePlan plan;
+  plan.vm_state = snap->vm_state();
+  plan.guest_pages = snap->num_pages();
+  plan.mappings.push_back(RestoreMapping{
+      /*guest_page=*/0, snap->num_pages(), Tier::kFast, snap->file_id(),
+      /*file_page=*/0, /*dax=*/false});
+  if (eager_) {
+    plan.eager.push_back(
+        EagerLoad{/*guest_page=*/0, snap->num_pages(), snap->file_id(),
+                  /*file_page=*/0});
+  }
+  return plan;
+}
+
+}  // namespace toss

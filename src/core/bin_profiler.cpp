@@ -1,0 +1,66 @@
+#include "core/bin_profiler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace toss {
+
+Nanos BinProfiler::warm_exec_ns(const Invocation& inv,
+                                const PagePlacement& placement) const {
+  return inv.cpu_ns + inv.trace.time_under(model_, placement);
+}
+
+BinProfile BinProfiler::profile(const std::vector<Bin>& bins,
+                                const RegionList& zero_regions,
+                                u64 guest_pages,
+                                const Invocation& representative) const {
+  BinProfile out;
+  out.base_placement = PagePlacement(guest_pages, Tier::kFast);
+  for (const Region& r : zero_regions)
+    out.base_placement.set_range(r.page_begin, r.page_count, Tier::kSlow);
+
+  out.base_exec_ns = warm_exec_ns(representative, out.base_placement);
+
+  // Offload order: coldest access density first (progressively hotter).
+  std::vector<size_t> order(bins.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return bins[a].density() < bins[b].density();
+  });
+
+  const double ratio = cfg_->cost_ratio();
+  const double guest_bytes = static_cast<double>(bytes_for_pages(guest_pages));
+
+  PagePlacement placement = out.base_placement;
+  Nanos prev_exec = out.base_exec_ns;
+  for (size_t idx : order) {
+    const Bin& bin = bins[idx];
+    for (const Region& r : bin.regions)
+      placement.set_range(r.page_begin, r.page_count, Tier::kSlow);
+    const Nanos exec = warm_exec_ns(representative, placement);
+
+    BinStep step;
+    step.bin_index = idx;
+    step.byte_fraction = static_cast<double>(bin.bytes()) / guest_bytes;
+    step.marginal_slowdown =
+        out.base_exec_ns > 0 ? (exec - prev_exec) / out.base_exec_ns : 0.0;
+    // Timing noise can make a configuration marginally "faster"; clamp.
+    step.marginal_slowdown = std::max(0.0, step.marginal_slowdown);
+    step.cumulative_slowdown =
+        out.base_exec_ns > 0
+            ? std::max(0.0, exec / out.base_exec_ns - 1.0)
+            : 0.0;
+    step.slow_fraction = placement.slow_fraction();
+    step.cumulative_cost = normalized_memory_cost(
+        1.0 + step.cumulative_slowdown, step.slow_fraction, ratio);
+    step.bin_cost =
+        bin_normalized_cost(step.marginal_slowdown, step.byte_fraction, ratio);
+    out.steps.push_back(step);
+    prev_exec = exec;
+  }
+  out.full_slow_exec_ns = prev_exec;
+  return out;
+}
+
+}  // namespace toss

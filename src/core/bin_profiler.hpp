@@ -1,0 +1,61 @@
+// Bin profiling (Section V-C): starting from all bins in DRAM (zero-access
+// regions already in the slow tier), progressively offload bins — coldest
+// access density first — and measure the slowdown of each configuration on
+// the *representative invocation* (the largest input seen during memory
+// profiling). Each step yields the bin's marginal slowdown and its
+// normalized memory cost.
+#pragma once
+
+#include <vector>
+
+#include "core/binpack.hpp"
+#include "core/cost.hpp"
+#include "mem/access_cost.hpp"
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+struct BinStep {
+  size_t bin_index = 0;          ///< index into the packed bins vector
+  double byte_fraction = 0;      ///< bin bytes / guest bytes
+  double marginal_slowdown = 0;  ///< slowdown added by offloading this bin
+  double cumulative_slowdown = 0;
+  double slow_fraction = 0;      ///< guest slow fraction after this step
+  double cumulative_cost = 0;    ///< normalized Eq 1 at this configuration
+  double bin_cost = 0;           ///< per-bin offload test (V-C rule)
+};
+
+struct BinProfile {
+  Nanos base_exec_ns = 0;  ///< representative warm time, all bins in DRAM
+  Nanos full_slow_exec_ns = 0;  ///< everything (incl. bins) in the slow tier
+  /// Steps in offload order (coldest density first).
+  std::vector<BinStep> steps;
+  /// Zero-access regions in slow, all bins in fast.
+  PagePlacement base_placement;
+
+  double full_slow_slowdown() const {
+    return base_exec_ns > 0 ? full_slow_exec_ns / base_exec_ns : 1.0;
+  }
+};
+
+class BinProfiler {
+ public:
+  explicit BinProfiler(const SystemConfig& cfg) : cfg_(&cfg), model_(cfg) {}
+
+  /// Profile the bins against `representative` (warm execution: the VM is
+  /// already restored; only access-time differences matter, which is what
+  /// the configuration comparison isolates).
+  BinProfile profile(const std::vector<Bin>& bins,
+                     const RegionList& zero_regions, u64 guest_pages,
+                     const Invocation& representative) const;
+
+  /// Warm execution time of an invocation under a placement.
+  Nanos warm_exec_ns(const Invocation& inv,
+                     const PagePlacement& placement) const;
+
+ private:
+  const SystemConfig* cfg_;
+  AccessCostModel model_;
+};
+
+}  // namespace toss

@@ -1,0 +1,147 @@
+#include "core/binpack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace toss {
+
+RegionList split_large_regions(const RegionList& regions, u64 max_mass) {
+  RegionList out;
+  for (const Region& r : regions) {
+    if (r.total_accesses() <= max_mass || r.page_count <= 1 ||
+        r.accesses == 0) {
+      out.push_back(r);
+      continue;
+    }
+    // Chunk size in pages so that chunk mass <= max_mass.
+    const u64 chunk_pages =
+        std::max<u64>(1, max_mass / std::max<u64>(1, r.accesses));
+    u64 begin = r.page_begin;
+    u64 remaining = r.page_count;
+    while (remaining > 0) {
+      const u64 take = std::min(chunk_pages, remaining);
+      out.push_back(Region{begin, take, r.accesses});
+      begin += take;
+      remaining -= take;
+    }
+  }
+  return out;
+}
+
+std::vector<Bin> pack_equal_access(const RegionList& regions, int bin_count) {
+  assert(bin_count > 0);
+  std::vector<Bin> bins(static_cast<size_t>(bin_count));
+  if (regions.empty()) return bins;
+
+  const u64 total_mass = std::accumulate(
+      regions.begin(), regions.end(), u64{0},
+      [](u64 acc, const Region& r) { return acc + r.total_accesses(); });
+  const u64 target =
+      std::max<u64>(1, total_mass / static_cast<u64>(bin_count));
+  const RegionList items =
+      split_large_regions(regions, std::max<u64>(1, target / 4));
+
+  // Coldest density first, cut into consecutive ~equal-mass groups at the
+  // k-quantile boundaries of cumulative access mass (so trailing bins never
+  // end up empty).
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return items[a].accesses < items[b].accesses;
+  });
+  size_t cur = 0;
+  u64 cumulative = 0;
+  for (size_t idx : order) {
+    bins[cur].regions.push_back(items[idx]);
+    bins[cur].pages += items[idx].page_count;
+    bins[cur].access_mass += items[idx].total_accesses();
+    cumulative += items[idx].total_accesses();
+    while (cur + 1 < bins.size() &&
+           cumulative * static_cast<u64>(bin_count) >=
+               (cur + 1) * total_mass)
+      ++cur;
+  }
+  return bins;
+}
+
+std::vector<Bin> pack_equal_access_greedy(const RegionList& regions,
+                                          int bin_count) {
+  assert(bin_count > 0);
+  std::vector<Bin> bins(static_cast<size_t>(bin_count));
+  if (regions.empty()) return bins;
+
+  const u64 total_mass = std::accumulate(
+      regions.begin(), regions.end(), u64{0},
+      [](u64 acc, const Region& r) { return acc + r.total_accesses(); });
+  const u64 target =
+      std::max<u64>(1, total_mass / static_cast<u64>(bin_count));
+  const RegionList items =
+      split_large_regions(regions, std::max<u64>(1, target / 2));
+
+  // Greedy: heaviest item first, into the lightest bin.
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return items[a].total_accesses() > items[b].total_accesses();
+  });
+  for (size_t idx : order) {
+    Bin* lightest = &bins[0];
+    for (Bin& b : bins)
+      if (b.access_mass < lightest->access_mass) lightest = &b;
+    lightest->regions.push_back(items[idx]);
+    lightest->pages += items[idx].page_count;
+    lightest->access_mass += items[idx].total_accesses();
+  }
+  return bins;
+}
+
+std::vector<Bin> pack_equal_size(const RegionList& regions, int bin_count) {
+  assert(bin_count > 0);
+  std::vector<Bin> bins(static_cast<size_t>(bin_count));
+  if (regions.empty()) return bins;
+
+  const u64 total_pages = regions_total_pages(regions);
+  const u64 target = std::max<u64>(1, total_pages / static_cast<u64>(bin_count));
+
+  size_t cur = 0;
+  for (const Region& r : regions) {
+    u64 begin = r.page_begin;
+    u64 remaining = r.page_count;
+    while (remaining > 0) {
+      if (bins[cur].pages >= target && cur + 1 < bins.size()) ++cur;
+      const u64 room = bins[cur].pages >= target
+                           ? remaining
+                           : std::min(remaining, target - bins[cur].pages);
+      bins[cur].regions.push_back(Region{begin, room, r.accesses});
+      bins[cur].pages += room;
+      bins[cur].access_mass += room * r.accesses;
+      begin += room;
+      remaining -= room;
+    }
+  }
+  return bins;
+}
+
+bool bins_cover_regions(const std::vector<Bin>& bins,
+                        const RegionList& regions) {
+  u64 bin_pages = 0, bin_mass = 0;
+  for (const Bin& b : bins) {
+    u64 pages = 0, mass = 0;
+    for (const Region& r : b.regions) {
+      pages += r.page_count;
+      mass += r.total_accesses();
+    }
+    if (pages != b.pages || mass != b.access_mass) return false;
+    bin_pages += pages;
+    bin_mass += mass;
+  }
+  u64 want_pages = 0, want_mass = 0;
+  for (const Region& r : regions) {
+    want_pages += r.page_count;
+    want_mass += r.total_accesses();
+  }
+  return bin_pages == want_pages && bin_mass == want_mass;
+}
+
+}  // namespace toss

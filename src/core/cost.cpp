@@ -1,0 +1,29 @@
+#include "core/cost.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+double eq1_memory_cost(double slowdown_factor, double mb_fast, double mb_slow,
+                       double cost_fast_per_mb, double cost_slow_per_mb) {
+  assert(slowdown_factor >= 1.0);
+  return slowdown_factor *
+         (mb_fast * cost_fast_per_mb + mb_slow * cost_slow_per_mb);
+}
+
+double normalized_memory_cost(double slowdown_factor, double slow_fraction,
+                              double cost_ratio) {
+  assert(cost_ratio > 0.0);
+  return slowdown_factor *
+         ((1.0 - slow_fraction) + slow_fraction / cost_ratio);
+}
+
+double optimal_normalized_cost(double cost_ratio) { return 1.0 / cost_ratio; }
+
+double bin_normalized_cost(double marginal_slowdown, double byte_fraction,
+                           double cost_ratio) {
+  return normalized_memory_cost(1.0 + marginal_slowdown, byte_fraction,
+                                cost_ratio);
+}
+
+}  // namespace toss

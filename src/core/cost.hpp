@@ -1,0 +1,34 @@
+// The paper's memory cost formula (Equation 1):
+//
+//   cost = SDown * (MB_fast * Cost_fast + MB_slow * Cost_slow)
+//
+// and its normalized form used throughout the evaluation, where the
+// DRAM-only configuration has cost 1 and the optimum (everything in the
+// slow tier, no slowdown) has cost 1/cost_ratio = 0.4 for the paper's
+// 2.5:1 ratio.
+#pragma once
+
+#include "mem/tier.hpp"
+
+namespace toss {
+
+/// Raw Equation 1. `slowdown_factor` is relative to running fully in the
+/// fast tier (1.0 = no slowdown).
+double eq1_memory_cost(double slowdown_factor, double mb_fast, double mb_slow,
+                       double cost_fast_per_mb, double cost_slow_per_mb);
+
+/// Equation 1 normalized to the all-fast configuration of the same size:
+///   slowdown_factor * (fast_frac + slow_frac / cost_ratio)
+double normalized_memory_cost(double slowdown_factor, double slow_fraction,
+                              double cost_ratio);
+
+/// The floor of the normalized cost: all memory slow, no slowdown.
+double optimal_normalized_cost(double cost_ratio);
+
+/// Per-bin offload test (Section V-C): the normalized cost of offloading
+/// just this bin, given its byte fraction of guest memory and the marginal
+/// slowdown it causes. Bins with cost < 1 lower the total memory cost.
+double bin_normalized_cost(double marginal_slowdown, double byte_fraction,
+                           double cost_ratio);
+
+}  // namespace toss

@@ -1,0 +1,79 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+
+#include "core/merge.hpp"
+
+namespace toss {
+
+TieringDecision choose_placement(const SystemConfig& cfg,
+                                 const std::vector<Bin>& bins,
+                                 const RegionList& zero_regions,
+                                 u64 guest_pages,
+                                 const Invocation& representative,
+                                 const TieringOptions& options) {
+  BinProfiler profiler(cfg);
+  TieringDecision d;
+  d.profile =
+      profiler.profile(bins, zero_regions, guest_pages, representative);
+  d.offloaded.assign(bins.size(), false);
+
+  // The progressive sweep offloads bins coldest-first; each step's
+  // cumulative Eq 1 cost is the memory cost of stopping there. The
+  // minimum-cost configuration is the prefix with the lowest cumulative
+  // cost (Section V-C: every bin whose offload still lowered the cost ends
+  // up in the slow tier). A slowdown threshold restricts the eligible
+  // prefixes to those whose cumulative slowdown stays within bounds.
+  size_t best_prefix = 0;  // number of offloaded bins; 0 = bins all fast
+  double best_cost = 1.0;  // no bins offloaded: zero regions are free, so
+                           // cost = slow_frac of zeros only — computed below
+  {
+    const double zero_cost = normalized_memory_cost(
+        1.0, d.profile.base_placement.slow_fraction(), cfg.cost_ratio());
+    best_cost = zero_cost;
+  }
+  for (size_t k = 0; k < d.profile.steps.size(); ++k) {
+    const BinStep& s = d.profile.steps[k];
+    if (options.slowdown_threshold &&
+        s.cumulative_slowdown > *options.slowdown_threshold)
+      break;
+    if (s.cumulative_cost < best_cost) {
+      best_cost = s.cumulative_cost;
+      best_prefix = k + 1;
+    }
+  }
+
+  // Apply: zero regions slow, the chosen prefix of bins slow, rest fast.
+  d.placement = d.profile.base_placement;
+  for (size_t k = 0; k < best_prefix; ++k) {
+    const BinStep& s = d.profile.steps[k];
+    d.offloaded[s.bin_index] = true;
+    for (const Region& r : bins[s.bin_index].regions)
+      d.placement.set_range(r.page_begin, r.page_count, Tier::kSlow);
+  }
+
+  const Nanos exec = profiler.warm_exec_ns(representative, d.placement);
+  d.expected_slowdown =
+      d.profile.base_exec_ns > 0
+          ? std::max(0.0, exec / d.profile.base_exec_ns - 1.0)
+          : 0.0;
+  d.slow_fraction = d.placement.slow_fraction();
+  d.normalized_cost = normalized_memory_cost(
+      1.0 + d.expected_slowdown, d.slow_fraction, cfg.cost_ratio());
+  return d;
+}
+
+TieringDecision analyze_pattern(const SystemConfig& cfg,
+                                const PageAccessCounts& unified,
+                                const Invocation& representative,
+                                const TieringOptions& options) {
+  const RegionList merged = regionize_and_merge(unified);
+  const RegionList zeros = zero_access_regions(merged);
+  const RegionList accessed = nonzero_access_regions(merged);
+  const std::vector<Bin> bins =
+      pack_equal_access(accessed, options.bin_count);
+  return choose_placement(cfg, bins, zeros, unified.num_pages(),
+                          representative, options);
+}
+
+}  // namespace toss

@@ -1,0 +1,45 @@
+// Placement optimizer (Section V-C, final stage of Step III).
+//
+// Every bin whose per-bin normalized cost is below 1 lowers the total
+// memory cost and is placed in the slow tier. When the client supplies a
+// slowdown threshold, candidate bins are sorted by their slowdown and
+// offloaded until the threshold would be exceeded.
+#pragma once
+
+#include <optional>
+
+#include "core/bin_profiler.hpp"
+
+namespace toss {
+
+struct TieringOptions {
+  int bin_count = 10;                         ///< paper: N = 10
+  std::optional<double> slowdown_threshold;   ///< e.g. 0.10 for <= 10%
+};
+
+struct TieringDecision {
+  PagePlacement placement;
+  double expected_slowdown = 0;   ///< measured at the chosen configuration
+  double normalized_cost = 1.0;   ///< Eq 1, normalized (DRAM-only = 1)
+  double slow_fraction = 0;       ///< Table II's "slow tier percentage"
+  std::vector<bool> offloaded;    ///< per bin index
+  BinProfile profile;             ///< kept for diagnostics and benches
+};
+
+/// Run the full analysis for a set of packed bins: bin profiling followed
+/// by the minimum-cost (optionally slowdown-bounded) bin selection.
+TieringDecision choose_placement(const SystemConfig& cfg,
+                                 const std::vector<Bin>& bins,
+                                 const RegionList& zero_regions,
+                                 u64 guest_pages,
+                                 const Invocation& representative,
+                                 const TieringOptions& options);
+
+/// Convenience: counts -> merged regions -> bins -> decision. This is the
+/// complete "Profiling Analysis" step on a unified access pattern.
+TieringDecision analyze_pattern(const SystemConfig& cfg,
+                                const PageAccessCounts& unified,
+                                const Invocation& representative,
+                                const TieringOptions& options);
+
+}  // namespace toss

@@ -1,0 +1,36 @@
+#include "core/reprofile.hpp"
+
+namespace toss {
+
+ReprofilePolicy::ReprofilePolicy(double budget) : budget_(budget) {}
+
+void ReprofilePolicy::arm(u64 damon_invocations,
+                          std::span<const double> bin_slowdowns,
+                          Nanos longest_profiled_ns,
+                          double full_slow_slowdown) {
+  profiling_overhead_ = static_cast<double>(damon_invocations);
+  for (double sd : bin_slowdowns) profiling_overhead_ += 1.0 + sd;  // Eq 2
+  longest_profiled_ns_ = longest_profiled_ns;
+  full_slow_slowdown_ = full_slow_slowdown;
+  accel_factor_ = 0;
+  iterations_ = 0;
+  armed_ = true;
+}
+
+bool ReprofilePolicy::observe(Nanos latency_ns) {
+  if (!armed_) return false;
+  ++iterations_;
+  if (longest_profiled_ns_ > 0 && latency_ns > longest_profiled_ns_) {
+    accel_factor_ += latency_ns / longest_profiled_ns_ *
+                     (1.0 + full_slow_slowdown_);  // Eq 3
+  }
+  return should_reprofile();
+}
+
+bool ReprofilePolicy::should_reprofile() const {
+  if (!armed_) return false;
+  return static_cast<double>(iterations_) * budget_ >=
+         profiling_overhead_ - accel_factor_;  // Eq 4
+}
+
+}  // namespace toss

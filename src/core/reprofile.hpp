@@ -1,0 +1,54 @@
+// Snapshot re-generation policy (Section V-E, Equations 2-4).
+//
+// Re-profiling costs something (DAMON-enabled invocations plus the binned
+// profiling sweep), so TOSS only re-profiles when the accumulated evidence
+// of drift outweighs a per-function overhead budget:
+//
+//   Eq 2  profiling_overhead = #invocations_DAMON + sum_b (1 + slowdown_b)
+//   Eq 3  accel_factor      += (latency / latency_LRI) * (1 + slowdown_slow)
+//                              for every invocation slower than the longest
+//                              invocation seen during profiling (LRI)
+//   Eq 4  re-profile when  iterations * budget >= overhead - accel_factor
+#pragma once
+
+#include <span>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+class ReprofilePolicy {
+ public:
+  /// `budget`: the bound on profiling overhead as a fraction of total
+  /// invocations (paper example: 0.0001 bounds it to 0.01%).
+  explicit ReprofilePolicy(double budget = 1e-4);
+
+  /// Configure from the just-finished profiling phase: how many invocations
+  /// ran with DAMON, the per-bin slowdowns of the binned profiling sweep
+  /// (Eq 2), the longest profiled invocation latency, and the slowdown of
+  /// running fully in the slow tier (both feed Eq 3).
+  void arm(u64 damon_invocations, std::span<const double> bin_slowdowns,
+           Nanos longest_profiled_ns, double full_slow_slowdown);
+
+  /// Record a production (tiered) invocation. Returns true when Eq 4 says
+  /// it is time to re-profile.
+  bool observe(Nanos latency_ns);
+
+  bool should_reprofile() const;
+
+  double profiling_overhead() const { return profiling_overhead_; }
+  double accelerating_factor() const { return accel_factor_; }
+  u64 iterations() const { return iterations_; }
+  double budget() const { return budget_; }
+
+ private:
+  double budget_;
+  double profiling_overhead_ = 0;
+  double accel_factor_ = 0;
+  Nanos longest_profiled_ns_ = 0;
+  double full_slow_slowdown_ = 0;
+  u64 iterations_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace toss

@@ -1,0 +1,39 @@
+// Snapshot tiering (Step IV / Section V-D): partition the single-tier
+// snapshot into fast and slow files + the memory layout file, and the
+// restore policy that memory-maps them back.
+#pragma once
+
+#include "baseline/policy.hpp"
+#include "core/optimizer.hpp"
+#include "vmm/snapshot_store.hpp"
+
+namespace toss {
+
+/// Build a tiered snapshot from `snap` using `placement` and register it in
+/// the store. Returns the fast file id (the tiered snapshot's handle).
+u64 tier_snapshot(SnapshotStore& store, const SingleTierSnapshot& snap,
+                  const PagePlacement& placement);
+
+/// Estimated wall time of the analysis + tiering stage (Section V-C: a few
+/// hundred ms for a 128 MB snapshot, a couple of seconds at 1 GB): the
+/// serial copy of both tier files plus layout bookkeeping.
+Nanos tiering_stage_ns(const SystemConfig& cfg, u64 guest_bytes);
+
+/// TOSS restore: one mapping per layout entry. The fast file stays pinned
+/// in DRAM (it is precisely the DRAM share the memory cost model charges
+/// for) and the slow file is a DAX mapping of the slow tier, so no data
+/// moves at restore — setup is constant in snapshot size and execution
+/// never waits on the snapshot disk.
+class TossPolicy final : public RestorePolicy {
+ public:
+  TossPolicy(const SnapshotStore& store, u64 tiered_id);
+
+  std::string name() const override { return "toss"; }
+  RestorePlan plan_restore() const override;
+
+ private:
+  const SnapshotStore* store_;
+  u64 tiered_id_;
+};
+
+}  // namespace toss

@@ -1,0 +1,134 @@
+#include "core/toss.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+TossFunction::TossFunction(const SystemConfig& cfg, SnapshotStore& store,
+                           const FunctionModel& model, TossOptions options,
+                           u64 seed)
+    : cfg_(&cfg),
+      store_(&store),
+      model_(&model),
+      options_(options),
+      rng_(mix_seed(seed, model.name())),
+      damon_(options.damon),
+      reprofiler_(options.reprofile_budget) {}
+
+const TieredSnapshot* TossFunction::tiered_snapshot() const {
+  return tiered_id_ ? store_->get_tiered(tiered_id_) : nullptr;
+}
+
+TossInvocationRecord TossFunction::handle(int input, u64 invocation_seed) {
+  if (options_.drop_caches_between_invocations) store_->drop_caches();
+  const Invocation inv = model_->invoke(input, invocation_seed);
+  switch (phase_) {
+    case TossPhase::kInitial:
+      return handle_initial(inv);
+    case TossPhase::kProfiling:
+      return handle_profiling(inv);
+    case TossPhase::kTiered:
+      return handle_tiered(inv);
+  }
+  return {};
+}
+
+TossInvocationRecord TossFunction::handle_initial(const Invocation& inv) {
+  TossInvocationRecord rec;
+  rec.phase = TossPhase::kInitial;
+
+  // Step I: run in a DRAM-only guest, snapshot after execution completes.
+  MicroVm vm(*cfg_, *store_);
+  rec.result.setup = vm.boot(model_->guest_bytes(), VmState{});
+  rec.result.exec = vm.execute(inv.trace, inv.cpu_ns);
+  vm.apply_writes(inv.trace);
+  single_tier_id_ = vm.take_snapshot();
+  rec.snapshot_created = true;
+
+  unified_.emplace(model_->guest_pages(), options_.unified_change_epsilon);
+  largest_ = Largest{inv.input, inv.seed, rec.result.exec.exec_ns};
+  phase_ = TossPhase::kProfiling;
+  return rec;
+}
+
+TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
+  TossInvocationRecord rec;
+  rec.phase = TossPhase::kProfiling;
+
+  // Step II: restore the single-tier snapshot, run with DAMON riding along.
+  VanillaPolicy vanilla(*store_, single_tier_id_);
+  MicroVm vm(*cfg_, *store_);
+  rec.result.setup = vm.restore(vanilla.plan_restore());
+
+  // Execute first (to know the execution time DAMON had available), then
+  // account DAMON's overhead on top of it.
+  ExecutionResult exec = vm.execute(inv.trace, inv.cpu_ns);
+  const PageAccessCounts true_counts =
+      PageAccessCounts::from_trace(inv.trace, model_->guest_pages());
+  const DamonOutput damon_out =
+      damon_.monitor(true_counts, exec.exec_ns, rng_);
+  exec.profiling_overhead_ns = damon_out.overhead_ns;
+  exec.exec_ns += damon_out.overhead_ns;
+  rec.result.exec = exec;
+  ++damon_invocations_;
+
+  if (!largest_ || exec.exec_ns > largest_->exec_ns)
+    largest_ = Largest{inv.input, inv.seed, exec.exec_ns};
+
+  unified_->add_record(damon_out.record);
+  const bool converged =
+      unified_->stable_streak() >= options_.stable_invocations ||
+      unified_->records_merged() >= options_.max_profiling_invocations;
+  if (converged) {
+    run_analysis();
+    rec.tiered_created = true;
+  }
+  return rec;
+}
+
+void TossFunction::run_analysis() {
+  assert(unified_ && largest_);
+  // Steps III + IV on the unified pattern, profiled against the largest
+  // (longest-running) invocation encountered while profiling.
+  const Invocation representative =
+      model_->invoke(largest_->input, largest_->seed);
+  TieringOptions topt;
+  topt.bin_count = options_.bin_count;
+  topt.slowdown_threshold = options_.slowdown_threshold;
+  decision_ = analyze_pattern(*cfg_, unified_->counts(), representative, topt);
+
+  const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
+  assert(snap != nullptr);
+  tiered_id_ = tier_snapshot(*store_, *snap, decision_->placement);
+
+  // Arm the re-generation trigger (Eqs 2-4).
+  std::vector<double> bin_slowdowns;
+  bin_slowdowns.reserve(decision_->profile.steps.size());
+  for (const BinStep& s : decision_->profile.steps)
+    bin_slowdowns.push_back(s.marginal_slowdown);
+  reprofiler_ = ReprofilePolicy(options_.reprofile_budget);
+  reprofiler_.arm(damon_invocations_, bin_slowdowns, largest_->exec_ns,
+                  std::max(0.0, decision_->profile.full_slow_slowdown() - 1.0));
+  phase_ = TossPhase::kTiered;
+}
+
+TossInvocationRecord TossFunction::handle_tiered(const Invocation& inv) {
+  TossInvocationRecord rec;
+  rec.phase = TossPhase::kTiered;
+
+  TossPolicy policy(*store_, tiered_id_);
+  MicroVm vm(*cfg_, *store_);
+  rec.result.setup = vm.restore(policy.plan_restore());
+  rec.result.exec = vm.execute(inv.trace, inv.cpu_ns);
+
+  if (reprofiler_.observe(rec.result.exec.exec_ns)) {
+    // Drift detected: re-enter profiling. The unified pattern is kept (the
+    // goal is to *enhance* the snapshot with the new behaviour) but the
+    // stability requirement restarts via the merge of new records.
+    rec.reprofile_triggered = true;
+    phase_ = TossPhase::kProfiling;
+  }
+  return rec;
+}
+
+}  // namespace toss

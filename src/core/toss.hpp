@@ -1,0 +1,130 @@
+// TOSS orchestrator: the per-function state machine of Figure 4.
+//
+//   Step I    Initial execution in a DRAM-only VM -> single-tier snapshot
+//   Step II   Memory profiling with DAMON over subsequent invocations,
+//             merged into the unified access pattern, until stable for N
+//   Step III  Profiling analysis: zero pages -> slow; equal-access bin
+//             packing; bin profiling on the largest profiled input;
+//             minimum-cost (optionally slowdown-bounded) placement
+//   Step IV   Snapshot tiering: fast/slow files + memory layout file
+//   (Step V)  Re-generation: Eq 2-4 trigger re-entry into profiling
+//
+// TossFunction drives all of it for one serverless function; every
+// invocation goes through handle() regardless of the current phase.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baseline/vanilla.hpp"
+#include "core/optimizer.hpp"
+#include "core/reprofile.hpp"
+#include "core/tierer.hpp"
+#include "core/unified_pattern.hpp"
+#include "damon/monitor.hpp"
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+struct TossOptions {
+  /// N: invocations the unified pattern must stay stable to end profiling.
+  /// The paper's prototype uses 100; experiments shrink this to keep
+  /// simulated request counts manageable.
+  u64 stable_invocations = 100;
+  /// Safety valve: force analysis after this many profiled invocations.
+  u64 max_profiling_invocations = 1000;
+  int bin_count = 10;
+  double unified_change_epsilon = 0.02;
+  std::optional<double> slowdown_threshold;
+  double reprofile_budget = 1e-4;
+  DamonConfig damon;
+  /// The evaluation methodology drops the host page cache between
+  /// invocations; disable for keep-warm studies.
+  bool drop_caches_between_invocations = true;
+};
+
+enum class TossPhase : u8 {
+  kInitial = 0,    ///< no snapshot yet
+  kProfiling = 1,  ///< single-tier snapshot + DAMON riding along
+  kTiered = 2,     ///< tiered snapshot in production
+};
+
+inline const char* phase_name(TossPhase p) {
+  switch (p) {
+    case TossPhase::kInitial: return "initial";
+    case TossPhase::kProfiling: return "profiling";
+    default: return "tiered";
+  }
+}
+
+/// What one handled invocation did and cost.
+struct TossInvocationRecord {
+  TossPhase phase = TossPhase::kInitial;  ///< phase the invocation ran in
+  InvocationResult result;
+  bool snapshot_created = false;  ///< Step I completed on this invocation
+  bool tiered_created = false;    ///< Step III+IV completed after it
+  bool reprofile_triggered = false;
+};
+
+class TossFunction {
+ public:
+  TossFunction(const SystemConfig& cfg, SnapshotStore& store,
+               const FunctionModel& model, TossOptions options = {},
+               u64 seed = 42);
+
+  /// Handle one invocation of `input` (0-based); `invocation_seed`
+  /// distinguishes repeats. Drives the state machine.
+  TossInvocationRecord handle(int input, u64 invocation_seed);
+
+  TossPhase phase() const { return phase_; }
+  const FunctionModel& model() const { return *model_; }
+  const TossOptions& options() const { return options_; }
+
+  /// Valid once phase() == kTiered.
+  const TieringDecision* decision() const {
+    return decision_ ? &*decision_ : nullptr;
+  }
+  const TieredSnapshot* tiered_snapshot() const;
+  u64 profiled_invocations() const { return damon_invocations_; }
+  const UnifiedPattern* unified() const {
+    return unified_ ? &*unified_ : nullptr;
+  }
+  const ReprofilePolicy& reprofiler() const { return reprofiler_; }
+
+  /// Largest-input invocation observed while profiling (Section V-C's
+  /// representative); valid during/after profiling.
+  std::optional<std::pair<int, u64>> representative() const {
+    return largest_ ? std::optional(std::pair(largest_->input, largest_->seed))
+                    : std::nullopt;
+  }
+
+ private:
+  TossInvocationRecord handle_initial(const Invocation& inv);
+  TossInvocationRecord handle_profiling(const Invocation& inv);
+  TossInvocationRecord handle_tiered(const Invocation& inv);
+  void run_analysis();
+
+  const SystemConfig* cfg_;
+  SnapshotStore* store_;
+  const FunctionModel* model_;
+  TossOptions options_;
+  Rng rng_;
+
+  TossPhase phase_ = TossPhase::kInitial;
+  u64 single_tier_id_ = 0;
+  u64 tiered_id_ = 0;
+  std::optional<UnifiedPattern> unified_;
+  std::optional<TieringDecision> decision_;
+  DamonMonitor damon_;
+  ReprofilePolicy reprofiler_;
+  u64 damon_invocations_ = 0;
+
+  struct Largest {
+    int input = 0;
+    u64 seed = 0;
+    Nanos exec_ns = 0;
+  };
+  std::optional<Largest> largest_;
+};
+
+}  // namespace toss

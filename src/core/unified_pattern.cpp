@@ -1,0 +1,24 @@
+#include "core/unified_pattern.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+UnifiedPattern::UnifiedPattern(u64 num_pages, double change_epsilon)
+    : counts_(num_pages), change_epsilon_(change_epsilon) {}
+
+bool UnifiedPattern::add_record(const DamonRecord& record) {
+  assert(record.num_pages() == counts_.num_pages());
+  const PageAccessCounts before = counts_;
+  counts_.merge_max(record.to_counts());
+  ++records_;
+  const double distance = counts_.normalized_distance(before);
+  if (distance > change_epsilon_) {
+    stable_streak_ = 0;
+    return true;
+  }
+  ++stable_streak_;
+  return false;
+}
+
+}  // namespace toss

@@ -1,0 +1,108 @@
+#include "mem/access_cost.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace toss {
+
+std::vector<u64> expand_burst_counts(const AccessBurst& burst) {
+  assert(burst.page_count > 0);
+  std::vector<u64> counts(burst.page_count, 0);
+  if (burst.accesses == 0) return counts;
+  if (burst.zipf_theta <= 1e-9) {
+    // Uniform spread with the remainder going to the leading pages.
+    const u64 base = burst.accesses / burst.page_count;
+    const u64 rem = burst.accesses % burst.page_count;
+    for (u64 i = 0; i < burst.page_count; ++i)
+      counts[i] = base + (i < rem ? 1 : 0);
+    return counts;
+  }
+  // Zipf weights by page index (page 0 hottest). Normalize to the total
+  // access count; rounding drift is folded into page 0.
+  double z = 0.0;
+  std::vector<double> w(burst.page_count);
+  for (u64 i = 0; i < burst.page_count; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), burst.zipf_theta);
+    z += w[i];
+  }
+  u64 assigned = 0;
+  for (u64 i = 0; i < burst.page_count; ++i) {
+    counts[i] = static_cast<u64>(
+        static_cast<double>(burst.accesses) * w[i] / z);
+    assigned += counts[i];
+  }
+  counts[0] += burst.accesses - assigned;
+  return counts;
+}
+
+Nanos AccessCostModel::access_cost(Tier t, Pattern pattern,
+                                   double write_fraction) const {
+  const TierSpec& spec = cfg_->tier(t);
+  const double wf = write_fraction;
+  if (pattern == Pattern::kSequential) {
+    const Nanos read = static_cast<double>(kCacheLine) / spec.read_bw_bytes_per_ns;
+    const Nanos write = static_cast<double>(kCacheLine) / spec.write_bw_bytes_per_ns;
+    return (1.0 - wf) * read + wf * write;
+  }
+  const Nanos read = spec.read_latency_ns / spec.mlp;
+  const Nanos write = spec.write_latency_ns / spec.mlp;
+  return (1.0 - wf) * read + wf * write;
+}
+
+Nanos AccessCostModel::burst_time_uniform(const AccessBurst& b, Tier t) const {
+  return static_cast<double>(b.accesses) *
+         access_cost(t, b.pattern, b.write_fraction);
+}
+
+Nanos AccessCostModel::burst_time(const AccessBurst& b,
+                                  const std::vector<u64>& counts,
+                                  const PagePlacement& placement) const {
+  return burst_cost(b, counts, placement).total_ns();
+}
+
+BurstCost AccessCostModel::burst_cost(const AccessBurst& b,
+                                      const std::vector<u64>& counts,
+                                      const PagePlacement& placement) const {
+  assert(counts.size() == b.page_count);
+  assert(b.page_end() <= placement.num_pages());
+  u64 slow_accesses = 0;
+  u64 total = 0;
+  for (u64 i = 0; i < b.page_count; ++i) {
+    total += counts[i];
+    if (placement.tier_of(b.page_begin + i) == Tier::kSlow)
+      slow_accesses += counts[i];
+  }
+  const u64 fast_accesses = total - slow_accesses;
+
+  BurstCost cost;
+  cost.fast_ns = static_cast<double>(fast_accesses) *
+                 access_cost(Tier::kFast, b.pattern, b.write_fraction);
+  cost.slow_ns = static_cast<double>(slow_accesses) *
+                 access_cost(Tier::kSlow, b.pattern, b.write_fraction);
+
+  // Device bandwidth demand: sequential streams move cache lines; random
+  // streams move the tier's internal access granularity per miss.
+  auto demand = [&](Tier t, u64 accesses) {
+    const TierSpec& spec = cfg_->tier(t);
+    const double unit = b.pattern == Pattern::kSequential
+                            ? static_cast<double>(kCacheLine)
+                            : spec.random_granularity_bytes;
+    return static_cast<double>(accesses) * unit;
+  };
+  const double fast_bytes = demand(Tier::kFast, fast_accesses);
+  const double slow_bytes = demand(Tier::kSlow, slow_accesses);
+  cost.fast_read_bytes = fast_bytes * (1.0 - b.write_fraction);
+  cost.fast_write_bytes = fast_bytes * b.write_fraction;
+  cost.slow_read_bytes = slow_bytes * (1.0 - b.write_fraction);
+  cost.slow_write_bytes = slow_bytes * b.write_fraction;
+  return cost;
+}
+
+Nanos AccessCostModel::trace_time_uniform(const std::vector<AccessBurst>& trace,
+                                          Tier t) const {
+  Nanos total = 0;
+  for (const auto& b : trace) total += burst_time_uniform(b, t);
+  return total;
+}
+
+}  // namespace toss

@@ -1,0 +1,91 @@
+// Burst-level memory access cost model.
+//
+// The workload models emit *access bursts*: contiguous guest-page ranges with
+// a number of LLC-missing accesses, a pattern (sequential/random), a write
+// mix, and an intra-region skew. The cost model turns a burst plus a tier
+// placement into simulated time. Sequential streams are bandwidth-limited;
+// random streams are latency-limited but overlapped by the tier's
+// memory-level parallelism.
+#pragma once
+
+#include <vector>
+
+#include "mem/placement.hpp"
+#include "mem/tier.hpp"
+
+namespace toss {
+
+enum class Pattern : u8 {
+  kSequential = 0,  ///< streaming: cost = bytes / bandwidth
+  kRandom = 1,      ///< pointer-chasing-ish: cost = latency / MLP per access
+};
+
+inline const char* pattern_name(Pattern p) {
+  return p == Pattern::kSequential ? "seq" : "rand";
+}
+
+/// One burst of memory activity over a contiguous guest page range.
+struct AccessBurst {
+  u64 page_begin = 0;
+  u64 page_count = 0;
+  u64 accesses = 0;  ///< LLC-missing cache-line accesses in this burst
+  Pattern pattern = Pattern::kSequential;
+  double write_fraction = 0.0;  ///< 0 = all reads, 1 = all writes
+  /// Zipf skew of accesses across the pages of the range; 0 = uniform.
+  /// Hotter pages are placed at the start of the range (allocation order),
+  /// so hot subsets form contiguous prefixes like real heaps do.
+  double zipf_theta = 0.0;
+
+  u64 page_end() const { return page_begin + page_count; }
+  u64 bytes() const { return bytes_for_pages(page_count); }
+};
+
+/// Deterministically expand a burst into per-page access counts
+/// (length == burst.page_count). The counts sum to ~burst.accesses.
+std::vector<u64> expand_burst_counts(const AccessBurst& burst);
+
+/// Per-tier time and device-bandwidth demand of a burst; the concurrency
+/// model (platform/concurrency.hpp) aggregates demands across invocations.
+struct BurstCost {
+  Nanos fast_ns = 0;
+  Nanos slow_ns = 0;
+  double fast_read_bytes = 0;   ///< device bytes moved (demand, not footprint)
+  double fast_write_bytes = 0;
+  double slow_read_bytes = 0;
+  double slow_write_bytes = 0;
+
+  Nanos total_ns() const { return fast_ns + slow_ns; }
+};
+
+class AccessCostModel {
+ public:
+  explicit AccessCostModel(const SystemConfig& cfg) : cfg_(&cfg) {}
+
+  /// Cost of one cache-line access in tier `t` under `pattern`, blending the
+  /// read/write mix.
+  Nanos access_cost(Tier t, Pattern pattern, double write_fraction) const;
+
+  /// Time for a burst when every page of it lives in tier `t`.
+  Nanos burst_time_uniform(const AccessBurst& b, Tier t) const;
+
+  /// Time for a burst under a per-page placement. `counts` must be the
+  /// expansion of `b` (expand_burst_counts); passing it explicitly lets
+  /// callers cache the expansion.
+  Nanos burst_time(const AccessBurst& b, const std::vector<u64>& counts,
+                   const PagePlacement& placement) const;
+
+  /// Full per-tier time + device-demand breakdown of a burst.
+  BurstCost burst_cost(const AccessBurst& b, const std::vector<u64>& counts,
+                       const PagePlacement& placement) const;
+
+  /// Total memory time of a whole trace in a single tier.
+  Nanos trace_time_uniform(const std::vector<AccessBurst>& trace,
+                           Tier t) const;
+
+  const SystemConfig& config() const { return *cfg_; }
+
+ private:
+  const SystemConfig* cfg_;
+};
+
+}  // namespace toss

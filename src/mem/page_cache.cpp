@@ -1,0 +1,30 @@
+#include "mem/page_cache.hpp"
+
+namespace toss {
+
+HostPageCache::HostPageCache(u64 readahead_pages)
+    : readahead_(readahead_pages == 0 ? 1 : readahead_pages) {}
+
+bool HostPageCache::contains(u64 file_id, u64 page_index) const {
+  return cached_.contains(FilePage{file_id, page_index});
+}
+
+u64 HostPageCache::fill(u64 file_id, u64 page_index) {
+  u64 added = 0;
+  for (u64 p = page_index; p < page_index + readahead_; ++p)
+    if (cached_.insert(FilePage{file_id, p}).second) ++added;
+  return added;
+}
+
+void HostPageCache::fill_one(u64 file_id, u64 page_index) {
+  cached_.insert(FilePage{file_id, page_index});
+}
+
+void HostPageCache::fill_range(u64 file_id, u64 page_begin, u64 page_count) {
+  for (u64 p = page_begin; p < page_begin + page_count; ++p)
+    cached_.insert(FilePage{file_id, p});
+}
+
+void HostPageCache::drop() { cached_.clear(); }
+
+}  // namespace toss

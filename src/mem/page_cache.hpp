@@ -1,0 +1,64 @@
+// Host page cache model.
+//
+// Snapshot files live on the simulated disk; the host page cache decides
+// whether a guest page fault is satisfied from cached file pages (minor-ish
+// cost) or requires a disk read (major fault). The evaluation methodology
+// drops the cache between invocations, which `drop()` implements.
+#pragma once
+
+#include <unordered_set>
+
+#include "mem/tier.hpp"
+
+namespace toss {
+
+/// Identifies a file-backed page: (file id, page index within file).
+struct FilePage {
+  u64 file_id = 0;
+  u64 page_index = 0;
+  bool operator==(const FilePage&) const = default;
+};
+
+struct FilePageHash {
+  size_t operator()(const FilePage& fp) const {
+    // 64-bit mix of the two fields.
+    u64 x = fp.file_id * 0x9e3779b97f4a7c15ULL ^ fp.page_index;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+class HostPageCache {
+ public:
+  /// Readahead window in pages: a disk read of page p also caches
+  /// [p, p + readahead). Linux default readahead is 128 KiB = 32 pages;
+  /// this is what inflates mincore()-based working sets.
+  explicit HostPageCache(u64 readahead_pages = 32);
+
+  bool contains(u64 file_id, u64 page_index) const;
+
+  /// Record that a page was read from disk; readahead neighbors become
+  /// cached as well. Returns the number of pages newly cached (used by the
+  /// mincore() working-set model).
+  u64 fill(u64 file_id, u64 page_index);
+
+  /// Cache exactly one page (random access defeats readahead).
+  void fill_one(u64 file_id, u64 page_index);
+
+  /// Cache pages [begin, begin+count) of a file (sequential prefetch).
+  void fill_range(u64 file_id, u64 page_begin, u64 page_count);
+
+  /// `echo 3 > /proc/sys/vm/drop_caches` equivalent.
+  void drop();
+
+  u64 cached_pages() const { return static_cast<u64>(cached_.size()); }
+  u64 readahead_pages() const { return readahead_; }
+
+ private:
+  u64 readahead_;
+  std::unordered_set<FilePage, FilePageHash> cached_;
+};
+
+}  // namespace toss

@@ -1,0 +1,50 @@
+#include "mem/placement.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+PagePlacement::PagePlacement(u64 num_pages, Tier initial)
+    : tiers_(num_pages, static_cast<u8>(initial)) {}
+
+void PagePlacement::set_range(u64 page_begin, u64 page_count, Tier t) {
+  assert(page_begin + page_count <= num_pages());
+  for (u64 p = page_begin; p < page_begin + page_count; ++p)
+    tiers_[p] = static_cast<u8>(t);
+}
+
+void PagePlacement::set_all(Tier t) {
+  for (auto& v : tiers_) v = static_cast<u8>(t);
+}
+
+u64 PagePlacement::pages_in(Tier t) const {
+  u64 n = 0;
+  for (u8 v : tiers_)
+    if (v == static_cast<u8>(t)) ++n;
+  return n;
+}
+
+double PagePlacement::slow_fraction() const {
+  if (tiers_.empty()) return 0.0;
+  return static_cast<double>(pages_in(Tier::kSlow)) /
+         static_cast<double>(num_pages());
+}
+
+u64 PagePlacement::count_in_range(u64 page_begin, u64 page_count,
+                                  Tier t) const {
+  assert(page_begin + page_count <= num_pages());
+  u64 n = 0;
+  for (u64 p = page_begin; p < page_begin + page_count; ++p)
+    if (tiers_[p] == static_cast<u8>(t)) ++n;
+  return n;
+}
+
+double PagePlacement::slow_fraction_in_range(u64 page_begin,
+                                             u64 page_count) const {
+  if (page_count == 0) return 0.0;
+  return static_cast<double>(
+             count_in_range(page_begin, page_count, Tier::kSlow)) /
+         static_cast<double>(page_count);
+}
+
+}  // namespace toss

@@ -1,0 +1,47 @@
+// Per-page tier placement map for a guest address space.
+//
+// The optimizer produces a PagePlacement; the tiered snapshot serializes it
+// as layout regions; the access-cost model consults it per burst.
+#pragma once
+
+#include <vector>
+
+#include "mem/tier.hpp"
+#include "util/units.hpp"
+
+namespace toss {
+
+class PagePlacement {
+ public:
+  PagePlacement() = default;
+
+  /// All pages start in `initial` (DRAM-only guest by default).
+  explicit PagePlacement(u64 num_pages, Tier initial = Tier::kFast);
+
+  u64 num_pages() const { return static_cast<u64>(tiers_.size()); }
+  u64 num_bytes() const { return bytes_for_pages(num_pages()); }
+
+  Tier tier_of(u64 page) const { return static_cast<Tier>(tiers_[page]); }
+  void set(u64 page, Tier t) { tiers_[page] = static_cast<u8>(t); }
+  void set_range(u64 page_begin, u64 page_count, Tier t);
+  void set_all(Tier t);
+
+  /// Number of pages currently in tier `t`.
+  u64 pages_in(Tier t) const;
+
+  /// Fraction of bytes in the slow tier (the paper's "slow tier percentage").
+  double slow_fraction() const;
+
+  /// Pages of [page_begin, page_begin+page_count) that are in tier `t`.
+  u64 count_in_range(u64 page_begin, u64 page_count, Tier t) const;
+
+  /// Fraction of the range in the slow tier.
+  double slow_fraction_in_range(u64 page_begin, u64 page_count) const;
+
+  bool operator==(const PagePlacement&) const = default;
+
+ private:
+  std::vector<u8> tiers_;
+};
+
+}  // namespace toss

@@ -1,0 +1,64 @@
+#include "mem/tier.hpp"
+
+namespace toss {
+
+TierSpec TierSpec::ddr4_dram() {
+  TierSpec t;
+  t.name = "DDR4 DRAM";
+  t.read_latency_ns = 85;
+  t.write_latency_ns = 85;
+  t.read_bw_bytes_per_ns = 80.0;   // 80 GB/s aggregate (2 sockets, 6 ch each)
+  t.write_bw_bytes_per_ns = 40.0;
+  t.mlp = 10.0;
+  t.cost_per_mib = 2.5;  // only the 2.5:1 ratio matters (see [23] in paper)
+  return t;
+}
+
+TierSpec TierSpec::optane_pmem() {
+  TierSpec t;
+  t.name = "Optane PMem";
+  t.read_latency_ns = 310;  // published idle random read latency
+  t.write_latency_ns = 95;  // writes land in the DIMM buffer...
+  t.read_bw_bytes_per_ns = 26.0;  // ...but sustained bandwidth is much lower
+  t.write_bw_bytes_per_ns = 7.5;
+  t.mlp = 4.0;  // Optane sustains far fewer outstanding misses
+  t.cost_per_mib = 1.0;
+  t.random_granularity_bytes = 256;  // 3D-XPoint internal block size
+  return t;
+}
+
+TierSpec TierSpec::ddr5_dram() {
+  TierSpec t;
+  t.name = "DDR5 DRAM";
+  t.read_latency_ns = 75;
+  t.write_latency_ns = 75;
+  t.read_bw_bytes_per_ns = 120.0;
+  t.write_bw_bytes_per_ns = 60.0;
+  t.mlp = 12.0;
+  t.cost_per_mib = 1.8;
+  return t;
+}
+
+TierSpec TierSpec::cxl_ddr4() {
+  TierSpec t;
+  t.name = "CXL DDR4";
+  t.read_latency_ns = 210;  // DDR4 + one CXL hop
+  t.write_latency_ns = 210;
+  t.read_bw_bytes_per_ns = 28.0;  // x8 CXL link
+  t.write_bw_bytes_per_ns = 28.0;
+  t.mlp = 8.0;  // DRAM-class concurrency, unlike Optane
+  t.cost_per_mib = 1.0;
+  t.random_granularity_bytes = kCacheLine;  // no internal amplification
+  return t;
+}
+
+SystemConfig SystemConfig::paper_default() { return SystemConfig{}; }
+
+SystemConfig SystemConfig::cxl_host() {
+  SystemConfig cfg;
+  cfg.fast = TierSpec::ddr5_dram();
+  cfg.slow = TierSpec::cxl_ddr4();
+  return cfg;
+}
+
+}  // namespace toss

@@ -1,0 +1,41 @@
+// Concurrency contention model (Fig 9).
+//
+// The paper runs up to 20 concurrent invocations on a 20-core host, so CPU
+// time does not contend — shared memory tiers and the snapshot disk do.
+// Each invocation is first simulated solo (its ExecutionResult carries
+// per-tier time and device-bandwidth demand); this model then scales the
+// contended components by each resource's aggregate utilization:
+//
+//   utilization(tier) = sum_i read_demand_i/read_bw + write_demand_i/write_bw
+//   factor = max(1, utilization)
+//
+// evaluated over the makespan, iterated to a fixed point (slower
+// invocations spread their demand over a longer window, lowering pressure).
+#pragma once
+
+#include <vector>
+
+#include "vmm/microvm.hpp"
+
+namespace toss {
+
+struct ContentionFactors {
+  double fast = 1.0;
+  double slow = 1.0;
+  double disk = 1.0;
+};
+
+struct ConcurrencyOutcome {
+  /// Per-invocation contended execution time (same order as input).
+  std::vector<Nanos> exec_ns;
+  ContentionFactors factors;
+  int iterations = 0;  ///< kept for API stability; the model is closed-form
+};
+
+/// Scale the solo runs' execution times under K-way concurrency (K = size
+/// of `solo`). All invocations are assumed to start together, as in the
+/// paper's scalability experiment.
+ConcurrencyOutcome run_concurrent(const SystemConfig& cfg,
+                                  const std::vector<ExecutionResult>& solo);
+
+}  // namespace toss

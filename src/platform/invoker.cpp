@@ -1,0 +1,36 @@
+#include "platform/invoker.hpp"
+
+namespace toss {
+
+Invoker::Invoker(const SystemConfig& cfg, SnapshotStore& store)
+    : cfg_(&cfg), store_(&store) {}
+
+InvocationResult Invoker::invoke(const RestorePolicy& policy,
+                                 const Invocation& inv, bool drop_caches) {
+  if (drop_caches) store_->drop_caches();
+  MicroVm vm(*cfg_, *store_);
+  InvocationResult r;
+  r.setup = vm.restore(policy.plan_restore());
+  r.exec = vm.execute(inv.trace, inv.cpu_ns);
+  return r;
+}
+
+u64 Invoker::initial_execution(const FunctionModel& model,
+                               const Invocation& inv,
+                               InvocationResult* out_result) {
+  store_->drop_caches();
+  MicroVm vm(*cfg_, *store_);
+  InvocationResult r;
+  r.setup = vm.boot(model.guest_bytes(), VmState{});
+  r.exec = vm.execute(inv.trace, inv.cpu_ns);
+  vm.apply_writes(inv.trace);
+  if (out_result) *out_result = r;
+  return vm.take_snapshot();
+}
+
+Nanos Invoker::warm_dram_exec_ns(const Invocation& inv) const {
+  AccessCostModel model(*cfg_);
+  return inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+}
+
+}  // namespace toss

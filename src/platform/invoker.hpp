@@ -1,0 +1,37 @@
+// Invoker: run single invocations under any restore policy, plus the
+// baseline helpers every experiment normalizes against.
+#pragma once
+
+#include "baseline/policy.hpp"
+#include "vmm/microvm.hpp"
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+class Invoker {
+ public:
+  Invoker(const SystemConfig& cfg, SnapshotStore& store);
+
+  /// Cold invocation under `policy`. Drops the host page cache first when
+  /// `drop_caches` (the paper's methodology).
+  InvocationResult invoke(const RestorePolicy& policy, const Invocation& inv,
+                          bool drop_caches = true);
+
+  /// Initial execution: boot a DRAM-only VM, run, snapshot. Returns the
+  /// single-tier snapshot file id (and the timing via `out_result`).
+  u64 initial_execution(const FunctionModel& model, const Invocation& inv,
+                        InvocationResult* out_result = nullptr);
+
+  /// Warm DRAM execution time (no setup, no faults): the denominator of
+  /// warm-slowdown metrics (Fig 5).
+  Nanos warm_dram_exec_ns(const Invocation& inv) const;
+
+  const SystemConfig& config() const { return *cfg_; }
+  SnapshotStore& store() { return *store_; }
+
+ private:
+  const SystemConfig* cfg_;
+  SnapshotStore* store_;
+};
+
+}  // namespace toss

@@ -1,0 +1,91 @@
+#include "platform/keepalive.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace toss {
+
+KeepAliveCache::KeepAliveCache(KeepAliveConfig cfg) : cfg_(cfg) {}
+
+double KeepAliveCache::priority_of(const Entry& e) const {
+  // Greedy-Dual-Size-Frequency. `size` is the DRAM share (the constrained
+  // pool); a pure slow-tier VM is nearly free to keep and ages very slowly.
+  const double size =
+      std::max<double>(static_cast<double>(e.dram_bytes), 1.0);
+  return clock_ + static_cast<double>(e.frequency) * e.cold_cost_ns / size;
+}
+
+bool KeepAliveCache::lookup(const std::string& function) {
+  auto it = entries_.find(function);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  ++it->second.frequency;
+  it->second.priority = priority_of(it->second);
+  return true;
+}
+
+void KeepAliveCache::remove_entry(const std::string& function) {
+  auto it = entries_.find(function);
+  if (it == entries_.end()) return;
+  dram_used_ -= it->second.dram_bytes;
+  slow_used_ -= it->second.slow_bytes;
+  entries_.erase(it);
+}
+
+void KeepAliveCache::evict(const std::string& function) {
+  remove_entry(function);
+}
+
+bool KeepAliveCache::make_room(u64 dram_bytes, u64 slow_bytes) {
+  if (dram_bytes > cfg_.dram_capacity_bytes ||
+      slow_bytes > cfg_.slow_capacity_bytes)
+    return false;
+  while (dram_used_ + dram_bytes > cfg_.dram_capacity_bytes ||
+         slow_used_ + slow_bytes > cfg_.slow_capacity_bytes) {
+    // Evict the lowest-priority warm VM and advance the aging clock to its
+    // priority (classic Greedy-Dual).
+    auto victim = entries_.end();
+    double lowest = std::numeric_limits<double>::infinity();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.priority < lowest) {
+        lowest = it->second.priority;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return false;  // nothing left to evict
+    clock_ = victim->second.priority;
+    dram_used_ -= victim->second.dram_bytes;
+    slow_used_ -= victim->second.slow_bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+bool KeepAliveCache::insert(const std::string& function, u64 dram_bytes,
+                            u64 slow_bytes, Nanos cold_cost_ns) {
+  remove_entry(function);
+  if (!make_room(dram_bytes, slow_bytes)) {
+    ++stats_.rejected;
+    return false;
+  }
+  Entry e;
+  e.dram_bytes = dram_bytes;
+  e.slow_bytes = slow_bytes;
+  e.cold_cost_ns = cold_cost_ns;
+  e.frequency = 1;
+  e.priority = priority_of(e);
+  dram_used_ += dram_bytes;
+  slow_used_ += slow_bytes;
+  entries_.emplace(function, e);
+  return true;
+}
+
+bool KeepAliveCache::contains(const std::string& function) const {
+  return entries_.contains(function);
+}
+
+}  // namespace toss

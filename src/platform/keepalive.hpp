@@ -1,0 +1,86 @@
+// Keep-alive (warm VM) caching, the integration Section VI-A sketches:
+// "TOSS can keep the VM alive on both tiers until evicted".
+//
+// The cache implements the Greedy-Dual-Size-Frequency keep-alive policy of
+// FaasCache (Fuerst & Sharma, ASPLOS'21): each warm VM carries a priority
+//   priority = clock + frequency * cold_cost / size
+// where `size` is what the VM occupies of the *constrained* resource. For
+// a DRAM-only platform that is the whole VM; for TOSS it is only the fast
+// (DRAM) share of the tiered snapshot — which is exactly why a fixed DRAM
+// budget keeps many more TOSS VMs warm.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+struct KeepAliveConfig {
+  u64 dram_capacity_bytes = 4 * kGiB;
+  /// Slow-tier pool; effectively abundant in the paper's setup (768 GB).
+  u64 slow_capacity_bytes = 64 * kGiB;
+};
+
+struct KeepAliveStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 evictions = 0;
+  u64 rejected = 0;  ///< VM larger than the whole pool
+
+  double hit_rate() const {
+    const u64 total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class KeepAliveCache {
+ public:
+  explicit KeepAliveCache(KeepAliveConfig cfg = {});
+
+  /// Look up a warm VM. A hit refreshes its priority (frequency + clock).
+  bool lookup(const std::string& function);
+
+  /// Insert (or replace) a warm VM after a cold start. `dram_bytes` /
+  /// `slow_bytes`: what the VM pins in each pool. `cold_cost_ns`: what a
+  /// future cold start would cost (the benefit of keeping it). Evicts
+  /// lowest-priority VMs until it fits; returns false if it cannot fit at
+  /// all.
+  bool insert(const std::string& function, u64 dram_bytes, u64 slow_bytes,
+              Nanos cold_cost_ns);
+
+  /// Explicitly evict one function (e.g. re-profiling invalidated it).
+  void evict(const std::string& function);
+
+  bool contains(const std::string& function) const;
+  size_t warm_count() const { return entries_.size(); }
+  u64 dram_in_use() const { return dram_used_; }
+  u64 slow_in_use() const { return slow_used_; }
+  const KeepAliveStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    u64 dram_bytes = 0;
+    u64 slow_bytes = 0;
+    Nanos cold_cost_ns = 0;
+    u64 frequency = 0;
+    double priority = 0;
+  };
+
+  double priority_of(const Entry& e) const;
+  void remove_entry(const std::string& function);
+  /// Evict lowest-priority entries until both pools can fit the sizes.
+  bool make_room(u64 dram_bytes, u64 slow_bytes);
+
+  KeepAliveConfig cfg_;
+  std::map<std::string, Entry> entries_;
+  u64 dram_used_ = 0;
+  u64 slow_used_ = 0;
+  double clock_ = 0;  ///< Greedy-Dual aging clock (last evicted priority)
+  KeepAliveStats stats_;
+};
+
+}  // namespace toss

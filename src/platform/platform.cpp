@@ -1,0 +1,137 @@
+#include "platform/platform.hpp"
+
+#include <stdexcept>
+
+namespace toss {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kVanilla: return "vanilla";
+    case PolicyKind::kReap: return "reap";
+    case PolicyKind::kFaasnap: return "faasnap";
+    case PolicyKind::kToss: return "toss";
+  }
+  return "?";
+}
+
+ServerlessPlatform::ServerlessPlatform(SystemConfig cfg, PricingPlan pricing)
+    : cfg_(std::move(cfg)), pricing_(pricing), store_(cfg_),
+      invoker_(cfg_, store_) {}
+
+void ServerlessPlatform::register_function(FunctionSpec spec, PolicyKind kind,
+                                           TossOptions toss_options) {
+  const std::string name = spec.name;
+  FunctionRuntime rt{FunctionModel(std::move(spec)), kind, toss_options,
+                     nullptr, 0, std::nullopt, FunctionStats{}};
+  auto [it, _] = functions_.insert_or_assign(name, std::move(rt));
+  if (kind == PolicyKind::kToss) {
+    // Bind the TossFunction to the model at its final (node-stable) address
+    // inside the map, only after the move above.
+    it->second.toss = std::make_unique<TossFunction>(
+        cfg_, store_, it->second.model, toss_options);
+  }
+}
+
+InvocationOutcome ServerlessPlatform::invoke(const std::string& name,
+                                             int input, u64 seed) {
+  auto it = functions_.find(name);
+  if (it == functions_.end())
+    throw std::out_of_range("unknown function: " + name);
+  FunctionRuntime& rt = it->second;
+
+  InvocationOutcome out;
+  if (rt.kind == PolicyKind::kToss) {
+    // The TossFunction pins its FunctionModel by reference; rt.model never
+    // moves after registration (node-based map), so the pointer into the
+    // runtime stays valid.
+    const TossInvocationRecord rec = rt.toss->handle(input, seed);
+    out.result = rec.result;
+    out.toss_phase = rec.phase;
+    out.cold_boot = rec.phase == TossPhase::kInitial;
+  } else {
+    out = invoke_baseline(rt, input, seed);
+  }
+  out.charge = charge_for(rt, out.result);
+
+  rt.stats.invocations++;
+  rt.stats.total_ns.add(out.result.total_ns());
+  rt.stats.setup_ns.add(out.result.setup.setup_ns);
+  rt.stats.exec_ns.add(out.result.exec.exec_ns);
+  rt.stats.total_charge += out.charge;
+  return out;
+}
+
+InvocationOutcome ServerlessPlatform::invoke_baseline(FunctionRuntime& rt,
+                                                      int input, u64 seed) {
+  InvocationOutcome out;
+  const Invocation inv = rt.model.invoke(input, seed);
+  if (rt.snapshot_id == 0) {
+    // First-ever request: cold boot, then snapshot. REAP/FaaSnap record
+    // their working set during this invocation.
+    rt.snapshot_id = invoker_.initial_execution(rt.model, inv, &out.result);
+    out.cold_boot = true;
+    if (rt.kind == PolicyKind::kReap) {
+      rt.ws = ReapPolicy::record_working_set(inv.trace, rt.model.guest_pages());
+    } else if (rt.kind == PolicyKind::kFaasnap) {
+      rt.ws = FaasnapPolicy::record_working_set(inv.trace,
+                                                rt.model.guest_pages());
+    }
+    return out;
+  }
+  switch (rt.kind) {
+    case PolicyKind::kVanilla: {
+      VanillaPolicy policy(store_, rt.snapshot_id);
+      out.result = invoker_.invoke(policy, inv);
+      break;
+    }
+    case PolicyKind::kReap: {
+      ReapPolicy policy(store_, rt.snapshot_id, *rt.ws);
+      out.result = invoker_.invoke(policy, inv);
+      break;
+    }
+    case PolicyKind::kFaasnap: {
+      FaasnapPolicy policy(store_, rt.snapshot_id, *rt.ws);
+      out.result = invoker_.invoke(policy, inv);
+      break;
+    }
+    case PolicyKind::kToss:
+      break;  // handled by the caller
+  }
+  return out;
+}
+
+double ServerlessPlatform::charge_for(const FunctionRuntime& rt,
+                                      const InvocationResult& result) const {
+  const double duration_ms = to_ms(result.total_ns());
+  const u64 mem_mb = rt.model.spec().memory_mb;
+  if (rt.kind == PolicyKind::kToss && rt.toss &&
+      rt.toss->phase() == TossPhase::kTiered && rt.toss->decision()) {
+    const double slow_frac = rt.toss->decision()->slow_fraction;
+    const u64 slow_mb =
+        static_cast<u64>(slow_frac * static_cast<double>(mem_mb));
+    return pricing_.tiered_invocation_cost(mem_mb - slow_mb, slow_mb,
+                                           duration_ms);
+  }
+  return pricing_.dram_invocation_cost(mem_mb, duration_ms);
+}
+
+std::vector<InvocationOutcome> ServerlessPlatform::run(
+    const std::string& name, const std::vector<Request>& requests) {
+  std::vector<InvocationOutcome> outcomes;
+  outcomes.reserve(requests.size());
+  for (const Request& r : requests)
+    outcomes.push_back(invoke(name, r.input, r.seed));
+  return outcomes;
+}
+
+const FunctionStats& ServerlessPlatform::stats(const std::string& name) const {
+  return functions_.at(name).stats;
+}
+
+const TossFunction* ServerlessPlatform::toss_state(
+    const std::string& name) const {
+  const auto& rt = functions_.at(name);
+  return rt.toss.get();
+}
+
+}  // namespace toss

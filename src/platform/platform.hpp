@@ -1,0 +1,88 @@
+// ServerlessPlatform: the end-to-end facade. Register functions with a
+// snapshot policy (vanilla / REAP / FaaSnap / TOSS) and fire requests at
+// them; the platform manages snapshots, working sets, TOSS lifecycles and
+// per-function statistics. This is what the examples and integration tests
+// drive.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baseline/faasnap.hpp"
+#include "baseline/reap.hpp"
+#include "baseline/vanilla.hpp"
+#include "core/toss.hpp"
+#include "platform/invoker.hpp"
+#include "platform/pricing.hpp"
+#include "platform/request_gen.hpp"
+#include "util/stats.hpp"
+
+namespace toss {
+
+enum class PolicyKind : u8 { kVanilla, kReap, kFaasnap, kToss };
+
+const char* policy_name(PolicyKind kind);
+
+struct InvocationOutcome {
+  InvocationResult result;
+  TossPhase toss_phase = TossPhase::kInitial;  ///< meaningful for kToss
+  bool cold_boot = false;   ///< first-ever invocation (no snapshot yet)
+  double charge = 0;        ///< $ for this invocation
+};
+
+struct FunctionStats {
+  u64 invocations = 0;
+  OnlineStats total_ns;
+  OnlineStats setup_ns;
+  OnlineStats exec_ns;
+  double total_charge = 0;
+};
+
+class ServerlessPlatform {
+ public:
+  explicit ServerlessPlatform(SystemConfig cfg = SystemConfig::paper_default(),
+                              PricingPlan pricing = {});
+
+  /// Register a function under `kind`. TOSS options apply when kind==kToss.
+  void register_function(FunctionSpec spec, PolicyKind kind,
+                         TossOptions toss_options = {});
+
+  /// Invoke by name. Unknown names throw std::out_of_range.
+  InvocationOutcome invoke(const std::string& name, int input, u64 seed);
+
+  /// Drive a whole request stream; returns the outcomes.
+  std::vector<InvocationOutcome> run(const std::string& name,
+                                     const std::vector<Request>& requests);
+
+  const FunctionStats& stats(const std::string& name) const;
+  const TossFunction* toss_state(const std::string& name) const;
+
+  const SystemConfig& config() const { return cfg_; }
+  SnapshotStore& store() { return store_; }
+  const PricingPlan& pricing() const { return pricing_; }
+
+ private:
+  struct FunctionRuntime {
+    FunctionModel model;
+    PolicyKind kind;
+    TossOptions toss_options;
+    std::unique_ptr<TossFunction> toss;   // kToss only
+    u64 snapshot_id = 0;                  // baselines
+    std::optional<WorkingSet> ws;         // kReap / kFaasnap
+    FunctionStats stats;
+  };
+
+  InvocationOutcome invoke_baseline(FunctionRuntime& rt, int input, u64 seed);
+  double charge_for(const FunctionRuntime& rt,
+                    const InvocationResult& result) const;
+
+  SystemConfig cfg_;
+  PricingPlan pricing_;
+  SnapshotStore store_;
+  Invoker invoker_;
+  std::map<std::string, FunctionRuntime> functions_;
+};
+
+}  // namespace toss

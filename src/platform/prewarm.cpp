@@ -1,0 +1,54 @@
+#include "platform/prewarm.hpp"
+
+#include <algorithm>
+
+namespace toss {
+
+ArrivalPredictor::ArrivalPredictor(PrewarmConfig cfg)
+    : cfg_(cfg), histogram_(cfg.bucket_count, 0) {}
+
+void ArrivalPredictor::observe(Nanos now_ns) {
+  if (last_arrival_) {
+    const Nanos gap = now_ns - *last_arrival_;
+    if (gap >= 0) {
+      const u64 bucket = std::min<u64>(
+          cfg_.bucket_count - 1,
+          static_cast<u64>(gap / std::max<Nanos>(cfg_.bucket_ns, 1)));
+      ++histogram_[bucket];
+      ++samples_;
+    }
+  }
+  last_arrival_ = now_ns;
+}
+
+std::optional<Nanos> ArrivalPredictor::predicted_next() const {
+  if (!last_arrival_ || samples_ < cfg_.min_samples) return std::nullopt;
+  // Modal bucket, predicted at its center.
+  u64 best = 0;
+  u64 best_count = 0;
+  for (u64 b = 0; b < histogram_.size(); ++b) {
+    if (histogram_[b] > best_count) {
+      best_count = histogram_[b];
+      best = b;
+    }
+  }
+  if (best_count == 0) return std::nullopt;
+  const Nanos gap = (static_cast<double>(best) + 0.5) * cfg_.bucket_ns;
+  return *last_arrival_ + gap;
+}
+
+std::optional<Nanos> ArrivalPredictor::prewarm_at() const {
+  const auto next = predicted_next();
+  if (!next || !last_arrival_) return std::nullopt;
+  const Nanos gap = *next - *last_arrival_;
+  return *next - gap * cfg_.safety_margin;
+}
+
+Nanos visible_setup_ns(Nanos arrival_ns, std::optional<Nanos> restore_start,
+                       Nanos setup_ns) {
+  if (!restore_start || *restore_start > arrival_ns) return setup_ns;
+  const Nanos already_done = arrival_ns - *restore_start;
+  return std::max<Nanos>(0, setup_ns - already_done);
+}
+
+}  // namespace toss

@@ -1,0 +1,59 @@
+// Prediction-based prewarming, the second composition Section VI-A
+// sketches: "[for policies that] predict the request patterns to set up
+// the function before the next invocation, TOSS can load the VM before the
+// predicted function execution".
+//
+// The predictor is the windowed inter-arrival histogram of Shahrad et al.
+// (ATC'20, "Serverless in the Wild"): per function, bucket recent
+// inter-arrival times and schedule the prewarm a safety margin before the
+// modal bucket. When the prediction lands, the restore cost is hidden; the
+// invocation pays only max(0, setup_remaining).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+struct PrewarmConfig {
+  /// Histogram bucket width for inter-arrival times.
+  Nanos bucket_ns = sec(1);
+  u64 bucket_count = 240;  ///< up to 4 minutes of inter-arrival range
+  /// Start the restore this fraction of the predicted gap early.
+  double safety_margin = 0.10;
+  /// Minimum observations before predictions are attempted.
+  u64 min_samples = 4;
+};
+
+/// Inter-arrival predictor for one function.
+class ArrivalPredictor {
+ public:
+  explicit ArrivalPredictor(PrewarmConfig cfg = {});
+
+  /// Record an invocation at absolute time `now_ns`.
+  void observe(Nanos now_ns);
+
+  /// Predicted next arrival (absolute time), if confident.
+  std::optional<Nanos> predicted_next() const;
+
+  /// When the platform should begin restoring (prediction minus margin).
+  std::optional<Nanos> prewarm_at() const;
+
+  u64 samples() const { return samples_; }
+
+ private:
+  PrewarmConfig cfg_;
+  std::vector<u64> histogram_;
+  std::optional<Nanos> last_arrival_;
+  u64 samples_ = 0;
+};
+
+/// Latency accounting for a prewarmed invocation: given the actual arrival,
+/// the time the restore started (if any) and the full setup cost, how much
+/// setup the client still waits for.
+Nanos visible_setup_ns(Nanos arrival_ns, std::optional<Nanos> restore_start,
+                       Nanos setup_ns);
+
+}  // namespace toss

@@ -1,0 +1,35 @@
+#include "platform/pricing.hpp"
+
+#include <algorithm>
+
+namespace toss {
+
+u64 PricingPlan::bundle_mb(u64 required_mb) const {
+  if (required_mb == 0) return bundle_step_mb;
+  return (required_mb + bundle_step_mb - 1) / bundle_step_mb * bundle_step_mb;
+}
+
+double PricingPlan::dram_invocation_cost(u64 mem_mb, double duration_ms) const {
+  return static_cast<double>(bundle_mb(mem_mb)) * dollars_per_mb_ms *
+         duration_ms;
+}
+
+double PricingPlan::tiered_invocation_cost(u64 fast_mb, u64 slow_mb,
+                                           double duration_ms) const {
+  const double slow_price = dollars_per_mb_ms / cost_ratio;
+  return (static_cast<double>(fast_mb) * dollars_per_mb_ms +
+          static_cast<double>(slow_mb) * slow_price) *
+         duration_ms;
+}
+
+double PricingPlan::saving_fraction(u64 fast_mb, u64 slow_mb,
+                                    double duration_ms,
+                                    double dram_duration_ms) const {
+  const double dram = dram_invocation_cost(fast_mb + slow_mb,
+                                           dram_duration_ms);
+  if (dram <= 0.0) return 0.0;
+  const double tiered = tiered_invocation_cost(fast_mb, slow_mb, duration_ms);
+  return std::max(0.0, 1.0 - tiered / dram);
+}
+
+}  // namespace toss

@@ -1,0 +1,37 @@
+// Serverless memory pricing (Sections II-D and III-D).
+//
+// Vendors charge $/MB/ms against fixed 128 MB bundle steps. TOSS's Eq 1
+// extends this with heterogeneous tiers: the platform can dynamically quote
+// a reduced price reflecting the current fast/slow split, never exceeding
+// the single-tier price.
+#pragma once
+
+#include "mem/tier.hpp"
+
+namespace toss {
+
+struct PricingPlan {
+  /// Single-tier (DRAM) price. AWS-like magnitude; only ratios matter.
+  double dollars_per_mb_ms = 1.6279e-8;
+  u64 bundle_step_mb = 128;
+  double cost_ratio = 2.5;  ///< fast:slow $/MB ratio
+
+  /// Round a memory requirement up to the bundle grid.
+  u64 bundle_mb(u64 required_mb) const;
+
+  /// Classic single-tier invocation charge.
+  double dram_invocation_cost(u64 mem_mb, double duration_ms) const;
+
+  /// Tier-aware charge: Eq 1 with the dynamic fast/slow split. The
+  /// duration already includes any tiering slowdown, so the formula's
+  /// SDown term is carried by `duration_ms`.
+  double tiered_invocation_cost(u64 fast_mb, u64 slow_mb,
+                                double duration_ms) const;
+
+  /// Relative saving of a tiered configuration vs DRAM-only for the same
+  /// invocation (>= 0; 0 when everything stays in DRAM).
+  double saving_fraction(u64 fast_mb, u64 slow_mb, double duration_ms,
+                         double dram_duration_ms) const;
+};
+
+}  // namespace toss

@@ -1,0 +1,56 @@
+#include "platform/request_gen.hpp"
+
+namespace toss {
+
+std::vector<Request> RequestGenerator::fixed(size_t n, int input, u64 seed) {
+  Rng rng(seed);
+  std::vector<Request> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Request{input, rng.next()});
+  return out;
+}
+
+std::vector<Request> RequestGenerator::uniform(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<Request> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int input = static_cast<int>(rng.next_below(kNumInputs));
+    out.push_back(Request{input, rng.next()});
+  }
+  return out;
+}
+
+std::vector<Request> RequestGenerator::weighted(
+    size_t n, const std::array<double, kNumInputs>& weights, u64 seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (double w : weights) total += w;
+  std::vector<Request> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.next_double() * total;
+    int input = 0;
+    for (int k = 0; k < kNumInputs; ++k) {
+      x -= weights[static_cast<size_t>(k)];
+      if (x <= 0) {
+        input = k;
+        break;
+      }
+      input = k;
+    }
+    out.push_back(Request{input, rng.next()});
+  }
+  return out;
+}
+
+std::vector<Request> RequestGenerator::round_robin(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<Request> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    out.push_back(Request{static_cast<int>(i % kNumInputs), rng.next()});
+  return out;
+}
+
+}  // namespace toss

@@ -1,0 +1,36 @@
+// Request stream generation: sequences of (input, seed) pairs that drive a
+// function through its lifecycle. Serverless invocation patterns range from
+// fixed to completely random (Section II-B); these generators cover the
+// distributions the experiments need.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+struct Request {
+  int input = 0;
+  u64 seed = 0;
+};
+
+class RequestGenerator {
+ public:
+  /// Every request uses the same input (seeds still vary).
+  static std::vector<Request> fixed(size_t n, int input, u64 seed);
+
+  /// Inputs drawn uniformly from [0, kNumInputs).
+  static std::vector<Request> uniform(size_t n, u64 seed);
+
+  /// Inputs drawn with explicit weights.
+  static std::vector<Request> weighted(
+      size_t n, const std::array<double, kNumInputs>& weights, u64 seed);
+
+  /// Round-robin over all inputs (deterministic coverage).
+  static std::vector<Request> round_robin(size_t n, u64 seed);
+};
+
+}  // namespace toss

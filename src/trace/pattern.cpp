@@ -1,0 +1,55 @@
+#include "trace/pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "trace/burst.hpp"
+
+namespace toss {
+
+u64 PageAccessCounts::touched_pages() const {
+  u64 n = 0;
+  for (u64 c : counts_)
+    if (c > 0) ++n;
+  return n;
+}
+
+u64 PageAccessCounts::total_accesses() const {
+  u64 total = 0;
+  for (u64 c : counts_) total += c;
+  return total;
+}
+
+void PageAccessCounts::merge_max(const PageAccessCounts& other) {
+  assert(num_pages() == other.num_pages());
+  for (u64 p = 0; p < num_pages(); ++p)
+    counts_[p] = std::max(counts_[p], other.counts_[p]);
+}
+
+void PageAccessCounts::merge_sum(const PageAccessCounts& other) {
+  assert(num_pages() == other.num_pages());
+  for (u64 p = 0; p < num_pages(); ++p) counts_[p] += other.counts_[p];
+}
+
+double PageAccessCounts::normalized_distance(
+    const PageAccessCounts& other) const {
+  assert(num_pages() == other.num_pages());
+  u64 l1 = 0;
+  for (u64 p = 0; p < num_pages(); ++p) {
+    const u64 a = counts_[p];
+    const u64 b = other.counts_[p];
+    l1 += a > b ? a - b : b - a;
+  }
+  const u64 denom = std::max<u64>(total_accesses(), 1);
+  return static_cast<double>(l1) / static_cast<double>(denom);
+}
+
+PageAccessCounts PageAccessCounts::from_trace(const BurstTrace& trace,
+                                              u64 num_pages) {
+  PageAccessCounts counts(num_pages);
+  trace.accumulate_counts(counts);
+  return counts;
+}
+
+}  // namespace toss

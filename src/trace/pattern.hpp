@@ -1,0 +1,56 @@
+// Per-page access counts over a guest address space.
+//
+// This is the common currency between the profilers (DAMON, userfaultfd,
+// mincore), the unified access pattern of TOSS, and the region/bin pipeline.
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+class BurstTrace;
+
+class PageAccessCounts {
+ public:
+  PageAccessCounts() = default;
+  explicit PageAccessCounts(u64 num_pages) : counts_(num_pages, 0) {}
+
+  u64 num_pages() const { return static_cast<u64>(counts_.size()); }
+
+  u64 at(u64 page) const { return counts_[page]; }
+  void set(u64 page, u64 count) { counts_[page] = count; }
+  void add(u64 page, u64 count) { counts_[page] += count; }
+
+  const std::vector<u64>& raw() const { return counts_; }
+
+  /// Number of pages with a nonzero count.
+  u64 touched_pages() const;
+
+  /// Sum of all counts.
+  u64 total_accesses() const;
+
+  /// Merge by per-page max. This is how TOSS unifies access patterns across
+  /// invocations: max keeps the pattern representative of the most intense
+  /// behaviour seen while remaining idempotent (so convergence is
+  /// well-defined), unlike a sum which grows forever.
+  void merge_max(const PageAccessCounts& other);
+
+  /// Merge by per-page sum (used for aggregate statistics).
+  void merge_sum(const PageAccessCounts& other);
+
+  /// L1 distance between two patterns, normalized by this pattern's total
+  /// accesses (0 = identical). Used for convergence/drift detection.
+  double normalized_distance(const PageAccessCounts& other) const;
+
+  bool operator==(const PageAccessCounts&) const = default;
+
+  /// Build counts from a trace (guest size = num_pages).
+  static PageAccessCounts from_trace(const BurstTrace& trace, u64 num_pages);
+
+ private:
+  std::vector<u64> counts_;
+};
+
+}  // namespace toss

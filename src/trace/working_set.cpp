@@ -1,0 +1,72 @@
+#include "trace/working_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace toss {
+
+u64 WorkingSet::size_pages() const {
+  u64 n = 0;
+  for (bool t : touched_)
+    if (t) ++n;
+  return n;
+}
+
+double WorkingSet::fraction() const {
+  if (touched_.empty()) return 0.0;
+  return static_cast<double>(size_pages()) /
+         static_cast<double>(num_pages());
+}
+
+u64 WorkingSet::missing_from(const WorkingSet& other) const {
+  assert(num_pages() == other.num_pages());
+  u64 n = 0;
+  for (u64 p = 0; p < num_pages(); ++p)
+    if (other.touched_[p] && !touched_[p]) ++n;
+  return n;
+}
+
+std::vector<std::pair<u64, u64>> WorkingSet::touched_ranges() const {
+  std::vector<std::pair<u64, u64>> ranges;
+  u64 p = 0;
+  const u64 n = num_pages();
+  while (p < n) {
+    if (!touched_[p]) {
+      ++p;
+      continue;
+    }
+    u64 end = p + 1;
+    while (end < n && touched_[end]) ++end;
+    ranges.emplace_back(p, end - p);
+    p = end;
+  }
+  return ranges;
+}
+
+WorkingSet uffd_working_set(const BurstTrace& trace, u64 num_pages) {
+  WorkingSet ws(num_pages);
+  for (const auto& b : trace.bursts()) {
+    assert(b.page_end() <= num_pages);
+    for (u64 p = b.page_begin; p < b.page_end(); ++p) ws.insert(p);
+  }
+  return ws;
+}
+
+WorkingSet mincore_working_set(const BurstTrace& trace, u64 num_pages,
+                               u64 readahead_pages) {
+  WorkingSet ws(num_pages);
+  HostPageCache cache(readahead_pages);
+  constexpr u64 kMemFileId = 1;
+  for (const auto& b : trace.bursts()) {
+    for (u64 p = b.page_begin; p < b.page_end(); ++p) {
+      if (!cache.contains(kMemFileId, p)) cache.fill(kMemFileId, p);
+    }
+  }
+  // mincore() reports every file page the cache now holds, clipped to the
+  // guest memory size.
+  for (u64 p = 0; p < num_pages; ++p)
+    if (cache.contains(kMemFileId, p)) ws.insert(p);
+  return ws;
+}
+
+}  // namespace toss

@@ -1,0 +1,54 @@
+// Working-set characterization models: the userfaultfd() tracker REAP uses
+// and the mincore() tracker FaaSnap uses.
+//
+// Both produce a *dual-accessed* view (touched / not touched), which is
+// exactly the nuance gap the paper's Observation #4 criticizes. The mincore
+// flavor additionally inflates the set with host-page-cache readahead, per
+// Section III-C.
+#pragma once
+
+#include <vector>
+
+#include "mem/page_cache.hpp"
+#include "trace/burst.hpp"
+
+namespace toss {
+
+/// A working set is just the set of touched guest pages.
+class WorkingSet {
+ public:
+  WorkingSet() = default;
+  explicit WorkingSet(u64 num_pages) : touched_(num_pages, false) {}
+
+  u64 num_pages() const { return static_cast<u64>(touched_.size()); }
+  bool contains(u64 page) const { return touched_[page]; }
+  void insert(u64 page) { touched_[page] = true; }
+
+  u64 size_pages() const;
+  u64 size_bytes() const { return bytes_for_pages(size_pages()); }
+  double fraction() const;
+
+  /// Pages in `other` but not in this set (the faults REAP takes when the
+  /// execution input diverges from the snapshot input).
+  u64 missing_from(const WorkingSet& other) const;
+
+  /// Contiguous touched ranges, for per-region prefetch planning.
+  std::vector<std::pair<u64, u64>> touched_ranges() const;  // (begin, count)
+
+  bool operator==(const WorkingSet&) const = default;
+
+ private:
+  std::vector<bool> touched_;
+};
+
+/// userfaultfd() model: exact first-touch working set of a trace.
+WorkingSet uffd_working_set(const BurstTrace& trace, u64 num_pages);
+
+/// mincore() model: pages resident in the host page cache after the
+/// invocation — i.e. the true working set inflated by readahead. The guest
+/// memory file is `file_id` in the (freshly dropped) page cache, and pages
+/// are faulted in trace order.
+WorkingSet mincore_working_set(const BurstTrace& trace, u64 num_pages,
+                               u64 readahead_pages = 32);
+
+}  // namespace toss

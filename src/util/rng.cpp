@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace toss {
+
+u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u64 mix_seed(u64 a, u64 b) {
+  u64 state = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+u64 mix_seed(u64 a, std::string_view s) {
+  // FNV-1a over the string, then mixed with `a`.
+  u64 h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<u64>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return mix_seed(a, h);
+}
+
+namespace {
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 state = seed;
+  for (auto& s : s_) s = splitmix64(state);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::next_below(u64 bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift; the tiny modulo bias is irrelevant here.
+  return static_cast<u64>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::jitter(double rel) {
+  if (rel <= 0.0) return 1.0;
+  const double v = normal(1.0, rel);
+  // Clamp at 3 sigma and keep strictly positive.
+  const double lo = std::max(0.05, 1.0 - 3.0 * rel);
+  const double hi = 1.0 + 3.0 * rel;
+  return std::min(hi, std::max(lo, v));
+}
+
+Rng Rng::fork(u64 salt) { return Rng(mix_seed(next(), salt)); }
+
+namespace {
+double zeta(u64 n, double theta) {
+  double sum = 0.0;
+  for (u64 i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(u64 n, double theta) : n_(n == 0 ? 1 : n), theta_(theta) {
+  if (theta_ <= 1e-9) {
+    // Uniform special case; fields unused.
+    alpha_ = zetan_ = eta_ = zeta2_ = 0.0;
+    return;
+  }
+  // For large n computing zeta exactly is O(n); cap the exact sum and
+  // approximate the tail with the integral, which is accurate for n > 1e4.
+  constexpr u64 kExactCap = 10000;
+  if (n_ <= kExactCap) {
+    zetan_ = zeta(n_, theta_);
+  } else {
+    const double head = zeta(kExactCap, theta_);
+    const double a = static_cast<double>(kExactCap);
+    const double b = static_cast<double>(n_);
+    double tail;
+    if (std::abs(theta_ - 1.0) < 1e-9) {
+      tail = std::log(b / a);
+    } else {
+      tail = (std::pow(b, 1.0 - theta_) - std::pow(a, 1.0 - theta_)) / (1.0 - theta_);
+    }
+    zetan_ = head + tail;
+  }
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_ == 0.0 ? 1e-9 : 1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+u64 ZipfSampler::sample(Rng& rng) const {
+  if (theta_ <= 1e-9) return rng.next_below(n_);
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const u64 v = static_cast<u64>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace toss

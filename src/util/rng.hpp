@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (guest allocation jitter, DAMON
+// sampling noise, request input selection) draws from an explicitly seeded
+// Rng so that experiments are exactly reproducible. Seeds are derived
+// hierarchically with mix() so that (function, input, invocation) tuples get
+// independent streams.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+/// splitmix64 step; also used to derive child seeds from a parent seed.
+u64 splitmix64(u64& state);
+
+/// Mix two values into a well-distributed seed.
+u64 mix_seed(u64 a, u64 b);
+
+/// Mix a string (e.g. a function name) into a seed.
+u64 mix_seed(u64 a, std::string_view s);
+
+/// xoshiro256** generator. Small, fast, and good enough for simulation.
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  /// Uniform u64 over the full range.
+  u64 next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  u64 next_below(u64 bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Normal(0, 1) via Box-Muller (no cached spare; deterministic per call).
+  double normal();
+
+  /// Normal(mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Multiplicative log-normal-ish jitter centred on 1.0 with relative
+  /// spread `rel` (clamped to stay positive). Used to model run-to-run
+  /// variability in guest memory allocation and execution time.
+  double jitter(double rel);
+
+  /// Derive an independent child generator.
+  Rng fork(u64 salt);
+
+ private:
+  u64 s_[4];
+};
+
+/// Zipf(theta) sampler over [0, n). theta = 0 degenerates to uniform.
+/// Uses the rejection method of Jim Gray et al. (no O(n) setup).
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 n, double theta);
+
+  u64 sample(Rng& rng) const;
+
+  u64 n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  u64 n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace toss

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace toss {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto sep = [&] {
+    out << '+';
+    for (size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  sep();
+  line(headers_);
+  sep();
+  for (const auto& row : rows_) line(row);
+  sep();
+  return out.str();
+}
+
+void AsciiTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt_f(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_x(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, v);
+  return buf;
+}
+
+}  // namespace toss

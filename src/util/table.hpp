@@ -1,0 +1,37 @@
+// ASCII table renderer used by the bench harnesses to print the paper's
+// tables and figure series in a stable, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and +---+ separators.
+  std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_f(double v, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);  ///< 0.123 -> "12.3%"
+std::string fmt_x(double v, int precision = 2);           ///< 1.78 -> "1.78x"
+
+}  // namespace toss

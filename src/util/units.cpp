@@ -1,0 +1,39 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace toss {
+
+std::string format_bytes(u64 bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_nanos(Nanos t) {
+  char buf[64];
+  if (t >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f s", t / 1e9);
+  } else if (t >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", t / 1e6);
+  } else if (t >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f us", t / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", t);
+  }
+  return buf;
+}
+
+}  // namespace toss

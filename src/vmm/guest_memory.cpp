@@ -1,0 +1,7 @@
+#include "vmm/guest_memory.hpp"
+
+namespace toss {
+
+GuestMemory::GuestMemory(u64 bytes) : versions_(pages_for_bytes(bytes), 0) {}
+
+}  // namespace toss

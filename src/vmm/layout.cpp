@@ -1,0 +1,99 @@
+#include "vmm/layout.hpp"
+
+namespace toss {
+
+MemoryLayoutFile::MemoryLayoutFile(u64 guest_pages,
+                                   std::vector<LayoutEntry> entries)
+    : guest_pages_(guest_pages), entries_(std::move(entries)) {}
+
+bool MemoryLayoutFile::valid() const {
+  u64 next_guest = 0;
+  u64 next_file[2] = {0, 0};
+  for (const auto& e : entries_) {
+    if (e.page_count == 0) return false;
+    if (e.guest_page != next_guest) return false;
+    u64& file_cursor = next_file[static_cast<size_t>(e.tier)];
+    if (e.file_page != file_cursor) return false;
+    file_cursor += e.page_count;
+    next_guest = e.guest_page_end();
+  }
+  return next_guest == guest_pages_;
+}
+
+u64 MemoryLayoutFile::entries_in(Tier t) const {
+  u64 n = 0;
+  for (const auto& e : entries_)
+    if (e.tier == t) ++n;
+  return n;
+}
+
+u64 MemoryLayoutFile::pages_in(Tier t) const {
+  u64 n = 0;
+  for (const auto& e : entries_)
+    if (e.tier == t) n += e.page_count;
+  return n;
+}
+
+double MemoryLayoutFile::slow_fraction() const {
+  if (guest_pages_ == 0) return 0.0;
+  return static_cast<double>(pages_in(Tier::kSlow)) /
+         static_cast<double>(guest_pages_);
+}
+
+namespace {
+constexpr u64 kMagic = 0x544f53534c415931ULL;  // "TOSSLAY1"
+
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+bool get_u64(const std::vector<u8>& in, size_t& pos, u64& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in[pos + i]) << (8 * i);
+  pos += 8;
+  return true;
+}
+}  // namespace
+
+std::vector<u8> MemoryLayoutFile::serialize() const {
+  std::vector<u8> out;
+  out.reserve(24 + entries_.size() * 32);
+  put_u64(out, kMagic);
+  put_u64(out, guest_pages_);
+  put_u64(out, entries_.size());
+  for (const auto& e : entries_) {
+    put_u64(out, static_cast<u64>(e.tier));
+    put_u64(out, e.file_page);
+    put_u64(out, e.guest_page);
+    put_u64(out, e.page_count);
+  }
+  return out;
+}
+
+std::optional<MemoryLayoutFile> MemoryLayoutFile::deserialize(
+    const std::vector<u8>& bytes) {
+  size_t pos = 0;
+  u64 magic = 0, guest_pages = 0, count = 0;
+  if (!get_u64(bytes, pos, magic) || magic != kMagic) return std::nullopt;
+  if (!get_u64(bytes, pos, guest_pages)) return std::nullopt;
+  if (!get_u64(bytes, pos, count)) return std::nullopt;
+  std::vector<LayoutEntry> entries;
+  entries.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    u64 tier = 0;
+    LayoutEntry e;
+    if (!get_u64(bytes, pos, tier) || tier > 1) return std::nullopt;
+    e.tier = static_cast<Tier>(tier);
+    if (!get_u64(bytes, pos, e.file_page) ||
+        !get_u64(bytes, pos, e.guest_page) ||
+        !get_u64(bytes, pos, e.page_count))
+      return std::nullopt;
+    entries.push_back(e);
+  }
+  MemoryLayoutFile layout(guest_pages, std::move(entries));
+  if (!layout.valid()) return std::nullopt;
+  return layout;
+}
+
+}  // namespace toss

@@ -1,0 +1,60 @@
+// Memory layout file of a tiered snapshot (Section V-D).
+//
+// Each entry records, for one memory region: which tier it lives in, its
+// offset within that tier's snapshot file, its offset within guest memory,
+// and its size. At restore time the VMM creates one memory mapping per
+// entry, so the entry count directly drives setup time (Section V-F).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mem/tier.hpp"
+
+namespace toss {
+
+struct LayoutEntry {
+  Tier tier = Tier::kFast;
+  u64 file_page = 0;   ///< offset within the tier's snapshot file, in pages
+  u64 guest_page = 0;  ///< offset within guest memory, in pages
+  u64 page_count = 0;
+
+  u64 guest_page_end() const { return guest_page + page_count; }
+  u64 bytes() const { return bytes_for_pages(page_count); }
+  bool operator==(const LayoutEntry&) const = default;
+};
+
+class MemoryLayoutFile {
+ public:
+  MemoryLayoutFile() = default;
+  MemoryLayoutFile(u64 guest_pages, std::vector<LayoutEntry> entries);
+
+  u64 guest_pages() const { return guest_pages_; }
+  const std::vector<LayoutEntry>& entries() const { return entries_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  /// Entries must be sorted by guest offset, tile guest memory exactly, and
+  /// each tier's file offsets must be contiguous from zero in entry order.
+  bool valid() const;
+
+  /// Number of entries (mappings) per tier.
+  u64 entries_in(Tier t) const;
+
+  /// Pages per tier.
+  u64 pages_in(Tier t) const;
+
+  /// Fraction of guest bytes in the slow tier.
+  double slow_fraction() const;
+
+  std::vector<u8> serialize() const;
+  static std::optional<MemoryLayoutFile> deserialize(
+      const std::vector<u8>& bytes);
+
+  bool operator==(const MemoryLayoutFile&) const = default;
+
+ private:
+  u64 guest_pages_ = 0;
+  std::vector<LayoutEntry> entries_;
+};
+
+}  // namespace toss

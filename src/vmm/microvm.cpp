@@ -1,0 +1,186 @@
+#include "vmm/microvm.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+u64 RestorePlan::eager_pages() const {
+  u64 n = 0;
+  for (const auto& e : eager) n += e.page_count;
+  return n;
+}
+
+MicroVm::MicroVm(const SystemConfig& cfg, SnapshotStore& store)
+    : cfg_(&cfg), store_(&store), cost_model_(cfg) {}
+
+SetupResult MicroVm::boot(u64 guest_bytes, const VmState& state) {
+  memory_ = GuestMemory(guest_bytes);
+  vm_state_ = state;
+  const u64 n = memory_.num_pages();
+  placement_ = PagePlacement(n, Tier::kFast);
+  backing_.assign(n, PageBacking{});   // anonymous, zero-fill on demand
+  resident_.assign(n, false);
+  written_.assign(n, false);
+
+  SetupResult r;
+  r.vm_state_ns = cfg_->vmm.boot_ns;
+  r.mmap_ns = cfg_->vmm.mmap_region_ns;  // one anonymous mapping
+  r.mappings = 1;
+  r.setup_ns = r.vm_state_ns + r.mmap_ns;
+  return r;
+}
+
+SetupResult MicroVm::restore(const RestorePlan& plan) {
+  vm_state_ = plan.vm_state;
+  const u64 n = plan.guest_pages;
+  memory_ = GuestMemory(bytes_for_pages(n));
+  placement_ = PagePlacement(n, Tier::kFast);
+  backing_.assign(n, PageBacking{});
+  resident_.assign(n, false);
+  written_.assign(n, false);
+
+  SetupResult r;
+  r.vm_state_ns = cfg_->vmm.vm_state_load_ns;
+
+  for (const auto& m : plan.mappings) {
+    assert(m.guest_page + m.page_count <= n);
+    r.mmap_ns += cfg_->vmm.mmap_region_ns;
+    ++r.mappings;
+    for (u64 i = 0; i < m.page_count; ++i) {
+      const u64 g = m.guest_page + i;
+      placement_.set(g, m.tier);
+      backing_[g] = PageBacking{m.file_id, m.file_page + i, m.dax, true};
+    }
+  }
+
+  // Eager loads: sequential disk reads (through the page cache) plus PTE
+  // population, REAP-style. Contiguous file ranges stream at full disk
+  // bandwidth; the cache may already hold some pages.
+  HostPageCache& cache = store_->page_cache();
+  for (const auto& e : plan.eager) {
+    u64 uncached = 0;
+    for (u64 i = 0; i < e.page_count; ++i) {
+      if (!cache.contains(e.file_id, e.file_page + i)) ++uncached;
+      resident_[e.guest_page + i] = true;
+    }
+    cache.fill_range(e.file_id, e.file_page, e.page_count);
+    r.eager_load_ns += store_->seq_read_ns(bytes_for_pages(uncached));
+    r.eager_load_ns +=
+        static_cast<double>(e.page_count) * cfg_->vmm.pte_populate_ns;
+    r.eager_pages += e.page_count;
+  }
+
+  // Materialize contents for integrity checking: guest memory versions come
+  // from the backing snapshot files.
+  for (const auto& m : plan.mappings) {
+    if (!m.file_id) continue;
+    if (const SingleTierSnapshot* snap = store_->get_single_tier(m.file_id)) {
+      for (u64 i = 0; i < m.page_count; ++i)
+        memory_.set_version(m.guest_page + i,
+                            snap->page_version(m.file_page + i));
+      continue;
+    }
+    // Tiered snapshot files resolve by either the fast or the slow file id.
+    if (const TieredSnapshot* tiered = store_->get_tiered(m.file_id)) {
+      for (u64 i = 0; i < m.page_count; ++i) {
+        const u64 fp = m.file_page + i;
+        memory_.set_version(m.guest_page + i,
+                            m.tier == Tier::kFast
+                                ? tiered->fast_page_version(fp)
+                                : tiered->slow_page_version(fp));
+      }
+    }
+  }
+
+  r.setup_ns = r.vm_state_ns + r.mmap_ns + r.eager_load_ns;
+  return r;
+}
+
+Nanos MicroVm::fault_cost(u64 page, Pattern pattern) {
+  const PageBacking& b = backing_[page];
+  if (!b.file_backed || b.dax) {
+    // Anonymous zero-fill or DAX device mapping: minor fault only.
+    ++pending_.minor_faults;
+    return cfg_->vmm.minor_fault_ns;
+  }
+  HostPageCache& cache = store_->page_cache();
+  if (cache.contains(b.file_id, b.file_page)) {
+    ++pending_.minor_faults;
+    return cfg_->vmm.minor_fault_ns;
+  }
+  // Major fault: 4 KiB random read from disk. Sequential streams benefit
+  // from readahead (neighbors land in the cache); random access does not.
+  if (pattern == Pattern::kSequential) {
+    cache.fill(b.file_id, b.file_page);
+  } else {
+    cache.fill_one(b.file_id, b.file_page);
+  }
+  ++pending_.major_faults;
+  ++pending_.disk_pages;
+  pending_.disk_ns += cfg_->disk.random_read_latency_ns;
+  return cfg_->disk.random_read_latency_ns + cfg_->vmm.major_fault_sw_ns;
+}
+
+ExecutionResult MicroVm::execute(const BurstTrace& trace, Nanos cpu_ns,
+                                 Nanos profiling_overhead_ns) {
+  pending_ = ExecutionResult{};
+  ExecutionResult& r = pending_;
+  r.cpu_ns = cpu_ns;
+  r.profiling_overhead_ns = profiling_overhead_ns;
+
+  const u64 n = memory_.num_pages();
+  for (size_t bi = 0; bi < trace.bursts().size(); ++bi) {
+    const AccessBurst& b = trace.bursts()[bi];
+    assert(b.page_end() <= n);
+    (void)n;
+    const auto& counts = trace.counts_of(bi);
+
+    // First-touch faults, in access order within the burst.
+    for (u64 i = 0; i < b.page_count; ++i) {
+      if (counts[i] == 0) continue;
+      const u64 g = b.page_begin + i;
+      if (!resident_[g]) {
+        r.fault_ns += fault_cost(g, b.pattern);
+        resident_[g] = true;
+        ++r.touched_pages;
+      }
+      if (b.write_fraction > 0.0 && !written_[g]) {
+        // Copy-on-write: duplicate the page within its tier.
+        const TierSpec& spec = cfg_->tier(placement_.tier_of(g));
+        r.fault_ns += cfg_->vmm.minor_fault_ns +
+                      static_cast<double>(kPageSize) /
+                          spec.write_bw_bytes_per_ns;
+        written_[g] = true;
+        ++r.cow_faults;
+      }
+      if (placement_.tier_of(b.page_begin + i) == Tier::kSlow)
+        r.slow_accesses += counts[i];
+      r.total_accesses += counts[i];
+    }
+    const BurstCost bc = cost_model_.burst_cost(b, counts, placement_);
+    r.mem_fast_ns += bc.fast_ns;
+    r.mem_slow_ns += bc.slow_ns;
+    r.mem_ns += bc.total_ns();
+    r.fast_read_bytes += bc.fast_read_bytes;
+    r.fast_write_bytes += bc.fast_write_bytes;
+    r.slow_read_bytes += bc.slow_read_bytes;
+    r.slow_write_bytes += bc.slow_write_bytes;
+  }
+
+  r.exec_ns = r.cpu_ns + r.mem_ns + r.fault_ns + r.profiling_overhead_ns;
+  return r;
+}
+
+void MicroVm::apply_writes(const BurstTrace& trace) {
+  for (const auto& b : trace.bursts()) {
+    if (b.write_fraction <= 0.0) continue;
+    for (u64 p = b.page_begin; p < b.page_end(); ++p)
+      memory_.bump_version(p);
+  }
+}
+
+u64 MicroVm::take_snapshot() {
+  return store_->put_single_tier(memory_, vm_state_);
+}
+
+}  // namespace toss

@@ -1,0 +1,143 @@
+// MicroVm: the Firecracker-like virtual machine model.
+//
+// A restore policy (vanilla lazy, REAP prefetch, TOSS tiered) compiles to a
+// RestorePlan: memory mappings plus optional eager loads. The VM then
+// executes an invocation's BurstTrace, charging page faults on first touch
+// (minor when the backing page is cached/DAX, major when it must come from
+// disk), copy-on-write faults on first write, and tier-dependent memory
+// time for the accesses themselves.
+#pragma once
+
+#include <vector>
+
+#include "mem/access_cost.hpp"
+#include "trace/burst.hpp"
+#include "vmm/snapshot_store.hpp"
+
+namespace toss {
+
+/// One memory mapping established at restore (one mmap() call).
+struct RestoreMapping {
+  u64 guest_page = 0;
+  u64 page_count = 0;
+  Tier tier = Tier::kFast;
+  u64 file_id = 0;
+  u64 file_page = 0;
+  /// DAX mappings (slow-tier files) access the backing device directly:
+  /// first touch is a minor fault, never a disk read.
+  bool dax = false;
+};
+
+/// Pages loaded eagerly at restore (REAP's working-set prefetch): read from
+/// disk sequentially and their PTEs pre-populated, so execution takes no
+/// fault at all for them.
+struct EagerLoad {
+  u64 guest_page = 0;
+  u64 page_count = 0;
+  u64 file_id = 0;
+  u64 file_page = 0;
+};
+
+struct RestorePlan {
+  VmState vm_state;
+  u64 guest_pages = 0;
+  std::vector<RestoreMapping> mappings;
+  std::vector<EagerLoad> eager;
+
+  u64 mapping_count() const { return static_cast<u64>(mappings.size()); }
+  u64 eager_pages() const;
+};
+
+struct SetupResult {
+  Nanos setup_ns = 0;
+  Nanos vm_state_ns = 0;
+  Nanos mmap_ns = 0;
+  Nanos eager_load_ns = 0;
+  u64 mappings = 0;
+  u64 eager_pages = 0;
+};
+
+struct ExecutionResult {
+  Nanos exec_ns = 0;  ///< cpu + memory + faults + profiling overhead
+  Nanos cpu_ns = 0;
+  Nanos mem_ns = 0;        ///< mem_fast_ns + mem_slow_ns
+  Nanos mem_fast_ns = 0;
+  Nanos mem_slow_ns = 0;
+  Nanos fault_ns = 0;      ///< all fault handling, incl. disk_ns
+  Nanos disk_ns = 0;       ///< device portion of major faults
+  Nanos profiling_overhead_ns = 0;
+  u64 minor_faults = 0;
+  u64 major_faults = 0;
+  u64 cow_faults = 0;
+  u64 disk_pages = 0;       ///< pages demand-read from disk
+  u64 touched_pages = 0;
+  u64 slow_accesses = 0;    ///< LLC misses served by the slow tier
+  u64 total_accesses = 0;
+  /// Device bandwidth demand, for the concurrency contention model.
+  double fast_read_bytes = 0;
+  double fast_write_bytes = 0;
+  double slow_read_bytes = 0;
+  double slow_write_bytes = 0;
+};
+
+struct InvocationResult {
+  SetupResult setup;
+  ExecutionResult exec;
+  Nanos total_ns() const { return setup.setup_ns + exec.exec_ns; }
+};
+
+class MicroVm {
+ public:
+  MicroVm(const SystemConfig& cfg, SnapshotStore& store);
+
+  /// Cold boot with anonymous DRAM memory (initial execution, Step I).
+  SetupResult boot(u64 guest_bytes, const VmState& state);
+
+  /// Restore from a plan. Establishes mappings, performs eager loads.
+  SetupResult restore(const RestorePlan& plan);
+
+  /// Execute one invocation: `trace` is its memory activity, `cpu_ns` the
+  /// pure compute time. `profiling_overhead_ns` is added when DAMON rides
+  /// along. Mutates residency/page-cache state.
+  ExecutionResult execute(const BurstTrace& trace, Nanos cpu_ns,
+                          Nanos profiling_overhead_ns = 0);
+
+  /// Write-back of the workload's dirty pages into guest memory versions,
+  /// so a snapshot taken after execution reflects the run.
+  void apply_writes(const BurstTrace& trace);
+
+  /// Snapshot current guest memory (single tier); returns file id.
+  u64 take_snapshot();
+
+  const GuestMemory& memory() const { return memory_; }
+  GuestMemory& memory() { return memory_; }
+  const PagePlacement& placement() const { return placement_; }
+  const VmState& vm_state() const { return vm_state_; }
+  u64 guest_pages() const { return memory_.num_pages(); }
+
+ private:
+  struct PageBacking {
+    u64 file_id = 0;
+    u64 file_page = 0;
+    bool dax = false;
+    bool file_backed = false;
+  };
+
+  Nanos fault_cost(u64 page, Pattern pattern);
+
+  /// Fault counters for the execute() call in progress.
+  ExecutionResult pending_;
+
+  const SystemConfig* cfg_;
+  SnapshotStore* store_;
+  AccessCostModel cost_model_;
+
+  GuestMemory memory_{0};
+  VmState vm_state_;
+  PagePlacement placement_;
+  std::vector<PageBacking> backing_;
+  std::vector<bool> resident_;
+  std::vector<bool> written_;
+};
+
+}  // namespace toss

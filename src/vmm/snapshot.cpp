@@ -1,0 +1,17 @@
+#include "vmm/snapshot.hpp"
+
+namespace toss {
+
+SingleTierSnapshot::SingleTierSnapshot(u64 file_id, const GuestMemory& memory,
+                                       VmState state)
+    : file_id_(file_id),
+      page_versions_(memory.versions()),
+      vm_state_(state) {}
+
+GuestMemory SingleTierSnapshot::materialize() const {
+  GuestMemory mem(memory_bytes());
+  for (u64 p = 0; p < num_pages(); ++p) mem.set_version(p, page_versions_[p]);
+  return mem;
+}
+
+}  // namespace toss

@@ -1,0 +1,33 @@
+// Single-tier snapshot: one guest memory file plus the VMM state, as
+// produced by Firecracker's snapshotting feature. This is the artifact
+// TOSS's Step I captures and Step IV later partitions into tiers.
+#pragma once
+
+#include "vmm/guest_memory.hpp"
+#include "vmm/vm_state.hpp"
+
+namespace toss {
+
+class SingleTierSnapshot {
+ public:
+  SingleTierSnapshot() = default;
+  SingleTierSnapshot(u64 file_id, const GuestMemory& memory, VmState state);
+
+  u64 file_id() const { return file_id_; }
+  u64 num_pages() const { return static_cast<u64>(page_versions_.size()); }
+  u64 memory_bytes() const { return bytes_for_pages(num_pages()); }
+
+  u32 page_version(u64 page) const { return page_versions_[page]; }
+  const std::vector<u32>& page_versions() const { return page_versions_; }
+  const VmState& vm_state() const { return vm_state_; }
+
+  /// Reconstruct guest memory contents from the snapshot file.
+  GuestMemory materialize() const;
+
+ private:
+  u64 file_id_ = 0;
+  std::vector<u32> page_versions_;
+  VmState vm_state_;
+};
+
+}  // namespace toss

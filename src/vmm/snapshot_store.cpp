@@ -1,0 +1,38 @@
+#include "vmm/snapshot_store.hpp"
+
+namespace toss {
+
+SnapshotStore::SnapshotStore(const SystemConfig& cfg) : cfg_(&cfg) {}
+
+u64 SnapshotStore::allocate_file_id() { return next_file_id_++; }
+
+u64 SnapshotStore::put_single_tier(const GuestMemory& memory,
+                                   const VmState& state) {
+  const u64 id = allocate_file_id();
+  single_tier_.emplace(id, SingleTierSnapshot(id, memory, state));
+  return id;
+}
+
+const SingleTierSnapshot* SnapshotStore::get_single_tier(u64 file_id) const {
+  auto it = single_tier_.find(file_id);
+  return it == single_tier_.end() ? nullptr : &it->second;
+}
+
+void SnapshotStore::put_tiered(TieredSnapshot snapshot) {
+  const u64 fast_id = snapshot.fast_file_id();
+  tiered_alias_.emplace(snapshot.slow_file_id(), fast_id);
+  tiered_.emplace(fast_id, std::move(snapshot));
+}
+
+const TieredSnapshot* SnapshotStore::get_tiered(u64 file_id) const {
+  if (auto alias = tiered_alias_.find(file_id); alias != tiered_alias_.end())
+    file_id = alias->second;
+  auto it = tiered_.find(file_id);
+  return it == tiered_.end() ? nullptr : &it->second;
+}
+
+Nanos SnapshotStore::seq_read_ns(u64 bytes) const {
+  return static_cast<double>(bytes) / cfg_->disk.seq_read_bw_bytes_per_ns;
+}
+
+}  // namespace toss

@@ -1,0 +1,58 @@
+// Snapshot storage on the simulated disk.
+//
+// Owns file-id allocation and the snapshot blobs, and prices disk transfers
+// using the DiskSpec. The host page cache is shared host state and lives
+// here too, so experiments can drop it between invocations like the paper's
+// methodology does.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "mem/page_cache.hpp"
+#include "mem/tier.hpp"
+#include "vmm/snapshot.hpp"
+#include "vmm/tiered_snapshot.hpp"
+
+namespace toss {
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(const SystemConfig& cfg);
+
+  /// Allocate a fresh file id (snapshot files, WS files, layout files...).
+  u64 allocate_file_id();
+
+  /// Persist a single-tier snapshot of `memory`; returns its file id.
+  u64 put_single_tier(const GuestMemory& memory, const VmState& state);
+
+  const SingleTierSnapshot* get_single_tier(u64 file_id) const;
+
+  /// Persist a tiered snapshot (already built); retrievable by either of
+  /// its two file ids.
+  void put_tiered(TieredSnapshot snapshot);
+
+  const TieredSnapshot* get_tiered(u64 file_id) const;
+
+  HostPageCache& page_cache() { return page_cache_; }
+  const HostPageCache& page_cache() const { return page_cache_; }
+
+  /// Methodology step: drop all cached snapshot pages.
+  void drop_caches() { page_cache_.drop(); }
+
+  /// Sequential read of `bytes` from disk (or zero if fully cached — callers
+  /// check the cache themselves for partial hits).
+  Nanos seq_read_ns(u64 bytes) const;
+
+  const SystemConfig& config() const { return *cfg_; }
+
+ private:
+  const SystemConfig* cfg_;
+  u64 next_file_id_ = 1;
+  std::unordered_map<u64, SingleTierSnapshot> single_tier_;
+  std::unordered_map<u64, TieredSnapshot> tiered_;
+  std::unordered_map<u64, u64> tiered_alias_;  ///< slow id -> fast id
+  HostPageCache page_cache_;
+};
+
+}  // namespace toss

@@ -1,0 +1,151 @@
+#include "vmm/tiered_snapshot.hpp"
+
+#include <cassert>
+
+namespace toss {
+
+TieredSnapshot TieredSnapshot::build(const SingleTierSnapshot& snap,
+                                     const PagePlacement& placement,
+                                     u64 fast_file_id, u64 slow_file_id) {
+  assert(placement.num_pages() == snap.num_pages());
+  TieredSnapshot out;
+  out.vm_state_ = snap.vm_state();
+  out.fast_file_id_ = fast_file_id;
+  out.slow_file_id_ = slow_file_id;
+
+  std::vector<LayoutEntry> entries;
+  const u64 n = snap.num_pages();
+  u64 begin = 0;
+  u64 file_cursor[2] = {0, 0};
+  while (begin < n) {
+    const Tier t = placement.tier_of(begin);
+    u64 end = begin + 1;
+    while (end < n && placement.tier_of(end) == t) ++end;
+    LayoutEntry e;
+    e.tier = t;
+    e.guest_page = begin;
+    e.page_count = end - begin;
+    e.file_page = file_cursor[static_cast<size_t>(t)];
+    file_cursor[static_cast<size_t>(t)] += e.page_count;
+    entries.push_back(e);
+
+    // Serial copy of the region's contents into the tier file.
+    auto& file = t == Tier::kFast ? out.fast_versions_ : out.slow_versions_;
+    for (u64 p = begin; p < end; ++p) file.push_back(snap.page_version(p));
+    begin = end;
+  }
+  out.layout_ = MemoryLayoutFile(n, std::move(entries));
+  assert(out.layout_.valid());
+  return out;
+}
+
+TieredSnapshot::Location TieredSnapshot::locate(u64 guest_page) const {
+  for (const auto& e : layout_.entries()) {
+    if (guest_page >= e.guest_page && guest_page < e.guest_page_end())
+      return Location{e.tier, e.file_page + (guest_page - e.guest_page)};
+  }
+  assert(false && "guest page outside layout");
+  return Location{Tier::kFast, 0};
+}
+
+namespace {
+constexpr u64 kMagic = 0x544f535354495231ULL;  // "TOSSTIR1"
+
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+bool get_u64(const std::vector<u8>& in, size_t& pos, u64& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in[pos + i]) << (8 * i);
+  pos += 8;
+  return true;
+}
+
+void put_blob(std::vector<u8>& out, const std::vector<u8>& blob) {
+  put_u64(out, blob.size());
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+bool get_blob(const std::vector<u8>& in, size_t& pos, std::vector<u8>& blob) {
+  u64 size = 0;
+  if (!get_u64(in, pos, size) || pos + size > in.size()) return false;
+  blob.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+              in.begin() + static_cast<std::ptrdiff_t>(pos + size));
+  pos += size;
+  return true;
+}
+
+void put_versions(std::vector<u8>& out, const std::vector<u32>& vs) {
+  put_u64(out, vs.size());
+  for (u32 v : vs)
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+bool get_versions(const std::vector<u8>& in, size_t& pos,
+                  std::vector<u32>& vs) {
+  u64 count = 0;
+  if (!get_u64(in, pos, count) || pos + count * 4 > in.size()) return false;
+  vs.resize(count);
+  for (u64 i = 0; i < count; ++i) {
+    u32 v = 0;
+    for (int b = 0; b < 4; ++b)
+      v |= static_cast<u32>(in[pos + i * 4 + static_cast<u64>(b)]) << (8 * b);
+    vs[i] = v;
+  }
+  pos += count * 4;
+  return true;
+}
+}  // namespace
+
+std::vector<u8> TieredSnapshot::serialize() const {
+  std::vector<u8> out;
+  put_u64(out, kMagic);
+  put_u64(out, fast_file_id_);
+  put_u64(out, slow_file_id_);
+  put_blob(out, vm_state_.serialize());
+  put_blob(out, layout_.serialize());
+  put_versions(out, fast_versions_);
+  put_versions(out, slow_versions_);
+  return out;
+}
+
+std::optional<TieredSnapshot> TieredSnapshot::deserialize(
+    const std::vector<u8>& bytes) {
+  size_t pos = 0;
+  u64 magic = 0;
+  TieredSnapshot snap;
+  if (!get_u64(bytes, pos, magic) || magic != kMagic) return std::nullopt;
+  if (!get_u64(bytes, pos, snap.fast_file_id_)) return std::nullopt;
+  if (!get_u64(bytes, pos, snap.slow_file_id_)) return std::nullopt;
+  std::vector<u8> blob;
+  if (!get_blob(bytes, pos, blob)) return std::nullopt;
+  const auto state = VmState::deserialize(blob);
+  if (!state) return std::nullopt;
+  snap.vm_state_ = *state;
+  if (!get_blob(bytes, pos, blob)) return std::nullopt;
+  const auto layout = MemoryLayoutFile::deserialize(blob);
+  if (!layout) return std::nullopt;
+  snap.layout_ = *layout;
+  if (!get_versions(bytes, pos, snap.fast_versions_)) return std::nullopt;
+  if (!get_versions(bytes, pos, snap.slow_versions_)) return std::nullopt;
+  // Cross-checks: the tier files must match the layout's page counts.
+  if (snap.fast_versions_.size() != snap.layout_.pages_in(Tier::kFast) ||
+      snap.slow_versions_.size() != snap.layout_.pages_in(Tier::kSlow))
+    return std::nullopt;
+  return snap;
+}
+
+GuestMemory TieredSnapshot::materialize() const {
+  GuestMemory mem(bytes_for_pages(guest_pages()));
+  for (const auto& e : layout_.entries()) {
+    const auto& file =
+        e.tier == Tier::kFast ? fast_versions_ : slow_versions_;
+    for (u64 i = 0; i < e.page_count; ++i)
+      mem.set_version(e.guest_page + i, file[e.file_page + i]);
+  }
+  return mem;
+}
+
+}  // namespace toss

@@ -1,0 +1,44 @@
+#include "vmm/vm_state.hpp"
+
+namespace toss {
+
+namespace {
+constexpr u64 kMagic = 0x544f535356535431ULL;  // "TOSSVST1"
+
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+bool get_u64(const std::vector<u8>& in, size_t& pos, u64& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in[pos + i]) << (8 * i);
+  pos += 8;
+  return true;
+}
+}  // namespace
+
+std::vector<u8> VmState::serialize() const {
+  std::vector<u8> out;
+  put_u64(out, kMagic);
+  put_u64(out, vcpu_count);
+  put_u64(out, vcpu_state_bytes);
+  put_u64(out, device_state_bytes);
+  put_u64(out, config_hash);
+  return out;
+}
+
+std::optional<VmState> VmState::deserialize(const std::vector<u8>& bytes) {
+  size_t pos = 0;
+  u64 magic = 0, vcpus = 0;
+  VmState s;
+  if (!get_u64(bytes, pos, magic) || magic != kMagic) return std::nullopt;
+  if (!get_u64(bytes, pos, vcpus)) return std::nullopt;
+  s.vcpu_count = static_cast<u32>(vcpus);
+  if (!get_u64(bytes, pos, s.vcpu_state_bytes)) return std::nullopt;
+  if (!get_u64(bytes, pos, s.device_state_bytes)) return std::nullopt;
+  if (!get_u64(bytes, pos, s.config_hash)) return std::nullopt;
+  return s;
+}
+
+}  // namespace toss

@@ -1,0 +1,27 @@
+#include "workloads/function_model.hpp"
+
+#include <cassert>
+
+#include "workloads/trace_gen.hpp"
+
+namespace toss {
+
+FunctionModel::FunctionModel(FunctionSpec spec) : spec_(std::move(spec)) {}
+
+Invocation FunctionModel::invoke(int input, u64 invocation_seed) const {
+  assert(input >= 0 && input < kNumInputs);
+  Invocation inv;
+  inv.input = input;
+  inv.seed = invocation_seed;
+
+  Rng rng(mix_seed(mix_seed(invocation_seed, spec_.name),
+                   static_cast<u64>(input)));
+  for (const PhaseSpec& phase : spec_.phases)
+    append_phase_bursts(spec_, phase, input, rng, inv.trace);
+
+  inv.cpu_ns = ms(spec_.cpu_ms[static_cast<size_t>(input)]) *
+               rng.jitter(spec_.time_jitter);
+  return inv;
+}
+
+}  // namespace toss

@@ -1,0 +1,77 @@
+// Serverless function models (Table I).
+//
+// Each function is described declaratively: guest memory size, four inputs,
+// per-input compute time, and a list of memory *phases*. A phase is a guest
+// memory region (interpreter/runtime, input buffers, working arrays, ...)
+// with per-input size and access intensity, an access pattern, a write mix
+// and an intra-region hotness skew. Invocations add deterministic, seeded
+// jitter to sizes, offsets, intensities and compute time — reproducing the
+// paper's observation that even same-input invocations differ because of
+// non-deterministic guest memory allocation (Observation #3).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/burst.hpp"
+#include "util/rng.hpp"
+
+namespace toss {
+
+/// Input indices are 0-based internally; the paper's "Input I..IV" are 0..3.
+inline constexpr int kNumInputs = 4;
+
+struct PhaseSpec {
+  std::string name;
+  double offset_mib = 0;  ///< region base offset within guest memory
+  std::array<double, kNumInputs> size_mib{};  ///< region size per input
+  Pattern pattern = Pattern::kRandom;
+  double write_fraction = 0.0;
+  double zipf_theta = 0.0;  ///< hot-prefix skew within the region
+  std::array<double, kNumInputs> accesses_per_page{};  ///< mean intensity
+  int repeats = 1;  ///< split into this many bursts (loop iterations)
+};
+
+struct FunctionSpec {
+  std::string name;
+  std::string description;
+  u64 memory_mb = 128;  ///< guest VM memory (multiple of 128 MB, Table I)
+  std::array<std::string, kNumInputs> input_labels{};
+  std::array<double, kNumInputs> cpu_ms{};  ///< pure compute time per input
+  double alloc_jitter = 0.04;  ///< relative size/offset variability
+  double time_jitter = 0.03;   ///< relative compute-time variability
+  std::vector<PhaseSpec> phases;
+
+  u64 guest_bytes() const { return memory_mb * kMiB; }
+  u64 guest_pages() const { return pages_for_bytes(guest_bytes()); }
+};
+
+/// An instantiated invocation: the function's memory trace and compute time
+/// for one (input, seed) pair.
+struct Invocation {
+  int input = 0;
+  u64 seed = 0;
+  BurstTrace trace;
+  Nanos cpu_ns = 0;
+};
+
+class FunctionModel {
+ public:
+  explicit FunctionModel(FunctionSpec spec);
+
+  const FunctionSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  u64 guest_pages() const { return spec_.guest_pages(); }
+  u64 guest_bytes() const { return spec_.guest_bytes(); }
+
+  /// Deterministically build the memory trace + compute time of one
+  /// invocation. `input` in [0, kNumInputs); `invocation_seed`
+  /// distinguishes repeated invocations of the same input.
+  Invocation invoke(int input, u64 invocation_seed) const;
+
+ private:
+  FunctionSpec spec_;
+};
+
+}  // namespace toss

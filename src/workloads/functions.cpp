@@ -1,0 +1,340 @@
+#include "workloads/functions.hpp"
+
+namespace toss {
+namespace workloads {
+
+namespace {
+
+/// Guest kernel + page cache pages: present in every VM, lightly accessed.
+PhaseSpec kernel_phase() {
+  PhaseSpec p;
+  p.name = "kernel";
+  p.offset_mib = 0;
+  p.size_mib = {24, 24, 24, 24};
+  p.pattern = Pattern::kRandom;
+  p.write_fraction = 0.05;
+  p.zipf_theta = 0.6;
+  p.accesses_per_page = {0.5, 1, 1.5, 2};
+  return p;
+}
+
+/// Language runtime (Python interpreter + imported libraries): a hot prefix
+/// (dispatch loop, core objects) with a long warm tail.
+PhaseSpec runtime_phase(double size_mib, std::array<double, 4> app,
+                        double theta = 1.1) {
+  PhaseSpec p;
+  p.name = "runtime";
+  p.offset_mib = 28;
+  p.size_mib = {size_mib, size_mib, size_mib, size_mib};
+  p.pattern = Pattern::kRandom;
+  p.write_fraction = 0.08;
+  p.zipf_theta = theta;
+  p.accesses_per_page = app;
+  return p;
+}
+
+}  // namespace
+
+FunctionSpec float_operation() {
+  FunctionSpec f;
+  f.name = "float_operation";
+  f.description = "Floating point ops for N numbers";
+  f.memory_mb = 128;
+  f.input_labels = {"N=10", "N=100", "N=1000", "N=10000"};
+  f.cpu_ms = {1.2, 3.0, 12.0, 70.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(36, {0.3, 0.7, 2.2, 9}, 1.3));
+  PhaseSpec data;
+  data.name = "numbers";
+  data.offset_mib = 68;
+  data.size_mib = {0.25, 0.5, 1, 4};
+  data.pattern = Pattern::kSequential;
+  data.write_fraction = 0.4;
+  data.accesses_per_page = {30, 30, 30, 30};
+  f.phases.push_back(data);
+  return f;
+}
+
+FunctionSpec pyaes() {
+  FunctionSpec f;
+  f.name = "pyaes";
+  f.description = "AES text encryption";
+  f.memory_mb = 128;
+  f.input_labels = {"64 chars", "256 chars", "1024 chars", "4096 chars"};
+  f.cpu_ms = {2.5, 9.0, 35.0, 140.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(40, {0.35, 1.1, 4, 13}, 1.2));
+  PhaseSpec text;
+  text.name = "text";
+  text.offset_mib = 72;
+  text.size_mib = {0.5, 0.5, 1, 2};
+  text.pattern = Pattern::kSequential;
+  text.write_fraction = 0.5;
+  text.accesses_per_page = {40, 40, 40, 40};
+  f.phases.push_back(text);
+  return f;
+}
+
+FunctionSpec json_load_dump() {
+  FunctionSpec f;
+  f.name = "json_load_dump";
+  f.description = "Read-modify-write JSON files";
+  f.memory_mb = 128;
+  f.input_labels = {"1 file", "10 files", "20 files", "40 files"};
+  f.cpu_ms = {6.0, 20.0, 45.0, 95.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(36, {0.6, 1.7, 3.5, 7}));
+  PhaseSpec files;
+  files.name = "json_files";
+  files.offset_mib = 66;
+  files.size_mib = {1.5, 15, 30, 55};
+  files.pattern = Pattern::kSequential;
+  files.write_fraction = 0.35;
+  files.accesses_per_page = {70, 70, 70, 70};
+  files.repeats = 2;  // load pass + dump pass
+  f.phases.push_back(files);
+  return f;
+}
+
+FunctionSpec compress() {
+  FunctionSpec f;
+  f.name = "compress";
+  f.description = "File compression";
+  f.memory_mb = 256;
+  f.input_labels = {"10 MB", "20 MB", "41 MB", "82 MB"};
+  f.cpu_ms = {45.0, 90.0, 190.0, 380.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(36, {0.5, 1, 2, 4}));
+  PhaseSpec in;
+  in.name = "input_buf";
+  in.offset_mib = 70;
+  in.size_mib = {10, 20, 41, 82};
+  in.pattern = Pattern::kSequential;
+  in.write_fraction = 0.0;
+  in.accesses_per_page = {130, 130, 130, 130};
+  in.repeats = 2;
+  f.phases.push_back(in);
+  PhaseSpec out;
+  out.name = "output_buf";
+  out.offset_mib = 160;
+  out.size_mib = {10, 20, 41, 82};
+  out.pattern = Pattern::kSequential;
+  out.write_fraction = 0.9;
+  out.accesses_per_page = {40, 40, 40, 40};
+  f.phases.push_back(out);
+  return f;
+}
+
+FunctionSpec linpack() {
+  FunctionSpec f;
+  f.name = "linpack";
+  f.description = "Solves Ax=b for matrix A";
+  f.memory_mb = 256;
+  f.input_labels = {"n=100", "n=500", "n=1000", "n=2000"};
+  f.cpu_ms = {4.0, 40.0, 150.0, 600.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(36, {0.15, 0.6, 1.8, 6}));
+  PhaseSpec matrix;
+  matrix.name = "matrix_stream";
+  matrix.offset_mib = 70;
+  matrix.size_mib = {0.08, 2, 8, 32};
+  matrix.pattern = Pattern::kSequential;
+  matrix.write_fraction = 0.3;
+  matrix.accesses_per_page = {300, 300, 300, 300};
+  matrix.repeats = 4;
+  f.phases.push_back(matrix);
+  PhaseSpec panel;
+  panel.name = "lu_panel";
+  panel.offset_mib = 70;  // the panel is the hot prefix of the matrix
+  panel.size_mib = {0.02, 0.5, 2, 8};
+  panel.pattern = Pattern::kRandom;
+  panel.write_fraction = 0.3;
+  panel.zipf_theta = 0.5;
+  panel.accesses_per_page = {800, 800, 800, 800};
+  f.phases.push_back(panel);
+  return f;
+}
+
+FunctionSpec matmul() {
+  FunctionSpec f;
+  f.name = "matmul";
+  f.description = "Product of two 2D matrices";
+  f.memory_mb = 256;
+  f.input_labels = {"n=100", "n=500", "n=1000", "n=2000"};
+  f.cpu_ms = {3.0, 35.0, 140.0, 560.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(36, {0.12, 0.5, 1.6, 6}));
+  PhaseSpec mats;
+  mats.name = "input_matrices";
+  mats.offset_mib = 70;
+  mats.size_mib = {0.2, 6, 24, 96};
+  mats.pattern = Pattern::kSequential;
+  mats.write_fraction = 0.05;
+  mats.accesses_per_page = {250, 250, 250, 250};
+  mats.repeats = 4;
+  f.phases.push_back(mats);
+  PhaseSpec accum;
+  accum.name = "accumulator";
+  accum.offset_mib = 170;
+  accum.size_mib = {0.1, 1.5, 6, 24};
+  accum.pattern = Pattern::kRandom;
+  accum.write_fraction = 0.4;
+  accum.zipf_theta = 0.4;
+  accum.accesses_per_page = {500, 750, 900, 1000};
+  f.phases.push_back(accum);
+  return f;
+}
+
+FunctionSpec image_processing() {
+  FunctionSpec f;
+  f.name = "image_processing";
+  f.description = "Flips the input image";
+  f.memory_mb = 256;
+  f.input_labels = {"43 kB", "315 kB", "1.8 MB", "4.1 MB"};
+  f.cpu_ms = {3.5, 12.0, 45.0, 130.0};
+  f.time_jitter = 0.18;  // the paper calls out its high latency variability
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(40, {0.25, 0.8, 2.5, 6}, 0.9));
+  PhaseSpec bufs;
+  bufs.name = "pixel_buffers";
+  bufs.offset_mib = 72;
+  bufs.size_mib = {2, 12, 45, 110};
+  bufs.pattern = Pattern::kRandom;
+  bufs.write_fraction = 0.5;
+  bufs.zipf_theta = 0.0;  // flip touches every pixel equally: uniform bins
+  bufs.accesses_per_page = {14, 16, 18, 19};
+  f.phases.push_back(bufs);
+  return f;
+}
+
+FunctionSpec pagerank() {
+  FunctionSpec f;
+  f.name = "pagerank";
+  f.description = "Pagerank on a graph";
+  f.memory_mb = 1024;
+  f.input_labels = {"90k vertices", "180k vertices", "360k vertices",
+                    "720k vertices"};
+  f.cpu_ms = {60.0, 150.0, 400.0, 1100.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(36, {0.4, 1, 2.4, 6}));
+  // The graph is bimodal: the hot vertex/index half is touched on every
+  // power iteration; the colder edge-payload half streams with the graph
+  // structure. This is what caps how much of pagerank TOSS can offload
+  // (Table II: 49.1%) — moving the hot half would explode the slowdown.
+  PhaseSpec hot;
+  hot.name = "graph_hot";
+  hot.offset_mib = 70;
+  hot.size_mib = {52, 105, 215, 450};
+  hot.pattern = Pattern::kRandom;
+  hot.write_fraction = 0.1;
+  hot.zipf_theta = 0.1;
+  hot.accesses_per_page = {35, 70, 130, 220};
+  hot.repeats = 3;  // power iterations
+  f.phases.push_back(hot);
+  PhaseSpec warm;
+  warm.name = "graph_warm";
+  warm.offset_mib = 530;
+  warm.size_mib = {55, 110, 225, 460};
+  warm.pattern = Pattern::kRandom;
+  warm.write_fraction = 0.1;
+  warm.zipf_theta = 0.1;
+  warm.accesses_per_page = {7, 14, 25, 36};
+  warm.repeats = 3;
+  f.phases.push_back(warm);
+  PhaseSpec ranks;
+  ranks.name = "rank_vectors";
+  ranks.offset_mib = 995;
+  ranks.size_mib = {3, 6, 12, 24};
+  ranks.pattern = Pattern::kSequential;
+  ranks.write_fraction = 0.5;
+  ranks.accesses_per_page = {200, 200, 200, 200};
+  ranks.repeats = 3;
+  f.phases.push_back(ranks);
+  return f;
+}
+
+FunctionSpec lr_serving() {
+  FunctionSpec f;
+  f.name = "lr_serving";
+  f.description = "Logistic regression inferencing";
+  f.memory_mb = 1024;
+  f.input_labels = {"51kB/10MB", "83kB/20MB", "128kB/41MB", "192kB/82MB"};
+  f.cpu_ms = {12.0, 40.0, 110.0, 280.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(40, {0.35, 1.2, 3.2, 8}));
+  PhaseSpec model;
+  model.name = "model";
+  model.offset_mib = 72;
+  model.size_mib = {8, 16, 24, 36};
+  model.pattern = Pattern::kRandom;
+  model.write_fraction = 0.05;
+  model.zipf_theta = 0.8;
+  model.accesses_per_page = {15, 35, 60, 90};
+  f.phases.push_back(model);
+  PhaseSpec dataset;
+  dataset.name = "dataset";
+  dataset.offset_mib = 120;
+  dataset.size_mib = {60, 150, 300, 560};
+  dataset.pattern = Pattern::kSequential;
+  dataset.write_fraction = 0.0;
+  dataset.accesses_per_page = {25, 25, 25, 25};
+  f.phases.push_back(dataset);
+  PhaseSpec features;
+  features.name = "feature_workspace";
+  features.offset_mib = 700;
+  features.size_mib = {10, 20, 35, 60};
+  features.pattern = Pattern::kRandom;
+  features.write_fraction = 0.4;
+  features.zipf_theta = 0.3;
+  features.accesses_per_page = {4, 6, 8, 10};
+  f.phases.push_back(features);
+  return f;
+}
+
+FunctionSpec lr_training() {
+  FunctionSpec f;
+  f.name = "lr_training";
+  f.description = "Logistic regression training";
+  f.memory_mb = 1024;
+  f.input_labels = {"51kB/10MB", "83kB/20MB", "128kB/41MB", "192kB/82MB"};
+  f.cpu_ms = {90.0, 260.0, 700.0, 1900.0};
+  f.phases.push_back(kernel_phase());
+  f.phases.push_back(runtime_phase(40, {0.3, 0.9, 2.3, 6}));
+  PhaseSpec dataset;
+  dataset.name = "dataset_epochs";
+  dataset.offset_mib = 60;
+  dataset.size_mib = {60, 150, 300, 560};
+  dataset.pattern = Pattern::kSequential;
+  dataset.write_fraction = 0.0;
+  dataset.accesses_per_page = {160, 160, 160, 160};
+  dataset.repeats = 8;  // SGD epochs
+  f.phases.push_back(dataset);
+  PhaseSpec weights;
+  weights.name = "weights";
+  weights.offset_mib = 700;
+  weights.size_mib = {2, 2.5, 3, 4};
+  weights.pattern = Pattern::kRandom;
+  weights.write_fraction = 0.5;
+  weights.zipf_theta = 0.5;
+  weights.accesses_per_page = {150, 150, 150, 150};
+  f.phases.push_back(weights);
+  PhaseSpec grads;
+  grads.name = "gradient_workspace";
+  grads.offset_mib = 720;
+  grads.size_mib = {20, 50, 100, 180};
+  grads.pattern = Pattern::kSequential;
+  grads.write_fraction = 0.6;
+  grads.accesses_per_page = {60, 60, 60, 60};
+  f.phases.push_back(grads);
+  return f;
+}
+
+std::vector<FunctionSpec> all_functions() {
+  return {float_operation(), pyaes(),       json_load_dump(),
+          compress(),        linpack(),     matmul(),
+          image_processing(), pagerank(),   lr_serving(),
+          lr_training()};
+}
+
+}  // namespace workloads
+}  // namespace toss

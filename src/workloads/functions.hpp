@@ -1,0 +1,29 @@
+// The ten FunctionBench/SeBS-style functions of Table I, calibrated so the
+// simulated memory behaviour (footprint vs input, hot-set skew, memory
+// intensity) reproduces the paper's evaluation shapes (Figs 2, 5, 6;
+// Table II). See DESIGN.md "Calibration targets".
+#pragma once
+
+#include <vector>
+
+#include "workloads/function_model.hpp"
+
+namespace toss {
+namespace workloads {
+
+FunctionSpec float_operation();
+FunctionSpec pyaes();
+FunctionSpec json_load_dump();
+FunctionSpec compress();
+FunctionSpec linpack();
+FunctionSpec matmul();
+FunctionSpec image_processing();
+FunctionSpec pagerank();
+FunctionSpec lr_serving();
+FunctionSpec lr_training();
+
+/// All ten, in Table I order.
+std::vector<FunctionSpec> all_functions();
+
+}  // namespace workloads
+}  // namespace toss

@@ -1,0 +1,23 @@
+#include "workloads/registry.hpp"
+
+#include "workloads/functions.hpp"
+
+namespace toss {
+
+FunctionRegistry FunctionRegistry::table1() {
+  FunctionRegistry reg;
+  for (auto& spec : workloads::all_functions()) reg.add(std::move(spec));
+  return reg;
+}
+
+void FunctionRegistry::add(FunctionSpec spec) {
+  models_.emplace_back(std::move(spec));
+}
+
+const FunctionModel* FunctionRegistry::find(std::string_view name) const {
+  for (const auto& m : models_)
+    if (m.name() == name) return &m;
+  return nullptr;
+}
+
+}  // namespace toss

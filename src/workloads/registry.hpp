@@ -1,0 +1,29 @@
+// FunctionRegistry: lookup of the Table-I function models by name.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+class FunctionRegistry {
+ public:
+  /// Registry preloaded with the ten Table-I functions.
+  static FunctionRegistry table1();
+
+  FunctionRegistry() = default;
+
+  void add(FunctionSpec spec);
+
+  const FunctionModel* find(std::string_view name) const;
+  const std::vector<FunctionModel>& models() const { return models_; }
+  size_t size() const { return models_.size(); }
+
+ private:
+  std::vector<FunctionModel> models_;
+};
+
+}  // namespace toss

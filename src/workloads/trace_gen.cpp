@@ -1,0 +1,55 @@
+#include "workloads/trace_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace toss {
+
+void append_phase_bursts(const FunctionSpec& spec, const PhaseSpec& phase,
+                         int input, Rng& rng, BurstTrace& trace) {
+  assert(input >= 0 && input < kNumInputs);
+  const double size_mib = phase.size_mib[static_cast<size_t>(input)];
+  const double intensity = phase.accesses_per_page[static_cast<size_t>(input)];
+  if (size_mib <= 0.0 || intensity <= 0.0) return;
+
+  const u64 guest_pages = spec.guest_pages();
+
+  // Region size: jittered, at least one page.
+  const double jittered_mib = size_mib * rng.jitter(spec.alloc_jitter);
+  u64 pages = std::max<u64>(
+      1, pages_for_bytes(static_cast<u64>(jittered_mib * kMiB)));
+  pages = std::min(pages, guest_pages);
+
+  // Region base: nominal offset shifted by allocation jitter (the guest
+  // allocator does not hand back identical addresses run to run).
+  const u64 nominal = pages_for_bytes(
+      static_cast<u64>(phase.offset_mib * static_cast<double>(kMiB)));
+  const double shift_span =
+      spec.alloc_jitter * static_cast<double>(pages);
+  const i64 shift = static_cast<i64>(
+      std::llround(rng.uniform(-shift_span, shift_span)));
+  i64 begin = static_cast<i64>(nominal) + shift;
+  begin = std::clamp<i64>(begin, 0,
+                          static_cast<i64>(guest_pages - pages));
+
+  // Total accesses for the phase, split across `repeats` bursts.
+  const double total = intensity * static_cast<double>(pages) *
+                       rng.jitter(0.05);
+  const int repeats = std::max(1, phase.repeats);
+  const u64 per_burst = std::max<u64>(
+      1, static_cast<u64>(total / static_cast<double>(repeats)));
+
+  for (int r = 0; r < repeats; ++r) {
+    AccessBurst b;
+    b.page_begin = static_cast<u64>(begin);
+    b.page_count = pages;
+    b.accesses = per_burst;
+    b.pattern = phase.pattern;
+    b.write_fraction = phase.write_fraction;
+    b.zipf_theta = phase.zipf_theta;
+    trace.push_back(b);
+  }
+}
+
+}  // namespace toss

@@ -1,0 +1,13 @@
+// Phase-to-burst trace generation shared by all function models.
+#pragma once
+
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+/// Expand one phase of `spec` for `input` into bursts appended to `trace`.
+/// `rng` supplies the allocation jitter.
+void append_phase_bursts(const FunctionSpec& spec, const PhaseSpec& phase,
+                         int input, Rng& rng, BurstTrace& trace);
+
+}  // namespace toss

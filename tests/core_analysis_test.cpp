@@ -1,0 +1,194 @@
+// Tests for the profiling-analysis stage: bin profiling and the
+// minimum-cost placement optimizer.
+#include <gtest/gtest.h>
+
+#include "core/merge.hpp"
+#include "core/optimizer.hpp"
+#include "damon/monitor.hpp"
+#include "workloads/registry.hpp"
+
+namespace toss {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg = SystemConfig::paper_default();
+  FunctionRegistry reg = FunctionRegistry::table1();
+
+  PageAccessCounts unified_for(const FunctionModel& m) {
+    const double scale = DamonConfig{}.count_scale;
+    PageAccessCounts unified(m.guest_pages());
+    for (int input = 0; input < kNumInputs; ++input) {
+      for (u64 rep = 0; rep < 2; ++rep) {
+        const Invocation inv = m.invoke(input, 800 + rep);
+        unified.merge_max(
+            PageAccessCounts::from_trace(inv.trace, m.guest_pages()));
+      }
+    }
+    for (u64 p = 0; p < unified.num_pages(); ++p)
+      unified.set(p, static_cast<u64>(
+                         static_cast<double>(unified.at(p)) * scale));
+    return unified;
+  }
+};
+
+TEST_F(AnalysisTest, BinProfileStepsConsistent) {
+  const FunctionModel& m = *reg.find("matmul");
+  const PageAccessCounts unified = unified_for(m);
+  const RegionList merged = regionize_and_merge(unified);
+  const auto bins = pack_equal_access(nonzero_access_regions(merged), 10);
+  BinProfiler profiler(cfg);
+  const Invocation rep = m.invoke(3, 802);
+  const BinProfile profile = profiler.profile(
+      bins, zero_access_regions(merged), m.guest_pages(), rep);
+
+  ASSERT_EQ(profile.steps.size(), 10u);
+  EXPECT_GT(profile.base_exec_ns, 0);
+  EXPECT_GE(profile.full_slow_exec_ns, profile.base_exec_ns);
+
+  double cum = 0;
+  double prev_slow_frac = profile.base_placement.slow_fraction();
+  for (const BinStep& s : profile.steps) {
+    cum += s.marginal_slowdown;
+    EXPECT_NEAR(s.cumulative_slowdown, cum, 1e-6);
+    EXPECT_GE(s.slow_fraction, prev_slow_frac);
+    prev_slow_frac = s.slow_fraction;
+    EXPECT_GE(s.marginal_slowdown, 0.0);
+    EXPECT_GT(s.bin_cost, 0.0);
+  }
+  // After all bins, everything is in the slow tier.
+  EXPECT_NEAR(profile.steps.back().slow_fraction, 1.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, BasePlacementPutsZeroRegionsSlow) {
+  const FunctionModel& m = *reg.find("pyaes");
+  const PageAccessCounts unified = unified_for(m);
+  const RegionList merged = regionize_and_merge(unified);
+  BinProfiler profiler(cfg);
+  const BinProfile profile =
+      profiler.profile(pack_equal_access(nonzero_access_regions(merged), 10),
+                       zero_access_regions(merged), m.guest_pages(),
+                       m.invoke(3, 802));
+  for (const Region& r : zero_access_regions(merged)) {
+    EXPECT_EQ(profile.base_placement.count_in_range(r.page_begin,
+                                                    r.page_count, Tier::kSlow),
+              r.page_count);
+  }
+}
+
+TEST_F(AnalysisTest, ChosenPrefixIsCostMinimal) {
+  const FunctionModel& m = *reg.find("pagerank");
+  const TieringDecision d =
+      analyze_pattern(cfg, unified_for(m), m.invoke(3, 802), {});
+  // The decision's cost must not exceed any sweep configuration's cost
+  // (small tolerance: the final config is re-measured).
+  for (const BinStep& s : d.profile.steps)
+    EXPECT_LE(d.normalized_cost, s.cumulative_cost + 0.02);
+  EXPECT_LE(d.normalized_cost, 1.0);
+  EXPECT_GE(d.normalized_cost, optimal_normalized_cost(cfg.cost_ratio()));
+}
+
+TEST_F(AnalysisTest, PlacementMatchesOffloadFlags) {
+  const FunctionModel& m = *reg.find("linpack");
+  const PageAccessCounts unified = unified_for(m);
+  const RegionList merged = regionize_and_merge(unified);
+  const auto bins = pack_equal_access(nonzero_access_regions(merged), 10);
+  const TieringDecision d = choose_placement(
+      cfg, bins, zero_access_regions(merged), m.guest_pages(),
+      m.invoke(3, 802), {});
+  ASSERT_EQ(d.offloaded.size(), bins.size());
+  for (size_t i = 0; i < bins.size(); ++i) {
+    for (const Region& r : bins[i].regions) {
+      const u64 slow =
+          d.placement.count_in_range(r.page_begin, r.page_count, Tier::kSlow);
+      if (d.offloaded[i])
+        EXPECT_EQ(slow, r.page_count);
+      else
+        EXPECT_EQ(slow, 0u);
+    }
+  }
+}
+
+TEST_F(AnalysisTest, SlowdownThresholdRespected) {
+  const FunctionModel& m = *reg.find("pagerank");
+  const PageAccessCounts unified = unified_for(m);
+  const Invocation rep = m.invoke(3, 802);
+  TieringOptions bounded;
+  bounded.slowdown_threshold = 0.05;
+  const TieringDecision d = analyze_pattern(cfg, unified, rep, bounded);
+  EXPECT_LE(d.expected_slowdown, 0.05 + 0.02);
+
+  const TieringDecision free = analyze_pattern(cfg, unified, rep, {});
+  EXPECT_LE(d.slow_fraction, free.slow_fraction + 1e-9);
+  // Bounded slowdown costs memory: cost can only be >= the free optimum.
+  EXPECT_GE(d.normalized_cost, free.normalized_cost - 0.02);
+}
+
+TEST_F(AnalysisTest, ThresholdZeroKeepsBinsInDram) {
+  const FunctionModel& m = *reg.find("pagerank");
+  TieringOptions bounded;
+  bounded.slowdown_threshold = 0.0;
+  const TieringDecision d =
+      analyze_pattern(cfg, unified_for(m), m.invoke(3, 802), bounded);
+  // Only zero-access regions may be offloaded.
+  EXPECT_NEAR(d.expected_slowdown, 0.0, 1e-6);
+  for (bool off : d.offloaded) EXPECT_FALSE(off);
+}
+
+TEST_F(AnalysisTest, MemoryIntensivePagerankKeepsHotHalf) {
+  const FunctionModel& m = *reg.find("pagerank");
+  const TieringDecision d =
+      analyze_pattern(cfg, unified_for(m), m.invoke(3, 802), {});
+  // Table II: pagerank is capped around half offloaded.
+  EXPECT_GT(d.slow_fraction, 0.30);
+  EXPECT_LT(d.slow_fraction, 0.70);
+}
+
+TEST_F(AnalysisTest, NonIntensiveFunctionsMostlyOffloaded) {
+  for (const char* name : {"compress", "json_load_dump", "lr_training"}) {
+    const FunctionModel& m = *reg.find(name);
+    const TieringDecision d =
+        analyze_pattern(cfg, unified_for(m), m.invoke(3, 802), {});
+    EXPECT_GT(d.slow_fraction, 0.9) << name;
+    EXPECT_LT(d.normalized_cost, 0.55) << name;
+  }
+}
+
+TEST_F(AnalysisTest, GentlerSlowTierOffloadsMore) {
+  // The same function on a DDR5 + CXL-DDR4 host: the milder slow-tier
+  // penalty lets the optimizer offload at least as much of pagerank as on
+  // the Optane host, at a lower slowdown.
+  const FunctionModel& m = *reg.find("pagerank");
+  const PageAccessCounts unified = unified_for(m);
+  const Invocation rep = m.invoke(3, 802);
+  const SystemConfig cxl_cfg = SystemConfig::cxl_host();
+  const TieringDecision pmem = analyze_pattern(cfg, unified, rep, {});
+  const TieringDecision cxl = analyze_pattern(cxl_cfg, unified, rep, {});
+  // More (or equal) memory moves to the gentler slow tier. The *chosen*
+  // slowdown may be higher — the optimizer deliberately trades slowdown
+  // for savings when the penalty per byte is milder.
+  EXPECT_GE(cxl.slow_fraction, pmem.slow_fraction - 1e-9);
+  // Like-for-like: the same placement runs faster on the CXL host.
+  AccessCostModel pmem_model(cfg), cxl_model(cxl_cfg);
+  const Nanos on_pmem = rep.cpu_ns + rep.trace.time_under(pmem_model,
+                                                          pmem.placement);
+  const Nanos on_cxl = rep.cpu_ns + rep.trace.time_under(cxl_model,
+                                                         pmem.placement);
+  EXPECT_LT(on_cxl, on_pmem);
+}
+
+TEST_F(AnalysisTest, BinCountSweepStillValid) {
+  const FunctionModel& m = *reg.find("matmul");
+  const PageAccessCounts unified = unified_for(m);
+  const Invocation rep = m.invoke(3, 802);
+  for (int k : {4, 10, 20}) {
+    TieringOptions opt;
+    opt.bin_count = k;
+    const TieringDecision d = analyze_pattern(cfg, unified, rep, opt);
+    EXPECT_EQ(d.offloaded.size(), static_cast<size_t>(k));
+    EXPECT_LE(d.normalized_cost, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace toss

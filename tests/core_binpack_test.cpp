@@ -1,0 +1,148 @@
+// Tests for equal-access bin packing, including parameterized sweeps over
+// bin counts and the greedy/equal-size alternatives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/binpack.hpp"
+#include "util/rng.hpp"
+
+namespace toss {
+namespace {
+
+RegionList random_regions(u64 seed, size_t n, u64 max_pages, u64 max_count) {
+  Rng rng(seed);
+  RegionList regions;
+  u64 begin = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const u64 pages = 1 + rng.next_below(max_pages);
+    const u64 count = 1 + rng.next_below(max_count);
+    regions.push_back(Region{begin, pages, count});
+    begin += pages;
+  }
+  return regions;
+}
+
+u64 total_mass(const RegionList& regions) {
+  return std::accumulate(regions.begin(), regions.end(), u64{0},
+                         [](u64 a, const Region& r) {
+                           return a + r.total_accesses();
+                         });
+}
+
+TEST(SplitLargeRegions, ChunksBoundedAndMassPreserved) {
+  const RegionList regions{{0, 1000, 50}, {1000, 10, 3}};
+  const RegionList split = split_large_regions(regions, 5000);
+  for (const Region& r : split) {
+    EXPECT_LE(r.total_accesses(), 5000u);
+  }
+  EXPECT_EQ(total_mass(split), total_mass(regions));
+  EXPECT_EQ(regions_total_pages(split), regions_total_pages(regions));
+  // Chunks of the big region stay contiguous and ordered.
+  u64 next = 0;
+  for (const Region& r : split) {
+    EXPECT_EQ(r.page_begin, next);
+    next = r.page_end();
+  }
+}
+
+TEST(SplitLargeRegions, ZeroRegionsPassThrough) {
+  const RegionList regions{{0, 1000000, 0}};
+  const RegionList split = split_large_regions(regions, 10);
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0], regions[0]);
+}
+
+class BinPackSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinPackSweep, EqualAccessMassBalanced) {
+  const int k = GetParam();
+  const RegionList regions = random_regions(101, 200, 64, 500);
+  const auto bins = pack_equal_access(regions, k);
+  ASSERT_EQ(bins.size(), static_cast<size_t>(k));
+  EXPECT_TRUE(bins_cover_regions(bins, regions));
+  const double target =
+      static_cast<double>(total_mass(regions)) / static_cast<double>(k);
+  for (const Bin& b : bins) {
+    EXPECT_GT(static_cast<double>(b.access_mass), 0.2 * target);
+    EXPECT_LT(static_cast<double>(b.access_mass), 2.5 * target);
+  }
+}
+
+TEST_P(BinPackSweep, DensityOrderedAcrossBins) {
+  const int k = GetParam();
+  const RegionList regions = random_regions(202, 300, 32, 1000);
+  const auto bins = pack_equal_access(regions, k);
+  // Bin i's max region density <= bin i+1's min (allowing equal counts to
+  // straddle the boundary).
+  for (size_t i = 0; i + 1 < bins.size(); ++i) {
+    if (bins[i].regions.empty() || bins[i + 1].regions.empty()) continue;
+    u64 max_i = 0, min_next = ~u64{0};
+    for (const Region& r : bins[i].regions)
+      max_i = std::max(max_i, r.accesses);
+    for (const Region& r : bins[i + 1].regions)
+      min_next = std::min(min_next, r.accesses);
+    EXPECT_LE(max_i, min_next) << "bins " << i << "," << i + 1;
+  }
+}
+
+TEST_P(BinPackSweep, GreedyVariantBalancesToo) {
+  const int k = GetParam();
+  const RegionList regions = random_regions(303, 200, 64, 500);
+  const auto bins = pack_equal_access_greedy(regions, k);
+  EXPECT_TRUE(bins_cover_regions(bins, regions));
+  const double target =
+      static_cast<double>(total_mass(regions)) / static_cast<double>(k);
+  for (const Bin& b : bins)
+    EXPECT_LT(static_cast<double>(b.access_mass), 2.0 * target);
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, BinPackSweep,
+                         ::testing::Values(2, 4, 10, 16));
+
+TEST(BinPack, EmptyInputGivesEmptyBins) {
+  const auto bins = pack_equal_access({}, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  for (const Bin& b : bins) EXPECT_EQ(b.pages, 0u);
+}
+
+TEST(BinPack, SingleHugeUniformRegionSplitsAcrossBins) {
+  // One giant uniform region (e.g. pagerank's graph) must still fill all
+  // bins with ~equal mass instead of landing in one.
+  const RegionList regions{{0, 100000, 40}};
+  const auto bins = pack_equal_access(regions, 10);
+  EXPECT_TRUE(bins_cover_regions(bins, regions));
+  for (const Bin& b : bins) EXPECT_GT(b.pages, 5000u);
+}
+
+TEST(BinPack, EqualSizeStrawmanDisproportionalAccess) {
+  // The paper's argument for equal-access bins: equal-size bins get wildly
+  // disproportional access mass when the pattern is skewed.
+  RegionList skewed;
+  // 10% of pages carry 90% of accesses.
+  skewed.push_back(Region{0, 100, 900});
+  skewed.push_back(Region{100, 900, 11});
+  const auto by_size = pack_equal_size(skewed, 10);
+  const auto by_access = pack_equal_access(skewed, 10);
+  auto imbalance = [](const std::vector<Bin>& bins) {
+    u64 lo = ~u64{0}, hi = 0;
+    for (const Bin& b : bins) {
+      lo = std::min(lo, b.access_mass);
+      hi = std::max(hi, b.access_mass);
+    }
+    return static_cast<double>(hi) / std::max<double>(1.0, static_cast<double>(lo));
+  };
+  EXPECT_GT(imbalance(by_size), imbalance(by_access));
+}
+
+TEST(BinPack, BinDensityHelper) {
+  Bin b;
+  b.pages = 10;
+  b.access_mass = 100;
+  EXPECT_DOUBLE_EQ(b.density(), 10.0);
+  EXPECT_EQ(b.bytes(), 10 * kPageSize);
+  EXPECT_DOUBLE_EQ(Bin{}.density(), 0.0);
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,68 @@
+// Tests for the Equation 1 memory cost model.
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+
+namespace toss {
+namespace {
+
+TEST(Eq1, RawFormula) {
+  // SDown * (MB_fast * Cost_fast + MB_slow * Cost_slow)
+  EXPECT_DOUBLE_EQ(eq1_memory_cost(1.0, 100, 0, 2.5, 1.0), 250.0);
+  EXPECT_DOUBLE_EQ(eq1_memory_cost(1.0, 0, 100, 2.5, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(eq1_memory_cost(1.2, 50, 50, 2.5, 1.0), 1.2 * 175.0);
+}
+
+TEST(Eq1, NormalizedEndpoints) {
+  // All fast, no slowdown -> 1. All slow, no slowdown -> 1/ratio = 0.4.
+  EXPECT_DOUBLE_EQ(normalized_memory_cost(1.0, 0.0, 2.5), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_memory_cost(1.0, 1.0, 2.5), 0.4);
+  EXPECT_DOUBLE_EQ(optimal_normalized_cost(2.5), 0.4);
+}
+
+TEST(Eq1, MigrationReducesCostAtSameSlowdown) {
+  // The paper's first property: moving MB from fast to slow at the same
+  // slowdown lowers total cost.
+  for (double f = 0.0; f < 1.0; f += 0.1) {
+    EXPECT_GT(normalized_memory_cost(1.1, f, 2.5),
+              normalized_memory_cost(1.1, f + 0.1, 2.5));
+  }
+}
+
+TEST(Eq1, SlowdownRaisesCostAtSamePartitioning) {
+  // Second property: same partitioning, more slowdown -> more cost.
+  EXPECT_LT(normalized_memory_cost(1.0, 0.5, 2.5),
+            normalized_memory_cost(1.3, 0.5, 2.5));
+}
+
+TEST(Eq1, WorstCaseNeverExceedsDramPlan) {
+  // A function kept fully in DRAM costs exactly the single-tier plan.
+  EXPECT_DOUBLE_EQ(normalized_memory_cost(1.0, 0.0, 2.5), 1.0);
+}
+
+TEST(Eq1, BreakEvenSlowdown) {
+  // Fully offloaded, cost reaches 1 again at slowdown = ratio.
+  EXPECT_NEAR(normalized_memory_cost(2.5, 1.0, 2.5), 1.0, 1e-12);
+  EXPECT_LT(normalized_memory_cost(2.49, 1.0, 2.5), 1.0);
+  EXPECT_GT(normalized_memory_cost(2.51, 1.0, 2.5), 1.0);
+}
+
+TEST(Eq1, BinRule) {
+  // A bin with no slowdown always lowers cost; a huge slowdown never does.
+  EXPECT_LT(bin_normalized_cost(0.0, 0.1, 2.5), 1.0);
+  EXPECT_GT(bin_normalized_cost(0.5, 0.05, 2.5), 1.0);
+  // Boundary: sd such that (1+sd)(1-0.6*fb) == 1.
+  const double fb = 0.2;
+  const double sd = 1.0 / (1.0 - 0.6 * fb) - 1.0;
+  EXPECT_NEAR(bin_normalized_cost(sd, fb, 2.5), 1.0, 1e-12);
+}
+
+TEST(Eq1, DifferentCostRatios) {
+  // TOSS supports any tier pair; check a CXL-ish 1.5 ratio too.
+  EXPECT_NEAR(optimal_normalized_cost(1.5), 2.0 / 3.0, 1e-12);
+  EXPECT_GT(normalized_memory_cost(1.0, 1.0, 1.5),
+            normalized_memory_cost(1.0, 1.0, 2.5));
+}
+
+}  // namespace
+}  // namespace toss

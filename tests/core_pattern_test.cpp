@@ -1,0 +1,93 @@
+// Tests for the unified access pattern and its convergence rule, plus the
+// region-merging helpers used by the analysis.
+#include <gtest/gtest.h>
+
+#include "core/merge.hpp"
+#include "core/unified_pattern.hpp"
+
+namespace toss {
+namespace {
+
+DamonRecord record_of(u64 pages, std::vector<DamonRegion> regions) {
+  DamonRecord rec(pages, std::move(regions));
+  EXPECT_TRUE(rec.valid());
+  return rec;
+}
+
+TEST(UnifiedPattern, IdenticalRecordsConverge) {
+  UnifiedPattern up(100, 0.01);
+  const DamonRecord rec = record_of(100, {{0, 50, 10}, {50, 50, 0}});
+  EXPECT_TRUE(up.add_record(rec));  // first merge changes the empty pattern
+  for (u64 i = 0; i < 10; ++i) EXPECT_FALSE(up.add_record(rec));
+  EXPECT_EQ(up.stable_streak(), 10u);
+  EXPECT_EQ(up.records_merged(), 11u);
+}
+
+TEST(UnifiedPattern, NewPatternResetsStreak) {
+  UnifiedPattern up(100, 0.01);
+  const DamonRecord a = record_of(100, {{0, 50, 10}, {50, 50, 0}});
+  const DamonRecord b = record_of(100, {{0, 50, 10}, {50, 50, 40}});
+  up.add_record(a);
+  up.add_record(a);
+  EXPECT_EQ(up.stable_streak(), 1u);
+  EXPECT_TRUE(up.add_record(b));  // new hot region: change
+  EXPECT_EQ(up.stable_streak(), 0u);
+  EXPECT_FALSE(up.add_record(b));
+  EXPECT_EQ(up.stable_streak(), 1u);
+}
+
+TEST(UnifiedPattern, MaxMergeKeepsPeak) {
+  UnifiedPattern up(10, 0.01);
+  up.add_record(record_of(10, {{0, 10, 100}}));
+  up.add_record(record_of(10, {{0, 10, 40}}));  // weaker run
+  EXPECT_EQ(up.counts().at(0), 100u);
+}
+
+TEST(UnifiedPattern, EpsilonAbsorbsNoise) {
+  UnifiedPattern up(100, 0.10);
+  up.add_record(record_of(100, {{0, 100, 1000}}));
+  // 5% bump: below the 10% epsilon, counts update but streak continues.
+  EXPECT_FALSE(up.add_record(record_of(100, {{0, 100, 1050}})));
+  EXPECT_EQ(up.stable_streak(), 1u);
+  // 50% bump: change.
+  EXPECT_TRUE(up.add_record(record_of(100, {{0, 100, 1500}})));
+}
+
+TEST(UnifiedPattern, SmallerPatternsNeverChangeIt) {
+  UnifiedPattern up(100, 0.01);
+  up.add_record(record_of(100, {{0, 100, 500}}));
+  for (u64 c : {400u, 100u, 0u})
+    EXPECT_FALSE(up.add_record(record_of(100, {{0, 100, c}})));
+  EXPECT_EQ(up.stable_streak(), 3u);
+}
+
+TEST(RegionizeAndMerge, CollapsesSimilarNeighbors) {
+  PageAccessCounts counts(100);
+  for (u64 p = 0; p < 50; ++p) counts.set(p, 1000 + p);  // drifts by 1
+  for (u64 p = 50; p < 100; ++p) counts.set(p, 5000);
+  const RegionList merged = regionize_and_merge(counts, 100);
+  EXPECT_TRUE(regions_cover_space(merged, 100));
+  EXPECT_LE(merged.size(), 3u);
+}
+
+TEST(RegionizeAndMerge, KeepsDistinctPhases) {
+  PageAccessCounts counts(100);
+  for (u64 p = 0; p < 50; ++p) counts.set(p, 100);
+  for (u64 p = 50; p < 100; ++p) counts.set(p, 100000);
+  const RegionList merged = regionize_and_merge(counts, 100);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].accesses, 100u);
+}
+
+TEST(MappingCount, CountsTierRuns) {
+  PagePlacement p(10, Tier::kFast);
+  EXPECT_EQ(mapping_count(p), 1u);
+  p.set_range(2, 3, Tier::kSlow);
+  EXPECT_EQ(mapping_count(p), 3u);  // fast, slow, fast
+  p.set_range(0, 2, Tier::kSlow);
+  EXPECT_EQ(mapping_count(p), 2u);  // slow, fast
+  EXPECT_EQ(mapping_count(PagePlacement{}), 0u);
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,76 @@
+// Tests for the re-generation trigger (Equations 2-4).
+#include <gtest/gtest.h>
+
+#include "core/reprofile.hpp"
+
+namespace toss {
+namespace {
+
+TEST(Reprofile, Eq2ProfilingOverhead) {
+  ReprofilePolicy p(1e-4);
+  const double bins[] = {0.01, 0.02, 0.03};
+  p.arm(100, bins, ms(500), 0.5);
+  // 100 DAMON invocations + sum(1 + slowdown_bin) = 100 + 3.06
+  EXPECT_NEAR(p.profiling_overhead(), 103.06, 1e-9);
+  EXPECT_DOUBLE_EQ(p.accelerating_factor(), 0.0);
+}
+
+TEST(Reprofile, DisarmedNeverTriggers) {
+  ReprofilePolicy p(1.0);
+  EXPECT_FALSE(p.observe(sec(10)));
+  EXPECT_FALSE(p.should_reprofile());
+}
+
+TEST(Reprofile, Eq3AcceleratesOnLongInvocations) {
+  ReprofilePolicy p(1e-4);
+  const double bins[] = {0.0};
+  p.arm(10, bins, ms(100), 0.5);
+  p.observe(ms(50));  // shorter than LRI: no acceleration
+  EXPECT_DOUBLE_EQ(p.accelerating_factor(), 0.0);
+  p.observe(ms(200));  // 2x the LRI at full-slow slowdown 0.5
+  EXPECT_NEAR(p.accelerating_factor(), 2.0 * 1.5, 1e-9);
+  p.observe(ms(400));
+  EXPECT_NEAR(p.accelerating_factor(), 3.0 + 4.0 * 1.5, 1e-9);
+}
+
+TEST(Reprofile, Eq4TriggersWhenDriftOutweighsOverhead) {
+  ReprofilePolicy p(1e-4);
+  const double bins[] = {0.0};
+  p.arm(5, bins, ms(100), 1.0);
+  // overhead = 5 + 1 = 6. Each 2x-LRI invocation contributes 4.0.
+  EXPECT_FALSE(p.observe(ms(200)));  // accel 4 < 6
+  EXPECT_TRUE(p.observe(ms(200)));   // accel 8 >= 6 - trigger
+}
+
+TEST(Reprofile, BudgetAlonePaysOffOverTime) {
+  // Even without drift, enough iterations amortize the profiling overhead
+  // (iterations * budget >= overhead).
+  ReprofilePolicy p(0.1);
+  const double bins[] = {0.0};
+  p.arm(1, bins, ms(100), 0.0);  // overhead = 2
+  bool triggered = false;
+  for (int i = 0; i < 20 && !triggered; ++i) triggered = p.observe(ms(10));
+  EXPECT_TRUE(triggered);
+  EXPECT_LE(p.iterations(), 20u);
+}
+
+TEST(Reprofile, TinyBudgetRarelyTriggers) {
+  ReprofilePolicy p(1e-6);
+  const double bins[] = {0.05, 0.05};
+  p.arm(100, bins, sec(1), 0.3);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(p.observe(ms(500)));
+}
+
+TEST(Reprofile, ReArmResetsState) {
+  ReprofilePolicy p(0.5);
+  const double bins[] = {0.0};
+  p.arm(1, bins, ms(100), 0.0);
+  p.observe(ms(500));
+  EXPECT_GT(p.accelerating_factor(), 0.0);
+  p.arm(1, bins, ms(100), 0.0);
+  EXPECT_DOUBLE_EQ(p.accelerating_factor(), 0.0);
+  EXPECT_EQ(p.iterations(), 0u);
+}
+
+}  // namespace
+}  // namespace toss

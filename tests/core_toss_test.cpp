@@ -1,0 +1,186 @@
+// Integration tests for the TOSS orchestrator: the full Step I-IV lifecycle
+// of Figure 4 plus the re-generation path.
+#include <gtest/gtest.h>
+
+#include "core/toss.hpp"
+#include "platform/request_gen.hpp"
+#include "workloads/registry.hpp"
+
+namespace toss {
+namespace {
+
+TossOptions fast_options(u64 stable = 5) {
+  TossOptions opt;
+  opt.stable_invocations = stable;
+  opt.max_profiling_invocations = 200;
+  return opt;
+}
+
+class TossLifecycleTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store{cfg};
+  FunctionRegistry reg = FunctionRegistry::table1();
+};
+
+TEST_F(TossLifecycleTest, PhasesProgressInOrder) {
+  const FunctionModel& m = *reg.find("pyaes");
+  TossFunction toss(cfg, store, m, fast_options());
+  EXPECT_EQ(toss.phase(), TossPhase::kInitial);
+
+  const auto first = toss.handle(1, 1);
+  EXPECT_EQ(first.phase, TossPhase::kInitial);
+  EXPECT_TRUE(first.snapshot_created);
+  EXPECT_EQ(toss.phase(), TossPhase::kProfiling);
+
+  bool tiered = false;
+  for (u64 i = 0; i < 100 && !tiered; ++i) {
+    const auto rec = toss.handle(static_cast<int>(i % kNumInputs), 100 + i);
+    EXPECT_EQ(rec.phase, TossPhase::kProfiling);
+    tiered = rec.tiered_created;
+  }
+  ASSERT_TRUE(tiered);
+  EXPECT_EQ(toss.phase(), TossPhase::kTiered);
+  ASSERT_NE(toss.decision(), nullptr);
+  ASSERT_NE(toss.tiered_snapshot(), nullptr);
+
+  const auto prod = toss.handle(3, 999);
+  EXPECT_EQ(prod.phase, TossPhase::kTiered);
+}
+
+TEST_F(TossLifecycleTest, TieredSnapshotPreservesMemoryImage) {
+  const FunctionModel& m = *reg.find("json_load_dump");
+  TossFunction toss(cfg, store, m, fast_options());
+  toss.handle(3, 1);
+  for (u64 i = 0; i < 100 && toss.phase() != TossPhase::kTiered; ++i)
+    toss.handle(static_cast<int>(i % kNumInputs), 200 + i);
+  ASSERT_EQ(toss.phase(), TossPhase::kTiered);
+
+  const TieredSnapshot* tiered = toss.tiered_snapshot();
+  ASSERT_NE(tiered, nullptr);
+  EXPECT_TRUE(tiered->layout().valid());
+  // Integrity: the partitioned image reassembles to the single-tier one.
+  // (The single-tier snapshot is the first file the store handed out.)
+  const SingleTierSnapshot* single = store.get_single_tier(1);
+  ASSERT_NE(single, nullptr);
+  EXPECT_EQ(tiered->materialize(), single->materialize());
+}
+
+TEST_F(TossLifecycleTest, LayoutMatchesDecisionPlacement) {
+  const FunctionModel& m = *reg.find("linpack");
+  TossFunction toss(cfg, store, m, fast_options());
+  toss.handle(3, 1);
+  for (u64 i = 0; i < 100 && toss.phase() != TossPhase::kTiered; ++i)
+    toss.handle(3, 300 + i);
+  ASSERT_EQ(toss.phase(), TossPhase::kTiered);
+  const auto* d = toss.decision();
+  const auto* tiered = toss.tiered_snapshot();
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(tiered, nullptr);
+  EXPECT_NEAR(tiered->layout().slow_fraction(), d->slow_fraction, 1e-9);
+}
+
+TEST_F(TossLifecycleTest, TieredSetupConstantAndSmall) {
+  const FunctionModel& m = *reg.find("lr_training");  // 1 GiB guest
+  TossFunction toss(cfg, store, m, fast_options());
+  toss.handle(3, 1);
+  for (u64 i = 0; i < 100 && toss.phase() != TossPhase::kTiered; ++i)
+    toss.handle(3, 400 + i);
+  ASSERT_EQ(toss.phase(), TossPhase::kTiered);
+
+  // TOSS never eager-loads: setup is mmap-bound, far below any eager load
+  // of a 1 GiB snapshot (~400 ms at disk bandwidth).
+  std::vector<Nanos> setups;
+  for (u64 i = 0; i < 5; ++i) {
+    const auto rec = toss.handle(3, 500 + i);
+    EXPECT_EQ(rec.result.setup.eager_pages, 0u);
+    setups.push_back(rec.result.setup.setup_ns);
+  }
+  for (Nanos s : setups) {
+    EXPECT_LT(s, ms(20));
+    EXPECT_NEAR(s, setups[0], 1.0);  // constant across invocations
+  }
+}
+
+TEST_F(TossLifecycleTest, RepresentativeIsLongestProfiledInvocation) {
+  const FunctionModel& m = *reg.find("compress");
+  TossFunction toss(cfg, store, m, fast_options(3));
+  toss.handle(0, 1);
+  // Feed one big input among small ones; largest must win.
+  toss.handle(3, 2);
+  for (u64 i = 0; i < 60 && toss.phase() != TossPhase::kTiered; ++i)
+    toss.handle(0, 10 + i);
+  ASSERT_EQ(toss.phase(), TossPhase::kTiered);
+  ASSERT_TRUE(toss.representative().has_value());
+  EXPECT_EQ(toss.representative()->first, 3);
+}
+
+TEST_F(TossLifecycleTest, ProfilingAddsDamonOverhead) {
+  const FunctionModel& m = *reg.find("pyaes");
+  TossFunction toss(cfg, store, m, fast_options(50));
+  toss.handle(1, 1);
+  const auto rec = toss.handle(1, 2);
+  EXPECT_EQ(rec.phase, TossPhase::kProfiling);
+  EXPECT_GT(rec.result.exec.profiling_overhead_ns, 0);
+  EXPECT_GT(toss.profiled_invocations(), 0u);
+}
+
+TEST_F(TossLifecycleTest, MaxProfilingInvocationsForcesAnalysis) {
+  TossOptions opt;
+  opt.stable_invocations = 1000000;  // unreachable
+  opt.max_profiling_invocations = 10;
+  const FunctionModel& m = *reg.find("pyaes");
+  TossFunction toss(cfg, store, m, opt);
+  toss.handle(0, 1);
+  for (u64 i = 0; i < 10; ++i) toss.handle(static_cast<int>(i % 4), 20 + i);
+  EXPECT_EQ(toss.phase(), TossPhase::kTiered);
+}
+
+TEST_F(TossLifecycleTest, SlowdownThresholdFlowsThrough) {
+  const FunctionModel& m = *reg.find("pagerank");
+  TossOptions opt = fast_options(3);
+  opt.slowdown_threshold = 0.02;
+  TossFunction toss(cfg, store, m, opt);
+  toss.handle(3, 1);
+  for (u64 i = 0; i < 60 && toss.phase() != TossPhase::kTiered; ++i)
+    toss.handle(3, 30 + i);
+  ASSERT_EQ(toss.phase(), TossPhase::kTiered);
+  EXPECT_LE(toss.decision()->expected_slowdown, 0.05);
+}
+
+TEST_F(TossLifecycleTest, ReprofileTriggersOnSustainedDrift) {
+  // Profile only on the smallest input with a permissive budget, then hit
+  // the function with the largest input repeatedly: Eq 3 accelerates until
+  // Eq 4 flips and the function re-enters profiling.
+  const FunctionModel& m = *reg.find("matmul");
+  TossOptions opt = fast_options(3);
+  opt.reprofile_budget = 0.01;
+  TossFunction toss(cfg, store, m, opt);
+  toss.handle(0, 1);
+  for (u64 i = 0; i < 60 && toss.phase() != TossPhase::kTiered; ++i)
+    toss.handle(0, 50 + i);
+  ASSERT_EQ(toss.phase(), TossPhase::kTiered);
+
+  bool reprofiled = false;
+  for (u64 i = 0; i < 200 && !reprofiled; ++i)
+    reprofiled = toss.handle(3, 1000 + i).reprofile_triggered;
+  EXPECT_TRUE(reprofiled);
+  EXPECT_EQ(toss.phase(), TossPhase::kProfiling);
+}
+
+TEST_F(TossLifecycleTest, DeterministicAcrossRuns) {
+  const FunctionModel& m = *reg.find("float_operation");
+  auto run = [&] {
+    SnapshotStore s(cfg);
+    TossFunction toss(cfg, store, m, fast_options());
+    std::vector<double> times;
+    const auto reqs = RequestGenerator::round_robin(40, 7);
+    for (const auto& r : reqs)
+      times.push_back(toss.handle(r.input, r.seed).result.total_ns());
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace toss

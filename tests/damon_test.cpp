@@ -1,0 +1,151 @@
+// Tests for the DAMON simulator: record files and the adaptive monitor.
+#include <gtest/gtest.h>
+
+#include "damon/monitor.hpp"
+#include "damon/record.hpp"
+
+namespace toss {
+namespace {
+
+TEST(DamonRecord, ValidityRules) {
+  EXPECT_TRUE(DamonRecord(4, {{0, 2, 5}, {2, 2, 0}}).valid());
+  EXPECT_FALSE(DamonRecord(4, {{0, 2, 5}}).valid());           // short
+  EXPECT_FALSE(DamonRecord(4, {{0, 2, 5}, {3, 1, 0}}).valid()); // gap
+  EXPECT_FALSE(DamonRecord(4, {{0, 0, 5}, {0, 4, 0}}).valid()); // empty region
+}
+
+TEST(DamonRecord, ToCounts) {
+  DamonRecord rec(6, {{0, 2, 5}, {2, 4, 9}});
+  const PageAccessCounts counts = rec.to_counts();
+  EXPECT_EQ(counts.at(0), 5u);
+  EXPECT_EQ(counts.at(1), 5u);
+  EXPECT_EQ(counts.at(5), 9u);
+}
+
+TEST(DamonRecord, SerializeRoundtrip) {
+  DamonRecord rec(100, {{0, 40, 7}, {40, 60, 123}});
+  const auto bytes = rec.serialize();
+  const auto back = DamonRecord::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, rec);
+}
+
+TEST(DamonRecord, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(DamonRecord::deserialize({1, 2, 3}).has_value());
+  auto bytes = DamonRecord(4, {{0, 4, 1}}).serialize();
+  bytes[0] ^= 0xff;  // corrupt magic
+  EXPECT_FALSE(DamonRecord::deserialize(bytes).has_value());
+  bytes = DamonRecord(4, {{0, 4, 1}}).serialize();
+  bytes.resize(bytes.size() - 3);  // truncated
+  EXPECT_FALSE(DamonRecord::deserialize(bytes).has_value());
+}
+
+class DamonMonitorTest : public ::testing::Test {
+ protected:
+  DamonConfig cfg;
+  Rng rng{42};
+
+  PageAccessCounts pattern_with_hot_region(u64 pages) {
+    PageAccessCounts counts(pages);
+    for (u64 p = 100; p < 300; ++p) counts.set(p, 50);
+    for (u64 p = 1000; p < 1020; ++p) counts.set(p, 2000);
+    return counts;
+  }
+};
+
+TEST_F(DamonMonitorTest, RecordCoversSpaceAndQuantized) {
+  DamonMonitor monitor(cfg);
+  const auto counts = pattern_with_hot_region(4096);
+  const DamonOutput out = monitor.monitor(counts, ms(100), rng);
+  EXPECT_TRUE(out.record.valid());
+  for (const auto& r : out.record.regions()) {
+    // Regions never smaller than the 16 KiB minimum (except trailing).
+    if (r.page_end() != 4096)
+      EXPECT_GE(r.page_count, cfg.min_region_pages);
+  }
+}
+
+TEST_F(DamonMonitorTest, ZeroRegionsStayZero) {
+  DamonMonitor monitor(cfg);
+  const auto counts = pattern_with_hot_region(4096);
+  const DamonOutput out = monitor.monitor(counts, ms(100), rng);
+  const PageAccessCounts est = out.record.to_counts();
+  // Untouched pages must be reported untouched (the zero/nonzero boundary
+  // is TOSS's most important signal).
+  for (u64 p = 0; p < 96; ++p) EXPECT_EQ(est.at(p), 0u);
+  for (u64 p = 2000; p < 4096; ++p) ASSERT_EQ(est.at(p), 0u) << p;
+}
+
+TEST_F(DamonMonitorTest, EstimatesScaledTrueCounts) {
+  DamonMonitor monitor(cfg);
+  const auto counts = pattern_with_hot_region(4096);
+  const DamonOutput out = monitor.monitor(counts, sec(1), rng);
+  const PageAccessCounts est = out.record.to_counts();
+  // Hot region estimate within 50% of scaled truth (generous: sampling).
+  const double want = 2000 * cfg.count_scale;
+  const double got = static_cast<double>(est.at(1010));
+  EXPECT_GT(got, want * 0.5);
+  EXPECT_LT(got, want * 1.5);
+}
+
+TEST_F(DamonMonitorTest, LongerRunsLessNoise) {
+  DamonMonitor monitor(cfg);
+  const auto counts = pattern_with_hot_region(4096);
+  const double want = 50 * cfg.count_scale;
+  auto mean_err = [&](Nanos exec) {
+    double err = 0;
+    int n = 0;
+    Rng local(7);
+    for (int i = 0; i < 20; ++i) {
+      const auto out = monitor.monitor(counts, exec, local);
+      const auto est = out.record.to_counts();
+      err += std::abs(static_cast<double>(est.at(150)) - want) / want;
+      ++n;
+    }
+    return err / n;
+  };
+  EXPECT_LE(mean_err(sec(1)), mean_err(us(50)) + 0.02);
+}
+
+TEST_F(DamonMonitorTest, MaxRegionsCapRespected) {
+  DamonConfig small = cfg;
+  small.max_regions = 8;
+  DamonMonitor monitor(small);
+  // Highly fragmented pattern: alternating intensities.
+  PageAccessCounts counts(1024);
+  Rng local(3);
+  for (u64 p = 0; p < 1024; ++p) counts.set(p, 1 + local.next_below(1000));
+  const auto out = monitor.monitor(counts, ms(10), rng);
+  EXPECT_LE(out.record.region_count(), 8u);
+  EXPECT_TRUE(out.record.valid());
+}
+
+TEST_F(DamonMonitorTest, OverheadNearThreePercent) {
+  DamonMonitor monitor(cfg);
+  const auto counts = pattern_with_hot_region(32768);
+  const auto out = monitor.monitor(counts, ms(200), rng);
+  const double frac = out.overhead_ns / ms(200);
+  EXPECT_GT(frac, 0.005);
+  EXPECT_LT(frac, 0.08);
+}
+
+TEST_F(DamonMonitorTest, SamplesScaleWithExecTime) {
+  DamonMonitor monitor(cfg);
+  const auto counts = pattern_with_hot_region(1024);
+  const auto a = monitor.monitor(counts, us(100), rng);
+  const auto b = monitor.monitor(counts, ms(10), rng);
+  EXPECT_EQ(a.samples, 10u);     // 100us / 10us
+  EXPECT_EQ(b.samples, 1000u);
+}
+
+TEST_F(DamonMonitorTest, SimilarNeighborsMerged) {
+  DamonMonitor monitor(cfg);
+  // One flat plateau: should collapse into very few regions.
+  PageAccessCounts counts(4096);
+  for (u64 p = 0; p < 4096; ++p) counts.set(p, 100);
+  const auto out = monitor.monitor(counts, sec(1), rng);
+  EXPECT_LT(out.record.region_count(), 200u);  // far fewer than 1024 chunks
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,109 @@
+// Tests for the Greedy-Dual keep-alive cache (Section VI-A integration).
+#include <gtest/gtest.h>
+
+#include "platform/keepalive.hpp"
+
+namespace toss {
+namespace {
+
+KeepAliveConfig small_pool(u64 dram_mb, u64 slow_mb = 64 * 1024) {
+  KeepAliveConfig cfg;
+  cfg.dram_capacity_bytes = dram_mb * kMiB;
+  cfg.slow_capacity_bytes = slow_mb * kMiB;
+  return cfg;
+}
+
+TEST(KeepAlive, HitAfterInsert) {
+  KeepAliveCache cache(small_pool(1024));
+  EXPECT_FALSE(cache.lookup("f"));
+  EXPECT_TRUE(cache.insert("f", 128 * kMiB, 0, ms(100)));
+  EXPECT_TRUE(cache.lookup("f"));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(KeepAlive, CapacityEnforced) {
+  KeepAliveCache cache(small_pool(256));
+  EXPECT_TRUE(cache.insert("a", 128 * kMiB, 0, ms(100)));
+  EXPECT_TRUE(cache.insert("b", 128 * kMiB, 0, ms(100)));
+  EXPECT_EQ(cache.warm_count(), 2u);
+  EXPECT_TRUE(cache.insert("c", 128 * kMiB, 0, ms(100)));
+  EXPECT_EQ(cache.warm_count(), 2u);  // someone was evicted
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.dram_in_use(), 256 * kMiB);
+}
+
+TEST(KeepAlive, EvictsLowestPriority) {
+  KeepAliveCache cache(small_pool(256));
+  // "hot" has a high cold cost and gets hit repeatedly; "cold" does not.
+  cache.insert("hot", 128 * kMiB, 0, ms(500));
+  cache.insert("cold", 128 * kMiB, 0, ms(10));
+  cache.lookup("hot");
+  cache.lookup("hot");
+  cache.insert("new", 128 * kMiB, 0, ms(100));
+  EXPECT_TRUE(cache.contains("hot"));
+  EXPECT_FALSE(cache.contains("cold"));
+}
+
+TEST(KeepAlive, TieredVmsPinLessDram) {
+  // The Section VI-A observation: with 92% of each VM in the slow tier, a
+  // DRAM budget that holds 2 DRAM-only VMs holds ~25 tiered VMs.
+  KeepAliveCache dram_only(small_pool(2048));
+  KeepAliveCache tiered(small_pool(2048));
+  int dram_kept = 0, tiered_kept = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    if (dram_only.insert(name, 1024 * kMiB, 0, ms(300)))
+      dram_kept = static_cast<int>(dram_only.warm_count());
+    if (tiered.insert(name, 82 * kMiB, 942 * kMiB, ms(300)))
+      tiered_kept = static_cast<int>(tiered.warm_count());
+  }
+  EXPECT_EQ(dram_kept, 2);
+  EXPECT_GT(tiered_kept, 20);
+}
+
+TEST(KeepAlive, SlowPoolAlsoEnforced) {
+  KeepAliveCache cache(small_pool(64 * 1024, 1024));
+  EXPECT_TRUE(cache.insert("a", kMiB, 900 * kMiB, ms(100)));
+  EXPECT_TRUE(cache.insert("b", kMiB, 900 * kMiB, ms(100)));
+  EXPECT_EQ(cache.warm_count(), 1u);  // slow pool forced an eviction
+  EXPECT_LE(cache.slow_in_use(), 1024 * kMiB);
+}
+
+TEST(KeepAlive, OversizedVmRejected) {
+  KeepAliveCache cache(small_pool(256));
+  EXPECT_FALSE(cache.insert("huge", kGiB, 0, ms(100)));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.warm_count(), 0u);
+}
+
+TEST(KeepAlive, ReinsertReplaces) {
+  KeepAliveCache cache(small_pool(1024));
+  cache.insert("f", 512 * kMiB, 0, ms(100));
+  cache.insert("f", 128 * kMiB, 0, ms(100));
+  EXPECT_EQ(cache.warm_count(), 1u);
+  EXPECT_EQ(cache.dram_in_use(), 128 * kMiB);
+}
+
+TEST(KeepAlive, ExplicitEvict) {
+  KeepAliveCache cache(small_pool(1024));
+  cache.insert("f", 128 * kMiB, 0, ms(100));
+  cache.evict("f");
+  EXPECT_FALSE(cache.contains("f"));
+  EXPECT_EQ(cache.dram_in_use(), 0u);
+  cache.evict("ghost");  // harmless
+}
+
+TEST(KeepAlive, AgingLetsNewEntriesWin) {
+  // Greedy-Dual aging: after enough evictions raise the clock, a fresh
+  // entry can outrank a stale high-cost one.
+  KeepAliveCache cache(small_pool(256));
+  cache.insert("stale", 128 * kMiB, 0, ms(50));
+  for (int i = 0; i < 10; ++i)
+    cache.insert("churn" + std::to_string(i), 128 * kMiB, 0, ms(400));
+  EXPECT_FALSE(cache.contains("stale"));
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,214 @@
+// Tests for src/mem: tier specs, placement, the burst cost model and the
+// host page cache.
+#include <gtest/gtest.h>
+
+#include "mem/access_cost.hpp"
+#include "mem/page_cache.hpp"
+#include "mem/placement.hpp"
+#include "mem/tier.hpp"
+
+namespace toss {
+namespace {
+
+TEST(TierSpec, PaperDefaults) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  EXPECT_NEAR(cfg.cost_ratio(), 2.5, 1e-9);
+  EXPECT_GT(cfg.slow.read_latency_ns, cfg.fast.read_latency_ns);
+  EXPECT_LT(cfg.slow.read_bw_bytes_per_ns, cfg.fast.read_bw_bytes_per_ns);
+  EXPECT_LT(cfg.slow.write_bw_bytes_per_ns, cfg.slow.read_bw_bytes_per_ns);
+  EXPECT_GT(cfg.slow.random_granularity_bytes,
+            cfg.fast.random_granularity_bytes);
+  EXPECT_EQ(cfg.cores, 20);
+}
+
+TEST(TierSpec, CxlHostIsGentlerSlowTier) {
+  // Section III: TOSS works for any tier pair. The CXL-DDR4 slow tier has
+  // lower latency, symmetric bandwidth and no random-access amplification
+  // compared to Optane, so fully-offloaded slowdowns shrink.
+  const SystemConfig pmem = SystemConfig::paper_default();
+  const SystemConfig cxl = SystemConfig::cxl_host();
+  EXPECT_LT(cxl.slow.read_latency_ns, pmem.slow.read_latency_ns);
+  EXPECT_DOUBLE_EQ(cxl.slow.read_bw_bytes_per_ns,
+                   cxl.slow.write_bw_bytes_per_ns);
+  EXPECT_DOUBLE_EQ(cxl.slow.random_granularity_bytes, kCacheLine);
+  EXPECT_GT(cxl.cost_ratio(), 1.0);
+
+  AccessCostModel pmem_model(pmem), cxl_model(cxl);
+  const double pmem_penalty =
+      pmem_model.access_cost(Tier::kSlow, Pattern::kRandom, 0.0) /
+      pmem_model.access_cost(Tier::kFast, Pattern::kRandom, 0.0);
+  const double cxl_penalty =
+      cxl_model.access_cost(Tier::kSlow, Pattern::kRandom, 0.0) /
+      cxl_model.access_cost(Tier::kFast, Pattern::kRandom, 0.0);
+  EXPECT_LT(cxl_penalty, pmem_penalty);
+}
+
+TEST(Placement, DefaultsToFast) {
+  PagePlacement p(100);
+  EXPECT_EQ(p.pages_in(Tier::kFast), 100u);
+  EXPECT_EQ(p.pages_in(Tier::kSlow), 0u);
+  EXPECT_DOUBLE_EQ(p.slow_fraction(), 0.0);
+}
+
+TEST(Placement, SetRangeAndCount) {
+  PagePlacement p(100);
+  p.set_range(10, 30, Tier::kSlow);
+  EXPECT_EQ(p.pages_in(Tier::kSlow), 30u);
+  EXPECT_EQ(p.count_in_range(0, 100, Tier::kSlow), 30u);
+  EXPECT_EQ(p.count_in_range(0, 10, Tier::kSlow), 0u);
+  EXPECT_EQ(p.count_in_range(20, 10, Tier::kSlow), 10u);
+  EXPECT_DOUBLE_EQ(p.slow_fraction_in_range(10, 30), 1.0);
+  EXPECT_DOUBLE_EQ(p.slow_fraction(), 0.3);
+}
+
+TEST(Placement, SetAllAndEquality) {
+  PagePlacement a(16), b(16);
+  a.set_all(Tier::kSlow);
+  EXPECT_NE(a, b);
+  b.set_all(Tier::kSlow);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a.slow_fraction(), 1.0);
+}
+
+TEST(ExpandBurst, UniformSumsExactly) {
+  AccessBurst b{0, 10, 1234, Pattern::kSequential, 0.0, 0.0};
+  const auto counts = expand_burst_counts(b);
+  ASSERT_EQ(counts.size(), 10u);
+  u64 sum = 0;
+  for (u64 c : counts) sum += c;
+  EXPECT_EQ(sum, 1234u);
+}
+
+TEST(ExpandBurst, ZipfHotPrefix) {
+  AccessBurst b{0, 100, 100000, Pattern::kRandom, 0.0, 1.0};
+  const auto counts = expand_burst_counts(b);
+  u64 sum = 0;
+  for (u64 c : counts) sum += c;
+  EXPECT_EQ(sum, 100000u);
+  // Non-increasing by construction, first page hottest.
+  for (size_t i = 1; i < counts.size(); ++i)
+    EXPECT_GE(counts[i - 1], counts[i]);
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(ExpandBurst, ZeroAccesses) {
+  AccessBurst b{0, 4, 0, Pattern::kRandom, 0.0, 0.5};
+  const auto counts = expand_burst_counts(b);
+  for (u64 c : counts) EXPECT_EQ(c, 0u);
+}
+
+class AccessCostTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg = SystemConfig::paper_default();
+  AccessCostModel model{cfg};
+};
+
+TEST_F(AccessCostTest, SlowTierCostsMore) {
+  for (auto pattern : {Pattern::kSequential, Pattern::kRandom}) {
+    for (double wf : {0.0, 0.5, 1.0}) {
+      EXPECT_GT(model.access_cost(Tier::kSlow, pattern, wf),
+                model.access_cost(Tier::kFast, pattern, wf))
+          << pattern_name(pattern) << " wf=" << wf;
+    }
+  }
+}
+
+TEST_F(AccessCostTest, RandomCostsMoreThanSequential) {
+  for (auto tier : {Tier::kFast, Tier::kSlow}) {
+    EXPECT_GT(model.access_cost(tier, Pattern::kRandom, 0.0),
+              model.access_cost(tier, Pattern::kSequential, 0.0));
+  }
+}
+
+TEST_F(AccessCostTest, BurstTimeUniformMatchesPlacement) {
+  AccessBurst b{0, 64, 10000, Pattern::kRandom, 0.2, 0.7};
+  const auto counts = expand_burst_counts(b);
+  PagePlacement all_fast(64, Tier::kFast);
+  PagePlacement all_slow(64, Tier::kSlow);
+  EXPECT_NEAR(model.burst_time(b, counts, all_fast),
+              model.burst_time_uniform(b, Tier::kFast), 1e-6);
+  EXPECT_NEAR(model.burst_time(b, counts, all_slow),
+              model.burst_time_uniform(b, Tier::kSlow), 1e-6);
+}
+
+TEST_F(AccessCostTest, MixedPlacementBetweenExtremes) {
+  AccessBurst b{0, 64, 10000, Pattern::kRandom, 0.0, 0.5};
+  const auto counts = expand_burst_counts(b);
+  PagePlacement mixed(64, Tier::kFast);
+  mixed.set_range(32, 32, Tier::kSlow);
+  const Nanos fast = model.burst_time_uniform(b, Tier::kFast);
+  const Nanos slow = model.burst_time_uniform(b, Tier::kSlow);
+  const Nanos mid = model.burst_time(b, counts, mixed);
+  EXPECT_GT(mid, fast);
+  EXPECT_LT(mid, slow);
+}
+
+TEST_F(AccessCostTest, OffloadingColdHalfCheaperThanHotHalf) {
+  // Hot prefix: offloading the *tail* must cost less than the head.
+  AccessBurst b{0, 64, 100000, Pattern::kRandom, 0.0, 1.2};
+  const auto counts = expand_burst_counts(b);
+  PagePlacement cold_off(64, Tier::kFast), hot_off(64, Tier::kFast);
+  cold_off.set_range(32, 32, Tier::kSlow);
+  hot_off.set_range(0, 32, Tier::kSlow);
+  EXPECT_LT(model.burst_time(b, counts, cold_off),
+            model.burst_time(b, counts, hot_off));
+}
+
+TEST_F(AccessCostTest, DemandBytesSplitByWriteFraction) {
+  AccessBurst b{0, 16, 1000, Pattern::kSequential, 0.25, 0.0};
+  const auto counts = expand_burst_counts(b);
+  PagePlacement all_slow(16, Tier::kSlow);
+  const BurstCost c = model.burst_cost(b, counts, all_slow);
+  EXPECT_DOUBLE_EQ(c.fast_read_bytes, 0.0);
+  EXPECT_NEAR(c.slow_write_bytes / (c.slow_read_bytes + c.slow_write_bytes),
+              0.25, 1e-9);
+  // Sequential: demand = accesses * cache line.
+  EXPECT_NEAR(c.slow_read_bytes + c.slow_write_bytes, 1000.0 * kCacheLine,
+              1e-6);
+}
+
+TEST_F(AccessCostTest, RandomDemandAmplifiedOnSlowTier) {
+  AccessBurst b{0, 16, 1000, Pattern::kRandom, 0.0, 0.0};
+  const auto counts = expand_burst_counts(b);
+  PagePlacement slow(16, Tier::kSlow), fast(16, Tier::kFast);
+  const BurstCost cs = model.burst_cost(b, counts, slow);
+  const BurstCost cf = model.burst_cost(b, counts, fast);
+  EXPECT_NEAR(cs.slow_read_bytes, 1000.0 * cfg.slow.random_granularity_bytes,
+              1e-6);
+  EXPECT_NEAR(cf.fast_read_bytes, 1000.0 * cfg.fast.random_granularity_bytes,
+              1e-6);
+}
+
+TEST(PageCache, FillWithReadahead) {
+  HostPageCache cache(8);
+  EXPECT_FALSE(cache.contains(1, 100));
+  cache.fill(1, 100);
+  for (u64 p = 100; p < 108; ++p) EXPECT_TRUE(cache.contains(1, p));
+  EXPECT_FALSE(cache.contains(1, 108));
+  EXPECT_FALSE(cache.contains(2, 100));  // other file unaffected
+}
+
+TEST(PageCache, FillOneNoReadahead) {
+  HostPageCache cache(32);
+  cache.fill_one(1, 50);
+  EXPECT_TRUE(cache.contains(1, 50));
+  EXPECT_FALSE(cache.contains(1, 51));
+}
+
+TEST(PageCache, FillReturnsNewlyCached) {
+  HostPageCache cache(4);
+  EXPECT_EQ(cache.fill(1, 0), 4u);
+  EXPECT_EQ(cache.fill(1, 2), 2u);  // 2,3 already cached
+}
+
+TEST(PageCache, DropClearsEverything) {
+  HostPageCache cache(4);
+  cache.fill_range(1, 0, 100);
+  EXPECT_EQ(cache.cached_pages(), 100u);
+  cache.drop();
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  EXPECT_FALSE(cache.contains(1, 0));
+}
+
+}  // namespace
+}  // namespace toss

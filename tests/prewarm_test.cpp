@@ -1,0 +1,73 @@
+// Tests for the prediction-based prewarm support (Section VI-A).
+#include <gtest/gtest.h>
+
+#include "platform/prewarm.hpp"
+
+namespace toss {
+namespace {
+
+TEST(ArrivalPredictor, NoPredictionBeforeMinSamples) {
+  ArrivalPredictor p;
+  p.observe(sec(0));
+  p.observe(sec(10));
+  EXPECT_FALSE(p.predicted_next().has_value());
+  EXPECT_FALSE(p.prewarm_at().has_value());
+}
+
+TEST(ArrivalPredictor, PeriodicTrafficPredicted) {
+  ArrivalPredictor p;
+  for (int i = 0; i <= 10; ++i) p.observe(sec(10.0 * i));
+  ASSERT_TRUE(p.predicted_next().has_value());
+  // Last arrival at 100 s, modal gap ~10 s -> next around 110 s (bucket
+  // centre gives half-bucket granularity).
+  EXPECT_NEAR(to_sec(*p.predicted_next()), 110.0, 1.0);
+  ASSERT_TRUE(p.prewarm_at().has_value());
+  EXPECT_LT(*p.prewarm_at(), *p.predicted_next());
+}
+
+TEST(ArrivalPredictor, ModalGapWinsOverOutliers) {
+  ArrivalPredictor p;
+  Nanos t = 0;
+  // Mostly 5 s gaps with two 60 s outliers.
+  const double gaps[] = {5, 5, 5, 60, 5, 5, 60, 5, 5, 5};
+  p.observe(t);
+  for (double g : gaps) p.observe(t += sec(g));
+  ASSERT_TRUE(p.predicted_next().has_value());
+  EXPECT_NEAR(to_sec(*p.predicted_next() - t), 5.5, 1.0);
+}
+
+TEST(ArrivalPredictor, LongGapsClampToLastBucket) {
+  PrewarmConfig cfg;
+  cfg.bucket_count = 10;
+  cfg.bucket_ns = sec(1);
+  ArrivalPredictor p(cfg);
+  Nanos t = 0;
+  p.observe(t);
+  for (int i = 0; i < 6; ++i) p.observe(t += sec(500));  // way off-scale
+  ASSERT_TRUE(p.predicted_next().has_value());
+  EXPECT_NEAR(to_sec(*p.predicted_next() - t), 9.5, 0.6);  // last bucket
+}
+
+TEST(VisibleSetup, FullWhenNoPrewarm) {
+  EXPECT_DOUBLE_EQ(visible_setup_ns(sec(10), std::nullopt, ms(100)), ms(100));
+}
+
+TEST(VisibleSetup, HiddenWhenPrewarmEarlyEnough) {
+  // Restore started 200 ms before arrival; setup takes 100 ms: fully hidden.
+  EXPECT_DOUBLE_EQ(
+      visible_setup_ns(sec(10), sec(10) - ms(200), ms(100)), 0.0);
+}
+
+TEST(VisibleSetup, PartialWhenPrewarmLate) {
+  EXPECT_DOUBLE_EQ(visible_setup_ns(sec(10), sec(10) - ms(40), ms(100)),
+                   ms(60));
+}
+
+TEST(VisibleSetup, FutureRestoreStartIgnored) {
+  // Predicted arrival hasn't happened yet; restore scheduled after the
+  // actual arrival: client sees the full setup.
+  EXPECT_DOUBLE_EQ(visible_setup_ns(sec(10), sec(11), ms(100)), ms(100));
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,356 @@
+// Tests for the microVM substrate: snapshots, layout files, tiered
+// snapshots, the snapshot store and the MicroVm fault/timing behaviour.
+#include <gtest/gtest.h>
+
+#include "vmm/layout.hpp"
+#include "vmm/microvm.hpp"
+#include "vmm/snapshot.hpp"
+#include "vmm/snapshot_store.hpp"
+#include "vmm/tiered_snapshot.hpp"
+#include "vmm/vm_state.hpp"
+
+namespace toss {
+namespace {
+
+GuestMemory patterned_memory(u64 pages) {
+  GuestMemory mem(bytes_for_pages(pages));
+  for (u64 p = 0; p < pages; ++p)
+    mem.set_version(p, static_cast<u32>(p * 2654435761u));
+  return mem;
+}
+
+TEST(VmState, SerializeRoundtrip) {
+  VmState s;
+  s.vcpu_count = 2;
+  s.config_hash = 0xdeadbeef;
+  const auto back = VmState::deserialize(s.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(VmState, DeserializeRejectsCorrupt) {
+  auto bytes = VmState{}.serialize();
+  bytes[3] ^= 0x55;
+  EXPECT_FALSE(VmState::deserialize(bytes).has_value());
+  EXPECT_FALSE(VmState::deserialize({}).has_value());
+}
+
+TEST(SingleTierSnapshot, MaterializeMatchesSource) {
+  const GuestMemory mem = patterned_memory(64);
+  SingleTierSnapshot snap(1, mem, VmState{});
+  EXPECT_EQ(snap.num_pages(), 64u);
+  EXPECT_EQ(snap.materialize(), mem);
+}
+
+TEST(LayoutFile, ValidityRules) {
+  // Valid: fast at 0..3, slow at 4..7, fast continues at 8..9.
+  MemoryLayoutFile ok(10, {{Tier::kFast, 0, 0, 4},
+                           {Tier::kSlow, 0, 4, 4},
+                           {Tier::kFast, 4, 8, 2}});
+  EXPECT_TRUE(ok.valid());
+  EXPECT_EQ(ok.entries_in(Tier::kFast), 2u);
+  EXPECT_EQ(ok.pages_in(Tier::kSlow), 4u);
+  EXPECT_DOUBLE_EQ(ok.slow_fraction(), 0.4);
+
+  // Guest gap.
+  EXPECT_FALSE(MemoryLayoutFile(10, {{Tier::kFast, 0, 0, 4},
+                                     {Tier::kSlow, 0, 5, 5}})
+                   .valid());
+  // File offsets must be contiguous per tier.
+  EXPECT_FALSE(MemoryLayoutFile(8, {{Tier::kFast, 0, 0, 4},
+                                    {Tier::kFast, 6, 4, 4}})
+                   .valid());
+  // Incomplete coverage.
+  EXPECT_FALSE(MemoryLayoutFile(10, {{Tier::kFast, 0, 0, 4}}).valid());
+}
+
+TEST(LayoutFile, SerializeRoundtrip) {
+  MemoryLayoutFile layout(6, {{Tier::kFast, 0, 0, 2},
+                              {Tier::kSlow, 0, 2, 3},
+                              {Tier::kFast, 2, 5, 1}});
+  const auto back = MemoryLayoutFile::deserialize(layout.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, layout);
+}
+
+TEST(LayoutFile, DeserializeRejectsInvalid) {
+  auto bytes = MemoryLayoutFile(4, {{Tier::kFast, 0, 0, 4}}).serialize();
+  bytes[8] ^= 1;  // corrupt guest_pages -> coverage fails
+  EXPECT_FALSE(MemoryLayoutFile::deserialize(bytes).has_value());
+}
+
+class TieredSnapshotTest : public ::testing::Test {
+ protected:
+  static constexpr u64 kPages = 128;
+  GuestMemory mem = patterned_memory(kPages);
+  SingleTierSnapshot snap{1, mem, VmState{}};
+};
+
+TEST_F(TieredSnapshotTest, BuildPreservesContent) {
+  PagePlacement placement(kPages, Tier::kFast);
+  placement.set_range(10, 30, Tier::kSlow);
+  placement.set_range(64, 64, Tier::kSlow);
+  const TieredSnapshot tiered =
+      TieredSnapshot::build(snap, placement, 2, 3);
+  EXPECT_TRUE(tiered.layout().valid());
+  EXPECT_EQ(tiered.guest_pages(), kPages);
+  EXPECT_EQ(tiered.fast_pages() + tiered.slow_pages(), kPages);
+  EXPECT_EQ(tiered.slow_pages(), 94u);
+  // The re-assembled image must be bit-identical to the original memory.
+  EXPECT_EQ(tiered.materialize(), mem);
+}
+
+TEST_F(TieredSnapshotTest, AdjacentSameTierPagesCoalesce) {
+  PagePlacement placement(kPages, Tier::kFast);
+  placement.set_range(0, 64, Tier::kSlow);
+  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 2, 3);
+  // Exactly two mappings: one slow run, one fast run ("Bins Merging").
+  EXPECT_EQ(tiered.layout().entry_count(), 2u);
+}
+
+TEST_F(TieredSnapshotTest, LocateAgreesWithPlacement) {
+  PagePlacement placement(kPages, Tier::kFast);
+  placement.set_range(40, 20, Tier::kSlow);
+  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 2, 3);
+  for (u64 p = 0; p < kPages; ++p) {
+    const auto loc = tiered.locate(p);
+    EXPECT_EQ(loc.tier, placement.tier_of(p)) << p;
+    const u32 version = loc.tier == Tier::kFast
+                            ? tiered.fast_page_version(loc.file_page)
+                            : tiered.slow_page_version(loc.file_page);
+    EXPECT_EQ(version, mem.version(p)) << p;
+  }
+}
+
+TEST_F(TieredSnapshotTest, SerializeRoundtrip) {
+  PagePlacement placement(kPages, Tier::kFast);
+  placement.set_range(8, 40, Tier::kSlow);
+  placement.set_range(100, 28, Tier::kSlow);
+  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 7, 8);
+  const auto back = TieredSnapshot::deserialize(tiered.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tiered);
+  EXPECT_EQ(back->materialize(), mem);
+}
+
+TEST_F(TieredSnapshotTest, DeserializeRejectsCorruption) {
+  PagePlacement placement(kPages, Tier::kFast);
+  placement.set_range(0, 64, Tier::kSlow);
+  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 7, 8);
+  auto bytes = tiered.serialize();
+  EXPECT_FALSE(TieredSnapshot::deserialize({}).has_value());
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(TieredSnapshot::deserialize(bad_magic).has_value());
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(TieredSnapshot::deserialize(truncated).has_value());
+}
+
+TEST(SnapshotStore, IdsAndLookup) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store(cfg);
+  const GuestMemory mem = patterned_memory(32);
+  const u64 id = store.put_single_tier(mem, VmState{});
+  ASSERT_NE(store.get_single_tier(id), nullptr);
+  EXPECT_EQ(store.get_single_tier(id)->materialize(), mem);
+  EXPECT_EQ(store.get_single_tier(id + 999), nullptr);
+  EXPECT_NE(store.allocate_file_id(), id);
+}
+
+TEST(SnapshotStore, TieredLookupByEitherId) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store(cfg);
+  const GuestMemory mem = patterned_memory(32);
+  const u64 sid = store.put_single_tier(mem, VmState{});
+  PagePlacement placement(32, Tier::kFast);
+  placement.set_range(16, 16, Tier::kSlow);
+  const u64 fast_id = store.allocate_file_id();
+  const u64 slow_id = store.allocate_file_id();
+  store.put_tiered(TieredSnapshot::build(*store.get_single_tier(sid),
+                                         placement, fast_id, slow_id));
+  EXPECT_NE(store.get_tiered(fast_id), nullptr);
+  EXPECT_EQ(store.get_tiered(fast_id), store.get_tiered(slow_id));
+}
+
+class MicroVmTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store{cfg};
+
+  BurstTrace simple_trace(u64 begin, u64 pages, Pattern pattern,
+                          double wf = 0.0) {
+    BurstTrace t;
+    t.push_back(AccessBurst{begin, pages, pages * 10, pattern, wf, 0.0});
+    return t;
+  }
+};
+
+TEST_F(MicroVmTest, BootThenExecuteAnonymousMinorFaults) {
+  MicroVm vm(cfg, store);
+  const auto setup = vm.boot(kMiB, VmState{});
+  EXPECT_EQ(setup.mappings, 1u);
+  EXPECT_GT(setup.setup_ns, 0);
+  const auto r = vm.execute(simple_trace(0, 64, Pattern::kSequential), ms(1));
+  EXPECT_EQ(r.minor_faults, 64u);   // anonymous zero-fill
+  EXPECT_EQ(r.major_faults, 0u);
+  EXPECT_EQ(r.touched_pages, 64u);
+  EXPECT_GT(r.exec_ns, ms(1));
+}
+
+TEST_F(MicroVmTest, SecondTouchNoFault) {
+  MicroVm vm(cfg, store);
+  vm.boot(kMiB, VmState{});
+  vm.execute(simple_trace(0, 64, Pattern::kSequential), ms(1));
+  const auto r = vm.execute(simple_trace(0, 64, Pattern::kSequential), ms(1));
+  EXPECT_EQ(r.minor_faults, 0u);
+  EXPECT_EQ(r.touched_pages, 0u);
+}
+
+TEST_F(MicroVmTest, RestoreLazyMajorFaultsFromDisk) {
+  // Snapshot 256 pages, restore lazily with a dropped cache: random-pattern
+  // touches must major-fault, one disk read each.
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(256), VmState{});
+  const u64 snap_id = vm.take_snapshot();
+
+  RestorePlan plan;
+  plan.vm_state = VmState{};
+  plan.guest_pages = 256;
+  plan.mappings.push_back(
+      RestoreMapping{0, 256, Tier::kFast, snap_id, 0, false});
+  store.drop_caches();
+  MicroVm vm2(cfg, store);
+  vm2.restore(plan);
+  const auto r = vm2.execute(simple_trace(0, 64, Pattern::kRandom), ms(1));
+  EXPECT_EQ(r.major_faults, 64u);
+  EXPECT_EQ(r.disk_pages, 64u);
+  EXPECT_GT(r.disk_ns, 0);
+}
+
+TEST_F(MicroVmTest, SequentialFaultsBenefitFromReadahead) {
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(256), VmState{});
+  const u64 snap_id = vm.take_snapshot();
+  RestorePlan plan;
+  plan.guest_pages = 256;
+  plan.mappings.push_back(
+      RestoreMapping{0, 256, Tier::kFast, snap_id, 0, false});
+
+  store.drop_caches();
+  MicroVm vm2(cfg, store);
+  vm2.restore(plan);
+  const auto r = vm2.execute(simple_trace(0, 64, Pattern::kSequential), ms(1));
+  EXPECT_LT(r.major_faults, 64u);  // readahead converts most to minor
+  EXPECT_GT(r.minor_faults, 0u);
+}
+
+TEST_F(MicroVmTest, EagerLoadedPagesTakeNoFault) {
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(128), VmState{});
+  const u64 snap_id = vm.take_snapshot();
+  RestorePlan plan;
+  plan.guest_pages = 128;
+  plan.mappings.push_back(
+      RestoreMapping{0, 128, Tier::kFast, snap_id, 0, false});
+  plan.eager.push_back(EagerLoad{0, 64, snap_id, 0});
+  store.drop_caches();
+  MicroVm vm2(cfg, store);
+  const auto setup = vm2.restore(plan);
+  EXPECT_EQ(setup.eager_pages, 64u);
+  EXPECT_GT(setup.eager_load_ns, 0);
+  const auto r = vm2.execute(simple_trace(0, 64, Pattern::kRandom), ms(1));
+  EXPECT_EQ(r.minor_faults, 0u);
+  EXPECT_EQ(r.major_faults, 0u);
+}
+
+TEST_F(MicroVmTest, DaxMappingsMinorFaultOnly) {
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(128), VmState{});
+  const u64 snap_id = vm.take_snapshot();
+  RestorePlan plan;
+  plan.guest_pages = 128;
+  plan.mappings.push_back(
+      RestoreMapping{0, 128, Tier::kSlow, snap_id, 0, true});
+  store.drop_caches();
+  MicroVm vm2(cfg, store);
+  vm2.restore(plan);
+  const auto r = vm2.execute(simple_trace(0, 64, Pattern::kRandom), ms(1));
+  EXPECT_EQ(r.major_faults, 0u);
+  EXPECT_EQ(r.minor_faults, 64u);
+  EXPECT_GT(r.slow_accesses, 0u);
+}
+
+TEST_F(MicroVmTest, SetupTimeScalesWithMappings) {
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(128), VmState{});
+  const u64 snap_id = vm.take_snapshot();
+  auto plan_with = [&](u64 mappings) {
+    RestorePlan plan;
+    plan.guest_pages = 128;
+    const u64 per = 128 / mappings;
+    for (u64 i = 0; i < mappings; ++i)
+      plan.mappings.push_back(RestoreMapping{i * per, per, Tier::kFast,
+                                             snap_id, i * per, false});
+    return plan;
+  };
+  MicroVm a(cfg, store), b(cfg, store);
+  const auto s1 = a.restore(plan_with(1));
+  const auto s32 = b.restore(plan_with(32));
+  EXPECT_NEAR(s32.setup_ns - s1.setup_ns, 31 * cfg.vmm.mmap_region_ns, 1.0);
+}
+
+TEST_F(MicroVmTest, CowFaultOnFirstWrite) {
+  MicroVm vm(cfg, store);
+  vm.boot(kMiB, VmState{});
+  const auto r1 = vm.execute(simple_trace(0, 16, Pattern::kRandom, 0.5), ms(1));
+  EXPECT_EQ(r1.cow_faults, 16u);
+  const auto r2 = vm.execute(simple_trace(0, 16, Pattern::kRandom, 0.5), ms(1));
+  EXPECT_EQ(r2.cow_faults, 0u);  // already copied
+}
+
+TEST_F(MicroVmTest, ApplyWritesBumpsVersionsAndSnapshotSees) {
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(32), VmState{});
+  const BurstTrace t = simple_trace(4, 8, Pattern::kSequential, 0.7);
+  vm.execute(t, ms(1));
+  vm.apply_writes(t);
+  EXPECT_EQ(vm.memory().version(4), 1u);
+  EXPECT_EQ(vm.memory().version(0), 0u);
+  const u64 id = vm.take_snapshot();
+  EXPECT_EQ(store.get_single_tier(id)->page_version(4), 1u);
+}
+
+TEST_F(MicroVmTest, RestoreMaterializesTieredContent) {
+  // Boot, write, snapshot, tier it, restore -> memory must match.
+  MicroVm vm(cfg, store);
+  vm.boot(bytes_for_pages(64), VmState{});
+  const BurstTrace t = simple_trace(0, 64, Pattern::kSequential, 1.0);
+  vm.execute(t, ms(1));
+  vm.apply_writes(t);
+  const GuestMemory want = vm.memory();
+  const u64 snap_id = vm.take_snapshot();
+
+  PagePlacement placement(64, Tier::kFast);
+  placement.set_range(32, 32, Tier::kSlow);
+  const u64 fast_id = store.allocate_file_id();
+  const u64 slow_id = store.allocate_file_id();
+  store.put_tiered(TieredSnapshot::build(*store.get_single_tier(snap_id),
+                                         placement, fast_id, slow_id));
+  const TieredSnapshot* tiered = store.get_tiered(fast_id);
+
+  RestorePlan plan;
+  plan.guest_pages = 64;
+  for (const auto& e : tiered->layout().entries()) {
+    plan.mappings.push_back(RestoreMapping{
+        e.guest_page, e.page_count, e.tier,
+        e.tier == Tier::kFast ? fast_id : slow_id, e.file_page,
+        e.tier == Tier::kSlow});
+  }
+  MicroVm vm2(cfg, store);
+  vm2.restore(plan);
+  EXPECT_EQ(vm2.memory(), want);
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,152 @@
+// Tests for the Table-I workload suite: registry completeness, determinism,
+// jitter, and the memory-behaviour invariants the evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "mem/access_cost.hpp"
+#include "workloads/functions.hpp"
+#include "workloads/registry.hpp"
+
+namespace toss {
+namespace {
+
+TEST(Registry, TableOneComplete) {
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  EXPECT_EQ(reg.size(), 10u);
+  for (const char* name :
+       {"float_operation", "pyaes", "json_load_dump", "compress", "linpack",
+        "matmul", "image_processing", "pagerank", "lr_serving",
+        "lr_training"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(Registry, MemoryConfigsMatchTableOne) {
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  EXPECT_EQ(reg.find("float_operation")->spec().memory_mb, 128u);
+  EXPECT_EQ(reg.find("pyaes")->spec().memory_mb, 128u);
+  EXPECT_EQ(reg.find("json_load_dump")->spec().memory_mb, 128u);
+  EXPECT_EQ(reg.find("compress")->spec().memory_mb, 256u);
+  EXPECT_EQ(reg.find("linpack")->spec().memory_mb, 256u);
+  EXPECT_EQ(reg.find("matmul")->spec().memory_mb, 256u);
+  EXPECT_EQ(reg.find("image_processing")->spec().memory_mb, 256u);
+  EXPECT_EQ(reg.find("pagerank")->spec().memory_mb, 1024u);
+  EXPECT_EQ(reg.find("lr_serving")->spec().memory_mb, 1024u);
+  EXPECT_EQ(reg.find("lr_training")->spec().memory_mb, 1024u);
+}
+
+TEST(Registry, MemoryIsMultipleOf128MB) {
+  for (const auto& m : FunctionRegistry::table1().models())
+    EXPECT_EQ(m.spec().memory_mb % 128, 0u) << m.name();
+}
+
+class AllFunctionsTest : public ::testing::TestWithParam<int> {
+ protected:
+  FunctionRegistry reg = FunctionRegistry::table1();
+};
+
+TEST_P(AllFunctionsTest, InvocationsDeterministicPerSeed) {
+  const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
+  for (int input = 0; input < kNumInputs; ++input) {
+    const Invocation a = m.invoke(input, 77);
+    const Invocation b = m.invoke(input, 77);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i)
+      EXPECT_EQ(a.trace.bursts()[i].page_begin, b.trace.bursts()[i].page_begin);
+    EXPECT_DOUBLE_EQ(a.cpu_ns, b.cpu_ns);
+  }
+}
+
+TEST_P(AllFunctionsTest, DifferentSeedsJitter) {
+  const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
+  const Invocation a = m.invoke(3, 1);
+  const Invocation b = m.invoke(3, 2);
+  // Execution time must differ (time jitter), reproducing the paper's
+  // same-input variability observation.
+  EXPECT_NE(a.cpu_ns, b.cpu_ns);
+}
+
+TEST_P(AllFunctionsTest, TraceStaysInsideGuest) {
+  const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
+  for (int input = 0; input < kNumInputs; ++input) {
+    for (u64 seed : {1ull, 99ull, 12345ull}) {
+      const Invocation inv = m.invoke(input, seed);
+      EXPECT_LE(inv.trace.max_page_end(), m.guest_pages());
+      EXPECT_FALSE(inv.trace.empty());
+    }
+  }
+}
+
+TEST_P(AllFunctionsTest, FootprintGrowsWithInput) {
+  const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
+  const u64 small = m.invoke(0, 5).trace.footprint_pages(m.guest_pages());
+  const u64 large = m.invoke(3, 5).trace.footprint_pages(m.guest_pages());
+  EXPECT_GE(large, small);
+  // Nothing uses the whole guest; zero-access pages must exist for TOSS.
+  EXPECT_LT(large, m.guest_pages());
+}
+
+TEST_P(AllFunctionsTest, CpuTimeGrowsWithInput) {
+  const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
+  for (int input = 1; input < kNumInputs; ++input) {
+    EXPECT_GT(m.spec().cpu_ms[static_cast<size_t>(input)],
+              m.spec().cpu_ms[static_cast<size_t>(input - 1)]);
+  }
+}
+
+TEST_P(AllFunctionsTest, SlowTierNeverFasterThanDram) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  AccessCostModel model(cfg);
+  const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
+  for (int input = 0; input < kNumInputs; ++input) {
+    const Invocation inv = m.invoke(input, 11);
+    EXPECT_GE(inv.trace.time_uniform(model, Tier::kSlow),
+              inv.trace.time_uniform(model, Tier::kFast));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, AllFunctionsTest, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           return FunctionRegistry::table1()
+                               .models()[static_cast<size_t>(info.param)]
+                               .name();
+                         });
+
+TEST(Calibration, PagerankIsTheMostMemoryIntensive) {
+  // Section VI-C: pagerank uniquely limits offloading. Its full-slow
+  // slowdown at input IV must be the worst of the suite.
+  const SystemConfig cfg = SystemConfig::paper_default();
+  AccessCostModel model(cfg);
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  double pagerank_sd = 0, best_other = 0;
+  for (const auto& m : reg.models()) {
+    const Invocation inv = m.invoke(3, 42);
+    const double warm = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+    const double slow = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
+    const double sd = slow / warm;
+    if (m.name() == "pagerank")
+      pagerank_sd = sd;
+    else
+      best_other = std::max(best_other, sd);
+  }
+  EXPECT_GT(pagerank_sd, best_other);
+  EXPECT_GT(pagerank_sd, 2.0);
+}
+
+TEST(Calibration, CompressNegligibleSlowTierSlowdown) {
+  // Fig 2 / Section VI-C: compress runs in the slow tier with negligible
+  // degradation for every input.
+  const SystemConfig cfg = SystemConfig::paper_default();
+  AccessCostModel model(cfg);
+  const FunctionModel* m = FunctionRegistry::table1().find("compress");
+  ASSERT_NE(m, nullptr);
+  for (int input = 0; input < kNumInputs; ++input) {
+    const Invocation inv = m->invoke(input, 42);
+    const double warm = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+    const double slow = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
+    EXPECT_LT(slow / warm, 1.10) << "input " << input;
+  }
+}
+
+}  // namespace
+}  // namespace toss
