@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binpack.dir/ablation_binpack.cpp.o"
+  "CMakeFiles/ablation_binpack.dir/ablation_binpack.cpp.o.d"
+  "ablation_binpack"
+  "ablation_binpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_region_merge.dir/ablation_region_merge.cpp.o"
+  "CMakeFiles/ablation_region_merge.dir/ablation_region_merge.cpp.o.d"
+  "ablation_region_merge"
+  "ablation_region_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_region_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

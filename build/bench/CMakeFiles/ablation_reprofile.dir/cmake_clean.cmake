@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reprofile.dir/ablation_reprofile.cpp.o"
+  "CMakeFiles/ablation_reprofile.dir/ablation_reprofile.cpp.o.d"
+  "ablation_reprofile"
+  "ablation_reprofile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ws_characterization.dir/fig1_ws_characterization.cpp.o"
+  "CMakeFiles/fig1_ws_characterization.dir/fig1_ws_characterization.cpp.o.d"
+  "fig1_ws_characterization"
+  "fig1_ws_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ws_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

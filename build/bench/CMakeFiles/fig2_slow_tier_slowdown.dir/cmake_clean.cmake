@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_slow_tier_slowdown.dir/fig2_slow_tier_slowdown.cpp.o"
+  "CMakeFiles/fig2_slow_tier_slowdown.dir/fig2_slow_tier_slowdown.cpp.o.d"
+  "fig2_slow_tier_slowdown"
+  "fig2_slow_tier_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_slow_tier_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_reap_input_matrix.dir/fig3_reap_input_matrix.cpp.o"
+  "CMakeFiles/fig3_reap_input_matrix.dir/fig3_reap_input_matrix.cpp.o.d"
+  "fig3_reap_input_matrix"
+  "fig3_reap_input_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_reap_input_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

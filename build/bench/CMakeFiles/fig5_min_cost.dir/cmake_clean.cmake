@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_min_cost.dir/fig5_min_cost.cpp.o"
+  "CMakeFiles/fig5_min_cost.dir/fig5_min_cost.cpp.o.d"
+  "fig5_min_cost"
+  "fig5_min_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_min_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_incremental_bins.dir/fig6_incremental_bins.cpp.o"
+  "CMakeFiles/fig6_incremental_bins.dir/fig6_incremental_bins.cpp.o.d"
+  "fig6_incremental_bins"
+  "fig6_incremental_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_incremental_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

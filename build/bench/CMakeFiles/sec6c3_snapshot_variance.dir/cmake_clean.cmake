@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6c3_snapshot_variance.dir/sec6c3_snapshot_variance.cpp.o"
+  "CMakeFiles/sec6c3_snapshot_variance.dir/sec6c3_snapshot_variance.cpp.o.d"
+  "sec6c3_snapshot_variance"
+  "sec6c3_snapshot_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6c3_snapshot_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6c3_snapshot_variance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6c3_snapshot_variance.
+# This may be replaced when dependencies are built.

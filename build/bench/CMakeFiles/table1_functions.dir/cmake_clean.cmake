@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_functions.dir/table1_functions.cpp.o"
+  "CMakeFiles/table1_functions.dir/table1_functions.cpp.o.d"
+  "table1_functions"
+  "table1_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

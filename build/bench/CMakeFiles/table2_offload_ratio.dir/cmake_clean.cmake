@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_offload_ratio.dir/table2_offload_ratio.cpp.o"
+  "CMakeFiles/table2_offload_ratio.dir/table2_offload_ratio.cpp.o.d"
+  "table2_offload_ratio"
+  "table2_offload_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_offload_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

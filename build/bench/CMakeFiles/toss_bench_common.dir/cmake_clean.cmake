@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_bench_common.dir/common.cpp.o"
+  "CMakeFiles/toss_bench_common.dir/common.cpp.o.d"
+  "libtoss_bench_common.a"
+  "libtoss_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

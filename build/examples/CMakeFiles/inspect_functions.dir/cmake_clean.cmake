@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_functions.dir/inspect_functions.cpp.o"
+  "CMakeFiles/inspect_functions.dir/inspect_functions.cpp.o.d"
+  "inspect_functions"
+  "inspect_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

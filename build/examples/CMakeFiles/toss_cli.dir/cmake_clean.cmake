@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_cli.dir/toss_cli.cpp.o"
+  "CMakeFiles/toss_cli.dir/toss_cli.cpp.o.d"
+  "toss_cli"
+  "toss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

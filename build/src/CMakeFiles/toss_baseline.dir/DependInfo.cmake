@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/faasnap.cpp" "src/CMakeFiles/toss_baseline.dir/baseline/faasnap.cpp.o" "gcc" "src/CMakeFiles/toss_baseline.dir/baseline/faasnap.cpp.o.d"
+  "/root/repo/src/baseline/reap.cpp" "src/CMakeFiles/toss_baseline.dir/baseline/reap.cpp.o" "gcc" "src/CMakeFiles/toss_baseline.dir/baseline/reap.cpp.o.d"
+  "/root/repo/src/baseline/vanilla.cpp" "src/CMakeFiles/toss_baseline.dir/baseline/vanilla.cpp.o" "gcc" "src/CMakeFiles/toss_baseline.dir/baseline/vanilla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

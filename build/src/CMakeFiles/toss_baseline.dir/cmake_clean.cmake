@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_baseline.dir/baseline/faasnap.cpp.o"
+  "CMakeFiles/toss_baseline.dir/baseline/faasnap.cpp.o.d"
+  "CMakeFiles/toss_baseline.dir/baseline/reap.cpp.o"
+  "CMakeFiles/toss_baseline.dir/baseline/reap.cpp.o.d"
+  "CMakeFiles/toss_baseline.dir/baseline/vanilla.cpp.o"
+  "CMakeFiles/toss_baseline.dir/baseline/vanilla.cpp.o.d"
+  "libtoss_baseline.a"
+  "libtoss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bin_profiler.cpp" "src/CMakeFiles/toss_core.dir/core/bin_profiler.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/bin_profiler.cpp.o.d"
+  "/root/repo/src/core/binpack.cpp" "src/CMakeFiles/toss_core.dir/core/binpack.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/binpack.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/toss_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/CMakeFiles/toss_core.dir/core/merge.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/merge.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/CMakeFiles/toss_core.dir/core/optimizer.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/reprofile.cpp" "src/CMakeFiles/toss_core.dir/core/reprofile.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/reprofile.cpp.o.d"
+  "/root/repo/src/core/tierer.cpp" "src/CMakeFiles/toss_core.dir/core/tierer.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/tierer.cpp.o.d"
+  "/root/repo/src/core/toss.cpp" "src/CMakeFiles/toss_core.dir/core/toss.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/toss.cpp.o.d"
+  "/root/repo/src/core/unified_pattern.cpp" "src/CMakeFiles/toss_core.dir/core/unified_pattern.cpp.o" "gcc" "src/CMakeFiles/toss_core.dir/core/unified_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_damon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_core.dir/core/bin_profiler.cpp.o"
+  "CMakeFiles/toss_core.dir/core/bin_profiler.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/binpack.cpp.o"
+  "CMakeFiles/toss_core.dir/core/binpack.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/cost.cpp.o"
+  "CMakeFiles/toss_core.dir/core/cost.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/merge.cpp.o"
+  "CMakeFiles/toss_core.dir/core/merge.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/optimizer.cpp.o"
+  "CMakeFiles/toss_core.dir/core/optimizer.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/reprofile.cpp.o"
+  "CMakeFiles/toss_core.dir/core/reprofile.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/tierer.cpp.o"
+  "CMakeFiles/toss_core.dir/core/tierer.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/toss.cpp.o"
+  "CMakeFiles/toss_core.dir/core/toss.cpp.o.d"
+  "CMakeFiles/toss_core.dir/core/unified_pattern.cpp.o"
+  "CMakeFiles/toss_core.dir/core/unified_pattern.cpp.o.d"
+  "libtoss_core.a"
+  "libtoss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/damon/monitor.cpp" "src/CMakeFiles/toss_damon.dir/damon/monitor.cpp.o" "gcc" "src/CMakeFiles/toss_damon.dir/damon/monitor.cpp.o.d"
+  "/root/repo/src/damon/record.cpp" "src/CMakeFiles/toss_damon.dir/damon/record.cpp.o" "gcc" "src/CMakeFiles/toss_damon.dir/damon/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

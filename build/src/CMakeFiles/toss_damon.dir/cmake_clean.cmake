@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_damon.dir/damon/monitor.cpp.o"
+  "CMakeFiles/toss_damon.dir/damon/monitor.cpp.o.d"
+  "CMakeFiles/toss_damon.dir/damon/record.cpp.o"
+  "CMakeFiles/toss_damon.dir/damon/record.cpp.o.d"
+  "libtoss_damon.a"
+  "libtoss_damon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_damon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/access_cost.cpp" "src/CMakeFiles/toss_mem.dir/mem/access_cost.cpp.o" "gcc" "src/CMakeFiles/toss_mem.dir/mem/access_cost.cpp.o.d"
+  "/root/repo/src/mem/page_cache.cpp" "src/CMakeFiles/toss_mem.dir/mem/page_cache.cpp.o" "gcc" "src/CMakeFiles/toss_mem.dir/mem/page_cache.cpp.o.d"
+  "/root/repo/src/mem/placement.cpp" "src/CMakeFiles/toss_mem.dir/mem/placement.cpp.o" "gcc" "src/CMakeFiles/toss_mem.dir/mem/placement.cpp.o.d"
+  "/root/repo/src/mem/tier.cpp" "src/CMakeFiles/toss_mem.dir/mem/tier.cpp.o" "gcc" "src/CMakeFiles/toss_mem.dir/mem/tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_mem.dir/mem/access_cost.cpp.o"
+  "CMakeFiles/toss_mem.dir/mem/access_cost.cpp.o.d"
+  "CMakeFiles/toss_mem.dir/mem/page_cache.cpp.o"
+  "CMakeFiles/toss_mem.dir/mem/page_cache.cpp.o.d"
+  "CMakeFiles/toss_mem.dir/mem/placement.cpp.o"
+  "CMakeFiles/toss_mem.dir/mem/placement.cpp.o.d"
+  "CMakeFiles/toss_mem.dir/mem/tier.cpp.o"
+  "CMakeFiles/toss_mem.dir/mem/tier.cpp.o.d"
+  "libtoss_mem.a"
+  "libtoss_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/concurrency.cpp" "src/CMakeFiles/toss_platform.dir/platform/concurrency.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/concurrency.cpp.o.d"
+  "/root/repo/src/platform/invoker.cpp" "src/CMakeFiles/toss_platform.dir/platform/invoker.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/invoker.cpp.o.d"
+  "/root/repo/src/platform/keepalive.cpp" "src/CMakeFiles/toss_platform.dir/platform/keepalive.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/keepalive.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/CMakeFiles/toss_platform.dir/platform/platform.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/platform.cpp.o.d"
+  "/root/repo/src/platform/prewarm.cpp" "src/CMakeFiles/toss_platform.dir/platform/prewarm.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/prewarm.cpp.o.d"
+  "/root/repo/src/platform/pricing.cpp" "src/CMakeFiles/toss_platform.dir/platform/pricing.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/pricing.cpp.o.d"
+  "/root/repo/src/platform/request_gen.cpp" "src/CMakeFiles/toss_platform.dir/platform/request_gen.cpp.o" "gcc" "src/CMakeFiles/toss_platform.dir/platform/request_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_damon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

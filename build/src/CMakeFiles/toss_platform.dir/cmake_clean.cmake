@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_platform.dir/platform/concurrency.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/concurrency.cpp.o.d"
+  "CMakeFiles/toss_platform.dir/platform/invoker.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/invoker.cpp.o.d"
+  "CMakeFiles/toss_platform.dir/platform/keepalive.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/keepalive.cpp.o.d"
+  "CMakeFiles/toss_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/platform.cpp.o.d"
+  "CMakeFiles/toss_platform.dir/platform/prewarm.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/prewarm.cpp.o.d"
+  "CMakeFiles/toss_platform.dir/platform/pricing.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/pricing.cpp.o.d"
+  "CMakeFiles/toss_platform.dir/platform/request_gen.cpp.o"
+  "CMakeFiles/toss_platform.dir/platform/request_gen.cpp.o.d"
+  "libtoss_platform.a"
+  "libtoss_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/burst.cpp" "src/CMakeFiles/toss_trace.dir/trace/burst.cpp.o" "gcc" "src/CMakeFiles/toss_trace.dir/trace/burst.cpp.o.d"
+  "/root/repo/src/trace/pattern.cpp" "src/CMakeFiles/toss_trace.dir/trace/pattern.cpp.o" "gcc" "src/CMakeFiles/toss_trace.dir/trace/pattern.cpp.o.d"
+  "/root/repo/src/trace/region.cpp" "src/CMakeFiles/toss_trace.dir/trace/region.cpp.o" "gcc" "src/CMakeFiles/toss_trace.dir/trace/region.cpp.o.d"
+  "/root/repo/src/trace/working_set.cpp" "src/CMakeFiles/toss_trace.dir/trace/working_set.cpp.o" "gcc" "src/CMakeFiles/toss_trace.dir/trace/working_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_trace.dir/trace/burst.cpp.o"
+  "CMakeFiles/toss_trace.dir/trace/burst.cpp.o.d"
+  "CMakeFiles/toss_trace.dir/trace/pattern.cpp.o"
+  "CMakeFiles/toss_trace.dir/trace/pattern.cpp.o.d"
+  "CMakeFiles/toss_trace.dir/trace/region.cpp.o"
+  "CMakeFiles/toss_trace.dir/trace/region.cpp.o.d"
+  "CMakeFiles/toss_trace.dir/trace/working_set.cpp.o"
+  "CMakeFiles/toss_trace.dir/trace/working_set.cpp.o.d"
+  "libtoss_trace.a"
+  "libtoss_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

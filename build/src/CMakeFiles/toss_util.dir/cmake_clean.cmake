@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_util.dir/util/rng.cpp.o"
+  "CMakeFiles/toss_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/toss_util.dir/util/stats.cpp.o"
+  "CMakeFiles/toss_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/toss_util.dir/util/table.cpp.o"
+  "CMakeFiles/toss_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/toss_util.dir/util/units.cpp.o"
+  "CMakeFiles/toss_util.dir/util/units.cpp.o.d"
+  "libtoss_util.a"
+  "libtoss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

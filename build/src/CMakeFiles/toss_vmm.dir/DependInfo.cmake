@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/guest_memory.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/guest_memory.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/guest_memory.cpp.o.d"
+  "/root/repo/src/vmm/layout.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/layout.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/layout.cpp.o.d"
+  "/root/repo/src/vmm/microvm.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/microvm.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/microvm.cpp.o.d"
+  "/root/repo/src/vmm/snapshot.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/snapshot.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/snapshot.cpp.o.d"
+  "/root/repo/src/vmm/snapshot_store.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/snapshot_store.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/snapshot_store.cpp.o.d"
+  "/root/repo/src/vmm/tiered_snapshot.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/tiered_snapshot.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/tiered_snapshot.cpp.o.d"
+  "/root/repo/src/vmm/vm_state.cpp" "src/CMakeFiles/toss_vmm.dir/vmm/vm_state.cpp.o" "gcc" "src/CMakeFiles/toss_vmm.dir/vmm/vm_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

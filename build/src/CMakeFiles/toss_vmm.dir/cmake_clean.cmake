@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_vmm.dir/vmm/guest_memory.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/guest_memory.cpp.o.d"
+  "CMakeFiles/toss_vmm.dir/vmm/layout.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/layout.cpp.o.d"
+  "CMakeFiles/toss_vmm.dir/vmm/microvm.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/microvm.cpp.o.d"
+  "CMakeFiles/toss_vmm.dir/vmm/snapshot.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/snapshot.cpp.o.d"
+  "CMakeFiles/toss_vmm.dir/vmm/snapshot_store.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/snapshot_store.cpp.o.d"
+  "CMakeFiles/toss_vmm.dir/vmm/tiered_snapshot.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/tiered_snapshot.cpp.o.d"
+  "CMakeFiles/toss_vmm.dir/vmm/vm_state.cpp.o"
+  "CMakeFiles/toss_vmm.dir/vmm/vm_state.cpp.o.d"
+  "libtoss_vmm.a"
+  "libtoss_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/function_model.cpp" "src/CMakeFiles/toss_workloads.dir/workloads/function_model.cpp.o" "gcc" "src/CMakeFiles/toss_workloads.dir/workloads/function_model.cpp.o.d"
+  "/root/repo/src/workloads/functions.cpp" "src/CMakeFiles/toss_workloads.dir/workloads/functions.cpp.o" "gcc" "src/CMakeFiles/toss_workloads.dir/workloads/functions.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/toss_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/toss_workloads.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/trace_gen.cpp" "src/CMakeFiles/toss_workloads.dir/workloads/trace_gen.cpp.o" "gcc" "src/CMakeFiles/toss_workloads.dir/workloads/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/toss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/toss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

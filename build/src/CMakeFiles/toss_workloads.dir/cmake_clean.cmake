@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_workloads.dir/workloads/function_model.cpp.o"
+  "CMakeFiles/toss_workloads.dir/workloads/function_model.cpp.o.d"
+  "CMakeFiles/toss_workloads.dir/workloads/functions.cpp.o"
+  "CMakeFiles/toss_workloads.dir/workloads/functions.cpp.o.d"
+  "CMakeFiles/toss_workloads.dir/workloads/registry.cpp.o"
+  "CMakeFiles/toss_workloads.dir/workloads/registry.cpp.o.d"
+  "CMakeFiles/toss_workloads.dir/workloads/trace_gen.cpp.o"
+  "CMakeFiles/toss_workloads.dir/workloads/trace_gen.cpp.o.d"
+  "libtoss_workloads.a"
+  "libtoss_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

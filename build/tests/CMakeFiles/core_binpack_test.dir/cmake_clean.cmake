@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_binpack_test.dir/core_binpack_test.cpp.o"
+  "CMakeFiles/core_binpack_test.dir/core_binpack_test.cpp.o.d"
+  "core_binpack_test"
+  "core_binpack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_binpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_toss_test.dir/core_toss_test.cpp.o"
+  "CMakeFiles/core_toss_test.dir/core_toss_test.cpp.o.d"
+  "core_toss_test"
+  "core_toss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_toss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damon_test.dir/damon_test.cpp.o"
+  "CMakeFiles/damon_test.dir/damon_test.cpp.o.d"
+  "damon_test"
+  "damon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
