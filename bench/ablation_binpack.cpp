@@ -7,7 +7,6 @@
 // normalized cost the optimizer can reach from each bin set.
 #include <benchmark/benchmark.h>
 
-#include "core/merge.hpp"
 #include "common.hpp"
 
 using namespace toss;

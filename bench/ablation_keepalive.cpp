@@ -7,8 +7,6 @@
 // and lower mean latency under a multi-tenant request stream.
 #include <benchmark/benchmark.h>
 
-#include "core/tierer.hpp"
-#include "platform/keepalive.hpp"
 #include "common.hpp"
 
 using namespace toss;

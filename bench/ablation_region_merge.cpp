@@ -9,8 +9,6 @@
 
 #include <cmath>
 
-#include "core/merge.hpp"
-#include "core/tierer.hpp"
 #include "common.hpp"
 
 using namespace toss;

@@ -9,15 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "baseline/reap.hpp"
-#include "baseline/vanilla.hpp"
-#include "core/toss.hpp"
-#include "platform/concurrency.hpp"
-#include "platform/invoker.hpp"
-#include "platform/request_gen.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-#include "workloads/registry.hpp"
+#include "toss.hpp"
 
 namespace toss::bench {
 

@@ -1,0 +1,144 @@
+// Engine throughput: wall-clock speedup of the concurrent PlatformEngine
+// over the serial reference path on a 64-function fleet, with a bit-for-bit
+// determinism check between the two runs.
+//
+// The fleet cycles the ten Table-I functions (distinct registrations, so 64
+// isolated lanes); every lane drives enough requests to cross the full TOSS
+// lifecycle. The serial run (1 thread) and the parallel run (8 threads by
+// default, or --engine_threads=N) must produce identical per-function
+// statistics — lanes share no mutable state — so the only thing allowed to
+// change is the wall clock. Metrics (counters + latency histograms per
+// function/phase) are snapshotted into engine_metrics.json.
+//
+// Note: the achievable speedup is bounded by the host's core count; on a
+// single-core machine both runs take the same time by construction.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "toss.hpp"
+
+using namespace toss;
+
+namespace {
+
+constexpr size_t kFleetSize = 64;
+constexpr size_t kRequestsPerFunction = 48;
+
+std::unique_ptr<PlatformEngine> build_fleet() {
+  EngineOptions opts;
+  opts.keep_outcomes = false;  // 64 x 48 outcomes are noise; stats suffice
+  auto engine = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
+                                                 PricingPlan{}, opts);
+
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  TossOptions toss;
+  toss.stable_invocations = 5;
+  toss.max_profiling_invocations = 40;
+
+  for (size_t i = 0; i < kFleetSize; ++i) {
+    FunctionSpec spec = base[i % base.size()];
+    spec.name += "#" + std::to_string(i);
+    auto requests = RequestGenerator::round_robin(
+        kRequestsPerFunction, mix_seed(7000 + i, spec.name));
+    engine
+        ->add(FunctionRegistration(std::move(spec))
+                 .policy(PolicyKind::kToss)
+                 .toss(toss)
+                 .seed(1000 + i),
+             std::move(requests))
+        .value();
+  }
+  return engine;
+}
+
+bool identical_stats(const OnlineStats& a, const OnlineStats& b) {
+  return a.count() == b.count() && a.sum() == b.sum() &&
+         a.mean() == b.mean() && a.min() == b.min() && a.max() == b.max() &&
+         a.variance() == b.variance();
+}
+
+int run_comparison(int threads) {
+  std::printf("fleet: %zu functions x %zu requests, host threads: %d\n",
+              kFleetSize, kRequestsPerFunction, ThreadPool::hardware_threads());
+
+  auto serial_engine = build_fleet();
+  const EngineReport serial = serial_engine->run(1).value();
+  std::printf("serial   (1 thread) : %8.1f ms wall\n", to_ms(serial.wall_ns));
+
+  auto parallel_engine = build_fleet();
+  const EngineReport parallel = parallel_engine->run(threads).value();
+  std::printf("parallel (%d threads): %8.1f ms wall\n", threads,
+              to_ms(parallel.wall_ns));
+
+  const double speedup =
+      parallel.wall_ns > 0 ? serial.wall_ns / parallel.wall_ns : 0;
+  std::printf("speedup: %.2fx (serialization violations: %llu)\n", speedup,
+              static_cast<unsigned long long>(
+                  parallel.serialization_violations));
+
+  // Determinism: per-function stats must match bit-for-bit.
+  size_t mismatches = 0;
+  for (size_t i = 0; i < serial.functions.size(); ++i) {
+    const FunctionReport& s = serial.functions[i];
+    const FunctionReport& p = parallel.functions[i];
+    const bool same =
+        s.name == p.name && s.stats.invocations == p.stats.invocations &&
+        s.stats.total_charge == p.stats.total_charge &&
+        s.final_phase == p.final_phase &&
+        identical_stats(s.stats.total_ns, p.stats.total_ns) &&
+        identical_stats(s.stats.setup_ns, p.stats.setup_ns) &&
+        identical_stats(s.stats.exec_ns, p.stats.exec_ns);
+    if (!same) {
+      ++mismatches;
+      std::printf("MISMATCH: %s\n", s.name.c_str());
+    }
+  }
+  std::printf("determinism: %zu/%zu functions bit-identical\n",
+              serial.functions.size() - mismatches, serial.functions.size());
+
+  u64 tiered = 0;
+  for (const FunctionReport& f : parallel.functions)
+    if (f.final_phase == TossPhase::kTiered) ++tiered;
+  std::printf("lifecycle: %llu/%zu lanes reached the tiered phase\n",
+              static_cast<unsigned long long>(tiered),
+              parallel.functions.size());
+
+  if (FILE* out = std::fopen("engine_metrics.json", "w")) {
+    const std::string json = parallel.metrics.to_json();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("metrics: engine_metrics.json (%zu functions, %llu "
+                "invocations)\n",
+                parallel.metrics.functions.size(),
+                static_cast<unsigned long long>(
+                    parallel.metrics.total_invocations()));
+  }
+  return mismatches == 0 && parallel.serialization_violations == 0 ? 0 : 1;
+}
+
+void BM_engine_parallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto engine = build_fleet();
+    const EngineReport report = engine->run(threads).value();
+    benchmark::DoNotOptimize(report.total_invocations());
+  }
+}
+BENCHMARK(BM_engine_parallel)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 8;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--engine_threads=", 17) == 0)
+      threads = std::atoi(argv[i] + 17);
+  const int rc = run_comparison(threads > 0 ? threads : 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rc;
+}

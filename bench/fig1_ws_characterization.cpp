@@ -8,7 +8,6 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
-#include "damon/monitor.hpp"
 
 using namespace toss;
 using namespace toss::bench;

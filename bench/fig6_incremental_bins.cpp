@@ -7,7 +7,6 @@
 // proportional to input size (the largest input upper-bounds the cost).
 #include <benchmark/benchmark.h>
 
-#include "core/merge.hpp"
 #include "common.hpp"
 
 using namespace toss;

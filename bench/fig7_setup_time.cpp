@@ -8,7 +8,6 @@
 // (pyaes, float_operation).
 #include <benchmark/benchmark.h>
 
-#include "core/tierer.hpp"
 #include "common.hpp"
 
 using namespace toss;

@@ -7,7 +7,6 @@
 // average (max ~13x).
 #include <benchmark/benchmark.h>
 
-#include "core/tierer.hpp"
 #include "common.hpp"
 
 using namespace toss;

@@ -8,7 +8,6 @@
 // pagerank scales like DRAM because its hot half stays in DRAM.
 #include <benchmark/benchmark.h>
 
-#include "core/tierer.hpp"
 #include "common.hpp"
 
 using namespace toss;
@@ -36,51 +35,73 @@ Nanos contended_mean(const SimEnv& env, const ExecutionResult& solo, int k) {
   return st.mean();
 }
 
-void print_fig9() {
+/// Per-function fig9 rows, computed independently so the fleet fans out
+/// over a worker pool. Each task runs on its own SimEnv (own snapshot
+/// store + page cache), which is exactly the isolation PlatformEngine
+/// lanes use — results are identical to the serial sweep.
+struct FunctionRows {
+  std::vector<std::vector<std::string>> cells;  // 3 rows of table cells
+  double toss20 = 0;
+  double reapw20 = 0;
+};
+
+FunctionRows fig9_rows_for(size_t model_index) {
   SimEnv env;
+  const FunctionModel& m = env.registry.models()[model_index];
+  FunctionRows out;
+
+  const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
+  const TossPolicy toss_policy(env.store,
+                               toss->tiered_snapshot()->fast_file_id());
+  const SnapshotWithWs best = make_snapshot(env, m, 3, 801);
+  const SnapshotWithWs worst = make_snapshot(env, m, 0, 802);
+
+  const Invocation inv = m.invoke(3, 9090);
+  const ExecutionResult dram = dram_resident_execution(env, m, inv);
+  const ExecutionResult toss_run = solo_exec(env, toss_policy, inv);
+  const ExecutionResult reap_best = solo_exec(
+      env, ReapPolicy(env.store, best.snapshot_id, best.ws), inv);
+  const ExecutionResult reap_worst = solo_exec(
+      env, ReapPolicy(env.store, worst.snapshot_id, worst.ws), inv);
+
+  struct Row {
+    const char* label;
+    const ExecutionResult* solo;
+  };
+  const Row rows[] = {{"TOSS", &toss_run},
+                      {"REAP Best", &reap_best},
+                      {"REAP Worst", &reap_worst}};
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{m.name(), row.label};
+    for (int k : kLevels) {
+      const Nanos dram_k = contended_mean(env, dram, k);
+      const double norm = contended_mean(env, *row.solo, k) / dram_k;
+      cells.push_back(fmt_x(norm));
+      if (k == 20 && std::string(row.label) == "TOSS") out.toss20 = norm;
+      if (k == 20 && std::string(row.label) == "REAP Worst")
+        out.reapw20 = norm;
+    }
+    out.cells.push_back(std::move(cells));
+  }
+  return out;
+}
+
+void print_fig9() {
+  const size_t num_models = FunctionRegistry::table1().models().size();
+  std::vector<FunctionRows> per_function(num_models);
+  ThreadPool pool(ThreadPool::hardware_threads());
+  parallel_for(&pool, num_models,
+               [&](size_t i) { per_function[i] = fig9_rows_for(i); });
+
   AsciiTable t({"function", "system", "K=1", "K=5", "K=10", "K=20"});
   OnlineStats toss20, reapw20;
   double toss20_max = 0, reapw20_max = 0;
-
-  for (const FunctionModel& m : env.registry.models()) {
-    const auto toss = run_toss_to_tiered(env, m, ProfileMix::kAllInputs);
-    const TossPolicy toss_policy(env.store,
-                                 toss->tiered_snapshot()->fast_file_id());
-    const SnapshotWithWs best = make_snapshot(env, m, 3, 801);
-    const SnapshotWithWs worst = make_snapshot(env, m, 0, 802);
-
-    const Invocation inv = m.invoke(3, 9090);
-    const ExecutionResult dram = dram_resident_execution(env, m, inv);
-    const ExecutionResult toss_run = solo_exec(env, toss_policy, inv);
-    const ExecutionResult reap_best = solo_exec(
-        env, ReapPolicy(env.store, best.snapshot_id, best.ws), inv);
-    const ExecutionResult reap_worst = solo_exec(
-        env, ReapPolicy(env.store, worst.snapshot_id, worst.ws), inv);
-
-    struct Row {
-      const char* label;
-      const ExecutionResult* solo;
-    };
-    const Row rows[] = {{"TOSS", &toss_run},
-                        {"REAP Best", &reap_best},
-                        {"REAP Worst", &reap_worst}};
-    for (const Row& row : rows) {
-      std::vector<std::string> cells{m.name(), row.label};
-      for (int k : kLevels) {
-        const Nanos dram_k = contended_mean(env, dram, k);
-        const double norm = contended_mean(env, *row.solo, k) / dram_k;
-        cells.push_back(fmt_x(norm));
-        if (k == 20 && std::string(row.label) == "TOSS") {
-          toss20.add(norm);
-          toss20_max = std::max(toss20_max, norm);
-        }
-        if (k == 20 && std::string(row.label) == "REAP Worst") {
-          reapw20.add(norm);
-          reapw20_max = std::max(reapw20_max, norm);
-        }
-      }
-      t.add_row(cells);
-    }
+  for (const FunctionRows& fr : per_function) {
+    for (const auto& cells : fr.cells) t.add_row(cells);
+    toss20.add(fr.toss20);
+    toss20_max = std::max(toss20_max, fr.toss20);
+    reapw20.add(fr.reapw20);
+    reapw20_max = std::max(reapw20_max, fr.reapw20);
   }
   std::puts(
       "Fig 9: execution time slowdown for concurrent invocations (input "

@@ -11,11 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/optimizer.hpp"
-#include "damon/monitor.hpp"
-#include "platform/invoker.hpp"
-#include "util/table.hpp"
-#include "workloads/registry.hpp"
+#include "toss.hpp"
 
 using namespace toss;
 

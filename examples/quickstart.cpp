@@ -6,8 +6,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "platform/platform.hpp"
-#include "workloads/functions.hpp"
+#include "toss.hpp"
 
 using namespace toss;
 
@@ -21,14 +20,18 @@ int main() {
   // for 100 invocations; we use a smaller window to keep the demo short.
   TossOptions options;
   options.stable_invocations = 8;
-  platform.register_function(workloads::pyaes(), PolicyKind::kToss, options);
+  platform
+      .register_function(FunctionRegistration(workloads::pyaes())
+                             .policy(PolicyKind::kToss)
+                             .toss(options))
+      .value();  // registration validates the options; throws toss::Error
 
   // Fire requests with inputs cycling over Table I's four sizes.
   const auto requests = RequestGenerator::round_robin(200, /*seed=*/7);
   TossPhase last_phase = TossPhase::kInitial;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const auto outcome =
-        platform.invoke("pyaes", requests[i].input, requests[i].seed);
+    const InvocationOutcome outcome =
+        platform.invoke("pyaes", requests[i].input, requests[i].seed).value();
     if (i == 0 || outcome.toss_phase != last_phase) {
       std::printf("request %3zu: phase=%-9s latency=%-10s charge=$%.2e\n", i,
                   phase_name(outcome.toss_phase),
@@ -55,7 +58,7 @@ int main() {
               state->tiered_snapshot()->layout().entry_count());
 
   // What the client saves once the tiered snapshot is live.
-  const auto tiered = platform.invoke("pyaes", 3, 12345);
+  const InvocationOutcome tiered = platform.invoke("pyaes", 3, 12345).value();
   const double dram_price = platform.pricing().dram_invocation_cost(
       128, to_ms(tiered.result.total_ns()));
   std::printf("\nper-invocation charge: $%.3e tiered vs $%.3e DRAM-only "

@@ -1,15 +1,15 @@
 // A multi-tenant platform scenario: the workloads the paper's introduction
 // motivates — a mix of short CPU-bound functions, bursty data-processing
 // functions and memory-hungry ML functions — run side by side under three
-// snapshot policies (vanilla Firecracker, REAP, TOSS). Prints per-function
-// latency and dollar-cost outcomes.
+// snapshot policies (vanilla Firecracker, REAP, TOSS). The fleet is driven
+// by the concurrent PlatformEngine (one isolated lane per tenant, drained
+// over a worker pool); per-function results are deterministic regardless of
+// the thread count. Prints per-function latency and dollar-cost outcomes.
 //
 // Build & run:  ./build/examples/serverless_platform
 #include <cstdio>
 
-#include "platform/platform.hpp"
-#include "util/table.hpp"
-#include "workloads/functions.hpp"
+#include "toss.hpp"
 
 using namespace toss;
 
@@ -22,29 +22,31 @@ struct Tenant {
 
 double run_policy(PolicyKind kind, const std::vector<Tenant>& tenants,
                   AsciiTable& table) {
-  ServerlessPlatform platform;
   TossOptions options;
   options.stable_invocations = 10;
 
-  for (const Tenant& t : tenants)
-    platform.register_function(t.spec(), kind, options);
-
-  double total_charge = 0;
+  PlatformEngine engine;
   for (const Tenant& t : tenants) {
     const std::string name = t.spec().name;
     // Realistic traffic: inputs drawn non-uniformly (small requests
     // dominate, occasional large ones), seeded per function.
-    const auto requests = RequestGenerator::weighted(
+    auto requests = RequestGenerator::weighted(
         t.requests, {0.4, 0.3, 0.2, 0.1}, mix_seed(99, name));
-    platform.run(name, requests);
+    engine
+        .add(FunctionRegistration(t.spec()).policy(kind).toss(options),
+             std::move(requests))
+        .value();
+  }
 
-    const FunctionStats& stats = platform.stats(name);
-    table.add_row({name, policy_name(kind),
-                   std::to_string(stats.invocations),
-                   format_nanos(stats.total_ns.mean()),
-                   format_nanos(stats.total_ns.max()),
-                   "$" + fmt_f(stats.total_charge * 1e6, 2) + "e-6"});
-    total_charge += stats.total_charge;
+  const EngineReport report = engine.run().value();
+  double total_charge = 0;
+  for (const FunctionReport& f : report.functions) {
+    table.add_row({f.name, policy_name(kind),
+                   std::to_string(f.stats.invocations),
+                   format_nanos(f.stats.total_ns.mean()),
+                   format_nanos(f.stats.total_ns.max()),
+                   "$" + fmt_f(f.stats.total_charge * 1e6, 2) + "e-6"});
+    total_charge += f.stats.total_charge;
   }
   return total_charge;
 }

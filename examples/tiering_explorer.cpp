@@ -10,11 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/merge.hpp"
-#include "core/optimizer.hpp"
-#include "damon/monitor.hpp"
-#include "util/table.hpp"
-#include "workloads/registry.hpp"
+#include "toss.hpp"
 
 using namespace toss;
 

@@ -17,12 +17,7 @@
 #include <optional>
 #include <string>
 
-#include "core/merge.hpp"
-#include "core/optimizer.hpp"
-#include "damon/monitor.hpp"
-#include "platform/platform.hpp"
-#include "util/table.hpp"
-#include "workloads/registry.hpp"
+#include "toss.hpp"
 
 using namespace toss;
 
@@ -131,13 +126,19 @@ int cmd_run(const Args& args) {
   TossOptions opt;
   opt.stable_invocations = args.stable;
   opt.slowdown_threshold = args.threshold;
-  platform.register_function(m->spec(), kind, opt);
+  if (Result<void> reg = platform.register_function(
+          FunctionRegistration(m->spec()).policy(kind).toss(opt));
+      !reg.ok()) {
+    std::fprintf(stderr, "registration failed: %s\n", reg.message().c_str());
+    return 1;
+  }
 
   TossPhase last = TossPhase::kInitial;
   bool first = true;
   size_t n = 0;
   for (const Request& r : make_requests(args)) {
-    const auto out = platform.invoke(args.function, r.input, r.seed);
+    const InvocationOutcome out =
+        platform.invoke(args.function, r.input, r.seed).value();
     if (first || (kind == PolicyKind::kToss && out.toss_phase != last)) {
       std::printf("request %4zu: %-9s latency=%s\n", n,
                   kind == PolicyKind::kToss ? phase_name(out.toss_phase)

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace toss {
 
 Nanos BinProfiler::warm_exec_ns(const Invocation& inv,
@@ -14,7 +16,8 @@ Nanos BinProfiler::warm_exec_ns(const Invocation& inv,
 BinProfile BinProfiler::profile(const std::vector<Bin>& bins,
                                 const RegionList& zero_regions,
                                 u64 guest_pages,
-                                const Invocation& representative) const {
+                                const Invocation& representative,
+                                ThreadPool* pool) const {
   BinProfile out;
   out.base_placement = PagePlacement(guest_pages, Tier::kFast);
   for (const Region& r : zero_regions)
@@ -32,16 +35,34 @@ BinProfile BinProfiler::profile(const std::vector<Bin>& bins,
   const double ratio = cfg_->cost_ratio();
   const double guest_bytes = static_cast<double>(bytes_for_pages(guest_pages));
 
-  PagePlacement placement = out.base_placement;
-  Nanos prev_exec = out.base_exec_ns;
-  for (size_t idx : order) {
-    const Bin& bin = bins[idx];
-    for (const Region& r : bin.regions)
-      placement.set_range(r.page_begin, r.page_count, Tier::kSlow);
-    const Nanos exec = warm_exec_ns(representative, placement);
+  // Materialize the placement of every offload prefix (prefix k = coldest
+  // k bins in slow). The placements build on each other and are cheap
+  // (bin_count copies); the expensive part — replaying the representative
+  // trace under each configuration — is independent per prefix, so it can
+  // fan out over the pool. Each result lands at its own index, keeping the
+  // profile bit-identical to the serial sweep.
+  std::vector<PagePlacement> prefix_placements;
+  prefix_placements.reserve(order.size());
+  {
+    PagePlacement placement = out.base_placement;
+    for (size_t idx : order) {
+      for (const Region& r : bins[idx].regions)
+        placement.set_range(r.page_begin, r.page_count, Tier::kSlow);
+      prefix_placements.push_back(placement);
+    }
+  }
+  std::vector<Nanos> prefix_exec(order.size(), 0);
+  parallel_for(pool, order.size(), [&](size_t k) {
+    prefix_exec[k] = warm_exec_ns(representative, prefix_placements[k]);
+  });
+
+  for (size_t k = 0; k < order.size(); ++k) {
+    const Bin& bin = bins[order[k]];
+    const Nanos prev_exec = k == 0 ? out.base_exec_ns : prefix_exec[k - 1];
+    const Nanos exec = prefix_exec[k];
 
     BinStep step;
-    step.bin_index = idx;
+    step.bin_index = order[k];
     step.byte_fraction = static_cast<double>(bin.bytes()) / guest_bytes;
     step.marginal_slowdown =
         out.base_exec_ns > 0 ? (exec - prev_exec) / out.base_exec_ns : 0.0;
@@ -51,15 +72,15 @@ BinProfile BinProfiler::profile(const std::vector<Bin>& bins,
         out.base_exec_ns > 0
             ? std::max(0.0, exec / out.base_exec_ns - 1.0)
             : 0.0;
-    step.slow_fraction = placement.slow_fraction();
+    step.slow_fraction = prefix_placements[k].slow_fraction();
     step.cumulative_cost = normalized_memory_cost(
         1.0 + step.cumulative_slowdown, step.slow_fraction, ratio);
     step.bin_cost =
         bin_normalized_cost(step.marginal_slowdown, step.byte_fraction, ratio);
     out.steps.push_back(step);
-    prev_exec = exec;
   }
-  out.full_slow_exec_ns = prev_exec;
+  out.full_slow_exec_ns =
+      order.empty() ? out.base_exec_ns : prefix_exec.back();
   return out;
 }
 

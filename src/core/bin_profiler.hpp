@@ -38,6 +38,8 @@ struct BinProfile {
   }
 };
 
+class ThreadPool;
+
 class BinProfiler {
  public:
   explicit BinProfiler(const SystemConfig& cfg) : cfg_(&cfg), model_(cfg) {}
@@ -45,9 +47,15 @@ class BinProfiler {
   /// Profile the bins against `representative` (warm execution: the VM is
   /// already restored; only access-time differences matter, which is what
   /// the configuration comparison isolates).
+  ///
+  /// Each step of the sweep measures one offload *prefix* (coldest k bins
+  /// in the slow tier); the prefixes are independent measurements, so a
+  /// non-null `pool` fans them out across workers. Serial and parallel
+  /// sweeps produce bit-identical profiles.
   BinProfile profile(const std::vector<Bin>& bins,
                      const RegionList& zero_regions, u64 guest_pages,
-                     const Invocation& representative) const;
+                     const Invocation& representative,
+                     ThreadPool* pool = nullptr) const;
 
   /// Warm execution time of an invocation under a placement.
   Nanos warm_exec_ns(const Invocation& inv,

@@ -14,8 +14,8 @@ TieringDecision choose_placement(const SystemConfig& cfg,
                                  const TieringOptions& options) {
   BinProfiler profiler(cfg);
   TieringDecision d;
-  d.profile =
-      profiler.profile(bins, zero_regions, guest_pages, representative);
+  d.profile = profiler.profile(bins, zero_regions, guest_pages,
+                               representative, options.profile_pool);
   d.offloaded.assign(bins.size(), false);
 
   // The progressive sweep offloads bins coldest-first; each step's

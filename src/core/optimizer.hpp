@@ -12,9 +12,15 @@
 
 namespace toss {
 
+class ThreadPool;
+
 struct TieringOptions {
   int bin_count = 10;                         ///< paper: N = 10
   std::optional<double> slowdown_threshold;   ///< e.g. 0.10 for <= 10%
+  /// Optional pool for the bin-profiling sweep; nullptr = serial. The
+  /// measured configurations are independent, so the decision is
+  /// bit-identical with or without a pool.
+  ThreadPool* profile_pool = nullptr;
 };
 
 struct TieringDecision {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/thread_pool.hpp"
+
 namespace toss {
 
 TossFunction::TossFunction(const SystemConfig& cfg, SnapshotStore& store,
@@ -95,6 +97,13 @@ void TossFunction::run_analysis() {
   TieringOptions topt;
   topt.bin_count = options_.bin_count;
   topt.slowdown_threshold = options_.slowdown_threshold;
+  // Analysis happens once per (re)profiling cycle, so a transient pool for
+  // the bin sweep is cheap relative to the sweep itself.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.analysis_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.analysis_threads);
+    topt.profile_pool = pool.get();
+  }
   decision_ = analyze_pattern(*cfg_, unified_->counts(), representative, topt);
 
   const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);

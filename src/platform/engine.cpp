@@ -1,0 +1,187 @@
+#include "platform/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/thread_pool.hpp"
+
+namespace toss {
+
+u64 EngineReport::total_invocations() const {
+  u64 n = 0;
+  for (const FunctionReport& f : functions) n += f.stats.invocations;
+  return n;
+}
+
+const FunctionReport* EngineReport::find(const std::string& name) const {
+  for (const FunctionReport& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+PlatformEngine::PlatformEngine(SystemConfig cfg, PricingPlan pricing,
+                               EngineOptions options)
+    : cfg_(std::move(cfg)), pricing_(pricing), options_(options) {
+  options_.chunk = std::max(1, options_.chunk);
+}
+
+PlatformEngine::~PlatformEngine() = default;
+
+Result<void> PlatformEngine::add(const FunctionRegistration& registration,
+                                 std::vector<Request> requests) {
+  if (ran_)
+    return {ErrorCode::kEngineBusy,
+            "engine already ran; build a new engine for another fleet"};
+  const std::string& name = registration.spec().name;
+  for (const auto& lane : lanes_)
+    if (lane->name == name)
+      return {ErrorCode::kDuplicateFunction, name + " is already registered"};
+  // Reject malformed streams up front so the drain cannot fail per-request.
+  for (const Request& r : requests)
+    if (r.input < 0 || r.input >= kNumInputs)
+      return {ErrorCode::kInvalidRequest,
+              name + ": request input " + std::to_string(r.input) +
+                  " outside [0, " + std::to_string(kNumInputs) + ")"};
+
+  auto lane = std::make_unique<Lane>();
+  lane->name = name;
+  lane->policy = registration.policy();
+  lane->host = std::make_unique<ServerlessPlatform>(cfg_, pricing_);
+  if (Result<void> reg = lane->host->register_function(registration);
+      !reg.ok())
+    return reg;
+  lane->requests = std::move(requests);
+  if (options_.keep_outcomes) lane->outcomes.reserve(lane->requests.size());
+  lane->series = metrics_.series(name);
+  lanes_.push_back(std::move(lane));
+  return {};
+}
+
+void PlatformEngine::record_error(ErrorCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!failed_) {
+    failed_ = true;
+    error_code_ = code;
+    error_message_ = std::move(message);
+  }
+  abort_ = true;
+  ready_cv_.notify_all();
+}
+
+void PlatformEngine::process_chunk(Lane& lane) {
+  // Serialization guard: the scheduler hands a lane to one worker at a
+  // time; a violation here means the queue invariant broke.
+  if (lane.in_flight.fetch_add(1, std::memory_order_acq_rel) != 0)
+    serialization_violations_.fetch_add(1, std::memory_order_relaxed);
+
+  const size_t end = std::min(lane.requests.size(),
+                              lane.next + static_cast<size_t>(options_.chunk));
+  for (; lane.next < end; ++lane.next) {
+    const Request& r = lane.requests[lane.next];
+    Result<InvocationOutcome> out = lane.host->invoke(lane.name, r.input, r.seed);
+    if (!out.ok()) {  // inputs are pre-validated; this is a belt-and-braces path
+      record_error(out.code(), out.message());
+      lane.next = lane.requests.size();
+      break;
+    }
+    const InvocationOutcome& o = *out;
+    lane.series->record(o.toss_phase, o.cold_boot, o.result.total_ns(),
+                        o.result.setup.setup_ns, o.result.exec.exec_ns,
+                        o.charge);
+    if (options_.keep_outcomes) lane.outcomes.push_back(o);
+  }
+
+  lane.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void PlatformEngine::scheduler_loop() {
+  for (;;) {
+    size_t idx;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [this] {
+        return abort_ || !ready_.empty() || unfinished_ == 0;
+      });
+      if (abort_ || (ready_.empty() && unfinished_ == 0)) return;
+      if (ready_.empty()) continue;  // spurious wake while others finish
+      idx = ready_.front();
+      ready_.pop_front();
+    }
+
+    Lane& lane = *lanes_[idx];
+    process_chunk(lane);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (lane.next < lane.requests.size()) {
+        ready_.push_back(idx);
+        ready_cv_.notify_one();
+      } else if (--unfinished_ == 0) {
+        ready_cv_.notify_all();
+      }
+    }
+  }
+}
+
+Result<EngineReport> PlatformEngine::run() { return run(options_.threads); }
+
+Result<EngineReport> PlatformEngine::run(int threads) {
+  if (ran_)
+    return {ErrorCode::kEngineBusy,
+            "engine already ran; build a new engine for another fleet"};
+  ran_ = true;
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.clear();
+    unfinished_ = 0;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i]->requests.empty()) continue;
+      ready_.push_back(i);
+      ++unfinished_;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads == 1 || lanes_.size() <= 1) {
+    // Serial reference path: same scheduler, caller's thread.
+    scheduler_loop();
+  } else {
+    ThreadPool pool(threads);
+    for (int t = 0; t < threads; ++t)
+      pool.submit([this] { scheduler_loop(); });
+    pool.wait_idle();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (failed_) return {error_code_, error_message_};
+
+  EngineReport report;
+  report.threads = threads;
+  report.wall_ns = static_cast<Nanos>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  report.serialization_violations =
+      serialization_violations_.load(std::memory_order_relaxed);
+  report.functions.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    FunctionReport f;
+    f.name = lane->name;
+    f.policy = lane->policy;
+    f.stats = lane->host->stats(lane->name);
+    if (const TossFunction* toss = lane->host->toss_state(lane->name))
+      f.final_phase = toss->phase();
+    f.outcomes = std::move(lane->outcomes);
+    report.functions.push_back(std::move(f));
+  }
+  report.metrics = metrics_.snapshot();
+  return report;
+}
+
+const TossFunction* PlatformEngine::toss_state(const std::string& name) const {
+  for (const auto& lane : lanes_)
+    if (lane->name == name) return lane->host->toss_state(name);
+  return nullptr;
+}
+
+}  // namespace toss

@@ -1,0 +1,142 @@
+// PlatformEngine: the concurrent multi-function engine.
+//
+// The single-host ServerlessPlatform drives one function at a time on the
+// calling thread. The engine scales that out: every registered function
+// becomes a *lane* — an isolated single-function host (own SnapshotStore,
+// own page cache, own policy state machine) plus its request stream — and
+// a sharded scheduler drains all lanes over a worker pool.
+//
+// Guarantees:
+//   - Per-function serialization. A lane is owned by at most one worker at
+//     a time (it sits in the ready queue exactly once), so a TossFunction
+//     state machine is never re-entered concurrently. The engine counts
+//     violations of this invariant and reports them (always 0).
+//   - Determinism. Lanes share no mutable state — snapshot file ids, the
+//     host page cache and RNG streams are all lane-local — so per-function
+//     results are bit-for-bit identical for any thread count, including
+//     the serial reference path (threads = 1). Only wall-clock time and
+//     the interleaving of metric updates vary.
+//   - Observability. Every invocation lands in a MetricsRegistry
+//     (lock-free counters + latency histograms per function/phase) that is
+//     snapshotted into the final report for the benches to serialize.
+//
+// Scheduling is chunked round-robin work sharing: workers pop a lane,
+// process up to `chunk` requests, and requeue it while requests remain.
+// Small chunks interleave lanes aggressively (fairness / tail latency);
+// `chunk` >= stream length degenerates to one task per function.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "platform/metrics.hpp"
+#include "platform/platform.hpp"
+
+namespace toss {
+
+struct EngineOptions {
+  /// Worker threads for run(); 0 = ThreadPool::hardware_threads().
+  int threads = 0;
+  /// Requests a worker processes per lane ownership (>= 1).
+  int chunk = 8;
+  /// Keep every InvocationOutcome in the report (in request order).
+  bool keep_outcomes = true;
+};
+
+struct FunctionReport {
+  std::string name;
+  PolicyKind policy = PolicyKind::kToss;
+  FunctionStats stats;
+  TossPhase final_phase = TossPhase::kInitial;  ///< kToss lanes only
+  /// Request-order outcomes; empty unless EngineOptions::keep_outcomes.
+  std::vector<InvocationOutcome> outcomes;
+};
+
+struct EngineReport {
+  std::vector<FunctionReport> functions;  ///< registration order
+  Nanos wall_ns = 0;   ///< real elapsed time of the drain (not simulated)
+  int threads = 1;
+  /// Times a lane was observed concurrently re-entered. Always 0; exposed
+  /// so tests assert the serialization guarantee instead of trusting it.
+  u64 serialization_violations = 0;
+  MetricsSnapshot metrics;
+
+  u64 total_invocations() const;
+  const FunctionReport* find(const std::string& name) const;
+};
+
+class PlatformEngine {
+ public:
+  explicit PlatformEngine(SystemConfig cfg = SystemConfig::paper_default(),
+                          PricingPlan pricing = {},
+                          EngineOptions options = {});
+  ~PlatformEngine();
+
+  PlatformEngine(const PlatformEngine&) = delete;
+  PlatformEngine& operator=(const PlatformEngine&) = delete;
+
+  /// Register a function and bind its request stream. Validation mirrors
+  /// ServerlessPlatform::register_function, plus every request input must
+  /// be in [0, kNumInputs). Rejected after run() has started (kEngineBusy).
+  Result<void> add(const FunctionRegistration& registration,
+                   std::vector<Request> requests);
+
+  size_t function_count() const { return lanes_.size(); }
+
+  /// Drain every lane's request stream with options().threads workers.
+  /// Single-shot: a second call fails with kEngineBusy.
+  Result<EngineReport> run();
+  /// Same, overriding the thread count (1 = serial reference path).
+  Result<EngineReport> run(int threads);
+
+  /// Live metrics (also embedded in the final report).
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+  /// Lane state inspection (nullptr for unknown / non-TOSS lanes).
+  const TossFunction* toss_state(const std::string& name) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Lane {
+    std::string name;
+    PolicyKind policy = PolicyKind::kToss;
+    /// Isolated host: lane-local snapshot store, page cache and stats, so
+    /// no cross-lane state can make results depend on scheduling.
+    std::unique_ptr<ServerlessPlatform> host;
+    std::vector<Request> requests;
+    size_t next = 0;
+    std::vector<InvocationOutcome> outcomes;
+    FunctionSeries* series = nullptr;
+    std::atomic<int> in_flight{0};
+  };
+
+  void process_chunk(Lane& lane);
+  void scheduler_loop();
+  void record_error(ErrorCode code, std::string message);
+
+  SystemConfig cfg_;
+  PricingPlan pricing_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  MetricsRegistry metrics_;
+  bool ran_ = false;
+
+  // Scheduler state (valid during run()).
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<size_t> ready_;
+  size_t unfinished_ = 0;
+  bool abort_ = false;
+  std::atomic<u64> serialization_violations_{0};
+  ErrorCode error_code_ = ErrorCode::kInvalidRequest;
+  std::string error_message_;
+  bool failed_ = false;
+};
+
+}  // namespace toss

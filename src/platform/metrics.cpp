@@ -1,0 +1,184 @@
+#include "platform/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace toss {
+
+namespace {
+
+int bucket_index(Nanos t) {
+  const double clamped = std::max(t, 0.0);
+  const u64 ns = static_cast<u64>(std::min(clamped, 1e18));
+  if (ns <= 1) return 0;
+  const int idx = std::bit_width(ns) - 1;  // floor(log2(ns))
+  return std::min(idx, LatencyHistogram::kBucketCount - 1);
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  a.fetch_add(v, std::memory_order_relaxed);
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::record(Nanos t) {
+  buckets_[static_cast<size_t>(bucket_index(t))].fetch_add(
+      1, std::memory_order_relaxed);
+  // First sample initializes min: count_ transitions 0 -> 1 exactly once,
+  // and racing recorders both run the CAS loops afterwards, so the final
+  // min/max are correct either way.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, t, std::memory_order_relaxed);
+  }
+  atomic_add(sum_, t);
+  atomic_min(min_, t);
+  atomic_max(max_, t);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBucketCount; ++i)
+    s.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  return s;
+}
+
+double LatencyHistogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const u64 rank = static_cast<u64>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  u64 seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (seen >= std::max<u64>(rank, 1)) {
+      const double upper = std::ldexp(1.0, i + 1);  // 2^(i+1) ns
+      return std::min(upper, max);
+    }
+  }
+  return max;
+}
+
+void FunctionSeries::record(TossPhase phase, bool cold_boot, Nanos total,
+                            Nanos setup, Nanos exec, double charge) {
+  invocations.fetch_add(1, std::memory_order_relaxed);
+  if (cold_boot) cold_boots.fetch_add(1, std::memory_order_relaxed);
+  phase_invocations[static_cast<size_t>(phase)].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_add(total_charge, charge);
+  total_ns.record(total);
+  setup_ns.record(setup);
+  exec_ns.record(exec);
+}
+
+FunctionSeries* MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : series_)
+    if (s->function == name) return s.get();
+  series_.push_back(std::make_unique<FunctionSeries>(name));
+  return series_.back().get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.functions.reserve(series_.size());
+  for (const auto& s : series_) {
+    FunctionMetrics m;
+    m.function = s->function;
+    m.invocations = s->invocations.load(std::memory_order_relaxed);
+    m.cold_boots = s->cold_boots.load(std::memory_order_relaxed);
+    for (size_t p = 0; p < m.phase_invocations.size(); ++p)
+      m.phase_invocations[p] =
+          s->phase_invocations[p].load(std::memory_order_relaxed);
+    m.total_charge = s->total_charge.load(std::memory_order_relaxed);
+    m.total_ns = s->total_ns.snapshot();
+    m.setup_ns = s->setup_ns.snapshot();
+    m.exec_ns = s->exec_ns.snapshot();
+    out.functions.push_back(std::move(m));
+  }
+  return out;
+}
+
+u64 MetricsSnapshot::total_invocations() const {
+  u64 n = 0;
+  for (const FunctionMetrics& m : functions) n += m.invocations;
+  return n;
+}
+
+const FunctionMetrics* MetricsSnapshot::find(const std::string& name) const {
+  for (const FunctionMetrics& m : functions)
+    if (m.function == name) return &m;
+  return nullptr;
+}
+
+namespace {
+
+void append_histogram(std::string& out, const char* key,
+                      const LatencyHistogram::Snapshot& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"mean_ns\":%.1f,\"min_ns\":%.1f,"
+                "\"max_ns\":%.1f,\"p50_ns\":%.1f,\"p95_ns\":%.1f,"
+                "\"p99_ns\":%.1f}",
+                key, static_cast<unsigned long long>(h.count), h.mean(),
+                h.min, h.max, h.percentile(50), h.percentile(95),
+                h.percentile(99));
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"functions\":[";
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const FunctionMetrics& m = functions[i];
+    if (i) out += ",";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"function\":\"%s\",\"invocations\":%llu,"
+                  "\"cold_boots\":%llu,\"phase_invocations\":[%llu,%llu,"
+                  "%llu],\"total_charge\":%.6e,",
+                  m.function.c_str(),
+                  static_cast<unsigned long long>(m.invocations),
+                  static_cast<unsigned long long>(m.cold_boots),
+                  static_cast<unsigned long long>(m.phase_invocations[0]),
+                  static_cast<unsigned long long>(m.phase_invocations[1]),
+                  static_cast<unsigned long long>(m.phase_invocations[2]),
+                  m.total_charge);
+    out += buf;
+    append_histogram(out, "total_ns", m.total_ns);
+    out += ",";
+    append_histogram(out, "setup_ns", m.setup_ns);
+    out += ",";
+    append_histogram(out, "exec_ns", m.exec_ns);
+    out += "}";
+  }
+  out += "],\"total_invocations\":";
+  out += std::to_string(total_invocations());
+  out += "}";
+  return out;
+}
+
+}  // namespace toss

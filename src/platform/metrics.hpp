@@ -1,0 +1,107 @@
+// Lock-free-ish observability for the platform engine.
+//
+// Hot path (every invocation): relaxed atomic increments into per-function
+// counters and fixed-bucket log2 latency histograms — no locks, no
+// allocation, safe to call from any worker thread. Cold path (registration,
+// snapshot): mutex-protected. A MetricsSnapshot is a plain value the benches
+// serialize to JSON so speedups and tail latencies are observable rather
+// than asserted.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/toss.hpp"
+
+namespace toss {
+
+/// Latency histogram over log2(ns) buckets: bucket i counts samples in
+/// [2^i, 2^(i+1)) ns; 48 buckets span 1 ns .. ~3.2 days.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketCount = 48;
+
+  void record(Nanos t);
+
+  struct Snapshot {
+    u64 count = 0;
+    double sum = 0;
+    double min = 0;  ///< 0 when empty
+    double max = 0;
+    std::array<u64, kBucketCount> buckets{};
+
+    double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+    /// Bucket-resolution percentile (upper bound of the containing bucket,
+    /// clamped to the observed max). p in [0, 100].
+    double percentile(double p) const;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<u64>, kBucketCount> buckets_{};
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Per-function hot-path counters. One instance per registered function;
+/// pointers stay stable for the registry's lifetime.
+struct FunctionSeries {
+  explicit FunctionSeries(std::string name) : function(std::move(name)) {}
+
+  std::string function;
+  std::atomic<u64> invocations{0};
+  std::atomic<u64> cold_boots{0};
+  /// Indexed by TossPhase (kInitial/kProfiling/kTiered). Baseline policies
+  /// count everything as kInitial (cold) or kTiered (steady state).
+  std::array<std::atomic<u64>, 3> phase_invocations{};
+  std::atomic<double> total_charge{0.0};
+  LatencyHistogram total_ns;
+  LatencyHistogram setup_ns;
+  LatencyHistogram exec_ns;
+
+  void record(TossPhase phase, bool cold_boot, Nanos total, Nanos setup,
+              Nanos exec, double charge);
+};
+
+struct FunctionMetrics {
+  std::string function;
+  u64 invocations = 0;
+  u64 cold_boots = 0;
+  std::array<u64, 3> phase_invocations{};
+  double total_charge = 0;
+  LatencyHistogram::Snapshot total_ns;
+  LatencyHistogram::Snapshot setup_ns;
+  LatencyHistogram::Snapshot exec_ns;
+};
+
+struct MetricsSnapshot {
+  std::vector<FunctionMetrics> functions;  ///< registration order
+
+  u64 total_invocations() const;
+  const FunctionMetrics* find(const std::string& name) const;
+  /// Serialize for the bench harness (stable key order, valid JSON).
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Create (or fetch) the series for `name`. Cold path: takes a lock.
+  FunctionSeries* series(const std::string& name);
+
+  /// Consistent-enough copy of all counters (each value is read atomically;
+  /// the set of functions is read under the lock).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<FunctionSeries>> series_;
+};
+
+}  // namespace toss

@@ -1,7 +1,5 @@
 #include "platform/platform.hpp"
 
-#include <stdexcept>
-
 namespace toss {
 
 const char* policy_name(PolicyKind kind) {
@@ -14,29 +12,84 @@ const char* policy_name(PolicyKind kind) {
   return "?";
 }
 
+Result<void> FunctionRegistration::validate() const {
+  if (spec_.name.empty())
+    return {ErrorCode::kInvalidOptions, "function name must not be empty"};
+  if (spec_.memory_mb == 0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": memory_mb must be >= 1"};
+  if (concurrency_ < 1)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": concurrency must be >= 1"};
+  if (kind_ == PolicyKind::kToss) {
+    const TossOptions& o = toss_options_;
+    if (o.bin_count < 1)
+      return {ErrorCode::kInvalidOptions, spec_.name + ": bin_count must be >= 1"};
+    if (o.stable_invocations == 0)
+      return {ErrorCode::kInvalidOptions,
+              spec_.name + ": stable_invocations must be >= 1"};
+    if (o.stable_invocations > o.max_profiling_invocations)
+      return {ErrorCode::kInvalidOptions,
+              spec_.name +
+                  ": stable_invocations must be <= max_profiling_invocations"};
+    if (o.unified_change_epsilon < 0 || o.unified_change_epsilon >= 1)
+      return {ErrorCode::kInvalidOptions,
+              spec_.name + ": unified_change_epsilon must be in [0, 1)"};
+    if (o.slowdown_threshold && *o.slowdown_threshold < 0)
+      return {ErrorCode::kInvalidOptions,
+              spec_.name + ": slowdown_threshold must be >= 0"};
+    if (o.reprofile_budget < 0)
+      return {ErrorCode::kInvalidOptions,
+              spec_.name + ": reprofile_budget must be >= 0"};
+    if (o.analysis_threads < 1)
+      return {ErrorCode::kInvalidOptions,
+              spec_.name + ": analysis_threads must be >= 1"};
+  }
+  return {};
+}
+
 ServerlessPlatform::ServerlessPlatform(SystemConfig cfg, PricingPlan pricing)
     : cfg_(std::move(cfg)), pricing_(pricing), store_(cfg_),
       invoker_(cfg_, store_) {}
 
-void ServerlessPlatform::register_function(FunctionSpec spec, PolicyKind kind,
-                                           TossOptions toss_options) {
-  const std::string name = spec.name;
-  FunctionRuntime rt{FunctionModel(std::move(spec)), kind, toss_options,
+Result<void> ServerlessPlatform::register_function(
+    const FunctionRegistration& registration) {
+  if (Result<void> valid = registration.validate(); !valid.ok()) return valid;
+  const std::string& name = registration.spec().name;
+  if (functions_.count(name) > 0)
+    return {ErrorCode::kDuplicateFunction, name + " is already registered"};
+
+  FunctionRuntime rt{FunctionModel(registration.spec()),
+                     registration.policy(), registration.toss_options(),
                      nullptr, 0, std::nullopt, FunctionStats{}};
   auto [it, _] = functions_.insert_or_assign(name, std::move(rt));
-  if (kind == PolicyKind::kToss) {
+  if (registration.policy() == PolicyKind::kToss) {
     // Bind the TossFunction to the model at its final (node-stable) address
     // inside the map, only after the move above.
     it->second.toss = std::make_unique<TossFunction>(
-        cfg_, store_, it->second.model, toss_options);
+        cfg_, store_, it->second.model, registration.toss_options(),
+        registration.seed());
   }
+  return {};
 }
 
-InvocationOutcome ServerlessPlatform::invoke(const std::string& name,
-                                             int input, u64 seed) {
+void ServerlessPlatform::register_function(FunctionSpec spec, PolicyKind kind,
+                                           TossOptions toss_options) {
+  register_function(FunctionRegistration(std::move(spec))
+                        .policy(kind)
+                        .toss(std::move(toss_options)))
+      .value();
+}
+
+Result<InvocationOutcome> ServerlessPlatform::invoke(const std::string& name,
+                                                     int input, u64 seed) {
   auto it = functions_.find(name);
   if (it == functions_.end())
-    throw std::out_of_range("unknown function: " + name);
+    return {ErrorCode::kUnknownFunction, name + " is not registered"};
+  if (input < 0 || input >= kNumInputs)
+    return {ErrorCode::kInvalidRequest,
+            name + ": input " + std::to_string(input) + " outside [0, " +
+                std::to_string(kNumInputs) + ")"};
   FunctionRuntime& rt = it->second;
 
   InvocationOutcome out;
@@ -115,23 +168,29 @@ double ServerlessPlatform::charge_for(const FunctionRuntime& rt,
   return pricing_.dram_invocation_cost(mem_mb, duration_ms);
 }
 
-std::vector<InvocationOutcome> ServerlessPlatform::run(
+Result<std::vector<InvocationOutcome>> ServerlessPlatform::run(
     const std::string& name, const std::vector<Request>& requests) {
   std::vector<InvocationOutcome> outcomes;
   outcomes.reserve(requests.size());
-  for (const Request& r : requests)
-    outcomes.push_back(invoke(name, r.input, r.seed));
+  for (const Request& r : requests) {
+    Result<InvocationOutcome> out = invoke(name, r.input, r.seed);
+    if (!out.ok()) return {out.code(), out.message()};
+    outcomes.push_back(std::move(out).value());
+  }
   return outcomes;
 }
 
 const FunctionStats& ServerlessPlatform::stats(const std::string& name) const {
-  return functions_.at(name).stats;
+  auto it = functions_.find(name);
+  if (it == functions_.end())
+    throw Error(ErrorCode::kUnknownFunction, name + " is not registered");
+  return it->second.stats;
 }
 
 const TossFunction* ServerlessPlatform::toss_state(
     const std::string& name) const {
-  const auto& rt = functions_.at(name);
-  return rt.toss.get();
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : it->second.toss.get();
 }
 
 }  // namespace toss

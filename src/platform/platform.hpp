@@ -1,8 +1,16 @@
-// ServerlessPlatform: the end-to-end facade. Register functions with a
-// snapshot policy (vanilla / REAP / FaaSnap / TOSS) and fire requests at
-// them; the platform manages snapshots, working sets, TOSS lifecycles and
-// per-function statistics. This is what the examples and integration tests
-// drive.
+// ServerlessPlatform: the end-to-end single-host facade. Register functions
+// with a snapshot policy (vanilla / REAP / FaaSnap / TOSS) and fire requests
+// at them; the platform manages snapshots, working sets, TOSS lifecycles and
+// per-function statistics. PlatformEngine (platform/engine.hpp) composes
+// many of these to drive a fleet concurrently.
+//
+// Public-surface rules (see DESIGN.md "Public API"):
+//   - registration goes through the FunctionRegistration builder, which
+//     validates options up front and returns Result<void>;
+//   - fallible calls return Result<T>; reference accessors throw
+//     toss::Error (never raw std::out_of_range);
+//   - the legacy register_function(spec, kind, options) shim remains for
+//     one release and forwards to the builder.
 #pragma once
 
 #include <map>
@@ -14,6 +22,7 @@
 #include "baseline/reap.hpp"
 #include "baseline/vanilla.hpp"
 #include "core/toss.hpp"
+#include "platform/errors.hpp"
 #include "platform/invoker.hpp"
 #include "platform/pricing.hpp"
 #include "platform/request_gen.hpp"
@@ -40,23 +49,82 @@ struct FunctionStats {
   double total_charge = 0;
 };
 
+/// Builder for one function registration. Chain setters, then hand it to
+/// ServerlessPlatform::register_function / PlatformEngine::add, which run
+/// validate() and reject nonsense (bin_count < 1, stability window larger
+/// than the profiling budget, ...) instead of silently accepting it.
+class FunctionRegistration {
+ public:
+  explicit FunctionRegistration(FunctionSpec spec) : spec_(std::move(spec)) {}
+
+  FunctionRegistration& policy(PolicyKind kind) {
+    kind_ = kind;
+    return *this;
+  }
+  /// TOSS knobs; only meaningful under PolicyKind::kToss.
+  FunctionRegistration& toss(TossOptions options) {
+    toss_options_ = std::move(options);
+    return *this;
+  }
+  /// Declared per-function concurrency limit. The engine serializes each
+  /// function's state machine, so values > 1 are accepted for forward
+  /// compatibility but currently behave as 1.
+  FunctionRegistration& concurrency(int n) {
+    concurrency_ = n;
+    return *this;
+  }
+  /// Seed for the function's deterministic RNG streams (DAMON noise, ...).
+  FunctionRegistration& seed(u64 s) {
+    seed_ = s;
+    return *this;
+  }
+
+  /// All registration-time invariants in one place.
+  Result<void> validate() const;
+
+  const FunctionSpec& spec() const { return spec_; }
+  PolicyKind policy() const { return kind_; }
+  const TossOptions& toss_options() const { return toss_options_; }
+  int concurrency() const { return concurrency_; }
+  u64 seed() const { return seed_; }
+
+ private:
+  FunctionSpec spec_;
+  PolicyKind kind_ = PolicyKind::kToss;
+  TossOptions toss_options_;
+  int concurrency_ = 1;
+  u64 seed_ = 42;
+};
+
 class ServerlessPlatform {
  public:
   explicit ServerlessPlatform(SystemConfig cfg = SystemConfig::paper_default(),
                               PricingPlan pricing = {});
 
-  /// Register a function under `kind`. TOSS options apply when kind==kToss.
+  /// Validate and register. Fails with kInvalidOptions or
+  /// kDuplicateFunction; on failure the platform is unchanged.
+  Result<void> register_function(const FunctionRegistration& registration);
+
+  /// Deprecated pre-builder signature; forwards to the builder overload and
+  /// throws toss::Error on validation failure (it used to accept anything).
+  [[deprecated(
+      "use register_function(FunctionRegistration(spec).policy(kind)...)")]]
   void register_function(FunctionSpec spec, PolicyKind kind,
                          TossOptions toss_options = {});
 
-  /// Invoke by name. Unknown names throw std::out_of_range.
-  InvocationOutcome invoke(const std::string& name, int input, u64 seed);
+  /// Invoke by name. Unknown names yield ErrorCode::kUnknownFunction;
+  /// inputs outside [0, kNumInputs) yield kInvalidRequest.
+  Result<InvocationOutcome> invoke(const std::string& name, int input,
+                                   u64 seed);
 
-  /// Drive a whole request stream; returns the outcomes.
-  std::vector<InvocationOutcome> run(const std::string& name,
-                                     const std::vector<Request>& requests);
+  /// Drive a whole request stream; returns the outcomes, or the first
+  /// error (partial work is kept in stats()).
+  Result<std::vector<InvocationOutcome>> run(const std::string& name,
+                                             const std::vector<Request>& requests);
 
+  /// Throws toss::Error(kUnknownFunction) for unregistered names.
   const FunctionStats& stats(const std::string& name) const;
+  /// nullptr for unknown names or non-TOSS functions.
   const TossFunction* toss_state(const std::string& name) const;
 
   const SystemConfig& config() const { return cfg_; }

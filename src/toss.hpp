@@ -1,0 +1,50 @@
+// TOSS public umbrella header — the one include for clients.
+//
+// Examples, benches and downstream users include only this header; deep
+// internal headers (core/, vmm/, mem/, ...) are implementation detail and
+// may be reorganized between releases (tests/public_api_test.cpp enforces
+// the rule for the in-tree clients). The stable surface is:
+//
+//   ServerlessPlatform / FunctionRegistration / PolicyKind   single host
+//   PlatformEngine / EngineOptions / EngineReport            fleet engine
+//   TossOptions / TossFunction / TossPhase                   the TOSS core
+//   InvocationOutcome / FunctionStats / Result / Error       call results
+//   MetricsRegistry / MetricsSnapshot                        observability
+//   RequestGenerator / FunctionRegistry / workloads::*       workloads
+//   ThreadPool / OnlineStats / AsciiTable / Rng              utilities
+//
+// plus the analysis entry points the explorer tools drive directly
+// (analyze_pattern, choose_placement, regionize_and_merge, DamonMonitor,
+// tier_snapshot, run_concurrent).
+#pragma once
+
+#include "platform/concurrency.hpp"
+#include "platform/engine.hpp"
+#include "platform/errors.hpp"
+#include "platform/invoker.hpp"
+#include "platform/keepalive.hpp"
+#include "platform/metrics.hpp"
+#include "platform/platform.hpp"
+#include "platform/prewarm.hpp"
+#include "platform/pricing.hpp"
+#include "platform/request_gen.hpp"
+
+#include "core/merge.hpp"
+#include "core/optimizer.hpp"
+#include "core/tierer.hpp"
+#include "core/toss.hpp"
+
+#include "baseline/faasnap.hpp"
+#include "baseline/reap.hpp"
+#include "baseline/vanilla.hpp"
+
+#include "damon/monitor.hpp"
+
+#include "workloads/functions.hpp"
+#include "workloads/registry.hpp"
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"

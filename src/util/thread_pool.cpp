@@ -1,0 +1,115 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace toss {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  has_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  has_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      has_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void parallel_for(ThreadPool* pool, size_t n,
+                  const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1 || pool->thread_count() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Iterations are claimed from a shared counter so uneven iteration costs
+  // balance across workers; results land wherever the caller indexes them,
+  // so claiming order never affects output.
+  //
+  // The counters live on the heap, owned jointly by this frame and every
+  // submitted task: when one worker drains the whole range, the caller's
+  // wait is satisfied and this frame returns while the remaining tasks are
+  // still queued — they wake up later, find no iteration to claim, and must
+  // still be able to read `next` safely.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::exception_ptr first_error;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<State>();
+
+  const size_t tasks =
+      std::min(n, static_cast<size_t>(pool->thread_count()));
+  for (size_t t = 0; t < tasks; ++t) {
+    pool->submit([state, n, &fn] {
+      for (;;) {
+        const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;  // late tasks exit here without touching `fn`
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->first_error)
+            state->first_error = std::current_exception();
+        }
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->all_done.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= n;
+  });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace toss

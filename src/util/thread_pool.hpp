@@ -1,0 +1,64 @@
+// Fixed-size worker pool shared by the platform engine and the parallel
+// analysis paths (Step III bin profiling, fleet benches).
+//
+// Design constraints, in order:
+//   1. Determinism of *results* — the pool schedules, it never reorders
+//      data. Callers index results by task id, so the interleaving of
+//      workers cannot change what is computed.
+//   2. No dependencies beyond <thread>: the simulator must build anywhere
+//      the C++20 toolchain does.
+//   3. Long-running tasks are first-class: the engine submits one scheduler
+//      loop per worker, so the queue must not assume short tasks.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace toss {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue, waits for running tasks, joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; exceptions escaping a task
+  /// terminate (use parallel_for for exception propagation).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable has_work_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(0..n-1), spreading iterations over `pool`'s workers; the calling
+/// thread blocks until all complete. A null pool or n <= 1 runs inline.
+/// The first exception thrown by any iteration is rethrown to the caller.
+void parallel_for(ThreadPool* pool, size_t n,
+                  const std::function<void(size_t)>& fn);
+
+}  // namespace toss

@@ -1,0 +1,232 @@
+// Tests for the concurrent platform engine: determinism of the parallel
+// drain vs the serial reference path, per-function serialization under
+// contention (run this suite under TOSS_SANITIZE=thread to let TSan audit
+// it), metrics consistency, and engine-level error handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/engine.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/functions.hpp"
+
+namespace toss {
+namespace {
+
+TossOptions fast_toss() {
+  TossOptions opt;
+  opt.stable_invocations = 4;
+  opt.max_profiling_invocations = 30;
+  return opt;
+}
+
+/// A fleet of `n` isolated lanes cycling the Table-I specs, each with its
+/// own request stream. Policies alternate so baselines are covered too.
+std::unique_ptr<PlatformEngine> make_fleet(size_t n, size_t requests,
+                                           EngineOptions opts = {}) {
+  auto engine = std::make_unique<PlatformEngine>(
+      SystemConfig::paper_default(), PricingPlan{}, opts);
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  const PolicyKind kinds[] = {PolicyKind::kToss, PolicyKind::kToss,
+                              PolicyKind::kReap, PolicyKind::kVanilla};
+  for (size_t i = 0; i < n; ++i) {
+    FunctionSpec spec = base[i % base.size()];
+    spec.name += "#" + std::to_string(i);
+    auto stream = RequestGenerator::round_robin(
+        requests, mix_seed(123, spec.name));
+    EXPECT_TRUE(engine
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(kinds[i % 4])
+                              .toss(fast_toss())
+                              .seed(10 + i),
+                          std::move(stream))
+                    .ok());
+  }
+  return engine;
+}
+
+void expect_identical(const OnlineStats& a, const OnlineStats& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  // Bit-for-bit: exact double equality, not EXPECT_NEAR.
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+}
+
+TEST(Engine, ParallelMatchesSerialBitForBit) {
+  constexpr size_t kFunctions = 10;  // >= 8 per the acceptance criteria
+  constexpr size_t kRequests = 40;
+
+  auto serial = make_fleet(kFunctions, kRequests);
+  const EngineReport s = serial->run(1).value();
+
+  auto parallel = make_fleet(kFunctions, kRequests);
+  const EngineReport p = parallel->run(8).value();
+
+  ASSERT_EQ(s.functions.size(), kFunctions);
+  ASSERT_EQ(p.functions.size(), kFunctions);
+  EXPECT_EQ(p.serialization_violations, 0u);
+  for (size_t i = 0; i < kFunctions; ++i) {
+    const FunctionReport& a = s.functions[i];
+    const FunctionReport& b = p.functions[i];
+    ASSERT_EQ(a.name, b.name);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.final_phase, b.final_phase) << a.name;
+    EXPECT_EQ(a.stats.invocations, kRequests) << a.name;
+    EXPECT_EQ(a.stats.invocations, b.stats.invocations) << a.name;
+    EXPECT_EQ(a.stats.total_charge, b.stats.total_charge) << a.name;
+    expect_identical(a.stats.total_ns, b.stats.total_ns, a.name + "/total");
+    expect_identical(a.stats.setup_ns, b.stats.setup_ns, a.name + "/setup");
+    expect_identical(a.stats.exec_ns, b.stats.exec_ns, a.name + "/exec");
+    // Outcome streams must match too, in request order.
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t r = 0; r < a.outcomes.size(); ++r) {
+      EXPECT_EQ(a.outcomes[r].result.total_ns(),
+                b.outcomes[r].result.total_ns());
+      EXPECT_EQ(a.outcomes[r].charge, b.outcomes[r].charge);
+      EXPECT_EQ(a.outcomes[r].toss_phase, b.outcomes[r].toss_phase);
+    }
+  }
+}
+
+TEST(Engine, SerializationHoldsUnderContention) {
+  // chunk=1 maximizes lane handoffs between workers: every request is a
+  // separate ownership window, so any queue bug would show up as a
+  // violation (and as a TSan report under TOSS_SANITIZE=thread).
+  EngineOptions opts;
+  opts.chunk = 1;
+  opts.keep_outcomes = false;
+  auto engine = make_fleet(12, 30, opts);
+  const EngineReport report = engine->run(8).value();
+  EXPECT_EQ(report.serialization_violations, 0u);
+  for (const FunctionReport& f : report.functions)
+    EXPECT_EQ(f.stats.invocations, 30u) << f.name;
+}
+
+TEST(Engine, MetricsCountersSumToInvocationCounts) {
+  constexpr size_t kFunctions = 8;
+  constexpr size_t kRequests = 25;
+  auto engine = make_fleet(kFunctions, kRequests);
+  const EngineReport report = engine->run(4).value();
+
+  EXPECT_EQ(report.total_invocations(), kFunctions * kRequests);
+  EXPECT_EQ(report.metrics.total_invocations(), kFunctions * kRequests);
+  for (const FunctionReport& f : report.functions) {
+    const FunctionMetrics* m = report.metrics.find(f.name);
+    ASSERT_NE(m, nullptr) << f.name;
+    EXPECT_EQ(m->invocations, f.stats.invocations) << f.name;
+    // Per-phase counters partition the invocations.
+    u64 phase_sum = 0;
+    for (u64 c : m->phase_invocations) phase_sum += c;
+    EXPECT_EQ(phase_sum, m->invocations) << f.name;
+    // Histogram totals match the counters, and their means match the
+    // OnlineStats means.
+    EXPECT_EQ(m->total_ns.count, m->invocations) << f.name;
+    EXPECT_EQ(m->setup_ns.count, m->invocations) << f.name;
+    EXPECT_EQ(m->exec_ns.count, m->invocations) << f.name;
+    EXPECT_DOUBLE_EQ(m->total_ns.mean(), f.stats.total_ns.mean()) << f.name;
+    EXPECT_EQ(m->total_ns.max, f.stats.total_ns.max()) << f.name;
+    EXPECT_EQ(m->total_ns.min, f.stats.total_ns.min()) << f.name;
+    EXPECT_DOUBLE_EQ(m->total_charge, f.stats.total_charge) << f.name;
+  }
+  // The JSON snapshot serializes without blowing up and carries the totals.
+  const std::string json = report.metrics.to_json();
+  EXPECT_NE(json.find("\"total_invocations\":" +
+                      std::to_string(kFunctions * kRequests)),
+            std::string::npos);
+}
+
+TEST(Engine, RejectsDuplicatesBadStreamsAndReruns) {
+  PlatformEngine engine;
+  ASSERT_TRUE(engine
+                  .add(FunctionRegistration(workloads::pyaes())
+                           .policy(PolicyKind::kToss)
+                           .toss(fast_toss()),
+                       RequestGenerator::fixed(3, 1, 1))
+                  .ok());
+
+  const auto dup = engine.add(FunctionRegistration(workloads::pyaes()),
+                              RequestGenerator::fixed(3, 1, 1));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), ErrorCode::kDuplicateFunction);
+
+  const auto bad_stream =
+      engine.add(FunctionRegistration(workloads::compress()),
+                 {{kNumInputs, 1}});
+  EXPECT_FALSE(bad_stream.ok());
+  EXPECT_EQ(bad_stream.code(), ErrorCode::kInvalidRequest);
+
+  EXPECT_TRUE(engine.run(2).ok());
+  const auto again = engine.run(2);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), ErrorCode::kEngineBusy);
+  const auto late_add = engine.add(
+      FunctionRegistration(workloads::linpack()), {});
+  EXPECT_FALSE(late_add.ok());
+  EXPECT_EQ(late_add.code(), ErrorCode::kEngineBusy);
+}
+
+TEST(Engine, TossLanesReachTieredPhase) {
+  auto engine = make_fleet(4, 40);
+  const EngineReport report = engine->run(2).value();
+  // Lanes 0 and 1 are kToss with a 4-stable window over 40 requests.
+  EXPECT_EQ(report.functions[0].final_phase, TossPhase::kTiered);
+  EXPECT_EQ(report.functions[1].final_phase, TossPhase::kTiered);
+  EXPECT_NE(engine->toss_state(report.functions[0].name), nullptr);
+  EXPECT_EQ(engine->toss_state("no-such-lane"), nullptr);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesAndPropagatesErrors) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(&pool, hits.size(), [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  EXPECT_THROW(
+      parallel_for(&pool, 100,
+                   [&](size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(TossOptionsTest, ParallelAnalysisMatchesSerial) {
+  // Same function, same stream; the only difference is the Step III bin
+  // sweep running on a pool. The tiering decision must be bit-identical.
+  auto run_with_threads = [](int analysis_threads) {
+    ServerlessPlatform platform;
+    TossOptions opt = fast_toss();
+    opt.analysis_threads = analysis_threads;
+    platform
+        .register_function(FunctionRegistration(workloads::image_processing())
+                               .policy(PolicyKind::kToss)
+                               .toss(opt))
+        .value();
+    platform
+        .run("image_processing", RequestGenerator::round_robin(40, 99))
+        .value();
+    const TossFunction* state = platform.toss_state("image_processing");
+    EXPECT_EQ(state->phase(), TossPhase::kTiered);
+    return *state->decision();
+  };
+  const TieringDecision serial = run_with_threads(1);
+  const TieringDecision parallel = run_with_threads(4);
+  EXPECT_EQ(serial.slow_fraction, parallel.slow_fraction);
+  EXPECT_EQ(serial.expected_slowdown, parallel.expected_slowdown);
+  EXPECT_EQ(serial.normalized_cost, parallel.normalized_cost);
+  ASSERT_EQ(serial.profile.steps.size(), parallel.profile.steps.size());
+  for (size_t i = 0; i < serial.profile.steps.size(); ++i) {
+    EXPECT_EQ(serial.profile.steps[i].marginal_slowdown,
+              parallel.profile.steps[i].marginal_slowdown);
+    EXPECT_EQ(serial.profile.steps[i].cumulative_cost,
+              parallel.profile.steps[i].cumulative_cost);
+  }
+}
+
+}  // namespace
+}  // namespace toss

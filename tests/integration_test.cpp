@@ -25,17 +25,29 @@ TossOptions fast_toss(u64 stable = 8) {
 TEST(Integration, MixedPolicyPlatform) {
   // All four policies coexist on one host and share the snapshot store.
   ServerlessPlatform platform;
-  platform.register_function(workloads::pyaes(), PolicyKind::kToss,
-                             fast_toss());
-  platform.register_function(workloads::compress(), PolicyKind::kReap);
-  platform.register_function(workloads::linpack(), PolicyKind::kFaasnap);
-  platform.register_function(workloads::json_load_dump(),
-                             PolicyKind::kVanilla);
+  platform
+      .register_function(FunctionRegistration(workloads::pyaes())
+                             .policy(PolicyKind::kToss)
+                             .toss(fast_toss()))
+      .value();
+  platform
+      .register_function(
+          FunctionRegistration(workloads::compress()).policy(PolicyKind::kReap))
+      .value();
+  platform
+      .register_function(FunctionRegistration(workloads::linpack())
+                             .policy(PolicyKind::kFaasnap))
+      .value();
+  platform
+      .register_function(FunctionRegistration(workloads::json_load_dump())
+                             .policy(PolicyKind::kVanilla))
+      .value();
   Rng rng(5);
   for (int round = 0; round < 30; ++round) {
     for (const char* name :
          {"pyaes", "compress", "linpack", "json_load_dump"}) {
-      const auto out = platform.invoke(name, round % kNumInputs, rng.next());
+      const auto out =
+          platform.invoke(name, round % kNumInputs, rng.next()).value();
       EXPECT_GT(out.result.total_ns(), 0) << name;
       EXPECT_GT(out.charge, 0.0) << name;
     }

@@ -6,6 +6,12 @@
 #include "platform/platform.hpp"
 #include "workloads/functions.hpp"
 
+// The deprecated register_function(spec, kind, options) shim is exercised
+// below on purpose; silence the warning for this TU only.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace toss {
 namespace {
 
@@ -134,10 +140,13 @@ class PlatformTest : public ::testing::Test {
 
 TEST_F(PlatformTest, EndToEndTossLifecycle) {
   ServerlessPlatform platform;
-  platform.register_function(workloads::pyaes(), PolicyKind::kToss,
-                             fast_toss());
+  ASSERT_TRUE(platform
+                  .register_function(FunctionRegistration(workloads::pyaes())
+                                         .policy(PolicyKind::kToss)
+                                         .toss(fast_toss()))
+                  .ok());
   const auto reqs = RequestGenerator::round_robin(150, 11);
-  const auto outcomes = platform.run("pyaes", reqs);
+  const auto outcomes = platform.run("pyaes", reqs).value();
   ASSERT_EQ(outcomes.size(), 150u);
   EXPECT_TRUE(outcomes.front().cold_boot);
   EXPECT_EQ(outcomes.back().toss_phase, TossPhase::kTiered);
@@ -149,12 +158,13 @@ TEST_F(PlatformTest, EndToEndTossLifecycle) {
 
 TEST_F(PlatformTest, TieredChargeBelowDramCharge) {
   ServerlessPlatform platform;
+  // Deprecated shim: still registers (and validates via the builder).
   platform.register_function(workloads::compress(), PolicyKind::kToss,
                              fast_toss());
-  platform.run("compress", RequestGenerator::fixed(40, 3, 5));
+  platform.run("compress", RequestGenerator::fixed(40, 3, 5)).value();
   ASSERT_EQ(platform.toss_state("compress")->phase(), TossPhase::kTiered);
 
-  const auto tiered = platform.invoke("compress", 3, 777);
+  const auto tiered = platform.invoke("compress", 3, 777).value();
   const double dram_equiv = platform.pricing().dram_invocation_cost(
       256, to_ms(tiered.result.total_ns()));
   EXPECT_LT(tiered.charge, dram_equiv);
@@ -162,15 +172,19 @@ TEST_F(PlatformTest, TieredChargeBelowDramCharge) {
 
 TEST_F(PlatformTest, BaselinePoliciesWork) {
   ServerlessPlatform platform;
-  platform.register_function(workloads::json_load_dump(),
-                             PolicyKind::kVanilla);
-  platform.register_function(workloads::pyaes(), PolicyKind::kReap);
-  platform.register_function(workloads::linpack(), PolicyKind::kFaasnap);
+  for (auto [spec, kind] :
+       {std::pair{workloads::json_load_dump(), PolicyKind::kVanilla},
+        std::pair{workloads::pyaes(), PolicyKind::kReap},
+        std::pair{workloads::linpack(), PolicyKind::kFaasnap}}) {
+    ASSERT_TRUE(
+        platform.register_function(FunctionRegistration(spec).policy(kind))
+            .ok());
+  }
 
   for (const char* name : {"json_load_dump", "pyaes", "linpack"}) {
-    const auto first = platform.invoke(name, 1, 1);
+    const auto first = platform.invoke(name, 1, 1).value();
     EXPECT_TRUE(first.cold_boot) << name;
-    const auto second = platform.invoke(name, 1, 2);
+    const auto second = platform.invoke(name, 1, 2).value();
     EXPECT_FALSE(second.cold_boot) << name;
     EXPECT_GT(second.result.total_ns(), 0) << name;
   }
@@ -178,15 +192,86 @@ TEST_F(PlatformTest, BaselinePoliciesWork) {
 
 TEST_F(PlatformTest, ReapEagerLoadsOnSecondInvocation) {
   ServerlessPlatform platform;
-  platform.register_function(workloads::pyaes(), PolicyKind::kReap);
-  platform.invoke("pyaes", 1, 1);
-  const auto second = platform.invoke("pyaes", 1, 2);
+  platform.register_function(
+      FunctionRegistration(workloads::pyaes()).policy(PolicyKind::kReap))
+      .value();
+  platform.invoke("pyaes", 1, 1).value();
+  const auto second = platform.invoke("pyaes", 1, 2).value();
   EXPECT_GT(second.result.setup.eager_pages, 0u);
 }
 
-TEST_F(PlatformTest, UnknownFunctionThrows) {
+TEST_F(PlatformTest, UnknownFunctionIsTypedError) {
   ServerlessPlatform platform;
-  EXPECT_THROW(platform.invoke("ghost", 0, 0), std::out_of_range);
+  const auto out = platform.invoke("ghost", 0, 0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.code(), ErrorCode::kUnknownFunction);
+  // value() on an error rethrows it as the typed exception, never as a raw
+  // std::out_of_range from some internal container.
+  try {
+    platform.invoke("ghost", 0, 0).value();
+    FAIL() << "expected toss::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownFunction);
+  }
+  EXPECT_THROW(platform.stats("ghost"), Error);
+  EXPECT_EQ(platform.toss_state("ghost"), nullptr);
+}
+
+TEST_F(PlatformTest, InvalidInputIsTypedError) {
+  ServerlessPlatform platform;
+  platform.register_function(
+      FunctionRegistration(workloads::pyaes()).policy(PolicyKind::kVanilla))
+      .value();
+  const auto out = platform.invoke("pyaes", kNumInputs, 0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.code(), ErrorCode::kInvalidRequest);
+}
+
+TEST_F(PlatformTest, RegistrationValidatesOptions) {
+  ServerlessPlatform platform;
+
+  TossOptions bad_bins = fast_toss();
+  bad_bins.bin_count = 0;
+  auto r = platform.register_function(FunctionRegistration(workloads::pyaes())
+                                          .policy(PolicyKind::kToss)
+                                          .toss(bad_bins));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kInvalidOptions);
+
+  TossOptions bad_window = fast_toss();
+  bad_window.stable_invocations = 100;
+  bad_window.max_profiling_invocations = 10;
+  r = platform.register_function(FunctionRegistration(workloads::pyaes())
+                                     .policy(PolicyKind::kToss)
+                                     .toss(bad_window));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kInvalidOptions);
+
+  r = platform.register_function(
+      FunctionRegistration(workloads::pyaes()).concurrency(0));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kInvalidOptions);
+
+  FunctionSpec nameless = workloads::pyaes();
+  nameless.name.clear();
+  EXPECT_FALSE(platform.register_function(FunctionRegistration(nameless)).ok());
+
+  // A failed registration leaves no trace; the valid one still works.
+  EXPECT_TRUE(platform
+                  .register_function(FunctionRegistration(workloads::pyaes())
+                                         .policy(PolicyKind::kToss)
+                                         .toss(fast_toss()))
+                  .ok());
+  const auto dup = platform.register_function(
+      FunctionRegistration(workloads::pyaes()).policy(PolicyKind::kToss));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), ErrorCode::kDuplicateFunction);
+
+  // The deprecated shim surfaces validation failures as the typed Error.
+  EXPECT_THROW(
+      platform.register_function(workloads::compress(), PolicyKind::kToss,
+                                 bad_bins),
+      Error);
 }
 
 }  // namespace

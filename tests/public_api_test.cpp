@@ -1,0 +1,58 @@
+// Enforces the public-header policy (DESIGN.md "Public API"): examples and
+// benches may include only the umbrella header `toss.hpp` (plus the bench
+// harness's own `common.hpp` and system/third-party headers). Deep internal
+// headers — core/, vmm/, mem/, platform/, ... — are implementation detail.
+//
+// The build passes the source root via TOSS_SOURCE_DIR, so this runs as a
+// normal ctest case instead of a separate CI lint step.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::string include;
+};
+
+std::vector<Violation> scan_directory(const fs::path& dir) {
+  std::vector<Violation> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const fs::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t pos = line.find("#include \"");
+      if (pos == std::string::npos) continue;
+      const size_t begin = pos + 10;
+      const size_t end = line.find('"', begin);
+      if (end == std::string::npos) continue;
+      const std::string target = line.substr(begin, end - begin);
+      if (target == "toss.hpp" || target == "common.hpp") continue;
+      out.push_back({path.filename().string(), target});
+    }
+  }
+  return out;
+}
+
+TEST(PublicApi, ExamplesAndBenchesIncludeOnlyTheUmbrellaHeader) {
+  const fs::path root = TOSS_SOURCE_DIR;
+  ASSERT_TRUE(fs::exists(root / "src" / "toss.hpp"))
+      << "umbrella header missing";
+  for (const char* sub : {"examples", "bench"}) {
+    const std::vector<Violation> violations = scan_directory(root / sub);
+    for (const Violation& v : violations)
+      ADD_FAILURE() << sub << "/" << v.file << " includes internal header \""
+                    << v.include << "\"; include \"toss.hpp\" instead";
+  }
+}
+
+}  // namespace
