@@ -1,6 +1,8 @@
 #include "common.hpp"
 
+#include <filesystem>
 #include <stdexcept>
+#include <string_view>
 
 namespace toss::bench {
 
@@ -79,6 +81,23 @@ Nanos dram_resident_setup_ns(const SimEnv& env) {
 const char* roman(int input) {
   static const char* kRoman[] = {"I", "II", "III", "IV"};
   return kRoman[input];
+}
+
+std::string artifact_dir(int argc, char** argv) {
+  std::string dir = TOSS_BENCH_OUT_DIR;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0)
+      dir = std::string(arg.substr(10));
+  }
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string artifact_path(int argc, char** argv,
+                          const std::string& filename) {
+  return (std::filesystem::path(artifact_dir(argc, argv)) / filename)
+      .string();
 }
 
 }  // namespace toss::bench

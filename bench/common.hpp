@@ -73,4 +73,13 @@ Nanos dram_resident_setup_ns(const SimEnv& env);
 /// Paper-standard input labels ("I".."IV").
 const char* roman(int input);
 
+/// Directory for bench artifacts (JSON/CSV output). Defaults to
+/// `<build>/bench_artifacts` so runs never litter the invoking CWD;
+/// override with `--out-dir=PATH`. The directory is created on demand.
+std::string artifact_dir(int argc, char** argv);
+
+/// `artifact_dir(argc, argv)/filename`, creating the directory.
+std::string artifact_path(int argc, char** argv,
+                          const std::string& filename);
+
 }  // namespace toss::bench

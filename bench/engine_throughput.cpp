@@ -8,7 +8,8 @@
 // default, or --engine_threads=N) must produce identical per-function
 // statistics — lanes share no mutable state — so the only thing allowed to
 // change is the wall clock. Metrics (counters + latency histograms per
-// function/phase) are snapshotted into engine_metrics.json.
+// function/phase) are snapshotted into engine_metrics.json under the bench
+// artifact directory (--out-dir=PATH, default <build>/bench_artifacts).
 //
 // Note: the achievable speedup is bounded by the host's core count; on a
 // single-core machine both runs take the same time by construction.
@@ -20,6 +21,8 @@
 #include <string>
 
 #include "toss.hpp"
+
+#include "common.hpp"
 
 using namespace toss;
 
@@ -61,7 +64,7 @@ bool identical_stats(const OnlineStats& a, const OnlineStats& b) {
          a.variance() == b.variance();
 }
 
-int run_comparison(int threads) {
+int run_comparison(int threads, const std::string& metrics_path) {
   std::printf("fleet: %zu functions x %zu requests, host threads: %d\n",
               kFleetSize, kRequestsPerFunction, ThreadPool::hardware_threads());
 
@@ -107,13 +110,12 @@ int run_comparison(int threads) {
               static_cast<unsigned long long>(tiered),
               parallel.functions.size());
 
-  if (FILE* out = std::fopen("engine_metrics.json", "w")) {
+  if (FILE* out = std::fopen(metrics_path.c_str(), "w")) {
     const std::string json = parallel.metrics.to_json();
     std::fwrite(json.data(), 1, json.size(), out);
     std::fclose(out);
-    std::printf("metrics: engine_metrics.json (%zu functions, %llu "
-                "invocations)\n",
-                parallel.metrics.functions.size(),
+    std::printf("metrics: %s (%zu functions, %llu invocations)\n",
+                metrics_path.c_str(), parallel.metrics.functions.size(),
                 static_cast<unsigned long long>(
                     parallel.metrics.total_invocations()));
   }
@@ -137,7 +139,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strncmp(argv[i], "--engine_threads=", 17) == 0)
       threads = std::atoi(argv[i] + 17);
-  const int rc = run_comparison(threads > 0 ? threads : 8);
+  const std::string metrics_path =
+      toss::bench::artifact_path(argc, argv, "engine_metrics.json");
+  const int rc = run_comparison(threads > 0 ? threads : 8, metrics_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return rc;

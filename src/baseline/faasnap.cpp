@@ -1,13 +1,13 @@
 #include "baseline/faasnap.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
 FaasnapPolicy::FaasnapPolicy(const SnapshotStore& store, u64 snapshot_file_id,
                              WorkingSet ws)
     : store_(&store), snapshot_file_id_(snapshot_file_id), ws_(std::move(ws)) {
-  assert(store_->get_single_tier(snapshot_file_id_) != nullptr);
+  TOSS_REQUIRE(store_->get_single_tier(snapshot_file_id_) != nullptr);
 }
 
 RestorePlan FaasnapPolicy::plan_restore() const {

@@ -1,6 +1,6 @@
 #include "baseline/reap.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -8,8 +8,8 @@ ReapPolicy::ReapPolicy(const SnapshotStore& store, u64 snapshot_file_id,
                        WorkingSet ws)
     : store_(&store), snapshot_file_id_(snapshot_file_id), ws_(std::move(ws)) {
   const SingleTierSnapshot* snap = store_->get_single_tier(snapshot_file_id_);
-  assert(snap != nullptr);
-  assert(ws_.num_pages() == snap->num_pages());
+  TOSS_REQUIRE(snap != nullptr);
+  TOSS_REQUIRE(ws_.num_pages() == snap->num_pages());
   (void)snap;
 }
 

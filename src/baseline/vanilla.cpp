@@ -1,13 +1,13 @@
 #include "baseline/vanilla.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
 VanillaPolicy::VanillaPolicy(const SnapshotStore& store, u64 snapshot_file_id,
                              bool eager)
     : store_(&store), snapshot_file_id_(snapshot_file_id), eager_(eager) {
-  assert(store_->get_single_tier(snapshot_file_id_) != nullptr);
+  TOSS_REQUIRE(store_->get_single_tier(snapshot_file_id_) != nullptr);
 }
 
 RestorePlan VanillaPolicy::plan_restore() const {

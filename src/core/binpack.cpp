@@ -1,8 +1,9 @@
 #include "core/binpack.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -30,7 +31,7 @@ RegionList split_large_regions(const RegionList& regions, u64 max_mass) {
 }
 
 std::vector<Bin> pack_equal_access(const RegionList& regions, int bin_count) {
-  assert(bin_count > 0);
+  TOSS_REQUIRE(bin_count > 0);
   std::vector<Bin> bins(static_cast<size_t>(bin_count));
   if (regions.empty()) return bins;
 
@@ -62,12 +63,13 @@ std::vector<Bin> pack_equal_access(const RegionList& regions, int bin_count) {
                (cur + 1) * total_mass)
       ++cur;
   }
+  TOSS_VALIDATE(validate_bins(bins, regions));
   return bins;
 }
 
 std::vector<Bin> pack_equal_access_greedy(const RegionList& regions,
                                           int bin_count) {
-  assert(bin_count > 0);
+  TOSS_REQUIRE(bin_count > 0);
   std::vector<Bin> bins(static_cast<size_t>(bin_count));
   if (regions.empty()) return bins;
 
@@ -93,11 +95,12 @@ std::vector<Bin> pack_equal_access_greedy(const RegionList& regions,
     lightest->pages += items[idx].page_count;
     lightest->access_mass += items[idx].total_accesses();
   }
+  TOSS_VALIDATE(validate_bins(bins, regions));
   return bins;
 }
 
 std::vector<Bin> pack_equal_size(const RegionList& regions, int bin_count) {
-  assert(bin_count > 0);
+  TOSS_REQUIRE(bin_count > 0);
   std::vector<Bin> bins(static_cast<size_t>(bin_count));
   if (regions.empty()) return bins;
 
@@ -120,19 +123,33 @@ std::vector<Bin> pack_equal_size(const RegionList& regions, int bin_count) {
       remaining -= room;
     }
   }
+  TOSS_VALIDATE(validate_bins(bins, regions));
   return bins;
 }
 
 bool bins_cover_regions(const std::vector<Bin>& bins,
                         const RegionList& regions) {
+  return !validate_bins(bins, regions).has_value();
+}
+
+std::optional<std::string> validate_bins(const std::vector<Bin>& bins,
+                                         const RegionList& regions) {
   u64 bin_pages = 0, bin_mass = 0;
-  for (const Bin& b : bins) {
+  for (size_t i = 0; i < bins.size(); ++i) {
+    const Bin& b = bins[i];
     u64 pages = 0, mass = 0;
     for (const Region& r : b.regions) {
       pages += r.page_count;
       mass += r.total_accesses();
     }
-    if (pages != b.pages || mass != b.access_mass) return false;
+    if (pages != b.pages)
+      return "bin " + std::to_string(i) + ": cached page count " +
+             std::to_string(b.pages) + " != sum over regions " +
+             std::to_string(pages);
+    if (mass != b.access_mass)
+      return "bin " + std::to_string(i) + ": cached access mass " +
+             std::to_string(b.access_mass) + " != sum over regions " +
+             std::to_string(mass);
     bin_pages += pages;
     bin_mass += mass;
   }
@@ -141,7 +158,14 @@ bool bins_cover_regions(const std::vector<Bin>& bins,
     want_pages += r.page_count;
     want_mass += r.total_accesses();
   }
-  return bin_pages == want_pages && bin_mass == want_mass;
+  if (bin_pages != want_pages)
+    return "bins hold " + std::to_string(bin_pages) + " pages, input has " +
+           std::to_string(want_pages) + " (pages not conserved)";
+  if (bin_mass != want_mass)
+    return "bins hold access mass " + std::to_string(bin_mass) +
+           ", input has " + std::to_string(want_mass) +
+           " (access mass not conserved)";
+  return std::nullopt;
 }
 
 }  // namespace toss

@@ -7,6 +7,8 @@
 // variable byte sizes: a hot bin can be a few MiB, a cold one hundreds.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "trace/region.hpp"
@@ -55,5 +57,16 @@ std::vector<Bin> pack_equal_size(const RegionList& regions, int bin_count);
 /// Sanity: every input region's pages appear in exactly one bin.
 bool bins_cover_regions(const std::vector<Bin>& bins,
                         const RegionList& regions);
+
+/// Mass-conservation validator with a diagnostic: each bin's cached
+/// pages/access_mass must equal the sum over its regions, and the totals
+/// across all bins must equal the input regions' totals (splitting regions
+/// redistributes mass, never creates or destroys it). Returns std::nullopt
+/// when conserved, else a description of the first discrepancy. Checked
+/// builds run this after every pack_* call via TOSS_VALIDATE; it is the
+/// Step III seam's defense against a packing heuristic silently dropping
+/// or double-counting a region.
+std::optional<std::string> validate_bins(const std::vector<Bin>& bins,
+                                         const RegionList& regions);
 
 }  // namespace toss

@@ -1,19 +1,19 @@
 #include "core/cost.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
 double eq1_memory_cost(double slowdown_factor, double mb_fast, double mb_slow,
                        double cost_fast_per_mb, double cost_slow_per_mb) {
-  assert(slowdown_factor >= 1.0);
+  TOSS_REQUIRE(slowdown_factor >= 1.0);
   return slowdown_factor *
          (mb_fast * cost_fast_per_mb + mb_slow * cost_slow_per_mb);
 }
 
 double normalized_memory_cost(double slowdown_factor, double slow_fraction,
                               double cost_ratio) {
-  assert(cost_ratio > 0.0);
+  TOSS_REQUIRE(cost_ratio > 0.0);
   return slowdown_factor *
          ((1.0 - slow_fraction) + slow_fraction / cost_ratio);
 }

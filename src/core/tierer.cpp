@@ -1,6 +1,6 @@
 #include "core/tierer.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -25,7 +25,7 @@ Nanos tiering_stage_ns(const SystemConfig& cfg, u64 guest_bytes) {
 
 TossPolicy::TossPolicy(const SnapshotStore& store, u64 tiered_id)
     : store_(&store), tiered_id_(tiered_id) {
-  assert(store_->get_tiered(tiered_id_) != nullptr);
+  TOSS_REQUIRE(store_->get_tiered(tiered_id_) != nullptr);
 }
 
 RestorePlan TossPolicy::plan_restore() const {

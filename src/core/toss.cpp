@@ -1,7 +1,6 @@
 #include "core/toss.hpp"
 
-#include <cassert>
-
+#include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
 namespace toss {
@@ -89,7 +88,7 @@ TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
 }
 
 void TossFunction::run_analysis() {
-  assert(unified_ && largest_);
+  TOSS_ASSERT(unified_ && largest_);
   // Steps III + IV on the unified pattern, profiled against the largest
   // (longest-running) invocation encountered while profiling.
   const Invocation representative =
@@ -107,7 +106,7 @@ void TossFunction::run_analysis() {
   decision_ = analyze_pattern(*cfg_, unified_->counts(), representative, topt);
 
   const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
-  assert(snap != nullptr);
+  TOSS_ASSERT(snap != nullptr);
   tiered_id_ = tier_snapshot(*store_, *snap, decision_->placement);
 
   // Arm the re-generation trigger (Eqs 2-4).

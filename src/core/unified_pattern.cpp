@@ -1,6 +1,6 @@
 #include "core/unified_pattern.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -8,7 +8,7 @@ UnifiedPattern::UnifiedPattern(u64 num_pages, double change_epsilon)
     : counts_(num_pages), change_epsilon_(change_epsilon) {}
 
 bool UnifiedPattern::add_record(const DamonRecord& record) {
-  assert(record.num_pages() == counts_.num_pages());
+  TOSS_REQUIRE(record.num_pages() == counts_.num_pages());
   const PageAccessCounts before = counts_;
   counts_.merge_max(record.to_counts());
   ++records_;

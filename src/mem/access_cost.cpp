@@ -1,12 +1,13 @@
 #include "mem/access_cost.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/contracts.hpp"
 
 namespace toss {
 
 std::vector<u64> expand_burst_counts(const AccessBurst& burst) {
-  assert(burst.page_count > 0);
+  TOSS_REQUIRE(burst.page_count > 0);
   std::vector<u64> counts(burst.page_count, 0);
   if (burst.accesses == 0) return counts;
   if (burst.zipf_theta <= 1e-9) {
@@ -63,8 +64,8 @@ Nanos AccessCostModel::burst_time(const AccessBurst& b,
 BurstCost AccessCostModel::burst_cost(const AccessBurst& b,
                                       const std::vector<u64>& counts,
                                       const PagePlacement& placement) const {
-  assert(counts.size() == b.page_count);
-  assert(b.page_end() <= placement.num_pages());
+  TOSS_REQUIRE(counts.size() == b.page_count);
+  TOSS_REQUIRE(b.page_end() <= placement.num_pages());
   u64 slow_accesses = 0;
   u64 total = 0;
   for (u64 i = 0; i < b.page_count; ++i) {

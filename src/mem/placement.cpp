@@ -1,6 +1,6 @@
 #include "mem/placement.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -8,7 +8,7 @@ PagePlacement::PagePlacement(u64 num_pages, Tier initial)
     : tiers_(num_pages, static_cast<u8>(initial)) {}
 
 void PagePlacement::set_range(u64 page_begin, u64 page_count, Tier t) {
-  assert(page_begin + page_count <= num_pages());
+  TOSS_REQUIRE(page_begin + page_count <= num_pages());
   for (u64 p = page_begin; p < page_begin + page_count; ++p)
     tiers_[p] = static_cast<u8>(t);
 }
@@ -32,7 +32,7 @@ double PagePlacement::slow_fraction() const {
 
 u64 PagePlacement::count_in_range(u64 page_begin, u64 page_count,
                                   Tier t) const {
-  assert(page_begin + page_count <= num_pages());
+  TOSS_REQUIRE(page_begin + page_count <= num_pages());
   u64 n = 0;
   for (u64 p = page_begin; p < page_begin + page_count; ++p)
     if (tiers_[p] == static_cast<u8>(t)) ++n;

@@ -5,16 +5,69 @@
 
 namespace toss {
 
-namespace {
+namespace detail {
 
-/// A job's demand rate on a resource while it is actively using it (its
-/// solo busy time at full device speed). Jobs with no demand contribute
-/// nothing. Returns bytes/ns (or pages/ns for the disk).
-double active_rate(double demand, Nanos busy_ns) {
-  return busy_ns > 0 ? demand / busy_ns : 0.0;
+namespace {
+// Ranks (not pointers) of the locks this thread currently holds, in
+// acquisition order. thread_local so the detector needs no global lock of
+// its own.
+thread_local std::vector<const RankedMutex*> t_held_locks;
+}  // namespace
+
+std::optional<std::string> lock_rank_violation(const RankedMutex& m) {
+  if (t_held_locks.empty()) return std::nullopt;
+  const RankedMutex* top = t_held_locks.back();
+  if (static_cast<int>(m.rank()) > static_cast<int>(top->rank()))
+    return std::nullopt;
+  return std::string("lock-rank violation: acquiring '") + m.name() +
+         "' (rank " + std::to_string(static_cast<int>(m.rank())) +
+         ") while holding '" + top->name() + "' (rank " +
+         std::to_string(static_cast<int>(top->rank())) +
+         "); locks must be taken in increasing rank order";
 }
 
-}  // namespace
+void lock_rank_push(const RankedMutex& m) { t_held_locks.push_back(&m); }
+
+void lock_rank_pop(const RankedMutex& m) {
+  // Unlocks are LIFO in practice (lock_guard / unique_lock / cv wait), but
+  // tolerate out-of-order release: erase the most recent matching entry.
+  for (auto it = t_held_locks.rbegin(); it != t_held_locks.rend(); ++it) {
+    if (*it == &m) {
+      t_held_locks.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+void RankedMutex::lock() {
+#ifdef TOSS_CHECKED
+  TOSS_VALIDATE(detail::lock_rank_violation(*this));
+#endif
+  mu_.lock();
+#ifdef TOSS_CHECKED
+  detail::lock_rank_push(*this);
+#endif
+}
+
+void RankedMutex::unlock() {
+#ifdef TOSS_CHECKED
+  detail::lock_rank_pop(*this);
+#endif
+  mu_.unlock();
+}
+
+bool RankedMutex::try_lock() {
+#ifdef TOSS_CHECKED
+  TOSS_VALIDATE(detail::lock_rank_violation(*this));
+#endif
+  const bool acquired = mu_.try_lock();
+#ifdef TOSS_CHECKED
+  if (acquired) detail::lock_rank_push(*this);
+#endif
+  return acquired;
+}
 
 ConcurrencyOutcome run_concurrent(const SystemConfig& cfg,
                                   const std::vector<ExecutionResult>& solo) {

@@ -13,11 +13,67 @@
 // invocations spread their demand over a longer window, lowering pressure).
 #pragma once
 
+#include <mutex>
 #include <vector>
 
+#include "util/contracts.hpp"
 #include "vmm/microvm.hpp"
 
 namespace toss {
+
+// ---------------------------------------------------------------------------
+// Lock-rank deadlock detection (checked builds).
+//
+// Every real mutex in the platform layer carries a rank; a thread may only
+// acquire locks in strictly increasing rank order. Under TOSS_CHECKED an
+// out-of-order (or same-rank, i.e. potentially ABBA) acquisition aborts
+// immediately with both lock names — turning a once-in-a-thousand-runs
+// deadlock hang into a deterministic crash at the first wrong nesting. In
+// unchecked builds RankedMutex is a plain std::mutex wrapper with zero
+// bookkeeping.
+// ---------------------------------------------------------------------------
+
+/// Global lock ordering, lowest acquired first. A thread holding
+/// kEngineScheduler may take kMetricsRegistry, never the reverse.
+enum class LockRank : int {
+  kEngineScheduler = 10,  ///< PlatformEngine ready-queue mutex
+  kMetricsRegistry = 20,  ///< MetricsRegistry series-map mutex
+};
+
+/// std::mutex with a rank, compatible with std::lock_guard /
+/// std::unique_lock / std::condition_variable_any. Checked builds maintain
+/// a thread-local stack of held ranks and abort on out-of-order
+/// acquisition; a condition-variable wait unlocks (popping the rank) and
+/// re-locks (re-validating), so waiting never wedges the detector.
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  bool try_lock();
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+namespace detail {
+/// Checked-build validation hooks (no-ops when TOSS_CHECKED is off).
+/// Exposed so tests can drive the detector without a real deadlock.
+void lock_rank_push(const RankedMutex& m);
+void lock_rank_pop(const RankedMutex& m);
+/// nullopt when acquiring `m` respects the rank order for this thread,
+/// else a diagnostic naming the conflicting held lock.
+std::optional<std::string> lock_rank_violation(const RankedMutex& m);
+}  // namespace detail
 
 struct ContentionFactors {
   double fast = 1.0;

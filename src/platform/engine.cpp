@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
 namespace toss {
@@ -58,7 +59,7 @@ Result<void> PlatformEngine::add(const FunctionRegistration& registration,
 }
 
 void PlatformEngine::record_error(ErrorCode code, std::string message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<RankedMutex> lock(mu_);
   if (!failed_) {
     failed_ = true;
     error_code_ = code;
@@ -70,8 +71,13 @@ void PlatformEngine::record_error(ErrorCode code, std::string message) {
 
 void PlatformEngine::process_chunk(Lane& lane) {
   // Serialization guard: the scheduler hands a lane to one worker at a
-  // time; a violation here means the queue invariant broke.
-  if (lane.in_flight.fetch_add(1, std::memory_order_acq_rel) != 0)
+  // time; a violation here means the queue invariant broke. Release builds
+  // count it (EngineReport::serialization_violations, asserted 0 by
+  // tests); checked builds abort on the spot, before the re-entered
+  // TossFunction state machine can corrupt anything.
+  const int prior = lane.in_flight.fetch_add(1, std::memory_order_acq_rel);
+  TOSS_ASSERT(prior == 0, "lane re-entered concurrently");
+  if (prior != 0)
     serialization_violations_.fetch_add(1, std::memory_order_relaxed);
 
   const size_t end = std::min(lane.requests.size(),
@@ -98,7 +104,7 @@ void PlatformEngine::scheduler_loop() {
   for (;;) {
     size_t idx;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<RankedMutex> lock(mu_);
       ready_cv_.wait(lock, [this] {
         return abort_ || !ready_.empty() || unfinished_ == 0;
       });
@@ -112,7 +118,7 @@ void PlatformEngine::scheduler_loop() {
     process_chunk(lane);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<RankedMutex> lock(mu_);
       if (lane.next < lane.requests.size()) {
         ready_.push_back(idx);
         ready_cv_.notify_one();
@@ -133,7 +139,7 @@ Result<EngineReport> PlatformEngine::run(int threads) {
   if (threads <= 0) threads = ThreadPool::hardware_threads();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedMutex> lock(mu_);
     ready_.clear();
     unfinished_ = 0;
     for (size_t i = 0; i < lanes_.size(); ++i) {

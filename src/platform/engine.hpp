@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "platform/concurrency.hpp"
 #include "platform/metrics.hpp"
 #include "platform/platform.hpp"
 
@@ -127,9 +128,11 @@ class PlatformEngine {
   MetricsRegistry metrics_;
   bool ran_ = false;
 
-  // Scheduler state (valid during run()).
-  std::mutex mu_;
-  std::condition_variable ready_cv_;
+  // Scheduler state (valid during run()). The mutex is rank-checked: a
+  // worker holding it may still create metric series (kMetricsRegistry
+  // ranks higher), but the registry must never call back into the engine.
+  RankedMutex mu_{LockRank::kEngineScheduler, "PlatformEngine::mu_"};
+  std::condition_variable_any ready_cv_;
   std::deque<size_t> ready_;
   size_t unfinished_ = 0;
   bool abort_ = false;

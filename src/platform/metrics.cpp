@@ -93,7 +93,7 @@ void FunctionSeries::record(TossPhase phase, bool cold_boot, Nanos total,
 }
 
 FunctionSeries* MetricsRegistry::series(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<RankedMutex> lock(mu_);
   for (const auto& s : series_)
     if (s->function == name) return s.get();
   series_.push_back(std::make_unique<FunctionSeries>(name));
@@ -102,7 +102,7 @@ FunctionSeries* MetricsRegistry::series(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<RankedMutex> lock(mu_);
   out.functions.reserve(series_.size());
   for (const auto& s : series_) {
     FunctionMetrics m;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/toss.hpp"
+#include "platform/concurrency.hpp"
 
 namespace toss {
 
@@ -100,7 +101,8 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kMetricsRegistry,
+                          "MetricsRegistry::mu_"};
   std::vector<std::unique_ptr<FunctionSeries>> series_;
 };
 

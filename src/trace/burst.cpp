@@ -1,9 +1,9 @@
 #include "trace/burst.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "trace/pattern.hpp"
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -31,7 +31,7 @@ u64 BurstTrace::footprint_pages(u64 num_guest_pages) const {
   std::vector<bool> touched(num_guest_pages, false);
   u64 n = 0;
   for (const auto& b : bursts_) {
-    assert(b.page_end() <= num_guest_pages);
+    TOSS_REQUIRE(b.page_end() <= num_guest_pages);
     for (u64 p = b.page_begin; p < b.page_end(); ++p) {
       if (!touched[p]) {
         touched[p] = true;
@@ -43,7 +43,7 @@ u64 BurstTrace::footprint_pages(u64 num_guest_pages) const {
 }
 
 const std::vector<u64>& BurstTrace::counts_of(size_t i) const {
-  assert(i < bursts_.size());
+  TOSS_REQUIRE(i < bursts_.size());
   if (expansions_[i].empty() && bursts_[i].page_count > 0)
     expansions_[i] = expand_burst_counts(bursts_[i]);
   return expansions_[i];

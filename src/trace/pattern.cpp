@@ -1,10 +1,10 @@
 #include "trace/pattern.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 
 #include "trace/burst.hpp"
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -22,19 +22,19 @@ u64 PageAccessCounts::total_accesses() const {
 }
 
 void PageAccessCounts::merge_max(const PageAccessCounts& other) {
-  assert(num_pages() == other.num_pages());
+  TOSS_REQUIRE(num_pages() == other.num_pages());
   for (u64 p = 0; p < num_pages(); ++p)
     counts_[p] = std::max(counts_[p], other.counts_[p]);
 }
 
 void PageAccessCounts::merge_sum(const PageAccessCounts& other) {
-  assert(num_pages() == other.num_pages());
+  TOSS_REQUIRE(num_pages() == other.num_pages());
   for (u64 p = 0; p < num_pages(); ++p) counts_[p] += other.counts_[p];
 }
 
 double PageAccessCounts::normalized_distance(
     const PageAccessCounts& other) const {
-  assert(num_pages() == other.num_pages());
+  TOSS_REQUIRE(num_pages() == other.num_pages());
   u64 l1 = 0;
   for (u64 p = 0; p < num_pages(); ++p) {
     const u64 a = counts_[p];

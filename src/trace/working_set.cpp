@@ -1,7 +1,8 @@
 #include "trace/working_set.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -19,7 +20,7 @@ double WorkingSet::fraction() const {
 }
 
 u64 WorkingSet::missing_from(const WorkingSet& other) const {
-  assert(num_pages() == other.num_pages());
+  TOSS_REQUIRE(num_pages() == other.num_pages());
   u64 n = 0;
   for (u64 p = 0; p < num_pages(); ++p)
     if (other.touched_[p] && !touched_[p]) ++n;
@@ -46,7 +47,7 @@ std::vector<std::pair<u64, u64>> WorkingSet::touched_ranges() const {
 WorkingSet uffd_working_set(const BurstTrace& trace, u64 num_pages) {
   WorkingSet ws(num_pages);
   for (const auto& b : trace.bursts()) {
-    assert(b.page_end() <= num_pages);
+    TOSS_REQUIRE(b.page_end() <= num_pages);
     for (u64 p = b.page_begin; p < b.page_end(); ++p) ws.insert(p);
   }
   return ws;

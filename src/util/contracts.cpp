@@ -1,0 +1,26 @@
+#include "util/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace toss::detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const char* msg) {
+  std::fprintf(stderr, "%s:%d: %s failed: %s%s%s%s\n", file, line, kind, expr,
+               msg && msg[0] ? " (" : "", msg ? msg : "",
+               msg && msg[0] ? ")" : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool contracts_enabled() {
+#ifdef TOSS_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace toss::detail

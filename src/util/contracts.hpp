@@ -1,0 +1,82 @@
+// Contract macros for checked builds (the runtime half of the verification
+// layer; tools/toss_lint is the static half).
+//
+// The simulator's correctness rests on structural invariants the type
+// system cannot see: layouts must tile guest memory, bins must conserve
+// access mass, a lane must never be re-entered concurrently. These macros
+// turn those implicit invariants into enforced ones:
+//
+//   TOSS_REQUIRE(cond [, "msg"])   precondition  (caller handed us garbage)
+//   TOSS_ASSERT(cond [, "msg"])    invariant     (our own state is broken)
+//   TOSS_ENSURE(cond [, "msg"])    postcondition (we produced garbage)
+//   TOSS_VALIDATE(expr)            `expr` is a validator returning
+//                                  std::optional<std::string>; an engaged
+//                                  result is a violation and its string is
+//                                  the diagnostic
+//
+// All four are active when TOSS_CHECKED is defined (the -DTOSS_CHECKED=ON
+// CMake option; on by default in Debug builds) and compile to nothing in
+// unchecked builds — the condition is parsed but never evaluated, so
+// checked-only expressions stay warning-free. A violation prints
+// `file:line: kind failed: expr (msg)` to stderr and aborts; there is no
+// throwing mode, because a broken invariant means later results would be
+// silently wrong, which is exactly the failure mode checked builds exist
+// to make loud.
+//
+// Raw assert() is banned in src/ (toss_lint rule `raw-assert`): it
+// vanishes under NDEBUG, which RelWithDebInfo sets, so the seed's asserts
+// never ran in the default build.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace toss::detail {
+
+/// Print `file:line: kind failed: expr (msg)` to stderr and abort.
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const char* msg);
+
+/// True in builds compiled with -DTOSS_CHECKED=ON.
+bool contracts_enabled();
+
+}  // namespace toss::detail
+
+#ifdef TOSS_CHECKED
+
+#define TOSS_CONTRACT_(kind, cond, ...)                                      \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::toss::detail::contract_failure(kind, #cond, __FILE__, __LINE__,      \
+                                       "" __VA_ARGS__);                      \
+  } while (0)
+
+#define TOSS_VALIDATE(expr)                                                  \
+  do {                                                                       \
+    if (const std::optional<std::string> toss_contract_err_ = (expr))        \
+      ::toss::detail::contract_failure("validate", #expr, __FILE__,          \
+                                       __LINE__, toss_contract_err_->c_str()); \
+  } while (0)
+
+#else  // !TOSS_CHECKED: parse but never evaluate.
+
+#define TOSS_CONTRACT_(kind, cond, ...) \
+  do {                                  \
+    if (false) {                        \
+      (void)(cond);                     \
+    }                                   \
+  } while (0)
+
+#define TOSS_VALIDATE(expr) \
+  do {                      \
+    if (false) {            \
+      (void)(expr);         \
+    }                       \
+  } while (0)
+
+#endif  // TOSS_CHECKED
+
+#define TOSS_REQUIRE(cond, ...) TOSS_CONTRACT_("precondition", cond, __VA_ARGS__)
+#define TOSS_ASSERT(cond, ...) TOSS_CONTRACT_("invariant", cond, __VA_ARGS__)
+#define TOSS_ENSURE(cond, ...) TOSS_CONTRACT_("postcondition", cond, __VA_ARGS__)

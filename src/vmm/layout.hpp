@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mem/tier.hpp"
@@ -56,5 +57,15 @@ class MemoryLayoutFile {
   u64 guest_pages_ = 0;
   std::vector<LayoutEntry> entries_;
 };
+
+/// Structural validation with a diagnostic: entries must be sorted by guest
+/// offset, non-empty, non-overlapping and gap-free (they tile guest memory
+/// exactly, so sizes sum to the snapshot size), carry a valid tier tag, and
+/// each tier's file offsets must be contiguous from zero in entry order.
+/// Returns std::nullopt when the layout is well-formed, else a description
+/// of the first violation ("entry 3: overlaps entry 2 ..."). `valid()` is
+/// this predicate without the diagnostic; checked builds call this at the
+/// Step IV seam via TOSS_VALIDATE.
+std::optional<std::string> validate_layout(const MemoryLayoutFile& layout);
 
 }  // namespace toss

@@ -1,6 +1,6 @@
 #include "vmm/microvm.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -43,7 +43,7 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
   r.vm_state_ns = cfg_->vmm.vm_state_load_ns;
 
   for (const auto& m : plan.mappings) {
-    assert(m.guest_page + m.page_count <= n);
+    TOSS_REQUIRE(m.guest_page + m.page_count <= n);
     r.mmap_ns += cfg_->vmm.mmap_region_ns;
     ++r.mappings;
     for (u64 i = 0; i < m.page_count; ++i) {
@@ -131,7 +131,7 @@ ExecutionResult MicroVm::execute(const BurstTrace& trace, Nanos cpu_ns,
   const u64 n = memory_.num_pages();
   for (size_t bi = 0; bi < trace.bursts().size(); ++bi) {
     const AccessBurst& b = trace.bursts()[bi];
-    assert(b.page_end() <= n);
+    TOSS_REQUIRE(b.page_end() <= n);
     (void)n;
     const auto& counts = trace.counts_of(bi);
 

@@ -1,13 +1,14 @@
 #include "vmm/tiered_snapshot.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace toss {
 
 TieredSnapshot TieredSnapshot::build(const SingleTierSnapshot& snap,
                                      const PagePlacement& placement,
                                      u64 fast_file_id, u64 slow_file_id) {
-  assert(placement.num_pages() == snap.num_pages());
+  TOSS_REQUIRE(placement.num_pages() == snap.num_pages(),
+               "placement must cover the snapshot exactly");
   TieredSnapshot out;
   out.vm_state_ = snap.vm_state();
   out.fast_file_id_ = fast_file_id;
@@ -35,7 +36,9 @@ TieredSnapshot TieredSnapshot::build(const SingleTierSnapshot& snap,
     begin = end;
   }
   out.layout_ = MemoryLayoutFile(n, std::move(entries));
-  assert(out.layout_.valid());
+  // Step IV seam: the layout a restore will mmap from must tile guest
+  // memory exactly; a violation here means corrupted restores later.
+  TOSS_VALIDATE(validate_layout(out.layout_));
   return out;
 }
 
@@ -44,7 +47,7 @@ TieredSnapshot::Location TieredSnapshot::locate(u64 guest_page) const {
     if (guest_page >= e.guest_page && guest_page < e.guest_page_end())
       return Location{e.tier, e.file_page + (guest_page - e.guest_page)};
   }
-  assert(false && "guest page outside layout");
+  TOSS_ASSERT(false, "guest page outside layout");
   return Location{Tier::kFast, 0};
 }
 

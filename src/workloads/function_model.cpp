@@ -1,15 +1,14 @@
 #include "workloads/function_model.hpp"
 
-#include <cassert>
-
 #include "workloads/trace_gen.hpp"
+#include "util/contracts.hpp"
 
 namespace toss {
 
 FunctionModel::FunctionModel(FunctionSpec spec) : spec_(std::move(spec)) {}
 
 Invocation FunctionModel::invoke(int input, u64 invocation_seed) const {
-  assert(input >= 0 && input < kNumInputs);
+  TOSS_REQUIRE(input >= 0 && input < kNumInputs);
   Invocation inv;
   inv.input = input;
   inv.seed = invocation_seed;

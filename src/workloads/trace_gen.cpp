@@ -1,14 +1,15 @@
 #include "workloads/trace_gen.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/contracts.hpp"
 
 namespace toss {
 
 void append_phase_bursts(const FunctionSpec& spec, const PhaseSpec& phase,
                          int input, Rng& rng, BurstTrace& trace) {
-  assert(input >= 0 && input < kNumInputs);
+  TOSS_REQUIRE(input >= 0 && input < kNumInputs);
   const double size_mib = phase.size_mib[static_cast<size_t>(input)];
   const double intensity = phase.accesses_per_page[static_cast<size_t>(input)];
   if (size_mib <= 0.0 || intensity <= 0.0) return;

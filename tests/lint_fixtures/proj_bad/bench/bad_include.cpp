@@ -1,0 +1,4 @@
+// Fixture: a bench reaching past the umbrella header.
+#include "core/binpack.hpp"
+
+int main() { return 0; }

@@ -1,0 +1,9 @@
+// Fixture: every nondeterminism source the rule knows about.
+#include <ctime>
+#include <random>
+
+unsigned noisy_seed() {
+  std::random_device rd;
+  return rd() + static_cast<unsigned>(time(nullptr)) +
+         static_cast<unsigned>(rand());
+}

@@ -1,0 +1,2 @@
+// Fixture: a typo'd suppression must be a finding, not a silent no-op.
+int f() { return 1; }  // toss-lint: allow(not-a-rule)

@@ -1,0 +1,7 @@
+// Fixture: ad-hoc thread spawning outside the sanctioned modules.
+#include <thread>
+
+void spawn() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,14 @@
+// Fixture: both platform-throw shapes, plus a raw assert.
+#include <stdexcept>
+
+void fail() { throw std::out_of_range("boom"); }
+
+void rethrow() {
+  try {
+    fail();
+  } catch (...) {
+    throw;
+  }
+}
+
+void check(int x) { assert(x > 0); }

@@ -1,0 +1,4 @@
+#ifndef TOSS_FIXTURE_MISSING_PRAGMA_HPP
+#define TOSS_FIXTURE_MISSING_PRAGMA_HPP
+inline int fixture_value() { return 42; }
+#endif

@@ -1,0 +1,9 @@
+// Fixture: benches may include the umbrella header, the harness header,
+// and system headers — nothing else.
+#include <vector>
+
+#include "toss.hpp"
+
+#include "common.hpp"
+
+int main() { return 0; }

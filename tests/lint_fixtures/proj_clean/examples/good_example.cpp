@@ -1,0 +1,4 @@
+// Fixture: examples see only the public surface.
+#include "toss.hpp"
+
+int main() { return 0; }

@@ -1,0 +1,12 @@
+// Fixture: every rule is waivable with an allow() trailer.
+#include <cstdlib>
+#include <thread>
+
+void legacy_check(int x) { assert(x > 0); }  // toss-lint: allow(raw-assert)
+
+int legacy_seed() { return rand(); }  // toss-lint: allow(nondeterminism)
+
+void legacy_spawn() {
+  std::thread t([] {});  // toss-lint: allow(thread-spawn)
+  t.join();
+}

@@ -1,0 +1,17 @@
+// Fixture: the sanctioned error paths — toss::Error in all spellings —
+// plus banned words that appear only in comments and string literals
+// (the stripper must ignore them: throw; assert(x); rand(); std::thread).
+namespace toss {
+struct Error {
+  Error(int, const char*) {}
+};
+}  // namespace toss
+
+using toss::Error;
+
+void fail_plain() { throw Error(1, "assert(rand()) inside a string"); }
+void fail_qualified() { throw toss::Error(2, "std::thread in a string"); }
+void fail_rooted() { throw ::toss::Error(3, "time() in a string"); }
+
+/* block comment mentioning a naked throw;
+   and a raw assert(x) across lines */

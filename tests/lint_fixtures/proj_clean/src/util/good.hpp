@@ -1,0 +1,4 @@
+// Fixture: a well-formed header.
+#pragma once
+
+inline int good_value() { return 1; }

@@ -1,0 +1,5 @@
+// Fixture: legacy include guard, file-level waiver. toss-lint: allow(pragma-once)
+#ifndef TOSS_FIXTURE_GUARDED_HPP
+#define TOSS_FIXTURE_GUARDED_HPP
+inline int guarded_value() { return 7; }
+#endif

@@ -1,0 +1,103 @@
+// Unit tests for tools/toss_lint: each rule must fire on the bad fixture
+// mini-project with a `file:line rule` diagnostic and a nonzero exit, the
+// clean fixture project (sanctioned patterns + allow() trailers) must pass,
+// and the real tree must currently be lint-clean (the same invariant the
+// `toss_lint` ctest enforces, checked here so a fixture regression and a
+// tree regression are distinguishable).
+//
+// The binary path and source root arrive via compile definitions from
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+LintRun run_lint(const std::string& root) {
+  const std::string cmd = std::string(TOSS_LINT_BIN) + " " + root + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    run.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(TOSS_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
+  const LintRun run = run_lint(fixture("proj_bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+
+  // One representative `file:line rule` line per rule.
+  EXPECT_NE(run.output.find("src/platform/bad_throw.cpp:4 platform-throw"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/platform/bad_throw.cpp:10 platform-throw"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/platform/bad_throw.cpp:14 raw-assert"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_rand.cpp:6 nondeterminism"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_rand.cpp:7 nondeterminism"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/mem/bad_thread.cpp:5 thread-spawn"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/util/missing_pragma.hpp:1 pragma-once"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("bench/bad_include.cpp:2 deep-include"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_trailer.cpp:2 lint-usage"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(TossLint, CleanProjectPasses) {
+  const LintRun run = run_lint(fixture("proj_clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("files clean"), std::string::npos) << run.output;
+}
+
+TEST(TossLint, SuppressionIsPerRule) {
+  // The clean project's trailers waive specific rules; the bad project has
+  // the same patterns unwaived. A trailer must not blanket-suppress: the
+  // bad project's unknown-rule trailer still exits nonzero on its own.
+  const LintRun bad = run_lint(fixture("proj_bad"));
+  EXPECT_NE(bad.output.find("raw-assert"), std::string::npos);
+  const LintRun clean = run_lint(fixture("proj_clean"));
+  EXPECT_EQ(clean.output.find("raw-assert"), std::string::npos)
+      << clean.output;
+  EXPECT_EQ(clean.output.find("pragma-once"), std::string::npos)
+      << clean.output;
+}
+
+TEST(TossLint, RealTreeIsClean) {
+  const LintRun run = run_lint(TOSS_SOURCE_DIR);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(TossLint, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint("/nonexistent-toss-root").exit_code, 2);
+}
+
+}  // namespace

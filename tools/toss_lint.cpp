@@ -1,0 +1,389 @@
+// toss_lint — project-specific static analysis the compiler can't do.
+//
+// Scans src/, tests/, bench/ and examples/ under a project root and
+// enforces the structural rules DESIGN.md's "Verification layers" section
+// documents:
+//
+//   deep-include     examples/ and bench/ may include only the umbrella
+//                    header "toss.hpp" (plus the bench harness's own
+//                    "common.hpp"); deep internal headers are
+//                    implementation detail.
+//   platform-throw   src/platform/ must not throw raw std:: exceptions or
+//                    rethrow with a naked `throw;` — fallible paths go
+//                    through toss::Error / Result<T> so callers always get
+//                    a machine-readable ErrorCode.
+//   raw-assert       src/ must not use assert() — it vanishes under
+//                    NDEBUG (set by the default RelWithDebInfo build);
+//                    invariants use the TOSS_ASSERT/REQUIRE/ENSURE
+//                    contract macros, active under -DTOSS_CHECKED=ON.
+//   nondeterminism   rand()/srand()/time()/std::random_device/
+//                    system_clock are banned in src/ outside
+//                    src/util/rng.* — every stochastic element must draw
+//                    from a seeded toss::Rng so runs are bit-reproducible.
+//   thread-spawn     std::thread/std::jthread/std::async are banned in
+//                    src/ outside src/util/thread_pool.* and
+//                    src/platform/concurrency.* — all parallelism flows
+//                    through the ThreadPool so determinism and shutdown
+//                    stay centralized.
+//   pragma-once      every header in the scanned tree uses `#pragma once`
+//                    (not #ifndef guards, not nothing).
+//
+// Findings print as `file:line rule message`, one per line, and the exit
+// code is 1 when any finding is unsuppressed (0 clean, 2 usage/IO error).
+// Any rule can be waived for one line with a trailing comment:
+//
+//     legacy_api();  // toss-lint: allow(platform-throw)
+//
+// (for the file-scoped pragma-once rule the trailer goes on line 1).
+// Comments and string literals are stripped before matching, so prose
+// about `throw` or "assert" never trips a rule. Directories named
+// `lint_fixtures` are skipped in project mode: they hold the deliberately
+// broken inputs tests/lint_test.cpp feeds back through this binary.
+//
+// Usage:  toss_lint <project-root>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;  // path relative to the project root
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+const char* const kRuleNames[] = {
+    "deep-include",   "platform-throw", "raw-assert",
+    "nondeterminism", "thread-spawn",   "pragma-once",
+};
+
+bool known_rule(const std::string& name) {
+  for (const char* r : kRuleNames)
+    if (name == r) return true;
+  return false;
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `text[pos]` starts the whole word `word` (no word char on
+/// either side; ':' also blocks on the left so `std::time` matches `time`
+/// but `burst_time` does not... ':' is a non-word char, so `::time` does
+/// match — that is intended).
+bool word_at(const std::string& text, size_t pos, const std::string& word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_word_char(text[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < text.size() && is_word_char(text[end])) return false;
+  return true;
+}
+
+bool contains_word(const std::string& text, const std::string& word) {
+  for (size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1))
+    if (word_at(text, pos, word)) return true;
+  return false;
+}
+
+/// The whole word `word` immediately preceded by the text `qualifier`
+/// (e.g. qualifier "std::", word "thread" matches `std::thread` but not
+/// `std::thread_pool` or `this_thread`).
+bool contains_qualified(const std::string& text, const std::string& qualifier,
+                        const std::string& word) {
+  for (size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    if (!word_at(text, pos, word)) continue;
+    if (pos >= qualifier.size() &&
+        text.compare(pos - qualifier.size(), qualifier.size(), qualifier) == 0)
+      return true;
+  }
+  return false;
+}
+
+/// `word` used as a call: the word followed (after spaces) by '('.
+bool contains_call(const std::string& text, const std::string& word) {
+  for (size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    if (!word_at(text, pos, word)) continue;
+    size_t after = pos + word.size();
+    while (after < text.size() && text[after] == ' ') ++after;
+    if (after < text.size() && text[after] == '(') return true;
+  }
+  return false;
+}
+
+/// One scanned source file: raw lines for suppression trailers, stripped
+/// lines (comments and string/char literals blanked, layout preserved) for
+/// rule matching.
+struct SourceFile {
+  std::string rel;  // project-relative path, '/'-separated
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+
+  bool is_header() const { return rel.ends_with(".hpp"); }
+  bool under(const std::string& prefix) const {
+    return rel.rfind(prefix, 0) == 0;
+  }
+  bool stem_is(const std::string& stem) const {
+    return rel == stem + ".hpp" || rel == stem + ".cpp";
+  }
+};
+
+/// Blank out // and /* */ comments and the contents of string/char
+/// literals, keeping line lengths so columns and line numbers stay honest.
+std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;  // rest of line is comment
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        code[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = line[i];
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// Rules suppressed on `line` via `// toss-lint: allow(rule1, rule2)`.
+/// An unknown rule name in the trailer is itself reported (a typo there
+/// would otherwise silently disable nothing while looking load-bearing).
+std::vector<std::string> suppressed_rules(const std::string& line,
+                                          const std::string& rel,
+                                          size_t line_no,
+                                          std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  const size_t tag = line.find("toss-lint:");
+  if (tag == std::string::npos) return out;
+  const size_t open = line.find("allow(", tag);
+  if (open == std::string::npos) return out;
+  const size_t close = line.find(')', open);
+  if (close == std::string::npos) return out;
+  std::string name;
+  for (size_t i = open + 6; i <= close; ++i) {
+    const char c = line[i];
+    if (c == ',' || c == ')') {
+      if (!name.empty() && !known_rule(name))
+        findings.push_back({rel, line_no, "lint-usage",
+                            "unknown rule '" + name + "' in allow() trailer"});
+      if (!name.empty()) out.push_back(name);
+      name.clear();
+    } else if (c != ' ') {
+      name.push_back(c);
+    }
+  }
+  return out;
+}
+
+void check_file(const SourceFile& f, std::vector<Finding>& findings) {
+  const bool in_src = f.under("src/");
+  const bool in_platform = f.under("src/platform/");
+  const bool umbrella_only = f.under("examples/") || f.under("bench/");
+  const bool rng_exempt = f.stem_is("src/util/rng");
+  const bool thread_exempt = f.stem_is("src/util/thread_pool") ||
+                             f.stem_is("src/platform/concurrency");
+
+  // Parse every allow() trailer once up front, so unknown rule names are
+  // flagged even on lines that trip nothing.
+  std::vector<std::vector<std::string>> allow(f.raw.size());
+  for (size_t i = 0; i < f.raw.size(); ++i)
+    allow[i] = suppressed_rules(f.raw[i], f.rel, i + 1, findings);
+
+  std::vector<Finding> raw_findings;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& code = f.code[i];
+    const size_t line_no = i + 1;
+
+    if (umbrella_only) {
+      const size_t pos = code.find("#include \"");
+      if (pos != std::string::npos) {
+        // Stripping blanked the literal's contents; read it from raw.
+        const size_t begin = pos + 10;
+        const size_t end = f.raw[i].find('"', begin);
+        const std::string target =
+            end == std::string::npos ? "" : f.raw[i].substr(begin, end - begin);
+        if (target != "toss.hpp" && target != "common.hpp")
+          raw_findings.push_back(
+              {f.rel, line_no, "deep-include",
+               "includes internal header \"" + target +
+                   "\"; include \"toss.hpp\" instead"});
+      }
+    }
+
+    if (in_platform) {
+      for (size_t pos = code.find("throw"); pos != std::string::npos;
+           pos = code.find("throw", pos + 1)) {
+        if (!word_at(code, pos, "throw")) continue;
+        size_t after = pos + 5;
+        while (after < code.size() && code[after] == ' ') ++after;
+        const bool rethrow = after >= code.size() || code[after] == ';';
+        const bool toss_error = code.compare(after, 6, "Error(") == 0 ||
+                                code.compare(after, 12, "toss::Error(") == 0 ||
+                                code.compare(after, 14, "::toss::Error(") == 0;
+        if (rethrow)
+          raw_findings.push_back(
+              {f.rel, line_no, "platform-throw",
+               "naked `throw;` in src/platform; surface failures as "
+               "toss::Error / Result<T>"});
+        else if (!toss_error)
+          raw_findings.push_back(
+              {f.rel, line_no, "platform-throw",
+               "raw throw in src/platform; throw toss::Error (or return "
+               "Result<T>) so callers get an ErrorCode"});
+      }
+    }
+
+    if (in_src && contains_call(code, "assert"))
+      raw_findings.push_back(
+          {f.rel, line_no, "raw-assert",
+           "raw assert() is compiled out under NDEBUG; use TOSS_ASSERT / "
+           "TOSS_REQUIRE / TOSS_ENSURE from util/contracts.hpp"});
+
+    if (in_src && !rng_exempt) {
+      const bool hit = contains_call(code, "rand") ||
+                       contains_call(code, "srand") ||
+                       contains_call(code, "time") ||
+                       contains_word(code, "random_device") ||
+                       contains_word(code, "system_clock");
+      if (hit)
+        raw_findings.push_back(
+            {f.rel, line_no, "nondeterminism",
+             "nondeterministic source outside src/util/rng; draw from a "
+             "seeded toss::Rng instead"});
+    }
+
+    if (in_src && !thread_exempt) {
+      const bool hit = contains_qualified(code, "std::", "thread") ||
+                       contains_qualified(code, "std::", "jthread") ||
+                       contains_qualified(code, "std::", "async");
+      if (hit)
+        raw_findings.push_back(
+            {f.rel, line_no, "thread-spawn",
+             "thread creation outside util/thread_pool and "
+             "platform/concurrency; submit work to a ThreadPool"});
+    }
+  }
+
+  if (f.is_header()) {
+    bool has_pragma = false;
+    for (const std::string& code : f.code)
+      if (code.find("#pragma once") != std::string::npos) has_pragma = true;
+    if (!has_pragma)
+      raw_findings.push_back({f.rel, 1, "pragma-once",
+                              "header lacks `#pragma once` (the project "
+                              "does not use #ifndef guards)"});
+  }
+
+  for (Finding& finding : raw_findings) {
+    bool suppressed = false;
+    for (const std::string& rule : allow[finding.line - 1])
+      if (rule == finding.rule) suppressed = true;
+    if (!suppressed) findings.push_back(std::move(finding));
+  }
+}
+
+bool load_file(const fs::path& path, const std::string& rel,
+               SourceFile& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out.rel = rel;
+  out.raw.clear();
+  std::string line;
+  while (std::getline(in, line)) out.raw.push_back(line);
+  out.code = strip_code(out.raw);
+  return true;
+}
+
+int scan_project(const fs::path& root) {
+  std::vector<Finding> findings;
+  size_t files_scanned = 0;
+  for (const char* sub : {"src", "tests", "bench", "examples"}) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      const std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      SourceFile file;
+      if (!load_file(it->path(), rel, file)) {
+        std::fprintf(stderr, "toss_lint: cannot read %s\n", rel.c_str());
+        return 2;
+      }
+      ++files_scanned;
+      check_file(file, findings);
+    }
+  }
+  for (const Finding& f : findings)
+    std::printf("%s:%zu %s %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  if (findings.empty()) {
+    std::printf("toss_lint: %zu files clean\n", files_scanned);
+    return 0;
+  }
+  std::fprintf(stderr, "toss_lint: %zu finding(s) in %zu files\n",
+               findings.size(), files_scanned);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]).rfind("--", 0) == 0) {
+    std::fprintf(stderr, "usage: toss_lint <project-root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "toss_lint: %s is not a directory\n", argv[1]);
+    return 2;
+  }
+  return scan_project(root);
+}
