@@ -1,6 +1,9 @@
 #include "core/toss.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace toss {
@@ -13,6 +16,7 @@ TossFunction::TossFunction(const SystemConfig& cfg, SnapshotStore& store,
       model_(&model),
       options_(options),
       rng_(mix_seed(seed, model.name())),
+      recovery_rng_(mix_seed(mix_seed(seed, model.name()), "recovery")),
       damon_(options.damon),
       reprofiler_(options.reprofile_budget) {}
 
@@ -23,47 +27,171 @@ const TieredSnapshot* TossFunction::tiered_snapshot() const {
 TossInvocationRecord TossFunction::handle(int input, u64 invocation_seed) {
   if (options_.drop_caches_between_invocations) store_->drop_caches();
   const Invocation inv = model_->invoke(input, invocation_seed);
+  TossInvocationRecord rec;
   switch (phase_) {
     case TossPhase::kInitial:
-      return handle_initial(inv);
+      rec = handle_initial(inv);
+      break;
     case TossPhase::kProfiling:
-      return handle_profiling(inv);
+      rec = handle_profiling(inv);
+      break;
     case TossPhase::kTiered:
-      return handle_tiered(inv);
+      rec = handle_tiered(inv);
+      break;
   }
-  return {};
+  // Backoff is simulated time: charge it to setup so degradation under
+  // injected faults is visible in end-to-end latency, not hidden.
+  rec.result.setup.setup_ns += rec.recovery.overhead_ns;
+  return rec;
+}
+
+TossFunction::AttemptStatus TossFunction::restore_execute_with_retry(
+    MicroVm& vm, const RestorePlan& plan, const Invocation& inv,
+    InvocationResult* out, RecoveryInfo* recovery) {
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++recovery->retries;
+      recovery->overhead_ns +=
+          options_.retry.backoff_ns(attempt - 1, recovery_rng_);
+    }
+    try {
+      InvocationResult r;
+      r.setup = vm.restore(plan);
+      r.exec = vm.execute(inv.trace, inv.cpu_ns);
+      *out = r;
+      return AttemptStatus::kOk;
+    } catch (const Error& e) {
+      if (!is_transient(e.code())) return AttemptStatus::kBroken;
+      ++recovery->faults_seen;
+    }
+  }
+  return AttemptStatus::kExhausted;
+}
+
+bool TossFunction::boot_execute_with_retry(MicroVm& vm, const Invocation& inv,
+                                           InvocationResult* out,
+                                           RecoveryInfo* recovery) {
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++recovery->retries;
+      recovery->overhead_ns +=
+          options_.retry.backoff_ns(attempt - 1, recovery_rng_);
+    }
+    try {
+      InvocationResult r;
+      r.setup = vm.boot(model_->guest_bytes(), VmState{});
+      r.exec = vm.execute(inv.trace, inv.cpu_ns);
+      *out = r;
+      return true;
+    } catch (const Error& e) {
+      ++recovery->faults_seen;
+      if (!is_transient(e.code())) return false;
+    }
+  }
+  return false;
+}
+
+void TossFunction::cold_boot_rung(MicroVm& vm, const Invocation& inv,
+                                  TossInvocationRecord& rec) {
+  rec.recovery.fallback = FallbackLevel::kColdBoot;
+  if (!boot_execute_with_retry(vm, inv, &rec.result, &rec.recovery))
+    rec.recovery.completed = false;
+  // A cold start's authoritative contents are the fresh guest image.
+  rec.recovery.expected_hash =
+      hash_memory(GuestMemory(model_->guest_bytes()));
+  rec.recovery.memory_hash = hash_memory(vm.memory());
+}
+
+void TossFunction::quarantine_and_rearm(RecoveryInfo* recovery) {
+  if (tiered_id_ != 0) {
+    store_->quarantine_tiered(tiered_id_);
+    recovery->quarantined = store_->is_quarantined(tiered_id_);
+  }
+  // Step V, fault-driven: drop the damaged artifact and regress to
+  // profiling so fresh DAMON records rebuild the tiered snapshot. The
+  // unified pattern is retained, so the rebuild typically lands after one
+  // additional profiled invocation.
+  tiered_id_ = 0;
+  regeneration_pending_ = true;
+  phase_ = TossPhase::kProfiling;
 }
 
 TossInvocationRecord TossFunction::handle_initial(const Invocation& inv) {
   TossInvocationRecord rec;
   rec.phase = TossPhase::kInitial;
+  RecoveryInfo& rc = rec.recovery;
 
   // Step I: run in a DRAM-only guest, snapshot after execution completes.
   MicroVm vm(*cfg_, *store_);
-  rec.result.setup = vm.boot(model_->guest_bytes(), VmState{});
-  rec.result.exec = vm.execute(inv.trace, inv.cpu_ns);
+  if (!boot_execute_with_retry(vm, inv, &rec.result, &rc)) {
+    // Every attempt crashed mid-run. Report the failed invocation and stay
+    // in Step I; the next invocation restarts it from scratch.
+    rc.completed = false;
+    rc.memory_hash = hash_memory(vm.memory());
+    rc.expected_hash = rc.memory_hash;
+    return rec;
+  }
   vm.apply_writes(inv.trace);
-  single_tier_id_ = vm.take_snapshot();
-  rec.snapshot_created = true;
 
-  unified_.emplace(model_->guest_pages(), options_.unified_change_epsilon);
-  largest_ = Largest{inv.input, inv.seed, rec.result.exec.exec_ns};
-  phase_ = TossPhase::kProfiling;
+  // Persist the Step-I snapshot. A torn write is retried; if every attempt
+  // tears, the invocation still completes (the caller got its result) and
+  // Step I re-runs wholesale next time.
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++rc.retries;
+      rc.overhead_ns += options_.retry.backoff_ns(attempt - 1, recovery_rng_);
+    }
+    try {
+      single_tier_id_ = vm.take_snapshot();
+      rec.snapshot_created = true;
+      break;
+    } catch (const Error& e) {
+      ++rc.faults_seen;
+      if (!is_transient(e.code())) break;
+    }
+  }
+
+  rc.memory_hash = hash_memory(vm.memory());
+  if (rec.snapshot_created) {
+    // Oracle: the persisted snapshot must round-trip the guest exactly.
+    rc.expected_hash =
+        hash_memory(store_->fetch_single_tier(single_tier_id_).materialize());
+    unified_.emplace(model_->guest_pages(), options_.unified_change_epsilon);
+    largest_ = Largest{inv.input, inv.seed, rec.result.exec.exec_ns};
+    phase_ = TossPhase::kProfiling;
+  } else {
+    rc.expected_hash = rc.memory_hash;
+  }
   return rec;
 }
 
 TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
   TossInvocationRecord rec;
   rec.phase = TossPhase::kProfiling;
+  RecoveryInfo& rc = rec.recovery;
+  rc.breaker_suspended = suspended_;
 
-  // Step II: restore the single-tier snapshot, run with DAMON riding along.
-  VanillaPolicy vanilla(*store_, single_tier_id_);
   MicroVm vm(*cfg_, *store_);
-  rec.result.setup = vm.restore(vanilla.plan_restore());
+  const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
+  AttemptStatus status = AttemptStatus::kBroken;
+  if (snap != nullptr) {
+    VanillaPolicy vanilla(*store_, single_tier_id_);
+    status = restore_execute_with_retry(vm, vanilla.plan_restore(), inv,
+                                        &rec.result, &rc);
+  }
+  if (status != AttemptStatus::kOk) {
+    // No usable Step-I snapshot for this invocation: serve cold. DAMON is
+    // skipped — it rides the restored snapshot — so profiling resumes on
+    // the next successful restore.
+    cold_boot_rung(vm, inv, rec);
+    return rec;
+  }
 
-  // Execute first (to know the execution time DAMON had available), then
-  // account DAMON's overhead on top of it.
-  ExecutionResult exec = vm.execute(inv.trace, inv.cpu_ns);
+  // Step II: account DAMON's overhead on top of the measured execution.
+  ExecutionResult exec = rec.result.exec;
   const PageAccessCounts true_counts =
       PageAccessCounts::from_trace(inv.trace, model_->guest_pages());
   const DamonOutput damon_out =
@@ -73,6 +201,9 @@ TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
   rec.result.exec = exec;
   ++damon_invocations_;
 
+  rc.memory_hash = hash_memory(vm.memory());
+  rc.expected_hash = hash_memory(snap->materialize());
+
   if (!largest_ || exec.exec_ns > largest_->exec_ns)
     largest_ = Largest{inv.input, inv.seed, exec.exec_ns};
 
@@ -80,14 +211,20 @@ TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
   const bool converged =
       unified_->stable_streak() >= options_.stable_invocations ||
       unified_->records_merged() >= options_.max_profiling_invocations;
-  if (converged) {
-    run_analysis();
+  // While the circuit breaker holds the lane suspended, convergence does
+  // not trigger re-analysis — no point rebuilding an artifact the lane
+  // would refuse to restore from.
+  if (converged && !suspended_ && run_analysis(&rc)) {
     rec.tiered_created = true;
+    if (regeneration_pending_) {
+      rc.regenerated = true;
+      regeneration_pending_ = false;
+    }
   }
   return rec;
 }
 
-void TossFunction::run_analysis() {
+bool TossFunction::run_analysis(RecoveryInfo* recovery) {
   TOSS_ASSERT(unified_ && largest_);
   // Steps III + IV on the unified pattern, profiled against the largest
   // (longest-running) invocation encountered while profiling.
@@ -107,7 +244,27 @@ void TossFunction::run_analysis() {
 
   const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
   TOSS_ASSERT(snap != nullptr);
-  tiered_id_ = tier_snapshot(*store_, *snap, decision_->placement);
+
+  // Step IV with torn-write retry. On exhaustion the analysis is kept but
+  // the function stays in profiling; the next convergence check re-attempts
+  // persistence.
+  u64 id = 0;
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0; attempt < attempts && id == 0; ++attempt) {
+    if (attempt > 0) {
+      ++recovery->retries;
+      recovery->overhead_ns +=
+          options_.retry.backoff_ns(attempt - 1, recovery_rng_);
+    }
+    try {
+      id = tier_snapshot(*store_, *snap, decision_->placement);
+    } catch (const Error& e) {
+      ++recovery->faults_seen;
+      if (!is_transient(e.code())) break;
+    }
+  }
+  if (id == 0) return false;
+  tiered_id_ = id;
 
   // Arm the re-generation trigger (Eqs 2-4).
   std::vector<double> bin_slowdowns;
@@ -118,24 +275,79 @@ void TossFunction::run_analysis() {
   reprofiler_.arm(damon_invocations_, bin_slowdowns, largest_->exec_ns,
                   std::max(0.0, decision_->profile.full_slow_slowdown() - 1.0));
   phase_ = TossPhase::kTiered;
+  return true;
 }
 
 TossInvocationRecord TossFunction::handle_tiered(const Invocation& inv) {
   TossInvocationRecord rec;
   rec.phase = TossPhase::kTiered;
+  RecoveryInfo& rc = rec.recovery;
+  rc.breaker_suspended = suspended_;
 
-  TossPolicy policy(*store_, tiered_id_);
   MicroVm vm(*cfg_, *store_);
-  rec.result.setup = vm.restore(policy.plan_restore());
-  rec.result.exec = vm.execute(inv.trace, inv.cpu_ns);
-
-  if (reprofiler_.observe(rec.result.exec.exec_ns)) {
-    // Drift detected: re-enter profiling. The unified pattern is kept (the
-    // goal is to *enhance* the snapshot with the new behaviour) but the
-    // stability requirement restarts via the merge of new records.
-    rec.reprofile_triggered = true;
-    phase_ = TossPhase::kProfiling;
+  bool use_tiered = !suspended_;
+  if (use_tiered) {
+    // Fetch (which is where at-rest damage surfaces) and verify the layout
+    // checksums before trusting the artifact for a restore.
+    try {
+      store_->fetch_tiered(tiered_id_);
+      if (const Result<void> v = store_->verify_tiered(tiered_id_); !v.ok()) {
+        ++rc.faults_seen;
+        quarantine_and_rearm(&rc);
+        use_tiered = false;
+      }
+    } catch (const Error&) {
+      // Missing (or already quarantined): nothing to verify or restore.
+      quarantine_and_rearm(&rc);
+      use_tiered = false;
+    }
   }
+
+  if (use_tiered) {
+    TossPolicy policy(*store_, tiered_id_);
+    const AttemptStatus status = restore_execute_with_retry(
+        vm, policy.plan_restore(), inv, &rec.result, &rc);
+    if (status == AttemptStatus::kOk) {
+      rc.memory_hash = hash_memory(vm.memory());
+      // The retained Step-I snapshot is the authority the tiered restore
+      // must reproduce bit-exactly.
+      if (const SingleTierSnapshot* authority =
+              store_->get_single_tier(single_tier_id_))
+        rc.expected_hash = hash_memory(authority->materialize());
+      else
+        rc.expected_hash = rc.memory_hash;
+      if (reprofiler_.observe(rec.result.exec.exec_ns)) {
+        // Drift detected: re-enter profiling. The unified pattern is kept
+        // (the goal is to *enhance* the snapshot with the new behaviour)
+        // but the stability requirement restarts via new record merges.
+        rec.reprofile_triggered = true;
+        phase_ = TossPhase::kProfiling;
+      }
+      return rec;
+    }
+    if (status == AttemptStatus::kBroken) {
+      // Verified clean but the restore still found it unusable (e.g. a
+      // truncation raced the verify pass): quarantine rather than retry.
+      quarantine_and_rearm(&rc);
+    }
+  }
+
+  // Single-tier rung: the retained Step-I snapshot.
+  if (rc.fallback == FallbackLevel::kNone)
+    rc.fallback = FallbackLevel::kSingleTier;
+  if (store_->get_single_tier(single_tier_id_) != nullptr) {
+    VanillaPolicy vanilla(*store_, single_tier_id_);
+    if (restore_execute_with_retry(vm, vanilla.plan_restore(), inv,
+                                   &rec.result, &rc) == AttemptStatus::kOk) {
+      rc.memory_hash = hash_memory(vm.memory());
+      rc.expected_hash = hash_memory(
+          store_->fetch_single_tier(single_tier_id_).materialize());
+      return rec;
+    }
+  }
+
+  // Terminal rung: cold boot.
+  cold_boot_rung(vm, inv, rec);
   return rec;
 }
 

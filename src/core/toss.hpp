@@ -22,6 +22,7 @@
 #include "core/tierer.hpp"
 #include "core/unified_pattern.hpp"
 #include "damon/monitor.hpp"
+#include "util/fault.hpp"
 #include "workloads/function_model.hpp"
 
 namespace toss {
@@ -45,6 +46,10 @@ struct TossOptions {
   /// configuration is measured independently). 1 = fully serial; results
   /// are identical either way.
   int analysis_threads = 1;
+  /// Recovery ladder: bounded retry (with simulated, jittered backoff) for
+  /// transient faults on restore, execution and snapshot persistence. With
+  /// no faults injected the policy is never consulted.
+  RetryPolicy retry;
 };
 
 enum class TossPhase : u8 {
@@ -68,6 +73,9 @@ struct TossInvocationRecord {
   bool snapshot_created = false;  ///< Step I completed on this invocation
   bool tiered_created = false;    ///< Step III+IV completed after it
   bool reprofile_triggered = false;
+  /// Recovery ledger: faults hit, retries spent, fallback taken, and the
+  /// page-version oracle hashes. All-default when nothing went wrong.
+  RecoveryInfo recovery;
 };
 
 class TossFunction {
@@ -95,6 +103,17 @@ class TossFunction {
   }
   const ReprofilePolicy& reprofiler() const { return reprofiler_; }
 
+  /// Circuit breaker hook: while suspended, tiered restores and Step III
+  /// re-analysis are skipped in favour of the retained single-tier snapshot
+  /// (FallbackLevel::kSingleTier), letting a flapping lane stop hammering a
+  /// failing artifact without losing availability.
+  void set_recovery_suspended(bool suspended) { suspended_ = suspended; }
+  bool recovery_suspended() const { return suspended_; }
+
+  /// True between a quarantine and the Step V rebuild that replaces the
+  /// quarantined tiered snapshot.
+  bool regeneration_pending() const { return regeneration_pending_; }
+
   /// Largest-input invocation observed while profiling (Section V-C's
   /// representative); valid during/after profiling.
   std::optional<std::pair<int, u64>> representative() const {
@@ -103,20 +122,45 @@ class TossFunction {
   }
 
  private:
+  /// Outcome of one bounded-retry restore+execute ladder rung.
+  enum class AttemptStatus : u8 {
+    kOk = 0,      ///< an attempt succeeded; result is filled in
+    kExhausted,   ///< every attempt failed on transient faults
+    kBroken,      ///< the backing artifact itself is missing/corrupted
+  };
+
   TossInvocationRecord handle_initial(const Invocation& inv);
   TossInvocationRecord handle_profiling(const Invocation& inv);
   TossInvocationRecord handle_tiered(const Invocation& inv);
-  void run_analysis();
+  bool run_analysis(RecoveryInfo* recovery);
+
+  AttemptStatus restore_execute_with_retry(MicroVm& vm,
+                                           const RestorePlan& plan,
+                                           const Invocation& inv,
+                                           InvocationResult* out,
+                                           RecoveryInfo* recovery);
+  bool boot_execute_with_retry(MicroVm& vm, const Invocation& inv,
+                               InvocationResult* out, RecoveryInfo* recovery);
+  void cold_boot_rung(MicroVm& vm, const Invocation& inv,
+                      TossInvocationRecord& rec);
+  void quarantine_and_rearm(RecoveryInfo* recovery);
 
   const SystemConfig* cfg_;
   SnapshotStore* store_;
   const FunctionModel* model_;
   TossOptions options_;
   Rng rng_;
+  /// Jitter stream for retry backoff. Deliberately separate from rng_: the
+  /// fault-free path must never advance rng_ differently than the pre-fault
+  /// code did, or DAMON sampling (and thus every downstream decision) would
+  /// change even with injection compiled out.
+  Rng recovery_rng_;
 
   TossPhase phase_ = TossPhase::kInitial;
   u64 single_tier_id_ = 0;
   u64 tiered_id_ = 0;
+  bool suspended_ = false;
+  bool regeneration_pending_ = false;
   std::optional<UnifiedPattern> unified_;
   std::optional<TieringDecision> decision_;
   DamonMonitor damon_;

@@ -47,7 +47,12 @@ Result<void> PlatformEngine::add(const FunctionRegistration& registration,
   auto lane = std::make_unique<Lane>();
   lane->name = name;
   lane->policy = registration.policy();
-  lane->host = std::make_unique<ServerlessPlatform>(cfg_, pricing_);
+  // Each lane gets its own injector stream keyed by name, so lanes fault
+  // independently and deterministically regardless of scheduling.
+  FaultPlan lane_plan = options_.fault_plan;
+  lane_plan.seed = mix_seed(options_.fault_plan.seed, name);
+  lane->host =
+      std::make_unique<ServerlessPlatform>(cfg_, pricing_, std::move(lane_plan));
   if (Result<void> reg = lane->host->register_function(registration);
       !reg.ok())
     return reg;
@@ -93,7 +98,7 @@ void PlatformEngine::process_chunk(Lane& lane) {
     const InvocationOutcome& o = *out;
     lane.series->record(o.toss_phase, o.cold_boot, o.result.total_ns(),
                         o.result.setup.setup_ns, o.result.exec.exec_ns,
-                        o.charge);
+                        o.charge, o.recovery);
     if (options_.keep_outcomes) lane.outcomes.push_back(o);
   }
 
@@ -187,6 +192,13 @@ Result<EngineReport> PlatformEngine::run(int threads) {
 const TossFunction* PlatformEngine::toss_state(const std::string& name) const {
   for (const auto& lane : lanes_)
     if (lane->name == name) return lane->host->toss_state(name);
+  return nullptr;
+}
+
+const ServerlessPlatform* PlatformEngine::lane_host(
+    const std::string& name) const {
+  for (const auto& lane : lanes_)
+    if (lane->name == name) return lane->host.get();
   return nullptr;
 }
 

@@ -47,6 +47,11 @@ struct EngineOptions {
   int chunk = 8;
   /// Keep every InvocationOutcome in the report (in request order).
   bool keep_outcomes = true;
+  /// Fault plan for the chaos harness. Each lane derives an independent
+  /// injector seeded by (fault_plan.seed, lane name), so the fault sequence
+  /// a lane sees is identical for any thread count. Inert unless the build
+  /// sets -DTOSS_FAULTS=ON.
+  FaultPlan fault_plan;
 };
 
 struct FunctionReport {
@@ -100,6 +105,10 @@ class PlatformEngine {
 
   /// Lane state inspection (nullptr for unknown / non-TOSS lanes).
   const TossFunction* toss_state(const std::string& name) const;
+  /// The lane's isolated single-function host (nullptr for unknown names);
+  /// exposes its snapshot store, fault injector and circuit breaker for
+  /// chaos-suite introspection.
+  const ServerlessPlatform* lane_host(const std::string& name) const;
 
   const EngineOptions& options() const { return options_; }
 

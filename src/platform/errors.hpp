@@ -1,110 +1,8 @@
 // Typed errors for the public platform API.
 //
-// The redesigned surface never leaks raw std::out_of_range from internal
-// containers: fallible operations return Result<T> (an std::expected-style
-// value-or-error), and reference-returning accessors throw toss::Error with
-// a machine-readable code. Result<T>::value() throws the same Error, so
-// callers can choose between explicit checking and exception style without
-// losing the code.
+// The definitions moved to util/error.hpp so the vmm-layer failure domains
+// (snapshot store, VM restore) can throw toss::Error without a layering
+// inversion; this header remains the platform-facing spelling.
 #pragma once
 
-#include <optional>
-#include <stdexcept>
-#include <string>
-#include <utility>
-
-#include "util/units.hpp"
-
-namespace toss {
-
-enum class ErrorCode : u8 {
-  kUnknownFunction,    ///< name not registered
-  kDuplicateFunction,  ///< name already registered
-  kInvalidOptions,     ///< registration failed validation
-  kInvalidRequest,     ///< malformed invocation parameters
-  kEngineBusy,         ///< engine already ran / stream already consumed
-};
-
-inline const char* error_code_name(ErrorCode code) {
-  switch (code) {
-    case ErrorCode::kUnknownFunction: return "unknown_function";
-    case ErrorCode::kDuplicateFunction: return "duplicate_function";
-    case ErrorCode::kInvalidOptions: return "invalid_options";
-    case ErrorCode::kInvalidRequest: return "invalid_request";
-    case ErrorCode::kEngineBusy: return "engine_busy";
-  }
-  return "?";
-}
-
-/// The one exception type the public API throws.
-class Error : public std::runtime_error {
- public:
-  Error(ErrorCode code, const std::string& message)
-      : std::runtime_error(std::string(error_code_name(code)) + ": " +
-                           message),
-        code_(code) {}
-
-  ErrorCode code() const { return code_; }
-
- private:
-  ErrorCode code_;
-};
-
-/// Value-or-Error. Engagement is mandatory: value() on an error throws the
-/// carried Error; ok()/operator bool gate the explicit-checking style.
-template <typename T>
-class [[nodiscard]] Result {
- public:
-  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
-  Result(ErrorCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  bool ok() const { return value_.has_value(); }
-  explicit operator bool() const { return ok(); }
-
-  const T& value() const& {
-    if (!ok()) throw Error(code_, message_);
-    return *value_;
-  }
-  T&& value() && {
-    if (!ok()) throw Error(code_, message_);
-    return std::move(*value_);
-  }
-  const T& operator*() const& { return value(); }
-  const T* operator->() const { return &value(); }
-
-  /// Only meaningful when !ok().
-  ErrorCode code() const { return code_; }
-  const std::string& message() const { return message_; }
-
- private:
-  std::optional<T> value_;
-  ErrorCode code_ = ErrorCode::kInvalidRequest;
-  std::string message_;
-};
-
-template <>
-class [[nodiscard]] Result<void> {
- public:
-  Result() = default;
-  Result(ErrorCode code, std::string message)
-      : failed_(true), code_(code), message_(std::move(message)) {}
-
-  bool ok() const { return !failed_; }
-  explicit operator bool() const { return ok(); }
-
-  /// Throw the carried Error when failed; no-op on success.
-  void value() const {
-    if (failed_) throw Error(code_, message_);
-  }
-
-  ErrorCode code() const { return code_; }
-  const std::string& message() const { return message_; }
-
- private:
-  bool failed_ = false;
-  ErrorCode code_ = ErrorCode::kInvalidRequest;
-  std::string message_;
-};
-
-}  // namespace toss
+#include "util/error.hpp"

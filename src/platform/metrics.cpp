@@ -81,12 +81,29 @@ double LatencyHistogram::Snapshot::percentile(double p) const {
 }
 
 void FunctionSeries::record(TossPhase phase, bool cold_boot, Nanos total,
-                            Nanos setup, Nanos exec, double charge) {
+                            Nanos setup, Nanos exec, double charge,
+                            const RecoveryInfo& recovery) {
   invocations.fetch_add(1, std::memory_order_relaxed);
   if (cold_boot) cold_boots.fetch_add(1, std::memory_order_relaxed);
   phase_invocations[static_cast<size_t>(phase)].fetch_add(
       1, std::memory_order_relaxed);
   atomic_add(total_charge, charge);
+  if (recovery.faults_seen)
+    recovered_faults.fetch_add(recovery.faults_seen,
+                               std::memory_order_relaxed);
+  if (recovery.retries)
+    recovery_retries.fetch_add(recovery.retries, std::memory_order_relaxed);
+  if (recovery.fallback == FallbackLevel::kSingleTier)
+    fallbacks_single_tier.fetch_add(1, std::memory_order_relaxed);
+  else if (recovery.fallback == FallbackLevel::kColdBoot)
+    fallbacks_cold_boot.fetch_add(1, std::memory_order_relaxed);
+  if (recovery.quarantined)
+    quarantines.fetch_add(1, std::memory_order_relaxed);
+  if (recovery.regenerated)
+    regenerations.fetch_add(1, std::memory_order_relaxed);
+  if (recovery.breaker_suspended)
+    breaker_suspended.fetch_add(1, std::memory_order_relaxed);
+  if (!recovery.completed) incomplete.fetch_add(1, std::memory_order_relaxed);
   total_ns.record(total);
   setup_ns.record(setup);
   exec_ns.record(exec);
@@ -113,6 +130,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       m.phase_invocations[p] =
           s->phase_invocations[p].load(std::memory_order_relaxed);
     m.total_charge = s->total_charge.load(std::memory_order_relaxed);
+    m.recovered_faults = s->recovered_faults.load(std::memory_order_relaxed);
+    m.recovery_retries = s->recovery_retries.load(std::memory_order_relaxed);
+    m.fallbacks_single_tier =
+        s->fallbacks_single_tier.load(std::memory_order_relaxed);
+    m.fallbacks_cold_boot =
+        s->fallbacks_cold_boot.load(std::memory_order_relaxed);
+    m.quarantines = s->quarantines.load(std::memory_order_relaxed);
+    m.regenerations = s->regenerations.load(std::memory_order_relaxed);
+    m.breaker_suspended =
+        s->breaker_suspended.load(std::memory_order_relaxed);
+    m.incomplete = s->incomplete.load(std::memory_order_relaxed);
     m.total_ns = s->total_ns.snapshot();
     m.setup_ns = s->setup_ns.snapshot();
     m.exec_ns = s->exec_ns.snapshot();
@@ -167,6 +195,20 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(m.phase_invocations[1]),
                   static_cast<unsigned long long>(m.phase_invocations[2]),
                   m.total_charge);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"recovery\":{\"faults\":%llu,\"retries\":%llu,"
+                  "\"fallback_single_tier\":%llu,\"fallback_cold_boot\":%llu,"
+                  "\"quarantines\":%llu,\"regenerations\":%llu,"
+                  "\"breaker_suspended\":%llu,\"incomplete\":%llu},",
+                  static_cast<unsigned long long>(m.recovered_faults),
+                  static_cast<unsigned long long>(m.recovery_retries),
+                  static_cast<unsigned long long>(m.fallbacks_single_tier),
+                  static_cast<unsigned long long>(m.fallbacks_cold_boot),
+                  static_cast<unsigned long long>(m.quarantines),
+                  static_cast<unsigned long long>(m.regenerations),
+                  static_cast<unsigned long long>(m.breaker_suspended),
+                  static_cast<unsigned long long>(m.incomplete));
     out += buf;
     append_histogram(out, "total_ns", m.total_ns);
     out += ",";

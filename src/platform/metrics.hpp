@@ -63,12 +63,21 @@ struct FunctionSeries {
   /// count everything as kInitial (cold) or kTiered (steady state).
   std::array<std::atomic<u64>, 3> phase_invocations{};
   std::atomic<double> total_charge{0.0};
+  // Recovery ladder counters (all zero unless faults were injected).
+  std::atomic<u64> recovered_faults{0};
+  std::atomic<u64> recovery_retries{0};
+  std::atomic<u64> fallbacks_single_tier{0};
+  std::atomic<u64> fallbacks_cold_boot{0};
+  std::atomic<u64> quarantines{0};
+  std::atomic<u64> regenerations{0};
+  std::atomic<u64> breaker_suspended{0};
+  std::atomic<u64> incomplete{0};
   LatencyHistogram total_ns;
   LatencyHistogram setup_ns;
   LatencyHistogram exec_ns;
 
   void record(TossPhase phase, bool cold_boot, Nanos total, Nanos setup,
-              Nanos exec, double charge);
+              Nanos exec, double charge, const RecoveryInfo& recovery = {});
 };
 
 struct FunctionMetrics {
@@ -77,6 +86,14 @@ struct FunctionMetrics {
   u64 cold_boots = 0;
   std::array<u64, 3> phase_invocations{};
   double total_charge = 0;
+  u64 recovered_faults = 0;
+  u64 recovery_retries = 0;
+  u64 fallbacks_single_tier = 0;
+  u64 fallbacks_cold_boot = 0;
+  u64 quarantines = 0;
+  u64 regenerations = 0;
+  u64 breaker_suspended = 0;
+  u64 incomplete = 0;
   LatencyHistogram::Snapshot total_ns;
   LatencyHistogram::Snapshot setup_ns;
   LatencyHistogram::Snapshot exec_ns;

@@ -1,6 +1,36 @@
 #include "platform/platform.hpp"
 
+#include <algorithm>
+
 namespace toss {
+
+namespace {
+
+/// Bounded-retry wrapper for the baseline recovery path: runs `fn` up to
+/// retry.max_attempts times, charging jittered backoff (simulated time) into
+/// the recovery ledger between attempts. Returns false when every attempt
+/// failed; non-transient errors stop retrying immediately.
+template <typename F>
+bool with_retry(const RetryPolicy& retry, Rng& rng, RecoveryInfo* recovery,
+                F&& fn) {
+  const int attempts = std::max(1, retry.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++recovery->retries;
+      recovery->overhead_ns += retry.backoff_ns(attempt - 1, rng);
+    }
+    try {
+      fn();
+      return true;
+    } catch (const Error& e) {
+      ++recovery->faults_seen;
+      if (!is_transient(e.code())) return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 const char* policy_name(PolicyKind kind) {
   switch (kind) {
@@ -21,6 +51,25 @@ Result<void> FunctionRegistration::validate() const {
   if (concurrency_ < 1)
     return {ErrorCode::kInvalidOptions,
             spec_.name + ": concurrency must be >= 1"};
+  const RetryPolicy& r = toss_options_.retry;
+  if (r.max_attempts < 1)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": retry.max_attempts must be >= 1"};
+  if (r.base_backoff_ns < 0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": retry.base_backoff_ns must be >= 0"};
+  if (r.multiplier < 1.0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": retry.multiplier must be >= 1"};
+  if (r.jitter < 0.0 || r.jitter > 1.0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": retry.jitter must be in [0, 1]"};
+  if (breaker_.failure_threshold == 0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": breaker.failure_threshold must be >= 1"};
+  if (breaker_.cooldown_invocations == 0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": breaker.cooldown_invocations must be >= 1"};
   if (kind_ == PolicyKind::kToss) {
     const TossOptions& o = toss_options_;
     if (o.bin_count < 1)
@@ -48,9 +97,17 @@ Result<void> FunctionRegistration::validate() const {
   return {};
 }
 
-ServerlessPlatform::ServerlessPlatform(SystemConfig cfg, PricingPlan pricing)
+ServerlessPlatform::ServerlessPlatform(SystemConfig cfg, PricingPlan pricing,
+                                       FaultPlan faults)
     : cfg_(std::move(cfg)), pricing_(pricing), store_(cfg_),
-      invoker_(cfg_, store_) {}
+      invoker_(cfg_, store_) {
+  // Attach the injector only when a plan is armed in a faults-enabled
+  // build, so the production path keeps a null probe pointer everywhere.
+  if (fault_injection_enabled() && faults.armed()) {
+    injector_ = std::make_unique<FaultInjector>(std::move(faults), /*salt=*/0);
+    store_.attach_faults(injector_.get());
+  }
+}
 
 Result<void> ServerlessPlatform::register_function(
     const FunctionRegistration& registration) {
@@ -60,8 +117,15 @@ Result<void> ServerlessPlatform::register_function(
     return {ErrorCode::kDuplicateFunction, name + " is already registered"};
 
   FunctionRuntime rt{FunctionModel(registration.spec()),
-                     registration.policy(), registration.toss_options(),
-                     nullptr, 0, std::nullopt, FunctionStats{}};
+                     registration.policy(),
+                     registration.toss_options(),
+                     nullptr,
+                     0,
+                     std::nullopt,
+                     FunctionStats{},
+                     CircuitBreaker(registration.breaker_options()),
+                     Rng(mix_seed(mix_seed(registration.seed(), name),
+                                  "baseline-recovery"))};
   auto [it, _] = functions_.insert_or_assign(name, std::move(rt));
   if (registration.policy() == PolicyKind::kToss) {
     // Bind the TossFunction to the model at its final (node-stable) address
@@ -97,10 +161,14 @@ Result<InvocationOutcome> ServerlessPlatform::invoke(const std::string& name,
     // The TossFunction pins its FunctionModel by reference; rt.model never
     // moves after registration (node-based map), so the pointer into the
     // runtime stays valid.
+    rt.toss->set_recovery_suspended(rt.breaker.should_suspend());
     const TossInvocationRecord rec = rt.toss->handle(input, seed);
     out.result = rec.result;
     out.toss_phase = rec.phase;
-    out.cold_boot = rec.phase == TossPhase::kInitial;
+    out.cold_boot = rec.phase == TossPhase::kInitial ||
+                    rec.recovery.fallback == FallbackLevel::kColdBoot;
+    out.recovery = rec.recovery;
+    rt.breaker.observe(rec.recovery.engaged());
   } else {
     out = invoke_baseline(rt, input, seed);
   }
@@ -111,45 +179,83 @@ Result<InvocationOutcome> ServerlessPlatform::invoke(const std::string& name,
   rt.stats.setup_ns.add(out.result.setup.setup_ns);
   rt.stats.exec_ns.add(out.result.exec.exec_ns);
   rt.stats.total_charge += out.charge;
+  rt.stats.recovered_faults += out.recovery.faults_seen;
+  rt.stats.recovery_retries += out.recovery.retries;
+  if (out.recovery.fallback != FallbackLevel::kNone) ++rt.stats.fallbacks;
+  if (out.recovery.quarantined) ++rt.stats.quarantines;
+  if (out.recovery.regenerated) ++rt.stats.regenerations;
+  if (!out.recovery.completed) ++rt.stats.incomplete;
   return out;
 }
 
 InvocationOutcome ServerlessPlatform::invoke_baseline(FunctionRuntime& rt,
                                                       int input, u64 seed) {
   InvocationOutcome out;
+  RecoveryInfo& rc = out.recovery;
+  const RetryPolicy& retry = rt.toss_options.retry;
   const Invocation inv = rt.model.invoke(input, seed);
   if (rt.snapshot_id == 0) {
     // First-ever request: cold boot, then snapshot. REAP/FaaSnap record
-    // their working set during this invocation.
-    rt.snapshot_id = invoker_.initial_execution(rt.model, inv, &out.result);
+    // their working set during this invocation. A crash or torn snapshot
+    // write retries the whole initial execution; on exhaustion the next
+    // request starts cold again.
     out.cold_boot = true;
+    if (!with_retry(retry, rt.recovery_rng, &rc, [&] {
+          rt.snapshot_id =
+              invoker_.initial_execution(rt.model, inv, &out.result);
+        })) {
+      // initial_execution reports timings before the snapshot write, so a
+      // torn put still counts as a completed (if snapshot-less) run; only
+      // an all-attempts crash leaves the result empty.
+      rc.completed = out.result.exec.exec_ns > 0;
+      out.result.setup.setup_ns += rc.overhead_ns;
+      return out;
+    }
     if (rt.kind == PolicyKind::kReap) {
       rt.ws = ReapPolicy::record_working_set(inv.trace, rt.model.guest_pages());
     } else if (rt.kind == PolicyKind::kFaasnap) {
       rt.ws = FaasnapPolicy::record_working_set(inv.trace,
                                                 rt.model.guest_pages());
     }
+    out.result.setup.setup_ns += rc.overhead_ns;
     return out;
   }
+  bool restored = false;
   switch (rt.kind) {
     case PolicyKind::kVanilla: {
       VanillaPolicy policy(store_, rt.snapshot_id);
-      out.result = invoker_.invoke(policy, inv);
+      restored = with_retry(retry, rt.recovery_rng, &rc,
+                            [&] { out.result = invoker_.invoke(policy, inv); });
       break;
     }
     case PolicyKind::kReap: {
       ReapPolicy policy(store_, rt.snapshot_id, *rt.ws);
-      out.result = invoker_.invoke(policy, inv);
+      restored = with_retry(retry, rt.recovery_rng, &rc,
+                            [&] { out.result = invoker_.invoke(policy, inv); });
       break;
     }
     case PolicyKind::kFaasnap: {
       FaasnapPolicy policy(store_, rt.snapshot_id, *rt.ws);
-      out.result = invoker_.invoke(policy, inv);
+      restored = with_retry(retry, rt.recovery_rng, &rc,
+                            [&] { out.result = invoker_.invoke(policy, inv); });
       break;
     }
     case PolicyKind::kToss:
-      break;  // handled by the caller
+      restored = true;  // handled by the caller
+      break;
   }
+  if (!restored) {
+    // Terminal rung for baselines: re-run cold (which also regenerates the
+    // snapshot, replacing whatever kept failing).
+    rc.fallback = FallbackLevel::kColdBoot;
+    out.cold_boot = true;
+    if (!with_retry(retry, rt.recovery_rng, &rc, [&] {
+          rt.snapshot_id =
+              invoker_.initial_execution(rt.model, inv, &out.result);
+        }))
+      rc.completed = false;
+  }
+  out.result.setup.setup_ns += rc.overhead_ns;
   return out;
 }
 
@@ -191,6 +297,12 @@ const TossFunction* ServerlessPlatform::toss_state(
     const std::string& name) const {
   auto it = functions_.find(name);
   return it == functions_.end() ? nullptr : it->second.toss.get();
+}
+
+const CircuitBreaker* ServerlessPlatform::breaker(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second.breaker;
 }
 
 }  // namespace toss

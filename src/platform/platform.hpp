@@ -25,7 +25,9 @@
 #include "platform/errors.hpp"
 #include "platform/invoker.hpp"
 #include "platform/pricing.hpp"
+#include "platform/recovery.hpp"
 #include "platform/request_gen.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 
 namespace toss {
@@ -37,8 +39,12 @@ const char* policy_name(PolicyKind kind);
 struct InvocationOutcome {
   InvocationResult result;
   TossPhase toss_phase = TossPhase::kInitial;  ///< meaningful for kToss
-  bool cold_boot = false;   ///< first-ever invocation (no snapshot yet)
+  /// First-ever invocation (no snapshot yet) — or one that fell all the
+  /// way down the recovery ladder to a cold start.
+  bool cold_boot = false;
   double charge = 0;        ///< $ for this invocation
+  /// Recovery ledger for this invocation; all-default when nothing failed.
+  RecoveryInfo recovery;
 };
 
 struct FunctionStats {
@@ -47,6 +53,13 @@ struct FunctionStats {
   OnlineStats setup_ns;
   OnlineStats exec_ns;
   double total_charge = 0;
+  // Recovery aggregates (all zero unless faults were injected).
+  u64 recovered_faults = 0;   ///< injected faults invocations tripped over
+  u64 recovery_retries = 0;   ///< extra attempts spent across invocations
+  u64 fallbacks = 0;          ///< invocations served below the intended rung
+  u64 quarantines = 0;        ///< tiered artifacts quarantined
+  u64 regenerations = 0;      ///< quarantined artifacts rebuilt (Step V)
+  u64 incomplete = 0;         ///< invocations that exhausted every rung
 };
 
 /// Builder for one function registration. Chain setters, then hand it to
@@ -78,6 +91,17 @@ class FunctionRegistration {
     seed_ = s;
     return *this;
   }
+  /// Recovery ladder retry policy (applies to every policy kind; for kToss
+  /// this sets TossOptions::retry).
+  FunctionRegistration& retry(RetryPolicy r) {
+    toss_options_.retry = r;
+    return *this;
+  }
+  /// Per-function circuit breaker for the tiered path (kToss only).
+  FunctionRegistration& breaker(CircuitBreakerOptions options) {
+    breaker_ = options;
+    return *this;
+  }
 
   /// All registration-time invariants in one place.
   Result<void> validate() const;
@@ -87,6 +111,7 @@ class FunctionRegistration {
   const TossOptions& toss_options() const { return toss_options_; }
   int concurrency() const { return concurrency_; }
   u64 seed() const { return seed_; }
+  const CircuitBreakerOptions& breaker_options() const { return breaker_; }
 
  private:
   FunctionSpec spec_;
@@ -94,12 +119,16 @@ class FunctionRegistration {
   TossOptions toss_options_;
   int concurrency_ = 1;
   u64 seed_ = 42;
+  CircuitBreakerOptions breaker_;
 };
 
 class ServerlessPlatform {
  public:
+  /// `faults` arms deterministic fault injection against this host's
+  /// snapshot store. An empty plan (the default) attaches nothing; in
+  /// builds without -DTOSS_FAULTS=ON any plan is inert.
   explicit ServerlessPlatform(SystemConfig cfg = SystemConfig::paper_default(),
-                              PricingPlan pricing = {});
+                              PricingPlan pricing = {}, FaultPlan faults = {});
 
   /// Validate and register. Fails with kInvalidOptions or
   /// kDuplicateFunction; on failure the platform is unchanged.
@@ -126,6 +155,10 @@ class ServerlessPlatform {
   const FunctionStats& stats(const std::string& name) const;
   /// nullptr for unknown names or non-TOSS functions.
   const TossFunction* toss_state(const std::string& name) const;
+  /// nullptr for unknown names.
+  const CircuitBreaker* breaker(const std::string& name) const;
+  /// nullptr unless a non-empty FaultPlan was attached at construction.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
   const SystemConfig& config() const { return cfg_; }
   SnapshotStore& store() { return store_; }
@@ -140,6 +173,10 @@ class ServerlessPlatform {
     u64 snapshot_id = 0;                  // baselines
     std::optional<WorkingSet> ws;         // kReap / kFaasnap
     FunctionStats stats;
+    CircuitBreaker breaker;
+    /// Backoff jitter for the baseline recovery path; separate stream so
+    /// the fault-free path stays bit-identical.
+    Rng recovery_rng{0};
   };
 
   InvocationOutcome invoke_baseline(FunctionRuntime& rt, int input, u64 seed);
@@ -150,6 +187,8 @@ class ServerlessPlatform {
   PricingPlan pricing_;
   SnapshotStore store_;
   Invoker invoker_;
+  /// Owns the injector the store points at; null when no plan is armed.
+  std::unique_ptr<FaultInjector> injector_;
   std::map<std::string, FunctionRuntime> functions_;
 };
 

@@ -27,6 +27,7 @@
 #include "platform/platform.hpp"
 #include "platform/prewarm.hpp"
 #include "platform/pricing.hpp"
+#include "platform/recovery.hpp"
 #include "platform/request_gen.hpp"
 
 #include "core/merge.hpp"
@@ -43,6 +44,7 @@
 #include "workloads/functions.hpp"
 #include "workloads/registry.hpp"
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

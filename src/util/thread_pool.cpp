@@ -93,7 +93,9 @@ void parallel_for(ThreadPool* pool, size_t n,
         if (i >= n) break;  // late tasks exit here without touching `fn`
         try {
           fn(i);
-        } catch (...) {
+          // Not swallowed: the exception is captured whole and rethrown to
+          // the caller from parallel_for's join.
+        } catch (...) {  // toss-lint: allow(swallowed-error)
           std::lock_guard<std::mutex> lock(state->mu);
           if (!state->first_error)
             state->first_error = std::current_exception();

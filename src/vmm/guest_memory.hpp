@@ -31,4 +31,9 @@ class GuestMemory {
   std::vector<u32> versions_;
 };
 
+/// FNV-1a over all page versions — the page-version oracle the chaos suite
+/// compares against the authoritative snapshot contents to prove that no
+/// recovered invocation ever observed wrong memory.
+u64 hash_memory(const GuestMemory& memory);
+
 }  // namespace toss

@@ -67,8 +67,22 @@ double MemoryLayoutFile::slow_fraction() const {
          static_cast<double>(guest_pages_);
 }
 
+u64 region_checksum(const std::vector<u32>& file, u64 file_page,
+                    u64 page_count) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (u64 i = 0; i < page_count; ++i) {
+    u64 v = file[file_page + i];
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
 namespace {
-constexpr u64 kMagic = 0x544f53534c415931ULL;  // "TOSSLAY1"
+// Version 2 adds the per-region checksum field to every entry.
+constexpr u64 kMagic = 0x544f53534c415932ULL;  // "TOSSLAY2"
 
 void put_u64(std::vector<u8>& out, u64 v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
@@ -85,7 +99,7 @@ bool get_u64(const std::vector<u8>& in, size_t& pos, u64& v) {
 
 std::vector<u8> MemoryLayoutFile::serialize() const {
   std::vector<u8> out;
-  out.reserve(24 + entries_.size() * 32);
+  out.reserve(24 + entries_.size() * 40);
   put_u64(out, kMagic);
   put_u64(out, guest_pages_);
   put_u64(out, entries_.size());
@@ -94,6 +108,7 @@ std::vector<u8> MemoryLayoutFile::serialize() const {
     put_u64(out, e.file_page);
     put_u64(out, e.guest_page);
     put_u64(out, e.page_count);
+    put_u64(out, e.checksum);
   }
   return out;
 }
@@ -114,7 +129,8 @@ std::optional<MemoryLayoutFile> MemoryLayoutFile::deserialize(
     e.tier = static_cast<Tier>(tier);
     if (!get_u64(bytes, pos, e.file_page) ||
         !get_u64(bytes, pos, e.guest_page) ||
-        !get_u64(bytes, pos, e.page_count))
+        !get_u64(bytes, pos, e.page_count) ||
+        !get_u64(bytes, pos, e.checksum))
       return std::nullopt;
     entries.push_back(e);
   }

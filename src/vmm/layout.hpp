@@ -19,11 +19,21 @@ struct LayoutEntry {
   u64 file_page = 0;   ///< offset within the tier's snapshot file, in pages
   u64 guest_page = 0;  ///< offset within guest memory, in pages
   u64 page_count = 0;
+  /// Content checksum of the region's pages in the tier file, written at
+  /// tiering time (Step IV). Restores recompute it before mapping; a
+  /// mismatch means bitrot or a torn write and the artifact is quarantined
+  /// instead of mapped (TieredSnapshot::verify).
+  u64 checksum = 0;
 
   u64 guest_page_end() const { return guest_page + page_count; }
   u64 bytes() const { return bytes_for_pages(page_count); }
   bool operator==(const LayoutEntry&) const = default;
 };
+
+/// FNV-1a over a region of page versions; the per-region checksum stored in
+/// LayoutEntry::checksum. `file` is a tier file's version array.
+u64 region_checksum(const std::vector<u32>& file, u64 file_page,
+                    u64 page_count);
 
 class MemoryLayoutFile {
  public:

@@ -1,6 +1,7 @@
 #include "vmm/microvm.hpp"
 
 #include "util/contracts.hpp"
+#include "util/error.hpp"
 
 namespace toss {
 
@@ -31,6 +32,15 @@ SetupResult MicroVm::boot(u64 guest_bytes, const VmState& state) {
 }
 
 SetupResult MicroVm::restore(const RestorePlan& plan) {
+  // Injection sites for the restore failure domain: a transient mapping
+  // failure (retried by the recovery ladder) and a slow-tier device stall
+  // (latency spike charged to setup, not an error). Armed before any VM
+  // state changes so a thrown fault leaves this MicroVm untouched.
+  FaultInjector* faults = store_->faults();
+  if (faults != nullptr && faults->should_fire(FaultSite::kRestoreMapping))
+    throw Error(ErrorCode::kTransientIo,
+                "mmap failed establishing restore mappings");
+
   vm_state_ = plan.vm_state;
   const u64 n = plan.guest_pages;
   memory_ = GuestMemory(bytes_for_pages(n));
@@ -42,16 +52,21 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
   SetupResult r;
   r.vm_state_ns = cfg_->vmm.vm_state_load_ns;
 
+  bool maps_slow_tier = false;
   for (const auto& m : plan.mappings) {
     TOSS_REQUIRE(m.guest_page + m.page_count <= n);
     r.mmap_ns += cfg_->vmm.mmap_region_ns;
     ++r.mappings;
+    maps_slow_tier |= m.tier == Tier::kSlow;
     for (u64 i = 0; i < m.page_count; ++i) {
       const u64 g = m.guest_page + i;
       placement_.set(g, m.tier);
       backing_[g] = PageBacking{m.file_id, m.file_page + i, m.dax, true};
     }
   }
+  if (faults != nullptr && maps_slow_tier &&
+      faults->should_fire(FaultSite::kSlowTierStall))
+    r.mmap_ns += faults->stall_ns(FaultSite::kSlowTierStall);
 
   // Eager loads: sequential disk reads (through the page cache) plus PTE
   // population, REAP-style. Contiguous file ranges stream at full disk
@@ -71,24 +86,43 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
   }
 
   // Materialize contents for integrity checking: guest memory versions come
-  // from the backing snapshot files.
+  // from the backing snapshot files. A mapping over a file the store cannot
+  // resolve (deleted, quarantined, or never written) is a hard restore
+  // failure, not a silent zero-fill.
   for (const auto& m : plan.mappings) {
     if (!m.file_id) continue;
     if (const SingleTierSnapshot* snap = store_->get_single_tier(m.file_id)) {
+      if (m.file_page + m.page_count > snap->num_pages())
+        throw Error(ErrorCode::kSnapshotCorrupted,
+                    "restore mapping overruns snapshot file " +
+                        std::to_string(m.file_id) + " (" +
+                        std::to_string(m.file_page + m.page_count) + " > " +
+                        std::to_string(snap->num_pages()) + " pages)");
       for (u64 i = 0; i < m.page_count; ++i)
         memory_.set_version(m.guest_page + i,
                             snap->page_version(m.file_page + i));
       continue;
     }
     // Tiered snapshot files resolve by either the fast or the slow file id.
-    if (const TieredSnapshot* tiered = store_->get_tiered(m.file_id)) {
-      for (u64 i = 0; i < m.page_count; ++i) {
-        const u64 fp = m.file_page + i;
-        memory_.set_version(m.guest_page + i,
-                            m.tier == Tier::kFast
-                                ? tiered->fast_page_version(fp)
-                                : tiered->slow_page_version(fp));
-      }
+    const TieredSnapshot* tiered = store_->get_tiered(m.file_id);
+    if (tiered == nullptr)
+      throw Error(ErrorCode::kSnapshotMissing,
+                  "restore mapping references missing snapshot file " +
+                      std::to_string(m.file_id));
+    const u64 file_pages =
+        m.tier == Tier::kFast ? tiered->fast_pages() : tiered->slow_pages();
+    if (m.file_page + m.page_count > file_pages)
+      throw Error(ErrorCode::kSnapshotCorrupted,
+                  "restore mapping overruns tier file " +
+                      std::to_string(m.file_id) + " (" +
+                      std::to_string(m.file_page + m.page_count) + " > " +
+                      std::to_string(file_pages) + " pages)");
+    for (u64 i = 0; i < m.page_count; ++i) {
+      const u64 fp = m.file_page + i;
+      memory_.set_version(m.guest_page + i,
+                          m.tier == Tier::kFast
+                              ? tiered->fast_page_version(fp)
+                              : tiered->slow_page_version(fp));
     }
   }
 
@@ -123,6 +157,12 @@ Nanos MicroVm::fault_cost(u64 page, Pattern pattern) {
 
 ExecutionResult MicroVm::execute(const BurstTrace& trace, Nanos cpu_ns,
                                  Nanos profiling_overhead_ns) {
+  // Guest crash mid-invocation (before any snapshot is taken): the whole
+  // attempt is lost and the recovery ladder re-restores and re-executes.
+  if (FaultInjector* faults = store_->faults();
+      faults != nullptr && faults->should_fire(FaultSite::kExecCrash))
+    throw Error(ErrorCode::kExecutionCrashed,
+                "guest crashed mid-invocation");
   pending_ = ExecutionResult{};
   ExecutionResult& r = pending_;
   r.cpu_ns = cpu_ns;

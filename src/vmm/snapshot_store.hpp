@@ -4,13 +4,30 @@
 // using the DiskSpec. The host page cache is shared host state and lives
 // here too, so experiments can drop it between invocations like the paper's
 // methodology does.
+//
+// Failure domain semantics (the fault-injection PR):
+//   - Puts are atomic: blobs are fully staged before any store state is
+//     touched (write-temp-then-rename), so a torn write — injected at the
+//     kPutSingleTier / kPutTiered sites — throws toss::Error(kTransientIo)
+//     and leaves every previous snapshot generation readable.
+//   - Reads come in two flavours: the const get_* accessors (nullptr on
+//     miss, used by restore policies on already-verified artifacts) and the
+//     fetch_* ladder entry points, which arm the at-rest corruption sites
+//     (kTierBitrot / kTierTruncate) and throw typed errors for missing or
+//     quarantined ids.
+//   - Quarantine: a checksum-failed tiered artifact is marked unreadable
+//     so the recovery ladder degrades to the retained single-tier snapshot
+//     and Step V regenerates a fresh artifact instead of re-mapping rot.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "mem/page_cache.hpp"
 #include "mem/tier.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "vmm/snapshot.hpp"
 #include "vmm/tiered_snapshot.hpp"
 
@@ -20,19 +37,52 @@ class SnapshotStore {
  public:
   explicit SnapshotStore(const SystemConfig& cfg);
 
+  /// Attach the lane's fault injector (nullptr detaches). The store does
+  /// not own it; lifetime is managed by the platform that owns both.
+  void attach_faults(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* faults() { return faults_; }
+
   /// Allocate a fresh file id (snapshot files, WS files, layout files...).
   u64 allocate_file_id();
 
   /// Persist a single-tier snapshot of `memory`; returns its file id.
+  /// Throws toss::Error(kTransientIo) when a torn-write fault fires; the
+  /// store is unchanged in that case.
   u64 put_single_tier(const GuestMemory& memory, const VmState& state);
 
   const SingleTierSnapshot* get_single_tier(u64 file_id) const;
 
   /// Persist a tiered snapshot (already built); retrievable by either of
-  /// its two file ids.
+  /// its two file ids. Same atomicity contract as put_single_tier.
   void put_tiered(TieredSnapshot snapshot);
 
+  /// nullptr for unknown or quarantined ids.
   const TieredSnapshot* get_tiered(u64 file_id) const;
+
+  /// Ladder read path for the single-tier snapshot: throws
+  /// toss::Error(kSnapshotMissing) for unknown ids.
+  const SingleTierSnapshot& fetch_single_tier(u64 file_id) const;
+
+  /// Ladder read path for a tiered artifact: first arms the at-rest
+  /// corruption sites (which may damage the stored blob, deterministically),
+  /// then resolves the id. Throws toss::Error(kSnapshotMissing) for unknown
+  /// or quarantined ids. The caller verifies content via verify_tiered().
+  const TieredSnapshot& fetch_tiered(u64 file_id);
+
+  /// Content + structure verification of a stored tiered artifact:
+  /// kSnapshotMissing for unknown/quarantined ids, kSnapshotCorrupted with
+  /// the first violation otherwise.
+  Result<void> verify_tiered(u64 file_id) const;
+
+  /// Mark a tiered artifact unreadable (checksum failure). Idempotent.
+  void quarantine_tiered(u64 file_id);
+  bool is_quarantined(u64 file_id) const;
+  u64 quarantine_count() const { return quarantine_count_; }
+
+  /// Fault/test hooks: damage a stored tiered artifact in place (checksums
+  /// go stale, which verify_tiered detects). Return false for unknown ids.
+  bool corrupt_tiered_page(u64 file_id, u64 fast_file_page);
+  bool truncate_tiered(u64 file_id);
 
   HostPageCache& page_cache() { return page_cache_; }
   const HostPageCache& page_cache() const { return page_cache_; }
@@ -47,11 +97,18 @@ class SnapshotStore {
   const SystemConfig& config() const { return *cfg_; }
 
  private:
+  /// Resolve a tiered id through the slow->fast alias map.
+  u64 resolve_tiered(u64 file_id) const;
+  TieredSnapshot* find_tiered(u64 file_id);
+
   const SystemConfig* cfg_;
+  FaultInjector* faults_ = nullptr;
   u64 next_file_id_ = 1;
+  u64 quarantine_count_ = 0;
   std::unordered_map<u64, SingleTierSnapshot> single_tier_;
   std::unordered_map<u64, TieredSnapshot> tiered_;
   std::unordered_map<u64, u64> tiered_alias_;  ///< slow id -> fast id
+  std::unordered_set<u64> quarantined_;        ///< fast ids
   HostPageCache page_cache_;
 };
 

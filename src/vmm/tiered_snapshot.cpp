@@ -30,9 +30,12 @@ TieredSnapshot TieredSnapshot::build(const SingleTierSnapshot& snap,
     file_cursor[static_cast<size_t>(t)] += e.page_count;
     entries.push_back(e);
 
-    // Serial copy of the region's contents into the tier file.
+    // Serial copy of the region's contents into the tier file, then seal
+    // the region with its content checksum (verified again at restore).
     auto& file = t == Tier::kFast ? out.fast_versions_ : out.slow_versions_;
     for (u64 p = begin; p < end; ++p) file.push_back(snap.page_version(p));
+    entries.back().checksum =
+        region_checksum(file, entries.back().file_page, e.page_count);
     begin = end;
   }
   out.layout_ = MemoryLayoutFile(n, std::move(entries));
@@ -138,6 +141,37 @@ std::optional<TieredSnapshot> TieredSnapshot::deserialize(
       snap.slow_versions_.size() != snap.layout_.pages_in(Tier::kSlow))
     return std::nullopt;
   return snap;
+}
+
+std::optional<std::string> TieredSnapshot::verify() const {
+  if (const auto structural = validate_layout(layout_)) return structural;
+  if (fast_versions_.size() != layout_.pages_in(Tier::kFast))
+    return "fast tier file truncated: " +
+           std::to_string(fast_versions_.size()) + " pages, layout expects " +
+           std::to_string(layout_.pages_in(Tier::kFast));
+  if (slow_versions_.size() != layout_.pages_in(Tier::kSlow))
+    return "slow tier file truncated: " +
+           std::to_string(slow_versions_.size()) + " pages, layout expects " +
+           std::to_string(layout_.pages_in(Tier::kSlow));
+  const auto& entries = layout_.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LayoutEntry& e = entries[i];
+    const auto& file =
+        e.tier == Tier::kFast ? fast_versions_ : slow_versions_;
+    if (region_checksum(file, e.file_page, e.page_count) != e.checksum)
+      return "entry " + std::to_string(i) + ": checksum mismatch over " +
+             std::to_string(e.page_count) + " pages at file page " +
+             std::to_string(e.file_page);
+  }
+  return std::nullopt;
+}
+
+void TieredSnapshot::corrupt_fast_page(u64 file_page) {
+  if (file_page < fast_versions_.size()) ++fast_versions_[file_page];
+}
+
+void TieredSnapshot::truncate_fast_file() {
+  if (!fast_versions_.empty()) fast_versions_.pop_back();
 }
 
 GuestMemory TieredSnapshot::materialize() const {

@@ -51,6 +51,19 @@ class TieredSnapshot {
   /// identical to the original snapshot's memory (tested invariant).
   GuestMemory materialize() const;
 
+  /// Content verification: every layout entry's stored checksum must match
+  /// the bytes actually in its tier file, and the tier files must be exactly
+  /// as long as the layout says. Returns std::nullopt when intact, else a
+  /// description of the first violation ("entry 2: checksum mismatch ...").
+  /// The recovery ladder runs this before every tiered restore; a failure
+  /// quarantines the artifact instead of mapping it.
+  std::optional<std::string> verify() const;
+
+  /// Fault/test hooks modelling at-rest damage. Checksums are left stale on
+  /// purpose, which is exactly what verify() exists to catch.
+  void corrupt_fast_page(u64 file_page);  ///< flip one page's content
+  void truncate_fast_file();              ///< drop the fast file's last page
+
   /// Full binary serialization of the tiered artifact (vm state + layout
   /// file + both tier files), as it would be stored on disk/PMem.
   std::vector<u8> serialize() const;

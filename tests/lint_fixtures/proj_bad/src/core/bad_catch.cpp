@@ -1,0 +1,23 @@
+// Fixture: swallowed-error violations.
+void risky();
+
+void swallow_all() {
+  try {
+    risky();
+  } catch (...) {
+  }
+}
+
+void swallow_silently() {
+  try {
+    risky();
+  } catch (const int& e) { }
+}
+
+void swallow_with_comment_only() {
+  try {
+    risky();
+  } catch (const int&) {
+    // a comment is not handling
+  }
+}

@@ -1,0 +1,20 @@
+// Fixture: sanctioned catch handlers — typed, non-empty bodies, and one
+// deliberate swallow waived with an allow() trailer.
+void risky();
+void note(const char*);
+
+void handled() {
+  try {
+    risky();
+  } catch (const int& e) {
+    note("retrying");
+    (void)e;
+  }
+}
+
+void waived() {
+  try {
+    risky();
+  } catch (...) {  // toss-lint: allow(swallowed-error)
+  }
+}

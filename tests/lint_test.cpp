@@ -70,6 +70,17 @@ TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
   EXPECT_NE(run.output.find("src/core/bad_trailer.cpp:2 lint-usage"),
             std::string::npos)
       << run.output;
+  // swallowed-error: catch-all, empty body on one line, and a body that
+  // contains only a comment (stripped before matching, so still "empty").
+  EXPECT_NE(run.output.find("src/core/bad_catch.cpp:7 swallowed-error"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_catch.cpp:14 swallowed-error"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_catch.cpp:20 swallowed-error"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(TossLint, CleanProjectPasses) {
@@ -88,6 +99,8 @@ TEST(TossLint, SuppressionIsPerRule) {
   EXPECT_EQ(clean.output.find("raw-assert"), std::string::npos)
       << clean.output;
   EXPECT_EQ(clean.output.find("pragma-once"), std::string::npos)
+      << clean.output;
+  EXPECT_EQ(clean.output.find("swallowed-error"), std::string::npos)
       << clean.output;
 }
 

@@ -352,5 +352,153 @@ TEST_F(MicroVmTest, RestoreMaterializesTieredContent) {
   EXPECT_EQ(vm2.memory(), want);
 }
 
+// ---------------------------------------------------------------------------
+// Failure domains: typed errors, verification, quarantine, atomic puts.
+// Everything except the injected-fault test is valid in every build; the
+// corruption hooks (corrupt_tiered_page / truncate_tiered) work without
+// TOSS_FAULTS precisely so these paths stay covered in the default config.
+// ---------------------------------------------------------------------------
+
+/// Runs `f`, which must throw toss::Error, and returns the carried code.
+template <typename F>
+ErrorCode code_of(F&& f) {
+  try {
+    f();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected toss::Error, nothing thrown";
+  return ErrorCode::kUnknownFunction;
+}
+
+class SnapshotFailureTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store{cfg};
+  u64 single_id = 0, fast_id = 0, slow_id = 0;
+
+  void SetUp() override {
+    single_id = store.put_single_tier(patterned_memory(32), VmState{});
+    PagePlacement placement(32, Tier::kFast);
+    placement.set_range(16, 16, Tier::kSlow);
+    fast_id = store.allocate_file_id();
+    slow_id = store.allocate_file_id();
+    store.put_tiered(TieredSnapshot::build(*store.get_single_tier(single_id),
+                                           placement, fast_id, slow_id));
+  }
+};
+
+TEST_F(SnapshotFailureTest, FetchMissingIdsThrowTypedErrors) {
+  EXPECT_EQ(code_of([&] { store.fetch_single_tier(999); }),
+            ErrorCode::kSnapshotMissing);
+  EXPECT_EQ(code_of([&] { store.fetch_tiered(999); }),
+            ErrorCode::kSnapshotMissing);
+  // The happy paths back the same ids.
+  EXPECT_EQ(store.fetch_single_tier(single_id).materialize(),
+            patterned_memory(32));
+  EXPECT_EQ(&store.fetch_tiered(slow_id), store.get_tiered(fast_id));
+}
+
+TEST_F(SnapshotFailureTest, VerifyTieredDetectsBitrot) {
+  EXPECT_TRUE(store.verify_tiered(fast_id).ok());
+  ASSERT_TRUE(store.corrupt_tiered_page(fast_id, 3));
+  const auto broken = store.verify_tiered(fast_id);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.code(), ErrorCode::kSnapshotCorrupted);
+  // Resolution through the slow-id alias sees the same damage.
+  EXPECT_FALSE(store.verify_tiered(slow_id).ok());
+  EXPECT_FALSE(store.corrupt_tiered_page(999, 0));
+}
+
+TEST_F(SnapshotFailureTest, VerifyTieredDetectsTruncation) {
+  ASSERT_TRUE(store.truncate_tiered(fast_id));
+  const auto broken = store.verify_tiered(fast_id);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.code(), ErrorCode::kSnapshotCorrupted);
+  EXPECT_FALSE(store.truncate_tiered(999));
+}
+
+TEST_F(SnapshotFailureTest, QuarantineHidesArtifactAndIsIdempotent) {
+  // Quarantine via the slow-id alias; both ids become unreadable.
+  store.quarantine_tiered(slow_id);
+  EXPECT_TRUE(store.is_quarantined(fast_id));
+  EXPECT_TRUE(store.is_quarantined(slow_id));
+  EXPECT_EQ(store.get_tiered(fast_id), nullptr);
+  EXPECT_EQ(store.get_tiered(slow_id), nullptr);
+  EXPECT_EQ(code_of([&] { store.fetch_tiered(fast_id); }),
+            ErrorCode::kSnapshotMissing);
+  const auto v = store.verify_tiered(fast_id);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.code(), ErrorCode::kSnapshotMissing);
+
+  store.quarantine_tiered(fast_id);  // idempotent
+  EXPECT_EQ(store.quarantine_count(), 1u);
+
+  // The retained single-tier generation is untouched: the degrade rung.
+  EXPECT_EQ(store.fetch_single_tier(single_id).materialize(),
+            patterned_memory(32));
+}
+
+TEST_F(SnapshotFailureTest, RestoreMissingFileIdThrowsTyped) {
+  MicroVm vm(cfg, store);
+  RestorePlan plan;
+  plan.guest_pages = 32;
+  plan.mappings.push_back(RestoreMapping{0, 32, Tier::kFast, 999, 0, false});
+  EXPECT_EQ(code_of([&] { vm.restore(plan); }), ErrorCode::kSnapshotMissing);
+}
+
+TEST_F(SnapshotFailureTest, RestoreOverrunMappingThrowsCorrupted) {
+  // A mapping that reads past the end of the snapshot file means the
+  // artifact and the plan disagree about its length: corrupted, not missing.
+  MicroVm vm(cfg, store);
+  RestorePlan plan;
+  plan.guest_pages = 64;
+  plan.mappings.push_back(
+      RestoreMapping{0, 64, Tier::kFast, single_id, 0, false});
+  EXPECT_EQ(code_of([&] { vm.restore(plan); }),
+            ErrorCode::kSnapshotCorrupted);
+}
+
+TEST(SnapshotStoreFaults, TornPutLeavesPreviousGenerationReadable) {
+  if (!fault_injection_enabled())
+    GTEST_SKIP() << "requires -DTOSS_FAULTS=ON";
+  const SystemConfig cfg = SystemConfig::paper_default();
+  SnapshotStore store(cfg);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.set(FaultSite::kPutSingleTier, {.schedule = {1}});  // 2nd put tears
+  plan.set(FaultSite::kPutTiered, {.schedule = {0}});      // 1st put tears
+  FaultInjector injector(plan, 0);
+  store.attach_faults(&injector);
+
+  const u64 gen1 = store.put_single_tier(patterned_memory(16), VmState{});
+  EXPECT_EQ(code_of([&] {
+              store.put_single_tier(patterned_memory(32), VmState{});
+            }),
+            ErrorCode::kTransientIo);
+  // Atomicity: the torn write changed nothing — the previous generation is
+  // still readable and no file id was burned.
+  EXPECT_EQ(store.fetch_single_tier(gen1).materialize(),
+            patterned_memory(16));
+  const u64 gen2 = store.put_single_tier(patterned_memory(32), VmState{});
+  EXPECT_EQ(gen2, gen1 + 1);
+
+  PagePlacement placement(32, Tier::kFast);
+  placement.set_range(0, 16, Tier::kSlow);
+  const u64 fast_id = store.allocate_file_id();
+  const u64 slow_id = store.allocate_file_id();
+  TieredSnapshot tiered = TieredSnapshot::build(
+      *store.get_single_tier(gen2), placement, fast_id, slow_id);
+  EXPECT_EQ(code_of([&] { store.put_tiered(tiered); }),
+            ErrorCode::kTransientIo);
+  EXPECT_EQ(store.get_tiered(fast_id), nullptr);
+  store.put_tiered(tiered);  // retry lands: only the schedule's arm tears
+  ASSERT_NE(store.get_tiered(fast_id), nullptr);
+  EXPECT_EQ(store.get_tiered(fast_id)->materialize(), patterned_memory(32));
+  EXPECT_EQ(injector.total_fires(), 2u);
+  store.attach_faults(nullptr);
+}
+
 }  // namespace
 }  // namespace toss

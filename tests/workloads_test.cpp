@@ -36,7 +36,10 @@ TEST(Registry, MemoryConfigsMatchTableOne) {
 }
 
 TEST(Registry, MemoryIsMultipleOf128MB) {
-  for (const auto& m : FunctionRegistry::table1().models())
+  // Bind the registry first: ranging over the temporary's models() would
+  // leave the loop iterating a dead vector (caught by ASan).
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  for (const auto& m : reg.models())
     EXPECT_EQ(m.spec().memory_mb % 128, 0u) << m.name();
 }
 
@@ -138,7 +141,8 @@ TEST(Calibration, CompressNegligibleSlowTierSlowdown) {
   // degradation for every input.
   const SystemConfig cfg = SystemConfig::paper_default();
   AccessCostModel model(cfg);
-  const FunctionModel* m = FunctionRegistry::table1().find("compress");
+  const FunctionRegistry reg = FunctionRegistry::table1();
+  const FunctionModel* m = reg.find("compress");
   ASSERT_NE(m, nullptr);
   for (int input = 0; input < kNumInputs; ++input) {
     const Invocation inv = m->invoke(input, 42);

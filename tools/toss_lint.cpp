@@ -27,6 +27,12 @@
 //                    stay centralized.
 //   pragma-once      every header in the scanned tree uses `#pragma once`
 //                    (not #ifndef guards, not nothing).
+//   swallowed-error  `catch (...)` and empty catch bodies are banned in
+//                    src/ outside src/util/fault.* — a handler that
+//                    discards the typed toss::Error hides exactly the
+//                    failures the recovery ladder must observe. Handlers
+//                    must name the exception type and do something with
+//                    it (or carry an allow() trailer explaining why not).
 //
 // Findings print as `file:line rule message`, one per line, and the exit
 // code is 1 when any finding is unsuppressed (0 clean, 2 usage/IO error).
@@ -60,8 +66,8 @@ struct Finding {
 };
 
 const char* const kRuleNames[] = {
-    "deep-include",   "platform-throw", "raw-assert",
-    "nondeterminism", "thread-spawn",   "pragma-once",
+    "deep-include",   "platform-throw", "raw-assert",     "nondeterminism",
+    "thread-spawn",   "pragma-once",    "swallowed-error",
 };
 
 bool known_rule(const std::string& name) {
@@ -136,6 +142,55 @@ struct SourceFile {
     return rel == stem + ".hpp" || rel == stem + ".cpp";
   }
 };
+
+/// Shape of one catch handler, parsed from stripped code starting just
+/// past the `catch` keyword. Because comments are blanked before parsing,
+/// `catch (const Error&) { /* ignored */ }` still counts as an empty body —
+/// a comment does not handle an error.
+struct CatchShape {
+  bool catch_all = false;   ///< parameter list is exactly `...`
+  bool empty_body = false;  ///< `{ }` with nothing but whitespace inside
+};
+
+/// Inspect the catch handler whose keyword ends at (line, col), reading
+/// ahead up to 6 stripped lines so split declarations still parse.
+CatchShape inspect_catch(const std::vector<std::string>& code, size_t line,
+                         size_t col) {
+  std::string text = code[line].substr(col);
+  for (size_t l = line + 1; l < code.size() && l < line + 6; ++l) {
+    text += ' ';
+    text += code[l];
+  }
+  CatchShape shape;
+  size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '(') return shape;
+  const size_t params_begin = ++i;
+  int depth = 1;
+  while (i < text.size() && depth > 0) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') --depth;
+    ++i;
+  }
+  if (depth != 0) return shape;
+  std::string params = text.substr(params_begin, i - 1 - params_begin);
+  size_t a = params.find_first_not_of(" \t");
+  size_t b = params.find_last_not_of(" \t");
+  shape.catch_all =
+      a != std::string::npos && params.substr(a, b - a + 1) == "...";
+  skip_ws();
+  if (i < text.size() && text[i] == '{') {
+    ++i;
+    skip_ws();
+    shape.empty_body = i < text.size() && text[i] == '}';
+  }
+  return shape;
+}
 
 /// Blank out // and /* */ comments and the contents of string/char
 /// literals, keeping line lengths so columns and line numbers stay honest.
@@ -224,6 +279,7 @@ void check_file(const SourceFile& f, std::vector<Finding>& findings) {
   const bool rng_exempt = f.stem_is("src/util/rng");
   const bool thread_exempt = f.stem_is("src/util/thread_pool") ||
                              f.stem_is("src/platform/concurrency");
+  const bool catch_exempt = f.stem_is("src/util/fault");
 
   // Parse every allow() trailer once up front, so unknown rule names are
   // flagged even on lines that trip nothing.
@@ -303,6 +359,24 @@ void check_file(const SourceFile& f, std::vector<Finding>& findings) {
             {f.rel, line_no, "thread-spawn",
              "thread creation outside util/thread_pool and "
              "platform/concurrency; submit work to a ThreadPool"});
+    }
+
+    if (in_src && !catch_exempt) {
+      for (size_t pos = code.find("catch"); pos != std::string::npos;
+           pos = code.find("catch", pos + 1)) {
+        if (!word_at(code, pos, "catch")) continue;
+        const CatchShape shape = inspect_catch(f.code, i, pos + 5);
+        if (shape.catch_all)
+          raw_findings.push_back(
+              {f.rel, line_no, "swallowed-error",
+               "catch (...) discards the typed toss::Error; name the "
+               "exception type so the recovery ladder can see it"});
+        else if (shape.empty_body)
+          raw_findings.push_back(
+              {f.rel, line_no, "swallowed-error",
+               "empty catch body swallows the error; handle it, rethrow "
+               "typed, or record why ignoring is safe"});
+      }
     }
   }
 
