@@ -43,6 +43,22 @@ TieringDecision choose_placement(const SystemConfig& cfg,
     }
   }
 
+  // Fast-budget bound (the arbiter's demotion hook): extend the offload
+  // prefix coldest-first until the fast-tier residue fits the cap.
+  if (options.max_fast_bytes) {
+    std::vector<u64> bin_pages(bins.size(), 0);
+    for (size_t b = 0; b < bins.size(); ++b)
+      for (const Region& r : bins[b].regions) bin_pages[b] += r.page_count;
+    u64 fast_pages = d.profile.base_placement.pages_in(Tier::kFast);
+    for (size_t k = 0; k < best_prefix; ++k)
+      fast_pages -= bin_pages[d.profile.steps[k].bin_index];
+    while (bytes_for_pages(fast_pages) > *options.max_fast_bytes &&
+           best_prefix < d.profile.steps.size()) {
+      fast_pages -= bin_pages[d.profile.steps[best_prefix].bin_index];
+      ++best_prefix;
+    }
+  }
+
   // Apply: zero regions slow, the chosen prefix of bins slow, rest fast.
   d.placement = d.profile.base_placement;
   for (size_t k = 0; k < best_prefix; ++k) {

@@ -21,6 +21,13 @@ struct TieringOptions {
   /// measured configurations are independent, so the decision is
   /// bit-identical with or without a pool.
   ThreadPool* profile_pool = nullptr;
+  /// Hard cap on the fast-tier bytes the placement may keep resident. The
+  /// fleet arbiter re-enters Step IV with this bound to demote a function
+  /// under DRAM pressure: the coldest-first sweep keeps offloading bins
+  /// past the minimum-cost prefix — ignoring the slowdown threshold, since
+  /// fitting the budget outranks the SLO preference under duress — until
+  /// the fast residue fits. 0 forces a fully slow placement.
+  std::optional<u64> max_fast_bytes;
 };
 
 struct TieringDecision {

@@ -24,6 +24,21 @@ const TieredSnapshot* TossFunction::tiered_snapshot() const {
   return tiered_id_ ? store_->get_tiered(tiered_id_) : nullptr;
 }
 
+u64 TossFunction::fast_resident_bytes() const {
+  if (phase_ == TossPhase::kTiered)
+    if (const TieredSnapshot* t = tiered_snapshot())
+      return bytes_for_pages(t->fast_pages());
+  // Single-tier restores and cold boots pin the whole image in DRAM.
+  return model_->guest_bytes();
+}
+
+u64 TossFunction::slow_resident_bytes() const {
+  if (phase_ == TossPhase::kTiered)
+    if (const TieredSnapshot* t = tiered_snapshot())
+      return bytes_for_pages(t->slow_pages());
+  return 0;
+}
+
 TossInvocationRecord TossFunction::handle(int input, u64 invocation_seed) {
   if (options_.drop_caches_between_invocations) store_->drop_caches();
   const Invocation inv = model_->invoke(input, invocation_seed);
@@ -224,15 +239,17 @@ TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
   return rec;
 }
 
-bool TossFunction::run_analysis(RecoveryInfo* recovery) {
+TieringDecision TossFunction::analyze_now(
+    std::optional<u64> max_fast_bytes) const {
   TOSS_ASSERT(unified_ && largest_);
-  // Steps III + IV on the unified pattern, profiled against the largest
+  // Step III on the unified pattern, profiled against the largest
   // (longest-running) invocation encountered while profiling.
   const Invocation representative =
       model_->invoke(largest_->input, largest_->seed);
   TieringOptions topt;
   topt.bin_count = options_.bin_count;
   topt.slowdown_threshold = options_.slowdown_threshold;
+  topt.max_fast_bytes = max_fast_bytes;
   // Analysis happens once per (re)profiling cycle, so a transient pool for
   // the bin sweep is cheap relative to the sweep itself.
   std::unique_ptr<ThreadPool> pool;
@@ -240,7 +257,22 @@ bool TossFunction::run_analysis(RecoveryInfo* recovery) {
     pool = std::make_unique<ThreadPool>(options_.analysis_threads);
     topt.profile_pool = pool.get();
   }
-  decision_ = analyze_pattern(*cfg_, unified_->counts(), representative, topt);
+  return analyze_pattern(*cfg_, unified_->counts(), representative, topt);
+}
+
+void TossFunction::arm_reprofiler() {
+  // Arm the re-generation trigger (Eqs 2-4).
+  std::vector<double> bin_slowdowns;
+  bin_slowdowns.reserve(decision_->profile.steps.size());
+  for (const BinStep& s : decision_->profile.steps)
+    bin_slowdowns.push_back(s.marginal_slowdown);
+  reprofiler_ = ReprofilePolicy(options_.reprofile_budget);
+  reprofiler_.arm(damon_invocations_, bin_slowdowns, largest_->exec_ns,
+                  std::max(0.0, decision_->profile.full_slow_slowdown() - 1.0));
+}
+
+bool TossFunction::run_analysis(RecoveryInfo* recovery) {
+  decision_ = analyze_now(fast_budget_);
 
   const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
   TOSS_ASSERT(snap != nullptr);
@@ -265,16 +297,36 @@ bool TossFunction::run_analysis(RecoveryInfo* recovery) {
   }
   if (id == 0) return false;
   tiered_id_ = id;
-
-  // Arm the re-generation trigger (Eqs 2-4).
-  std::vector<double> bin_slowdowns;
-  bin_slowdowns.reserve(decision_->profile.steps.size());
-  for (const BinStep& s : decision_->profile.steps)
-    bin_slowdowns.push_back(s.marginal_slowdown);
-  reprofiler_ = ReprofilePolicy(options_.reprofile_budget);
-  reprofiler_.arm(damon_invocations_, bin_slowdowns, largest_->exec_ns,
-                  std::max(0.0, decision_->profile.full_slow_slowdown() - 1.0));
+  arm_reprofiler();
   phase_ = TossPhase::kTiered;
+  return true;
+}
+
+bool TossFunction::retier(std::optional<u64> max_fast_bytes) {
+  if (phase_ != TossPhase::kTiered || !unified_ || !largest_) return false;
+  const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
+  if (snap == nullptr) return false;
+
+  TieringDecision d = analyze_now(max_fast_bytes);
+  // Persist the re-placed artifact; bounded torn-write retry. No backoff is
+  // charged anywhere — demotions run between requests at the engine's
+  // epoch barrier, not inside an invocation — and recovery_rng_ is left
+  // untouched so the lane's fault/backoff streams stay bit-identical to a
+  // run without arbiter activity.
+  u64 id = 0;
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 0; attempt < attempts && id == 0; ++attempt) {
+    try {
+      id = tier_snapshot(*store_, *snap, d.placement);
+    } catch (const Error& e) {
+      if (!is_transient(e.code())) break;
+    }
+  }
+  if (id == 0) return false;  // keep serving the current artifact
+  tiered_id_ = id;
+  decision_ = std::move(d);
+  fast_budget_ = max_fast_bytes;
+  arm_reprofiler();
   return true;
 }
 
@@ -316,7 +368,12 @@ TossInvocationRecord TossFunction::handle_tiered(const Invocation& inv) {
         rc.expected_hash = hash_memory(authority->materialize());
       else
         rc.expected_hash = rc.memory_hash;
-      if (reprofiler_.observe(rec.result.exec.exec_ns)) {
+      // While the arbiter holds a fast-budget cap, the extra slowdown is
+      // intentional degradation, not access-pattern drift — re-profiling
+      // would bounce the lane back to kProfiling (whose demand is the whole
+      // guest image in DRAM), defeating the demotion. The trigger re-arms
+      // when the cap is lifted by promotion.
+      if (reprofiler_.observe(rec.result.exec.exec_ns) && !fast_budget_) {
         // Drift detected: re-enter profiling. The unified pattern is kept
         // (the goal is to *enhance* the snapshot with the new behaviour)
         // but the stability requirement restarts via new record merges.

@@ -114,6 +114,26 @@ class TossFunction {
   /// quarantined tiered snapshot.
   bool regeneration_pending() const { return regeneration_pending_; }
 
+  /// Arbiter hook (DESIGN.md §9): rebuild the tiered artifact by re-entering
+  /// Step IV placement under a fast-budget bound. nullopt restores the
+  /// optimizer's unconstrained minimum-cost placement (promotion); a byte
+  /// cap forces a slow-heavier placement (demotion; 0 = fully slow). Only
+  /// meaningful in kTiered with a live unified pattern — returns false,
+  /// with all state unchanged, otherwise or when persisting the re-tiered
+  /// artifact exhausts its torn-write retry budget. While a cap is active,
+  /// the Eq 2-4 re-profiling trigger is muted: the extra slowdown is
+  /// intentional, not access-pattern drift.
+  bool retier(std::optional<u64> max_fast_bytes);
+  /// The cap the last successful retier() applied; nullopt = unconstrained.
+  std::optional<u64> fast_budget() const { return fast_budget_; }
+
+  /// Fast/slow-tier bytes an invocation of this function pins while
+  /// running. Tiered phase: the tiered artifact's per-tier file sizes;
+  /// otherwise the whole guest image sits in DRAM (single-tier restores and
+  /// cold boots are fast-tier only).
+  u64 fast_resident_bytes() const;
+  u64 slow_resident_bytes() const;
+
   /// Largest-input invocation observed while profiling (Section V-C's
   /// representative); valid during/after profiling.
   std::optional<std::pair<int, u64>> representative() const {
@@ -133,6 +153,11 @@ class TossFunction {
   TossInvocationRecord handle_profiling(const Invocation& inv);
   TossInvocationRecord handle_tiered(const Invocation& inv);
   bool run_analysis(RecoveryInfo* recovery);
+  /// Steps III(+IV placement) on the current unified pattern, optionally
+  /// bounded by a fast-byte cap. Requires unified_ && largest_.
+  TieringDecision analyze_now(std::optional<u64> max_fast_bytes) const;
+  /// Re-arm the Eq 2-4 regeneration trigger against decision_.
+  void arm_reprofiler();
 
   AttemptStatus restore_execute_with_retry(MicroVm& vm,
                                            const RestorePlan& plan,
@@ -159,6 +184,7 @@ class TossFunction {
   TossPhase phase_ = TossPhase::kInitial;
   u64 single_tier_id_ = 0;
   u64 tiered_id_ = 0;
+  std::optional<u64> fast_budget_;  ///< active retier() cap, if any
   bool suspended_ = false;
   bool regeneration_pending_ = false;
   std::optional<UnifiedPattern> unified_;

@@ -11,6 +11,7 @@ TierSpec TierSpec::ddr4_dram() {
   t.write_bw_bytes_per_ns = 40.0;
   t.mlp = 10.0;
   t.cost_per_mib = 2.5;  // only the 2.5:1 ratio matters (see [23] in paper)
+  t.capacity_bytes = 192 * kGiB;  // paper host: 2 sockets x 6 ch x 16 GiB
   return t;
 }
 
@@ -24,6 +25,7 @@ TierSpec TierSpec::optane_pmem() {
   t.mlp = 4.0;  // Optane sustains far fewer outstanding misses
   t.cost_per_mib = 1.0;
   t.random_granularity_bytes = 256;  // 3D-XPoint internal block size
+  t.capacity_bytes = 768 * kGiB;  // 6 x 128 GB PMem DIMMs
   return t;
 }
 
@@ -36,6 +38,7 @@ TierSpec TierSpec::ddr5_dram() {
   t.write_bw_bytes_per_ns = 60.0;
   t.mlp = 12.0;
   t.cost_per_mib = 1.8;
+  t.capacity_bytes = 256 * kGiB;
   return t;
 }
 
@@ -49,6 +52,7 @@ TierSpec TierSpec::cxl_ddr4() {
   t.mlp = 8.0;  // DRAM-class concurrency, unlike Optane
   t.cost_per_mib = 1.0;
   t.random_granularity_bytes = kCacheLine;  // no internal amplification
+  t.capacity_bytes = 512 * kGiB;  // reused DDR4 DIMMs behind the CXL switch
   return t;
 }
 

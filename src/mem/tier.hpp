@@ -41,6 +41,11 @@ struct TierSpec {
   /// one 64 B line; Optane PMem amplifies to its 256 B internal block,
   /// which is why it degrades so sharply under concurrent random load.
   double random_granularity_bytes = kCacheLine;
+  /// Installed capacity of the tier on the simulated host. The fast tier's
+  /// capacity is the fleet-wide DRAM budget the overload arbiter
+  /// (platform/arbiter.hpp) defends; per-invocation cost modelling ignores
+  /// it (only ratios of cost_per_mib matter there).
+  u64 capacity_bytes = 0;
 
   static TierSpec ddr4_dram();
   static TierSpec optane_pmem();

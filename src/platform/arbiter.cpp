@@ -1,0 +1,173 @@
+#include "platform/arbiter.hpp"
+
+#include <algorithm>
+
+namespace toss {
+
+const char* arbiter_action_name(ArbiterAction action) {
+  switch (action) {
+    case ArbiterAction::kEvictWarm: return "evict_warm";
+    case ArbiterAction::kDemote: return "demote";
+    case ArbiterAction::kPromote: return "promote";
+    case ArbiterAction::kCloseAdmission: return "close_admission";
+    case ArbiterAction::kOpenAdmission: return "open_admission";
+  }
+  return "?";
+}
+
+FastTierArbiter::FastTierArbiter(ArbiterOptions options, u64 fast_budget_bytes)
+    : options_(options),
+      budget_(fast_budget_bytes),
+      warm_(KeepAliveConfig{fast_budget_bytes, options.slow_budget_bytes}) {
+  options_.demote_step = std::clamp(options_.demote_step, 0.0, 1.0);
+}
+
+void FastTierArbiter::ensure_lane(size_t lane) {
+  if (lane >= rung_.size()) {
+    rung_.resize(lane + 1, 0);
+    bytes_at_rung_.resize(lane + 1);
+  }
+}
+
+void FastTierArbiter::push_event(u64 epoch, std::string function,
+                                 ArbiterAction action, int rung) {
+  events_.push_back(
+      ArbiterEvent{epoch, std::move(function), action, rung, resident_});
+}
+
+void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
+                           const ApplyRung& apply) {
+  // Working copy of each lane's fast footprint so ladder moves update the
+  // accounting mid-tick.
+  std::vector<u64> fast(lanes.size(), 0);
+  for (size_t k = 0; k < lanes.size(); ++k) {
+    const LaneDemand& d = lanes[k];
+    ensure_lane(d.lane);
+    fast[k] = d.fast_bytes;
+    // A lane that drained its stream keeps its VM warm (both tiers) until
+    // the budget needs the DRAM back — Section VI-A's keep-alive story.
+    if (d.just_finished && options_.keepalive)
+      warm_.insert(*d.name, d.fast_bytes, d.slow_bytes, d.cold_cost_ns);
+  }
+
+  const auto recompute = [&] {
+    u64 r = warm_.dram_in_use();
+    for (size_t k = 0; k < lanes.size(); ++k)
+      if (lanes[k].active) r += fast[k];
+    resident_ = r;
+    peak_resident_ = std::max(peak_resident_, resident_);
+  };
+  recompute();
+
+  // Ladder down. `stuck` marks lanes whose re-tier failed this tick (e.g.
+  // persistence faults) so the loop moves on instead of spinning.
+  std::vector<bool> stuck(lanes.size(), false);
+  while (resident_ > budget_) {
+    // Rung A: shed warmth first — it only costs a future cold start.
+    if (std::optional<std::string> victim = warm_.evict_lowest()) {
+      ++keepalive_evictions_;
+      recompute();
+      push_event(epoch, *victim, ArbiterAction::kEvictWarm, 0);
+      continue;
+    }
+    // Rung B: demote the largest-footprint tiered lane one rung
+    // (ties break toward the lowest lane index — deterministic).
+    size_t best = lanes.size();
+    for (size_t k = 0; k < lanes.size(); ++k) {
+      const LaneDemand& d = lanes[k];
+      if (!d.active || !d.demotable || stuck[k]) continue;
+      if (rung_[d.lane] >= kMaxRung) continue;
+      if (best == lanes.size() || fast[k] > fast[best]) best = k;
+    }
+    if (best == lanes.size()) break;  // ladder exhausted
+    const LaneDemand& d = lanes[best];
+    const int target = rung_[d.lane] + 1;
+    if (rung_[d.lane] == 0) bytes_at_rung_[d.lane][0] = fast[best];
+    const u64 cap =
+        target >= kMaxRung
+            ? 0
+            : static_cast<u64>(options_.demote_step *
+                               static_cast<double>(bytes_at_rung_[d.lane][0]));
+    const std::optional<u64> applied = apply(d.lane, target, cap);
+    if (!applied) {
+      stuck[best] = true;
+      continue;
+    }
+    fast[best] = *applied;
+    rung_[d.lane] = target;
+    bytes_at_rung_[d.lane][static_cast<size_t>(target)] = *applied;
+    demote_stack_.push_back(d.lane);
+    ++demotions_;
+    recompute();
+    push_event(epoch, *d.name, ArbiterAction::kDemote, target);
+  }
+
+  // Rung C: when even a fully demoted fleet cannot fit, stop admitting.
+  if (resident_ > budget_) {
+    if (!admission_closed_) {
+      admission_closed_ = true;
+      ++admission_closures_;
+      push_event(epoch, "", ArbiterAction::kCloseAdmission, 0);
+    }
+    return;
+  }
+
+  // Recovery, in reverse ladder order: re-open admission first...
+  if (admission_closed_) {
+    admission_closed_ = false;
+    push_event(epoch, "", ArbiterAction::kOpenAdmission, 0);
+  }
+
+  // ...then promote the most recently demoted lane one rung — at most one
+  // per tick, and only when its recorded footprint at the target rung still
+  // fits (hysteresis against demote/promote flapping).
+  while (!demote_stack_.empty()) {
+    const size_t lane = demote_stack_.back();
+    size_t k = lanes.size();
+    for (size_t j = 0; j < lanes.size(); ++j)
+      if (lanes[j].lane == lane) {
+        k = j;
+        break;
+      }
+    if (k == lanes.size() || !lanes[k].active || !lanes[k].demotable ||
+        rung_[lane] == 0) {
+      demote_stack_.pop_back();  // stale: lane finished or left kTiered
+      continue;
+    }
+    const int target = rung_[lane] - 1;
+    const u64 predicted =
+        resident_ - fast[k] + bytes_at_rung_[lane][static_cast<size_t>(target)];
+    if (predicted > budget_) break;  // would re-demote next tick; hold
+    const std::optional<u64> cap =
+        target == 0 ? std::nullopt
+                    : std::optional<u64>(static_cast<u64>(
+                          options_.demote_step *
+                          static_cast<double>(bytes_at_rung_[lane][0])));
+    const std::optional<u64> applied = apply(lane, target, cap);
+    if (!applied) break;  // re-tier failed; retry next tick
+    fast[k] = *applied;
+    rung_[lane] = target;
+    demote_stack_.pop_back();
+    ++promotions_;
+    recompute();
+    push_event(epoch, *lanes[k].name, ArbiterAction::kPromote, target);
+    break;
+  }
+}
+
+ArbiterReport FastTierArbiter::report() const {
+  ArbiterReport r;
+  r.events = events_;
+  r.demotions = demotions_;
+  r.promotions = promotions_;
+  r.keepalive_evictions = keepalive_evictions_;
+  r.admission_closures = admission_closures_;
+  r.peak_resident_fast_bytes = peak_resident_;
+  r.final_resident_fast_bytes = resident_;
+  r.admission_closed = admission_closed_;
+  r.keepalive = warm_.stats();
+  r.warm_count = warm_.warm_count();
+  return r;
+}
+
+}  // namespace toss

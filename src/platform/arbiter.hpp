@@ -1,0 +1,154 @@
+// Fleet-wide fast-tier budget arbiter (DESIGN.md §9).
+//
+// The engine's lanes are mutually isolated for determinism, but they share
+// one physical fast tier: the host's DRAM. The arbiter defends that budget
+// at the engine's epoch barrier, walking a graceful-degradation ladder when
+// the fleet's aggregate resident fast-tier bytes exceed it:
+//
+//   rung A  evict warm keep-alive VMs, lowest GDSF priority first
+//           (shedding warmth costs a future cold start, nothing else)
+//   rung B  demote the largest-footprint tiered function one rung:
+//           re-enter Step IV placement under a tightened fast-byte cap
+//           (rung 1 = demote_step x its unconstrained fast bytes,
+//            rung 2 = 0, i.e. a fully slow-tier snapshot)
+//   rung C  close admission: new arrivals are shed with kOverloaded until
+//           pressure subsides
+//
+// Recovery climbs the same ladder in reverse: admission reopens as soon as
+// the fleet fits again, and demoted functions are promoted LIFO — one per
+// epoch, and only when their recorded footprint at the target rung still
+// fits (hysteresis, so the fleet cannot demote/promote-flap).
+//
+// Every decision is made at the serial barrier in deterministic (lane
+// registration / GDSF map) order from simulated state only, so the ledger
+// of ArbiterEvents is bit-identical for any worker thread count.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/keepalive.hpp"
+
+namespace toss {
+
+struct ArbiterOptions {
+  /// Master switch; everything below is inert when false.
+  bool enabled = false;
+  /// Fleet fast-tier budget. 0 = use the SystemConfig's installed fast-tier
+  /// capacity (TierSpec::capacity_bytes), resolved by the engine.
+  u64 fast_budget_bytes = 0;
+  /// Slow-tier pool for warm VMs; effectively abundant (paper: 768 GB).
+  u64 slow_budget_bytes = 64 * kGiB;
+  /// Rung-1 demotion cap as a fraction of the function's unconstrained
+  /// fast-tier bytes; rung 2 is always fully slow.
+  double demote_step = 0.5;
+  /// Keep finished lanes' VMs warm (GDSF keep-alive) until evicted.
+  bool keepalive = true;
+};
+
+enum class ArbiterAction : u8 {
+  kEvictWarm = 0,    ///< rung A: a warm VM was evicted
+  kDemote,           ///< rung B: a function was re-tiered one rung down
+  kPromote,          ///< recovery: a function was re-tiered one rung up
+  kCloseAdmission,   ///< rung C: new arrivals will be shed
+  kOpenAdmission,    ///< recovery: admission re-opened
+};
+
+const char* arbiter_action_name(ArbiterAction action);
+
+/// One ledger entry. The sequence of events is part of the engine's
+/// determinism contract: identical for any thread count at a fixed seed.
+struct ArbiterEvent {
+  u64 epoch = 0;
+  std::string function;  ///< empty for admission open/close events
+  ArbiterAction action = ArbiterAction::kEvictWarm;
+  int rung = 0;             ///< rung after the action (demote/promote only)
+  u64 resident_bytes = 0;   ///< fleet resident fast bytes after the action
+
+  bool operator==(const ArbiterEvent&) const = default;
+};
+
+struct ArbiterReport {
+  std::vector<ArbiterEvent> events;  ///< decision ledger, in decision order
+  u64 demotions = 0;
+  u64 promotions = 0;
+  u64 keepalive_evictions = 0;
+  u64 admission_closures = 0;
+  u64 peak_resident_fast_bytes = 0;
+  u64 final_resident_fast_bytes = 0;
+  bool admission_closed = false;  ///< state at the end of the run
+  KeepAliveStats keepalive;
+  u64 warm_count = 0;  ///< VMs still warm at the end of the run
+};
+
+class FastTierArbiter {
+ public:
+  /// Demotion depth: 0 = unconstrained, 1 = demote_step cap, 2 = fully slow.
+  static constexpr int kMaxRung = 2;
+
+  /// Per-lane demand snapshot the engine hands the arbiter each epoch.
+  struct LaneDemand {
+    size_t lane = 0;                   ///< engine lane index
+    const std::string* name = nullptr;
+    bool active = false;         ///< has queued or future work this epoch
+    bool just_finished = false;  ///< drained its stream during this epoch
+    bool demotable = false;      ///< TOSS lane currently in kTiered
+    u64 fast_bytes = 0;          ///< fast-tier bytes one invocation pins
+    u64 slow_bytes = 0;
+    Nanos cold_cost_ns = 0;      ///< keep-alive benefit (last setup cost)
+  };
+
+  /// Re-tier hook: ask the engine to rebuild `lane`'s snapshot under
+  /// `max_fast_bytes` (nullopt = unconstrained). Returns the lane's new
+  /// resident fast bytes, or nullopt when the re-tier failed (the lane
+  /// keeps serving its current artifact).
+  using ApplyRung = std::function<std::optional<u64>(
+      size_t lane, int rung, std::optional<u64> max_fast_bytes)>;
+
+  /// `fast_budget_bytes` must already be resolved (non-zero).
+  FastTierArbiter(ArbiterOptions options, u64 fast_budget_bytes);
+
+  /// One barrier pass: account the fleet, then walk the ladder (down under
+  /// pressure, up — at most one promotion — when the fleet fits again).
+  void tick(u64 epoch, const std::vector<LaneDemand>& lanes,
+            const ApplyRung& apply);
+
+  bool admission_closed() const { return admission_closed_; }
+  int rung(size_t lane) const {
+    return lane < rung_.size() ? rung_[lane] : 0;
+  }
+  u64 resident_fast_bytes() const { return resident_; }
+  u64 budget_bytes() const { return budget_; }
+  const std::vector<ArbiterEvent>& events() const { return events_; }
+  ArbiterReport report() const;
+
+ private:
+  void ensure_lane(size_t lane);
+  void push_event(u64 epoch, std::string function, ArbiterAction action,
+                  int rung);
+
+  ArbiterOptions options_;
+  u64 budget_ = 0;
+  KeepAliveCache warm_;
+
+  std::vector<int> rung_;  ///< per engine lane index
+  /// Resident fast bytes observed at each rung, recorded as the lane moves
+  /// down the ladder; the promotion fit-check reads these back.
+  std::vector<std::array<u64, kMaxRung + 1>> bytes_at_rung_;
+  /// Demotion order; promotions pop LIFO (one stack entry per demotion).
+  std::vector<size_t> demote_stack_;
+
+  bool admission_closed_ = false;
+  u64 resident_ = 0;
+  u64 peak_resident_ = 0;
+  u64 demotions_ = 0;
+  u64 promotions_ = 0;
+  u64 keepalive_evictions_ = 0;
+  u64 admission_closures_ = 0;
+  std::vector<ArbiterEvent> events_;
+};
+
+}  // namespace toss

@@ -24,6 +24,18 @@
 // process up to `chunk` requests, and requeue it while requests remain.
 // Small chunks interleave lanes aggressively (fairness / tail latency);
 // `chunk` >= stream length degenerates to one task per function.
+//
+// Overload protection (DESIGN.md §9). When any overload knob is set
+// (bounded queues, deadlines, watchdog, or the fast-tier arbiter), run()
+// switches to an epoch-barrier scheduler: each epoch processes one chunk
+// per active lane in parallel (lanes stay isolated), then a serial barrier
+// enforces the global queue bound and ticks the arbiter in lane
+// registration order. Requests flow through a per-lane simulated-time
+// queue — arrivals are admitted when the lane's simulated clock reaches
+// Request::arrival_ns, bounded queues shed deterministically under the
+// configured DropPolicy, and work whose deadline already passed is shed
+// before wasting a restore. Every shed is typed (ErrorCode::kOverloaded)
+// and ledgered; the ledgers are bit-identical for any thread count.
 #pragma once
 
 #include <atomic>
@@ -34,11 +46,66 @@
 #include <string>
 #include <vector>
 
+#include "platform/arbiter.hpp"
 #include "platform/concurrency.hpp"
 #include "platform/metrics.hpp"
 #include "platform/platform.hpp"
 
 namespace toss {
+
+/// What a bounded lane queue sheds when full.
+enum class DropPolicy : u8 {
+  kTailDrop = 0,  ///< shed the newly arrived request
+  kOldestDrop,    ///< shed the head of the queue, admit the newcomer
+};
+
+const char* drop_policy_name(DropPolicy policy);
+
+/// Why a request was shed instead of served.
+enum class ShedCause : u8 {
+  kQueueFull = 0,     ///< per-lane queue at max_lane_queue
+  kGlobalOverload,    ///< global queue bound trimmed the longest lane queue
+  kAdmissionClosed,   ///< the arbiter closed admission (ladder rung C)
+  kDeadlineExpired,   ///< deadline already past when the request was popped
+};
+
+const char* shed_cause_name(ShedCause cause);
+
+/// One shed decision; part of the determinism contract (the sequence is
+/// bit-identical for any thread count at a fixed seed).
+struct ShedEvent {
+  size_t request_index = 0;  ///< index into the lane's request stream
+  ShedCause cause = ShedCause::kQueueFull;
+  Nanos sim_ns = 0;  ///< lane-local simulated time of the decision
+
+  bool operator==(const ShedEvent&) const = default;
+};
+
+/// The typed rejection a shed request would have surfaced to its caller.
+Error shed_error(const std::string& function, const ShedEvent& event);
+
+/// Per-lane admission/shedding ledger totals.
+struct OverloadStats {
+  u64 offered = 0;    ///< arrivals that reached admission control
+  u64 admitted = 0;   ///< arrivals that entered the queue
+  u64 completed = 0;  ///< requests actually served
+  u64 shed_queue_full = 0;
+  u64 shed_global = 0;
+  u64 shed_admission = 0;
+  u64 shed_deadline = 0;
+  /// Served past their deadline (admitted, not shed, but SLO-late).
+  u64 deadline_misses = 0;
+  u64 demotions = 0;   ///< arbiter re-tiered this lane down a rung
+  u64 promotions = 0;  ///< arbiter re-tiered this lane back up
+  u64 watchdog_trips = 0;
+  size_t queue_peak = 0;  ///< high-water mark of the lane queue
+
+  u64 total_shed() const {
+    return shed_queue_full + shed_global + shed_admission + shed_deadline;
+  }
+
+  bool operator==(const OverloadStats&) const = default;
+};
 
 struct EngineOptions {
   /// Worker threads for run(); 0 = ThreadPool::hardware_threads().
@@ -52,6 +119,30 @@ struct EngineOptions {
   /// a lane sees is identical for any thread count. Inert unless the build
   /// sets -DTOSS_FAULTS=ON.
   FaultPlan fault_plan;
+
+  // ---- Overload protection (any non-default knob engages the
+  // epoch-barrier scheduler; all defaults = legacy unbounded behavior) ----
+
+  /// Bound on each lane's admitted-but-unserved queue; 0 = unbounded.
+  size_t max_lane_queue = 0;
+  /// Bound on the fleet-wide sum of lane queue depths; 0 = unbounded.
+  size_t max_global_queue = 0;
+  DropPolicy drop_policy = DropPolicy::kTailDrop;
+  /// Shed queued requests whose Request::deadline_ns already passed
+  /// instead of wasting a restore on SLO-dead work.
+  bool enforce_deadlines = false;
+  /// Watchdog: when one lane chunk's simulated service time exceeds this
+  /// bound, the lane's circuit breaker is tripped open. 0 = off.
+  Nanos watchdog_chunk_budget_ns = 0;
+  /// Fleet fast-tier budget arbiter (platform/arbiter.hpp).
+  ArbiterOptions arbiter;
+  /// Keep per-lane ShedEvent ledgers in the report.
+  bool keep_shed_events = true;
+
+  bool overload_protection() const {
+    return max_lane_queue > 0 || max_global_queue > 0 || enforce_deadlines ||
+           watchdog_chunk_budget_ns > 0 || arbiter.enabled;
+  }
 };
 
 struct FunctionReport {
@@ -61,6 +152,11 @@ struct FunctionReport {
   TossPhase final_phase = TossPhase::kInitial;  ///< kToss lanes only
   /// Request-order outcomes; empty unless EngineOptions::keep_outcomes.
   std::vector<InvocationOutcome> outcomes;
+  /// Admission/shedding ledger; all-zero under the legacy scheduler.
+  OverloadStats overload;
+  /// Shed decisions in decision order; empty unless keep_shed_events and
+  /// the overload scheduler ran.
+  std::vector<ShedEvent> shed_events;
 };
 
 struct EngineReport {
@@ -71,8 +167,11 @@ struct EngineReport {
   /// so tests assert the serialization guarantee instead of trusting it.
   u64 serialization_violations = 0;
   MetricsSnapshot metrics;
+  /// Fleet arbiter ledger; all-default unless EngineOptions::arbiter.enabled.
+  ArbiterReport arbiter;
 
   u64 total_invocations() const;
+  u64 total_shed() const;
   const FunctionReport* find(const std::string& name) const;
 };
 
@@ -124,11 +223,32 @@ class PlatformEngine {
     std::vector<InvocationOutcome> outcomes;
     FunctionSeries* series = nullptr;
     std::atomic<int> in_flight{0};
+
+    // Overload-scheduler state (untouched on the legacy path).
+    std::deque<size_t> queue;  ///< admitted, unserved request indices
+    size_t arrived = 0;        ///< requests[0..arrived) reached admission
+    Nanos sim_now = 0;         ///< lane-local simulated clock
+    Nanos last_setup_ns = 0;   ///< keep-alive cold-cost estimate
+    OverloadStats overload;
+    std::vector<ShedEvent> shed_events;
+    bool finish_reported = false;  ///< keep-alive insert happened
+    int rung = 0;                  ///< arbiter demotion rung
+
+    bool drained() const { return arrived >= requests.size() && queue.empty(); }
   };
 
   void process_chunk(Lane& lane);
   void scheduler_loop();
   void record_error(ErrorCode code, std::string message);
+
+  // Epoch-barrier overload scheduler (engaged by overload_protection()).
+  Result<EngineReport> run_epochs(int threads);
+  void process_chunk_overload(Lane& lane, bool admission_closed);
+  void admit_arrivals(Lane& lane, bool admission_closed);
+  void shed(Lane& lane, size_t request_index, ShedCause cause);
+  void enforce_global_queue_bound();
+  void arbiter_tick(FastTierArbiter& arbiter, u64 epoch);
+  EngineReport assemble_report(int threads, Nanos wall_ns);
 
   SystemConfig cfg_;
   PricingPlan pricing_;

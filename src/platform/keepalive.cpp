@@ -39,28 +39,35 @@ void KeepAliveCache::evict(const std::string& function) {
   remove_entry(function);
 }
 
+std::optional<std::string> KeepAliveCache::evict_lowest() {
+  // Evict the lowest-priority warm VM and advance the aging clock to its
+  // priority (classic Greedy-Dual). Ties break on the map's lexicographic
+  // name order, which keeps the choice deterministic.
+  auto victim = entries_.end();
+  double lowest = std::numeric_limits<double>::infinity();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.priority < lowest) {
+      lowest = it->second.priority;
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) return std::nullopt;
+  std::string name = victim->first;
+  clock_ = victim->second.priority;
+  dram_used_ -= victim->second.dram_bytes;
+  slow_used_ -= victim->second.slow_bytes;
+  entries_.erase(victim);
+  ++stats_.evictions;
+  return name;
+}
+
 bool KeepAliveCache::make_room(u64 dram_bytes, u64 slow_bytes) {
   if (dram_bytes > cfg_.dram_capacity_bytes ||
       slow_bytes > cfg_.slow_capacity_bytes)
     return false;
   while (dram_used_ + dram_bytes > cfg_.dram_capacity_bytes ||
          slow_used_ + slow_bytes > cfg_.slow_capacity_bytes) {
-    // Evict the lowest-priority warm VM and advance the aging clock to its
-    // priority (classic Greedy-Dual).
-    auto victim = entries_.end();
-    double lowest = std::numeric_limits<double>::infinity();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.priority < lowest) {
-        lowest = it->second.priority;
-        victim = it;
-      }
-    }
-    if (victim == entries_.end()) return false;  // nothing left to evict
-    clock_ = victim->second.priority;
-    dram_used_ -= victim->second.dram_bytes;
-    slow_used_ -= victim->second.slow_bytes;
-    entries_.erase(victim);
-    ++stats_.evictions;
+    if (!evict_lowest()) return false;  // nothing left to evict
   }
   return true;
 }

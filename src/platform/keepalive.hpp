@@ -55,6 +55,12 @@ class KeepAliveCache {
   /// Explicitly evict one function (e.g. re-profiling invalidated it).
   void evict(const std::string& function);
 
+  /// Evict the single lowest-priority warm VM (the arbiter's first ladder
+  /// rung — shedding warmth is cheaper than re-tiering). Advances the aging
+  /// clock and counts the eviction like capacity pressure would. Returns
+  /// the evicted function's name, or nullopt when the cache is empty.
+  std::optional<std::string> evict_lowest();
+
   bool contains(const std::string& function) const;
   size_t warm_count() const { return entries_.size(); }
   u64 dram_in_use() const { return dram_used_; }

@@ -141,6 +141,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     m.breaker_suspended =
         s->breaker_suspended.load(std::memory_order_relaxed);
     m.incomplete = s->incomplete.load(std::memory_order_relaxed);
+    m.admitted = s->admitted.load(std::memory_order_relaxed);
+    m.shed_queue_full = s->shed_queue_full.load(std::memory_order_relaxed);
+    m.shed_queue_global =
+        s->shed_queue_global.load(std::memory_order_relaxed);
+    m.shed_admission = s->shed_admission.load(std::memory_order_relaxed);
+    m.shed_deadline = s->shed_deadline.load(std::memory_order_relaxed);
+    m.deadline_misses = s->deadline_misses.load(std::memory_order_relaxed);
+    m.demotions = s->demotions.load(std::memory_order_relaxed);
+    m.promotions = s->promotions.load(std::memory_order_relaxed);
+    m.watchdog_trips = s->watchdog_trips.load(std::memory_order_relaxed);
     m.total_ns = s->total_ns.snapshot();
     m.setup_ns = s->setup_ns.snapshot();
     m.exec_ns = s->exec_ns.snapshot();
@@ -179,7 +189,8 @@ void append_histogram(std::string& out, const char* key,
 }  // namespace
 
 std::string MetricsSnapshot::to_json() const {
-  std::string out = "{\"functions\":[";
+  std::string out =
+      "{\"schema\":" + std::to_string(kJsonSchemaVersion) + ",\"functions\":[";
   for (size_t i = 0; i < functions.size(); ++i) {
     const FunctionMetrics& m = functions[i];
     if (i) out += ",";
@@ -210,6 +221,23 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(m.breaker_suspended),
                   static_cast<unsigned long long>(m.incomplete));
     out += buf;
+    char obuf[384];
+    std::snprintf(obuf, sizeof(obuf),
+                  "\"overload\":{\"admitted\":%llu,\"shed_queue_full\":%llu,"
+                  "\"shed_queue_global\":%llu,\"shed_admission\":%llu,"
+                  "\"shed_deadline\":%llu,\"deadline_misses\":%llu,"
+                  "\"demotions\":%llu,\"promotions\":%llu,"
+                  "\"watchdog_trips\":%llu},",
+                  static_cast<unsigned long long>(m.admitted),
+                  static_cast<unsigned long long>(m.shed_queue_full),
+                  static_cast<unsigned long long>(m.shed_queue_global),
+                  static_cast<unsigned long long>(m.shed_admission),
+                  static_cast<unsigned long long>(m.shed_deadline),
+                  static_cast<unsigned long long>(m.deadline_misses),
+                  static_cast<unsigned long long>(m.demotions),
+                  static_cast<unsigned long long>(m.promotions),
+                  static_cast<unsigned long long>(m.watchdog_trips));
+    out += obuf;
     append_histogram(out, "total_ns", m.total_ns);
     out += ",";
     append_histogram(out, "setup_ns", m.setup_ns);

@@ -72,6 +72,18 @@ struct FunctionSeries {
   std::atomic<u64> regenerations{0};
   std::atomic<u64> breaker_suspended{0};
   std::atomic<u64> incomplete{0};
+  // Overload-control counters (all zero under the legacy scheduler). The
+  // engine increments these directly; like everything else here they are
+  // commutative relaxed adds, so totals are thread-count independent.
+  std::atomic<u64> admitted{0};
+  std::atomic<u64> shed_queue_full{0};
+  std::atomic<u64> shed_queue_global{0};
+  std::atomic<u64> shed_admission{0};
+  std::atomic<u64> shed_deadline{0};
+  std::atomic<u64> deadline_misses{0};
+  std::atomic<u64> demotions{0};
+  std::atomic<u64> promotions{0};
+  std::atomic<u64> watchdog_trips{0};
   LatencyHistogram total_ns;
   LatencyHistogram setup_ns;
   LatencyHistogram exec_ns;
@@ -94,12 +106,26 @@ struct FunctionMetrics {
   u64 regenerations = 0;
   u64 breaker_suspended = 0;
   u64 incomplete = 0;
+  u64 admitted = 0;
+  u64 shed_queue_full = 0;
+  u64 shed_queue_global = 0;
+  u64 shed_admission = 0;
+  u64 shed_deadline = 0;
+  u64 deadline_misses = 0;
+  u64 demotions = 0;
+  u64 promotions = 0;
+  u64 watchdog_trips = 0;
   LatencyHistogram::Snapshot total_ns;
   LatencyHistogram::Snapshot setup_ns;
   LatencyHistogram::Snapshot exec_ns;
 };
 
 struct MetricsSnapshot {
+  /// Layout version of to_json() (the top-level "schema" key). Version 2
+  /// added the per-function "overload" block; see DESIGN.md §9 for the
+  /// full layout. Consumers should ignore unknown keys.
+  static constexpr int kJsonSchemaVersion = 2;
+
   std::vector<FunctionMetrics> functions;  ///< registration order
 
   u64 total_invocations() const;

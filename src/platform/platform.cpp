@@ -305,4 +305,29 @@ const CircuitBreaker* ServerlessPlatform::breaker(
   return it == functions_.end() ? nullptr : &it->second.breaker;
 }
 
+TossFunction* ServerlessPlatform::toss_state_mutable(const std::string& name) {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : it->second.toss.get();
+}
+
+ServerlessPlatform::ResidentBytes ServerlessPlatform::resident_bytes(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) return {};
+  const FunctionRuntime& rt = it->second;
+  if (rt.kind == PolicyKind::kToss && rt.toss)
+    return {rt.toss->fast_resident_bytes(), rt.toss->slow_resident_bytes()};
+  // Baselines restore (or boot) the whole image into DRAM; REAP/FaaSnap
+  // prefetch less up front but fault the rest in on demand, so the steady
+  // state resident set is still the full image.
+  return {rt.model.guest_bytes(), 0};
+}
+
+bool ServerlessPlatform::trip_breaker(const std::string& name) {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) return false;
+  it->second.breaker.trip();
+  return true;
+}
+
 }  // namespace toss

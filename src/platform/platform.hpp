@@ -155,6 +155,22 @@ class ServerlessPlatform {
   const FunctionStats& stats(const std::string& name) const;
   /// nullptr for unknown names or non-TOSS functions.
   const TossFunction* toss_state(const std::string& name) const;
+  /// Mutable variant, for the overload arbiter's retier() hook.
+  TossFunction* toss_state_mutable(const std::string& name);
+
+  /// Per-tier bytes one invocation of `name` pins while running (DESIGN.md
+  /// §9). TOSS functions delegate to TossFunction's phase-aware accounting;
+  /// baselines always restore the whole image into DRAM. Unknown names
+  /// report zeros.
+  struct ResidentBytes {
+    u64 fast = 0;
+    u64 slow = 0;
+  };
+  ResidentBytes resident_bytes(const std::string& name) const;
+
+  /// Watchdog hook: force the function's circuit breaker open. Returns
+  /// false for unknown names.
+  bool trip_breaker(const std::string& name);
   /// nullptr for unknown names.
   const CircuitBreaker* breaker(const std::string& name) const;
   /// nullptr unless a non-empty FaultPlan was attached at construction.

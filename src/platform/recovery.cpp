@@ -18,6 +18,11 @@ void CircuitBreaker::open() {
   ++opened_count_;
 }
 
+void CircuitBreaker::trip() {
+  if (state_ == State::kOpen) return;
+  open();
+}
+
 void CircuitBreaker::observe(bool degraded) {
   switch (state_) {
     case State::kClosed:

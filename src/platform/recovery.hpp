@@ -39,6 +39,11 @@ class CircuitBreaker {
   /// recovery ladder (retries, fallback, or a quarantine).
   void observe(bool degraded);
 
+  /// Force the breaker open regardless of the failure streak — the engine
+  /// watchdog trips a lane whose chunk blew its simulated-time budget.
+  /// No-op while already open (the trip is counted only on a transition).
+  void trip();
+
   State state() const { return state_; }
   /// Times the breaker transitioned closed/half-open -> open.
   u64 opened_count() const { return opened_count_; }

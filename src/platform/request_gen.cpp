@@ -1,5 +1,7 @@
 #include "platform/request_gen.hpp"
 
+#include <cmath>
+
 namespace toss {
 
 std::vector<Request> RequestGenerator::fixed(size_t n, int input, u64 seed) {
@@ -51,6 +53,23 @@ std::vector<Request> RequestGenerator::round_robin(size_t n, u64 seed) {
   for (size_t i = 0; i < n; ++i)
     out.push_back(Request{static_cast<int>(i % kNumInputs), rng.next()});
   return out;
+}
+
+std::vector<Request> RequestGenerator::open_loop(std::vector<Request> requests,
+                                                 Nanos mean_gap_ns,
+                                                 Nanos relative_deadline_ns,
+                                                 u64 seed) {
+  Rng rng(seed);
+  Nanos now = 0;
+  for (Request& r : requests) {
+    // Inverse-CDF exponential gap; next_double() < 1 keeps the log finite.
+    const double u = rng.next_double();
+    now += mean_gap_ns <= 0 ? 0 : -mean_gap_ns * std::log(1.0 - u);
+    r.arrival_ns = now;
+    r.deadline_ns =
+        relative_deadline_ns > 0 ? now + relative_deadline_ns : 0.0;
+  }
+  return requests;
 }
 
 }  // namespace toss

@@ -15,6 +15,15 @@ namespace toss {
 struct Request {
   int input = 0;
   u64 seed = 0;
+  /// Open-loop arrival time on the owning lane's simulated clock. 0 (the
+  /// default) means "available immediately", which preserves the closed-loop
+  /// behaviour of every pre-existing generator. Streams handed to
+  /// PlatformEngine::add must be sorted by arrival_ns.
+  Nanos arrival_ns = 0;
+  /// Absolute SLO deadline on the same clock; 0 = no deadline. Work still
+  /// queued past its deadline is shed (never restored) when
+  /// EngineOptions::enforce_deadlines is set.
+  Nanos deadline_ns = 0;
 };
 
 class RequestGenerator {
@@ -31,6 +40,17 @@ class RequestGenerator {
 
   /// Round-robin over all inputs (deterministic coverage).
   static std::vector<Request> round_robin(size_t n, u64 seed);
+
+  /// Turn a closed-loop stream into an open-loop arrival schedule: each
+  /// request gets a deterministic pseudo-Poisson arrival gap with mean
+  /// `mean_gap_ns` (drawn from a seeded Rng, so the schedule is
+  /// bit-reproducible) and, when `relative_deadline_ns` > 0, an absolute
+  /// deadline of arrival + relative_deadline_ns. Shrinking the mean gap
+  /// raises the offered load without touching the work itself — the knob
+  /// the overload bench sweeps.
+  static std::vector<Request> open_loop(std::vector<Request> requests,
+                                        Nanos mean_gap_ns,
+                                        Nanos relative_deadline_ns, u64 seed);
 };
 
 }  // namespace toss

@@ -7,6 +7,7 @@
 //
 //   ServerlessPlatform / FunctionRegistration / PolicyKind   single host
 //   PlatformEngine / EngineOptions / EngineReport            fleet engine
+//   ArbiterOptions / ArbiterReport / ShedEvent               overload control
 //   TossOptions / TossFunction / TossPhase                   the TOSS core
 //   InvocationOutcome / FunctionStats / Result / Error       call results
 //   MetricsRegistry / MetricsSnapshot                        observability
@@ -18,6 +19,7 @@
 // tier_snapshot, run_concurrent).
 #pragma once
 
+#include "platform/arbiter.hpp"
 #include "platform/concurrency.hpp"
 #include "platform/engine.hpp"
 #include "platform/errors.hpp"

@@ -36,6 +36,7 @@ enum class ErrorCode : u8 {
   kSnapshotCorrupted,  ///< checksum mismatch / truncated tier or layout file
   kTransientIo,        ///< torn write, mmap failure: retryable
   kExecutionCrashed,   ///< guest crashed mid-invocation: retryable
+  kOverloaded,         ///< admission control shed the request (retry later)
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -49,6 +50,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kSnapshotCorrupted: return "snapshot_corrupted";
     case ErrorCode::kTransientIo: return "transient_io";
     case ErrorCode::kExecutionCrashed: return "execution_crashed";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "?";
 }

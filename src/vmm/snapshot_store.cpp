@@ -102,6 +102,20 @@ Result<void> SnapshotStore::verify_tiered(u64 file_id) const {
   return {};
 }
 
+u64 SnapshotStore::resident_fast_bytes(u64 file_id) const {
+  if (const TieredSnapshot* t = get_tiered(file_id))
+    return bytes_for_pages(t->fast_pages());
+  if (const SingleTierSnapshot* s = get_single_tier(file_id))
+    return s->memory_bytes();
+  return 0;
+}
+
+u64 SnapshotStore::resident_slow_bytes(u64 file_id) const {
+  if (const TieredSnapshot* t = get_tiered(file_id))
+    return bytes_for_pages(t->slow_pages());
+  return 0;
+}
+
 void SnapshotStore::quarantine_tiered(u64 file_id) {
   const u64 fast_id = resolve_tiered(file_id);
   if (tiered_.count(fast_id) == 0) return;

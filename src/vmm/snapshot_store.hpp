@@ -74,6 +74,13 @@ class SnapshotStore {
   /// the first violation otherwise.
   Result<void> verify_tiered(u64 file_id) const;
 
+  /// Fast/slow-tier bytes a restore of this snapshot id pins resident.
+  /// Tiered ids (either alias) report the per-tier file sizes; single-tier
+  /// ids pin the whole image in DRAM; unknown ids report 0. Used by the
+  /// overload arbiter's fleet accounting.
+  u64 resident_fast_bytes(u64 file_id) const;
+  u64 resident_slow_bytes(u64 file_id) const;
+
   /// Mark a tiered artifact unreadable (checksum failure). Idempotent.
   void quarantine_tiered(u64 file_id);
   bool is_quarantined(u64 file_id) const;

@@ -1,0 +1,13 @@
+// Fixture: bare condition-variable wait with no predicate — hangs forever
+// on a missed notify (unbounded-wait).
+#include <condition_variable>
+#include <mutex>
+
+namespace bad {
+
+void stall_forever(std::condition_variable& cv, std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock);
+}
+
+}  // namespace bad

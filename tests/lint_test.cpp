@@ -81,6 +81,9 @@ TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
   EXPECT_NE(run.output.find("src/core/bad_catch.cpp:20 swallowed-error"),
             std::string::npos)
       << run.output;
+  EXPECT_NE(run.output.find("src/platform/bad_wait.cpp:10 unbounded-wait"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(TossLint, CleanProjectPasses) {
@@ -101,6 +104,9 @@ TEST(TossLint, SuppressionIsPerRule) {
   EXPECT_EQ(clean.output.find("pragma-once"), std::string::npos)
       << clean.output;
   EXPECT_EQ(clean.output.find("swallowed-error"), std::string::npos)
+      << clean.output;
+  // good_wait.cpp: predicate waits and one allow(unbounded-wait) trailer.
+  EXPECT_EQ(clean.output.find("unbounded-wait"), std::string::npos)
       << clean.output;
 }
 

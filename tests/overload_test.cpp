@@ -1,0 +1,504 @@
+// Tests for overload robustness (DESIGN.md §9): the fast-tier budget
+// arbiter's degradation ladder, bounded admission queues under a 10x
+// offered load, deadline-aware shedding, the lane watchdog, and the
+// determinism contract — shed/demote/recover ledgers must be bit-identical
+// for any worker thread count at a fixed seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/engine.hpp"
+#include "util/error.hpp"
+#include "workloads/functions.hpp"
+
+namespace toss {
+namespace {
+
+TossOptions fast_toss() {
+  TossOptions opt;
+  opt.stable_invocations = 4;
+  opt.max_profiling_invocations = 30;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// FastTierArbiter unit tests: the ladder in isolation, with synthetic lane
+// demands and a scripted re-tier hook.
+// ---------------------------------------------------------------------------
+
+FastTierArbiter::LaneDemand demand(size_t lane, const std::string& name,
+                                   u64 fast_bytes, bool active = true,
+                                   bool demotable = true) {
+  FastTierArbiter::LaneDemand d;
+  d.lane = lane;
+  d.name = &name;
+  d.active = active;
+  d.demotable = demotable;
+  d.fast_bytes = fast_bytes;
+  return d;
+}
+
+TEST(Arbiter, DemotesLargestFirstAndPromotesLifoOnePerTick) {
+  ArbiterOptions opt;
+  opt.enabled = true;
+  opt.keepalive = false;
+  opt.demote_step = 0.5;
+  FastTierArbiter arb(opt, /*fast_budget_bytes=*/50);
+  const std::string f0 = "f0", f1 = "f1";
+
+  // Record every re-tier the arbiter asks for: (lane, rung, cap).
+  struct Call {
+    size_t lane;
+    int rung;
+    std::optional<u64> cap;
+  };
+  std::vector<Call> calls;
+  const auto apply = [&](size_t lane, int rung,
+                         std::optional<u64> cap) -> std::optional<u64> {
+    calls.push_back({lane, rung, cap});
+    return cap.value_or(80);  // pretend the placement lands exactly on cap
+  };
+
+  // Tick 0: f0=80 + f1=20 = 100 > 50. Ladder: f0 -> rung 1 (cap 40, still
+  // 60 > 50), then f0 again (largest at 40 > 20) -> rung 2 (cap 0) = 20.
+  arb.tick(0, {demand(0, f0, 80), demand(1, f1, 20, true, false)}, apply);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].lane, 0u);
+  EXPECT_EQ(calls[0].rung, 1);
+  EXPECT_EQ(calls[0].cap, std::optional<u64>(40));
+  EXPECT_EQ(calls[1].rung, 2);
+  EXPECT_EQ(calls[1].cap, std::optional<u64>(0));
+  EXPECT_EQ(arb.rung(0), 2);
+  EXPECT_EQ(arb.resident_fast_bytes(), 20u);
+  EXPECT_FALSE(arb.admission_closed());
+
+  // Tick 1: f1 gone, f0 still demoted to 0 bytes. Recovery promotes one
+  // rung per tick: rung 2 -> 1 under the recorded rung-1 cap (fits: 40).
+  calls.clear();
+  arb.tick(1, {demand(0, f0, 0)}, apply);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].rung, 1);
+  EXPECT_EQ(calls[0].cap, std::optional<u64>(40));
+  EXPECT_EQ(arb.rung(0), 1);
+
+  // Tick 2: rung 1 -> 0 would restore 80 bytes > 50: hysteresis holds it.
+  calls.clear();
+  arb.tick(2, {demand(0, f0, 40)}, apply);
+  EXPECT_TRUE(calls.empty());
+  EXPECT_EQ(arb.rung(0), 1);
+
+  const ArbiterReport r = arb.report();
+  EXPECT_EQ(r.demotions, 2u);
+  EXPECT_EQ(r.promotions, 1u);
+  EXPECT_EQ(r.peak_resident_fast_bytes, 100u);
+  EXPECT_EQ(r.events.size(), 3u);
+}
+
+TEST(Arbiter, EvictsWarmthBeforeDemotingAnyone) {
+  ArbiterOptions opt;
+  opt.enabled = true;
+  opt.keepalive = true;
+  FastTierArbiter arb(opt, 100);
+  const std::string active = "active", finished = "finished";
+  size_t retiers = 0;
+  const auto apply = [&](size_t, int, std::optional<u64>) -> std::optional<u64> {
+    ++retiers;
+    return std::nullopt;
+  };
+
+  // The finished lane parks a 50-byte warm VM; with the active lane's 60
+  // bytes the fleet is 10 over budget. Rung A (evict warmth) must resolve
+  // it without a single re-tier.
+  FastTierArbiter::LaneDemand done = demand(1, finished, 50, false, false);
+  done.just_finished = true;
+  done.cold_cost_ns = ms(1);
+  arb.tick(0, {demand(0, active, 60), done}, apply);
+
+  EXPECT_EQ(retiers, 0u);
+  EXPECT_EQ(arb.resident_fast_bytes(), 60u);
+  const ArbiterReport r = arb.report();
+  EXPECT_EQ(r.keepalive_evictions, 1u);
+  EXPECT_EQ(r.demotions, 0u);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].action, ArbiterAction::kEvictWarm);
+  EXPECT_EQ(r.events[0].function, finished);
+}
+
+TEST(Arbiter, ClosesAdmissionWhenLadderExhaustedAndReopens) {
+  ArbiterOptions opt;
+  opt.enabled = true;
+  FastTierArbiter arb(opt, 100);
+  const std::string f0 = "profiling";
+  size_t retiers = 0;
+  const auto apply = [&](size_t, int, std::optional<u64>) -> std::optional<u64> {
+    ++retiers;
+    return std::nullopt;
+  };
+
+  // A profiling lane (not demotable) pins 200 bytes: nothing to evict,
+  // nothing to demote -> rung C.
+  arb.tick(0, {demand(0, f0, 200, true, false)}, apply);
+  EXPECT_TRUE(arb.admission_closed());
+  EXPECT_EQ(retiers, 0u);
+
+  // Sustained pressure is one closure, not one per tick.
+  arb.tick(1, {demand(0, f0, 200, true, false)}, apply);
+  EXPECT_EQ(arb.report().admission_closures, 1u);
+
+  // Pressure subsides (the lane tiered at 50 bytes): admission reopens.
+  arb.tick(2, {demand(0, f0, 50, true, false)}, apply);
+  EXPECT_FALSE(arb.admission_closed());
+
+  const auto& ev = arb.report().events;
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].action, ArbiterAction::kCloseAdmission);
+  EXPECT_EQ(ev[1].action, ArbiterAction::kOpenAdmission);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: bounded queues, deadlines, watchdog, arbiter ladder,
+// and cross-thread-count determinism of every ledger.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PlatformEngine> single_lane(const EngineOptions& opts,
+                                            std::vector<Request> stream,
+                                            const std::string& suffix = "") {
+  auto engine = std::make_unique<PlatformEngine>(
+      SystemConfig::paper_default(), PricingPlan{}, opts);
+  FunctionSpec spec = workloads::all_functions()[0];
+  spec.name += suffix;
+  EXPECT_TRUE(engine
+                  ->add(FunctionRegistration(std::move(spec))
+                            .policy(PolicyKind::kToss)
+                            .toss(fast_toss())
+                            .seed(42),
+                        std::move(stream))
+                  .ok());
+  return engine;
+}
+
+TEST(Overload, BoundedQueueNeverExceedsDepthAndShedsDeterministically) {
+  // ~10x offered load: microsecond arrival gaps against millisecond-scale
+  // service times, into a queue bounded at depth 4.
+  constexpr size_t kDepth = 4;
+  constexpr size_t kRequests = 60;
+  EngineOptions opts;
+  opts.max_lane_queue = kDepth;
+  opts.chunk = 4;
+  const auto stream = [] {
+    return RequestGenerator::open_loop(RequestGenerator::round_robin(60, 9),
+                                       us(1), 0, 9);
+  };
+
+  auto engine = single_lane(opts, stream());
+  const EngineReport report = engine->run(1).value();
+  ASSERT_EQ(report.functions.size(), 1u);
+  const FunctionReport& f = report.functions[0];
+
+  EXPECT_EQ(f.overload.offered, kRequests);
+  EXPECT_LE(f.overload.queue_peak, kDepth);
+  EXPECT_GT(f.overload.total_shed(), 0u);
+  EXPECT_EQ(f.overload.offered,
+            f.overload.completed + f.overload.total_shed());
+  EXPECT_EQ(f.overload.completed, f.stats.invocations);
+  EXPECT_EQ(f.shed_events.size(), f.overload.total_shed());
+  for (const ShedEvent& e : f.shed_events)
+    EXPECT_EQ(e.cause, ShedCause::kQueueFull);
+
+  // Same configuration, fresh engine: the shed ledger is reproducible.
+  auto again = single_lane(opts, stream());
+  const EngineReport repeat = again->run(1).value();
+  EXPECT_EQ(repeat.functions[0].shed_events, f.shed_events);
+  EXPECT_EQ(repeat.functions[0].overload, f.overload);
+
+  // Oldest-drop keeps newcomers: same bound, different victims.
+  EngineOptions oldest = opts;
+  oldest.drop_policy = DropPolicy::kOldestDrop;
+  const EngineReport od = single_lane(oldest, stream())->run(1).value();
+  const FunctionReport& g = od.functions[0];
+  EXPECT_LE(g.overload.queue_peak, kDepth);
+  EXPECT_EQ(g.overload.offered,
+            g.overload.completed + g.overload.total_shed());
+  EXPECT_GT(g.overload.total_shed(), 0u);
+  EXPECT_NE(g.shed_events, f.shed_events);
+  // The newest request always wins a slot under oldest-drop.
+  for (const ShedEvent& e : g.shed_events)
+    EXPECT_NE(e.request_index, kRequests - 1);
+}
+
+TEST(Overload, DeadlineExpiredWorkIsShedBeforeRestore) {
+  EngineOptions opts;
+  opts.enforce_deadlines = true;
+  auto engine = single_lane(
+      opts, RequestGenerator::open_loop(RequestGenerator::round_robin(30, 5),
+                                        us(1), /*relative_deadline_ns=*/us(200),
+                                        5));
+  const EngineReport report = engine->run(1).value();
+  const FunctionReport& f = report.functions[0];
+
+  // The first pop starts before its deadline and is served (late: an SLO
+  // miss, not a shed); everything queued behind a millisecond-scale service
+  // time is already SLO-dead and must be shed without costing a restore.
+  EXPECT_GE(f.overload.completed, 1u);
+  EXPECT_GT(f.overload.shed_deadline, 0u);
+  EXPECT_GE(f.overload.deadline_misses, 1u);
+  EXPECT_EQ(f.stats.invocations, f.overload.completed);
+  EXPECT_EQ(f.outcomes.size(), f.overload.completed);
+
+  // Shed requests surface as typed, non-transient rejections.
+  ASSERT_FALSE(f.shed_events.empty());
+  const Error err = shed_error(f.name, f.shed_events[0]);
+  EXPECT_EQ(err.code(), ErrorCode::kOverloaded);
+  EXPECT_NE(std::string(err.what()).find("shed"), std::string::npos);
+  EXPECT_FALSE(is_transient(ErrorCode::kOverloaded));
+
+  // Metrics mirror the ledger under the schema-2 layout.
+  const std::string json = report.metrics.to_json();
+  EXPECT_NE(json.find("\"schema\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"overload\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"shed_deadline\":"), std::string::npos);
+}
+
+TEST(Overload, GlobalQueueBoundTrimsTheLongestLane) {
+  EngineOptions opts;
+  opts.max_global_queue = 6;
+  opts.chunk = 2;
+  auto engine = std::make_unique<PlatformEngine>(
+      SystemConfig::paper_default(), PricingPlan{}, opts);
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  for (size_t i = 0; i < 3; ++i) {
+    FunctionSpec spec = base[i % base.size()];
+    spec.name += "#" + std::to_string(i);
+    ASSERT_TRUE(engine
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(PolicyKind::kToss)
+                              .toss(fast_toss())
+                              .seed(7 + i),
+                          RequestGenerator::open_loop(
+                              RequestGenerator::round_robin(40, 11 + i),
+                              us(1), 0, 11 + i))
+                    .ok());
+  }
+  const EngineReport report = engine->run(2).value();
+  u64 shed_global = 0;
+  for (const FunctionReport& f : report.functions) {
+    shed_global += f.overload.shed_global;
+    EXPECT_EQ(f.overload.offered,
+              f.overload.completed + f.overload.total_shed())
+        << f.name;
+  }
+  EXPECT_GT(shed_global, 0u);
+  EXPECT_EQ(report.total_shed(), shed_global);
+}
+
+TEST(Overload, WatchdogTripsTheLaneBreaker) {
+  EngineOptions opts;
+  opts.watchdog_chunk_budget_ns = 1;  // any non-empty chunk blows the bound
+  auto engine = single_lane(opts, RequestGenerator::round_robin(20, 3));
+  const EngineReport report = engine->run(1).value();
+  const FunctionReport& f = report.functions[0];
+
+  EXPECT_GT(f.overload.watchdog_trips, 0u);
+  EXPECT_EQ(f.overload.completed, 20u);  // degraded, not dropped
+  const ServerlessPlatform* host = engine->lane_host(f.name);
+  ASSERT_NE(host, nullptr);
+  ASSERT_NE(host->breaker(f.name), nullptr);
+  EXPECT_GT(host->breaker(f.name)->opened_count(), 0u);
+
+  const FunctionMetrics* m = report.metrics.find(f.name);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->watchdog_trips, f.overload.watchdog_trips);
+}
+
+TEST(Overload, ArbiterDemotesUntilFleetFitsAndRecovers) {
+  // Probe the unconstrained tiered footprint of the spec all three lanes
+  // share (same seed + stream prefix -> identical placements).
+  u64 unconstrained = 0;
+  {
+    auto probe = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
+                                                  PricingPlan{},
+                                                  EngineOptions{});
+    FunctionSpec spec = workloads::all_functions()[0];
+    const std::string name = spec.name;
+    ASSERT_TRUE(probe
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(PolicyKind::kToss)
+                              .toss(fast_toss())
+                              .seed(42),
+                          RequestGenerator::round_robin(40, 9))
+                    .ok());
+    ASSERT_TRUE(probe->run(1).ok());
+    ASSERT_NE(probe->toss_state(name), nullptr);
+    ASSERT_EQ(probe->toss_state(name)->phase(), TossPhase::kTiered);
+    unconstrained = probe->toss_state(name)->fast_resident_bytes();
+  }
+  ASSERT_GT(unconstrained, 0u);
+
+  // Budget fits 1.5 identical lanes: with three active, the arbiter must
+  // demote; once two finish, the survivor gets promoted back.
+  const u64 budget = unconstrained + unconstrained / 2;
+  EngineOptions opts;
+  opts.chunk = 2;
+  opts.arbiter.enabled = true;
+  opts.arbiter.fast_budget_bytes = budget;
+  opts.arbiter.keepalive = false;
+  auto engine = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
+                                                 PricingPlan{}, opts);
+  const size_t lengths[] = {80, 40, 40};
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 3; ++i) {
+    FunctionSpec spec = workloads::all_functions()[0];
+    spec.name += "#" + std::to_string(i);
+    names.push_back(spec.name);
+    ASSERT_TRUE(engine
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(PolicyKind::kToss)
+                              .toss(fast_toss())
+                              .seed(42),
+                          RequestGenerator::round_robin(lengths[i], 9))
+                    .ok());
+  }
+  const EngineReport report = engine->run(2).value();
+  const ArbiterReport& arb = report.arbiter;
+
+  EXPECT_GE(arb.demotions, 1u);
+  EXPECT_GE(arb.promotions, 1u);
+  EXPECT_GT(arb.peak_resident_fast_bytes, budget);
+  EXPECT_LE(arb.final_resident_fast_bytes, budget);
+  EXPECT_FALSE(arb.admission_closed);
+  // Profiling pins whole guest images far past the budget, and nothing is
+  // demotable yet: the ladder bottoms out in a (harmless — everything had
+  // already been admitted) admission closure, then reopens.
+  EXPECT_GE(arb.admission_closures, 1u);
+
+  // Ledger totals match the counters, and within an epoch warmth eviction
+  // (rung A) never follows a demotion (rung B).
+  u64 demotes = 0, promotes = 0, evictions = 0;
+  for (size_t i = 0; i < arb.events.size(); ++i) {
+    const ArbiterEvent& e = arb.events[i];
+    if (e.action == ArbiterAction::kDemote) ++demotes;
+    if (e.action == ArbiterAction::kPromote) ++promotes;
+    if (e.action == ArbiterAction::kEvictWarm) {
+      ++evictions;
+      for (size_t j = 0; j < i; ++j)
+        if (arb.events[j].epoch == e.epoch)
+          EXPECT_NE(arb.events[j].action, ArbiterAction::kDemote);
+    }
+  }
+  EXPECT_EQ(demotes, arb.demotions);
+  EXPECT_EQ(promotes, arb.promotions);
+  EXPECT_EQ(evictions, arb.keepalive_evictions);
+
+  // Nothing was lost to the ladder: every admitted request completed, and
+  // the long-running survivor ended back at an unconstrained placement.
+  for (const FunctionReport& f : report.functions) {
+    EXPECT_EQ(f.overload.completed, f.overload.offered) << f.name;
+    EXPECT_EQ(f.overload.total_shed(), 0u) << f.name;
+  }
+  const TossFunction* survivor = engine->toss_state(names[0]);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_FALSE(survivor->fast_budget().has_value());
+  u64 lane_demotions = 0, lane_promotions = 0;
+  for (const FunctionReport& f : report.functions) {
+    lane_demotions += f.overload.demotions;
+    lane_promotions += f.overload.promotions;
+  }
+  EXPECT_EQ(lane_demotions, arb.demotions);
+  EXPECT_EQ(lane_promotions, arb.promotions);
+}
+
+std::unique_ptr<PlatformEngine> overload_fleet(u64 seed) {
+  EngineOptions opts;
+  opts.chunk = 3;
+  opts.max_lane_queue = 6;
+  opts.max_global_queue = 16;
+  opts.enforce_deadlines = true;
+  opts.arbiter.enabled = true;
+  opts.arbiter.fast_budget_bytes = 0;  // resolve to installed DRAM capacity
+  auto engine = std::make_unique<PlatformEngine>(
+      SystemConfig::paper_default(), PricingPlan{}, opts);
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  const PolicyKind kinds[] = {PolicyKind::kToss, PolicyKind::kToss,
+                              PolicyKind::kReap, PolicyKind::kVanilla};
+  for (size_t i = 0; i < 4; ++i) {
+    FunctionSpec spec = base[i % base.size()];
+    spec.name += "#" + std::to_string(i);
+    auto stream = RequestGenerator::open_loop(
+        RequestGenerator::round_robin(50, mix_seed(seed, spec.name)), us(10),
+        ms(5), mix_seed(seed, spec.name));
+    EXPECT_TRUE(engine
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(kinds[i])
+                              .toss(fast_toss())
+                              .seed(seed + i),
+                          std::move(stream))
+                    .ok());
+  }
+  return engine;
+}
+
+TEST(Overload, LedgersBitIdenticalAcrossThreadCountsAndSeeds) {
+  for (u64 seed : {21u, 22u, 23u}) {
+    const EngineReport serial = overload_fleet(seed)->run(1).value();
+    const EngineReport parallel = overload_fleet(seed)->run(4).value();
+
+    ASSERT_EQ(serial.functions.size(), parallel.functions.size());
+    for (size_t i = 0; i < serial.functions.size(); ++i) {
+      const FunctionReport& a = serial.functions[i];
+      const FunctionReport& b = parallel.functions[i];
+      ASSERT_EQ(a.name, b.name);
+      EXPECT_EQ(a.overload, b.overload) << a.name << " seed " << seed;
+      EXPECT_EQ(a.shed_events, b.shed_events) << a.name << " seed " << seed;
+      EXPECT_EQ(a.stats.invocations, b.stats.invocations) << a.name;
+      EXPECT_GT(a.overload.offered, 0u) << a.name;
+    }
+    EXPECT_EQ(serial.arbiter.events, parallel.arbiter.events)
+        << "seed " << seed;
+    EXPECT_EQ(serial.arbiter.demotions, parallel.arbiter.demotions);
+    EXPECT_EQ(serial.arbiter.promotions, parallel.arbiter.promotions);
+    EXPECT_EQ(serial.arbiter.final_resident_fast_bytes,
+              parallel.arbiter.final_resident_fast_bytes);
+    EXPECT_EQ(serial.total_shed(), parallel.total_shed()) << "seed " << seed;
+    // The load is genuinely overloading: something was shed somewhere.
+    EXPECT_GT(serial.total_shed(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(Overload, AddValidatesArrivalStreams) {
+  EngineOptions opts;
+  opts.max_lane_queue = 4;
+  PlatformEngine engine(SystemConfig::paper_default(), PricingPlan{}, opts);
+  FunctionSpec spec = workloads::all_functions()[0];
+
+  std::vector<Request> unsorted = RequestGenerator::round_robin(4, 1);
+  unsorted[1].arrival_ns = ms(2);
+  unsorted[2].arrival_ns = ms(1);  // out of order
+  auto bad = engine.add(FunctionRegistration(spec).policy(PolicyKind::kToss),
+                        unsorted);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kInvalidRequest);
+
+  std::vector<Request> negative = RequestGenerator::round_robin(2, 1);
+  negative[0].deadline_ns = -1;
+  auto neg = engine.add(FunctionRegistration(spec).policy(PolicyKind::kToss),
+                        negative);
+  ASSERT_FALSE(neg.ok());
+  EXPECT_EQ(neg.code(), ErrorCode::kInvalidRequest);
+}
+
+TEST(Overload, LegacySchedulerPathIsUntouchedByDefault) {
+  EngineOptions opts;
+  EXPECT_FALSE(opts.overload_protection());
+  auto engine = single_lane(opts, RequestGenerator::round_robin(20, 2));
+  const EngineReport report = engine->run(2).value();
+  const FunctionReport& f = report.functions[0];
+  EXPECT_EQ(f.stats.invocations, 20u);
+  EXPECT_EQ(f.overload, OverloadStats{});
+  EXPECT_TRUE(f.shed_events.empty());
+  EXPECT_TRUE(report.arbiter.events.empty());
+}
+
+}  // namespace
+}  // namespace toss

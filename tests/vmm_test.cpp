@@ -439,6 +439,53 @@ TEST_F(SnapshotFailureTest, QuarantineHidesArtifactAndIsIdempotent) {
             patterned_memory(32));
 }
 
+TEST_F(SnapshotFailureTest, ResidentBytesFollowTheAliasMap) {
+  // The arbiter's fleet accounting must see the same artifact through
+  // either file id of a tiered pair, pin the full image for single-tier
+  // generations, and charge nothing for unknown or quarantined ids.
+  const TieredSnapshot* tiered = store.get_tiered(fast_id);
+  ASSERT_NE(tiered, nullptr);
+  const u64 fast = bytes_for_pages(tiered->fast_pages());
+  const u64 slow = bytes_for_pages(tiered->slow_pages());
+  EXPECT_GT(fast, 0u);
+  EXPECT_GT(slow, 0u);
+  EXPECT_EQ(store.resident_fast_bytes(fast_id), fast);
+  EXPECT_EQ(store.resident_fast_bytes(slow_id), fast);
+  EXPECT_EQ(store.resident_slow_bytes(fast_id), slow);
+  EXPECT_EQ(store.resident_slow_bytes(slow_id), slow);
+
+  EXPECT_EQ(store.resident_fast_bytes(single_id),
+            store.get_single_tier(single_id)->memory_bytes());
+  EXPECT_EQ(store.resident_slow_bytes(single_id), 0u);
+  EXPECT_EQ(store.resident_fast_bytes(999), 0u);
+  EXPECT_EQ(store.resident_slow_bytes(999), 0u);
+
+  store.quarantine_tiered(slow_id);
+  EXPECT_EQ(store.resident_fast_bytes(fast_id), 0u);
+  EXPECT_EQ(store.resident_slow_bytes(slow_id), 0u);
+}
+
+TEST_F(SnapshotFailureTest, RepeatedChecksumFailuresQuarantineOnce) {
+  // Every fetch of a bitrotted artifact fails its checksum; the recovery
+  // path reacts by quarantining each time — through the slow-id alias —
+  // and the quarantine must stay idempotent.
+  ASSERT_TRUE(store.corrupt_tiered_page(fast_id, 3));
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_FALSE(store.verify_tiered(slow_id).ok()) << round;
+    store.quarantine_tiered(slow_id);
+  }
+  EXPECT_EQ(store.quarantine_count(), 1u);
+
+  // Both ids report "quarantined", not a silent missing-mapping.
+  try {
+    store.fetch_tiered(slow_id);
+    ADD_FAILURE() << "fetch of quarantined artifact did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSnapshotMissing);
+    EXPECT_NE(std::string(e.what()).find("quarantined"), std::string::npos);
+  }
+}
+
 TEST_F(SnapshotFailureTest, RestoreMissingFileIdThrowsTyped) {
   MicroVm vm(cfg, store);
   RestorePlan plan;

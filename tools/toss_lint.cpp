@@ -33,6 +33,10 @@
 //                    failures the recovery ladder must observe. Handlers
 //                    must name the exception type and do something with
 //                    it (or carry an allow() trailer explaining why not).
+//   unbounded-wait   condition-variable `.wait(lock)` calls in src/ must
+//                    pass a predicate (or use wait_for/wait_until) — a
+//                    bare wait has no shutdown or deadline path and can
+//                    hang a worker forever on a missed notify.
 //
 // Findings print as `file:line rule message`, one per line, and the exit
 // code is 1 when any finding is unsuppressed (0 clean, 2 usage/IO error).
@@ -67,7 +71,7 @@ struct Finding {
 
 const char* const kRuleNames[] = {
     "deep-include",   "platform-throw", "raw-assert",     "nondeterminism",
-    "thread-spawn",   "pragma-once",    "swallowed-error",
+    "thread-spawn",   "pragma-once",    "swallowed-error", "unbounded-wait",
 };
 
 bool known_rule(const std::string& name) {
@@ -190,6 +194,29 @@ CatchShape inspect_catch(const std::vector<std::string>& code, size_t line,
     shape.empty_body = i < text.size() && text[i] == '}';
   }
   return shape;
+}
+
+/// True when the member call `.wait(args)` whose word starts at
+/// (line, col) passes no predicate — a single argument, i.e. no comma at
+/// paren depth 1. Reads ahead up to 6 stripped lines so split calls still
+/// parse. Returns false for anything that is not a complete call.
+bool wait_lacks_predicate(const std::vector<std::string>& code, size_t line,
+                          size_t col) {
+  std::string text = code[line].substr(col);
+  for (size_t l = line + 1; l < code.size() && l < line + 6; ++l) {
+    text += ' ';
+    text += code[l];
+  }
+  size_t i = 4;  // past "wait"
+  while (i < text.size() && text[i] == ' ') ++i;
+  if (i >= text.size() || text[i] != '(') return false;
+  int depth = 1;
+  for (++i; i < text.size() && depth > 0; ++i) {
+    if (text[i] == '(') ++depth;
+    else if (text[i] == ')') --depth;
+    else if (text[i] == ',' && depth == 1) return false;  // has a predicate
+  }
+  return depth == 0;
 }
 
 /// Blank out // and /* */ comments and the contents of string/char
@@ -359,6 +386,22 @@ void check_file(const SourceFile& f, std::vector<Finding>& findings) {
             {f.rel, line_no, "thread-spawn",
              "thread creation outside util/thread_pool and "
              "platform/concurrency; submit work to a ThreadPool"});
+    }
+
+    if (in_src) {
+      // `.wait` only: word matching already excludes wait_for/wait_until/
+      // wait_idle, and requiring the member dot skips free functions named
+      // wait in other scopes.
+      for (size_t pos = code.find("wait"); pos != std::string::npos;
+           pos = code.find("wait", pos + 1)) {
+        if (!word_at(code, pos, "wait")) continue;
+        if (pos == 0 || code[pos - 1] != '.') continue;
+        if (wait_lacks_predicate(f.code, i, pos))
+          raw_findings.push_back(
+              {f.rel, line_no, "unbounded-wait",
+               "wait without a shutdown/deadline predicate can hang "
+               "forever; pass a predicate or use wait_for/wait_until"});
+      }
     }
 
     if (in_src && !catch_exempt) {
