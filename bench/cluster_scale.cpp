@@ -1,0 +1,250 @@
+// Cluster scale-out soak: 8 simulated hosts x 100+ lanes behind the
+// ClusterEngine placement layer (DESIGN.md §10).
+//
+// The fleet is 104 small TOSS functions bin-packed by predicted fast-tier
+// demand against a per-host budget sized to ~1.4x the mean per-host load,
+// plus one "hog": a large function held in its profiling phase (which pins
+// its whole guest image in DRAM) for the entire run. The hog's host pins
+// at the close-admission rung, and the cluster must respond by migrating
+// tiered functions away — the skewed-load story the placement estimate
+// alone cannot solve.
+//
+// Results land in cluster_scale.json under the bench artifact directory
+// (--out-dir=PATH, default <build>/bench_artifacts). The process exits
+// nonzero — a CI gate, not just a plot — if placement ever exceeds a host
+// budget, if the skew produced no migration, if any work was shed or lost
+// (the streams are all-admitted-up-front, so goodput must be 100%), or if
+// any part of the cluster ledger (migrations, per-host arbiter events,
+// shed events, per-function stats) differs between a 1-thread and a
+// 4-thread run at any of three seeds.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "toss.hpp"
+
+#include "common.hpp"
+
+using namespace toss;
+
+namespace {
+
+constexpr size_t kHosts = 8;
+constexpr size_t kLanes = 104;
+constexpr size_t kRequestsPerLane = 40;
+constexpr size_t kHogRequests = 60;
+constexpr int kPinnedEpochs = 4;
+constexpr u64 kSeeds[] = {1, 2, 3};
+
+/// Small specs only for the bulk fleet: the soak's cost is lane count, not
+/// per-invocation page volume.
+constexpr size_t kBulkSpecs = 3;
+
+TossOptions fast_toss() {
+  TossOptions opt;
+  opt.stable_invocations = 4;
+  opt.max_profiling_invocations = 16;
+  return opt;
+}
+
+FunctionRegistration bulk_registration(size_t i, FunctionSpec spec) {
+  spec.name += "#" + std::to_string(i);
+  return FunctionRegistration(std::move(spec))
+      .policy(PolicyKind::kToss)
+      .toss(fast_toss())
+      .seed(900 + i);
+}
+
+/// Per-host budget: generous against the predicted steady state (so the
+/// packer is never forced to overload a host) yet tiny against the hog's
+/// profiling-phase guest image (so the skew genuinely pins its host).
+u64 pick_budget(const SystemConfig& cfg) {
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  u64 total = 0, largest = 0;
+  for (size_t i = 0; i < kLanes; ++i) {
+    const u64 d = predicted_fast_demand(
+        cfg, bulk_registration(i, base[i % kBulkSpecs]));
+    total += d;
+    largest = std::max(largest, d);
+  }
+  return total + total * 2 / 5 + 2 * largest * kHosts;
+}
+
+std::unique_ptr<ClusterEngine> make_cluster(u64 budget, u64 seed) {
+  ClusterOptions opts;
+  opts.hosts = kHosts;
+  opts.migrate_after_pinned_epochs = kPinnedEpochs;
+  opts.host_options.chunk = 2;
+  opts.host_options.arbiter.enabled = true;
+  opts.host_options.arbiter.fast_budget_bytes = budget;
+  auto cluster = std::make_unique<ClusterEngine>(opts);
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  for (size_t i = 0; i < kLanes; ++i) {
+    cluster
+        ->add(bulk_registration(i, base[i % kBulkSpecs]),
+              RequestGenerator::round_robin(kRequestsPerLane,
+                                            mix_seed(seed, "lane" + std::to_string(i))))
+        .value();
+  }
+  // The hog: the biggest Table-I guest, wedged in profiling for its whole
+  // stream. Added last, so worst-fit drops it on the least-loaded host.
+  FunctionSpec hog = base[base.size() - 1];
+  hog.name = "hog";
+  TossOptions never_tiers;
+  never_tiers.stable_invocations = 1u << 20;
+  never_tiers.max_profiling_invocations = 1u << 20;
+  cluster
+      ->add(FunctionRegistration(std::move(hog))
+                .policy(PolicyKind::kToss)
+                .toss(never_tiers)
+                .seed(31),
+            RequestGenerator::round_robin(kHogRequests, mix_seed(seed, "hog")))
+      .value();
+  return cluster;
+}
+
+bool same_ledgers(const ClusterReport& a, const ClusterReport& b) {
+  if (a.migrations != b.migrations || a.epochs != b.epochs) return false;
+  if (a.hosts.size() != b.hosts.size()) return false;
+  for (size_t h = 0; h < a.hosts.size(); ++h) {
+    const EngineReport& x = a.hosts[h].report;
+    const EngineReport& y = b.hosts[h].report;
+    if (x.arbiter.events != y.arbiter.events) return false;
+    if (x.functions.size() != y.functions.size()) return false;
+    for (size_t i = 0; i < x.functions.size(); ++i) {
+      if (x.functions[i].name != y.functions[i].name ||
+          x.functions[i].stats.invocations != y.functions[i].stats.invocations ||
+          x.functions[i].stats.total_charge != y.functions[i].stats.total_charge ||
+          !(x.functions[i].overload == y.functions[i].overload) ||
+          x.functions[i].shed_events != y.functions[i].shed_events)
+        return false;
+    }
+  }
+  return true;
+}
+
+struct SeedRow {
+  u64 seed = 0;
+  u64 invocations = 0, shed = 0, migrations = 0, epochs = 0;
+  bool ledgers_match = false;
+  double wall_ms = 0;
+};
+
+void write_json(const std::string& path, u64 budget,
+                const std::vector<SeedRow>& rows,
+                const std::vector<MigrationEvent>& migrations) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"cluster_scale\",\"hosts\":%zu,\"lanes\":%zu,"
+               "\"requests_per_lane\":%zu,\"hog_requests\":%zu,"
+               "\"pinned_epochs\":%d,\"fast_budget_bytes\":%llu,\"seeds\":[",
+               kHosts, kLanes + 1, kRequestsPerLane, kHogRequests,
+               kPinnedEpochs, static_cast<unsigned long long>(budget));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SeedRow& r = rows[i];
+    std::fprintf(out,
+                 "%s{\"seed\":%llu,\"invocations\":%llu,\"shed\":%llu,"
+                 "\"migrations\":%llu,\"epochs\":%llu,"
+                 "\"ledgers_match\":%s,\"wall_ms\":%.1f}",
+                 i ? "," : "", static_cast<unsigned long long>(r.seed),
+                 static_cast<unsigned long long>(r.invocations),
+                 static_cast<unsigned long long>(r.shed),
+                 static_cast<unsigned long long>(r.migrations),
+                 static_cast<unsigned long long>(r.epochs),
+                 r.ledgers_match ? "true" : "false", r.wall_ms);
+  }
+  std::fprintf(out, "],\"migration_events\":[");
+  for (size_t i = 0; i < migrations.size(); ++i) {
+    const MigrationEvent& m = migrations[i];
+    std::fprintf(out,
+                 "%s{\"epoch\":%llu,\"function\":\"%s\",\"from\":\"%s\","
+                 "\"to\":\"%s\",\"moved_bytes\":%llu,\"transfer_ns\":%.0f}",
+                 i ? "," : "", static_cast<unsigned long long>(m.epoch),
+                 m.function.c_str(), m.from_host.c_str(), m.to_host.c_str(),
+                 static_cast<unsigned long long>(m.moved_bytes),
+                 m.transfer_ns);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("artifact: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 budget = pick_budget(SystemConfig::paper_default()) / kHosts;
+  std::printf("hosts=%zu lanes=%zu budget=%.1f MiB/host\n", kHosts, kLanes + 1,
+              static_cast<double>(budget) / static_cast<double>(kMiB));
+
+  constexpr u64 kExpected = kLanes * kRequestsPerLane + kHogRequests;
+  std::vector<SeedRow> rows;
+  std::vector<MigrationEvent> sample_migrations;
+  bool placement_ok = true, ledgers_ok = true, goodput_ok = true,
+       migrated = false;
+
+  for (const u64 seed : kSeeds) {
+    auto parallel = make_cluster(budget, seed);
+    for (size_t h = 0; h < kHosts; ++h)
+      placement_ok = placement_ok &&
+                     parallel->predicted_load()[h] <=
+                         parallel->host_fast_budget_bytes(h);
+    const ClusterReport p = parallel->run(4).value();
+
+    auto serial = make_cluster(budget, seed);
+    const ClusterReport s = serial->run(1).value();
+
+    SeedRow row;
+    row.seed = seed;
+    row.invocations = p.total_invocations();
+    row.shed = p.total_shed();
+    row.migrations = p.migrations.size();
+    row.epochs = p.epochs;
+    row.ledgers_match = same_ledgers(s, p);
+    row.wall_ms = p.wall_ns / 1e6;
+    rows.push_back(row);
+
+    ledgers_ok = ledgers_ok && row.ledgers_match;
+    goodput_ok = goodput_ok && row.shed == 0 && row.invocations == kExpected;
+    if (!p.migrations.empty()) migrated = true;
+    if (sample_migrations.empty()) sample_migrations = p.migrations;
+
+    std::printf(
+        "seed %llu: %llu invocations, %llu shed, %llu migrations over %llu "
+        "epochs, ledgers %s\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(row.invocations),
+        static_cast<unsigned long long>(row.shed),
+        static_cast<unsigned long long>(row.migrations),
+        static_cast<unsigned long long>(row.epochs),
+        row.ledgers_match ? "match" : "DIVERGED");
+  }
+
+  write_json(bench::artifact_path(argc, argv, "cluster_scale.json"), budget,
+             rows, sample_migrations);
+
+  if (!placement_ok) {
+    std::printf("FAIL: placement exceeded a host's fast-tier budget\n");
+    return 1;
+  }
+  if (!migrated) {
+    std::printf("FAIL: the hog skew never triggered a migration\n");
+    return 1;
+  }
+  if (!goodput_ok) {
+    std::printf("FAIL: work was shed or lost (goodput < 100%%)\n");
+    return 1;
+  }
+  if (!ledgers_ok) {
+    std::printf("FAIL: cluster ledgers diverged between 1 and 4 threads\n");
+    return 1;
+  }
+  std::printf("cluster scale gates hold: %zu lanes on %zu hosts, "
+              "%zu sample migrations\n",
+              kLanes + 1, kHosts, sample_migrations.size());
+  return 0;
+}

@@ -44,10 +44,18 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
     const LaneDemand& d = lanes[k];
     ensure_lane(d.lane);
     fast[k] = d.fast_bytes;
+    // A lane that went back to work while its VM sat warm re-absorbs it:
+    // count the reuse as a keep-alive hit and release the pool bytes (the
+    // active-lane accounting below carries the footprint from here on).
+    if (d.active && warm_.contains(*d.name)) {
+      warm_.lookup(*d.name);
+      warm_.evict(*d.name);
+    }
     // A lane that drained its stream keeps its VM warm (both tiers) until
     // the budget needs the DRAM back — Section VI-A's keep-alive story.
     if (d.just_finished && options_.keepalive)
-      warm_.insert(*d.name, d.fast_bytes, d.slow_bytes, d.cold_cost_ns);
+      warm_.insert(*d.name, d.fast_bytes, d.slow_bytes, d.cold_cost_ns,
+                   options_.prewarm_hints ? d.predicted_reuse_gap_ns : -1);
   }
 
   const auto recompute = [&] {

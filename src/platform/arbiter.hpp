@@ -47,6 +47,11 @@ struct ArbiterOptions {
   double demote_step = 0.5;
   /// Keep finished lanes' VMs warm (GDSF keep-alive) until evicted.
   bool keepalive = true;
+  /// Prewarm handshake: weigh each warm VM's eviction priority by the
+  /// inter-arrival predictor's next-arrival estimate (LaneDemand::
+  /// predicted_reuse_gap_ns), so a VM about to be reused outranks pure
+  /// GDSF priority. Inert for lanes with no prediction.
+  bool prewarm_hints = true;
 };
 
 enum class ArbiterAction : u8 {
@@ -99,6 +104,9 @@ class FastTierArbiter {
     u64 fast_bytes = 0;          ///< fast-tier bytes one invocation pins
     u64 slow_bytes = 0;
     Nanos cold_cost_ns = 0;      ///< keep-alive benefit (last setup cost)
+    /// Predicted time until the function's next arrival (prewarm
+    /// handshake); negative = the predictor has no confident estimate.
+    Nanos predicted_reuse_gap_ns = -1;
   };
 
   /// Re-tier hook: ask the engine to rebuild `lane`'s snapshot under

@@ -1,0 +1,270 @@
+#include "platform/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/optimizer.hpp"
+#include "trace/pattern.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/function_model.hpp"
+
+namespace toss {
+
+u64 ClusterReport::total_invocations() const {
+  u64 n = 0;
+  for (const ClusterHostReport& h : hosts) n += h.report.total_invocations();
+  return n;
+}
+
+u64 ClusterReport::total_shed() const {
+  u64 n = 0;
+  for (const ClusterHostReport& h : hosts) n += h.report.total_shed();
+  return n;
+}
+
+const FunctionReport* ClusterReport::find(const std::string& name) const {
+  for (const ClusterHostReport& h : hosts)
+    if (const FunctionReport* f = h.report.find(name)) return f;
+  return nullptr;
+}
+
+std::string ClusterReport::to_json() const {
+  std::string out =
+      "{\"schema\":" + std::to_string(MetricsSnapshot::kJsonSchemaVersion) +
+      ",\"cluster\":{\"hosts\":" + std::to_string(hosts.size()) +
+      ",\"epochs\":" + std::to_string(epochs) +
+      ",\"migrations\":" + std::to_string(migrations.size()) +
+      ",\"total_invocations\":" + std::to_string(total_invocations()) +
+      ",\"total_shed\":" + std::to_string(total_shed()) +
+      ",\"migration_events\":[";
+  for (size_t i = 0; i < migrations.size(); ++i) {
+    const MigrationEvent& m = migrations[i];
+    if (i) out += ",";
+    out += "{\"epoch\":" + std::to_string(m.epoch) + ",\"function\":\"" +
+           m.function + "\",\"from\":\"" + m.from_host + "\",\"to\":\"" +
+           m.to_host + "\",\"moved_bytes\":" + std::to_string(m.moved_bytes) +
+           ",\"transfer_ns\":" +
+           std::to_string(static_cast<unsigned long long>(m.transfer_ns)) +
+           "}";
+  }
+  out += "]},\"hosts\":[";
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (i) out += ",";
+    out += hosts[i].report.metrics.to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+size_t place_on_host(u64 demand_bytes, const std::vector<u64>& predicted_load,
+                     u64 fast_budget_bytes) {
+  // Worst-fit: among hosts where the demand fits, the one with the most
+  // headroom (spreads load, leaves the biggest holes for future large
+  // functions). When nothing fits, the least overloaded host takes the
+  // spill and its arbiter degrades gracefully. Ties toward index 0.
+  size_t best_fit = Host::npos;
+  u64 best_headroom = 0;
+  size_t least_bad = Host::npos;
+  u64 least_load = 0;
+  for (size_t i = 0; i < predicted_load.size(); ++i) {
+    const u64 load = predicted_load[i];
+    if (load + demand_bytes <= fast_budget_bytes) {
+      const u64 headroom = fast_budget_bytes - load;
+      if (best_fit == Host::npos || headroom > best_headroom) {
+        best_fit = i;
+        best_headroom = headroom;
+      }
+    }
+    if (least_bad == Host::npos || load < least_load) {
+      least_bad = i;
+      least_load = load;
+    }
+  }
+  return best_fit != Host::npos ? best_fit : least_bad;
+}
+
+u64 predicted_fast_demand(const SystemConfig& cfg,
+                          const FunctionRegistration& registration) {
+  // Baselines restore the whole image into DRAM on every invocation.
+  if (registration.policy() != PolicyKind::kToss)
+    return registration.spec().guest_bytes();
+
+  // TOSS: run the Step-III analysis offline, exactly as the function's
+  // own profiling phase will — unified (max-merged) pattern over every
+  // input at the registration seed, then the Step-IV placement's
+  // fast-tier share. The estimate therefore matches the kTiered
+  // steady-state footprint the arbiter will see.
+  const FunctionModel model(registration.spec());
+  PageAccessCounts unified(model.guest_pages());
+  Invocation representative;
+  for (int input = 0; input < kNumInputs; ++input) {
+    Invocation inv = model.invoke(input, registration.seed());
+    unified.merge_max(
+        PageAccessCounts::from_trace(inv.trace, model.guest_pages()));
+    if (input == 0) representative = std::move(inv);
+  }
+  TieringOptions topt;
+  topt.bin_count = registration.toss_options().bin_count;
+  topt.slowdown_threshold = registration.toss_options().slowdown_threshold;
+  const TieringDecision decision =
+      analyze_pattern(cfg, unified, representative, topt);
+  return bytes_for_pages(decision.placement.pages_in(Tier::kFast));
+}
+
+ClusterEngine::ClusterEngine(ClusterOptions options, SystemConfig cfg,
+                             PricingPlan pricing)
+    : options_(options), cfg_(std::move(cfg)) {
+  options_.hosts = std::max<size_t>(1, options_.hosts);
+  options_.migrate_after_pinned_epochs =
+      std::max(1, options_.migrate_after_pinned_epochs);
+  // Placement and migration reason about per-host fast-tier budgets, so
+  // every host runs with its arbiter on.
+  options_.host_options.arbiter.enabled = true;
+  hosts_.reserve(options_.hosts);
+  for (size_t i = 0; i < options_.hosts; ++i)
+    hosts_.push_back(std::make_unique<Host>("host" + std::to_string(i), cfg_,
+                                            pricing, options_.host_options));
+  predicted_load_.assign(options_.hosts, 0);
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+size_t ClusterEngine::host_of(const std::string& function) const {
+  for (const Placement& p : placements_)
+    if (p.function == function) return p.host;
+  return npos;
+}
+
+size_t ClusterEngine::function_count() const {
+  size_t n = 0;
+  for (const auto& host : hosts_) n += host->function_count();
+  return n;
+}
+
+Result<void> ClusterEngine::add(const FunctionRegistration& registration,
+                                std::vector<Request> requests) {
+  const std::string& name = registration.spec().name;
+  if (host_of(name) != npos)
+    return {ErrorCode::kDuplicateFunction, name + " is already registered"};
+  const u64 demand = predicted_fast_demand(cfg_, registration);
+  const size_t target =
+      place_on_host(demand, predicted_load_, hosts_[0]->fast_budget_bytes());
+  if (Result<void> added = hosts_[target]->add(registration, std::move(requests));
+      !added.ok())
+    return added;
+  predicted_load_[target] += demand;
+  placements_.push_back(Placement{name, target, demand});
+  return {};
+}
+
+Result<void> ClusterEngine::enqueue(const std::string& function,
+                                    std::vector<Request> requests) {
+  const size_t target = host_of(function);
+  if (target == npos)
+    return {ErrorCode::kUnknownFunction,
+            function + " is not registered on any host"};
+  return hosts_[target]->enqueue(function, std::move(requests));
+}
+
+void ClusterEngine::maybe_migrate() {
+  if (!options_.enable_migration || hosts_.size() < 2) return;
+  for (size_t s = 0; s < hosts_.size(); ++s) {
+    Host& src = *hosts_[s];
+    if (src.admission_closed_streak() < options_.migrate_after_pinned_epochs)
+      continue;
+    const size_t li = src.largest_tiered_lane();
+    if (li == Host::npos) {
+      // Pinned but nothing migratable (all profiling / baselines); reset
+      // so the streak re-arms instead of re-checking every epoch.
+      src.reset_admission_streak();
+      continue;
+    }
+    // Destination: the most predicted headroom against the (uniform)
+    // budget, excluding the source; ties toward the lowest index.
+    size_t dest = npos;
+    u64 best_headroom = 0;
+    for (size_t d = 0; d < hosts_.size(); ++d) {
+      if (d == s) continue;
+      const u64 budget = hosts_[d]->fast_budget_bytes();
+      const u64 load = std::min(predicted_load_[d], budget);
+      const u64 headroom = budget - load;
+      if (dest == npos || headroom > best_headroom) {
+        dest = d;
+        best_headroom = headroom;
+      }
+    }
+    if (dest == npos || best_headroom == 0) {
+      // Whole cluster saturated: migrating would only thrash.
+      src.reset_admission_streak();
+      continue;
+    }
+
+    std::unique_ptr<HostLane> lane = src.extract_lane(li);
+    const ServerlessPlatform::ResidentBytes rb =
+        lane->host->resident_bytes(lane->name);
+    const u64 moved = rb.fast + rb.slow;
+    // The snapshot files travel with the lane's own SnapshotStore; the
+    // simulated cost of reading them out for the copy is charged to the
+    // lane's clock, so a migrated function visibly stalls.
+    const Nanos transfer = lane->host->store().seq_read_ns(moved);
+    lane->sim_now += transfer;
+    migrations_.push_back(MigrationEvent{epochs_, lane->name, src.name(),
+                                         hosts_[dest]->name(), moved,
+                                         transfer});
+    for (Placement& p : placements_) {
+      if (p.function != lane->name) continue;
+      predicted_load_[s] -= std::min(predicted_load_[s], p.demand);
+      predicted_load_[dest] += p.demand;
+      p.host = dest;
+      break;
+    }
+    // adopt_lane only fails for duplicate names, which host_of() already
+    // excludes cluster-wide.
+    hosts_[dest]->adopt_lane(std::move(lane)).ok();
+    src.reset_admission_streak();
+  }
+}
+
+Result<ClusterReport> ClusterEngine::run(int threads) {
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && function_count() > 1)
+    pool = std::make_unique<ThreadPool>(threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    bool any_active = false;
+    for (const auto& host : hosts_)
+      if (!host->idle()) {
+        any_active = true;
+        break;
+      }
+    if (!any_active) break;
+    for (const auto& host : hosts_) {
+      if (host->idle()) continue;
+      if (Result<void> stepped = host->step_epoch(pool.get()); !stepped.ok())
+        return {stepped.code(), stepped.message()};
+    }
+    maybe_migrate();
+    ++epochs_;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_ns_ += static_cast<Nanos>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+
+  return report(threads);
+}
+
+ClusterReport ClusterEngine::report(int threads) const {
+  ClusterReport out;
+  out.hosts.reserve(hosts_.size());
+  for (const auto& host : hosts_)
+    out.hosts.push_back(ClusterHostReport{host->name(), host->report(threads)});
+  out.migrations = migrations_;
+  out.epochs = epochs_;
+  out.threads = threads;
+  out.wall_ns = wall_ns_;
+  return out;
+}
+
+}  // namespace toss

@@ -1,0 +1,162 @@
+// ClusterEngine: N simulated hosts behind one placement layer (DESIGN.md
+// §10). Each Host (platform/host.hpp) is a full single-host engine — lane
+// fleet, epoch-barrier scheduler, bounded queues, fast-tier arbiter — and
+// the cluster adds the two decisions a fleet of hosts needs:
+//
+//   Placement. add() estimates the function's steady-state fast-tier
+//   demand by running the same Step-III analysis TOSS itself will run
+//   (profile the access pattern offline, take the Step-IV placement's
+//   fast-tier bytes) and bin-packs it greedily: worst-fit by predicted
+//   headroom against each host's fast-tier budget, ties toward the lowest
+//   host index. The estimate is exactly what the function converges to, so
+//   a fleet that fits on paper fits at steady state.
+//
+//   Migration. The estimate can still be wrong in aggregate (skewed load,
+//   keep-alive pressure). When a host's arbiter pins at the close-admission
+//   rung for K consecutive epochs, the cluster moves its largest tiered
+//   function to the host with the most predicted headroom. Lanes are fully
+//   isolated, so the move is the whole HostLane object; the simulated cost
+//   of copying the snapshot bytes out of the source SnapshotStore is
+//   charged to the lane's simulated clock before it re-joins on the
+//   destination. Every move lands in a MigrationEvent ledger with the same
+//   determinism contract as ShedEvents.
+//
+// Determinism: run() steps hosts one epoch at a time in host index order,
+// and migration is decided between epochs from simulated state only, so
+// the full cluster ledger (shed + arbiter + migration) is bit-identical
+// for any worker thread count at a fixed seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/host.hpp"
+
+namespace toss {
+
+struct ClusterOptions {
+  /// Simulated host count (>= 1).
+  size_t hosts = 2;
+  /// Per-host engine options. The cluster forces arbiter.enabled — the
+  /// placement and migration layers are meaningless without per-host
+  /// budget accounting.
+  EngineOptions host_options;
+  /// K: consecutive epochs a host's arbiter must hold admission closed
+  /// before the cluster migrates a function away (hysteresis).
+  int migrate_after_pinned_epochs = 4;
+  bool enable_migration = true;
+};
+
+/// One cross-host move; part of the cluster's determinism contract.
+struct MigrationEvent {
+  u64 epoch = 0;  ///< cluster epoch the decision was made at
+  std::string function;
+  std::string from_host;
+  std::string to_host;
+  u64 moved_bytes = 0;    ///< snapshot bytes copied (fast + slow tier)
+  Nanos transfer_ns = 0;  ///< simulated copy cost charged to the lane
+
+  bool operator==(const MigrationEvent&) const = default;
+};
+
+struct ClusterHostReport {
+  std::string host;
+  EngineReport report;
+};
+
+struct ClusterReport {
+  std::vector<ClusterHostReport> hosts;  ///< host index order
+  std::vector<MigrationEvent> migrations;
+  u64 epochs = 0;
+  int threads = 1;
+  Nanos wall_ns = 0;
+
+  u64 total_invocations() const;
+  u64 total_shed() const;
+  /// The function's report on whichever host currently owns it.
+  const FunctionReport* find(const std::string& name) const;
+  /// Schema-3 JSON: {"schema":3,"cluster":{...},"hosts":[<per-host
+  /// metrics>...]} — each hosts[] entry is a MetricsSnapshot::to_json()
+  /// tagged with its host name.
+  std::string to_json() const;
+};
+
+/// Greedy worst-fit bin packing step: pick the host for a function with
+/// `demand_bytes` of predicted fast-tier demand given each host's already
+/// placed demand and the (uniform) per-host budget. Prefers the fitting
+/// host with the most headroom; when nothing fits, the least overloaded
+/// host. Ties break toward the lowest index. Exposed for unit tests.
+size_t place_on_host(u64 demand_bytes, const std::vector<u64>& predicted_load,
+                     u64 fast_budget_bytes);
+
+/// Predicted steady-state fast-tier bytes for one registration: baselines
+/// pin their whole guest image in DRAM; TOSS functions get the Step-III
+/// analysis run offline (unified max-merged pattern over all inputs, then
+/// the Step-IV placement's fast-tier share).
+u64 predicted_fast_demand(const SystemConfig& cfg,
+                          const FunctionRegistration& registration);
+
+class ClusterEngine {
+ public:
+  static constexpr size_t npos = Host::npos;
+
+  explicit ClusterEngine(ClusterOptions options = {},
+                         SystemConfig cfg = SystemConfig::paper_default(),
+                         PricingPlan pricing = {});
+  ~ClusterEngine();
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  /// Register a function cluster-wide: estimate its fast-tier demand,
+  /// bin-pack it onto a host, and bind its request stream there.
+  Result<void> add(const FunctionRegistration& registration,
+                   std::vector<Request> requests);
+
+  /// Append a batch to the function's lane on whichever host owns it.
+  Result<void> enqueue(const std::string& function,
+                       std::vector<Request> requests);
+
+  /// Serve everything pending on every host, migrating under pressure.
+  /// Reusable: enqueue more work and run again; reports are cumulative.
+  /// threads <= 0 = hardware concurrency (the pool is shared across
+  /// hosts; determinism does not depend on it).
+  Result<ClusterReport> run(int threads = 0);
+
+  size_t host_count() const { return hosts_.size(); }
+  const Host& host_at(size_t index) const { return *hosts_[index]; }
+  /// Host index currently owning `function`; npos when unknown.
+  size_t host_of(const std::string& function) const;
+  size_t function_count() const;
+  /// Predicted fast-tier demand currently placed on each host.
+  const std::vector<u64>& predicted_load() const { return predicted_load_; }
+  u64 host_fast_budget_bytes(size_t index) const {
+    return hosts_[index]->fast_budget_bytes();
+  }
+  const std::vector<MigrationEvent>& migrations() const { return migrations_; }
+  u64 epochs() const { return epochs_; }
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  void maybe_migrate();
+  ClusterReport report(int threads) const;
+
+  ClusterOptions options_;
+  SystemConfig cfg_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<u64> predicted_load_;  ///< placed demand per host index
+  /// (function name, owning host index, predicted demand) in registration
+  /// order; migration rewrites the host index.
+  struct Placement {
+    std::string function;
+    size_t host = 0;
+    u64 demand = 0;
+  };
+  std::vector<Placement> placements_;
+  std::vector<MigrationEvent> migrations_;
+  u64 epochs_ = 0;
+  Nanos wall_ns_ = 0;
+};
+
+}  // namespace toss

@@ -1,60 +1,10 @@
 #include "platform/engine.hpp"
 
-#include <algorithm>
-#include <chrono>
-
-#include "util/contracts.hpp"
-#include "util/thread_pool.hpp"
-
 namespace toss {
-
-const char* drop_policy_name(DropPolicy policy) {
-  switch (policy) {
-    case DropPolicy::kTailDrop: return "tail_drop";
-    case DropPolicy::kOldestDrop: return "oldest_drop";
-  }
-  return "?";
-}
-
-const char* shed_cause_name(ShedCause cause) {
-  switch (cause) {
-    case ShedCause::kQueueFull: return "queue_full";
-    case ShedCause::kGlobalOverload: return "global_overload";
-    case ShedCause::kAdmissionClosed: return "admission_closed";
-    case ShedCause::kDeadlineExpired: return "deadline_expired";
-  }
-  return "?";
-}
-
-Error shed_error(const std::string& function, const ShedEvent& event) {
-  return Error(ErrorCode::kOverloaded,
-               function + ": request " + std::to_string(event.request_index) +
-                   " shed (" + shed_cause_name(event.cause) + ")");
-}
-
-u64 EngineReport::total_invocations() const {
-  u64 n = 0;
-  for (const FunctionReport& f : functions) n += f.stats.invocations;
-  return n;
-}
-
-u64 EngineReport::total_shed() const {
-  u64 n = 0;
-  for (const FunctionReport& f : functions) n += f.overload.total_shed();
-  return n;
-}
-
-const FunctionReport* EngineReport::find(const std::string& name) const {
-  for (const FunctionReport& f : functions)
-    if (f.name == name) return &f;
-  return nullptr;
-}
 
 PlatformEngine::PlatformEngine(SystemConfig cfg, PricingPlan pricing,
                                EngineOptions options)
-    : cfg_(std::move(cfg)), pricing_(pricing), options_(options) {
-  options_.chunk = std::max(1, options_.chunk);
-}
+    : host_("host0", std::move(cfg), pricing, options) {}
 
 PlatformEngine::~PlatformEngine() = default;
 
@@ -63,431 +13,36 @@ Result<void> PlatformEngine::add(const FunctionRegistration& registration,
   if (ran_)
     return {ErrorCode::kEngineBusy,
             "engine already ran; build a new engine for another fleet"};
-  const std::string& name = registration.spec().name;
-  for (const auto& lane : lanes_)
-    if (lane->name == name)
-      return {ErrorCode::kDuplicateFunction, name + " is already registered"};
-  // Reject malformed streams up front so the drain cannot fail per-request.
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const Request& r = requests[i];
-    if (r.input < 0 || r.input >= kNumInputs)
-      return {ErrorCode::kInvalidRequest,
-              name + ": request input " + std::to_string(r.input) +
-                  " outside [0, " + std::to_string(kNumInputs) + ")"};
-    if (r.arrival_ns < 0 || r.deadline_ns < 0)
-      return {ErrorCode::kInvalidRequest,
-              name + ": request " + std::to_string(i) +
-                  " has a negative arrival or deadline"};
-    if (i > 0 && r.arrival_ns < requests[i - 1].arrival_ns)
-      return {ErrorCode::kInvalidRequest,
-              name + ": request " + std::to_string(i) +
-                  " arrives before its predecessor (streams must be sorted "
-                  "by arrival_ns)"};
-  }
-
-  auto lane = std::make_unique<Lane>();
-  lane->name = name;
-  lane->policy = registration.policy();
-  // Each lane gets its own injector stream keyed by name, so lanes fault
-  // independently and deterministically regardless of scheduling.
-  FaultPlan lane_plan = options_.fault_plan;
-  lane_plan.seed = mix_seed(options_.fault_plan.seed, name);
-  lane->host =
-      std::make_unique<ServerlessPlatform>(cfg_, pricing_, std::move(lane_plan));
-  if (Result<void> reg = lane->host->register_function(registration);
-      !reg.ok())
-    return reg;
-  lane->requests = std::move(requests);
-  if (options_.keep_outcomes) lane->outcomes.reserve(lane->requests.size());
-  lane->series = metrics_.series(name);
-  lanes_.push_back(std::move(lane));
-  return {};
+  return host_.add(registration, std::move(requests));
 }
 
-void PlatformEngine::record_error(ErrorCode code, std::string message) {
-  std::lock_guard<RankedMutex> lock(mu_);
-  if (!failed_) {
-    failed_ = true;
-    error_code_ = code;
-    error_message_ = std::move(message);
-  }
-  abort_ = true;
-  ready_cv_.notify_all();
-}
-
-void PlatformEngine::process_chunk(Lane& lane) {
-  // Serialization guard: the scheduler hands a lane to one worker at a
-  // time; a violation here means the queue invariant broke. Release builds
-  // count it (EngineReport::serialization_violations, asserted 0 by
-  // tests); checked builds abort on the spot, before the re-entered
-  // TossFunction state machine can corrupt anything.
-  const int prior = lane.in_flight.fetch_add(1, std::memory_order_acq_rel);
-  TOSS_ASSERT(prior == 0, "lane re-entered concurrently");
-  if (prior != 0)
-    serialization_violations_.fetch_add(1, std::memory_order_relaxed);
-
-  const size_t end = std::min(lane.requests.size(),
-                              lane.next + static_cast<size_t>(options_.chunk));
-  for (; lane.next < end; ++lane.next) {
-    const Request& r = lane.requests[lane.next];
-    Result<InvocationOutcome> out = lane.host->invoke(lane.name, r.input, r.seed);
-    if (!out.ok()) {  // inputs are pre-validated; this is a belt-and-braces path
-      record_error(out.code(), out.message());
-      lane.next = lane.requests.size();
-      break;
-    }
-    const InvocationOutcome& o = *out;
-    lane.series->record(o.toss_phase, o.cold_boot, o.result.total_ns(),
-                        o.result.setup.setup_ns, o.result.exec.exec_ns,
-                        o.charge, o.recovery);
-    if (options_.keep_outcomes) lane.outcomes.push_back(o);
-  }
-
-  lane.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-}
-
-void PlatformEngine::scheduler_loop() {
-  for (;;) {
-    size_t idx;
-    {
-      std::unique_lock<RankedMutex> lock(mu_);
-      ready_cv_.wait(lock, [this] {
-        return abort_ || !ready_.empty() || unfinished_ == 0;
-      });
-      if (abort_ || (ready_.empty() && unfinished_ == 0)) return;
-      if (ready_.empty()) continue;  // spurious wake while others finish
-      idx = ready_.front();
-      ready_.pop_front();
-    }
-
-    Lane& lane = *lanes_[idx];
-    process_chunk(lane);
-
-    {
-      std::lock_guard<RankedMutex> lock(mu_);
-      if (lane.next < lane.requests.size()) {
-        ready_.push_back(idx);
-        ready_cv_.notify_one();
-      } else if (--unfinished_ == 0) {
-        ready_cv_.notify_all();
-      }
-    }
-  }
-}
-
-Result<EngineReport> PlatformEngine::run() { return run(options_.threads); }
+Result<EngineReport> PlatformEngine::run() { return run(options().threads); }
 
 Result<EngineReport> PlatformEngine::run(int threads) {
   if (ran_)
     return {ErrorCode::kEngineBusy,
             "engine already ran; build a new engine for another fleet"};
+  if (drained_)
+    return {ErrorCode::kEngineBusy,
+            "engine is in reusable drain() mode; keep calling drain()"};
   ran_ = true;
-  if (threads <= 0) threads = ThreadPool::hardware_threads();
-  if (options_.overload_protection()) return run_epochs(threads);
-
-  {
-    std::lock_guard<RankedMutex> lock(mu_);
-    ready_.clear();
-    unfinished_ = 0;
-    for (size_t i = 0; i < lanes_.size(); ++i) {
-      if (lanes_[i]->requests.empty()) continue;
-      ready_.push_back(i);
-      ++unfinished_;
-    }
-  }
-
-  const auto t0 = std::chrono::steady_clock::now();
-  if (threads == 1 || lanes_.size() <= 1) {
-    // Serial reference path: same scheduler, caller's thread.
-    scheduler_loop();
-  } else {
-    ThreadPool pool(threads);
-    for (int t = 0; t < threads; ++t)
-      pool.submit([this] { scheduler_loop(); });
-    pool.wait_idle();
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-
-  if (failed_) return {error_code_, error_message_};
-
-  return assemble_report(
-      threads,
-      static_cast<Nanos>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()));
+  return host_.drain(threads);
 }
 
-EngineReport PlatformEngine::assemble_report(int threads, Nanos wall_ns) {
-  EngineReport report;
-  report.threads = threads;
-  report.wall_ns = wall_ns;
-  report.serialization_violations =
-      serialization_violations_.load(std::memory_order_relaxed);
-  report.functions.reserve(lanes_.size());
-  for (auto& lane : lanes_) {
-    FunctionReport f;
-    f.name = lane->name;
-    f.policy = lane->policy;
-    f.stats = lane->host->stats(lane->name);
-    if (const TossFunction* toss = lane->host->toss_state(lane->name))
-      f.final_phase = toss->phase();
-    f.outcomes = std::move(lane->outcomes);
-    f.overload = lane->overload;
-    f.shed_events = std::move(lane->shed_events);
-    report.functions.push_back(std::move(f));
-  }
-  report.metrics = metrics_.snapshot();
-  return report;
+Result<EngineReport> PlatformEngine::drain(const RequestBatch& batch) {
+  return drain(batch, options().threads);
 }
 
-// ---------------------------------------------------------------------------
-// Epoch-barrier overload scheduler (DESIGN.md §9).
-//
-// Each epoch runs one chunk per active lane over the worker pool — lanes
-// touch only lane-local state, so the parallel phase is trivially
-// deterministic — then a serial barrier applies every cross-lane decision
-// (global queue bound, arbiter ladder) in lane registration order. The
-// resulting shed/arbiter ledgers are bit-identical for any thread count.
-
-void PlatformEngine::shed(Lane& lane, size_t request_index, ShedCause cause) {
-  switch (cause) {
-    case ShedCause::kQueueFull:
-      ++lane.overload.shed_queue_full;
-      lane.series->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kGlobalOverload:
-      ++lane.overload.shed_global;
-      lane.series->shed_queue_global.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kAdmissionClosed:
-      ++lane.overload.shed_admission;
-      lane.series->shed_admission.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kDeadlineExpired:
-      ++lane.overload.shed_deadline;
-      lane.series->shed_deadline.fetch_add(1, std::memory_order_relaxed);
-      break;
-  }
-  if (options_.keep_shed_events)
-    lane.shed_events.push_back(ShedEvent{request_index, cause, lane.sim_now});
-}
-
-void PlatformEngine::admit_arrivals(Lane& lane, bool admission_closed) {
-  while (lane.arrived < lane.requests.size() &&
-         lane.requests[lane.arrived].arrival_ns <= lane.sim_now) {
-    const size_t idx = lane.arrived++;
-    ++lane.overload.offered;
-    if (admission_closed) {
-      shed(lane, idx, ShedCause::kAdmissionClosed);
-      continue;
-    }
-    if (options_.max_lane_queue > 0 &&
-        lane.queue.size() >= options_.max_lane_queue) {
-      if (options_.drop_policy == DropPolicy::kTailDrop) {
-        shed(lane, idx, ShedCause::kQueueFull);
-        continue;
-      }
-      // Oldest-drop: the newcomer displaces the stalest queued request.
-      shed(lane, lane.queue.front(), ShedCause::kQueueFull);
-      lane.queue.pop_front();
-    }
-    lane.queue.push_back(idx);
-    ++lane.overload.admitted;
-    lane.series->admitted.fetch_add(1, std::memory_order_relaxed);
-    lane.overload.queue_peak =
-        std::max(lane.overload.queue_peak, lane.queue.size());
-  }
-}
-
-void PlatformEngine::process_chunk_overload(Lane& lane, bool admission_closed) {
-  const int prior = lane.in_flight.fetch_add(1, std::memory_order_acq_rel);
-  TOSS_ASSERT(prior == 0, "lane re-entered concurrently");
-  if (prior != 0)
-    serialization_violations_.fetch_add(1, std::memory_order_relaxed);
-
-  Nanos chunk_service_ns = 0;
-  int budget = options_.chunk;
-  while (budget > 0) {
-    admit_arrivals(lane, admission_closed);
-    if (lane.queue.empty()) {
-      if (lane.arrived >= lane.requests.size()) break;  // stream drained
-      // Idle: fast-forward the simulated clock to the next arrival.
-      lane.sim_now =
-          std::max(lane.sim_now, lane.requests[lane.arrived].arrival_ns);
-      continue;
-    }
-    const size_t idx = lane.queue.front();
-    lane.queue.pop_front();
-    const Request& r = lane.requests[idx];
-    if (options_.enforce_deadlines && r.deadline_ns > 0 &&
-        lane.sim_now > r.deadline_ns) {
-      // SLO-dead before service even starts: shed instead of wasting a
-      // restore. Costs no simulated time and no chunk budget.
-      shed(lane, idx, ShedCause::kDeadlineExpired);
-      continue;
-    }
-    Result<InvocationOutcome> out =
-        lane.host->invoke(lane.name, r.input, r.seed);
-    if (!out.ok()) {  // inputs are pre-validated; belt-and-braces path
-      record_error(out.code(), out.message());
-      lane.arrived = lane.requests.size();
-      lane.queue.clear();
-      break;
-    }
-    const InvocationOutcome& o = *out;
-    lane.sim_now += o.result.total_ns();
-    chunk_service_ns += o.result.total_ns();
-    lane.last_setup_ns = o.result.setup.setup_ns;
-    ++lane.overload.completed;
-    if (r.deadline_ns > 0 && lane.sim_now > r.deadline_ns) {
-      ++lane.overload.deadline_misses;
-      lane.series->deadline_misses.fetch_add(1, std::memory_order_relaxed);
-    }
-    lane.series->record(o.toss_phase, o.cold_boot, o.result.total_ns(),
-                        o.result.setup.setup_ns, o.result.exec.exec_ns,
-                        o.charge, o.recovery);
-    if (options_.keep_outcomes) lane.outcomes.push_back(o);
-    --budget;
-  }
-
-  // Watchdog: a chunk whose simulated service time blows the bound marks a
-  // pathologically slow lane; trip its breaker so it degrades to the
-  // single-tier rung instead of dragging the whole epoch.
-  if (options_.watchdog_chunk_budget_ns > 0 &&
-      chunk_service_ns > options_.watchdog_chunk_budget_ns) {
-    lane.host->trip_breaker(lane.name);
-    ++lane.overload.watchdog_trips;
-    lane.series->watchdog_trips.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  lane.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-}
-
-void PlatformEngine::enforce_global_queue_bound() {
-  if (options_.max_global_queue == 0) return;
-  size_t total = 0;
-  for (const auto& lane : lanes_) total += lane->queue.size();
-  while (total > options_.max_global_queue) {
-    // Trim the longest queue; ties break toward the lowest lane index.
-    size_t victim = lanes_.size();
-    for (size_t i = 0; i < lanes_.size(); ++i)
-      if (!lanes_[i]->queue.empty() &&
-          (victim == lanes_.size() ||
-           lanes_[i]->queue.size() > lanes_[victim]->queue.size()))
-        victim = i;
-    if (victim == lanes_.size()) return;  // unreachable; defensive
-    Lane& lane = *lanes_[victim];
-    const size_t idx = options_.drop_policy == DropPolicy::kTailDrop
-                           ? lane.queue.back()
-                           : lane.queue.front();
-    if (options_.drop_policy == DropPolicy::kTailDrop)
-      lane.queue.pop_back();
-    else
-      lane.queue.pop_front();
-    shed(lane, idx, ShedCause::kGlobalOverload);
-    --total;
-  }
-}
-
-void PlatformEngine::arbiter_tick(FastTierArbiter& arbiter, u64 epoch) {
-  std::vector<FastTierArbiter::LaneDemand> demands;
-  demands.reserve(lanes_.size());
-  for (size_t i = 0; i < lanes_.size(); ++i) {
-    Lane& lane = *lanes_[i];
-    FastTierArbiter::LaneDemand d;
-    d.lane = i;
-    d.name = &lane.name;
-    const bool drained = lane.drained();
-    d.active = !drained && !lane.requests.empty();
-    if (drained && !lane.finish_reported && !lane.requests.empty()) {
-      d.just_finished = true;
-      lane.finish_reported = true;
-    }
-    const ServerlessPlatform::ResidentBytes rb =
-        lane.host->resident_bytes(lane.name);
-    d.fast_bytes = rb.fast;
-    d.slow_bytes = rb.slow;
-    const TossFunction* toss = lane.host->toss_state(lane.name);
-    d.demotable = toss != nullptr && toss->phase() == TossPhase::kTiered;
-    d.cold_cost_ns = lane.last_setup_ns;
-    demands.push_back(d);
-  }
-
-  const auto apply = [this](size_t li, int rung,
-                            std::optional<u64> cap) -> std::optional<u64> {
-    Lane& lane = *lanes_[li];
-    TossFunction* toss = lane.host->toss_state_mutable(lane.name);
-    if (toss == nullptr || !toss->retier(cap)) return std::nullopt;
-    if (rung > lane.rung) {
-      ++lane.overload.demotions;
-      lane.series->demotions.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      ++lane.overload.promotions;
-      lane.series->promotions.fetch_add(1, std::memory_order_relaxed);
-    }
-    lane.rung = rung;
-    return lane.host->resident_bytes(lane.name).fast;
-  };
-  arbiter.tick(epoch, demands, apply);
-}
-
-Result<EngineReport> PlatformEngine::run_epochs(int threads) {
-  ArbiterOptions aopt = options_.arbiter;
-  if (aopt.fast_budget_bytes == 0)
-    aopt.fast_budget_bytes = cfg_.fast.capacity_bytes;
-  FastTierArbiter arbiter(aopt, aopt.fast_budget_bytes);
-
-  // Persistent pool; null = the serial reference path (parallel_for runs
-  // inline on the caller's thread for n <= 1 or a null pool).
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1 && lanes_.size() > 1)
-    pool = std::make_unique<ThreadPool>(threads);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  for (u64 epoch = 0;; ++epoch) {
-    std::vector<size_t> active;
-    active.reserve(lanes_.size());
-    for (size_t i = 0; i < lanes_.size(); ++i)
-      if (!lanes_[i]->drained()) active.push_back(i);
-    if (active.empty()) break;
-
-    // Snapshot the admission gate once per epoch so every lane sees the
-    // same decision regardless of scheduling.
-    const bool closed = aopt.enabled && arbiter.admission_closed();
-    parallel_for(pool.get(), active.size(), [&](size_t k) {
-      process_chunk_overload(*lanes_[active[k]], closed);
-    });
-    // parallel_for joins before returning, so reading the failure flag and
-    // running the serial barrier below cannot race with workers.
-    if (failed_) break;
-
-    enforce_global_queue_bound();
-    if (aopt.enabled) arbiter_tick(arbiter, epoch);
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-
-  if (failed_) return {error_code_, error_message_};
-
-  EngineReport report = assemble_report(
-      threads,
-      static_cast<Nanos>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()));
-  report.arbiter = arbiter.report();
-  return report;
-}
-
-const TossFunction* PlatformEngine::toss_state(const std::string& name) const {
-  for (const auto& lane : lanes_)
-    if (lane->name == name) return lane->host->toss_state(name);
-  return nullptr;
-}
-
-const ServerlessPlatform* PlatformEngine::lane_host(
-    const std::string& name) const {
-  for (const auto& lane : lanes_)
-    if (lane->name == name) return lane->host.get();
-  return nullptr;
+Result<EngineReport> PlatformEngine::drain(const RequestBatch& batch,
+                                           int threads) {
+  if (ran_)
+    return {ErrorCode::kEngineBusy,
+            "engine already ran; build a new engine for another fleet"};
+  drained_ = true;
+  for (const LaneBatch& b : batch)
+    if (Result<void> q = host_.enqueue(b.function, b.requests); !q.ok())
+      return {q.code(), q.message()};
+  return host_.drain(threads);
 }
 
 }  // namespace toss

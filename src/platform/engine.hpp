@@ -6,11 +6,11 @@
 // own page cache, own policy state machine) plus its request stream — and
 // a sharded scheduler drains all lanes over a worker pool.
 //
-// Guarantees:
+// Since the Host extraction (platform/host.hpp, platform-internal) the
+// engine is a thin façade over one Host. All the guarantees live there:
 //   - Per-function serialization. A lane is owned by at most one worker at
-//     a time (it sits in the ready queue exactly once), so a TossFunction
-//     state machine is never re-entered concurrently. The engine counts
-//     violations of this invariant and reports them (always 0).
+//     a time, so a TossFunction state machine is never re-entered
+//     concurrently; violations are counted and reported (always 0).
 //   - Determinism. Lanes share no mutable state — snapshot file ids, the
 //     host page cache and RNG streams are all lane-local — so per-function
 //     results are bit-for-bit identical for any thread count, including
@@ -26,154 +26,38 @@
 // `chunk` >= stream length degenerates to one task per function.
 //
 // Overload protection (DESIGN.md §9). When any overload knob is set
-// (bounded queues, deadlines, watchdog, or the fast-tier arbiter), run()
-// switches to an epoch-barrier scheduler: each epoch processes one chunk
-// per active lane in parallel (lanes stay isolated), then a serial barrier
-// enforces the global queue bound and ticks the arbiter in lane
+// (bounded queues, deadlines, watchdog, or the fast-tier arbiter), the
+// drain switches to an epoch-barrier scheduler: each epoch processes one
+// chunk per active lane in parallel (lanes stay isolated), then a serial
+// barrier enforces the global queue bound and ticks the arbiter in lane
 // registration order. Requests flow through a per-lane simulated-time
 // queue — arrivals are admitted when the lane's simulated clock reaches
 // Request::arrival_ns, bounded queues shed deterministically under the
 // configured DropPolicy, and work whose deadline already passed is shed
 // before wasting a restore. Every shed is typed (ErrorCode::kOverloaded)
 // and ledgered; the ledgers are bit-identical for any thread count.
+//
+// Two drain models:
+//   - run(): the original single-shot drain. A second run() (or an add()
+//     after it) fails with kEngineBusy. Source-compatible with every
+//     pre-Host client.
+//   - drain(batch): reusable. Appends the batch to retained lanes (each
+//     entry validated against its lane's existing arrival tail), serves
+//     everything pending, and returns a *cumulative* report. Lane state —
+//     simulated clocks, arbiter rungs, keep-alive pool, all ledgers —
+//     persists between drains, and because lane-local decisions depend
+//     only on the simulated clock, N successive drains are bit-identical
+//     to one run() over the concatenated streams (for lane-local overload
+//     knobs; the cross-lane global bound and arbiter ladder see epoch
+//     boundaries, which batching shifts).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "platform/arbiter.hpp"
-#include "platform/concurrency.hpp"
-#include "platform/metrics.hpp"
-#include "platform/platform.hpp"
+#include "platform/host.hpp"
 
 namespace toss {
-
-/// What a bounded lane queue sheds when full.
-enum class DropPolicy : u8 {
-  kTailDrop = 0,  ///< shed the newly arrived request
-  kOldestDrop,    ///< shed the head of the queue, admit the newcomer
-};
-
-const char* drop_policy_name(DropPolicy policy);
-
-/// Why a request was shed instead of served.
-enum class ShedCause : u8 {
-  kQueueFull = 0,     ///< per-lane queue at max_lane_queue
-  kGlobalOverload,    ///< global queue bound trimmed the longest lane queue
-  kAdmissionClosed,   ///< the arbiter closed admission (ladder rung C)
-  kDeadlineExpired,   ///< deadline already past when the request was popped
-};
-
-const char* shed_cause_name(ShedCause cause);
-
-/// One shed decision; part of the determinism contract (the sequence is
-/// bit-identical for any thread count at a fixed seed).
-struct ShedEvent {
-  size_t request_index = 0;  ///< index into the lane's request stream
-  ShedCause cause = ShedCause::kQueueFull;
-  Nanos sim_ns = 0;  ///< lane-local simulated time of the decision
-
-  bool operator==(const ShedEvent&) const = default;
-};
-
-/// The typed rejection a shed request would have surfaced to its caller.
-Error shed_error(const std::string& function, const ShedEvent& event);
-
-/// Per-lane admission/shedding ledger totals.
-struct OverloadStats {
-  u64 offered = 0;    ///< arrivals that reached admission control
-  u64 admitted = 0;   ///< arrivals that entered the queue
-  u64 completed = 0;  ///< requests actually served
-  u64 shed_queue_full = 0;
-  u64 shed_global = 0;
-  u64 shed_admission = 0;
-  u64 shed_deadline = 0;
-  /// Served past their deadline (admitted, not shed, but SLO-late).
-  u64 deadline_misses = 0;
-  u64 demotions = 0;   ///< arbiter re-tiered this lane down a rung
-  u64 promotions = 0;  ///< arbiter re-tiered this lane back up
-  u64 watchdog_trips = 0;
-  size_t queue_peak = 0;  ///< high-water mark of the lane queue
-
-  u64 total_shed() const {
-    return shed_queue_full + shed_global + shed_admission + shed_deadline;
-  }
-
-  bool operator==(const OverloadStats&) const = default;
-};
-
-struct EngineOptions {
-  /// Worker threads for run(); 0 = ThreadPool::hardware_threads().
-  int threads = 0;
-  /// Requests a worker processes per lane ownership (>= 1).
-  int chunk = 8;
-  /// Keep every InvocationOutcome in the report (in request order).
-  bool keep_outcomes = true;
-  /// Fault plan for the chaos harness. Each lane derives an independent
-  /// injector seeded by (fault_plan.seed, lane name), so the fault sequence
-  /// a lane sees is identical for any thread count. Inert unless the build
-  /// sets -DTOSS_FAULTS=ON.
-  FaultPlan fault_plan;
-
-  // ---- Overload protection (any non-default knob engages the
-  // epoch-barrier scheduler; all defaults = legacy unbounded behavior) ----
-
-  /// Bound on each lane's admitted-but-unserved queue; 0 = unbounded.
-  size_t max_lane_queue = 0;
-  /// Bound on the fleet-wide sum of lane queue depths; 0 = unbounded.
-  size_t max_global_queue = 0;
-  DropPolicy drop_policy = DropPolicy::kTailDrop;
-  /// Shed queued requests whose Request::deadline_ns already passed
-  /// instead of wasting a restore on SLO-dead work.
-  bool enforce_deadlines = false;
-  /// Watchdog: when one lane chunk's simulated service time exceeds this
-  /// bound, the lane's circuit breaker is tripped open. 0 = off.
-  Nanos watchdog_chunk_budget_ns = 0;
-  /// Fleet fast-tier budget arbiter (platform/arbiter.hpp).
-  ArbiterOptions arbiter;
-  /// Keep per-lane ShedEvent ledgers in the report.
-  bool keep_shed_events = true;
-
-  bool overload_protection() const {
-    return max_lane_queue > 0 || max_global_queue > 0 || enforce_deadlines ||
-           watchdog_chunk_budget_ns > 0 || arbiter.enabled;
-  }
-};
-
-struct FunctionReport {
-  std::string name;
-  PolicyKind policy = PolicyKind::kToss;
-  FunctionStats stats;
-  TossPhase final_phase = TossPhase::kInitial;  ///< kToss lanes only
-  /// Request-order outcomes; empty unless EngineOptions::keep_outcomes.
-  std::vector<InvocationOutcome> outcomes;
-  /// Admission/shedding ledger; all-zero under the legacy scheduler.
-  OverloadStats overload;
-  /// Shed decisions in decision order; empty unless keep_shed_events and
-  /// the overload scheduler ran.
-  std::vector<ShedEvent> shed_events;
-};
-
-struct EngineReport {
-  std::vector<FunctionReport> functions;  ///< registration order
-  Nanos wall_ns = 0;   ///< real elapsed time of the drain (not simulated)
-  int threads = 1;
-  /// Times a lane was observed concurrently re-entered. Always 0; exposed
-  /// so tests assert the serialization guarantee instead of trusting it.
-  u64 serialization_violations = 0;
-  MetricsSnapshot metrics;
-  /// Fleet arbiter ledger; all-default unless EngineOptions::arbiter.enabled.
-  ArbiterReport arbiter;
-
-  u64 total_invocations() const;
-  u64 total_shed() const;
-  const FunctionReport* find(const std::string& name) const;
-};
 
 class PlatformEngine {
  public:
@@ -191,7 +75,7 @@ class PlatformEngine {
   Result<void> add(const FunctionRegistration& registration,
                    std::vector<Request> requests);
 
-  size_t function_count() const { return lanes_.size(); }
+  size_t function_count() const { return host_.function_count(); }
 
   /// Drain every lane's request stream with options().threads workers.
   /// Single-shot: a second call fails with kEngineBusy.
@@ -199,76 +83,32 @@ class PlatformEngine {
   /// Same, overriding the thread count (1 = serial reference path).
   Result<EngineReport> run(int threads);
 
+  /// Reusable drain: append `batch` to the retained lanes, serve
+  /// everything pending, return the cumulative report. Callable any number
+  /// of times; incompatible with run() (either model, not both).
+  Result<EngineReport> drain(const RequestBatch& batch = {});
+  Result<EngineReport> drain(const RequestBatch& batch, int threads);
+
   /// Live metrics (also embedded in the final report).
-  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  MetricsSnapshot metrics() const { return host_.metrics(); }
 
   /// Lane state inspection (nullptr for unknown / non-TOSS lanes).
-  const TossFunction* toss_state(const std::string& name) const;
+  const TossFunction* toss_state(const std::string& name) const {
+    return host_.toss_state(name);
+  }
   /// The lane's isolated single-function host (nullptr for unknown names);
   /// exposes its snapshot store, fault injector and circuit breaker for
   /// chaos-suite introspection.
-  const ServerlessPlatform* lane_host(const std::string& name) const;
+  const ServerlessPlatform* lane_host(const std::string& name) const {
+    return host_.lane_host(name);
+  }
 
-  const EngineOptions& options() const { return options_; }
+  const EngineOptions& options() const { return host_.options(); }
 
  private:
-  struct Lane {
-    std::string name;
-    PolicyKind policy = PolicyKind::kToss;
-    /// Isolated host: lane-local snapshot store, page cache and stats, so
-    /// no cross-lane state can make results depend on scheduling.
-    std::unique_ptr<ServerlessPlatform> host;
-    std::vector<Request> requests;
-    size_t next = 0;
-    std::vector<InvocationOutcome> outcomes;
-    FunctionSeries* series = nullptr;
-    std::atomic<int> in_flight{0};
-
-    // Overload-scheduler state (untouched on the legacy path).
-    std::deque<size_t> queue;  ///< admitted, unserved request indices
-    size_t arrived = 0;        ///< requests[0..arrived) reached admission
-    Nanos sim_now = 0;         ///< lane-local simulated clock
-    Nanos last_setup_ns = 0;   ///< keep-alive cold-cost estimate
-    OverloadStats overload;
-    std::vector<ShedEvent> shed_events;
-    bool finish_reported = false;  ///< keep-alive insert happened
-    int rung = 0;                  ///< arbiter demotion rung
-
-    bool drained() const { return arrived >= requests.size() && queue.empty(); }
-  };
-
-  void process_chunk(Lane& lane);
-  void scheduler_loop();
-  void record_error(ErrorCode code, std::string message);
-
-  // Epoch-barrier overload scheduler (engaged by overload_protection()).
-  Result<EngineReport> run_epochs(int threads);
-  void process_chunk_overload(Lane& lane, bool admission_closed);
-  void admit_arrivals(Lane& lane, bool admission_closed);
-  void shed(Lane& lane, size_t request_index, ShedCause cause);
-  void enforce_global_queue_bound();
-  void arbiter_tick(FastTierArbiter& arbiter, u64 epoch);
-  EngineReport assemble_report(int threads, Nanos wall_ns);
-
-  SystemConfig cfg_;
-  PricingPlan pricing_;
-  EngineOptions options_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
-  MetricsRegistry metrics_;
-  bool ran_ = false;
-
-  // Scheduler state (valid during run()). The mutex is rank-checked: a
-  // worker holding it may still create metric series (kMetricsRegistry
-  // ranks higher), but the registry must never call back into the engine.
-  RankedMutex mu_{LockRank::kEngineScheduler, "PlatformEngine::mu_"};
-  std::condition_variable_any ready_cv_;
-  std::deque<size_t> ready_;
-  size_t unfinished_ = 0;
-  bool abort_ = false;
-  std::atomic<u64> serialization_violations_{0};
-  ErrorCode error_code_ = ErrorCode::kInvalidRequest;
-  std::string error_message_;
-  bool failed_ = false;
+  Host host_;
+  bool ran_ = false;      ///< run() happened (single-shot model engaged)
+  bool drained_ = false;  ///< drain() happened (reusable model engaged)
 };
 
 }  // namespace toss

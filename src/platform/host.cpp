@@ -1,0 +1,640 @@
+#include "platform/host.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace toss {
+
+const char* drop_policy_name(DropPolicy policy) {
+  switch (policy) {
+    case DropPolicy::kTailDrop: return "tail_drop";
+    case DropPolicy::kOldestDrop: return "oldest_drop";
+  }
+  return "?";
+}
+
+const char* shed_cause_name(ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kQueueFull: return "queue_full";
+    case ShedCause::kGlobalOverload: return "global_overload";
+    case ShedCause::kAdmissionClosed: return "admission_closed";
+    case ShedCause::kDeadlineExpired: return "deadline_expired";
+  }
+  return "?";
+}
+
+Error shed_error(const std::string& function, const ShedEvent& event) {
+  return Error(ErrorCode::kOverloaded,
+               function + ": request " + std::to_string(event.request_index) +
+                   " shed (" + shed_cause_name(event.cause) + ")");
+}
+
+u64 EngineReport::total_invocations() const {
+  u64 n = 0;
+  for (const FunctionReport& f : functions) n += f.stats.invocations;
+  return n;
+}
+
+u64 EngineReport::total_shed() const {
+  u64 n = 0;
+  for (const FunctionReport& f : functions) n += f.overload.total_shed();
+  return n;
+}
+
+const FunctionReport* EngineReport::find(const std::string& name) const {
+  for (const FunctionReport& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+Host::Host(std::string name, SystemConfig cfg, PricingPlan pricing,
+           EngineOptions options)
+    : name_(std::move(name)),
+      cfg_(std::move(cfg)),
+      pricing_(pricing),
+      options_(options) {
+  options_.chunk = std::max(1, options_.chunk);
+}
+
+Host::~Host() = default;
+
+HostLane* Host::find_lane(const std::string& name) {
+  for (const auto& lane : lanes_)
+    if (lane != nullptr && lane->name == name) return lane.get();
+  return nullptr;
+}
+
+const HostLane* Host::find_lane(const std::string& name) const {
+  for (const auto& lane : lanes_)
+    if (lane != nullptr && lane->name == name) return lane.get();
+  return nullptr;
+}
+
+Result<void> Host::validate_requests(
+    const std::string& name, const std::vector<Request>& requests) const {
+  // Reject malformed streams up front so the drain cannot fail per-request.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    if (r.input < 0 || r.input >= kNumInputs)
+      return {ErrorCode::kInvalidRequest,
+              name + ": request input " + std::to_string(r.input) +
+                  " outside [0, " + std::to_string(kNumInputs) + ")"};
+    if (r.arrival_ns < 0 || r.deadline_ns < 0)
+      return {ErrorCode::kInvalidRequest,
+              name + ": request " + std::to_string(i) +
+                  " has a negative arrival or deadline"};
+    if (i > 0 && r.arrival_ns < requests[i - 1].arrival_ns)
+      return {ErrorCode::kInvalidRequest,
+              name + ": request " + std::to_string(i) +
+                  " arrives before its predecessor (streams must be sorted "
+                  "by arrival_ns)"};
+  }
+  return {};
+}
+
+Result<void> Host::add(const FunctionRegistration& registration,
+                       std::vector<Request> requests) {
+  const std::string& name = registration.spec().name;
+  if (find_lane(name) != nullptr)
+    return {ErrorCode::kDuplicateFunction, name + " is already registered"};
+  if (Result<void> valid = validate_requests(name, requests); !valid.ok())
+    return valid;
+
+  auto lane = std::make_unique<HostLane>();
+  lane->name = name;
+  lane->policy = registration.policy();
+  // Each lane gets its own injector stream keyed by name, so lanes fault
+  // independently and deterministically regardless of scheduling.
+  FaultPlan lane_plan = options_.fault_plan;
+  lane_plan.seed = mix_seed(options_.fault_plan.seed, name);
+  lane->host =
+      std::make_unique<ServerlessPlatform>(cfg_, pricing_, std::move(lane_plan));
+  if (Result<void> reg = lane->host->register_function(registration);
+      !reg.ok())
+    return reg;
+  lane->requests = std::move(requests);
+  if (options_.keep_outcomes) lane->outcomes.reserve(lane->requests.size());
+  lane->series = metrics_.series(name);
+  lanes_.push_back(std::move(lane));
+  return {};
+}
+
+Result<void> Host::enqueue(const std::string& function,
+                           std::vector<Request> requests) {
+  HostLane* lane = find_lane(function);
+  if (lane == nullptr)
+    return {ErrorCode::kUnknownFunction,
+            function + " is not registered on host " + name_};
+  if (Result<void> valid = validate_requests(function, requests); !valid.ok())
+    return valid;
+  if (requests.empty()) return {};
+  if (!lane->requests.empty() &&
+      requests.front().arrival_ns < lane->requests.back().arrival_ns)
+    return {ErrorCode::kInvalidRequest,
+            function + ": batch arrives before the lane's existing tail "
+                       "(the simulated clock only moves forward)"};
+  // The lane is live again: the next time it drains counts as a fresh
+  // finish for the keep-alive accounting.
+  lane->finish_reported = false;
+  if (options_.keep_outcomes)
+    lane->outcomes.reserve(lane->outcomes.size() + requests.size());
+  lane->requests.insert(lane->requests.end(),
+                        std::make_move_iterator(requests.begin()),
+                        std::make_move_iterator(requests.end()));
+  return {};
+}
+
+size_t Host::function_count() const {
+  size_t n = 0;
+  for (const auto& lane : lanes_)
+    if (lane != nullptr) ++n;
+  return n;
+}
+
+bool Host::idle() const {
+  for (const auto& lane : lanes_) {
+    if (lane == nullptr) continue;
+    if (options_.overload_protection() ? !lane->drained()
+                                       : lane->next < lane->requests.size())
+      return false;
+  }
+  return true;
+}
+
+void Host::record_error(ErrorCode code, std::string message) {
+  std::lock_guard<RankedMutex> lock(mu_);
+  if (!failed_) {
+    failed_ = true;
+    error_code_ = code;
+    error_message_ = std::move(message);
+  }
+  abort_ = true;
+  ready_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy chunked round-robin scheduler (no overload knobs set).
+
+void Host::process_chunk(HostLane& lane) {
+  // Serialization guard: the scheduler hands a lane to one worker at a
+  // time; a violation here means the queue invariant broke. Release builds
+  // count it (EngineReport::serialization_violations, asserted 0 by
+  // tests); checked builds abort on the spot, before the re-entered
+  // TossFunction state machine can corrupt anything.
+  const int prior = lane.in_flight.fetch_add(1, std::memory_order_acq_rel);
+  TOSS_ASSERT(prior == 0, "lane re-entered concurrently");
+  if (prior != 0)
+    serialization_violations_.fetch_add(1, std::memory_order_relaxed);
+
+  const size_t end = std::min(lane.requests.size(),
+                              lane.next + static_cast<size_t>(options_.chunk));
+  for (; lane.next < end; ++lane.next) {
+    const Request& r = lane.requests[lane.next];
+    Result<InvocationOutcome> out = lane.host->invoke(lane.name, r.input, r.seed);
+    if (!out.ok()) {  // inputs are pre-validated; this is a belt-and-braces path
+      record_error(out.code(), out.message());
+      lane.next = lane.requests.size();
+      break;
+    }
+    const InvocationOutcome& o = *out;
+    lane.series->record(o.toss_phase, o.cold_boot, o.result.total_ns(),
+                        o.result.setup.setup_ns, o.result.exec.exec_ns,
+                        o.charge, o.recovery);
+    if (options_.keep_outcomes) lane.outcomes.push_back(o);
+  }
+
+  lane.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Host::scheduler_loop() {
+  for (;;) {
+    size_t idx;
+    {
+      std::unique_lock<RankedMutex> lock(mu_);
+      ready_cv_.wait(lock, [this] {
+        return abort_ || !ready_.empty() || unfinished_ == 0;
+      });
+      if (abort_ || (ready_.empty() && unfinished_ == 0)) return;
+      if (ready_.empty()) continue;  // spurious wake while others finish
+      idx = ready_.front();
+      ready_.pop_front();
+    }
+
+    HostLane& lane = *lanes_[idx];
+    process_chunk(lane);
+
+    {
+      std::lock_guard<RankedMutex> lock(mu_);
+      if (lane.next < lane.requests.size()) {
+        ready_.push_back(idx);
+        ready_cv_.notify_one();
+      } else if (--unfinished_ == 0) {
+        ready_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Host::drain_legacy(int threads) {
+  size_t pending = 0;
+  {
+    std::lock_guard<RankedMutex> lock(mu_);
+    ready_.clear();
+    unfinished_ = 0;
+    abort_ = failed_;  // a prior drain's sticky failure still aborts
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i] == nullptr) continue;
+      if (lanes_[i]->next >= lanes_[i]->requests.size()) continue;
+      ready_.push_back(i);
+      ++unfinished_;
+    }
+    pending = unfinished_;
+  }
+
+  if (threads == 1 || pending <= 1) {
+    // Serial reference path: same scheduler, caller's thread.
+    scheduler_loop();
+  } else {
+    ThreadPool pool(threads);
+    for (int t = 0; t < threads; ++t)
+      pool.submit([this] { scheduler_loop(); });
+    pool.wait_idle();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-barrier overload scheduler (DESIGN.md §9).
+//
+// Each epoch runs one chunk per active lane over the worker pool — lanes
+// touch only lane-local state, so the parallel phase is trivially
+// deterministic — then a serial barrier applies every cross-lane decision
+// (global queue bound, arbiter ladder) in lane slot order. The resulting
+// shed/arbiter ledgers are bit-identical for any thread count.
+
+void Host::shed(HostLane& lane, size_t request_index, ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kQueueFull:
+      ++lane.overload.shed_queue_full;
+      lane.series->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedCause::kGlobalOverload:
+      ++lane.overload.shed_global;
+      lane.series->shed_queue_global.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedCause::kAdmissionClosed:
+      ++lane.overload.shed_admission;
+      lane.series->shed_admission.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedCause::kDeadlineExpired:
+      ++lane.overload.shed_deadline;
+      lane.series->shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (options_.keep_shed_events)
+    lane.shed_events.push_back(ShedEvent{request_index, cause, lane.sim_now});
+}
+
+void Host::admit_arrivals(HostLane& lane, bool admission_closed) {
+  while (lane.arrived < lane.requests.size() &&
+         lane.requests[lane.arrived].arrival_ns <= lane.sim_now) {
+    const size_t idx = lane.arrived++;
+    ++lane.overload.offered;
+    // Every offered arrival feeds the inter-arrival predictor (prewarm
+    // handshake): sheds are demand too.
+    lane.predictor.observe(lane.requests[idx].arrival_ns);
+    if (admission_closed) {
+      shed(lane, idx, ShedCause::kAdmissionClosed);
+      continue;
+    }
+    if (options_.max_lane_queue > 0 &&
+        lane.queue.size() >= options_.max_lane_queue) {
+      if (options_.drop_policy == DropPolicy::kTailDrop) {
+        shed(lane, idx, ShedCause::kQueueFull);
+        continue;
+      }
+      // Oldest-drop: the newcomer displaces the stalest queued request.
+      shed(lane, lane.queue.front(), ShedCause::kQueueFull);
+      lane.queue.pop_front();
+    }
+    lane.queue.push_back(idx);
+    ++lane.overload.admitted;
+    lane.series->admitted.fetch_add(1, std::memory_order_relaxed);
+    lane.overload.queue_peak =
+        std::max(lane.overload.queue_peak, lane.queue.size());
+  }
+}
+
+void Host::process_chunk_overload(HostLane& lane, bool admission_closed) {
+  const int prior = lane.in_flight.fetch_add(1, std::memory_order_acq_rel);
+  TOSS_ASSERT(prior == 0, "lane re-entered concurrently");
+  if (prior != 0)
+    serialization_violations_.fetch_add(1, std::memory_order_relaxed);
+
+  Nanos chunk_service_ns = 0;
+  int budget = options_.chunk;
+  while (budget > 0) {
+    admit_arrivals(lane, admission_closed);
+    if (lane.queue.empty()) {
+      if (lane.arrived >= lane.requests.size()) break;  // stream drained
+      // Idle: fast-forward the simulated clock to the next arrival.
+      lane.sim_now =
+          std::max(lane.sim_now, lane.requests[lane.arrived].arrival_ns);
+      continue;
+    }
+    const size_t idx = lane.queue.front();
+    lane.queue.pop_front();
+    const Request& r = lane.requests[idx];
+    if (options_.enforce_deadlines && r.deadline_ns > 0 &&
+        lane.sim_now > r.deadline_ns) {
+      // SLO-dead before service even starts: shed instead of wasting a
+      // restore. Costs no simulated time and no chunk budget.
+      shed(lane, idx, ShedCause::kDeadlineExpired);
+      continue;
+    }
+    Result<InvocationOutcome> out =
+        lane.host->invoke(lane.name, r.input, r.seed);
+    if (!out.ok()) {  // inputs are pre-validated; belt-and-braces path
+      record_error(out.code(), out.message());
+      lane.arrived = lane.requests.size();
+      lane.queue.clear();
+      break;
+    }
+    const InvocationOutcome& o = *out;
+    lane.sim_now += o.result.total_ns();
+    chunk_service_ns += o.result.total_ns();
+    lane.last_setup_ns = o.result.setup.setup_ns;
+    ++lane.overload.completed;
+    if (r.deadline_ns > 0 && lane.sim_now > r.deadline_ns) {
+      ++lane.overload.deadline_misses;
+      lane.series->deadline_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    lane.series->record(o.toss_phase, o.cold_boot, o.result.total_ns(),
+                        o.result.setup.setup_ns, o.result.exec.exec_ns,
+                        o.charge, o.recovery);
+    if (options_.keep_outcomes) lane.outcomes.push_back(o);
+    --budget;
+  }
+
+  // Watchdog: a chunk whose simulated service time blows the bound marks a
+  // pathologically slow lane; trip its breaker so it degrades to the
+  // single-tier rung instead of dragging the whole epoch.
+  if (options_.watchdog_chunk_budget_ns > 0 &&
+      chunk_service_ns > options_.watchdog_chunk_budget_ns) {
+    lane.host->trip_breaker(lane.name);
+    ++lane.overload.watchdog_trips;
+    lane.series->watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  lane.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Host::enforce_global_queue_bound() {
+  if (options_.max_global_queue == 0) return;
+  size_t total = 0;
+  for (const auto& lane : lanes_)
+    if (lane != nullptr) total += lane->queue.size();
+  while (total > options_.max_global_queue) {
+    // Trim the longest queue; ties break toward the lowest lane index.
+    size_t victim = lanes_.size();
+    for (size_t i = 0; i < lanes_.size(); ++i)
+      if (lanes_[i] != nullptr && !lanes_[i]->queue.empty() &&
+          (victim == lanes_.size() ||
+           lanes_[i]->queue.size() > lanes_[victim]->queue.size()))
+        victim = i;
+    if (victim == lanes_.size()) return;  // unreachable; defensive
+    HostLane& lane = *lanes_[victim];
+    const size_t idx = options_.drop_policy == DropPolicy::kTailDrop
+                           ? lane.queue.back()
+                           : lane.queue.front();
+    if (options_.drop_policy == DropPolicy::kTailDrop)
+      lane.queue.pop_back();
+    else
+      lane.queue.pop_front();
+    shed(lane, idx, ShedCause::kGlobalOverload);
+    --total;
+  }
+}
+
+FastTierArbiter* Host::ensure_arbiter() {
+  if (arbiter_ == nullptr) {
+    ArbiterOptions aopt = options_.arbiter;
+    if (aopt.fast_budget_bytes == 0)
+      aopt.fast_budget_bytes = cfg_.fast.capacity_bytes;
+    arbiter_ = std::make_unique<FastTierArbiter>(aopt, aopt.fast_budget_bytes);
+  }
+  return arbiter_.get();
+}
+
+u64 Host::fast_budget_bytes() const {
+  return options_.arbiter.fast_budget_bytes != 0
+             ? options_.arbiter.fast_budget_bytes
+             : cfg_.fast.capacity_bytes;
+}
+
+u64 Host::arbiter_resident_fast_bytes() const {
+  return arbiter_ != nullptr ? arbiter_->resident_fast_bytes() : 0;
+}
+
+void Host::arbiter_tick(FastTierArbiter& arbiter, u64 epoch) {
+  std::vector<FastTierArbiter::LaneDemand> demands;
+  demands.reserve(lanes_.size());
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i] == nullptr) continue;  // migrated away
+    HostLane& lane = *lanes_[i];
+    FastTierArbiter::LaneDemand d;
+    d.lane = i;
+    d.name = &lane.name;
+    const bool drained = lane.drained();
+    d.active = !drained && !lane.requests.empty();
+    if (drained && !lane.finish_reported && !lane.requests.empty()) {
+      d.just_finished = true;
+      lane.finish_reported = true;
+    }
+    const ServerlessPlatform::ResidentBytes rb =
+        lane.host->resident_bytes(lane.name);
+    d.fast_bytes = rb.fast;
+    d.slow_bytes = rb.slow;
+    const TossFunction* toss = lane.host->toss_state(lane.name);
+    d.demotable = toss != nullptr && toss->phase() == TossPhase::kTiered;
+    d.cold_cost_ns = lane.last_setup_ns;
+    // Prewarm handshake: a warm VM whose next arrival is predicted soon is
+    // worth more than its GDSF priority alone says. -1 = no prediction.
+    if (options_.arbiter.prewarm_hints) {
+      if (const std::optional<Nanos> next = lane.predictor.predicted_next();
+          next.has_value())
+        d.predicted_reuse_gap_ns = std::max<Nanos>(0, *next - lane.sim_now);
+    }
+    demands.push_back(d);
+  }
+
+  const auto apply = [this](size_t li, int rung,
+                            std::optional<u64> cap) -> std::optional<u64> {
+    HostLane& lane = *lanes_[li];
+    TossFunction* toss = lane.host->toss_state_mutable(lane.name);
+    if (toss == nullptr || !toss->retier(cap)) return std::nullopt;
+    if (rung > lane.rung) {
+      ++lane.overload.demotions;
+      lane.series->demotions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++lane.overload.promotions;
+      lane.series->promotions.fetch_add(1, std::memory_order_relaxed);
+    }
+    lane.rung = rung;
+    return lane.host->resident_bytes(lane.name).fast;
+  };
+  arbiter.tick(epoch, demands, apply);
+}
+
+Result<void> Host::step_epoch(ThreadPool* pool) {
+  if (failed_) return {error_code_, error_message_};
+  std::vector<size_t> active;
+  active.reserve(lanes_.size());
+  for (size_t i = 0; i < lanes_.size(); ++i)
+    if (lanes_[i] != nullptr && !lanes_[i]->drained()) active.push_back(i);
+  if (active.empty()) return {};
+
+  FastTierArbiter* arbiter =
+      options_.arbiter.enabled ? ensure_arbiter() : nullptr;
+  // Snapshot the admission gate once per epoch so every lane sees the same
+  // decision regardless of scheduling.
+  const bool closed = arbiter != nullptr && arbiter->admission_closed();
+  parallel_for(pool, active.size(), [&](size_t k) {
+    process_chunk_overload(*lanes_[active[k]], closed);
+  });
+  // parallel_for joins before returning, so reading the failure flag and
+  // running the serial barrier below cannot race with workers.
+  if (failed_) return {error_code_, error_message_};
+
+  enforce_global_queue_bound();
+  if (arbiter != nullptr) {
+    arbiter_tick(*arbiter, epoch_);
+    closed_streak_ = arbiter->admission_closed() ? closed_streak_ + 1 : 0;
+  }
+  ++epoch_;
+  return {};
+}
+
+Result<EngineReport> Host::drain(int threads) {
+  if (failed_) return {error_code_, error_message_};
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (options_.overload_protection()) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1 && function_count() > 1)
+      pool = std::make_unique<ThreadPool>(threads);
+    while (!idle()) {
+      if (!step_epoch(pool.get()).ok()) break;
+    }
+  } else {
+    drain_legacy(threads);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_ns_ += static_cast<Nanos>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+
+  if (failed_) return {error_code_, error_message_};
+  return report(threads);
+}
+
+EngineReport Host::report(int threads) const {
+  EngineReport report;
+  report.threads = threads;
+  report.wall_ns = wall_ns_;
+  report.serialization_violations =
+      serialization_violations_.load(std::memory_order_relaxed);
+  report.functions.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    if (lane == nullptr) continue;  // migrated away; its new host reports it
+    FunctionReport f;
+    f.name = lane->name;
+    f.policy = lane->policy;
+    f.stats = lane->host->stats(lane->name);
+    if (const TossFunction* toss = lane->host->toss_state(lane->name))
+      f.final_phase = toss->phase();
+    // Copied, not moved: the lanes stay serviceable and the next drain's
+    // report must still be cumulative.
+    f.outcomes = lane->outcomes;
+    f.overload = lane->overload;
+    f.shed_events = lane->shed_events;
+    report.functions.push_back(std::move(f));
+  }
+  report.metrics = metrics();
+  if (arbiter_ != nullptr) report.arbiter = arbiter_->report();
+  return report;
+}
+
+MetricsSnapshot Host::metrics() const {
+  MetricsSnapshot snap = metrics_.snapshot();
+  snap.host = name_;
+  return snap;
+}
+
+const TossFunction* Host::toss_state(const std::string& name) const {
+  const HostLane* lane = find_lane(name);
+  return lane != nullptr ? lane->host->toss_state(name) : nullptr;
+}
+
+const ServerlessPlatform* Host::lane_host(const std::string& name) const {
+  const HostLane* lane = find_lane(name);
+  return lane != nullptr ? lane->host.get() : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Migration hooks (platform/cluster.hpp drives these at its serial barrier).
+
+const HostLane* Host::lane_at(size_t index) const {
+  return index < lanes_.size() ? lanes_[index].get() : nullptr;
+}
+
+size_t Host::largest_tiered_lane() const {
+  size_t best = npos;
+  u64 best_bytes = 0;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const HostLane* lane = lanes_[i].get();
+    if (lane == nullptr || lane->drained()) continue;
+    const TossFunction* toss = lane->host->toss_state(lane->name);
+    if (toss == nullptr || toss->phase() != TossPhase::kTiered) continue;
+    const u64 fast = lane->host->resident_bytes(lane->name).fast;
+    if (best == npos || fast > best_bytes) {
+      best = i;
+      best_bytes = fast;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<HostLane> Host::extract_lane(size_t index) {
+  if (index >= lanes_.size()) return nullptr;
+  // The null tombstone keeps later slot indices stable; the arbiter's
+  // stale-entry handling pops the vanished lane from its demote stack on
+  // the next tick (the same path a finished lane takes).
+  return std::move(lanes_[index]);
+}
+
+Result<void> Host::adopt_lane(std::unique_ptr<HostLane> lane) {
+  if (lane == nullptr)
+    return {ErrorCode::kInvalidRequest, name_ + ": cannot adopt a null lane"};
+  if (find_lane(lane->name) != nullptr)
+    return {ErrorCode::kDuplicateFunction,
+            lane->name + " is already registered on host " + name_};
+  // Invocations recorded before the move stay in the source host's
+  // registry; from here on this host's series accumulates them — the
+  // cluster rollup sums both.
+  lane->series = metrics_.series(lane->name);
+  if (lane->rung != 0) {
+    // Arrive un-demoted: the migration target was chosen for its headroom,
+    // so restore the unconstrained Step-IV placement and let this host's
+    // arbiter re-demote if its budget disagrees.
+    if (TossFunction* toss = lane->host->toss_state_mutable(lane->name))
+      toss->retier(std::nullopt);
+    lane->rung = 0;
+  }
+  lanes_.push_back(std::move(lane));
+  return {};
+}
+
+}  // namespace toss

@@ -1,0 +1,360 @@
+// Host: one simulated serverless host — the lane fleet, both schedulers
+// (legacy chunked round-robin and the epoch-barrier overload path), the
+// bounded admission queues and the per-host fast-tier arbiter, extracted
+// from PlatformEngine so a ClusterEngine (platform/cluster.hpp) can compose
+// many hosts. PlatformEngine (platform/engine.hpp) remains the thin
+// single-host façade clients use.
+//
+// This header is platform-internal: nothing outside src/platform/ may
+// include it directly (toss_lint's host-internal rule). Clients reach the
+// shared types below through "platform/engine.hpp" or
+// "platform/cluster.hpp".
+//
+// What changed relative to the single-shot engine:
+//   - Drains are reusable. drain(threads) serves everything pending and
+//     returns a *cumulative* report; enqueue() appends another request
+//     batch to a retained lane (validated against the lane's existing
+//     arrival tail) and the next drain continues from the retained lane
+//     state — simulated clocks, arbiter rungs and every ledger persist
+//     across drains.
+//   - The arbiter and the epoch counter are host state, not run() locals,
+//     so the graceful-degradation ladder keeps its rungs, its demotion
+//     stack and its warm pool between drains.
+//   - step_epoch() exposes one epoch of the overload scheduler so the
+//     cluster can interleave epochs across hosts deterministically (hosts
+//     stepped in index order, migrations decided at the serial
+//     cluster barrier).
+//   - Lanes can be extracted and adopted whole (cross-host migration).
+//     Extraction leaves a null tombstone so lane indices — which key the
+//     arbiter's rung bookkeeping — stay stable; adoption re-binds the
+//     lane's metrics series to the destination registry.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "platform/arbiter.hpp"
+#include "platform/concurrency.hpp"
+#include "platform/metrics.hpp"
+#include "platform/platform.hpp"
+#include "platform/prewarm.hpp"
+
+namespace toss {
+
+class ThreadPool;
+
+/// What a bounded lane queue sheds when full.
+enum class DropPolicy : u8 {
+  kTailDrop = 0,  ///< shed the newly arrived request
+  kOldestDrop,    ///< shed the head of the queue, admit the newcomer
+};
+
+const char* drop_policy_name(DropPolicy policy);
+
+/// Why a request was shed instead of served.
+enum class ShedCause : u8 {
+  kQueueFull = 0,     ///< per-lane queue at max_lane_queue
+  kGlobalOverload,    ///< global queue bound trimmed the longest lane queue
+  kAdmissionClosed,   ///< the arbiter closed admission (ladder rung C)
+  kDeadlineExpired,   ///< deadline already past when the request was popped
+};
+
+const char* shed_cause_name(ShedCause cause);
+
+/// One shed decision; part of the determinism contract (the sequence is
+/// bit-identical for any thread count at a fixed seed).
+struct ShedEvent {
+  size_t request_index = 0;  ///< index into the lane's request stream
+  ShedCause cause = ShedCause::kQueueFull;
+  Nanos sim_ns = 0;  ///< lane-local simulated time of the decision
+
+  bool operator==(const ShedEvent&) const = default;
+};
+
+/// The typed rejection a shed request would have surfaced to its caller.
+Error shed_error(const std::string& function, const ShedEvent& event);
+
+/// Per-lane admission/shedding ledger totals.
+struct OverloadStats {
+  u64 offered = 0;    ///< arrivals that reached admission control
+  u64 admitted = 0;   ///< arrivals that entered the queue
+  u64 completed = 0;  ///< requests actually served
+  u64 shed_queue_full = 0;
+  u64 shed_global = 0;
+  u64 shed_admission = 0;
+  u64 shed_deadline = 0;
+  /// Served past their deadline (admitted, not shed, but SLO-late).
+  u64 deadline_misses = 0;
+  u64 demotions = 0;   ///< arbiter re-tiered this lane down a rung
+  u64 promotions = 0;  ///< arbiter re-tiered this lane back up
+  u64 watchdog_trips = 0;
+  size_t queue_peak = 0;  ///< high-water mark of the lane queue
+
+  u64 total_shed() const {
+    return shed_queue_full + shed_global + shed_admission + shed_deadline;
+  }
+
+  bool operator==(const OverloadStats&) const = default;
+};
+
+struct EngineOptions {
+  /// Worker threads for run()/drain(); 0 = ThreadPool::hardware_threads().
+  int threads = 0;
+  /// Requests a worker processes per lane ownership (>= 1).
+  int chunk = 8;
+  /// Keep every InvocationOutcome in the report (in request order).
+  bool keep_outcomes = true;
+  /// Fault plan for the chaos harness. Each lane derives an independent
+  /// injector seeded by (fault_plan.seed, lane name), so the fault sequence
+  /// a lane sees is identical for any thread count. Inert unless the build
+  /// sets -DTOSS_FAULTS=ON.
+  FaultPlan fault_plan;
+
+  // ---- Overload protection (any non-default knob engages the
+  // epoch-barrier scheduler; all defaults = legacy unbounded behavior) ----
+
+  /// Bound on each lane's admitted-but-unserved queue; 0 = unbounded.
+  size_t max_lane_queue = 0;
+  /// Bound on the host-wide sum of lane queue depths; 0 = unbounded.
+  size_t max_global_queue = 0;
+  DropPolicy drop_policy = DropPolicy::kTailDrop;
+  /// Shed queued requests whose Request::deadline_ns already passed
+  /// instead of wasting a restore on SLO-dead work.
+  bool enforce_deadlines = false;
+  /// Watchdog: when one lane chunk's simulated service time exceeds this
+  /// bound, the lane's circuit breaker is tripped open. 0 = off.
+  Nanos watchdog_chunk_budget_ns = 0;
+  /// Host fast-tier budget arbiter (platform/arbiter.hpp).
+  ArbiterOptions arbiter;
+  /// Keep per-lane ShedEvent ledgers in the report.
+  bool keep_shed_events = true;
+
+  bool overload_protection() const {
+    return max_lane_queue > 0 || max_global_queue > 0 || enforce_deadlines ||
+           watchdog_chunk_budget_ns > 0 || arbiter.enabled;
+  }
+};
+
+struct FunctionReport {
+  std::string name;
+  PolicyKind policy = PolicyKind::kToss;
+  FunctionStats stats;
+  TossPhase final_phase = TossPhase::kInitial;  ///< kToss lanes only
+  /// Request-order outcomes; empty unless EngineOptions::keep_outcomes.
+  std::vector<InvocationOutcome> outcomes;
+  /// Admission/shedding ledger; all-zero under the legacy scheduler.
+  OverloadStats overload;
+  /// Shed decisions in decision order; empty unless keep_shed_events and
+  /// the overload scheduler ran.
+  std::vector<ShedEvent> shed_events;
+};
+
+struct EngineReport {
+  std::vector<FunctionReport> functions;  ///< registration order
+  Nanos wall_ns = 0;   ///< real elapsed drain time, summed over drains
+  int threads = 1;
+  /// Times a lane was observed concurrently re-entered. Always 0; exposed
+  /// so tests assert the serialization guarantee instead of trusting it.
+  u64 serialization_violations = 0;
+  MetricsSnapshot metrics;
+  /// Host arbiter ledger; all-default unless EngineOptions::arbiter.enabled.
+  ArbiterReport arbiter;
+
+  u64 total_invocations() const;
+  u64 total_shed() const;
+  const FunctionReport* find(const std::string& name) const;
+};
+
+/// One request batch for a retained lane, for PlatformEngine::drain /
+/// Host::enqueue.
+struct LaneBatch {
+  std::string function;
+  std::vector<Request> requests;
+};
+using RequestBatch = std::vector<LaneBatch>;
+
+/// One lane: an isolated single-function host plus its request stream and
+/// every per-lane ledger. Owned by a Host; moved whole between hosts on
+/// migration (lanes share no state, so the unique_ptr move is the entire
+/// data-plane transfer — the simulated snapshot copy cost is charged to
+/// sim_now by the cluster).
+struct HostLane {
+  std::string name;
+  PolicyKind policy = PolicyKind::kToss;
+  /// Isolated host: lane-local snapshot store, page cache and stats, so
+  /// no cross-lane state can make results depend on scheduling.
+  std::unique_ptr<ServerlessPlatform> host;
+  std::vector<Request> requests;
+  size_t next = 0;
+  std::vector<InvocationOutcome> outcomes;
+  FunctionSeries* series = nullptr;
+  std::atomic<int> in_flight{0};
+
+  // Overload-scheduler state (untouched on the legacy path).
+  std::deque<size_t> queue;  ///< admitted, unserved request indices
+  size_t arrived = 0;        ///< requests[0..arrived) reached admission
+  Nanos sim_now = 0;         ///< lane-local simulated clock
+  Nanos last_setup_ns = 0;   ///< keep-alive cold-cost estimate
+  OverloadStats overload;
+  std::vector<ShedEvent> shed_events;
+  bool finish_reported = false;  ///< keep-alive insert happened
+  int rung = 0;                  ///< arbiter demotion rung
+  /// Inter-arrival predictor fed by admitted arrivals; the arbiter tick
+  /// turns its prediction into a warm-demand hint (prewarm handshake).
+  ArrivalPredictor predictor;
+
+  bool drained() const { return arrived >= requests.size() && queue.empty(); }
+};
+
+class Host {
+ public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  explicit Host(std::string name,
+                SystemConfig cfg = SystemConfig::paper_default(),
+                PricingPlan pricing = {}, EngineOptions options = {});
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return name_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Register a function and bind its (possibly empty) request stream.
+  /// Validation mirrors ServerlessPlatform::register_function, plus every
+  /// request input must be in [0, kNumInputs) and arrivals sorted.
+  Result<void> add(const FunctionRegistration& registration,
+                   std::vector<Request> requests);
+
+  /// Append another batch to a retained lane. The batch must be internally
+  /// sorted and must not arrive before the lane's existing tail (the
+  /// simulated clock only moves forward). kUnknownFunction for absent or
+  /// migrated-away lanes.
+  Result<void> enqueue(const std::string& function,
+                       std::vector<Request> requests);
+
+  /// Live (non-migrated) lanes.
+  size_t function_count() const;
+  /// Every live lane has served everything that has been enqueued so far.
+  bool idle() const;
+
+  /// Serve everything pending and return the cumulative report (stats,
+  /// outcomes and ledgers since construction, across all drains).
+  /// Reusable: enqueue more work and drain again. threads <= 0 = hardware
+  /// concurrency. A lane failure is sticky: the error is returned now and
+  /// on every later drain.
+  Result<EngineReport> drain(int threads);
+
+  /// One epoch of the overload scheduler: a parallel chunk per active lane
+  /// (inline when pool is null), then the serial barrier (global queue
+  /// bound, arbiter tick). No-op when idle. The cluster calls this in host
+  /// index order so cross-host decisions stay deterministic.
+  Result<void> step_epoch(ThreadPool* pool);
+
+  /// Epochs the overload scheduler has completed since construction.
+  u64 epochs() const { return epoch_; }
+
+  // ---- Cluster hooks (placement / migration) ----
+
+  /// Consecutive completed epochs with admission closed at the barrier —
+  /// the cluster's migration trigger ("pinned at rung C for K epochs").
+  int admission_closed_streak() const { return closed_streak_; }
+  /// Hysteresis: the cluster resets the streak after acting on it.
+  void reset_admission_streak() { closed_streak_ = 0; }
+
+  /// Resolved fast-tier budget (options.arbiter.fast_budget_bytes, or the
+  /// SystemConfig's installed fast-tier capacity when 0).
+  u64 fast_budget_bytes() const;
+  /// The arbiter's current fleet accounting (warm pool + active lanes);
+  /// 0 before the first arbiter tick.
+  u64 arbiter_resident_fast_bytes() const;
+
+  /// Lane-slot count including migration tombstones; lane_at() returns
+  /// nullptr for tombstones.
+  size_t lane_count() const { return lanes_.size(); }
+  const HostLane* lane_at(size_t index) const;
+
+  /// Slot index of the un-drained tiered (migratable) lane with the most
+  /// resident fast-tier bytes; npos when none. Ties break toward the
+  /// lowest index — deterministic.
+  size_t largest_tiered_lane() const;
+
+  /// Remove a lane whole, leaving a null tombstone so the remaining slot
+  /// indices (which key the arbiter's bookkeeping) stay stable.
+  std::unique_ptr<HostLane> extract_lane(size_t index);
+
+  /// Take ownership of a migrated lane: re-bind its metrics series to this
+  /// host's registry and restore its unconstrained placement (the
+  /// destination arbiter re-demotes it if the budget here disagrees).
+  Result<void> adopt_lane(std::unique_ptr<HostLane> lane);
+
+  // ---- Introspection ----
+
+  /// Live metrics for this host (snapshot tagged with the host name).
+  MetricsSnapshot metrics() const;
+  /// Lane state inspection (nullptr for unknown / non-TOSS lanes).
+  const TossFunction* toss_state(const std::string& name) const;
+  /// The lane's isolated single-function platform (nullptr for unknown
+  /// names); exposes its snapshot store, fault injector and circuit
+  /// breaker for chaos-suite introspection.
+  const ServerlessPlatform* lane_host(const std::string& name) const;
+
+  /// Cumulative report without draining (what drain() returns, minus the
+  /// wall-clock update).
+  EngineReport report(int threads) const;
+
+ private:
+  HostLane* find_lane(const std::string& name);
+  const HostLane* find_lane(const std::string& name) const;
+  Result<void> validate_requests(const std::string& name,
+                                 const std::vector<Request>& requests) const;
+  void record_error(ErrorCode code, std::string message);
+
+  // Legacy chunked round-robin scheduler.
+  void process_chunk(HostLane& lane);
+  void scheduler_loop();
+  void drain_legacy(int threads);
+
+  // Epoch-barrier overload scheduler (DESIGN.md §9).
+  void process_chunk_overload(HostLane& lane, bool admission_closed);
+  void admit_arrivals(HostLane& lane, bool admission_closed);
+  void shed(HostLane& lane, size_t request_index, ShedCause cause);
+  void enforce_global_queue_bound();
+  void arbiter_tick(FastTierArbiter& arbiter, u64 epoch);
+  FastTierArbiter* ensure_arbiter();
+
+  std::string name_;
+  SystemConfig cfg_;
+  PricingPlan pricing_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<HostLane>> lanes_;  ///< null = migrated away
+  MetricsRegistry metrics_;
+  /// Persistent across drains, so rungs / demote stack / warm pool /
+  /// admission state survive between batches. Created lazily on the first
+  /// epoch with the arbiter enabled.
+  std::unique_ptr<FastTierArbiter> arbiter_;
+  u64 epoch_ = 0;
+  int closed_streak_ = 0;
+  Nanos wall_ns_ = 0;  ///< real time spent draining, summed
+
+  // Scheduler state (valid during a drain). The mutex is rank-checked: a
+  // worker holding it may still create metric series (kMetricsRegistry
+  // ranks higher), but the registry must never call back into the host.
+  RankedMutex mu_{LockRank::kEngineScheduler, "Host::mu_"};
+  std::condition_variable_any ready_cv_;
+  std::deque<size_t> ready_;
+  size_t unfinished_ = 0;
+  bool abort_ = false;
+  std::atomic<u64> serialization_violations_{0};
+  ErrorCode error_code_ = ErrorCode::kInvalidRequest;
+  std::string error_message_;
+  bool failed_ = false;
+};
+
+}  // namespace toss

@@ -1,7 +1,6 @@
 #include "platform/keepalive.hpp"
 
 #include <algorithm>
-#include <limits>
 
 namespace toss {
 
@@ -12,7 +11,16 @@ double KeepAliveCache::priority_of(const Entry& e) const {
   // pool); a pure slow-tier VM is nearly free to keep and ages very slowly.
   const double size =
       std::max<double>(static_cast<double>(e.dram_bytes), 1.0);
-  return clock_ + static_cast<double>(e.frequency) * e.cold_cost_ns / size;
+  // Prewarm urgency: the predictor says the function fires again in
+  // `gap` — the sooner, the costlier an eviction, so scale the benefit
+  // term by up to 2x (gap 0) decaying to 1x. No prediction = plain GDSF.
+  const double urgency =
+      e.predicted_reuse_gap_ns < 0 || cfg_.urgency_halflife_ns <= 0
+          ? 1.0
+          : 1.0 + cfg_.urgency_halflife_ns /
+                      (cfg_.urgency_halflife_ns + e.predicted_reuse_gap_ns);
+  return clock_ +
+         static_cast<double>(e.frequency) * e.cold_cost_ns * urgency / size;
 }
 
 bool KeepAliveCache::lookup(const std::string& function) {
@@ -41,15 +49,17 @@ void KeepAliveCache::evict(const std::string& function) {
 
 std::optional<std::string> KeepAliveCache::evict_lowest() {
   // Evict the lowest-priority warm VM and advance the aging clock to its
-  // priority (classic Greedy-Dual). Ties break on the map's lexicographic
-  // name order, which keeps the choice deterministic.
+  // priority (classic Greedy-Dual). The victim is the minimum of the
+  // explicit (priority, function_id) tuple — the name is part of the key,
+  // not a side effect of map iteration order, so the choice is
+  // deterministic by construction even if the container changes.
   auto victim = entries_.end();
-  double lowest = std::numeric_limits<double>::infinity();
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.priority < lowest) {
-      lowest = it->second.priority;
+    if (victim == entries_.end() ||
+        it->second.priority < victim->second.priority ||
+        (it->second.priority == victim->second.priority &&
+         it->first < victim->first))
       victim = it;
-    }
   }
   if (victim == entries_.end()) return std::nullopt;
   std::string name = victim->first;
@@ -73,7 +83,8 @@ bool KeepAliveCache::make_room(u64 dram_bytes, u64 slow_bytes) {
 }
 
 bool KeepAliveCache::insert(const std::string& function, u64 dram_bytes,
-                            u64 slow_bytes, Nanos cold_cost_ns) {
+                            u64 slow_bytes, Nanos cold_cost_ns,
+                            Nanos predicted_reuse_gap_ns) {
   remove_entry(function);
   if (!make_room(dram_bytes, slow_bytes)) {
     ++stats_.rejected;
@@ -83,6 +94,7 @@ bool KeepAliveCache::insert(const std::string& function, u64 dram_bytes,
   e.dram_bytes = dram_bytes;
   e.slow_bytes = slow_bytes;
   e.cold_cost_ns = cold_cost_ns;
+  e.predicted_reuse_gap_ns = predicted_reuse_gap_ns;
   e.frequency = 1;
   e.priority = priority_of(e);
   dram_used_ += dram_bytes;

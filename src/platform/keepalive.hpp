@@ -22,6 +22,9 @@ struct KeepAliveConfig {
   u64 dram_capacity_bytes = 4 * kGiB;
   /// Slow-tier pool; effectively abundant in the paper's setup (768 GB).
   u64 slow_capacity_bytes = 64 * kGiB;
+  /// Half-life of the prewarm urgency boost: a VM whose predicted reuse is
+  /// this far away gets a 1.5x priority factor (2x at gap 0, asymptote 1x).
+  Nanos urgency_halflife_ns = sec(1);
 };
 
 struct KeepAliveStats {
@@ -46,11 +49,14 @@ class KeepAliveCache {
 
   /// Insert (or replace) a warm VM after a cold start. `dram_bytes` /
   /// `slow_bytes`: what the VM pins in each pool. `cold_cost_ns`: what a
-  /// future cold start would cost (the benefit of keeping it). Evicts
-  /// lowest-priority VMs until it fits; returns false if it cannot fit at
-  /// all.
+  /// future cold start would cost (the benefit of keeping it).
+  /// `predicted_reuse_gap_ns`: the inter-arrival predictor's estimate of
+  /// how soon the function fires again — an imminent reuse boosts the
+  /// priority (prewarm handshake); negative = no prediction, no boost.
+  /// Evicts lowest-priority VMs until it fits; returns false if it cannot
+  /// fit at all.
   bool insert(const std::string& function, u64 dram_bytes, u64 slow_bytes,
-              Nanos cold_cost_ns);
+              Nanos cold_cost_ns, Nanos predicted_reuse_gap_ns = -1);
 
   /// Explicitly evict one function (e.g. re-profiling invalidated it).
   void evict(const std::string& function);
@@ -72,6 +78,7 @@ class KeepAliveCache {
     u64 dram_bytes = 0;
     u64 slow_bytes = 0;
     Nanos cold_cost_ns = 0;
+    Nanos predicted_reuse_gap_ns = -1;  ///< negative = no prediction
     u64 frequency = 0;
     double priority = 0;
   };

@@ -189,8 +189,9 @@ void append_histogram(std::string& out, const char* key,
 }  // namespace
 
 std::string MetricsSnapshot::to_json() const {
-  std::string out =
-      "{\"schema\":" + std::to_string(kJsonSchemaVersion) + ",\"functions\":[";
+  std::string out = "{\"schema\":" + std::to_string(kJsonSchemaVersion) + ",";
+  if (!host.empty()) out += "\"host\":\"" + host + "\",";
+  out += "\"functions\":[";
   for (size_t i = 0; i < functions.size(); ++i) {
     const FunctionMetrics& m = functions[i];
     if (i) out += ",";

@@ -122,10 +122,15 @@ struct FunctionMetrics {
 
 struct MetricsSnapshot {
   /// Layout version of to_json() (the top-level "schema" key). Version 2
-  /// added the per-function "overload" block; see DESIGN.md §9 for the
-  /// full layout. Consumers should ignore unknown keys.
-  static constexpr int kJsonSchemaVersion = 2;
+  /// added the per-function "overload" block (DESIGN.md §9); version 3
+  /// added the top-level "host" key (present when `host` is non-empty)
+  /// and the cluster rollup in ClusterReport::to_json (DESIGN.md §10).
+  /// Consumers should ignore unknown keys.
+  static constexpr int kJsonSchemaVersion = 3;
 
+  /// Which simulated host produced this snapshot; empty outside the
+  /// engine/cluster (e.g. a bare MetricsRegistry).
+  std::string host;
   std::vector<FunctionMetrics> functions;  ///< registration order
 
   u64 total_invocations() const;

@@ -1,8 +1,43 @@
 #include "platform/request_gen.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 namespace toss {
+
+namespace {
+
+/// Split one CSV row; trims nothing (the trace format has no quoting or
+/// embedded separators).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+Result<std::vector<TraceStream>> trace_error(const std::string& path,
+                                             size_t line_no,
+                                             const std::string& what) {
+  return {ErrorCode::kInvalidRequest,
+          path + ":" + std::to_string(line_no) + ": " + what};
+}
+
+bool parse_number(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  size_t used = 0;
+  try {
+    *out = std::stod(field, &used);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return used == field.size();
+}
+
+}  // namespace
 
 std::vector<Request> RequestGenerator::fixed(size_t n, int input, u64 seed) {
   Rng rng(seed);
@@ -70,6 +105,93 @@ std::vector<Request> RequestGenerator::open_loop(std::vector<Request> requests,
         relative_deadline_ns > 0 ? now + relative_deadline_ns : 0.0;
   }
   return requests;
+}
+
+Result<std::vector<TraceStream>> RequestGenerator::from_trace(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return {ErrorCode::kTransientIo, "cannot open trace file " + path};
+
+  std::vector<TraceStream> streams;
+  // Per-stream default-input/default-seed state, parallel to `streams`.
+  std::vector<int> next_input;
+  std::vector<Rng> seed_rng;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv(line);
+    if (line_no == 1 && fields[0] == "function_id") continue;  // header
+    if (fields.size() < 3 || fields.size() > 5)
+      return trace_error(path, line_no,
+                         "expected function_id,arrival_ns,deadline_ns"
+                         "[,input[,seed]], got " +
+                             std::to_string(fields.size()) + " fields");
+    const std::string& function = fields[0];
+    if (function.empty())
+      return trace_error(path, line_no, "empty function_id");
+
+    double arrival = 0, deadline = 0;
+    if (!parse_number(fields[1], &arrival) || arrival < 0)
+      return trace_error(path, line_no,
+                         "arrival_ns '" + fields[1] +
+                             "' is not a non-negative number");
+    if (!parse_number(fields[2], &deadline) || deadline < 0)
+      return trace_error(path, line_no,
+                         "deadline_ns '" + fields[2] +
+                             "' is not a non-negative number");
+
+    size_t s = streams.size();
+    for (size_t i = 0; i < streams.size(); ++i)
+      if (streams[i].function == function) {
+        s = i;
+        break;
+      }
+    if (s == streams.size()) {
+      streams.push_back(TraceStream{function, {}});
+      next_input.push_back(0);
+      seed_rng.emplace_back(mix_seed(42, function));
+    }
+
+    Request r;
+    r.arrival_ns = arrival;
+    r.deadline_ns = deadline;
+    if (fields.size() >= 4) {
+      double input = 0;
+      if (!parse_number(fields[3], &input) || input != std::floor(input) ||
+          input < 0 || input >= kNumInputs)
+        return trace_error(path, line_no,
+                           "input '" + fields[3] + "' outside [0, " +
+                               std::to_string(kNumInputs) + ")");
+      r.input = static_cast<int>(input);
+    } else {
+      r.input = next_input[s];
+      next_input[s] = (next_input[s] + 1) % kNumInputs;
+    }
+    if (fields.size() == 5) {
+      double seed = 0;
+      if (!parse_number(fields[4], &seed) || seed < 0)
+        return trace_error(path, line_no,
+                           "seed '" + fields[4] +
+                               "' is not a non-negative number");
+      r.seed = static_cast<u64>(seed);
+    } else {
+      r.seed = seed_rng[s].next();
+    }
+
+    if (!streams[s].requests.empty() &&
+        r.arrival_ns < streams[s].requests.back().arrival_ns)
+      return trace_error(path, line_no,
+                         function +
+                             ": arrivals out of order (traces must be "
+                             "sorted by arrival_ns per function)");
+    streams[s].requests.push_back(r);
+  }
+  return streams;
 }
 
 }  // namespace toss

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <array>
+#include <string>
 #include <vector>
 
+#include "platform/errors.hpp"
 #include "util/rng.hpp"
 #include "workloads/function_model.hpp"
 
@@ -24,6 +26,12 @@ struct Request {
   /// queued past its deadline is shed (never restored) when
   /// EngineOptions::enforce_deadlines is set.
   Nanos deadline_ns = 0;
+};
+
+/// One function's arrival schedule parsed out of a trace file.
+struct TraceStream {
+  std::string function;
+  std::vector<Request> requests;  ///< sorted by arrival_ns
 };
 
 class RequestGenerator {
@@ -51,6 +59,22 @@ class RequestGenerator {
   static std::vector<Request> open_loop(std::vector<Request> requests,
                                         Nanos mean_gap_ns,
                                         Nanos relative_deadline_ns, u64 seed);
+
+  /// Load an Azure-Functions-style CSV arrival schedule:
+  ///
+  ///   function_id,arrival_ns,deadline_ns[,input[,seed]]
+  ///
+  /// One row per invocation; an optional header row (first field literally
+  /// "function_id") is skipped, as are blank lines. Rows are grouped by
+  /// function_id into TraceStreams in first-appearance order; each
+  /// function's rows must already be sorted by arrival_ns (the per-lane
+  /// contract PlatformEngine::add enforces). deadline_ns is absolute, 0 =
+  /// none. Omitted `input` defaults to a per-function round-robin over
+  /// [0, kNumInputs); omitted `seed` to a per-function deterministic Rng
+  /// stream — so a bare 3-column trace still drives varied, reproducible
+  /// work. Malformed rows fail with ErrorCode::kInvalidRequest naming the
+  /// line; an unreadable path fails with kTransientIo.
+  static Result<std::vector<TraceStream>> from_trace(const std::string& path);
 };
 
 }  // namespace toss

@@ -7,6 +7,7 @@
 //
 //   ServerlessPlatform / FunctionRegistration / PolicyKind   single host
 //   PlatformEngine / EngineOptions / EngineReport            fleet engine
+//   ClusterEngine / ClusterOptions / ClusterReport           multi-host fleet
 //   ArbiterOptions / ArbiterReport / ShedEvent               overload control
 //   TossOptions / TossFunction / TossPhase                   the TOSS core
 //   InvocationOutcome / FunctionStats / Result / Error       call results
@@ -20,6 +21,7 @@
 #pragma once
 
 #include "platform/arbiter.hpp"
+#include "platform/cluster.hpp"
 #include "platform/concurrency.hpp"
 #include "platform/engine.hpp"
 #include "platform/errors.hpp"

@@ -1,0 +1,389 @@
+// Tests for the multi-host cluster layer (DESIGN.md §10): worst-fit
+// placement by predicted fast-tier demand, K-epoch migration hysteresis,
+// the migration ledger's thread-count determinism, and the Azure-style
+// trace loader that feeds cluster workloads.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "platform/engine.hpp"
+#include "util/error.hpp"
+#include "workloads/functions.hpp"
+
+namespace toss {
+namespace {
+
+TossOptions fast_toss() {
+  TossOptions opt;
+  opt.stable_invocations = 4;
+  opt.max_profiling_invocations = 30;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// place_on_host: the bin-packing step in isolation.
+// ---------------------------------------------------------------------------
+
+TEST(Placement, WorstFitPrefersMostHeadroom) {
+  // Budget 100 per host. Loads {40, 10, 70}: all fit a demand of 20, so
+  // worst-fit picks the emptiest host.
+  EXPECT_EQ(place_on_host(20, {40, 10, 70}, 100), 1u);
+}
+
+TEST(Placement, TiesBreakTowardLowestIndex) {
+  EXPECT_EQ(place_on_host(10, {50, 50}, 100), 0u);
+  EXPECT_EQ(place_on_host(10, {0, 0, 0}, 100), 0u);
+}
+
+TEST(Placement, SkipsHostsWhereDemandDoesNotFit) {
+  // Only host 0 has room for 30 (headroom 35 vs 5): worst-fit must not
+  // pick host 1 even though rules like "least loaded after placement"
+  // would.
+  EXPECT_EQ(place_on_host(30, {65, 95}, 100), 0u);
+}
+
+TEST(Placement, FallsBackToLeastLoadedWhenNothingFits) {
+  EXPECT_EQ(place_on_host(50, {90, 80}, 100), 1u);
+  // Demand larger than any budget: still deterministic, least loaded.
+  EXPECT_EQ(place_on_host(200, {10, 0}, 100), 1u);
+}
+
+TEST(Placement, PredictedDemandTracksPolicy) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  FunctionSpec spec = workloads::all_functions()[0];
+  const u64 guest = spec.guest_bytes();
+
+  const u64 vanilla = predicted_fast_demand(
+      cfg, FunctionRegistration(spec).policy(PolicyKind::kVanilla).seed(7));
+  EXPECT_EQ(vanilla, guest);  // baselines pin the whole image in DRAM
+
+  const u64 toss = predicted_fast_demand(
+      cfg, FunctionRegistration(spec)
+               .policy(PolicyKind::kToss)
+               .toss(fast_toss())
+               .seed(7));
+  EXPECT_GT(toss, 0u);
+  EXPECT_LT(toss, guest);  // the Step-IV placement keeps a DRAM sliver
+}
+
+// ---------------------------------------------------------------------------
+// ClusterEngine: placement integration, migration, determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, SpreadsEqualFunctionsAcrossHosts) {
+  ClusterOptions opts;
+  opts.hosts = 4;
+  ClusterEngine cluster(opts);
+  // kVanilla demand is exactly guest_bytes — identical for every clone, so
+  // the worst-fit outcome is fully predictable.
+  for (size_t i = 0; i < 8; ++i) {
+    FunctionSpec spec = workloads::all_functions()[0];
+    spec.name += "#" + std::to_string(i);
+    ASSERT_TRUE(cluster
+                    .add(FunctionRegistration(std::move(spec))
+                             .policy(PolicyKind::kVanilla)
+                             .seed(10 + i),
+                         RequestGenerator::round_robin(4, 9))
+                    .ok());
+  }
+  // Equal demands and worst-fit: exactly two functions per host, and the
+  // predicted load never exceeds the (installed-DRAM) budget.
+  EXPECT_EQ(cluster.function_count(), 8u);
+  for (size_t h = 0; h < opts.hosts; ++h) {
+    EXPECT_EQ(cluster.host_at(h).function_count(), 2u) << "host " << h;
+    EXPECT_LE(cluster.predicted_load()[h], cluster.host_fast_budget_bytes(h));
+  }
+  EXPECT_EQ(cluster.host_of("float_operation#0"), 0u);
+  EXPECT_EQ(cluster.host_of("float_operation#1"), 1u);
+  EXPECT_EQ(cluster.host_of("nope"), ClusterEngine::npos);
+
+  // Cluster-wide duplicate and unknown-function errors are typed.
+  FunctionSpec dup = workloads::all_functions()[0];
+  dup.name += "#0";
+  EXPECT_EQ(cluster
+                .add(FunctionRegistration(std::move(dup))
+                         .policy(PolicyKind::kToss)
+                         .seed(1),
+                     {})
+                .code(),
+            ErrorCode::kDuplicateFunction);
+  EXPECT_EQ(cluster.enqueue("nope", {}).code(), ErrorCode::kUnknownFunction);
+
+  const ClusterReport report = cluster.run(2).value();
+  EXPECT_EQ(report.total_invocations(), 8u * 4u);
+  EXPECT_EQ(report.total_shed(), 0u);
+  EXPECT_TRUE(report.migrations.empty());  // nothing was under pressure
+  ASSERT_NE(report.find("float_operation#3"), nullptr);
+  EXPECT_EQ(report.find("float_operation#3")->stats.invocations, 4u);
+}
+
+/// Probe the unconstrained tiered fast-tier footprint of the shared spec,
+/// so budgets scale with the workload instead of hard-coding bytes.
+u64 probe_tiered_fast_bytes() {
+  auto probe = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
+                                                PricingPlan{}, EngineOptions{});
+  FunctionSpec spec = workloads::all_functions()[0];
+  const std::string name = spec.name;
+  EXPECT_TRUE(probe
+                  ->add(FunctionRegistration(std::move(spec))
+                            .policy(PolicyKind::kToss)
+                            .toss(fast_toss())
+                            .seed(42),
+                        RequestGenerator::round_robin(40, 9))
+                  .ok());
+  EXPECT_TRUE(probe->run(1).ok());
+  EXPECT_EQ(probe->toss_state(name)->phase(), TossPhase::kTiered);
+  return probe->toss_state(name)->fast_resident_bytes();
+}
+
+/// The pressure fleet on two hosts with a budget that fits the steady
+/// state but not one profiling guest image. Two quick-tiering candidates
+/// land first (one per host, worst-fit); the hog — which profiles for its
+/// whole long stream, pinning its guest image far past the budget — lands
+/// last, co-located with whichever candidate predicted smaller. The hog's
+/// host pins at close-admission, and its tiered roommate is the migration
+/// candidate.
+struct PressureFleet {
+  std::unique_ptr<ClusterEngine> cluster;
+  size_t hog_host = 0;        ///< host the hog (and the candidate) landed on
+  std::string candidate;      ///< the tiered function expected to migrate
+};
+
+PressureFleet pressure_cluster(u64 budget, int pinned_epochs,
+                               bool enable_migration, u64 seed) {
+  ClusterOptions opts;
+  opts.hosts = 2;
+  opts.migrate_after_pinned_epochs = pinned_epochs;
+  opts.enable_migration = enable_migration;
+  opts.host_options.chunk = 2;
+  opts.host_options.arbiter.enabled = true;
+  opts.host_options.arbiter.fast_budget_bytes = budget;
+  opts.host_options.arbiter.keepalive = false;
+  PressureFleet fleet;
+  fleet.cluster = std::make_unique<ClusterEngine>(opts);
+
+  // The hog must stay in profiling (pinning its whole guest image) for its
+  // entire stream: out-wait both the stability detector and the profiling
+  // cap.
+  TossOptions never_tiers = fast_toss();
+  never_tiers.stable_invocations = 1000;
+  never_tiers.max_profiling_invocations = 1000;
+  const TossOptions toss_opts[] = {fast_toss(), fast_toss(), never_tiers};
+  const size_t lengths[] = {60, 60, 80};
+  for (size_t i = 0; i < 3; ++i) {
+    FunctionSpec spec = workloads::all_functions()[0];
+    spec.name += "#" + std::to_string(i);
+    EXPECT_TRUE(fleet.cluster
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(PolicyKind::kToss)
+                              .toss(toss_opts[i])
+                              .seed(42 + i),
+                          RequestGenerator::round_robin(lengths[i], seed))
+                    .ok());
+  }
+  // The first two adds always split across the empty hosts; the third
+  // co-locates with the smaller-demand candidate.
+  EXPECT_EQ(fleet.cluster->host_of("float_operation#0"), 0u);
+  EXPECT_EQ(fleet.cluster->host_of("float_operation#1"), 1u);
+  fleet.hog_host = fleet.cluster->host_of("float_operation#2");
+  fleet.candidate = "float_operation#" + std::to_string(fleet.hog_host);
+  return fleet;
+}
+
+TEST(Cluster, MigratesLargestTieredFunctionAfterKPinnedEpochs) {
+  const u64 tiered = probe_tiered_fast_bytes();
+  ASSERT_GT(tiered, 0u);
+  const u64 budget = 3 * tiered;  // fits 2 steady lanes, not a profiling one
+  constexpr int kPinned = 3;
+
+  PressureFleet fleet = pressure_cluster(budget, kPinned, true, 9);
+  const ClusterReport report = fleet.cluster->run(2).value();
+  const size_t dest = 1 - fleet.hog_host;
+
+  ASSERT_GE(report.migrations.size(), 1u);
+  const MigrationEvent& ev = report.migrations.front();
+  EXPECT_EQ(ev.function, fleet.candidate);  // the only tiered candidate
+  EXPECT_EQ(ev.from_host, "host" + std::to_string(fleet.hog_host));
+  EXPECT_EQ(ev.to_host, "host" + std::to_string(dest));
+  EXPECT_GE(ev.epoch, static_cast<u64>(kPinned));
+  EXPECT_GT(ev.moved_bytes, 0u);
+  EXPECT_GT(ev.transfer_ns, 0);
+  EXPECT_EQ(fleet.cluster->host_of(fleet.candidate), dest);
+
+  // The move lost no work: the migrated lane finished its stream on the
+  // destination, and its ledger traveled with it.
+  EXPECT_EQ(report.total_invocations(), 60u + 60u + 80u);
+  EXPECT_EQ(report.total_shed(), 0u);
+  const FunctionReport* moved = report.find(fleet.candidate);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->stats.invocations, 60u);
+  EXPECT_NE(fleet.cluster->host_at(dest).lane_host(fleet.candidate), nullptr);
+  EXPECT_EQ(fleet.cluster->host_at(fleet.hog_host).lane_host(fleet.candidate),
+            nullptr);
+
+  // The JSON rollup carries the cluster block and the migration ledger.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"migration_events\":["), std::string::npos);
+  EXPECT_NE(json.find("\"host\":\"host1\""), std::string::npos);
+}
+
+TEST(Cluster, HysteresisHoldsMigrationBelowKPinnedEpochs) {
+  const u64 budget = 3 * probe_tiered_fast_bytes();
+  // Same pressure, but K larger than the run: the cluster must ride out
+  // the closure without moving anyone.
+  PressureFleet patient = pressure_cluster(budget, 100000, true, 9);
+  EXPECT_TRUE(patient.cluster->run(2).value().migrations.empty());
+  // And with migration disabled outright, pressure never moves a lane.
+  PressureFleet frozen = pressure_cluster(budget, 1, false, 9);
+  const ClusterReport report = frozen.cluster->run(2).value();
+  EXPECT_TRUE(report.migrations.empty());
+  EXPECT_EQ(report.total_invocations(), 60u + 60u + 80u);
+}
+
+TEST(Cluster, LedgersAreBitIdenticalAcrossThreadCounts) {
+  const u64 budget = 3 * probe_tiered_fast_bytes();
+  for (u64 seed = 9; seed <= 11; ++seed) {
+    PressureFleet serial = pressure_cluster(budget, 3, true, seed);
+    const ClusterReport s = serial.cluster->run(1).value();
+    PressureFleet parallel = pressure_cluster(budget, 3, true, seed);
+    const ClusterReport p = parallel.cluster->run(4).value();
+
+    EXPECT_EQ(s.migrations, p.migrations) << "seed " << seed;
+    EXPECT_EQ(s.epochs, p.epochs) << "seed " << seed;
+    ASSERT_EQ(s.hosts.size(), p.hosts.size());
+    for (size_t h = 0; h < s.hosts.size(); ++h) {
+      const EngineReport& a = s.hosts[h].report;
+      const EngineReport& b = p.hosts[h].report;
+      EXPECT_EQ(a.serialization_violations, 0u);
+      EXPECT_EQ(b.serialization_violations, 0u);
+      EXPECT_EQ(a.arbiter.events, b.arbiter.events)
+          << "seed " << seed << " host " << h;
+      ASSERT_EQ(a.functions.size(), b.functions.size());
+      for (size_t i = 0; i < a.functions.size(); ++i) {
+        EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+        EXPECT_EQ(a.functions[i].stats.invocations,
+                  b.functions[i].stats.invocations);
+        EXPECT_EQ(a.functions[i].stats.total_charge,
+                  b.functions[i].stats.total_charge);
+        EXPECT_EQ(a.functions[i].overload, b.functions[i].overload);
+        EXPECT_EQ(a.functions[i].shed_events, b.functions[i].shed_events);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RequestGenerator::from_trace: the Azure-style CSV loader.
+// ---------------------------------------------------------------------------
+
+std::string write_trace(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  return path;
+}
+
+TEST(Trace, LoadsStreamsInFirstAppearanceOrder) {
+  const std::string path = write_trace(
+      "toss_trace_ok.csv",
+      "function_id,arrival_ns,deadline_ns,input,seed\r\n"
+      "beta,100,0,2,7\n"
+      "alpha,50,1000\n"
+      "\n"
+      "beta,200,0\n"
+      "alpha,50,1000\n");
+  const auto streams = RequestGenerator::from_trace(path).value();
+  ASSERT_EQ(streams.size(), 2u);
+
+  EXPECT_EQ(streams[0].function, "beta");
+  ASSERT_EQ(streams[0].requests.size(), 2u);
+  EXPECT_EQ(streams[0].requests[0].input, 2);
+  EXPECT_EQ(streams[0].requests[0].seed, 7u);
+  EXPECT_EQ(streams[0].requests[0].arrival_ns, 100);
+  // Defaults: inputs round-robin per stream and seeds come from a
+  // deterministic per-function generator, so explicit values interleave
+  // with generated ones reproducibly.
+  EXPECT_EQ(streams[0].requests[1].input, 0);
+  EXPECT_EQ(streams[0].requests[1].seed, Rng(mix_seed(42, "beta")).next());
+
+  EXPECT_EQ(streams[1].function, "alpha");
+  ASSERT_EQ(streams[1].requests.size(), 2u);
+  EXPECT_EQ(streams[1].requests[0].deadline_ns, 1000);
+  EXPECT_EQ(streams[1].requests[0].input, 0);
+  EXPECT_EQ(streams[1].requests[1].input, 1);
+  // Equal arrivals are fine; only regressions are rejected.
+  EXPECT_EQ(streams[1].requests[1].arrival_ns, 50);
+}
+
+TEST(Trace, ErrorsAreTypedAndNameTheLine) {
+  EXPECT_EQ(RequestGenerator::from_trace("/nonexistent/t.csv").code(),
+            ErrorCode::kTransientIo);
+
+  struct Case {
+    const char* name;
+    const char* body;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"fields.csv", "f,1\n", "got 2 fields"},
+      {"arrival.csv", "f,-5,0\n", "not a non-negative number"},
+      {"deadline.csv", "f,5,x\n", "not a non-negative number"},
+      {"input.csv", "f,5,0,9\n", "outside [0, 4)"},
+      {"input_frac.csv", "f,5,0,1.5\n", "outside [0, 4)"},
+      {"seed.csv", "f,5,0,1,-2\n", "not a non-negative number"},
+      {"order.csv", "f,100,0\nf,50,0\n", "arrivals out of order"},
+      {"empty_id.csv", ",5,0\n", "empty function_id"},
+  };
+  for (const Case& c : cases) {
+    const auto result =
+        RequestGenerator::from_trace(write_trace(c.name, c.body));
+    EXPECT_EQ(result.code(), ErrorCode::kInvalidRequest) << c.name;
+    EXPECT_NE(result.message().find(c.needle), std::string::npos)
+        << c.name << ": " << result.message();
+  }
+  // The line number in the diagnostic is 1-based and counts the header.
+  const auto bad = RequestGenerator::from_trace(
+      write_trace("line.csv", "function_id,arrival_ns,deadline_ns\nf,1,0\nf,0,0\n"));
+  EXPECT_NE(bad.message().find("line.csv:3:"), std::string::npos)
+      << bad.message();
+}
+
+TEST(Trace, FeedsAClusterEndToEnd) {
+  // A trace drives the cluster: streams arrive pre-stamped, the overload
+  // scheduler (deadlines on) serves them, and every request is accounted.
+  const std::string path = write_trace(
+      "toss_trace_cluster.csv",
+      "alpha,0,0\nbeta,0,0\nalpha,1000,0\nbeta,1000,0\n"
+      "alpha,2000,0\nbeta,2000,0\nalpha,3000,0\nbeta,3000,0\n");
+  const auto streams = RequestGenerator::from_trace(path).value();
+  ASSERT_EQ(streams.size(), 2u);
+
+  ClusterOptions opts;
+  opts.hosts = 2;
+  opts.host_options.max_lane_queue = 16;
+  ClusterEngine cluster(opts);
+  for (const TraceStream& s : streams) {
+    FunctionSpec spec = workloads::all_functions()[0];
+    spec.name = s.function;
+    ASSERT_TRUE(cluster
+                    .add(FunctionRegistration(std::move(spec))
+                             .policy(PolicyKind::kToss)
+                             .toss(fast_toss())
+                             .seed(3),
+                         s.requests)
+                    .ok());
+  }
+  const ClusterReport report = cluster.run(2).value();
+  EXPECT_EQ(report.total_invocations() + report.total_shed(), 8u);
+  ASSERT_NE(report.find("alpha"), nullptr);
+  ASSERT_NE(report.find("beta"), nullptr);
+}
+
+}  // namespace
+}  // namespace toss

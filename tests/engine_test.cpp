@@ -94,6 +94,148 @@ TEST(Engine, ParallelMatchesSerialBitForBit) {
   }
 }
 
+/// Full bit-identity check between two function reports, including the
+/// outcome streams and the overload/shed ledgers.
+void expect_same_report(const FunctionReport& a, const FunctionReport& b) {
+  ASSERT_EQ(a.name, b.name);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.final_phase, b.final_phase) << a.name;
+  EXPECT_EQ(a.stats.invocations, b.stats.invocations) << a.name;
+  EXPECT_EQ(a.stats.total_charge, b.stats.total_charge) << a.name;
+  expect_identical(a.stats.total_ns, b.stats.total_ns, a.name + "/total");
+  expect_identical(a.stats.setup_ns, b.stats.setup_ns, a.name + "/setup");
+  expect_identical(a.stats.exec_ns, b.stats.exec_ns, a.name + "/exec");
+  EXPECT_EQ(a.overload, b.overload) << a.name;
+  EXPECT_EQ(a.shed_events, b.shed_events) << a.name;
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << a.name;
+  for (size_t r = 0; r < a.outcomes.size(); ++r) {
+    EXPECT_EQ(a.outcomes[r].result.total_ns(),
+              b.outcomes[r].result.total_ns());
+    EXPECT_EQ(a.outcomes[r].charge, b.outcomes[r].charge);
+    EXPECT_EQ(a.outcomes[r].toss_phase, b.outcomes[r].toss_phase);
+  }
+}
+
+TEST(Engine, SuccessiveDrainsEqualOneConcatenatedRun) {
+  // Reusable-engine contract: add() half of every stream, drain(), feed the
+  // other half through drain(batch) — the cumulative report must be
+  // bit-identical to one run() over the concatenated streams.
+  constexpr size_t kFunctions = 6;
+  constexpr size_t kRequests = 32;
+
+  auto whole = make_fleet(kFunctions, kRequests);
+  const EngineReport one = whole->run(4).value();
+
+  // Same fleet recipe as make_fleet, but each stream split at the midpoint.
+  EngineOptions opts;
+  auto split = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
+                                                PricingPlan{}, opts);
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  const PolicyKind kinds[] = {PolicyKind::kToss, PolicyKind::kToss,
+                              PolicyKind::kReap, PolicyKind::kVanilla};
+  RequestBatch second_half;
+  for (size_t i = 0; i < kFunctions; ++i) {
+    FunctionSpec spec = base[i % base.size()];
+    spec.name += "#" + std::to_string(i);
+    auto stream =
+        RequestGenerator::round_robin(kRequests, mix_seed(123, spec.name));
+    const std::string name = spec.name;
+    second_half.push_back(LaneBatch{
+        name, {stream.begin() + kRequests / 2, stream.end()}});
+    stream.resize(kRequests / 2);
+    ASSERT_TRUE(split
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(kinds[i % 4])
+                              .toss(fast_toss())
+                              .seed(10 + i),
+                          std::move(stream))
+                    .ok());
+  }
+
+  const EngineReport first = split->drain({}, 4).value();
+  for (const FunctionReport& f : first.functions)
+    EXPECT_EQ(f.stats.invocations, kRequests / 2) << f.name;
+  const EngineReport rest = split->drain(second_half, 4).value();
+
+  ASSERT_EQ(rest.functions.size(), one.functions.size());
+  for (size_t i = 0; i < one.functions.size(); ++i)
+    expect_same_report(one.functions[i], rest.functions[i]);
+
+  // The two models are mutually exclusive on one engine instance.
+  EXPECT_EQ(split->run(1).code(), ErrorCode::kEngineBusy);
+  EXPECT_EQ(whole->drain({}).code(), ErrorCode::kEngineBusy);
+  // Unknown lane and time-travel batches are rejected, not absorbed.
+  EXPECT_EQ(split->drain({LaneBatch{"ghost", {}}}).code(),
+            ErrorCode::kUnknownFunction);
+}
+
+TEST(Engine, DrainSplitIsExactOnOverloadPathForLaneLocalKnobs) {
+  // Same contract on the admission-controlled path, restricted to the
+  // lane-local knobs (bounded lane queue + deadlines) for which the split
+  // is exact. The stream is two bursts separated by an idle gap much
+  // longer than a burst's drain time, so the batch boundary is naturally
+  // time-separated; within each burst a us-scale arrival gap against
+  // ms-scale service sheds heavily.
+  constexpr size_t kFunctions = 3;
+  constexpr size_t kBurst = 40;
+  EngineOptions opts;
+  opts.max_lane_queue = 4;
+  opts.enforce_deadlines = true;
+  opts.chunk = 3;
+
+  const auto burst = [](const std::string& name, u64 salt, Nanos t0) {
+    auto reqs = RequestGenerator::open_loop(
+        RequestGenerator::round_robin(kBurst, mix_seed(salt, name)), us(1),
+        ms(2), mix_seed(salt, name));
+    for (Request& r : reqs) {
+      r.arrival_ns += t0;
+      r.deadline_ns += t0;
+    }
+    return reqs;
+  };
+
+  const auto build = [&](bool with_second_burst) {
+    auto engine = std::make_unique<PlatformEngine>(
+        SystemConfig::paper_default(), PricingPlan{}, opts);
+    const std::vector<FunctionSpec> base = workloads::all_functions();
+    for (size_t i = 0; i < kFunctions; ++i) {
+      FunctionSpec spec = base[i % base.size()];
+      spec.name += "#" + std::to_string(i);
+      auto stream = burst(spec.name, 1, 0);
+      if (with_second_burst) {
+        const auto tail = burst(spec.name, 2, sec(30));
+        stream.insert(stream.end(), tail.begin(), tail.end());
+      }
+      EXPECT_TRUE(engine
+                      ->add(FunctionRegistration(std::move(spec))
+                                .policy(PolicyKind::kToss)
+                                .toss(fast_toss())
+                                .seed(10 + i),
+                            std::move(stream))
+                      .ok());
+    }
+    return engine;
+  };
+
+  auto whole = build(true);
+  const EngineReport one = whole->run(2).value();
+
+  auto split = build(false);
+  const EngineReport first = split->drain({}, 2).value();
+  RequestBatch batch;
+  for (const FunctionReport& f : first.functions)
+    batch.push_back(LaneBatch{f.name, burst(f.name, 2, sec(30))});
+  const EngineReport rest = split->drain(batch, 1).value();
+
+  ASSERT_EQ(rest.functions.size(), one.functions.size());
+  u64 shed = 0;
+  for (size_t i = 0; i < one.functions.size(); ++i) {
+    expect_same_report(one.functions[i], rest.functions[i]);
+    shed += one.functions[i].overload.total_shed();
+  }
+  EXPECT_GT(shed, 0u);  // the bursts really did overload the queues
+}
+
 TEST(Engine, SerializationHoldsUnderContention) {
   // chunk=1 maximizes lane handoffs between workers: every request is a
   // separate ownership window, so any queue bug would show up as a

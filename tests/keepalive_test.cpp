@@ -95,6 +95,34 @@ TEST(KeepAlive, ExplicitEvict) {
   cache.evict("ghost");  // harmless
 }
 
+TEST(KeepAlive, EvictionTieBreaksOnFunctionId) {
+  // Two entries engineered to identical priority (same size, cold cost,
+  // frequency, insertion clock). The victim must be the lexicographically
+  // smaller function_id, so eviction order never depends on hash-map
+  // iteration order (the determinism contract of DESIGN.md §9).
+  KeepAliveCache cache(small_pool(256));
+  cache.insert("beta", 128 * kMiB, 0, ms(100));
+  cache.insert("alpha", 128 * kMiB, 0, ms(100));
+  cache.insert("gamma", 128 * kMiB, 0, ms(100));  // forces one eviction
+  EXPECT_FALSE(cache.contains("alpha"));
+  EXPECT_TRUE(cache.contains("beta"));
+  EXPECT_TRUE(cache.contains("gamma"));
+}
+
+TEST(KeepAlive, PredictedReuseBoostsPriority) {
+  // Prewarm handshake: a warm VM whose next arrival is predicted soon gets
+  // an urgency boost and outlives an otherwise-identical peer with no
+  // prediction.
+  KeepAliveConfig cfg = small_pool(256);
+  cfg.urgency_halflife_ns = sec(1);
+  KeepAliveCache cache(cfg);
+  cache.insert("soon", 128 * kMiB, 0, ms(100), /*predicted_reuse_gap_ns=*/0);
+  cache.insert("never", 128 * kMiB, 0, ms(100));  // no prediction
+  cache.insert("new", 128 * kMiB, 0, ms(100));
+  EXPECT_TRUE(cache.contains("soon"));
+  EXPECT_FALSE(cache.contains("never"));
+}
+
 TEST(KeepAlive, AgingLetsNewEntriesWin) {
   // Greedy-Dual aging: after enough evictions raise the clock, a fresh
   // entry can outrank a stale high-cost one.

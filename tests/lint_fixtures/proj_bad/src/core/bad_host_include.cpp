@@ -1,0 +1,5 @@
+// Fixture: host.hpp is platform-internal; core must not reach around the
+// engine/cluster facades.
+#include "platform/host.hpp"
+
+int core_uses_host() { return 0; }

@@ -1,0 +1,4 @@
+// Fixture: files under src/platform/ may include the internal host header.
+#include "platform/host.hpp"
+
+int platform_uses_host() { return 0; }

@@ -84,6 +84,13 @@ TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
   EXPECT_NE(run.output.find("src/platform/bad_wait.cpp:10 unbounded-wait"),
             std::string::npos)
       << run.output;
+  // host-internal: core reaching around the engine/cluster facades. The
+  // clean project includes the same header from src/platform/, where it is
+  // allowed (asserted via CleanProjectPasses).
+  EXPECT_NE(
+      run.output.find("src/core/bad_host_include.cpp:3 host-internal"),
+      std::string::npos)
+      << run.output;
 }
 
 TEST(TossLint, CleanProjectPasses) {

@@ -157,6 +157,48 @@ TEST(Arbiter, ClosesAdmissionWhenLadderExhaustedAndReopens) {
   EXPECT_EQ(ev[1].action, ArbiterAction::kOpenAdmission);
 }
 
+TEST(Arbiter, PrewarmHintsSteerRungAEvictions) {
+  // Prewarm handshake: two identical warm VMs park at tick 0; "alpha"
+  // carries a predicted-soon reuse hint, "zeta" none. Under pressure the
+  // unhinted VM must go first — even though the name tie-break alone would
+  // have evicted "alpha".
+  const std::string alpha = "alpha", zeta = "zeta", busy = "busy";
+  const auto park = [&](FastTierArbiter& arb) {
+    FastTierArbiter::LaneDemand soon = demand(0, alpha, 40, false, false);
+    soon.just_finished = true;
+    soon.cold_cost_ns = ms(1);
+    soon.predicted_reuse_gap_ns = ms(1);
+    FastTierArbiter::LaneDemand plain = demand(1, zeta, 40, false, false);
+    plain.just_finished = true;
+    plain.cold_cost_ns = ms(1);
+    const auto apply = [](size_t, int, std::optional<u64>) {
+      return std::optional<u64>{};
+    };
+    arb.tick(0, {soon, plain}, apply);  // 80 <= 100: both stay warm
+    arb.tick(1, {demand(2, busy, 60, true, false)}, apply);  // 140 > 100
+  };
+
+  ArbiterOptions opt;
+  opt.enabled = true;
+  FastTierArbiter hinted(opt, 100);
+  park(hinted);
+  ArbiterReport r = hinted.report();
+  EXPECT_EQ(r.keepalive_evictions, 1u);
+  ASSERT_FALSE(r.events.empty());
+  EXPECT_EQ(r.events.back().action, ArbiterAction::kEvictWarm);
+  EXPECT_EQ(r.events.back().function, zeta);
+  EXPECT_EQ(r.warm_count, 1u);
+
+  // Same script with hints off: the gap is dropped at insert, priorities
+  // tie, and the (priority, function_id) tie-break evicts "alpha".
+  opt.prewarm_hints = false;
+  FastTierArbiter blind(opt, 100);
+  park(blind);
+  r = blind.report();
+  ASSERT_FALSE(r.events.empty());
+  EXPECT_EQ(r.events.back().function, alpha);
+}
+
 // ---------------------------------------------------------------------------
 // Engine integration: bounded queues, deadlines, watchdog, arbiter ladder,
 // and cross-thread-count determinism of every ledger.
@@ -254,9 +296,11 @@ TEST(Overload, DeadlineExpiredWorkIsShedBeforeRestore) {
   EXPECT_NE(std::string(err.what()).find("shed"), std::string::npos);
   EXPECT_FALSE(is_transient(ErrorCode::kOverloaded));
 
-  // Metrics mirror the ledger under the schema-2 layout.
+  // Metrics mirror the ledger under the schema-3 layout (versioned; v3
+  // added the host tag the cluster rollup keys on).
   const std::string json = report.metrics.to_json();
-  EXPECT_NE(json.find("\"schema\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"host\":\"host0\""), std::string::npos);
   EXPECT_NE(json.find("\"overload\":{"), std::string::npos);
   EXPECT_NE(json.find("\"shed_deadline\":"), std::string::npos);
 }

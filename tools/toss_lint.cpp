@@ -37,6 +37,12 @@
 //                    pass a predicate (or use wait_for/wait_until) — a
 //                    bare wait has no shutdown or deadline path and can
 //                    hang a worker forever on a missed notify.
+//   host-internal    "platform/host.hpp" may be included only from files
+//                    under src/platform/ — the Host object is the
+//                    engine/cluster implementation seam, not public
+//                    surface; everyone else reaches the shared types
+//                    through "platform/engine.hpp" /
+//                    "platform/cluster.hpp" (or the umbrella).
 //
 // Findings print as `file:line rule message`, one per line, and the exit
 // code is 1 when any finding is unsuppressed (0 clean, 2 usage/IO error).
@@ -70,8 +76,9 @@ struct Finding {
 };
 
 const char* const kRuleNames[] = {
-    "deep-include",   "platform-throw", "raw-assert",     "nondeterminism",
+    "deep-include",   "platform-throw", "raw-assert",      "nondeterminism",
     "thread-spawn",   "pragma-once",    "swallowed-error", "unbounded-wait",
+    "host-internal",
 };
 
 bool known_rule(const std::string& name) {
@@ -332,6 +339,23 @@ void check_file(const SourceFile& f, std::vector<Finding>& findings) {
               {f.rel, line_no, "deep-include",
                "includes internal header \"" + target +
                    "\"; include \"toss.hpp\" instead"});
+      }
+    }
+
+    if (!in_platform) {
+      const size_t pos = code.find("#include \"");
+      if (pos != std::string::npos) {
+        const size_t begin = pos + 10;
+        const size_t end = f.raw[i].find('"', begin);
+        const std::string target =
+            end == std::string::npos ? "" : f.raw[i].substr(begin, end - begin);
+        if (target == "platform/host.hpp" || target == "host.hpp" ||
+            target.ends_with("/host.hpp"))
+          raw_findings.push_back(
+              {f.rel, line_no, "host-internal",
+               "\"platform/host.hpp\" is the engine/cluster implementation "
+               "seam; include \"platform/engine.hpp\" or "
+               "\"platform/cluster.hpp\" instead"});
       }
     }
 
