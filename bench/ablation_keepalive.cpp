@@ -71,7 +71,7 @@ void print_ablation() {
 
     const Invocation inv = m.invoke(1, 777);  // typical mid-size request
     t.warm_dram_ns = inv.cpu_ns + inv.trace.time_uniform(cost_model,
-                                                         Tier::kFast);
+                                                         tier_index(0));
     t.warm_exec_ns = inv.cpu_ns + inv.trace.time_under(cost_model,
                                                        d.placement);
     env.store.drop_caches();

@@ -71,14 +71,15 @@ u64 pick_budget(const SystemConfig& cfg) {
   return total + total * 2 / 5 + 2 * largest * kHosts;
 }
 
-std::unique_ptr<ClusterEngine> make_cluster(u64 budget, u64 seed) {
+std::unique_ptr<ClusterEngine> make_cluster(const SystemConfig& cfg,
+                                            u64 budget, u64 seed) {
   ClusterOptions opts;
   opts.hosts = kHosts;
   opts.migrate_after_pinned_epochs = kPinnedEpochs;
   opts.host_options.chunk = 2;
   opts.host_options.arbiter.enabled = true;
   opts.host_options.arbiter.fast_budget_bytes = budget;
-  auto cluster = std::make_unique<ClusterEngine>(opts);
+  auto cluster = std::make_unique<ClusterEngine>(opts, cfg);
   const std::vector<FunctionSpec> base = workloads::all_functions();
   for (size_t i = 0; i < kLanes; ++i) {
     cluster
@@ -177,7 +178,10 @@ void write_json(const std::string& path, u64 budget,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const u64 budget = pick_budget(SystemConfig::paper_default()) / kHosts;
+  // `--config=paper|cxl|nvme` (or --ladder=2|3|4) picks the host ladder;
+  // the default two-tier run is the bit-stable CI artifact.
+  const SystemConfig cfg = bench::ladder_config_from_args(argc, argv);
+  const u64 budget = pick_budget(cfg) / kHosts;
   std::printf("hosts=%zu lanes=%zu budget=%.1f MiB/host\n", kHosts, kLanes + 1,
               static_cast<double>(budget) / static_cast<double>(kMiB));
 
@@ -188,14 +192,14 @@ int main(int argc, char** argv) {
        migrated = false;
 
   for (const u64 seed : kSeeds) {
-    auto parallel = make_cluster(budget, seed);
+    auto parallel = make_cluster(cfg, budget, seed);
     for (size_t h = 0; h < kHosts; ++h)
       placement_ok = placement_ok &&
                      parallel->predicted_load()[h] <=
                          parallel->host_fast_budget_bytes(h);
     const ClusterReport p = parallel->run(4).value();
 
-    auto serial = make_cluster(budget, seed);
+    auto serial = make_cluster(cfg, budget, seed);
     const ClusterReport s = serial->run(1).value();
 
     SeedRow row;

@@ -83,6 +83,34 @@ const char* roman(int input) {
   return kRoman[input];
 }
 
+SystemConfig ladder_config_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view v;
+    if (arg.rfind("--ladder=", 0) == 0)
+      v = arg.substr(9);
+    else if (arg.rfind("--config=", 0) == 0)
+      v = arg.substr(9);
+    else
+      continue;
+    if (v == "2" || v == "paper") return SystemConfig::paper_default();
+    if (v == "3" || v == "cxl") return SystemConfig::cxl_host();
+    if (v == "4" || v == "nvme") return SystemConfig::nvme_host();
+    throw std::runtime_error("unknown --ladder/--config value: " +
+                             std::string(v));
+  }
+  return SystemConfig::paper_default();
+}
+
+std::string ladder_label(const SystemConfig& cfg) {
+  std::string out = std::to_string(cfg.tier_count()) + "-tier (";
+  for (size_t r = 0; r < cfg.tier_count(); ++r) {
+    if (r) out += "/";
+    out += cfg.tiers[r].name;
+  }
+  return out + ")";
+}
+
 std::string artifact_dir(int argc, char** argv) {
   std::string dir = TOSS_BENCH_OUT_DIR;
   for (int i = 1; i < argc; ++i) {

@@ -73,6 +73,15 @@ Nanos dram_resident_setup_ns(const SimEnv& env);
 /// Paper-standard input labels ("I".."IV").
 const char* roman(int input);
 
+/// The `--ladder=2|3|4` sweep axis (with `--config=paper|cxl|nvme` as a
+/// spelled-out alias): 2 rungs = the paper's DDR4/PMem pair, 3 adds
+/// CXL-attached DDR4 in the middle, 4 adds NVMe flash at the bottom.
+/// Absent flag = paper_default(). Throws on unknown values.
+SystemConfig ladder_config_from_args(int argc, char** argv);
+
+/// Short label for a ladder shape, e.g. "2-tier (fast/slow)".
+std::string ladder_label(const SystemConfig& cfg);
+
 /// Directory for bench artifacts (JSON/CSV output). Defaults to
 /// `<build>/bench_artifacts` so runs never litter the invoking CWD;
 /// override with `--out-dir=PATH`. The directory is created on demand.

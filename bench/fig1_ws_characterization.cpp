@@ -51,7 +51,7 @@ void print_fig1() {
     const PageAccessCounts true_counts =
         PageAccessCounts::from_trace(inv.trace, m.guest_pages());
     const Nanos exec =
-        inv.cpu_ns + inv.trace.time_uniform(cost, Tier::kFast);
+        inv.cpu_ns + inv.trace.time_uniform(cost, tier_index(0));
     const DamonOutput out = damon.monitor(true_counts, exec, rng);
 
     // uffd: touched/untouched only.

@@ -1,9 +1,14 @@
-// Figure 2: normalized slowdown when functions run fully on the slow tier
+// Figure 2: normalized slowdown when functions run fully on a deeper tier
 // (Intel Optane PMem in the paper), for every function and input,
 // arithmetic mean over 10 iterations.
 //
 // Expected shape: compress/json/lr_training negligible; slowdown grows with
 // input size; pagerank worst (>2x at input IV).
+//
+// The `--ladder=2|3|4` axis sweeps the host's memory ladder (DESIGN.md
+// §11): one slowdown table per rung below the fastest, plus the
+// cost/slowdown frontier across rungs — deeper rungs are slower but
+// cheaper, so both columns must be monotone.
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
@@ -15,8 +20,9 @@ namespace {
 
 constexpr int kIters = 10;
 
-void print_fig2() {
-  SimEnv env;
+/// Mean full-offload slowdown at ladder rank `rank`, tabulated per
+/// function/input; returns the grand mean.
+double print_rung_table(SimEnv& env, size_t rank) {
   AccessCostModel model(env.cfg);
   AsciiTable t({"function", "input I", "input II", "input III", "input IV"});
   OnlineStats all;
@@ -25,25 +31,49 @@ void print_fig2() {
     for (int input = 0; input < kNumInputs; ++input) {
       OnlineStats st;
       for (int it = 0; it < kIters; ++it) {
-        const Invocation inv =
-            m.invoke(input, 100 + static_cast<u64>(it));
+        const Invocation inv = m.invoke(input, 100 + static_cast<u64>(it));
         const Nanos fast =
-            inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
-        const Nanos slow =
-            inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
-        st.add(slow / fast);
+            inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
+        const Nanos deep =
+            inv.cpu_ns + inv.trace.time_uniform(model, tier_index(rank));
+        st.add(deep / fast);
       }
       all.add(st.mean());
       row.push_back(fmt_x(st.mean()));
     }
     t.add_row(row);
   }
-  std::puts(
-      "Fig 2: slowdown fully offloaded to the slow tier (normalized to "
-      "DRAM, mean of 10 iterations)");
+  std::printf(
+      "Fig 2 [%s]: slowdown fully offloaded to ladder rank %zu "
+      "(normalized to %s, mean of %d iterations)\n",
+      tier_name(tier_index(rank)), rank, env.cfg.fastest().name.c_str(),
+      kIters);
   t.print();
   std::printf("mean over all functions/inputs: %s\n",
               fmt_x(all.mean()).c_str());
+  return all.mean();
+}
+
+void print_fig2(SimEnv& env) {
+  std::printf("ladder: %s\n", ladder_label(env.cfg).c_str());
+  const size_t ranks = env.cfg.tier_count();
+  std::vector<double> rung_slowdown(ranks, 1.0);
+  for (size_t r = 1; r < ranks; ++r) rung_slowdown[r] = print_rung_table(env, r);
+
+  // The frontier Step III trades along: resting the whole image at rank r
+  // costs rung_slowdown[r] of execution time but 1/rank_cost_ratio(r) of
+  // the DRAM-resident memory bill (Eq 1 with all bytes at one rank).
+  const std::vector<double> ratios = env.cfg.rank_cost_ratios();
+  AsciiTable frontier({"rung", "tier", "slowdown", "normalized cost"});
+  for (size_t r = 0; r < ranks; ++r) {
+    std::vector<double> fracs(ratios.size(), 0.0);
+    if (r > 0) fracs[r - 1] = 1.0;
+    const double cost = ladder_normalized_cost(rung_slowdown[r], fracs, ratios);
+    frontier.add_row({std::to_string(r), tier_name(tier_index(r)),
+                      fmt_x(rung_slowdown[r]), fmt_x(cost)});
+  }
+  std::puts("Fig 2 frontier: per-rung slowdown vs normalized memory cost");
+  frontier.print();
 }
 
 void BM_full_slow_timing(benchmark::State& state) {
@@ -53,7 +83,8 @@ void BM_full_slow_timing(benchmark::State& state) {
       env.registry.models()[static_cast<size_t>(state.range(0))];
   const Invocation inv = m.invoke(3, 7);
   for (auto _ : state)
-    benchmark::DoNotOptimize(inv.trace.time_uniform(model, Tier::kSlow));
+    benchmark::DoNotOptimize(
+        inv.trace.time_uniform(model, env.cfg.deepest_tier()));
   state.SetLabel(m.name());
 }
 BENCHMARK(BM_full_slow_timing)->DenseRange(0, 9);
@@ -61,7 +92,8 @@ BENCHMARK(BM_full_slow_timing)->DenseRange(0, 9);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig2();
+  SimEnv env{ladder_config_from_args(argc, argv)};
+  print_fig2(env);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -31,7 +31,7 @@ void print_fig5() {
     for (int it = 0; it < 10; ++it) {
       const Invocation inv = m.invoke(3, 5000 + static_cast<u64>(it));
       const Nanos fast =
-          inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+          inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
       const Nanos tiered = inv.cpu_ns + inv.trace.time_under(model,
                                                              d.placement);
       sd.add(tiered / fast - 1.0);

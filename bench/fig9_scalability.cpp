@@ -6,6 +6,10 @@
 // Paper shape at 20-way: REAP Worst avg ~3.79x (up to ~19x); TOSS avg
 // ~1.95x (up to ~4.2x); about half the functions track DRAM under TOSS;
 // pagerank scales like DRAM because its hot half stays in DRAM.
+//
+// `--ladder=2|3|4` sweeps the host's memory ladder (DESIGN.md §11): each
+// deeper shape re-runs the whole figure with Step III placing bins across
+// more rungs, each rung with its own bandwidth-contention pool.
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
@@ -45,8 +49,8 @@ struct FunctionRows {
   double reapw20 = 0;
 };
 
-FunctionRows fig9_rows_for(size_t model_index) {
-  SimEnv env;
+FunctionRows fig9_rows_for(const SystemConfig& cfg, size_t model_index) {
+  SimEnv env{cfg};
   const FunctionModel& m = env.registry.models()[model_index];
   FunctionRows out;
 
@@ -86,12 +90,13 @@ FunctionRows fig9_rows_for(size_t model_index) {
   return out;
 }
 
-void print_fig9() {
+void print_fig9(const SystemConfig& cfg) {
+  std::printf("ladder: %s\n", ladder_label(cfg).c_str());
   const size_t num_models = FunctionRegistry::table1().models().size();
   std::vector<FunctionRows> per_function(num_models);
   ThreadPool pool(ThreadPool::hardware_threads());
   parallel_for(&pool, num_models,
-               [&](size_t i) { per_function[i] = fig9_rows_for(i); });
+               [&](size_t i) { per_function[i] = fig9_rows_for(cfg, i); });
 
   AsciiTable t({"function", "system", "K=1", "K=5", "K=10", "K=20"});
   OnlineStats toss20, reapw20;
@@ -119,8 +124,8 @@ void BM_contention_model(benchmark::State& state) {
   ExecutionResult solo;
   solo.exec_ns = ms(100);
   solo.cpu_ns = ms(20);
-  solo.mem_slow_ns = ms(80);
-  solo.slow_read_bytes = 4e9;
+  solo.mem_tier_ns[1] = ms(80);
+  solo.tier_read_bytes[1] = 4e9;
   const std::vector<ExecutionResult> group(20, solo);
   for (auto _ : state)
     benchmark::DoNotOptimize(run_concurrent(env.cfg, group).iterations);
@@ -130,7 +135,7 @@ BENCHMARK(BM_contention_model);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig9();
+  print_fig9(ladder_config_from_args(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

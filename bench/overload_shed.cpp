@@ -47,10 +47,9 @@ TossOptions fast_toss() {
 }
 
 std::unique_ptr<PlatformEngine> make_fleet(
-    const EngineOptions& opts,
+    const SystemConfig& cfg, const EngineOptions& opts,
     const std::vector<std::vector<Request>>& streams) {
-  auto engine = std::make_unique<PlatformEngine>(
-      SystemConfig::paper_default(), PricingPlan{}, opts);
+  auto engine = std::make_unique<PlatformEngine>(cfg, PricingPlan{}, opts);
   const std::vector<FunctionSpec> base = workloads::all_functions();
   for (size_t i = 0; i < kFleetSize; ++i) {
     FunctionSpec spec = base[i % base.size()];
@@ -72,10 +71,10 @@ std::vector<Request> closed_stream(size_t lane) {
 
 /// Closed-loop calibration: each lane's mean invocation time, the unit the
 /// sweep expresses offered load in.
-std::vector<Nanos> calibrate() {
+std::vector<Nanos> calibrate(const SystemConfig& cfg) {
   std::vector<std::vector<Request>> streams;
   for (size_t i = 0; i < kFleetSize; ++i) streams.push_back(closed_stream(i));
-  auto engine = make_fleet(EngineOptions{}, streams);
+  auto engine = make_fleet(cfg, EngineOptions{}, streams);
   const EngineReport report = engine->run(4).value();
   std::vector<Nanos> mean_service;
   for (const FunctionReport& f : report.functions) {
@@ -101,8 +100,8 @@ struct LoadRun {
   std::vector<std::vector<ShedEvent>> ledgers;  // per lane
 };
 
-LoadRun run_load(double multiplier, const std::vector<Nanos>& mean_service,
-                 int threads) {
+LoadRun run_load(const SystemConfig& cfg, double multiplier,
+                 const std::vector<Nanos>& mean_service, int threads) {
   EngineOptions opts;
   opts.chunk = 4;
   opts.max_lane_queue = kQueueDepth;
@@ -118,7 +117,7 @@ LoadRun run_load(double multiplier, const std::vector<Nanos>& mean_service,
     span = std::max(span, streams[i].back().arrival_ns + deadline);
   }
 
-  auto engine = make_fleet(opts, streams);
+  auto engine = make_fleet(cfg, opts, streams);
   const EngineReport report = engine->run(threads).value();
 
   LoadRun run;
@@ -173,14 +172,17 @@ void write_json(const std::string& path, const std::vector<LoadRow>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<Nanos> mean_service = calibrate();
+  // `--config=paper|cxl|nvme` (or --ladder=2|3|4) picks the host ladder;
+  // the default two-tier run is the bit-stable CI artifact.
+  const SystemConfig cfg = toss::bench::ladder_config_from_args(argc, argv);
+  const std::vector<Nanos> mean_service = calibrate(cfg);
 
   std::printf("%6s %8s %8s %6s %7s %6s %12s %12s\n", "load", "offered",
               "complet", "shed", "misses", "qpeak", "offered/s", "goodput/s");
   std::vector<LoadRow> rows;
   bool queue_bound_held = true;
   for (const double multiplier : kMultipliers) {
-    const LoadRun run = run_load(multiplier, mean_service, /*threads=*/4);
+    const LoadRun run = run_load(cfg, multiplier, mean_service, /*threads=*/4);
     const LoadRow& r = run.row;
     queue_bound_held = queue_bound_held && r.queue_peak <= kQueueDepth;
     std::printf("%5.2fx %8llu %8llu %6llu %7llu %6zu %12.3f %12.3f\n",
@@ -203,8 +205,8 @@ int main(int argc, char** argv) {
   // Gate 2: the shed ledger at the heaviest load is bit-identical between
   // a serial and a 4-thread drain (the determinism contract, soaked).
   const double heaviest = kMultipliers[std::size(kMultipliers) - 1];
-  const LoadRun serial = run_load(heaviest, mean_service, 1);
-  const LoadRun parallel = run_load(heaviest, mean_service, 4);
+  const LoadRun serial = run_load(cfg, heaviest, mean_service, 1);
+  const LoadRun parallel = run_load(cfg, heaviest, mean_service, 4);
   if (serial.ledgers != parallel.ledgers) {
     std::printf("FAIL: shed ledgers diverged between 1 and 4 threads\n");
     return 1;

@@ -26,7 +26,7 @@ double cost_of(SimEnv& env, const FunctionModel& m, int input,
   OnlineStats sd;
   for (int it = 0; it < 5; ++it) {
     const Invocation inv = m.invoke(input, 8800 + static_cast<u64>(it));
-    const Nanos fast = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+    const Nanos fast = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
     const Nanos tiered = inv.cpu_ns + inv.trace.time_under(model, placement);
     sd.add(std::max(0.0, tiered / fast - 1.0));
   }

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
 
     for (int input = 0; input < kNumInputs; ++input) {
       const Invocation inv = model.invoke(input, /*seed=*/1000 + input);
-      const Nanos mem_fast = inv.trace.time_uniform(cost_model, Tier::kFast);
-      const Nanos mem_slow = inv.trace.time_uniform(cost_model, Tier::kSlow);
+      const Nanos mem_fast = inv.trace.time_uniform(cost_model, tier_index(0));
+      const Nanos mem_slow = inv.trace.time_uniform(cost_model, tier_index(1));
       const Nanos warm = inv.cpu_ns + mem_fast;
       const double slowdown = (inv.cpu_ns + mem_slow) / warm;
       const double intensity = mem_fast / warm;

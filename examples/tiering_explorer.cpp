@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
                   "slowdown", "norm. cost"});
     for (double ratio : {1.25, 1.5, 2.0, 2.5, 4.0, 8.0}) {
       SystemConfig cfg = SystemConfig::paper_default();
-      cfg.fast.cost_per_mib = ratio;
-      cfg.slow.cost_per_mib = 1.0;
+      cfg.tiers[0].cost_per_mib = ratio;
+      cfg.tiers[1].cost_per_mib = 1.0;
       const TieringDecision d =
           analyze_pattern(cfg, unified, representative, {});
       t.add_row({fmt_f(ratio, 2), fmt_f(optimal_normalized_cost(ratio)),

@@ -180,8 +180,8 @@ int cmd_decide(const Args& args) {
     return 1;
   }
   SystemConfig cfg = SystemConfig::paper_default();
-  cfg.fast.cost_per_mib = args.ratio;
-  cfg.slow.cost_per_mib = 1.0;
+  cfg.tiers[0].cost_per_mib = args.ratio;
+  cfg.tiers[1].cost_per_mib = 1.0;
 
   const double scale = DamonConfig{}.count_scale;
   PageAccessCounts unified(m->guest_pages());

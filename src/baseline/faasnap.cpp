@@ -19,7 +19,7 @@ RestorePlan FaasnapPolicy::plan_restore() const {
   // guest memory, all from the single memory file.
   u64 cursor = 0;
   auto add_mapping = [&](u64 begin, u64 count) {
-    plan.mappings.push_back(RestoreMapping{begin, count, Tier::kFast,
+    plan.mappings.push_back(RestoreMapping{begin, count, tier_index(0),
                                            snap->file_id(), begin,
                                            /*dax=*/false});
   };

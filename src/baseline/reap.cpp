@@ -19,7 +19,7 @@ RestorePlan ReapPolicy::plan_restore() const {
   plan.vm_state = snap->vm_state();
   plan.guest_pages = snap->num_pages();
   plan.mappings.push_back(RestoreMapping{
-      /*guest_page=*/0, snap->num_pages(), Tier::kFast, snap->file_id(),
+      /*guest_page=*/0, snap->num_pages(), tier_index(0), snap->file_id(),
       /*file_page=*/0, /*dax=*/false});
   // Eager prefetch of the recorded working set, one contiguous range at a
   // time (guest offsets == file offsets for a single-tier snapshot).

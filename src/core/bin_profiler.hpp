@@ -1,9 +1,15 @@
-// Bin profiling (Section V-C): starting from all bins in DRAM (zero-access
-// regions already in the slow tier), progressively offload bins — coldest
-// access density first — and measure the slowdown of each configuration on
-// the *representative invocation* (the largest input seen during memory
-// profiling). Each step yields the bin's marginal slowdown and its
-// normalized memory cost.
+// Bin profiling (Section V-C): starting from all bins in the fastest tier
+// (zero-access regions already at the deepest rung), progressively push
+// bins down the ladder — coldest access density first — and measure the
+// slowdown of each configuration on the *representative invocation* (the
+// largest input seen during memory profiling). Each step yields the bin's
+// marginal slowdown and its normalized memory cost.
+//
+// With a two-tier ladder this is the paper's single offload sweep. With a
+// deeper ladder the sweep runs one pass per rung descent: pass p moves
+// bins from rank p-1 to rank p, coldest first, so a prefix of the
+// concatenated step sequence is a full per-bin rung assignment (colder
+// bins sit deeper).
 #pragma once
 
 #include <vector>
@@ -17,20 +23,23 @@ namespace toss {
 
 struct BinStep {
   size_t bin_index = 0;          ///< index into the packed bins vector
+  size_t from_rank = 0;          ///< ladder rank the bin leaves...
+  size_t to_rank = 1;            ///< ...and the rank this step moves it to
   double byte_fraction = 0;      ///< bin bytes / guest bytes
-  double marginal_slowdown = 0;  ///< slowdown added by offloading this bin
+  double marginal_slowdown = 0;  ///< slowdown added by this descent
   double cumulative_slowdown = 0;
-  double slow_fraction = 0;      ///< guest slow fraction after this step
+  double slow_fraction = 0;      ///< guest fraction below rank 0 after this step
   double cumulative_cost = 0;    ///< normalized Eq 1 at this configuration
   double bin_cost = 0;           ///< per-bin offload test (V-C rule)
 };
 
 struct BinProfile {
   Nanos base_exec_ns = 0;  ///< representative warm time, all bins in DRAM
-  Nanos full_slow_exec_ns = 0;  ///< everything (incl. bins) in the slow tier
-  /// Steps in offload order (coldest density first).
+  Nanos full_slow_exec_ns = 0;  ///< everything (incl. bins) at the deepest rung
+  /// Steps in sweep order: pass 1 (rank 0 -> 1) coldest first, then pass 2
+  /// (rank 1 -> 2), ... A prefix of this sequence is one configuration.
   std::vector<BinStep> steps;
-  /// Zero-access regions in slow, all bins in fast.
+  /// Zero-access regions at the deepest rung, all bins in the fastest tier.
   PagePlacement base_placement;
 
   double full_slow_slowdown() const {
@@ -48,10 +57,9 @@ class BinProfiler {
   /// already restored; only access-time differences matter, which is what
   /// the configuration comparison isolates).
   ///
-  /// Each step of the sweep measures one offload *prefix* (coldest k bins
-  /// in the slow tier); the prefixes are independent measurements, so a
-  /// non-null `pool` fans them out across workers. Serial and parallel
-  /// sweeps produce bit-identical profiles.
+  /// Each step of the sweep measures one descent *prefix*; the prefixes are
+  /// independent measurements, so a non-null `pool` fans them out across
+  /// workers. Serial and parallel sweeps produce bit-identical profiles.
   BinProfile profile(const std::vector<Bin>& bins,
                      const RegionList& zero_regions, u64 guest_pages,
                      const Invocation& representative,

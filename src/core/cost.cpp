@@ -18,6 +18,19 @@ double normalized_memory_cost(double slowdown_factor, double slow_fraction,
          ((1.0 - slow_fraction) + slow_fraction / cost_ratio);
 }
 
+double ladder_normalized_cost(double slowdown_factor,
+                              const std::vector<double>& deep_fractions,
+                              const std::vector<double>& cost_ratios) {
+  TOSS_REQUIRE(deep_fractions.size() == cost_ratios.size());
+  double deep = 0.0, discounted = 0.0;
+  for (size_t i = 0; i < deep_fractions.size(); ++i) {
+    TOSS_REQUIRE(cost_ratios[i] > 0.0);
+    deep += deep_fractions[i];
+    discounted += deep_fractions[i] / cost_ratios[i];
+  }
+  return slowdown_factor * ((1.0 - deep) + discounted);
+}
+
 double optimal_normalized_cost(double cost_ratio) { return 1.0 / cost_ratio; }
 
 double bin_normalized_cost(double marginal_slowdown, double byte_fraction,

@@ -6,7 +6,17 @@
 // DRAM-only configuration has cost 1 and the optimum (everything in the
 // slow tier, no slowdown) has cost 1/cost_ratio = 0.4 for the paper's
 // 2.5:1 ratio.
+// The ladder generalization (DESIGN.md §11) keeps the same normalization:
+// bytes at rank r are worth 1/rank_cost_ratio(r) of fast bytes, so
+//
+//   cost = SDown * ((1 - sum_r frac_r) + sum_r frac_r / ratio_r)
+//
+// summed in ascending rank order. For a two-rung ladder this evaluates the
+// exact same floating-point expression as normalized_memory_cost, which is
+// what keeps the degenerate case bit-identical.
 #pragma once
+
+#include <vector>
 
 #include "mem/tier.hpp"
 
@@ -21,6 +31,15 @@ double eq1_memory_cost(double slowdown_factor, double mb_fast, double mb_slow,
 ///   slowdown_factor * (fast_frac + slow_frac / cost_ratio)
 double normalized_memory_cost(double slowdown_factor, double slow_fraction,
                               double cost_ratio);
+
+/// Eq 1 normalized over an N-rung ladder. `deep_fractions[i]` is the byte
+/// fraction resting at rank i+1 and `cost_ratios[i]` the fast:rank-(i+1)
+/// $/MiB ratio (PagePlacement::deep_fractions / SystemConfig::
+/// rank_cost_ratios shapes). Two-rung ladders reduce bit-identically to
+/// normalized_memory_cost.
+double ladder_normalized_cost(double slowdown_factor,
+                              const std::vector<double>& deep_fractions,
+                              const std::vector<double>& cost_ratios);
 
 /// The floor of the normalized cost: all memory slow, no slowdown.
 double optimal_normalized_cost(double cost_ratio);

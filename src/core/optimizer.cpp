@@ -12,26 +12,24 @@ TieringDecision choose_placement(const SystemConfig& cfg,
                                  u64 guest_pages,
                                  const Invocation& representative,
                                  const TieringOptions& options) {
+  const size_t ranks = cfg.tier_count();
+  const std::vector<double> ratios = cfg.rank_cost_ratios();
   BinProfiler profiler(cfg);
   TieringDecision d;
   d.profile = profiler.profile(bins, zero_regions, guest_pages,
                                representative, options.profile_pool);
   d.offloaded.assign(bins.size(), false);
+  d.bin_rank.assign(bins.size(), 0);
 
-  // The progressive sweep offloads bins coldest-first; each step's
-  // cumulative Eq 1 cost is the memory cost of stopping there. The
+  // The progressive sweep pushes bins down the ladder coldest-first; each
+  // step's cumulative Eq 1 cost is the memory cost of stopping there. The
   // minimum-cost configuration is the prefix with the lowest cumulative
-  // cost (Section V-C: every bin whose offload still lowered the cost ends
-  // up in the slow tier). A slowdown threshold restricts the eligible
-  // prefixes to those whose cumulative slowdown stays within bounds.
-  size_t best_prefix = 0;  // number of offloaded bins; 0 = bins all fast
-  double best_cost = 1.0;  // no bins offloaded: zero regions are free, so
-                           // cost = slow_frac of zeros only — computed below
-  {
-    const double zero_cost = normalized_memory_cost(
-        1.0, d.profile.base_placement.slow_fraction(), cfg.cost_ratio());
-    best_cost = zero_cost;
-  }
+  // cost (Section V-C: every descent that still lowered the cost is kept).
+  // A slowdown threshold restricts the eligible prefixes to those whose
+  // cumulative slowdown stays within bounds.
+  size_t best_prefix = 0;  // number of applied descents; 0 = bins all fast
+  double best_cost = ladder_normalized_cost(
+      1.0, d.profile.base_placement.deep_fractions(ranks), ratios);
   for (size_t k = 0; k < d.profile.steps.size(); ++k) {
     const BinStep& s = d.profile.steps[k];
     if (options.slowdown_threshold &&
@@ -43,29 +41,48 @@ TieringDecision choose_placement(const SystemConfig& cfg,
     }
   }
 
-  // Fast-budget bound (the arbiter's demotion hook): extend the offload
-  // prefix coldest-first until the fast-tier residue fits the cap.
+  // Fast-budget bound (the arbiter's demotion hook): extend the descent
+  // prefix until the rank-0 residue fits the cap. Only pass-1 steps (rank
+  // 0 -> 1) shrink the fast tier, and they all come first in sweep order,
+  // so the extension resolves within pass 1.
   if (options.max_fast_bytes) {
     std::vector<u64> bin_pages(bins.size(), 0);
     for (size_t b = 0; b < bins.size(); ++b)
       for (const Region& r : bins[b].regions) bin_pages[b] += r.page_count;
-    u64 fast_pages = d.profile.base_placement.pages_in(Tier::kFast);
+    u64 fast_pages = d.profile.base_placement.pages_in(tier_index(0));
     for (size_t k = 0; k < best_prefix; ++k)
-      fast_pages -= bin_pages[d.profile.steps[k].bin_index];
+      if (d.profile.steps[k].from_rank == 0)
+        fast_pages -= bin_pages[d.profile.steps[k].bin_index];
     while (bytes_for_pages(fast_pages) > *options.max_fast_bytes &&
            best_prefix < d.profile.steps.size()) {
-      fast_pages -= bin_pages[d.profile.steps[best_prefix].bin_index];
+      if (d.profile.steps[best_prefix].from_rank == 0)
+        fast_pages -= bin_pages[d.profile.steps[best_prefix].bin_index];
       ++best_prefix;
     }
   }
 
-  // Apply: zero regions slow, the chosen prefix of bins slow, rest fast.
+  // Apply: zero regions at the deepest rung, each bin on the rung its last
+  // applied descent reached, the rest at rank 0.
   d.placement = d.profile.base_placement;
   for (size_t k = 0; k < best_prefix; ++k) {
     const BinStep& s = d.profile.steps[k];
     d.offloaded[s.bin_index] = true;
+    d.bin_rank[s.bin_index] = s.to_rank;
     for (const Region& r : bins[s.bin_index].regions)
-      d.placement.set_range(r.page_begin, r.page_count, Tier::kSlow);
+      d.placement.set_range(r.page_begin, r.page_count,
+                            tier_index(s.to_rank));
+  }
+
+  // Tier floor: the arbiter's deeper demotion rungs forbid the upper part
+  // of the ladder outright.
+  const size_t floor_rank =
+      std::min(options.min_tier_rank, ranks > 0 ? ranks - 1 : 0);
+  if (floor_rank > 0) {
+    d.placement.apply_floor(floor_rank);
+    for (size_t b = 0; b < bins.size(); ++b) {
+      d.bin_rank[b] = std::max(d.bin_rank[b], floor_rank);
+      d.offloaded[b] = true;
+    }
   }
 
   const Nanos exec = profiler.warm_exec_ns(representative, d.placement);
@@ -74,8 +91,8 @@ TieringDecision choose_placement(const SystemConfig& cfg,
           ? std::max(0.0, exec / d.profile.base_exec_ns - 1.0)
           : 0.0;
   d.slow_fraction = d.placement.slow_fraction();
-  d.normalized_cost = normalized_memory_cost(
-      1.0 + d.expected_slowdown, d.slow_fraction, cfg.cost_ratio());
+  d.normalized_cost = ladder_normalized_cost(
+      1.0 + d.expected_slowdown, d.placement.deep_fractions(ranks), ratios);
   return d;
 }
 

@@ -1,9 +1,12 @@
 // Placement optimizer (Section V-C, final stage of Step III).
 //
 // Every bin whose per-bin normalized cost is below 1 lowers the total
-// memory cost and is placed in the slow tier. When the client supplies a
-// slowdown threshold, candidate bins are sorted by their slowdown and
-// offloaded until the threshold would be exceeded.
+// memory cost and is placed deeper in the ladder. When the client supplies
+// a slowdown threshold, candidate descents are taken in sweep order and
+// applied until the threshold would be exceeded. The chosen configuration
+// is a prefix of the bin profile's descent sequence, so each bin ends on
+// its own rung (colder bins deeper) — with a two-tier ladder this
+// degenerates to the paper's fast/slow split.
 #pragma once
 
 #include <optional>
@@ -21,13 +24,17 @@ struct TieringOptions {
   /// measured configurations are independent, so the decision is
   /// bit-identical with or without a pool.
   ThreadPool* profile_pool = nullptr;
-  /// Hard cap on the fast-tier bytes the placement may keep resident. The
-  /// fleet arbiter re-enters Step IV with this bound to demote a function
-  /// under DRAM pressure: the coldest-first sweep keeps offloading bins
-  /// past the minimum-cost prefix — ignoring the slowdown threshold, since
-  /// fitting the budget outranks the SLO preference under duress — until
-  /// the fast residue fits. 0 forces a fully slow placement.
+  /// Hard cap on the fastest-tier bytes the placement may keep resident.
+  /// The fleet arbiter re-enters Step IV with this bound to demote a
+  /// function under DRAM pressure: the coldest-first sweep keeps pushing
+  /// bins off rank 0 past the minimum-cost prefix — ignoring the slowdown
+  /// threshold, since fitting the budget outranks the SLO preference under
+  /// duress — until the fast residue fits. 0 forces rank 0 empty.
   std::optional<u64> max_fast_bytes;
+  /// Tier floor (arbiter demotion rungs beyond the fast cap): no page may
+  /// be placed above this ladder rank. 0 = no floor; ladder_size-1 pushes
+  /// the whole image to the deepest rung. Clamped to the ladder.
+  size_t min_tier_rank = 0;
 };
 
 struct TieringDecision {
@@ -35,12 +42,13 @@ struct TieringDecision {
   double expected_slowdown = 0;   ///< measured at the chosen configuration
   double normalized_cost = 1.0;   ///< Eq 1, normalized (DRAM-only = 1)
   double slow_fraction = 0;       ///< Table II's "slow tier percentage"
-  std::vector<bool> offloaded;    ///< per bin index
+  std::vector<bool> offloaded;    ///< per bin index: below rank 0?
+  std::vector<size_t> bin_rank;   ///< per bin index: chosen ladder rung
   BinProfile profile;             ///< kept for diagnostics and benches
 };
 
 /// Run the full analysis for a set of packed bins: bin profiling followed
-/// by the minimum-cost (optionally slowdown-bounded) bin selection.
+/// by the minimum-cost (optionally slowdown-bounded) descent selection.
 TieringDecision choose_placement(const SystemConfig& cfg,
                                  const std::vector<Bin>& bins,
                                  const RegionList& zero_regions,

@@ -1,0 +1,26 @@
+// The constraint the fleet arbiter re-enters Step IV placement under
+// (DESIGN.md §9). Shared between the TOSS orchestrator (which applies it)
+// and the platform arbiter (which chooses it), so it lives in its own
+// header.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace toss {
+
+/// `max_fast_bytes` caps the rank-0 (fastest tier) residue of the rebuilt
+/// placement; `min_tier_rank` additionally forbids the ladder's upper rungs
+/// outright — the demotion rungs beyond the fast cap on ladders deeper
+/// than two tiers. Default-constructed = unconstrained.
+struct RetierBound {
+  std::optional<u64> max_fast_bytes;
+  size_t min_tier_rank = 0;
+
+  bool trivial() const { return !max_fast_bytes && min_tier_rank == 0; }
+  bool operator==(const RetierBound&) const = default;
+};
+
+}  // namespace toss

@@ -6,10 +6,17 @@ namespace toss {
 
 u64 tier_snapshot(SnapshotStore& store, const SingleTierSnapshot& snap,
                   const PagePlacement& placement) {
-  const u64 fast_id = store.allocate_file_id();
-  const u64 slow_id = store.allocate_file_id();
-  store.put_tiered(TieredSnapshot::build(snap, placement, fast_id, slow_id));
-  return fast_id;
+  // One file per ladder rank, ids allocated in rank order (so a two-tier
+  // ladder allocates fast-then-slow exactly as before the ladder redesign).
+  const size_t ranks = store.config().tier_count();
+  std::vector<u64> file_ids;
+  file_ids.reserve(ranks);
+  for (size_t r = 0; r < ranks; ++r)
+    file_ids.push_back(store.allocate_file_id());
+  const u64 primary = file_ids.front();
+  store.put_tiered(TieredSnapshot::build(snap, placement,
+                                         std::move(file_ids)));
+  return primary;
 }
 
 Nanos tiering_stage_ns(const SystemConfig& cfg, u64 guest_bytes) {
@@ -39,17 +46,12 @@ RestorePlan TossPolicy::plan_restore() const {
     m.page_count = e.page_count;
     m.tier = e.tier;
     m.file_page = e.file_page;
-    if (e.tier == Tier::kFast) {
-      m.file_id = snap->fast_file_id();
-      // The fast file is pinned in DRAM: its pages are exactly the memory
-      // the cost model bills as the DRAM share of the function, so they
-      // stay resident between invocations (first touch is a minor fault,
-      // never a disk read).
-      m.dax = true;
-    } else {
-      m.file_id = snap->slow_file_id();
-      m.dax = true;  // mapped straight out of the slow tier
-    }
+    m.file_id = snap->file_id(tier_rank(e.tier));
+    // Rank 0 is pinned in DRAM: its pages are exactly the memory the cost
+    // model bills as the fast-tier share of the function, so they stay
+    // resident between invocations (first touch is a minor fault, never a
+    // disk read). Every deeper rank is mapped straight out of its device.
+    m.dax = true;
     plan.mappings.push_back(m);
   }
   return plan;

@@ -1,5 +1,5 @@
 // Snapshot tiering (Step IV / Section V-D): partition the single-tier
-// snapshot into fast and slow files + the memory layout file, and the
+// snapshot into one file per ladder rank + the memory layout file, and the
 // restore policy that memory-maps them back.
 #pragma once
 
@@ -10,7 +10,8 @@
 namespace toss {
 
 /// Build a tiered snapshot from `snap` using `placement` and register it in
-/// the store. Returns the fast file id (the tiered snapshot's handle).
+/// the store, with one tier file per rank of the store's configured ladder.
+/// Returns the rank-0 (fast) file id — the tiered snapshot's handle.
 u64 tier_snapshot(SnapshotStore& store, const SingleTierSnapshot& snap,
                   const PagePlacement& placement);
 
@@ -19,11 +20,11 @@ u64 tier_snapshot(SnapshotStore& store, const SingleTierSnapshot& snap,
 /// serial copy of both tier files plus layout bookkeeping.
 Nanos tiering_stage_ns(const SystemConfig& cfg, u64 guest_bytes);
 
-/// TOSS restore: one mapping per layout entry. The fast file stays pinned
-/// in DRAM (it is precisely the DRAM share the memory cost model charges
-/// for) and the slow file is a DAX mapping of the slow tier, so no data
-/// moves at restore — setup is constant in snapshot size and execution
-/// never waits on the snapshot disk.
+/// TOSS restore: one mapping per layout entry. The rank-0 file stays pinned
+/// in DRAM (it is precisely the fast-tier share the memory cost model
+/// charges for) and every deeper rank's file is a DAX mapping of its
+/// device, so no data moves at restore — setup is constant in snapshot
+/// size and execution never waits on the snapshot disk.
 class TossPolicy final : public RestorePolicy {
  public:
   TossPolicy(const SnapshotStore& store, u64 tiered_id);

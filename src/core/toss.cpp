@@ -39,6 +39,14 @@ u64 TossFunction::slow_resident_bytes() const {
   return 0;
 }
 
+u64 TossFunction::tier_resident_bytes(size_t rank) const {
+  if (phase_ == TossPhase::kTiered)
+    if (const TieredSnapshot* t = tiered_snapshot())
+      return rank < t->tier_count() ? bytes_for_pages(t->tier_pages(rank))
+                                    : 0;
+  return rank == 0 ? model_->guest_bytes() : 0;
+}
+
 TossInvocationRecord TossFunction::handle(int input, u64 invocation_seed) {
   if (options_.drop_caches_between_invocations) store_->drop_caches();
   const Invocation inv = model_->invoke(input, invocation_seed);
@@ -239,8 +247,7 @@ TossInvocationRecord TossFunction::handle_profiling(const Invocation& inv) {
   return rec;
 }
 
-TieringDecision TossFunction::analyze_now(
-    std::optional<u64> max_fast_bytes) const {
+TieringDecision TossFunction::analyze_now(const RetierBound& bound) const {
   TOSS_ASSERT(unified_ && largest_);
   // Step III on the unified pattern, profiled against the largest
   // (longest-running) invocation encountered while profiling.
@@ -249,7 +256,8 @@ TieringDecision TossFunction::analyze_now(
   TieringOptions topt;
   topt.bin_count = options_.bin_count;
   topt.slowdown_threshold = options_.slowdown_threshold;
-  topt.max_fast_bytes = max_fast_bytes;
+  topt.max_fast_bytes = bound.max_fast_bytes;
+  topt.min_tier_rank = bound.min_tier_rank;
   // Analysis happens once per (re)profiling cycle, so a transient pool for
   // the bin sweep is cheap relative to the sweep itself.
   std::unique_ptr<ThreadPool> pool;
@@ -272,7 +280,7 @@ void TossFunction::arm_reprofiler() {
 }
 
 bool TossFunction::run_analysis(RecoveryInfo* recovery) {
-  decision_ = analyze_now(fast_budget_);
+  decision_ = analyze_now(bound_);
 
   const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
   TOSS_ASSERT(snap != nullptr);
@@ -302,12 +310,12 @@ bool TossFunction::run_analysis(RecoveryInfo* recovery) {
   return true;
 }
 
-bool TossFunction::retier(std::optional<u64> max_fast_bytes) {
+bool TossFunction::retier(RetierBound bound) {
   if (phase_ != TossPhase::kTiered || !unified_ || !largest_) return false;
   const SingleTierSnapshot* snap = store_->get_single_tier(single_tier_id_);
   if (snap == nullptr) return false;
 
-  TieringDecision d = analyze_now(max_fast_bytes);
+  TieringDecision d = analyze_now(bound);
   // Persist the re-placed artifact; bounded torn-write retry. No backoff is
   // charged anywhere — demotions run between requests at the engine's
   // epoch barrier, not inside an invocation — and recovery_rng_ is left
@@ -325,7 +333,7 @@ bool TossFunction::retier(std::optional<u64> max_fast_bytes) {
   if (id == 0) return false;  // keep serving the current artifact
   tiered_id_ = id;
   decision_ = std::move(d);
-  fast_budget_ = max_fast_bytes;
+  bound_ = bound;
   arm_reprofiler();
   return true;
 }
@@ -368,12 +376,12 @@ TossInvocationRecord TossFunction::handle_tiered(const Invocation& inv) {
         rc.expected_hash = hash_memory(authority->materialize());
       else
         rc.expected_hash = rc.memory_hash;
-      // While the arbiter holds a fast-budget cap, the extra slowdown is
+      // While the arbiter holds a non-trivial bound, the extra slowdown is
       // intentional degradation, not access-pattern drift — re-profiling
       // would bounce the lane back to kProfiling (whose demand is the whole
       // guest image in DRAM), defeating the demotion. The trigger re-arms
-      // when the cap is lifted by promotion.
-      if (reprofiler_.observe(rec.result.exec.exec_ns) && !fast_budget_) {
+      // when the bound is lifted by promotion.
+      if (reprofiler_.observe(rec.result.exec.exec_ns) && bound_.trivial()) {
         // Drift detected: re-enter profiling. The unified pattern is kept
         // (the goal is to *enhance* the snapshot with the new behaviour)
         // but the stability requirement restarts via new record merges.

@@ -6,7 +6,7 @@
 //   Step III  Profiling analysis: zero pages -> slow; equal-access bin
 //             packing; bin profiling on the largest profiled input;
 //             minimum-cost (optionally slowdown-bounded) placement
-//   Step IV   Snapshot tiering: fast/slow files + memory layout file
+//   Step IV   Snapshot tiering: one file per ladder rank + memory layout file
 //   (Step V)  Re-generation: Eq 2-4 trigger re-entry into profiling
 //
 // TossFunction drives all of it for one serverless function; every
@@ -19,6 +19,7 @@
 #include "baseline/vanilla.hpp"
 #include "core/optimizer.hpp"
 #include "core/reprofile.hpp"
+#include "core/retier_bound.hpp"
 #include "core/tierer.hpp"
 #include "core/unified_pattern.hpp"
 #include "damon/monitor.hpp"
@@ -115,24 +116,32 @@ class TossFunction {
   bool regeneration_pending() const { return regeneration_pending_; }
 
   /// Arbiter hook (DESIGN.md §9): rebuild the tiered artifact by re-entering
-  /// Step IV placement under a fast-budget bound. nullopt restores the
+  /// Step IV placement under a bound. A trivial bound restores the
   /// optimizer's unconstrained minimum-cost placement (promotion); a byte
-  /// cap forces a slow-heavier placement (demotion; 0 = fully slow). Only
-  /// meaningful in kTiered with a live unified pattern — returns false,
-  /// with all state unchanged, otherwise or when persisting the re-tiered
-  /// artifact exhausts its torn-write retry budget. While a cap is active,
-  /// the Eq 2-4 re-profiling trigger is muted: the extra slowdown is
+  /// cap forces a deep-heavier placement, and a tier floor pushes the whole
+  /// image below the forbidden rungs (demotion). Only meaningful in kTiered
+  /// with a live unified pattern — returns false, with all state unchanged,
+  /// otherwise or when persisting the re-tiered artifact exhausts its
+  /// torn-write retry budget. While a non-trivial bound is active, the
+  /// Eq 2-4 re-profiling trigger is muted: the extra slowdown is
   /// intentional, not access-pattern drift.
-  bool retier(std::optional<u64> max_fast_bytes);
-  /// The cap the last successful retier() applied; nullopt = unconstrained.
-  std::optional<u64> fast_budget() const { return fast_budget_; }
+  bool retier(RetierBound bound);
+  bool retier(std::optional<u64> max_fast_bytes) {
+    return retier(RetierBound{max_fast_bytes, 0});
+  }
+  /// The bound the last successful retier() applied.
+  const RetierBound& retier_bound() const { return bound_; }
+  /// The fast cap of that bound; nullopt = uncapped.
+  std::optional<u64> fast_budget() const { return bound_.max_fast_bytes; }
 
   /// Fast/slow-tier bytes an invocation of this function pins while
-  /// running. Tiered phase: the tiered artifact's per-tier file sizes;
-  /// otherwise the whole guest image sits in DRAM (single-tier restores and
-  /// cold boots are fast-tier only).
+  /// running. Tiered phase: the tiered artifact's per-tier file sizes
+  /// ("slow" sums every rank below 0); otherwise the whole guest image sits
+  /// in DRAM (single-tier restores and cold boots are fast-tier only).
   u64 fast_resident_bytes() const;
   u64 slow_resident_bytes() const;
+  /// Bytes pinned in one specific ladder rank (metrics rollups).
+  u64 tier_resident_bytes(size_t rank) const;
 
   /// Largest-input invocation observed while profiling (Section V-C's
   /// representative); valid during/after profiling.
@@ -154,8 +163,8 @@ class TossFunction {
   TossInvocationRecord handle_tiered(const Invocation& inv);
   bool run_analysis(RecoveryInfo* recovery);
   /// Steps III(+IV placement) on the current unified pattern, optionally
-  /// bounded by a fast-byte cap. Requires unified_ && largest_.
-  TieringDecision analyze_now(std::optional<u64> max_fast_bytes) const;
+  /// constrained by an arbiter bound. Requires unified_ && largest_.
+  TieringDecision analyze_now(const RetierBound& bound) const;
   /// Re-arm the Eq 2-4 regeneration trigger against decision_.
   void arm_reprofiler();
 
@@ -184,7 +193,7 @@ class TossFunction {
   TossPhase phase_ = TossPhase::kInitial;
   u64 single_tier_id_ = 0;
   u64 tiered_id_ = 0;
-  std::optional<u64> fast_budget_;  ///< active retier() cap, if any
+  RetierBound bound_;  ///< active retier() bound (trivial = unconstrained)
   bool suspended_ = false;
   bool regeneration_pending_ = false;
   std::optional<UnifiedPattern> unified_;

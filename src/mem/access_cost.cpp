@@ -66,36 +66,29 @@ BurstCost AccessCostModel::burst_cost(const AccessBurst& b,
                                       const PagePlacement& placement) const {
   TOSS_REQUIRE(counts.size() == b.page_count);
   TOSS_REQUIRE(b.page_end() <= placement.num_pages());
-  u64 slow_accesses = 0;
-  u64 total = 0;
+  const size_t ranks = cfg_->tier_count();
+  std::array<u64, kMaxTiers> accesses{};
   for (u64 i = 0; i < b.page_count; ++i) {
-    total += counts[i];
-    if (placement.tier_of(b.page_begin + i) == Tier::kSlow)
-      slow_accesses += counts[i];
+    const size_t rank = placement.rank_of(b.page_begin + i);
+    TOSS_ASSERT(rank < ranks, "placement rank outside the ladder");
+    accesses[rank] += counts[i];
   }
-  const u64 fast_accesses = total - slow_accesses;
 
   BurstCost cost;
-  cost.fast_ns = static_cast<double>(fast_accesses) *
-                 access_cost(Tier::kFast, b.pattern, b.write_fraction);
-  cost.slow_ns = static_cast<double>(slow_accesses) *
-                 access_cost(Tier::kSlow, b.pattern, b.write_fraction);
-
-  // Device bandwidth demand: sequential streams move cache lines; random
-  // streams move the tier's internal access granularity per miss.
-  auto demand = [&](Tier t, u64 accesses) {
-    const TierSpec& spec = cfg_->tier(t);
+  for (size_t rank = 0; rank < ranks; ++rank) {
+    cost.tier_ns[rank] =
+        static_cast<double>(accesses[rank]) *
+        access_cost(tier_index(rank), b.pattern, b.write_fraction);
+    // Device bandwidth demand: sequential streams move cache lines; random
+    // streams move the tier's internal access granularity per miss.
+    const TierSpec& spec = cfg_->tiers[rank];
     const double unit = b.pattern == Pattern::kSequential
                             ? static_cast<double>(kCacheLine)
                             : spec.random_granularity_bytes;
-    return static_cast<double>(accesses) * unit;
-  };
-  const double fast_bytes = demand(Tier::kFast, fast_accesses);
-  const double slow_bytes = demand(Tier::kSlow, slow_accesses);
-  cost.fast_read_bytes = fast_bytes * (1.0 - b.write_fraction);
-  cost.fast_write_bytes = fast_bytes * b.write_fraction;
-  cost.slow_read_bytes = slow_bytes * (1.0 - b.write_fraction);
-  cost.slow_write_bytes = slow_bytes * b.write_fraction;
+    const double bytes = static_cast<double>(accesses[rank]) * unit;
+    cost.tier_read_bytes[rank] = bytes * (1.0 - b.write_fraction);
+    cost.tier_write_bytes[rank] = bytes * b.write_fraction;
+  }
   return cost;
 }
 

@@ -8,10 +8,12 @@
 // memory-level parallelism.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "mem/placement.hpp"
 #include "mem/tier.hpp"
+#include "util/contracts.hpp"
 
 namespace toss {
 
@@ -44,22 +46,29 @@ struct AccessBurst {
 /// (length == burst.page_count). The counts sum to ~burst.accesses.
 std::vector<u64> expand_burst_counts(const AccessBurst& burst);
 
-/// Per-tier time and device-bandwidth demand of a burst; the concurrency
-/// model (platform/concurrency.hpp) aggregates demands across invocations.
+/// Per-tier time and device-bandwidth demand of a burst, indexed by ladder
+/// rank (0 = fastest); the concurrency model (platform/concurrency.hpp)
+/// aggregates demands across invocations into one contention pool per
+/// rank. Fixed-size per-rank arrays: ranks beyond the ladder stay zero.
 struct BurstCost {
-  Nanos fast_ns = 0;
-  Nanos slow_ns = 0;
-  double fast_read_bytes = 0;   ///< device bytes moved (demand, not footprint)
-  double fast_write_bytes = 0;
-  double slow_read_bytes = 0;
-  double slow_write_bytes = 0;
+  std::array<Nanos, kMaxTiers> tier_ns{};
+  /// Device bytes moved (demand, not footprint), split by the burst's
+  /// read/write mix.
+  std::array<double, kMaxTiers> tier_read_bytes{};
+  std::array<double, kMaxTiers> tier_write_bytes{};
 
-  Nanos total_ns() const { return fast_ns + slow_ns; }
+  Nanos total_ns() const {
+    Nanos total = 0;
+    for (Nanos t : tier_ns) total += t;
+    return total;
+  }
 };
 
 class AccessCostModel {
  public:
-  explicit AccessCostModel(const SystemConfig& cfg) : cfg_(&cfg) {}
+  explicit AccessCostModel(const SystemConfig& cfg) : cfg_(&cfg) {
+    TOSS_REQUIRE(cfg.tier_count() >= 1 && cfg.tier_count() <= kMaxTiers);
+  }
 
   /// Cost of one cache-line access in tier `t` under `pattern`, blending the
   /// read/write mix.

@@ -56,12 +56,44 @@ TierSpec TierSpec::cxl_ddr4() {
   return t;
 }
 
+TierSpec TierSpec::nvme_flash() {
+  TierSpec t;
+  t.name = "NVMe flash";
+  t.read_latency_ns = us(12);  // demand-paged 4 KiB read, low queue depth
+  t.write_latency_ns = us(16);
+  t.read_bw_bytes_per_ns = 2.8;
+  t.write_bw_bytes_per_ns = 1.2;
+  t.mlp = 32.0;  // deep device queues hide much of the latency
+  t.cost_per_mib = 0.4;
+  t.random_granularity_bytes = 4096;  // page-granular device access
+  t.capacity_bytes = 2048 * kGiB;
+  return t;
+}
+
+std::vector<double> SystemConfig::rank_cost_ratios() const {
+  std::vector<double> ratios;
+  ratios.reserve(tiers.size() - 1);
+  for (size_t rank = 1; rank < tiers.size(); ++rank)
+    ratios.push_back(rank_cost_ratio(rank));
+  return ratios;
+}
+
 SystemConfig SystemConfig::paper_default() { return SystemConfig{}; }
 
 SystemConfig SystemConfig::cxl_host() {
   SystemConfig cfg;
-  cfg.fast = TierSpec::ddr5_dram();
-  cfg.slow = TierSpec::cxl_ddr4();
+  cfg.tiers = {TierSpec::ddr5_dram(), TierSpec::cxl_ddr4(),
+               TierSpec::optane_pmem()};
+  // Middle rung: reused DIMMs plus a switch port cost more per MiB than
+  // PMem, less than new DDR5 — the ladder's $/MiB stays strictly
+  // decreasing with depth so every rung is a distinct Eq-1 trade-off.
+  cfg.tiers[1].cost_per_mib = 1.25;
+  return cfg;
+}
+
+SystemConfig SystemConfig::nvme_host() {
+  SystemConfig cfg = cxl_host();
+  cfg.tiers.push_back(TierSpec::nvme_flash());
   return cfg;
 }
 

@@ -3,22 +3,56 @@
 // pricing ratio). All experiment binaries build their platform from one
 // SystemConfig so results are reproducible and the hardware substitution
 // documented in DESIGN.md is explicit and tunable.
+//
+// Since the N-tier ladder redesign (DESIGN.md §11) a SystemConfig holds an
+// ordered *vector* of TierSpecs — index 0 is the fastest, each following
+// rank slower and cheaper — and `Tier` is a plain tier index into that
+// ladder. The paper's fast/slow pair is the two-rung degenerate case
+// (`paper_default()`); `Tier::kFast`/`Tier::kSlow` survive only as
+// deprecated aliases for ranks 0 and 1.
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "util/contracts.hpp"
 #include "util/units.hpp"
 
 namespace toss {
 
-/// Which memory tier a page lives in.
+/// Upper bound on ladder depth. Per-rank accounting on the hot paths
+/// (burst costs, execution results, contention factors) uses fixed-size
+/// arrays of this length so an N-tier ladder costs no allocation over the
+/// two-tier case.
+inline constexpr size_t kMaxTiers = 6;
+
+/// Index of a memory tier in the SystemConfig ladder (0 = fastest). Kept as
+/// a scoped enum so a tier index never mixes silently with page counts;
+/// convert explicitly with tier_index()/tier_rank().
 enum class Tier : u8 {
-  kFast = 0,  ///< DRAM-like: low latency, high bandwidth, expensive.
-  kSlow = 1,  ///< PMEM/CXL-like: higher latency, lower bandwidth, cheap.
+  kFast [[deprecated("tier ladder: use tier_index(0)")]] = 0,
+  kSlow [[deprecated("tier ladder: use tier_index(1) or a computed rank")]] = 1,
 };
 
+/// Rank -> Tier. The ladder's depth bounds valid ranks; SystemConfig::tier()
+/// enforces that at lookup time.
+constexpr Tier tier_index(size_t rank) { return static_cast<Tier>(rank); }
+
+/// Tier -> rank (the inverse of tier_index).
+constexpr size_t tier_rank(Tier t) { return static_cast<size_t>(t); }
+
+/// Human-readable rank name. Ranks 0 and 1 keep the paper's fast/slow
+/// vocabulary; deeper rungs are named by index.
 inline const char* tier_name(Tier t) {
-  return t == Tier::kFast ? "fast" : "slow";
+  switch (tier_rank(t)) {
+    case 0: return "fast";
+    case 1: return "slow";
+    case 2: return "tier2";
+    case 3: return "tier3";
+    case 4: return "tier4";
+    case 5: return "tier5";
+    default: return "tier?";
+  }
 }
 
 /// Performance/cost parameters of one memory tier.
@@ -54,6 +88,10 @@ struct TierSpec {
   /// keeps DRAM-class concurrency and no write asymmetry).
   static TierSpec ddr5_dram();
   static TierSpec cxl_ddr4();
+  /// NVMe flash exposed as the deepest memory rung (DAX-style demand
+  /// paging): page-granular random access, deep device queues, cheapest
+  /// $/MiB by far.
+  static TierSpec nvme_flash();
 };
 
 /// Simulated storage device holding snapshot files (Optane DC SSD in the
@@ -81,26 +119,59 @@ struct VmmSpec {
 
 /// Complete simulated-host description.
 struct SystemConfig {
-  TierSpec fast = TierSpec::ddr4_dram();
-  TierSpec slow = TierSpec::optane_pmem();
+  /// The memory ladder, fastest first. Every algorithm that was once a
+  /// fast/slow branch walks this vector instead; rank 0 is always the
+  /// DRAM-class tier whose capacity the overload arbiter defends.
+  std::vector<TierSpec> tiers = {TierSpec::ddr4_dram(),
+                                 TierSpec::optane_pmem()};
   DiskSpec disk;
   VmmSpec vmm;
   int cores = 20;  ///< paper host: 20 usable cores (HT disabled)
 
-  /// The paper's fast:slow cost ratio (2.5), giving an optimal normalized
-  /// memory cost of 1/2.5 = 0.4 when everything lives in the slow tier.
-  double cost_ratio() const { return fast.cost_per_mib / slow.cost_per_mib; }
+  const std::vector<TierSpec>& ladder() const { return tiers; }
+  std::vector<TierSpec>& ladder() { return tiers; }
+  size_t tier_count() const { return tiers.size(); }
 
-  const TierSpec& tier(Tier t) const {
-    return t == Tier::kFast ? fast : slow;
+  const TierSpec& fastest() const { return tiers.front(); }
+  const TierSpec& deepest() const { return tiers.back(); }
+  Tier deepest_tier() const { return tier_index(tiers.size() - 1); }
+
+  /// The paper's fast:slow cost ratio (2.5 for the default ladder), giving
+  /// an optimal normalized memory cost of 1/2.5 = 0.4 when everything lives
+  /// one rung down. Equivalent to rank_cost_ratio(1).
+  double cost_ratio() const {
+    return tiers.front().cost_per_mib / tiers[1].cost_per_mib;
   }
 
-  /// Default configuration used by every experiment.
+  /// rank-0 : rank-r $/MiB ratio — the Eq-1 denominator for bytes resting
+  /// at rank r.
+  double rank_cost_ratio(size_t rank) const {
+    TOSS_REQUIRE(rank < tiers.size(), "tier rank outside the ladder");
+    return tiers.front().cost_per_mib / tiers[rank].cost_per_mib;
+  }
+
+  /// Cost ratios for every rank below the fastest, ascending rank order
+  /// (index 0 holds rank 1's ratio) — the shape ladder_normalized_cost
+  /// consumes.
+  std::vector<double> rank_cost_ratios() const;
+
+  const TierSpec& tier(Tier t) const {
+    TOSS_REQUIRE(tier_rank(t) < tiers.size(), "tier index outside the ladder");
+    return tiers[tier_rank(t)];
+  }
+
+  /// Default configuration used by every experiment: the paper's two-rung
+  /// DDR4 / Optane-PMem ladder.
   static SystemConfig paper_default();
 
-  /// DDR5 + CXL-attached DDR4 host (Section III's "any memory technology"
-  /// claim; the cost ratio follows new-vs-reused-DIMM pricing).
+  /// Three-rung DRAM / CXL-DDR4 / Optane-PMem ladder (Section III's "any
+  /// memory technology" claim, extended one hop: reused DIMMs behind a CXL
+  /// switch sit between new DDR5 and PMem on both latency and $/MiB).
   static SystemConfig cxl_host();
+
+  /// Four-rung ladder adding NVMe flash below PMem — the deepest shape the
+  /// --ladder bench axis sweeps.
+  static SystemConfig nvme_host();
 };
 
 }  // namespace toss

@@ -15,17 +15,35 @@ const char* arbiter_action_name(ArbiterAction action) {
   return "?";
 }
 
-FastTierArbiter::FastTierArbiter(ArbiterOptions options, u64 fast_budget_bytes)
+FastTierArbiter::FastTierArbiter(ArbiterOptions options, u64 fast_budget_bytes,
+                                 size_t tier_count)
     : options_(options),
       budget_(fast_budget_bytes),
+      max_rung_(static_cast<int>(std::max<size_t>(tier_count, 1))),
       warm_(KeepAliveConfig{fast_budget_bytes, options.slow_budget_bytes}) {
   options_.demote_step = std::clamp(options_.demote_step, 0.0, 1.0);
+}
+
+RetierBound FastTierArbiter::bound_for_rung(
+    int rung, u64 unconstrained_fast_bytes) const {
+  RetierBound b;
+  if (rung >= 2) {
+    // Tier floor, one ladder rank per rung beyond the cap rung. On a
+    // two-tier ladder rung 2 floors at rank 1 — the historical fully-slow
+    // placement.
+    b.min_tier_rank = static_cast<size_t>(rung - 1);
+  } else if (rung == 1) {
+    b.max_fast_bytes = static_cast<u64>(
+        options_.demote_step * static_cast<double>(unconstrained_fast_bytes));
+  }
+  return b;
 }
 
 void FastTierArbiter::ensure_lane(size_t lane) {
   if (lane >= rung_.size()) {
     rung_.resize(lane + 1, 0);
-    bytes_at_rung_.resize(lane + 1);
+    bytes_at_rung_.resize(lane + 1,
+                          std::vector<u64>(static_cast<size_t>(max_rung_) + 1, 0));
   }
 }
 
@@ -84,19 +102,16 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
     for (size_t k = 0; k < lanes.size(); ++k) {
       const LaneDemand& d = lanes[k];
       if (!d.active || !d.demotable || stuck[k]) continue;
-      if (rung_[d.lane] >= kMaxRung) continue;
+      if (rung_[d.lane] >= max_rung_) continue;
       if (best == lanes.size() || fast[k] > fast[best]) best = k;
     }
     if (best == lanes.size()) break;  // ladder exhausted
     const LaneDemand& d = lanes[best];
     const int target = rung_[d.lane] + 1;
     if (rung_[d.lane] == 0) bytes_at_rung_[d.lane][0] = fast[best];
-    const u64 cap =
-        target >= kMaxRung
-            ? 0
-            : static_cast<u64>(options_.demote_step *
-                               static_cast<double>(bytes_at_rung_[d.lane][0]));
-    const std::optional<u64> applied = apply(d.lane, target, cap);
+    const RetierBound bound =
+        bound_for_rung(target, bytes_at_rung_[d.lane][0]);
+    const std::optional<u64> applied = apply(d.lane, target, bound);
     if (!applied) {
       stuck[best] = true;
       continue;
@@ -146,12 +161,8 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
     const u64 predicted =
         resident_ - fast[k] + bytes_at_rung_[lane][static_cast<size_t>(target)];
     if (predicted > budget_) break;  // would re-demote next tick; hold
-    const std::optional<u64> cap =
-        target == 0 ? std::nullopt
-                    : std::optional<u64>(static_cast<u64>(
-                          options_.demote_step *
-                          static_cast<double>(bytes_at_rung_[lane][0])));
-    const std::optional<u64> applied = apply(lane, target, cap);
+    const RetierBound bound = bound_for_rung(target, bytes_at_rung_[lane][0]);
+    const std::optional<u64> applied = apply(lane, target, bound);
     if (!applied) break;  // re-tier failed; retry next tick
     fast[k] = *applied;
     rung_[lane] = target;

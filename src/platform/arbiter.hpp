@@ -8,9 +8,12 @@
 //   rung A  evict warm keep-alive VMs, lowest GDSF priority first
 //           (shedding warmth costs a future cold start, nothing else)
 //   rung B  demote the largest-footprint tiered function one rung:
-//           re-enter Step IV placement under a tightened fast-byte cap
-//           (rung 1 = demote_step x its unconstrained fast bytes,
-//            rung 2 = 0, i.e. a fully slow-tier snapshot)
+//           re-enter Step IV placement under a tightened bound
+//           (rung 1 = demote_step x its unconstrained fast bytes;
+//            rung r >= 2 = tier floor r-1, pushing the whole image below
+//            the ladder's top r-1 rungs — one ladder rank per rung, so a
+//            deep ladder degrades in many small steps and the two-tier
+//            ladder keeps its historical cap/fully-slow pair)
 //   rung C  close admission: new arrivals are shed with kOverloaded until
 //           pressure subsides
 //
@@ -24,12 +27,12 @@
 // of ArbiterEvents is bit-identical for any worker thread count.
 #pragma once
 
-#include <array>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/retier_bound.hpp"
 #include "platform/keepalive.hpp"
 
 namespace toss {
@@ -43,7 +46,8 @@ struct ArbiterOptions {
   /// Slow-tier pool for warm VMs; effectively abundant (paper: 768 GB).
   u64 slow_budget_bytes = 64 * kGiB;
   /// Rung-1 demotion cap as a fraction of the function's unconstrained
-  /// fast-tier bytes; rung 2 is always fully slow.
+  /// fast-tier bytes; every deeper rung is a tier floor one rank further
+  /// down the ladder (the last rung leaves only the deepest tier).
   double demote_step = 0.5;
   /// Keep finished lanes' VMs warm (GDSF keep-alive) until evicted.
   bool keepalive = true;
@@ -91,8 +95,6 @@ struct ArbiterReport {
 
 class FastTierArbiter {
  public:
-  /// Demotion depth: 0 = unconstrained, 1 = demote_step cap, 2 = fully slow.
-  static constexpr int kMaxRung = 2;
 
   /// Per-lane demand snapshot the engine hands the arbiter each epoch.
   struct LaneDemand {
@@ -110,14 +112,26 @@ class FastTierArbiter {
   };
 
   /// Re-tier hook: ask the engine to rebuild `lane`'s snapshot under
-  /// `max_fast_bytes` (nullopt = unconstrained). Returns the lane's new
-  /// resident fast bytes, or nullopt when the re-tier failed (the lane
-  /// keeps serving its current artifact).
+  /// `bound` (trivial = unconstrained). Returns the lane's new resident
+  /// fast bytes, or nullopt when the re-tier failed (the lane keeps
+  /// serving its current artifact).
   using ApplyRung = std::function<std::optional<u64>(
-      size_t lane, int rung, std::optional<u64> max_fast_bytes)>;
+      size_t lane, int rung, const RetierBound& bound)>;
 
   /// `fast_budget_bytes` must already be resolved (non-zero).
-  FastTierArbiter(ArbiterOptions options, u64 fast_budget_bytes);
+  /// `tier_count` is the host ladder's depth; the demotion ladder gets one
+  /// rung per tier (rung 0 = unconstrained, rung 1 = demote_step cap,
+  /// rung r >= 2 = tier floor r-1), so max_rung() == tier_count and a
+  /// two-tier ladder keeps its historical depth of 2.
+  FastTierArbiter(ArbiterOptions options, u64 fast_budget_bytes,
+                  size_t tier_count = 2);
+
+  /// Deepest demotion rung for this host's ladder.
+  int max_rung() const { return max_rung_; }
+
+  /// The Step-IV bound demotion rung `rung` imposes on a lane whose
+  /// unconstrained fast footprint is `unconstrained_fast_bytes`.
+  RetierBound bound_for_rung(int rung, u64 unconstrained_fast_bytes) const;
 
   /// One barrier pass: account the fleet, then walk the ladder (down under
   /// pressure, up — at most one promotion — when the fleet fits again).
@@ -140,12 +154,14 @@ class FastTierArbiter {
 
   ArbiterOptions options_;
   u64 budget_ = 0;
+  int max_rung_ = 2;
   KeepAliveCache warm_;
 
   std::vector<int> rung_;  ///< per engine lane index
   /// Resident fast bytes observed at each rung, recorded as the lane moves
-  /// down the ladder; the promotion fit-check reads these back.
-  std::vector<std::array<u64, kMaxRung + 1>> bytes_at_rung_;
+  /// down the ladder; the promotion fit-check reads these back. Inner
+  /// vectors are sized max_rung_ + 1.
+  std::vector<std::vector<u64>> bytes_at_rung_;
   /// Demotion order; promotions pop LIFO (one stack entry per demotion).
   std::vector<size_t> demote_stack_;
 

@@ -83,16 +83,19 @@ size_t place_on_host(u64 demand_bytes, const std::vector<u64>& predicted_load,
   return best_fit != Host::npos ? best_fit : least_bad;
 }
 
-u64 predicted_fast_demand(const SystemConfig& cfg,
-                          const FunctionRegistration& registration) {
+std::vector<u64> predicted_tier_demand(
+    const SystemConfig& cfg, const FunctionRegistration& registration) {
+  std::vector<u64> demand(cfg.tier_count(), 0);
   // Baselines restore the whole image into DRAM on every invocation.
-  if (registration.policy() != PolicyKind::kToss)
-    return registration.spec().guest_bytes();
+  if (registration.policy() != PolicyKind::kToss) {
+    demand[0] = registration.spec().guest_bytes();
+    return demand;
+  }
 
   // TOSS: run the Step-III analysis offline, exactly as the function's
   // own profiling phase will — unified (max-merged) pattern over every
   // input at the registration seed, then the Step-IV placement's
-  // fast-tier share. The estimate therefore matches the kTiered
+  // per-rank share. The estimate therefore matches the kTiered
   // steady-state footprint the arbiter will see.
   const FunctionModel model(registration.spec());
   PageAccessCounts unified(model.guest_pages());
@@ -108,7 +111,16 @@ u64 predicted_fast_demand(const SystemConfig& cfg,
   topt.slowdown_threshold = registration.toss_options().slowdown_threshold;
   const TieringDecision decision =
       analyze_pattern(cfg, unified, representative, topt);
-  return bytes_for_pages(decision.placement.pages_in(Tier::kFast));
+  const std::vector<u64> pages =
+      decision.placement.pages_per_rank(cfg.tier_count());
+  for (size_t r = 0; r < demand.size(); ++r)
+    demand[r] = bytes_for_pages(pages[r]);
+  return demand;
+}
+
+u64 predicted_fast_demand(const SystemConfig& cfg,
+                          const FunctionRegistration& registration) {
+  return predicted_tier_demand(cfg, registration).front();
 }
 
 ClusterEngine::ClusterEngine(ClusterOptions options, SystemConfig cfg,
@@ -125,6 +137,8 @@ ClusterEngine::ClusterEngine(ClusterOptions options, SystemConfig cfg,
     hosts_.push_back(std::make_unique<Host>("host" + std::to_string(i), cfg_,
                                             pricing, options_.host_options));
   predicted_load_.assign(options_.hosts, 0);
+  predicted_tier_load_.assign(options_.hosts,
+                              std::vector<u64>(cfg_.tier_count(), 0));
 }
 
 ClusterEngine::~ClusterEngine() = default;
@@ -146,14 +160,20 @@ Result<void> ClusterEngine::add(const FunctionRegistration& registration,
   const std::string& name = registration.spec().name;
   if (host_of(name) != npos)
     return {ErrorCode::kDuplicateFunction, name + " is already registered"};
-  const u64 demand = predicted_fast_demand(cfg_, registration);
+  std::vector<u64> tier_demand = predicted_tier_demand(cfg_, registration);
+  const u64 demand = tier_demand.front();
+  // Placement binds on rank 0 only: the fast tier is the arbiter-defended
+  // scarce resource; deeper rungs are modelled as abundant, and their
+  // predicted demand is tracked for capacity reporting.
   const size_t target =
       place_on_host(demand, predicted_load_, hosts_[0]->fast_budget_bytes());
   if (Result<void> added = hosts_[target]->add(registration, std::move(requests));
       !added.ok())
     return added;
   predicted_load_[target] += demand;
-  placements_.push_back(Placement{name, target, demand});
+  for (size_t r = 0; r < tier_demand.size(); ++r)
+    predicted_tier_load_[target][r] += tier_demand[r];
+  placements_.push_back(Placement{name, target, demand, std::move(tier_demand)});
   return {};
 }
 
@@ -215,6 +235,11 @@ void ClusterEngine::maybe_migrate() {
       if (p.function != lane->name) continue;
       predicted_load_[s] -= std::min(predicted_load_[s], p.demand);
       predicted_load_[dest] += p.demand;
+      for (size_t r = 0; r < p.tier_demand.size(); ++r) {
+        predicted_tier_load_[s][r] -=
+            std::min(predicted_tier_load_[s][r], p.tier_demand[r]);
+        predicted_tier_load_[dest][r] += p.tier_demand[r];
+      }
       p.host = dest;
       break;
     }

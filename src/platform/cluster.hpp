@@ -76,9 +76,10 @@ struct ClusterReport {
   u64 total_shed() const;
   /// The function's report on whichever host currently owns it.
   const FunctionReport* find(const std::string& name) const;
-  /// Schema-3 JSON: {"schema":3,"cluster":{...},"hosts":[<per-host
+  /// Schema-4 JSON: {"schema":4,"cluster":{...},"hosts":[<per-host
   /// metrics>...]} — each hosts[] entry is a MetricsSnapshot::to_json()
-  /// tagged with its host name.
+  /// tagged with its host name (and, since schema 4, its per-tier
+  /// resident/occupancy rollup).
   std::string to_json() const;
 };
 
@@ -90,10 +91,17 @@ struct ClusterReport {
 size_t place_on_host(u64 demand_bytes, const std::vector<u64>& predicted_load,
                      u64 fast_budget_bytes);
 
-/// Predicted steady-state fast-tier bytes for one registration: baselines
-/// pin their whole guest image in DRAM; TOSS functions get the Step-III
-/// analysis run offline (unified max-merged pattern over all inputs, then
-/// the Step-IV placement's fast-tier share).
+/// Predicted steady-state bytes per ladder rank for one registration
+/// (index 0 = fastest, sized cfg.tier_count()): baselines pin their whole
+/// guest image in DRAM (rank 0); TOSS functions get the Step-III analysis
+/// run offline (unified max-merged pattern over all inputs, then the
+/// Step-IV placement's per-rank share).
+std::vector<u64> predicted_tier_demand(const SystemConfig& cfg,
+                                       const FunctionRegistration& registration);
+
+/// Rank-0 rollup of predicted_tier_demand — the binding constraint for
+/// placement (only the fast tier's capacity is arbiter-defended; deeper
+/// rungs are modelled as abundant).
 u64 predicted_fast_demand(const SystemConfig& cfg,
                           const FunctionRegistration& registration);
 
@@ -131,6 +139,13 @@ class ClusterEngine {
   size_t function_count() const;
   /// Predicted fast-tier demand currently placed on each host.
   const std::vector<u64>& predicted_load() const { return predicted_load_; }
+  /// Full per-rung predicted demand per host: predicted_tier_load()[h][r]
+  /// is host h's placed demand at ladder rank r. Row 0 of each host equals
+  /// predicted_load()[h]; deeper rungs inform capacity planning but do not
+  /// constrain placement (they are modelled as abundant).
+  const std::vector<std::vector<u64>>& predicted_tier_load() const {
+    return predicted_tier_load_;
+  }
   u64 host_fast_budget_bytes(size_t index) const {
     return hosts_[index]->fast_budget_bytes();
   }
@@ -145,13 +160,16 @@ class ClusterEngine {
   ClusterOptions options_;
   SystemConfig cfg_;
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::vector<u64> predicted_load_;  ///< placed demand per host index
-  /// (function name, owning host index, predicted demand) in registration
-  /// order; migration rewrites the host index.
+  std::vector<u64> predicted_load_;  ///< placed rank-0 demand per host index
+  /// Placed demand per host per ladder rank (see predicted_tier_load()).
+  std::vector<std::vector<u64>> predicted_tier_load_;
+  /// (function name, owning host index, predicted per-rank demand) in
+  /// registration order; migration rewrites the host index.
   struct Placement {
     std::string function;
     size_t host = 0;
-    u64 demand = 0;
+    u64 demand = 0;                 ///< rank-0 rollup (= tier_demand[0])
+    std::vector<u64> tier_demand;   ///< per ladder rank
   };
   std::vector<Placement> placements_;
   std::vector<MigrationEvent> migrations_;

@@ -80,37 +80,39 @@ ConcurrencyOutcome run_concurrent(const SystemConfig& cfg,
   // to (device time its demand needs at full speed) / (its solo execution
   // time) — i.e. its duty cycle on that device. When the jobs' summed duty
   // cycles exceed 1, the device is oversubscribed and every job's time on
-  // it stretches by the total offered load. This is what makes 20
-  // fault-heavy REAP invocations collapse on the snapshot disk while a
-  // TOSS pagerank — whose hot half stayed in DRAM and whose slow-tier duty
-  // cycle is low — keeps scaling like DRAM (Fig 9).
-  double fast_load = 0, slow_load = 0, disk_load = 0;
+  // it stretches by the total offered load. Every ladder rank is its own
+  // pool — CXL traffic does not contend with DRAM or PMem traffic. This is
+  // what makes 20 fault-heavy REAP invocations collapse on the snapshot
+  // disk while a TOSS pagerank — whose hot half stayed in DRAM and whose
+  // deep-tier duty cycles are low — keeps scaling like DRAM (Fig 9).
+  const size_t ranks = cfg.tier_count();
+  std::array<double, kMaxTiers> tier_load{};
+  double disk_load = 0;
   for (const auto& r : solo) {
     if (r.exec_ns <= 0) continue;
-    const Nanos fast_util =
-        r.fast_read_bytes / cfg.fast.read_bw_bytes_per_ns +
-        r.fast_write_bytes / cfg.fast.write_bw_bytes_per_ns;
-    const Nanos slow_util =
-        r.slow_read_bytes / cfg.slow.read_bw_bytes_per_ns +
-        r.slow_write_bytes / cfg.slow.write_bw_bytes_per_ns;
+    for (size_t rank = 0; rank < ranks; ++rank) {
+      const TierSpec& spec = cfg.tiers[rank];
+      const Nanos util = r.tier_read_bytes[rank] / spec.read_bw_bytes_per_ns +
+                         r.tier_write_bytes[rank] / spec.write_bw_bytes_per_ns;
+      tier_load[rank] += util / r.exec_ns;
+    }
     const Nanos disk_util =
         static_cast<double>(r.disk_pages) / cfg.disk.random_read_iops * 1e9;
-    fast_load += fast_util / r.exec_ns;
-    slow_load += slow_util / r.exec_ns;
     disk_load += disk_util / r.exec_ns;
   }
 
   ContentionFactors f;
-  f.fast = std::max(1.0, fast_load);
-  f.slow = std::max(1.0, slow_load);
+  for (size_t rank = 0; rank < ranks; ++rank)
+    f.tier[rank] = std::max(1.0, tier_load[rank]);
   f.disk = std::max(1.0, disk_load);
 
   for (size_t i = 0; i < solo.size(); ++i) {
     const auto& r = solo[i];
     const Nanos other_fault = r.fault_ns - r.disk_ns;
-    out.exec_ns[i] = r.cpu_ns + r.profiling_overhead_ns + other_fault +
-                     r.mem_fast_ns * f.fast + r.mem_slow_ns * f.slow +
-                     r.disk_ns * f.disk;
+    Nanos t = r.cpu_ns + r.profiling_overhead_ns + other_fault;
+    for (size_t rank = 0; rank < ranks; ++rank)
+      t += r.mem_tier_ns[rank] * f.tier[rank];
+    out.exec_ns[i] = t + r.disk_ns * f.disk;
   }
   out.factors = f;
   out.iterations = 1;

@@ -75,10 +75,22 @@ void lock_rank_pop(const RankedMutex& m);
 std::optional<std::string> lock_rank_violation(const RankedMutex& m);
 }  // namespace detail
 
+namespace detail {
+constexpr std::array<double, kMaxTiers> unit_factors() {
+  std::array<double, kMaxTiers> a{};
+  for (auto& v : a) v = 1.0;
+  return a;
+}
+}  // namespace detail
+
+/// One contention pool per ladder rank (0 = fastest) plus the snapshot
+/// disk. Ranks beyond the active ladder stay at 1.0.
 struct ContentionFactors {
-  double fast = 1.0;
-  double slow = 1.0;
+  std::array<double, kMaxTiers> tier = detail::unit_factors();
   double disk = 1.0;
+
+  double fast() const { return tier[0]; }
+  double slow() const { return tier[1]; }
 };
 
 struct ConcurrencyOutcome {

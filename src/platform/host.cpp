@@ -422,8 +422,9 @@ FastTierArbiter* Host::ensure_arbiter() {
   if (arbiter_ == nullptr) {
     ArbiterOptions aopt = options_.arbiter;
     if (aopt.fast_budget_bytes == 0)
-      aopt.fast_budget_bytes = cfg_.fast.capacity_bytes;
-    arbiter_ = std::make_unique<FastTierArbiter>(aopt, aopt.fast_budget_bytes);
+      aopt.fast_budget_bytes = cfg_.fastest().capacity_bytes;
+    arbiter_ = std::make_unique<FastTierArbiter>(aopt, aopt.fast_budget_bytes,
+                                                 cfg_.tier_count());
   }
   return arbiter_.get();
 }
@@ -431,7 +432,7 @@ FastTierArbiter* Host::ensure_arbiter() {
 u64 Host::fast_budget_bytes() const {
   return options_.arbiter.fast_budget_bytes != 0
              ? options_.arbiter.fast_budget_bytes
-             : cfg_.fast.capacity_bytes;
+             : cfg_.fastest().capacity_bytes;
 }
 
 u64 Host::arbiter_resident_fast_bytes() const {
@@ -471,10 +472,10 @@ void Host::arbiter_tick(FastTierArbiter& arbiter, u64 epoch) {
   }
 
   const auto apply = [this](size_t li, int rung,
-                            std::optional<u64> cap) -> std::optional<u64> {
+                            const RetierBound& bound) -> std::optional<u64> {
     HostLane& lane = *lanes_[li];
     TossFunction* toss = lane.host->toss_state_mutable(lane.name);
-    if (toss == nullptr || !toss->retier(cap)) return std::nullopt;
+    if (toss == nullptr || !toss->retier(bound)) return std::nullopt;
     if (rung > lane.rung) {
       ++lane.overload.demotions;
       lane.series->demotions.fetch_add(1, std::memory_order_relaxed);
@@ -570,6 +571,24 @@ EngineReport Host::report(int threads) const {
 MetricsSnapshot Host::metrics() const {
   MetricsSnapshot snap = metrics_.snapshot();
   snap.host = name_;
+  // Schema-4 ladder rollup: what every still-resident lane pins in each
+  // rank right now, against the rank's installed capacity.
+  snap.tiers.resize(cfg_.tier_count());
+  for (size_t r = 0; r < snap.tiers.size(); ++r) {
+    snap.tiers[r].tier = tier_name(tier_index(r));
+    snap.tiers[r].capacity_bytes = cfg_.tiers[r].capacity_bytes;
+  }
+  for (const auto& lane : lanes_) {
+    if (lane == nullptr) continue;
+    const auto resident = lane->host->resident_bytes(lane->name);
+    for (size_t r = 0; r < snap.tiers.size() && r < resident.per_tier.size();
+         ++r)
+      snap.tiers[r].resident_bytes += resident.per_tier[r];
+  }
+  for (TierRollup& t : snap.tiers)
+    if (t.capacity_bytes > 0)
+      t.occupancy = static_cast<double>(t.resident_bytes) /
+                    static_cast<double>(t.capacity_bytes);
   return snap;
 }
 

@@ -30,7 +30,7 @@ u64 Invoker::initial_execution(const FunctionModel& model,
 
 Nanos Invoker::warm_dram_exec_ns(const Invocation& inv) const {
   AccessCostModel model(*cfg_);
-  return inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
+  return inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
 }
 
 }  // namespace toss

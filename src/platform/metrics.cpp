@@ -191,6 +191,23 @@ void append_histogram(std::string& out, const char* key,
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\"schema\":" + std::to_string(kJsonSchemaVersion) + ",";
   if (!host.empty()) out += "\"host\":\"" + host + "\",";
+  if (!tiers.empty()) {
+    out += "\"tiers\":[";
+    for (size_t i = 0; i < tiers.size(); ++i) {
+      const TierRollup& t = tiers[i];
+      if (i) out += ",";
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"tier\":\"%s\",\"resident_bytes\":%llu,"
+                    "\"capacity_bytes\":%llu,\"occupancy\":%.6f}",
+                    t.tier.c_str(),
+                    static_cast<unsigned long long>(t.resident_bytes),
+                    static_cast<unsigned long long>(t.capacity_bytes),
+                    t.occupancy);
+      out += buf;
+    }
+    out += "],";
+  }
   out += "\"functions\":[";
   for (size_t i = 0; i < functions.size(); ++i) {
     const FunctionMetrics& m = functions[i];

@@ -120,17 +120,31 @@ struct FunctionMetrics {
   LatencyHistogram::Snapshot exec_ns;
 };
 
+/// Fleet-wide rollup of one ladder rank at snapshot time (schema 4).
+struct TierRollup {
+  std::string tier;        ///< tier_name(rank)
+  u64 resident_bytes = 0;  ///< bytes live lanes currently pin in this rank
+  u64 capacity_bytes = 0;  ///< TierSpec::capacity_bytes of the rank
+  /// resident / capacity; 0 when the capacity is unknown or unbounded.
+  double occupancy = 0;
+};
+
 struct MetricsSnapshot {
   /// Layout version of to_json() (the top-level "schema" key). Version 2
   /// added the per-function "overload" block (DESIGN.md §9); version 3
   /// added the top-level "host" key (present when `host` is non-empty)
-  /// and the cluster rollup in ClusterReport::to_json (DESIGN.md §10).
-  /// Consumers should ignore unknown keys.
-  static constexpr int kJsonSchemaVersion = 3;
+  /// and the cluster rollup in ClusterReport::to_json (DESIGN.md §10);
+  /// version 4 added the top-level "tiers" array (present when `tiers` is
+  /// non-empty) — one resident/occupancy rollup per ladder rank, fastest
+  /// first (DESIGN.md §11). Consumers should ignore unknown keys.
+  static constexpr int kJsonSchemaVersion = 4;
 
   /// Which simulated host produced this snapshot; empty outside the
   /// engine/cluster (e.g. a bare MetricsRegistry).
   std::string host;
+  /// Per-ladder-rank rollup, index 0 = fastest; filled by the engine
+  /// (a bare MetricsRegistry has no ladder to sample).
+  std::vector<TierRollup> tiers;
   std::vector<FunctionMetrics> functions;  ///< registration order
 
   u64 total_invocations() const;

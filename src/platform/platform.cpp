@@ -137,14 +137,6 @@ Result<void> ServerlessPlatform::register_function(
   return {};
 }
 
-void ServerlessPlatform::register_function(FunctionSpec spec, PolicyKind kind,
-                                           TossOptions toss_options) {
-  register_function(FunctionRegistration(std::move(spec))
-                        .policy(kind)
-                        .toss(std::move(toss_options)))
-      .value();
-}
-
 Result<InvocationOutcome> ServerlessPlatform::invoke(const std::string& name,
                                                      int input, u64 seed) {
   auto it = functions_.find(name);
@@ -315,12 +307,21 @@ ServerlessPlatform::ResidentBytes ServerlessPlatform::resident_bytes(
   auto it = functions_.find(name);
   if (it == functions_.end()) return {};
   const FunctionRuntime& rt = it->second;
-  if (rt.kind == PolicyKind::kToss && rt.toss)
-    return {rt.toss->fast_resident_bytes(), rt.toss->slow_resident_bytes()};
+  ResidentBytes out;
+  out.per_tier.assign(cfg_.tier_count(), 0);
+  if (rt.kind == PolicyKind::kToss && rt.toss) {
+    out.fast = rt.toss->fast_resident_bytes();
+    out.slow = rt.toss->slow_resident_bytes();
+    for (size_t r = 0; r < out.per_tier.size(); ++r)
+      out.per_tier[r] = rt.toss->tier_resident_bytes(r);
+    return out;
+  }
   // Baselines restore (or boot) the whole image into DRAM; REAP/FaaSnap
   // prefetch less up front but fault the rest in on demand, so the steady
   // state resident set is still the full image.
-  return {rt.model.guest_bytes(), 0};
+  out.fast = rt.model.guest_bytes();
+  out.per_tier[0] = out.fast;
+  return out;
 }
 
 bool ServerlessPlatform::trip_breaker(const std::string& name) {

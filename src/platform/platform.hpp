@@ -9,14 +9,16 @@
 //     validates options up front and returns Result<void>;
 //   - fallible calls return Result<T>; reference accessors throw
 //     toss::Error (never raw std::out_of_range);
-//   - the legacy register_function(spec, kind, options) shim remains for
-//     one release and forwards to the builder.
+//   - the pre-builder register_function(spec, kind, options) shim is gone;
+//     the deprecated Tier::kFast/kSlow index aliases (mem/tier.hpp) are now
+//     the platform's only deprecation surface.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "baseline/faasnap.hpp"
 #include "baseline/reap.hpp"
@@ -134,13 +136,6 @@ class ServerlessPlatform {
   /// kDuplicateFunction; on failure the platform is unchanged.
   Result<void> register_function(const FunctionRegistration& registration);
 
-  /// Deprecated pre-builder signature; forwards to the builder overload and
-  /// throws toss::Error on validation failure (it used to accept anything).
-  [[deprecated(
-      "use register_function(FunctionRegistration(spec).policy(kind)...)")]]
-  void register_function(FunctionSpec spec, PolicyKind kind,
-                         TossOptions toss_options = {});
-
   /// Invoke by name. Unknown names yield ErrorCode::kUnknownFunction;
   /// inputs outside [0, kNumInputs) yield kInvalidRequest.
   Result<InvocationOutcome> invoke(const std::string& name, int input,
@@ -161,10 +156,13 @@ class ServerlessPlatform {
   /// Per-tier bytes one invocation of `name` pins while running (DESIGN.md
   /// §9). TOSS functions delegate to TossFunction's phase-aware accounting;
   /// baselines always restore the whole image into DRAM. Unknown names
-  /// report zeros.
+  /// report zeros. `per_tier[r]` is the bytes pinned in ladder rank r
+  /// (sized to the host's tier_count); `fast`/`slow` are the rank-0 /
+  /// everything-below-rank-0 rollups.
   struct ResidentBytes {
     u64 fast = 0;
     u64 slow = 0;
+    std::vector<u64> per_tier;
   };
   ResidentBytes resident_bytes(const std::string& name) const;
 

@@ -3,8 +3,11 @@
 namespace toss {
 
 MemoryLayoutFile::MemoryLayoutFile(u64 guest_pages,
-                                   std::vector<LayoutEntry> entries)
-    : guest_pages_(guest_pages), entries_(std::move(entries)) {}
+                                   std::vector<LayoutEntry> entries,
+                                   size_t tier_count)
+    : guest_pages_(guest_pages),
+      tier_count_(tier_count),
+      entries_(std::move(entries)) {}
 
 bool MemoryLayoutFile::valid() const {
   return !validate_layout(*this).has_value();
@@ -15,12 +18,12 @@ std::optional<std::string> validate_layout(const MemoryLayoutFile& layout) {
     return "entry " + std::to_string(i) + ": " + what;
   };
   u64 next_guest = 0;
-  u64 next_file[2] = {0, 0};
+  std::vector<u64> next_file(layout.tier_count(), 0);
   const auto& entries = layout.entries();
   for (size_t i = 0; i < entries.size(); ++i) {
     const LayoutEntry& e = entries[i];
     const auto tier_idx = static_cast<size_t>(e.tier);
-    if (tier_idx > 1)
+    if (tier_idx >= layout.tier_count())
       return entry_err(i, "invalid tier tag " + std::to_string(tier_idx));
     if (e.page_count == 0) return entry_err(i, "empty region");
     if (e.guest_page < next_guest)
@@ -63,8 +66,10 @@ u64 MemoryLayoutFile::pages_in(Tier t) const {
 
 double MemoryLayoutFile::slow_fraction() const {
   if (guest_pages_ == 0) return 0.0;
-  return static_cast<double>(pages_in(Tier::kSlow)) /
-         static_cast<double>(guest_pages_);
+  u64 deep = 0;
+  for (const auto& e : entries_)
+    if (tier_rank(e.tier) != 0) deep += e.page_count;
+  return static_cast<double>(deep) / static_cast<double>(guest_pages_);
 }
 
 u64 region_checksum(const std::vector<u32>& file, u64 file_page,
@@ -81,8 +86,11 @@ u64 region_checksum(const std::vector<u32>& file, u64 file_page,
 }
 
 namespace {
-// Version 2 adds the per-region checksum field to every entry.
-constexpr u64 kMagic = 0x544f53534c415932ULL;  // "TOSSLAY2"
+// Version 3 is tier-indexed: a ladder-depth word follows guest_pages and
+// entry tier tags may name any rank below it. Version 2 (the two-tier
+// format with per-region checksums) is still accepted on read.
+constexpr u64 kMagicV3 = 0x544f53534c415933ULL;  // "TOSSLAY3"
+constexpr u64 kMagicV2 = 0x544f53534c415932ULL;  // "TOSSLAY2"
 
 void put_u64(std::vector<u8>& out, u64 v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
@@ -99,9 +107,10 @@ bool get_u64(const std::vector<u8>& in, size_t& pos, u64& v) {
 
 std::vector<u8> MemoryLayoutFile::serialize() const {
   std::vector<u8> out;
-  out.reserve(24 + entries_.size() * 40);
-  put_u64(out, kMagic);
+  out.reserve(32 + entries_.size() * 40);
+  put_u64(out, kMagicV3);
   put_u64(out, guest_pages_);
+  put_u64(out, static_cast<u64>(tier_count_));
   put_u64(out, entries_.size());
   for (const auto& e : entries_) {
     put_u64(out, static_cast<u64>(e.tier));
@@ -116,16 +125,22 @@ std::vector<u8> MemoryLayoutFile::serialize() const {
 std::optional<MemoryLayoutFile> MemoryLayoutFile::deserialize(
     const std::vector<u8>& bytes) {
   size_t pos = 0;
-  u64 magic = 0, guest_pages = 0, count = 0;
-  if (!get_u64(bytes, pos, magic) || magic != kMagic) return std::nullopt;
+  u64 magic = 0, guest_pages = 0, tier_count = 2, count = 0;
+  if (!get_u64(bytes, pos, magic)) return std::nullopt;
+  if (magic != kMagicV3 && magic != kMagicV2) return std::nullopt;
   if (!get_u64(bytes, pos, guest_pages)) return std::nullopt;
+  if (magic == kMagicV3) {
+    if (!get_u64(bytes, pos, tier_count) || tier_count < 1 ||
+        tier_count > kMaxTiers)
+      return std::nullopt;
+  }
   if (!get_u64(bytes, pos, count)) return std::nullopt;
   std::vector<LayoutEntry> entries;
   entries.reserve(count);
   for (u64 i = 0; i < count; ++i) {
     u64 tier = 0;
     LayoutEntry e;
-    if (!get_u64(bytes, pos, tier) || tier > 1) return std::nullopt;
+    if (!get_u64(bytes, pos, tier) || tier >= tier_count) return std::nullopt;
     e.tier = static_cast<Tier>(tier);
     if (!get_u64(bytes, pos, e.file_page) ||
         !get_u64(bytes, pos, e.guest_page) ||
@@ -134,7 +149,8 @@ std::optional<MemoryLayoutFile> MemoryLayoutFile::deserialize(
       return std::nullopt;
     entries.push_back(e);
   }
-  MemoryLayoutFile layout(guest_pages, std::move(entries));
+  MemoryLayoutFile layout(guest_pages, std::move(entries),
+                          static_cast<size_t>(tier_count));
   if (!layout.valid()) return std::nullopt;
   return layout;
 }

@@ -4,6 +4,10 @@
 // offset within that tier's snapshot file, its offset within guest memory,
 // and its size. At restore time the VMM creates one memory mapping per
 // entry, so the entry count directly drives setup time (Section V-F).
+//
+// Since the tier-ladder redesign the layout is tier-indexed: entries carry
+// a ladder rank and the file records how deep the ladder was at tiering
+// time (format v3, "TOSSLAY3"). The two-tier v2 format is still readable.
 #pragma once
 
 #include <optional>
@@ -15,7 +19,7 @@
 namespace toss {
 
 struct LayoutEntry {
-  Tier tier = Tier::kFast;
+  Tier tier = tier_index(0);
   u64 file_page = 0;   ///< offset within the tier's snapshot file, in pages
   u64 guest_page = 0;  ///< offset within guest memory, in pages
   u64 page_count = 0;
@@ -38,11 +42,15 @@ u64 region_checksum(const std::vector<u32>& file, u64 file_page,
 class MemoryLayoutFile {
  public:
   MemoryLayoutFile() = default;
-  MemoryLayoutFile(u64 guest_pages, std::vector<LayoutEntry> entries);
+  MemoryLayoutFile(u64 guest_pages, std::vector<LayoutEntry> entries,
+                   size_t tier_count = 2);
 
   u64 guest_pages() const { return guest_pages_; }
   const std::vector<LayoutEntry>& entries() const { return entries_; }
   size_t entry_count() const { return entries_.size(); }
+  /// Ladder depth this layout was tiered against; entry tier tags are all
+  /// below it.
+  size_t tier_count() const { return tier_count_; }
 
   /// Entries must be sorted by guest offset, tile guest memory exactly, and
   /// each tier's file offsets must be contiguous from zero in entry order.
@@ -54,7 +62,7 @@ class MemoryLayoutFile {
   /// Pages per tier.
   u64 pages_in(Tier t) const;
 
-  /// Fraction of guest bytes in the slow tier.
+  /// Fraction of guest bytes below the fastest tier.
   double slow_fraction() const;
 
   std::vector<u8> serialize() const;
@@ -65,17 +73,19 @@ class MemoryLayoutFile {
 
  private:
   u64 guest_pages_ = 0;
+  size_t tier_count_ = 2;
   std::vector<LayoutEntry> entries_;
 };
 
 /// Structural validation with a diagnostic: entries must be sorted by guest
 /// offset, non-empty, non-overlapping and gap-free (they tile guest memory
-/// exactly, so sizes sum to the snapshot size), carry a valid tier tag, and
-/// each tier's file offsets must be contiguous from zero in entry order.
-/// Returns std::nullopt when the layout is well-formed, else a description
-/// of the first violation ("entry 3: overlaps entry 2 ..."). `valid()` is
-/// this predicate without the diagnostic; checked builds call this at the
-/// Step IV seam via TOSS_VALIDATE.
+/// exactly, so sizes sum to the snapshot size), carry a tier tag inside the
+/// recorded ladder, and each tier's file offsets must be contiguous from
+/// zero in entry order. Returns std::nullopt when the layout is
+/// well-formed, else a description of the first violation ("entry 3:
+/// overlaps entry 2 ..."). `valid()` is this predicate without the
+/// diagnostic; checked builds call this at the Step IV seam via
+/// TOSS_VALIDATE.
 std::optional<std::string> validate_layout(const MemoryLayoutFile& layout);
 
 }  // namespace toss

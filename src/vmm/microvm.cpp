@@ -18,7 +18,7 @@ SetupResult MicroVm::boot(u64 guest_bytes, const VmState& state) {
   memory_ = GuestMemory(guest_bytes);
   vm_state_ = state;
   const u64 n = memory_.num_pages();
-  placement_ = PagePlacement(n, Tier::kFast);
+  placement_ = PagePlacement(n, tier_index(0));
   backing_.assign(n, PageBacking{});   // anonymous, zero-fill on demand
   resident_.assign(n, false);
   written_.assign(n, false);
@@ -44,7 +44,7 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
   vm_state_ = plan.vm_state;
   const u64 n = plan.guest_pages;
   memory_ = GuestMemory(bytes_for_pages(n));
-  placement_ = PagePlacement(n, Tier::kFast);
+  placement_ = PagePlacement(n, tier_index(0));
   backing_.assign(n, PageBacking{});
   resident_.assign(n, false);
   written_.assign(n, false);
@@ -57,7 +57,7 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
     TOSS_REQUIRE(m.guest_page + m.page_count <= n);
     r.mmap_ns += cfg_->vmm.mmap_region_ns;
     ++r.mappings;
-    maps_slow_tier |= m.tier == Tier::kSlow;
+    maps_slow_tier |= tier_rank(m.tier) >= 1;
     for (u64 i = 0; i < m.page_count; ++i) {
       const u64 g = m.guest_page + i;
       placement_.set(g, m.tier);
@@ -109,8 +109,7 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
       throw Error(ErrorCode::kSnapshotMissing,
                   "restore mapping references missing snapshot file " +
                       std::to_string(m.file_id));
-    const u64 file_pages =
-        m.tier == Tier::kFast ? tiered->fast_pages() : tiered->slow_pages();
+    const u64 file_pages = tiered->tier_pages(tier_rank(m.tier));
     if (m.file_page + m.page_count > file_pages)
       throw Error(ErrorCode::kSnapshotCorrupted,
                   "restore mapping overruns tier file " +
@@ -119,10 +118,9 @@ SetupResult MicroVm::restore(const RestorePlan& plan) {
                       std::to_string(file_pages) + " pages)");
     for (u64 i = 0; i < m.page_count; ++i) {
       const u64 fp = m.file_page + i;
-      memory_.set_version(m.guest_page + i,
-                          m.tier == Tier::kFast
-                              ? tiered->fast_page_version(fp)
-                              : tiered->slow_page_version(fp));
+      memory_.set_version(
+          m.guest_page + i,
+          tiered->tier_page_version(tier_rank(m.tier), fp));
     }
   }
 
@@ -193,18 +191,17 @@ ExecutionResult MicroVm::execute(const BurstTrace& trace, Nanos cpu_ns,
         written_[g] = true;
         ++r.cow_faults;
       }
-      if (placement_.tier_of(b.page_begin + i) == Tier::kSlow)
+      if (placement_.rank_of(b.page_begin + i) != 0)
         r.slow_accesses += counts[i];
       r.total_accesses += counts[i];
     }
     const BurstCost bc = cost_model_.burst_cost(b, counts, placement_);
-    r.mem_fast_ns += bc.fast_ns;
-    r.mem_slow_ns += bc.slow_ns;
+    for (size_t rank = 0; rank < cfg_->tier_count(); ++rank) {
+      r.mem_tier_ns[rank] += bc.tier_ns[rank];
+      r.tier_read_bytes[rank] += bc.tier_read_bytes[rank];
+      r.tier_write_bytes[rank] += bc.tier_write_bytes[rank];
+    }
     r.mem_ns += bc.total_ns();
-    r.fast_read_bytes += bc.fast_read_bytes;
-    r.fast_write_bytes += bc.fast_write_bytes;
-    r.slow_read_bytes += bc.slow_read_bytes;
-    r.slow_write_bytes += bc.slow_write_bytes;
   }
 
   r.exec_ns = r.cpu_ns + r.mem_ns + r.fault_ns + r.profiling_overhead_ns;

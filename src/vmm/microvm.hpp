@@ -20,10 +20,10 @@ namespace toss {
 struct RestoreMapping {
   u64 guest_page = 0;
   u64 page_count = 0;
-  Tier tier = Tier::kFast;
+  Tier tier = tier_index(0);
   u64 file_id = 0;
   u64 file_page = 0;
-  /// DAX mappings (slow-tier files) access the backing device directly:
+  /// DAX mappings (deep-tier files) access the backing device directly:
   /// first touch is a minor fault, never a disk read.
   bool dax = false;
 };
@@ -60,9 +60,10 @@ struct SetupResult {
 struct ExecutionResult {
   Nanos exec_ns = 0;  ///< cpu + memory + faults + profiling overhead
   Nanos cpu_ns = 0;
-  Nanos mem_ns = 0;        ///< mem_fast_ns + mem_slow_ns
-  Nanos mem_fast_ns = 0;
-  Nanos mem_slow_ns = 0;
+  Nanos mem_ns = 0;        ///< sum of mem_tier_ns over the ladder
+  /// Memory time per ladder rank (0 = fastest); ranks beyond the ladder
+  /// stay zero. Each rank is its own contention pool.
+  std::array<Nanos, kMaxTiers> mem_tier_ns{};
   Nanos fault_ns = 0;      ///< all fault handling, incl. disk_ns
   Nanos disk_ns = 0;       ///< device portion of major faults
   Nanos profiling_overhead_ns = 0;
@@ -71,13 +72,11 @@ struct ExecutionResult {
   u64 cow_faults = 0;
   u64 disk_pages = 0;       ///< pages demand-read from disk
   u64 touched_pages = 0;
-  u64 slow_accesses = 0;    ///< LLC misses served by the slow tier
+  u64 slow_accesses = 0;    ///< LLC misses served below the fastest tier
   u64 total_accesses = 0;
-  /// Device bandwidth demand, for the concurrency contention model.
-  double fast_read_bytes = 0;
-  double fast_write_bytes = 0;
-  double slow_read_bytes = 0;
-  double slow_write_bytes = 0;
+  /// Device bandwidth demand per rank, for the concurrency contention model.
+  std::array<double, kMaxTiers> tier_read_bytes{};
+  std::array<double, kMaxTiers> tier_write_bytes{};
 };
 
 struct InvocationResult {

@@ -25,15 +25,16 @@ const SingleTierSnapshot* SnapshotStore::get_single_tier(u64 file_id) const {
 }
 
 void SnapshotStore::put_tiered(TieredSnapshot snapshot) {
-  // The tiered artifact is three files (two tiers + layout); the rename
-  // step publishes all of them at once. A torn write fires before the
-  // alias or blob maps are touched.
+  // The tiered artifact is one file per ladder rank plus the layout; the
+  // rename step publishes all of them at once. A torn write fires before
+  // the alias or blob maps are touched.
   if (faults_ && faults_->should_fire(FaultSite::kPutTiered))
     throw Error(ErrorCode::kTransientIo,
                 "torn write persisting tiered snapshot");
-  const u64 fast_id = snapshot.fast_file_id();
-  tiered_alias_.emplace(snapshot.slow_file_id(), fast_id);
-  tiered_.emplace(fast_id, std::move(snapshot));
+  const u64 primary = snapshot.fast_file_id();
+  for (size_t r = 1; r < snapshot.tier_count(); ++r)
+    tiered_alias_.emplace(snapshot.file_id(r), primary);
+  tiered_.emplace(primary, std::move(snapshot));
 }
 
 u64 SnapshotStore::resolve_tiered(u64 file_id) const {
@@ -113,6 +114,14 @@ u64 SnapshotStore::resident_fast_bytes(u64 file_id) const {
 u64 SnapshotStore::resident_slow_bytes(u64 file_id) const {
   if (const TieredSnapshot* t = get_tiered(file_id))
     return bytes_for_pages(t->slow_pages());
+  return 0;
+}
+
+u64 SnapshotStore::resident_tier_bytes(u64 file_id, size_t rank) const {
+  if (const TieredSnapshot* t = get_tiered(file_id))
+    return rank < t->tier_count() ? bytes_for_pages(t->tier_pages(rank)) : 0;
+  if (const SingleTierSnapshot* s = get_single_tier(file_id))
+    return rank == 0 ? s->memory_bytes() : 0;
   return 0;
 }
 

@@ -52,8 +52,8 @@ class SnapshotStore {
 
   const SingleTierSnapshot* get_single_tier(u64 file_id) const;
 
-  /// Persist a tiered snapshot (already built); retrievable by either of
-  /// its two file ids. Same atomicity contract as put_single_tier.
+  /// Persist a tiered snapshot (already built); retrievable by any of its
+  /// per-rank file ids. Same atomicity contract as put_single_tier.
   void put_tiered(TieredSnapshot snapshot);
 
   /// nullptr for unknown or quarantined ids.
@@ -74,12 +74,15 @@ class SnapshotStore {
   /// the first violation otherwise.
   Result<void> verify_tiered(u64 file_id) const;
 
-  /// Fast/slow-tier bytes a restore of this snapshot id pins resident.
-  /// Tiered ids (either alias) report the per-tier file sizes; single-tier
-  /// ids pin the whole image in DRAM; unknown ids report 0. Used by the
-  /// overload arbiter's fleet accounting.
+  /// Bytes a restore of this snapshot id pins resident, split by tier.
+  /// Tiered ids (any alias) report the per-tier file sizes — "fast" is the
+  /// rank-0 file, "slow" everything below it; single-tier ids pin the
+  /// whole image in DRAM; unknown ids report 0. Used by the overload
+  /// arbiter's fleet accounting.
   u64 resident_fast_bytes(u64 file_id) const;
   u64 resident_slow_bytes(u64 file_id) const;
+  /// Bytes resident in one specific ladder rank (metrics rollups).
+  u64 resident_tier_bytes(u64 file_id, size_t rank) const;
 
   /// Mark a tiered artifact unreadable (checksum failure). Idempotent.
   void quarantine_tiered(u64 file_id);
@@ -104,7 +107,7 @@ class SnapshotStore {
   const SystemConfig& config() const { return *cfg_; }
 
  private:
-  /// Resolve a tiered id through the slow->fast alias map.
+  /// Resolve a tiered id through the deep-rank -> rank-0 alias map.
   u64 resolve_tiered(u64 file_id) const;
   TieredSnapshot* find_tiered(u64 file_id);
 
@@ -114,8 +117,8 @@ class SnapshotStore {
   u64 quarantine_count_ = 0;
   std::unordered_map<u64, SingleTierSnapshot> single_tier_;
   std::unordered_map<u64, TieredSnapshot> tiered_;
-  std::unordered_map<u64, u64> tiered_alias_;  ///< slow id -> fast id
-  std::unordered_set<u64> quarantined_;        ///< fast ids
+  std::unordered_map<u64, u64> tiered_alias_;  ///< deep-rank id -> rank-0 id
+  std::unordered_set<u64> quarantined_;        ///< rank-0 ids
   HostPageCache page_cache_;
 };
 

@@ -6,39 +6,43 @@ namespace toss {
 
 TieredSnapshot TieredSnapshot::build(const SingleTierSnapshot& snap,
                                      const PagePlacement& placement,
-                                     u64 fast_file_id, u64 slow_file_id) {
+                                     std::vector<u64> file_ids) {
   TOSS_REQUIRE(placement.num_pages() == snap.num_pages(),
                "placement must cover the snapshot exactly");
+  TOSS_REQUIRE(!file_ids.empty() && file_ids.size() <= kMaxTiers);
   TieredSnapshot out;
   out.vm_state_ = snap.vm_state();
-  out.fast_file_id_ = fast_file_id;
-  out.slow_file_id_ = slow_file_id;
+  out.file_ids_ = std::move(file_ids);
+  const size_t ranks = out.file_ids_.size();
+  out.tier_versions_.resize(ranks);
 
   std::vector<LayoutEntry> entries;
   const u64 n = snap.num_pages();
   u64 begin = 0;
-  u64 file_cursor[2] = {0, 0};
+  std::vector<u64> file_cursor(ranks, 0);
   while (begin < n) {
     const Tier t = placement.tier_of(begin);
+    const size_t rank = tier_rank(t);
+    TOSS_REQUIRE(rank < ranks, "placement rank outside the artifact ladder");
     u64 end = begin + 1;
     while (end < n && placement.tier_of(end) == t) ++end;
     LayoutEntry e;
     e.tier = t;
     e.guest_page = begin;
     e.page_count = end - begin;
-    e.file_page = file_cursor[static_cast<size_t>(t)];
-    file_cursor[static_cast<size_t>(t)] += e.page_count;
+    e.file_page = file_cursor[rank];
+    file_cursor[rank] += e.page_count;
     entries.push_back(e);
 
     // Serial copy of the region's contents into the tier file, then seal
     // the region with its content checksum (verified again at restore).
-    auto& file = t == Tier::kFast ? out.fast_versions_ : out.slow_versions_;
+    auto& file = out.tier_versions_[rank];
     for (u64 p = begin; p < end; ++p) file.push_back(snap.page_version(p));
     entries.back().checksum =
         region_checksum(file, entries.back().file_page, e.page_count);
     begin = end;
   }
-  out.layout_ = MemoryLayoutFile(n, std::move(entries));
+  out.layout_ = MemoryLayoutFile(n, std::move(entries), ranks);
   // Step IV seam: the layout a restore will mmap from must tile guest
   // memory exactly; a violation here means corrupted restores later.
   TOSS_VALIDATE(validate_layout(out.layout_));
@@ -51,11 +55,14 @@ TieredSnapshot::Location TieredSnapshot::locate(u64 guest_page) const {
       return Location{e.tier, e.file_page + (guest_page - e.guest_page)};
   }
   TOSS_ASSERT(false, "guest page outside layout");
-  return Location{Tier::kFast, 0};
+  return Location{tier_index(0), 0};
 }
 
 namespace {
-constexpr u64 kMagic = 0x544f535354495231ULL;  // "TOSSTIR1"
+// Version 2 stores a ladder of tier files; version 1 is the fixed
+// fast/slow pair and is still accepted on read.
+constexpr u64 kMagicV2 = 0x544f535354495232ULL;  // "TOSSTIR2"
+constexpr u64 kMagicV1 = 0x544f535354495231ULL;  // "TOSSTIR1"
 
 void put_u64(std::vector<u8>& out, u64 v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
@@ -107,13 +114,12 @@ bool get_versions(const std::vector<u8>& in, size_t& pos,
 
 std::vector<u8> TieredSnapshot::serialize() const {
   std::vector<u8> out;
-  put_u64(out, kMagic);
-  put_u64(out, fast_file_id_);
-  put_u64(out, slow_file_id_);
+  put_u64(out, kMagicV2);
+  put_u64(out, file_ids_.size());
+  for (u64 id : file_ids_) put_u64(out, id);
   put_blob(out, vm_state_.serialize());
   put_blob(out, layout_.serialize());
-  put_versions(out, fast_versions_);
-  put_versions(out, slow_versions_);
+  for (const auto& vs : tier_versions_) put_versions(out, vs);
   return out;
 }
 
@@ -122,9 +128,17 @@ std::optional<TieredSnapshot> TieredSnapshot::deserialize(
   size_t pos = 0;
   u64 magic = 0;
   TieredSnapshot snap;
-  if (!get_u64(bytes, pos, magic) || magic != kMagic) return std::nullopt;
-  if (!get_u64(bytes, pos, snap.fast_file_id_)) return std::nullopt;
-  if (!get_u64(bytes, pos, snap.slow_file_id_)) return std::nullopt;
+  if (!get_u64(bytes, pos, magic)) return std::nullopt;
+  u64 ranks = 2;
+  if (magic == kMagicV2) {
+    if (!get_u64(bytes, pos, ranks) || ranks < 1 || ranks > kMaxTiers)
+      return std::nullopt;
+  } else if (magic != kMagicV1) {
+    return std::nullopt;
+  }
+  snap.file_ids_.resize(ranks);
+  for (u64 r = 0; r < ranks; ++r)
+    if (!get_u64(bytes, pos, snap.file_ids_[r])) return std::nullopt;
   std::vector<u8> blob;
   if (!get_blob(bytes, pos, blob)) return std::nullopt;
   const auto state = VmState::deserialize(blob);
@@ -134,30 +148,35 @@ std::optional<TieredSnapshot> TieredSnapshot::deserialize(
   const auto layout = MemoryLayoutFile::deserialize(blob);
   if (!layout) return std::nullopt;
   snap.layout_ = *layout;
-  if (!get_versions(bytes, pos, snap.fast_versions_)) return std::nullopt;
-  if (!get_versions(bytes, pos, snap.slow_versions_)) return std::nullopt;
-  // Cross-checks: the tier files must match the layout's page counts.
-  if (snap.fast_versions_.size() != snap.layout_.pages_in(Tier::kFast) ||
-      snap.slow_versions_.size() != snap.layout_.pages_in(Tier::kSlow))
-    return std::nullopt;
+  if (snap.layout_.tier_count() != ranks) return std::nullopt;
+  snap.tier_versions_.resize(ranks);
+  for (u64 r = 0; r < ranks; ++r)
+    if (!get_versions(bytes, pos, snap.tier_versions_[r])) return std::nullopt;
+  // Cross-checks: each tier file must match the layout's page counts.
+  for (u64 r = 0; r < ranks; ++r)
+    if (snap.tier_versions_[r].size() != snap.layout_.pages_in(tier_index(r)))
+      return std::nullopt;
   return snap;
 }
 
 std::optional<std::string> TieredSnapshot::verify() const {
   if (const auto structural = validate_layout(layout_)) return structural;
-  if (fast_versions_.size() != layout_.pages_in(Tier::kFast))
-    return "fast tier file truncated: " +
-           std::to_string(fast_versions_.size()) + " pages, layout expects " +
-           std::to_string(layout_.pages_in(Tier::kFast));
-  if (slow_versions_.size() != layout_.pages_in(Tier::kSlow))
-    return "slow tier file truncated: " +
-           std::to_string(slow_versions_.size()) + " pages, layout expects " +
-           std::to_string(layout_.pages_in(Tier::kSlow));
+  if (layout_.tier_count() != tier_versions_.size())
+    return "ladder depth mismatch: layout records " +
+           std::to_string(layout_.tier_count()) + " tiers, artifact has " +
+           std::to_string(tier_versions_.size()) + " files";
+  for (size_t r = 0; r < tier_versions_.size(); ++r) {
+    if (tier_versions_[r].size() != layout_.pages_in(tier_index(r)))
+      return std::string(tier_name(tier_index(r))) +
+             " tier file truncated: " +
+             std::to_string(tier_versions_[r].size()) +
+             " pages, layout expects " +
+             std::to_string(layout_.pages_in(tier_index(r)));
+  }
   const auto& entries = layout_.entries();
   for (size_t i = 0; i < entries.size(); ++i) {
     const LayoutEntry& e = entries[i];
-    const auto& file =
-        e.tier == Tier::kFast ? fast_versions_ : slow_versions_;
+    const auto& file = tier_versions_[tier_rank(e.tier)];
     if (region_checksum(file, e.file_page, e.page_count) != e.checksum)
       return "entry " + std::to_string(i) + ": checksum mismatch over " +
              std::to_string(e.page_count) + " pages at file page " +
@@ -167,18 +186,18 @@ std::optional<std::string> TieredSnapshot::verify() const {
 }
 
 void TieredSnapshot::corrupt_fast_page(u64 file_page) {
-  if (file_page < fast_versions_.size()) ++fast_versions_[file_page];
+  if (file_page < tier_versions_.front().size())
+    ++tier_versions_.front()[file_page];
 }
 
 void TieredSnapshot::truncate_fast_file() {
-  if (!fast_versions_.empty()) fast_versions_.pop_back();
+  if (!tier_versions_.front().empty()) tier_versions_.front().pop_back();
 }
 
 GuestMemory TieredSnapshot::materialize() const {
   GuestMemory mem(bytes_for_pages(guest_pages()));
   for (const auto& e : layout_.entries()) {
-    const auto& file =
-        e.tier == Tier::kFast ? fast_versions_ : slow_versions_;
+    const auto& file = tier_versions_[tier_rank(e.tier)];
     for (u64 i = 0; i < e.page_count; ++i)
       mem.set_version(e.guest_page + i, file[e.file_page + i]);
   }

@@ -1,11 +1,11 @@
-// Tiered snapshot: two per-tier memory files plus the memory layout file
-// (Section V-D). Built by serially copying each region of the single-tier
-// snapshot into the file of its assigned tier.
+// Tiered snapshot: one memory file per ladder rank plus the memory layout
+// file (Section V-D). Built by serially copying each region of the
+// single-tier snapshot into the file of its assigned tier.
 //
-// At restore time the fast file behaves like a normal disk file (pages are
-// demand-loaded into DRAM through the host page cache), while the slow file
-// is DAX-mapped straight out of the slow tier — no copy, which is why TOSS
-// setup time is constant in snapshot size.
+// At restore time the rank-0 (fastest-tier) file behaves like a normal disk
+// file (pages are demand-loaded into DRAM through the host page cache),
+// while every deeper rank's file is DAX-mapped straight out of its device —
+// no copy, which is why TOSS setup time is constant in snapshot size.
 #pragma once
 
 #include "mem/placement.hpp"
@@ -21,24 +21,37 @@ class TieredSnapshot {
   /// Partition `snap` by per-page `placement`. Consecutive pages in the same
   /// tier become one layout entry (the paper's "Bins Merging" guarantees the
   /// optimizer already merged same-tier neighbors; this copy is agnostic).
-  /// `fast_file_id`/`slow_file_id` identify the two files for page-cache
-  /// accounting.
+  /// `file_ids` identifies one file per ladder rank (index 0 = fastest) for
+  /// page-cache accounting; its length fixes the artifact's ladder depth.
   static TieredSnapshot build(const SingleTierSnapshot& snap,
                               const PagePlacement& placement,
-                              u64 fast_file_id, u64 slow_file_id);
+                              std::vector<u64> file_ids);
 
   const MemoryLayoutFile& layout() const { return layout_; }
   const VmState& vm_state() const { return vm_state_; }
 
-  u64 fast_file_id() const { return fast_file_id_; }
-  u64 slow_file_id() const { return slow_file_id_; }
+  /// Ladder depth of the artifact (number of tier files).
+  size_t tier_count() const { return file_ids_.size(); }
+
+  u64 file_id(size_t rank) const { return file_ids_[rank]; }
+  const std::vector<u64>& file_ids() const { return file_ids_; }
 
   u64 guest_pages() const { return layout_.guest_pages(); }
-  u64 fast_pages() const { return static_cast<u64>(fast_versions_.size()); }
-  u64 slow_pages() const { return static_cast<u64>(slow_versions_.size()); }
+  u64 tier_pages(size_t rank) const {
+    return static_cast<u64>(tier_versions_[rank].size());
+  }
+  u32 tier_page_version(size_t rank, u64 file_page) const {
+    return tier_versions_[rank][file_page];
+  }
 
-  u32 fast_page_version(u64 file_page) const { return fast_versions_[file_page]; }
-  u32 slow_page_version(u64 file_page) const { return slow_versions_[file_page]; }
+  /// Convenience rollups: the fastest rank, and everything below it.
+  u64 fast_file_id() const { return file_ids_.front(); }
+  u64 fast_pages() const { return tier_pages(0); }
+  u64 slow_pages() const {
+    u64 n = 0;
+    for (size_t r = 1; r < tier_versions_.size(); ++r) n += tier_pages(r);
+    return n;
+  }
 
   /// Look up where a guest page lives: (tier, file page index).
   struct Location {
@@ -47,7 +60,7 @@ class TieredSnapshot {
   };
   Location locate(u64 guest_page) const;
 
-  /// Reassemble the guest memory image from the two files + layout; must be
+  /// Reassemble the guest memory image from the tier files + layout; must be
   /// identical to the original snapshot's memory (tested invariant).
   GuestMemory materialize() const;
 
@@ -59,13 +72,16 @@ class TieredSnapshot {
   /// quarantines the artifact instead of mapping it.
   std::optional<std::string> verify() const;
 
-  /// Fault/test hooks modelling at-rest damage. Checksums are left stale on
-  /// purpose, which is exactly what verify() exists to catch.
+  /// Fault/test hooks modelling at-rest damage to the rank-0 file. Checksums
+  /// are left stale on purpose, which is exactly what verify() exists to
+  /// catch.
   void corrupt_fast_page(u64 file_page);  ///< flip one page's content
   void truncate_fast_file();              ///< drop the fast file's last page
 
   /// Full binary serialization of the tiered artifact (vm state + layout
-  /// file + both tier files), as it would be stored on disk/PMem.
+  /// file + all tier files), as it would be stored on disk/PMem. Writes the
+  /// ladder-aware "TOSSTIR2" format; the two-tier "TOSSTIR1" format is
+  /// still accepted on read.
   std::vector<u8> serialize() const;
   static std::optional<TieredSnapshot> deserialize(
       const std::vector<u8>& bytes);
@@ -75,10 +91,8 @@ class TieredSnapshot {
  private:
   MemoryLayoutFile layout_;
   VmState vm_state_;
-  u64 fast_file_id_ = 0;
-  u64 slow_file_id_ = 0;
-  std::vector<u32> fast_versions_;
-  std::vector<u32> slow_versions_;
+  std::vector<u64> file_ids_;                  ///< one per rank, 0 = fastest
+  std::vector<std::vector<u32>> tier_versions_;  ///< page contents per rank
 };
 
 }  // namespace toss

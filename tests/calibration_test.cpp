@@ -77,8 +77,8 @@ TEST_P(CalibrationTest, FigTwoFullSlowInRange) {
   OnlineStats sd;
   for (int it = 0; it < 10; ++it) {
     const Invocation inv = m.invoke(3, 4100 + static_cast<u64>(it));
-    const Nanos fast = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
-    const Nanos slow = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
+    const Nanos fast = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
+    const Nanos slow = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(1));
     sd.add(slow / fast);
   }
   EXPECT_GE(sd.mean(), e.full_slow_min) << e.name;

@@ -70,6 +70,35 @@ TEST(Placement, PredictedDemandTracksPolicy) {
   EXPECT_LT(toss, guest);  // the Step-IV placement keeps a DRAM sliver
 }
 
+TEST(Placement, PerRankDemandCoversTheLadder) {
+  FunctionSpec spec = workloads::all_functions()[0];
+  const u64 guest = spec.guest_bytes();
+
+  for (const SystemConfig& cfg :
+       {SystemConfig::paper_default(), SystemConfig::cxl_host()}) {
+    // Baselines: the whole image at rank 0, nothing deeper.
+    const auto vanilla = predicted_tier_demand(
+        cfg, FunctionRegistration(spec).policy(PolicyKind::kVanilla).seed(7));
+    ASSERT_EQ(vanilla.size(), cfg.tier_count());
+    EXPECT_EQ(vanilla[0], guest);
+    for (size_t r = 1; r < vanilla.size(); ++r) EXPECT_EQ(vanilla[r], 0u);
+
+    // TOSS: the per-rank shares partition the guest image, rank 0 matches
+    // the fast-demand rollup, and something actually left the fast tier.
+    const FunctionRegistration reg = FunctionRegistration(spec)
+                                         .policy(PolicyKind::kToss)
+                                         .toss(fast_toss())
+                                         .seed(7);
+    const auto tiered = predicted_tier_demand(cfg, reg);
+    ASSERT_EQ(tiered.size(), cfg.tier_count());
+    u64 total = 0;
+    for (u64 b : tiered) total += b;
+    EXPECT_EQ(total, guest);
+    EXPECT_EQ(tiered[0], predicted_fast_demand(cfg, reg));
+    EXPECT_GT(guest - tiered[0], 0u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ClusterEngine: placement integration, migration, determinism.
 // ---------------------------------------------------------------------------
@@ -227,7 +256,7 @@ TEST(Cluster, MigratesLargestTieredFunctionAfterKPinnedEpochs) {
 
   // The JSON rollup carries the cluster block and the migration ledger.
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":4"), std::string::npos);
   EXPECT_NE(json.find("\"cluster\":{"), std::string::npos);
   EXPECT_NE(json.find("\"migration_events\":["), std::string::npos);
   EXPECT_NE(json.find("\"host\":\"host1\""), std::string::npos);

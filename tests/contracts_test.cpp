@@ -25,9 +25,9 @@ namespace {
 MemoryLayoutFile good_layout() {
   // 100 guest pages: [0,40) fast, [40,90) slow, [90,100) fast.
   std::vector<LayoutEntry> entries{
-      {Tier::kFast, 0, 0, 40},
-      {Tier::kSlow, 0, 40, 50},
-      {Tier::kFast, 40, 90, 10},
+      {tier_index(0), 0, 0, 40},
+      {tier_index(1), 0, 40, 50},
+      {tier_index(0), 40, 90, 10},
   };
   return MemoryLayoutFile(100, std::move(entries));
 }
@@ -40,8 +40,8 @@ TEST(ValidateLayout, AcceptsWellFormedLayout) {
 TEST(ValidateLayout, RejectsOverlappingRegions) {
   // Second entry starts inside the first.
   std::vector<LayoutEntry> entries{
-      {Tier::kFast, 0, 0, 40},
-      {Tier::kSlow, 0, 30, 70},
+      {tier_index(0), 0, 0, 40},
+      {tier_index(1), 0, 30, 70},
   };
   const MemoryLayoutFile bad(100, std::move(entries));
   const auto err = validate_layout(bad);
@@ -52,8 +52,8 @@ TEST(ValidateLayout, RejectsOverlappingRegions) {
 
 TEST(ValidateLayout, RejectsGaps) {
   std::vector<LayoutEntry> entries{
-      {Tier::kFast, 0, 0, 40},
-      {Tier::kSlow, 0, 50, 50},
+      {tier_index(0), 0, 0, 40},
+      {tier_index(1), 0, 50, 50},
   };
   const auto err = validate_layout(MemoryLayoutFile(100, std::move(entries)));
   ASSERT_TRUE(err.has_value());
@@ -62,8 +62,8 @@ TEST(ValidateLayout, RejectsGaps) {
 
 TEST(ValidateLayout, RejectsEmptyRegions) {
   std::vector<LayoutEntry> entries{
-      {Tier::kFast, 0, 0, 100},
-      {Tier::kSlow, 0, 100, 0},
+      {tier_index(0), 0, 0, 100},
+      {tier_index(1), 0, 100, 0},
   };
   const auto err = validate_layout(MemoryLayoutFile(100, std::move(entries)));
   ASSERT_TRUE(err.has_value());
@@ -73,9 +73,9 @@ TEST(ValidateLayout, RejectsEmptyRegions) {
 TEST(ValidateLayout, RejectsNonContiguousTierFileOffsets) {
   // Fast tier file offsets must be 0 then 40, not 0 then 50.
   std::vector<LayoutEntry> entries{
-      {Tier::kFast, 0, 0, 40},
-      {Tier::kSlow, 0, 40, 50},
-      {Tier::kFast, 50, 90, 10},
+      {tier_index(0), 0, 0, 40},
+      {tier_index(1), 0, 40, 50},
+      {tier_index(0), 50, 90, 10},
   };
   const auto err = validate_layout(MemoryLayoutFile(100, std::move(entries)));
   ASSERT_TRUE(err.has_value());
@@ -83,7 +83,7 @@ TEST(ValidateLayout, RejectsNonContiguousTierFileOffsets) {
 }
 
 TEST(ValidateLayout, RejectsWrongTotalSize) {
-  std::vector<LayoutEntry> entries{{Tier::kFast, 0, 0, 90}};
+  std::vector<LayoutEntry> entries{{tier_index(0), 0, 0, 90}};
   const auto err = validate_layout(MemoryLayoutFile(100, std::move(entries)));
   ASSERT_TRUE(err.has_value());
   EXPECT_NE(err->find("sum to"), std::string::npos) << *err;
@@ -197,8 +197,8 @@ TEST(LockRank, ViolationDiagnosticNamesBothLocks) {
 
 MemoryLayoutFile overlapping_layout() {
   std::vector<LayoutEntry> entries{
-      {Tier::kFast, 0, 0, 60},
-      {Tier::kSlow, 0, 30, 70},
+      {tier_index(0), 0, 0, 60},
+      {tier_index(1), 0, 30, 70},
   };
   return MemoryLayoutFile(100, std::move(entries));
 }
@@ -277,10 +277,10 @@ TEST(StepIvSeam, BuildProducesValidatedLayout) {
   const SingleTierSnapshot snap(7, GuestMemory(bytes_for_pages(kPages)),
                                 VmState{});
   PagePlacement placement(kPages);
-  placement.set_range(16, 32, Tier::kSlow);
-  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 1, 2);
+  placement.set_range(16, 32, tier_index(1));
+  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, {1, 2});
   EXPECT_EQ(validate_layout(tiered.layout()), std::nullopt);
-  EXPECT_EQ(tiered.layout().pages_in(Tier::kSlow), 32u);
+  EXPECT_EQ(tiered.layout().pages_in(tier_index(1)), 32u);
 }
 
 }  // namespace

@@ -71,7 +71,7 @@ TEST_F(AnalysisTest, BasePlacementPutsZeroRegionsSlow) {
                        m.invoke(3, 802));
   for (const Region& r : zero_access_regions(merged)) {
     EXPECT_EQ(profile.base_placement.count_in_range(r.page_begin,
-                                                    r.page_count, Tier::kSlow),
+                                                    r.page_count, tier_index(1)),
               r.page_count);
   }
 }
@@ -100,7 +100,7 @@ TEST_F(AnalysisTest, PlacementMatchesOffloadFlags) {
   for (size_t i = 0; i < bins.size(); ++i) {
     for (const Region& r : bins[i].regions) {
       const u64 slow =
-          d.placement.count_in_range(r.page_begin, r.page_count, Tier::kSlow);
+          d.placement.count_in_range(r.page_begin, r.page_count, tier_index(1));
       if (d.offloaded[i])
         EXPECT_EQ(slow, r.page_count);
       else

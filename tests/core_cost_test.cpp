@@ -1,7 +1,16 @@
-// Tests for the Equation 1 memory cost model.
+// Tests for the Equation 1 memory cost model and its N-rung ladder
+// generalization, including a brute-force check of the optimizer's per-bin
+// rung choice.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "core/cost.hpp"
+#include "core/merge.hpp"
+#include "core/optimizer.hpp"
+#include "damon/monitor.hpp"
+#include "workloads/registry.hpp"
 
 namespace toss {
 namespace {
@@ -62,6 +71,146 @@ TEST(Eq1, DifferentCostRatios) {
   EXPECT_NEAR(optimal_normalized_cost(1.5), 2.0 / 3.0, 1e-12);
   EXPECT_GT(normalized_memory_cost(1.0, 1.0, 1.5),
             normalized_memory_cost(1.0, 1.0, 2.5));
+}
+
+TEST(Ladder, TwoRungReducesBitIdentically) {
+  // The degenerate two-tier ladder must evaluate the exact same
+  // floating-point expression as the paper's normalized form — this is the
+  // invariant the bit-identical default ledgers rest on.
+  for (double sd : {1.0, 1.07, 1.3, 2.5}) {
+    for (double frac : {0.0, 0.123456789, 0.5, 0.97, 1.0}) {
+      for (double ratio : {1.5, 2.5, 4.0}) {
+        EXPECT_EQ(ladder_normalized_cost(sd, {frac}, {ratio}),
+                  normalized_memory_cost(sd, frac, ratio));
+      }
+    }
+  }
+}
+
+TEST(Ladder, ThreeRungEndpointsAndMonotonicity) {
+  // Nothing offloaded: cost = slowdown.
+  EXPECT_DOUBLE_EQ(ladder_normalized_cost(1.0, {0.0, 0.0}, {1.8, 3.6}), 1.0);
+  // Everything at the deepest rung: cost = slowdown / deepest ratio.
+  EXPECT_DOUBLE_EQ(ladder_normalized_cost(1.0, {0.0, 1.0}, {1.8, 3.6}),
+                   1.0 / 3.6);
+  // Moving bytes one rung deeper at the same slowdown lowers cost.
+  EXPECT_GT(ladder_normalized_cost(1.1, {0.5, 0.0}, {1.8, 3.6}),
+            ladder_normalized_cost(1.1, {0.0, 0.5}, {1.8, 3.6}));
+  // Slowdown scales the whole expression.
+  EXPECT_GT(ladder_normalized_cost(1.3, {0.3, 0.3}, {1.8, 3.6}),
+            ladder_normalized_cost(1.0, {0.3, 0.3}, {1.8, 3.6}));
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force enumeration: on a small input the optimizer's chosen per-bin
+// rung assignment must be the minimum-cost configuration among everything
+// the coldest-first descent sweep can reach.
+// ---------------------------------------------------------------------------
+
+class LadderSweepTest : public ::testing::Test {
+ protected:
+  PageAccessCounts unified_for(const FunctionModel& m) {
+    const double scale = DamonConfig{}.count_scale;
+    PageAccessCounts unified(m.guest_pages());
+    for (int input = 0; input < kNumInputs; ++input) {
+      const Invocation inv = m.invoke(input, 900);
+      unified.merge_max(
+          PageAccessCounts::from_trace(inv.trace, m.guest_pages()));
+    }
+    for (u64 p = 0; p < unified.num_pages(); ++p)
+      unified.set(p, static_cast<u64>(
+                         static_cast<double>(unified.at(p)) * scale));
+    return unified;
+  }
+
+  // Re-runs the descent sweep by hand and returns the placement of the
+  // minimum-cost prefix (strict improvement, like the optimizer).
+  PagePlacement brute_force_best(const SystemConfig& cfg,
+                                 const std::vector<Bin>& bins,
+                                 const RegionList& zeros, u64 guest_pages,
+                                 const Invocation& rep) {
+    const size_t ranks = cfg.tier_count();
+    const std::vector<double> ratios = cfg.rank_cost_ratios();
+    BinProfiler profiler(cfg);
+
+    PagePlacement base(guest_pages, tier_index(0));
+    for (const Region& r : zeros)
+      base.set_range(r.page_begin, r.page_count, cfg.deepest_tier());
+    const Nanos base_exec = profiler.warm_exec_ns(rep, base);
+
+    std::vector<size_t> order(bins.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return bins[a].density() < bins[b].density();
+    });
+
+    PagePlacement best = base;
+    double best_cost = ladder_normalized_cost(
+        1.0, base.deep_fractions(ranks), ratios);
+    PagePlacement current = base;
+    for (size_t pass = 1; pass < ranks; ++pass) {
+      for (size_t idx : order) {
+        for (const Region& r : bins[idx].regions)
+          current.set_range(r.page_begin, r.page_count, tier_index(pass));
+        const Nanos exec = profiler.warm_exec_ns(rep, current);
+        const double sd =
+            base_exec > 0 ? std::max(0.0, exec / base_exec - 1.0) : 0.0;
+        const double cost = ladder_normalized_cost(
+            1.0 + sd, current.deep_fractions(ranks), ratios);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = current;
+        }
+      }
+    }
+    return best;
+  }
+
+  void check_against_brute_force(const SystemConfig& cfg, const char* fn,
+                                 int bin_count) {
+    const FunctionRegistry reg = FunctionRegistry::table1();
+    const FunctionModel& m = *reg.find(fn);
+    const PageAccessCounts unified = unified_for(m);
+    const RegionList merged = regionize_and_merge(unified);
+    const RegionList zeros = zero_access_regions(merged);
+    const auto bins =
+        pack_equal_access(nonzero_access_regions(merged), bin_count);
+    const Invocation rep = m.invoke(3, 900);
+
+    TieringOptions opt;
+    opt.bin_count = bin_count;
+    const TieringDecision d = choose_placement(
+        cfg, bins, zeros, m.guest_pages(), rep, opt);
+    const PagePlacement want =
+        brute_force_best(cfg, bins, zeros, m.guest_pages(), rep);
+    EXPECT_EQ(d.placement, want) << fn << " on " << cfg.tier_count()
+                                 << "-tier ladder";
+
+    // Per-bin rung choice is monotone in access density: a colder bin never
+    // sits on a faster rung than a hotter one.
+    ASSERT_EQ(d.bin_rank.size(), bins.size());
+    for (size_t a = 0; a < bins.size(); ++a) {
+      for (size_t b = 0; b < bins.size(); ++b) {
+        if (bins[a].density() < bins[b].density()) {
+          EXPECT_GE(d.bin_rank[a], d.bin_rank[b])
+              << "bin " << a << " colder than bin " << b;
+        }
+      }
+    }
+  }
+};
+
+TEST_F(LadderSweepTest, TwoTierChoiceMatchesBruteForce) {
+  check_against_brute_force(SystemConfig::paper_default(), "matmul", 4);
+}
+
+TEST_F(LadderSweepTest, ThreeTierChoiceMatchesBruteForce) {
+  check_against_brute_force(SystemConfig::cxl_host(), "matmul", 4);
+  check_against_brute_force(SystemConfig::cxl_host(), "pagerank", 5);
+}
+
+TEST_F(LadderSweepTest, FourTierChoiceMatchesBruteForce) {
+  check_against_brute_force(SystemConfig::nvme_host(), "compress", 3);
 }
 
 }  // namespace

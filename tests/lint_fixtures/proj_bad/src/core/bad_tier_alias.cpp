@@ -1,0 +1,8 @@
+// Fixture: deprecated two-tier aliases used outside src/mem/.
+enum class Tier { kFast, kSlow };
+bool is_fast(Tier t) {
+  return t == Tier::kFast;
+}
+bool is_slow(Tier t) {
+  return t == Tier::kSlow;
+}

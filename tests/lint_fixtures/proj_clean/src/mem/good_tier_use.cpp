@@ -1,0 +1,6 @@
+// Fixture: src/mem/ owns the ladder, so the deprecated aliases may appear
+// here (the real tree keeps them in mem/tier.hpp only).
+enum class Tier { kFast, kSlow };
+bool legacy_is_fast(Tier t) {
+  return t == Tier::kFast;
+}

@@ -91,6 +91,15 @@ TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
       run.output.find("src/core/bad_host_include.cpp:3 host-internal"),
       std::string::npos)
       << run.output;
+  // tier-alias: deprecated Tier::kFast/kSlow outside src/mem/. The clean
+  // project uses the same pattern under src/mem/, where the ladder lives
+  // (asserted via CleanProjectPasses).
+  EXPECT_NE(run.output.find("src/core/bad_tier_alias.cpp:4 tier-alias"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_tier_alias.cpp:7 tier-alias"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(TossLint, CleanProjectPasses) {

@@ -5,6 +5,8 @@
 // for any worker thread count at a fixed seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,28 +50,34 @@ TEST(Arbiter, DemotesLargestFirstAndPromotesLifoOnePerTick) {
   FastTierArbiter arb(opt, /*fast_budget_bytes=*/50);
   const std::string f0 = "f0", f1 = "f1";
 
-  // Record every re-tier the arbiter asks for: (lane, rung, cap).
+  // Record every re-tier the arbiter asks for: (lane, rung, bound).
   struct Call {
     size_t lane;
     int rung;
-    std::optional<u64> cap;
+    RetierBound bound;
   };
   std::vector<Call> calls;
   const auto apply = [&](size_t lane, int rung,
-                         std::optional<u64> cap) -> std::optional<u64> {
-    calls.push_back({lane, rung, cap});
-    return cap.value_or(80);  // pretend the placement lands exactly on cap
+                         const RetierBound& bound) -> std::optional<u64> {
+    calls.push_back({lane, rung, bound});
+    // Pretend the placement lands exactly on the cap; a tier floor leaves
+    // nothing on the fastest rank.
+    if (bound.max_fast_bytes) return *bound.max_fast_bytes;
+    return bound.min_tier_rank > 0 ? u64{0} : u64{80};
   };
 
   // Tick 0: f0=80 + f1=20 = 100 > 50. Ladder: f0 -> rung 1 (cap 40, still
-  // 60 > 50), then f0 again (largest at 40 > 20) -> rung 2 (cap 0) = 20.
+  // 60 > 50), then f0 again (largest at 40 > 20) -> rung 2 (floor at the
+  // slow tier: 0 fast bytes) = 20.
   arb.tick(0, {demand(0, f0, 80), demand(1, f1, 20, true, false)}, apply);
   ASSERT_EQ(calls.size(), 2u);
   EXPECT_EQ(calls[0].lane, 0u);
   EXPECT_EQ(calls[0].rung, 1);
-  EXPECT_EQ(calls[0].cap, std::optional<u64>(40));
+  EXPECT_EQ(calls[0].bound.max_fast_bytes, std::optional<u64>(40));
+  EXPECT_EQ(calls[0].bound.min_tier_rank, 0u);
   EXPECT_EQ(calls[1].rung, 2);
-  EXPECT_EQ(calls[1].cap, std::optional<u64>(0));
+  EXPECT_FALSE(calls[1].bound.max_fast_bytes.has_value());
+  EXPECT_EQ(calls[1].bound.min_tier_rank, 1u);
   EXPECT_EQ(arb.rung(0), 2);
   EXPECT_EQ(arb.resident_fast_bytes(), 20u);
   EXPECT_FALSE(arb.admission_closed());
@@ -80,7 +88,7 @@ TEST(Arbiter, DemotesLargestFirstAndPromotesLifoOnePerTick) {
   arb.tick(1, {demand(0, f0, 0)}, apply);
   ASSERT_EQ(calls.size(), 1u);
   EXPECT_EQ(calls[0].rung, 1);
-  EXPECT_EQ(calls[0].cap, std::optional<u64>(40));
+  EXPECT_EQ(calls[0].bound.max_fast_bytes, std::optional<u64>(40));
   EXPECT_EQ(arb.rung(0), 1);
 
   // Tick 2: rung 1 -> 0 would restore 80 bytes > 50: hysteresis holds it.
@@ -96,6 +104,79 @@ TEST(Arbiter, DemotesLargestFirstAndPromotesLifoOnePerTick) {
   EXPECT_EQ(r.events.size(), 3u);
 }
 
+TEST(Arbiter, DeepLadderDemotesOneRankPerRung) {
+  // A 3-tier host gets a 3-rung demotion ladder: rung 1 caps the fast
+  // bytes, rung 2 floors the image at rank 1, rung 3 at rank 2 — one
+  // ladder rank per rung, never skipping.
+  ArbiterOptions opt;
+  opt.enabled = true;
+  opt.keepalive = false;
+  opt.demote_step = 0.5;
+  FastTierArbiter arb(opt, /*fast_budget_bytes=*/20,
+                      SystemConfig::cxl_host().tier_count());
+  EXPECT_EQ(arb.max_rung(), 3);
+  const std::string f0 = "f0", f1 = "pinned";
+
+  std::vector<std::pair<int, RetierBound>> calls;
+  const auto apply = [&](size_t, int rung,
+                         const RetierBound& bound) -> std::optional<u64> {
+    calls.push_back({rung, bound});
+    if (bound.max_fast_bytes) return *bound.max_fast_bytes;
+    // A floor at rank 1 still leaves 20 warm bytes on rank 0 in this
+    // script; the deepest floor leaves nothing.
+    return bound.min_tier_rank >= 2 ? u64{0} : u64{20};
+  };
+
+  // Tick 0: f0=80 plus an undemotable 15 against a 20-byte budget. The
+  // ladder must walk rung 1 (cap 40), rung 2 (floor rank 1 -> 20), rung 3
+  // (floor rank 2 -> 0) in order, one rank at a time.
+  arb.tick(0, {demand(0, f0, 80), demand(1, f1, 15, true, false)}, apply);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0].first, 1);
+  EXPECT_EQ(calls[0].second.max_fast_bytes, std::optional<u64>(40));
+  EXPECT_EQ(calls[0].second.min_tier_rank, 0u);
+  EXPECT_EQ(calls[1].first, 2);
+  EXPECT_FALSE(calls[1].second.max_fast_bytes.has_value());
+  EXPECT_EQ(calls[1].second.min_tier_rank, 1u);
+  EXPECT_EQ(calls[2].first, 3);
+  EXPECT_EQ(calls[2].second.min_tier_rank, 2u);
+  EXPECT_EQ(arb.rung(0), 3);
+  EXPECT_EQ(arb.resident_fast_bytes(), 15u);
+  EXPECT_FALSE(arb.admission_closed());
+
+  // Tick 1: the pinned lane is gone. Recovery climbs exactly one rung
+  // (3 -> 2, restoring the recorded 20 bytes, which fits).
+  calls.clear();
+  arb.tick(1, {demand(0, f0, 0)}, apply);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 2);
+  EXPECT_EQ(calls[0].second.min_tier_rank, 1u);
+  EXPECT_EQ(arb.rung(0), 2);
+
+  // Tick 2: rung 2 -> 1 would restore 40 bytes > 20: hysteresis holds it.
+  calls.clear();
+  arb.tick(2, {demand(0, f0, 20)}, apply);
+  EXPECT_TRUE(calls.empty());
+  EXPECT_EQ(arb.rung(0), 2);
+
+  // The ledger itself records the one-rung walk: 1, 2, 3 down, 2 up.
+  const ArbiterReport r = arb.report();
+  EXPECT_EQ(r.demotions, 3u);
+  EXPECT_EQ(r.promotions, 1u);
+  int prev = 0;
+  for (const ArbiterEvent& e : r.events) {
+    if (e.action == ArbiterAction::kDemote) {
+      EXPECT_EQ(e.rung, prev + 1);
+      prev = e.rung;
+    } else if (e.action == ArbiterAction::kPromote) {
+      EXPECT_EQ(e.rung, prev - 1);
+      prev = e.rung;
+    }
+    EXPECT_LE(e.rung, arb.max_rung());
+  }
+  EXPECT_EQ(prev, 2);
+}
+
 TEST(Arbiter, EvictsWarmthBeforeDemotingAnyone) {
   ArbiterOptions opt;
   opt.enabled = true;
@@ -103,7 +184,8 @@ TEST(Arbiter, EvictsWarmthBeforeDemotingAnyone) {
   FastTierArbiter arb(opt, 100);
   const std::string active = "active", finished = "finished";
   size_t retiers = 0;
-  const auto apply = [&](size_t, int, std::optional<u64>) -> std::optional<u64> {
+  const auto apply = [&](size_t, int,
+                         const RetierBound&) -> std::optional<u64> {
     ++retiers;
     return std::nullopt;
   };
@@ -132,7 +214,8 @@ TEST(Arbiter, ClosesAdmissionWhenLadderExhaustedAndReopens) {
   FastTierArbiter arb(opt, 100);
   const std::string f0 = "profiling";
   size_t retiers = 0;
-  const auto apply = [&](size_t, int, std::optional<u64>) -> std::optional<u64> {
+  const auto apply = [&](size_t, int,
+                         const RetierBound&) -> std::optional<u64> {
     ++retiers;
     return std::nullopt;
   };
@@ -171,7 +254,7 @@ TEST(Arbiter, PrewarmHintsSteerRungAEvictions) {
     FastTierArbiter::LaneDemand plain = demand(1, zeta, 40, false, false);
     plain.just_finished = true;
     plain.cold_cost_ns = ms(1);
-    const auto apply = [](size_t, int, std::optional<u64>) {
+    const auto apply = [](size_t, int, const RetierBound&) {
       return std::optional<u64>{};
     };
     arb.tick(0, {soon, plain}, apply);  // 80 <= 100: both stay warm
@@ -296,10 +379,11 @@ TEST(Overload, DeadlineExpiredWorkIsShedBeforeRestore) {
   EXPECT_NE(std::string(err.what()).find("shed"), std::string::npos);
   EXPECT_FALSE(is_transient(ErrorCode::kOverloaded));
 
-  // Metrics mirror the ledger under the schema-3 layout (versioned; v3
-  // added the host tag the cluster rollup keys on).
+  // Metrics mirror the ledger under the schema-4 layout (versioned; v3
+  // added the host tag the cluster rollup keys on, v4 the per-tier
+  // resident/occupancy rollup).
   const std::string json = report.metrics.to_json();
-  EXPECT_NE(json.find("\"schema\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":4"), std::string::npos);
   EXPECT_NE(json.find("\"host\":\"host0\""), std::string::npos);
   EXPECT_NE(json.find("\"overload\":{"), std::string::npos);
   EXPECT_NE(json.find("\"shed_deadline\":"), std::string::npos);
@@ -453,7 +537,85 @@ TEST(Overload, ArbiterDemotesUntilFleetFitsAndRecovers) {
   EXPECT_EQ(lane_promotions, arb.promotions);
 }
 
-std::unique_ptr<PlatformEngine> overload_fleet(u64 seed) {
+TEST(Overload, LadderHostDemotesOneRungAtATime) {
+  // On a 3-tier CXL host the arbiter's ladder has a rung per tier; every
+  // demotion in the engine-level ledger must move its function exactly one
+  // rung down from where it stood, and every promotion one rung up.
+  // matmul: the Table-I function that keeps a rank-0 sliver even under the
+  // CXL host's milder offload penalty, so there is something to demote.
+  u64 unconstrained = 0;
+  const SystemConfig cfg = SystemConfig::cxl_host();
+  {
+    auto probe = std::make_unique<PlatformEngine>(cfg, PricingPlan{},
+                                                  EngineOptions{});
+    FunctionSpec spec = workloads::matmul();
+    const std::string name = spec.name;
+    ASSERT_TRUE(probe
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(PolicyKind::kToss)
+                              .toss(fast_toss())
+                              .seed(42),
+                          RequestGenerator::round_robin(40, 9))
+                    .ok());
+    ASSERT_TRUE(probe->run(1).ok());
+    ASSERT_NE(probe->toss_state(name), nullptr);
+    ASSERT_EQ(probe->toss_state(name)->phase(), TossPhase::kTiered);
+    unconstrained = probe->toss_state(name)->fast_resident_bytes();
+  }
+  ASSERT_GT(unconstrained, 0u);
+
+  // A budget of a quarter of one lane's unconstrained footprint: the cap
+  // rung alone cannot fit three lanes, so the ladder must reach the tier
+  // floors.
+  EngineOptions opts;
+  opts.chunk = 2;
+  opts.arbiter.enabled = true;
+  opts.arbiter.fast_budget_bytes = std::max<u64>(unconstrained / 4, 1);
+  opts.arbiter.keepalive = false;
+  auto engine = std::make_unique<PlatformEngine>(cfg, PricingPlan{}, opts);
+  const size_t lengths[] = {80, 40, 40};
+  for (size_t i = 0; i < 3; ++i) {
+    FunctionSpec spec = workloads::matmul();
+    spec.name += "#" + std::to_string(i);
+    ASSERT_TRUE(engine
+                    ->add(FunctionRegistration(std::move(spec))
+                              .policy(PolicyKind::kToss)
+                              .toss(fast_toss())
+                              .seed(42),
+                          RequestGenerator::round_robin(lengths[i], 9))
+                    .ok());
+  }
+  const EngineReport report = engine->run(2).value();
+  const ArbiterReport& arb = report.arbiter;
+  ASSERT_GE(arb.demotions, 2u);
+
+  std::map<std::string, int> rung;
+  int deepest = 0;
+  for (const ArbiterEvent& e : arb.events) {
+    if (e.action == ArbiterAction::kDemote) {
+      EXPECT_EQ(e.rung, rung[e.function] + 1) << e.function;
+      rung[e.function] = e.rung;
+      deepest = std::max(deepest, e.rung);
+    } else if (e.action == ArbiterAction::kPromote) {
+      EXPECT_EQ(e.rung, rung[e.function] - 1) << e.function;
+      rung[e.function] = e.rung;
+    }
+    EXPECT_GE(e.rung, 0);
+    EXPECT_LE(e.rung, static_cast<int>(cfg.tier_count()));
+  }
+  // The squeeze was tight enough to push past the cap rung into the tier
+  // floors — the part of the ladder a two-tier host cannot reach.
+  EXPECT_GE(deepest, 2);
+
+  // The ladder degrades placements; it never drops admitted work.
+  for (const FunctionReport& f : report.functions) {
+    EXPECT_EQ(f.overload.completed, f.overload.offered) << f.name;
+    EXPECT_EQ(f.overload.total_shed(), 0u) << f.name;
+  }
+}
+
+std::unique_ptr<PlatformEngine> overload_fleet(
+    u64 seed, const SystemConfig& cfg = SystemConfig::paper_default()) {
   EngineOptions opts;
   opts.chunk = 3;
   opts.max_lane_queue = 6;
@@ -461,8 +623,7 @@ std::unique_ptr<PlatformEngine> overload_fleet(u64 seed) {
   opts.enforce_deadlines = true;
   opts.arbiter.enabled = true;
   opts.arbiter.fast_budget_bytes = 0;  // resolve to installed DRAM capacity
-  auto engine = std::make_unique<PlatformEngine>(
-      SystemConfig::paper_default(), PricingPlan{}, opts);
+  auto engine = std::make_unique<PlatformEngine>(cfg, PricingPlan{}, opts);
   const std::vector<FunctionSpec> base = workloads::all_functions();
   const PolicyKind kinds[] = {PolicyKind::kToss, PolicyKind::kToss,
                               PolicyKind::kReap, PolicyKind::kVanilla};
@@ -508,6 +669,31 @@ TEST(Overload, LedgersBitIdenticalAcrossThreadCountsAndSeeds) {
     // The load is genuinely overloading: something was shed somewhere.
     EXPECT_GT(serial.total_shed(), 0u) << "seed " << seed;
   }
+}
+
+TEST(Overload, LadderLedgersBitIdenticalAcrossThreadCounts) {
+  // The determinism contract holds beyond the paper's two tiers: the same
+  // overload fleet on a 3-tier CXL host sheds, demotes and recovers
+  // identically for any worker thread count.
+  const SystemConfig cfg = SystemConfig::cxl_host();
+  const EngineReport serial = overload_fleet(33, cfg)->run(1).value();
+  const EngineReport parallel = overload_fleet(33, cfg)->run(4).value();
+
+  ASSERT_EQ(serial.functions.size(), parallel.functions.size());
+  for (size_t i = 0; i < serial.functions.size(); ++i) {
+    const FunctionReport& a = serial.functions[i];
+    const FunctionReport& b = parallel.functions[i];
+    ASSERT_EQ(a.name, b.name);
+    EXPECT_EQ(a.overload, b.overload) << a.name;
+    EXPECT_EQ(a.shed_events, b.shed_events) << a.name;
+    EXPECT_EQ(a.stats.invocations, b.stats.invocations) << a.name;
+  }
+  EXPECT_EQ(serial.arbiter.events, parallel.arbiter.events);
+  EXPECT_EQ(serial.arbiter.demotions, parallel.arbiter.demotions);
+  EXPECT_EQ(serial.arbiter.promotions, parallel.arbiter.promotions);
+  EXPECT_EQ(serial.arbiter.final_resident_fast_bytes,
+            parallel.arbiter.final_resident_fast_bytes);
+  EXPECT_EQ(serial.total_shed(), parallel.total_shed());
 }
 
 TEST(Overload, AddValidatesArrivalStreams) {

@@ -6,12 +6,6 @@
 #include "platform/platform.hpp"
 #include "workloads/functions.hpp"
 
-// The deprecated register_function(spec, kind, options) shim is exercised
-// below on purpose; silence the warning for this TU only.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 namespace toss {
 namespace {
 
@@ -83,9 +77,9 @@ class ConcurrencyTest : public ::testing::Test {
     ExecutionResult r;
     r.exec_ns = exec;
     r.cpu_ns = exec * 0.2;
-    r.mem_slow_ns = exec * 0.8;
-    r.mem_ns = r.mem_slow_ns;
-    r.slow_read_bytes = slow_gb * 1e9;
+    r.mem_tier_ns[1] = exec * 0.8;
+    r.mem_ns = r.mem_tier_ns[1];
+    r.tier_read_bytes[1] = slow_gb * 1e9;
     return r;
   }
 };
@@ -158,9 +152,11 @@ TEST_F(PlatformTest, EndToEndTossLifecycle) {
 
 TEST_F(PlatformTest, TieredChargeBelowDramCharge) {
   ServerlessPlatform platform;
-  // Deprecated shim: still registers (and validates via the builder).
-  platform.register_function(workloads::compress(), PolicyKind::kToss,
-                             fast_toss());
+  platform
+      .register_function(FunctionRegistration(workloads::compress())
+                             .policy(PolicyKind::kToss)
+                             .toss(fast_toss()))
+      .value();
   platform.run("compress", RequestGenerator::fixed(40, 3, 5)).value();
   ASSERT_EQ(platform.toss_state("compress")->phase(), TossPhase::kTiered);
 
@@ -266,12 +262,6 @@ TEST_F(PlatformTest, RegistrationValidatesOptions) {
       FunctionRegistration(workloads::pyaes()).policy(PolicyKind::kToss));
   EXPECT_FALSE(dup.ok());
   EXPECT_EQ(dup.code(), ErrorCode::kDuplicateFunction);
-
-  // The deprecated shim surfaces validation failures as the typed Error.
-  EXPECT_THROW(
-      platform.register_function(workloads::compress(), PolicyKind::kToss,
-                                 bad_bins),
-      Error);
 }
 
 }  // namespace

@@ -40,9 +40,9 @@ TEST_P(SuiteProperty, TieredSnapshotRoundTripsForAnyPlacement) {
   // Derive a placement from the invocation's own pattern (hot half fast).
   const PageAccessCounts counts =
       PageAccessCounts::from_trace(inv.trace, m.guest_pages());
-  PagePlacement placement(m.guest_pages(), Tier::kSlow);
+  PagePlacement placement(m.guest_pages(), tier_index(1));
   for (u64 p = 0; p < m.guest_pages(); ++p)
-    if (counts.at(p) > 20) placement.set(p, Tier::kFast);
+    if (counts.at(p) > 20) placement.set(p, tier_index(0));
 
   const u64 tiered_id = tier_snapshot(store, *snap, placement);
   const TieredSnapshot* tiered = store.get_tiered(tiered_id);

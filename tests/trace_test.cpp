@@ -45,10 +45,10 @@ TEST(BurstTrace, TimeUnderPlacementConsistent) {
   const SystemConfig cfg = SystemConfig::paper_default();
   AccessCostModel model(cfg);
   const BurstTrace t = two_burst_trace();
-  PagePlacement fast(32, Tier::kFast), slow(32, Tier::kSlow);
-  EXPECT_NEAR(t.time_under(model, fast), t.time_uniform(model, Tier::kFast),
+  PagePlacement fast(32, tier_index(0)), slow(32, tier_index(1));
+  EXPECT_NEAR(t.time_under(model, fast), t.time_uniform(model, tier_index(0)),
               1e-6);
-  EXPECT_NEAR(t.time_under(model, slow), t.time_uniform(model, Tier::kSlow),
+  EXPECT_NEAR(t.time_under(model, slow), t.time_uniform(model, tier_index(1)),
               1e-6);
   EXPECT_GT(t.time_under(model, slow), t.time_under(model, fast));
 }

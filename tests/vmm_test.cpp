@@ -19,6 +19,33 @@ GuestMemory patterned_memory(u64 pages) {
   return mem;
 }
 
+// Little-endian encoders mirroring the on-disk format, used to hand-craft
+// legacy (pre-ladder) byte streams for the backward-compatibility tests.
+void put_u64_le(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void put_blob_le(std::vector<u8>& out, const std::vector<u8>& blob) {
+  put_u64_le(out, blob.size());
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+/// The two-tier "TOSSLAY2" layout encoding: no ladder-depth word.
+std::vector<u8> encode_layout_v2(const MemoryLayoutFile& layout) {
+  std::vector<u8> out;
+  put_u64_le(out, 0x544f53534c415932ULL);  // "TOSSLAY2"
+  put_u64_le(out, layout.guest_pages());
+  put_u64_le(out, layout.entry_count());
+  for (const auto& e : layout.entries()) {
+    put_u64_le(out, tier_rank(e.tier));
+    put_u64_le(out, e.file_page);
+    put_u64_le(out, e.guest_page);
+    put_u64_le(out, e.page_count);
+    put_u64_le(out, e.checksum);
+  }
+  return out;
+}
+
 TEST(VmState, SerializeRoundtrip) {
   VmState s;
   s.vcpu_count = 2;
@@ -44,37 +71,73 @@ TEST(SingleTierSnapshot, MaterializeMatchesSource) {
 
 TEST(LayoutFile, ValidityRules) {
   // Valid: fast at 0..3, slow at 4..7, fast continues at 8..9.
-  MemoryLayoutFile ok(10, {{Tier::kFast, 0, 0, 4},
-                           {Tier::kSlow, 0, 4, 4},
-                           {Tier::kFast, 4, 8, 2}});
+  MemoryLayoutFile ok(10, {{tier_index(0), 0, 0, 4},
+                           {tier_index(1), 0, 4, 4},
+                           {tier_index(0), 4, 8, 2}});
   EXPECT_TRUE(ok.valid());
-  EXPECT_EQ(ok.entries_in(Tier::kFast), 2u);
-  EXPECT_EQ(ok.pages_in(Tier::kSlow), 4u);
+  EXPECT_EQ(ok.entries_in(tier_index(0)), 2u);
+  EXPECT_EQ(ok.pages_in(tier_index(1)), 4u);
   EXPECT_DOUBLE_EQ(ok.slow_fraction(), 0.4);
 
   // Guest gap.
-  EXPECT_FALSE(MemoryLayoutFile(10, {{Tier::kFast, 0, 0, 4},
-                                     {Tier::kSlow, 0, 5, 5}})
+  EXPECT_FALSE(MemoryLayoutFile(10, {{tier_index(0), 0, 0, 4},
+                                     {tier_index(1), 0, 5, 5}})
                    .valid());
   // File offsets must be contiguous per tier.
-  EXPECT_FALSE(MemoryLayoutFile(8, {{Tier::kFast, 0, 0, 4},
-                                    {Tier::kFast, 6, 4, 4}})
+  EXPECT_FALSE(MemoryLayoutFile(8, {{tier_index(0), 0, 0, 4},
+                                    {tier_index(0), 6, 4, 4}})
                    .valid());
   // Incomplete coverage.
-  EXPECT_FALSE(MemoryLayoutFile(10, {{Tier::kFast, 0, 0, 4}}).valid());
+  EXPECT_FALSE(MemoryLayoutFile(10, {{tier_index(0), 0, 0, 4}}).valid());
+  // A tier tag at or beyond the recorded ladder depth is invalid.
+  EXPECT_FALSE(MemoryLayoutFile(4, {{tier_index(2), 0, 0, 4}}).valid());
+  EXPECT_TRUE(MemoryLayoutFile(4, {{tier_index(2), 0, 0, 4}}, 3).valid());
 }
 
 TEST(LayoutFile, SerializeRoundtrip) {
-  MemoryLayoutFile layout(6, {{Tier::kFast, 0, 0, 2},
-                              {Tier::kSlow, 0, 2, 3},
-                              {Tier::kFast, 2, 5, 1}});
+  MemoryLayoutFile layout(6, {{tier_index(0), 0, 0, 2},
+                              {tier_index(1), 0, 2, 3},
+                              {tier_index(0), 2, 5, 1}});
   const auto back = MemoryLayoutFile::deserialize(layout.serialize());
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, layout);
 }
 
+TEST(LayoutFile, ThreeTierSerializeRoundtrip) {
+  // Format v3 carries the ladder depth, so deep tier tags survive the trip.
+  MemoryLayoutFile layout(12,
+                          {{tier_index(0), 0, 0, 4},
+                           {tier_index(1), 0, 4, 4},
+                           {tier_index(2), 0, 8, 4}},
+                          3);
+  ASSERT_TRUE(layout.valid());
+  const auto back = MemoryLayoutFile::deserialize(layout.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tier_count(), 3u);
+  EXPECT_EQ(*back, layout);
+  EXPECT_EQ(back->pages_in(tier_index(2)), 4u);
+  EXPECT_DOUBLE_EQ(back->slow_fraction(), 2.0 / 3.0);
+}
+
+TEST(LayoutFile, ReadsLegacyTwoTierFormat) {
+  // A pre-ladder "TOSSLAY2" stream (no depth word) must deserialize to the
+  // same layout the v3 writer round-trips, with an implied two-rung ladder.
+  MemoryLayoutFile want(6, {{tier_index(0), 0, 0, 2},
+                            {tier_index(1), 0, 2, 3},
+                            {tier_index(0), 2, 5, 1}});
+  const auto back = MemoryLayoutFile::deserialize(encode_layout_v2(want));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tier_count(), 2u);
+  EXPECT_EQ(*back, want);
+  // Old-vs-new round trip: re-serializing the upgraded layout (now v3)
+  // reads back identically.
+  const auto again = MemoryLayoutFile::deserialize(back->serialize());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, want);
+}
+
 TEST(LayoutFile, DeserializeRejectsInvalid) {
-  auto bytes = MemoryLayoutFile(4, {{Tier::kFast, 0, 0, 4}}).serialize();
+  auto bytes = MemoryLayoutFile(4, {{tier_index(0), 0, 0, 4}}).serialize();
   bytes[8] ^= 1;  // corrupt guest_pages -> coverage fails
   EXPECT_FALSE(MemoryLayoutFile::deserialize(bytes).has_value());
 }
@@ -87,11 +150,11 @@ class TieredSnapshotTest : public ::testing::Test {
 };
 
 TEST_F(TieredSnapshotTest, BuildPreservesContent) {
-  PagePlacement placement(kPages, Tier::kFast);
-  placement.set_range(10, 30, Tier::kSlow);
-  placement.set_range(64, 64, Tier::kSlow);
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(10, 30, tier_index(1));
+  placement.set_range(64, 64, tier_index(1));
   const TieredSnapshot tiered =
-      TieredSnapshot::build(snap, placement, 2, 3);
+      TieredSnapshot::build(snap, placement, {2, 3});
   EXPECT_TRUE(tiered.layout().valid());
   EXPECT_EQ(tiered.guest_pages(), kPages);
   EXPECT_EQ(tiered.fast_pages() + tiered.slow_pages(), kPages);
@@ -101,42 +164,99 @@ TEST_F(TieredSnapshotTest, BuildPreservesContent) {
 }
 
 TEST_F(TieredSnapshotTest, AdjacentSameTierPagesCoalesce) {
-  PagePlacement placement(kPages, Tier::kFast);
-  placement.set_range(0, 64, Tier::kSlow);
-  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 2, 3);
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(0, 64, tier_index(1));
+  const TieredSnapshot tiered =
+      TieredSnapshot::build(snap, placement, {2, 3});
   // Exactly two mappings: one slow run, one fast run ("Bins Merging").
   EXPECT_EQ(tiered.layout().entry_count(), 2u);
 }
 
 TEST_F(TieredSnapshotTest, LocateAgreesWithPlacement) {
-  PagePlacement placement(kPages, Tier::kFast);
-  placement.set_range(40, 20, Tier::kSlow);
-  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 2, 3);
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(40, 20, tier_index(1));
+  const TieredSnapshot tiered =
+      TieredSnapshot::build(snap, placement, {2, 3});
   for (u64 p = 0; p < kPages; ++p) {
     const auto loc = tiered.locate(p);
     EXPECT_EQ(loc.tier, placement.tier_of(p)) << p;
-    const u32 version = loc.tier == Tier::kFast
-                            ? tiered.fast_page_version(loc.file_page)
-                            : tiered.slow_page_version(loc.file_page);
+    const u32 version =
+        tiered.tier_page_version(tier_rank(loc.tier), loc.file_page);
     EXPECT_EQ(version, mem.version(p)) << p;
   }
 }
 
-TEST_F(TieredSnapshotTest, SerializeRoundtrip) {
-  PagePlacement placement(kPages, Tier::kFast);
-  placement.set_range(8, 40, Tier::kSlow);
-  placement.set_range(100, 28, Tier::kSlow);
-  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 7, 8);
+TEST_F(TieredSnapshotTest, ThreeRungBuildMaterializesAndRoundtrips) {
+  // One file per rung: pages spread over a three-rung ladder reassemble
+  // bit-identically and survive the v2 ("TOSSTIR2") serialization.
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(32, 32, tier_index(1));
+  placement.set_range(64, 64, tier_index(2));
+  const TieredSnapshot tiered =
+      TieredSnapshot::build(snap, placement, {7, 8, 9});
+  EXPECT_EQ(tiered.tier_count(), 3u);
+  EXPECT_EQ(tiered.layout().tier_count(), 3u);
+  EXPECT_EQ(tiered.tier_pages(0), 32u);
+  EXPECT_EQ(tiered.tier_pages(1), 32u);
+  EXPECT_EQ(tiered.tier_pages(2), 64u);
+  EXPECT_EQ(tiered.slow_pages(), 96u);
+  EXPECT_EQ(tier_rank(tiered.locate(70).tier), 2u);
+  EXPECT_EQ(tiered.materialize(), mem);
+  EXPECT_EQ(tiered.verify(), std::nullopt);
   const auto back = TieredSnapshot::deserialize(tiered.serialize());
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, tiered);
   EXPECT_EQ(back->materialize(), mem);
 }
 
+TEST_F(TieredSnapshotTest, SerializeRoundtrip) {
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(8, 40, tier_index(1));
+  placement.set_range(100, 28, tier_index(1));
+  const TieredSnapshot tiered =
+      TieredSnapshot::build(snap, placement, {7, 8});
+  const auto back = TieredSnapshot::deserialize(tiered.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tiered);
+  EXPECT_EQ(back->materialize(), mem);
+}
+
+TEST_F(TieredSnapshotTest, ReadsLegacyTwoTierArtifact) {
+  // Hand-encode the pre-ladder "TOSSTIR1" stream — magic, two file ids (no
+  // rank-count word), vm-state blob, v2 layout blob, fast then slow version
+  // arrays — and check the reader reconstructs the same artifact the new
+  // builder produces.
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(16, 48, tier_index(1));
+  const TieredSnapshot want =
+      TieredSnapshot::build(snap, placement, {4, 5});
+
+  std::vector<u8> v1;
+  put_u64_le(v1, 0x544f535354495231ULL);  // "TOSSTIR1"
+  put_u64_le(v1, want.file_id(0));
+  put_u64_le(v1, want.file_id(1));
+  put_blob_le(v1, want.vm_state().serialize());
+  put_blob_le(v1, encode_layout_v2(want.layout()));
+  for (size_t r = 0; r < 2; ++r) {
+    put_u64_le(v1, want.tier_pages(r));
+    for (u64 p = 0; p < want.tier_pages(r); ++p) {
+      const u32 v = want.tier_page_version(r, p);
+      for (int b = 0; b < 4; ++b) v1.push_back(static_cast<u8>(v >> (8 * b)));
+    }
+  }
+
+  const auto back = TieredSnapshot::deserialize(v1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, want);
+  EXPECT_EQ(back->materialize(), mem);
+  EXPECT_EQ(back->verify(), std::nullopt);
+}
+
 TEST_F(TieredSnapshotTest, DeserializeRejectsCorruption) {
-  PagePlacement placement(kPages, Tier::kFast);
-  placement.set_range(0, 64, Tier::kSlow);
-  const TieredSnapshot tiered = TieredSnapshot::build(snap, placement, 7, 8);
+  PagePlacement placement(kPages, tier_index(0));
+  placement.set_range(0, 64, tier_index(1));
+  const TieredSnapshot tiered =
+      TieredSnapshot::build(snap, placement, {7, 8});
   auto bytes = tiered.serialize();
   EXPECT_FALSE(TieredSnapshot::deserialize({}).has_value());
   auto bad_magic = bytes;
@@ -163,12 +283,12 @@ TEST(SnapshotStore, TieredLookupByEitherId) {
   SnapshotStore store(cfg);
   const GuestMemory mem = patterned_memory(32);
   const u64 sid = store.put_single_tier(mem, VmState{});
-  PagePlacement placement(32, Tier::kFast);
-  placement.set_range(16, 16, Tier::kSlow);
+  PagePlacement placement(32, tier_index(0));
+  placement.set_range(16, 16, tier_index(1));
   const u64 fast_id = store.allocate_file_id();
   const u64 slow_id = store.allocate_file_id();
   store.put_tiered(TieredSnapshot::build(*store.get_single_tier(sid),
-                                         placement, fast_id, slow_id));
+                                         placement, {fast_id, slow_id}));
   EXPECT_NE(store.get_tiered(fast_id), nullptr);
   EXPECT_EQ(store.get_tiered(fast_id), store.get_tiered(slow_id));
 }
@@ -218,7 +338,7 @@ TEST_F(MicroVmTest, RestoreLazyMajorFaultsFromDisk) {
   plan.vm_state = VmState{};
   plan.guest_pages = 256;
   plan.mappings.push_back(
-      RestoreMapping{0, 256, Tier::kFast, snap_id, 0, false});
+      RestoreMapping{0, 256, tier_index(0), snap_id, 0, false});
   store.drop_caches();
   MicroVm vm2(cfg, store);
   vm2.restore(plan);
@@ -235,7 +355,7 @@ TEST_F(MicroVmTest, SequentialFaultsBenefitFromReadahead) {
   RestorePlan plan;
   plan.guest_pages = 256;
   plan.mappings.push_back(
-      RestoreMapping{0, 256, Tier::kFast, snap_id, 0, false});
+      RestoreMapping{0, 256, tier_index(0), snap_id, 0, false});
 
   store.drop_caches();
   MicroVm vm2(cfg, store);
@@ -252,7 +372,7 @@ TEST_F(MicroVmTest, EagerLoadedPagesTakeNoFault) {
   RestorePlan plan;
   plan.guest_pages = 128;
   plan.mappings.push_back(
-      RestoreMapping{0, 128, Tier::kFast, snap_id, 0, false});
+      RestoreMapping{0, 128, tier_index(0), snap_id, 0, false});
   plan.eager.push_back(EagerLoad{0, 64, snap_id, 0});
   store.drop_caches();
   MicroVm vm2(cfg, store);
@@ -271,7 +391,7 @@ TEST_F(MicroVmTest, DaxMappingsMinorFaultOnly) {
   RestorePlan plan;
   plan.guest_pages = 128;
   plan.mappings.push_back(
-      RestoreMapping{0, 128, Tier::kSlow, snap_id, 0, true});
+      RestoreMapping{0, 128, tier_index(1), snap_id, 0, true});
   store.drop_caches();
   MicroVm vm2(cfg, store);
   vm2.restore(plan);
@@ -290,7 +410,7 @@ TEST_F(MicroVmTest, SetupTimeScalesWithMappings) {
     plan.guest_pages = 128;
     const u64 per = 128 / mappings;
     for (u64 i = 0; i < mappings; ++i)
-      plan.mappings.push_back(RestoreMapping{i * per, per, Tier::kFast,
+      plan.mappings.push_back(RestoreMapping{i * per, per, tier_index(0),
                                              snap_id, i * per, false});
     return plan;
   };
@@ -331,12 +451,12 @@ TEST_F(MicroVmTest, RestoreMaterializesTieredContent) {
   const GuestMemory want = vm.memory();
   const u64 snap_id = vm.take_snapshot();
 
-  PagePlacement placement(64, Tier::kFast);
-  placement.set_range(32, 32, Tier::kSlow);
+  PagePlacement placement(64, tier_index(0));
+  placement.set_range(32, 32, tier_index(1));
   const u64 fast_id = store.allocate_file_id();
   const u64 slow_id = store.allocate_file_id();
   store.put_tiered(TieredSnapshot::build(*store.get_single_tier(snap_id),
-                                         placement, fast_id, slow_id));
+                                         placement, {fast_id, slow_id}));
   const TieredSnapshot* tiered = store.get_tiered(fast_id);
 
   RestorePlan plan;
@@ -344,8 +464,8 @@ TEST_F(MicroVmTest, RestoreMaterializesTieredContent) {
   for (const auto& e : tiered->layout().entries()) {
     plan.mappings.push_back(RestoreMapping{
         e.guest_page, e.page_count, e.tier,
-        e.tier == Tier::kFast ? fast_id : slow_id, e.file_page,
-        e.tier == Tier::kSlow});
+        tiered->file_id(tier_rank(e.tier)), e.file_page,
+        tier_rank(e.tier) != 0});
   }
   MicroVm vm2(cfg, store);
   vm2.restore(plan);
@@ -379,12 +499,12 @@ class SnapshotFailureTest : public ::testing::Test {
 
   void SetUp() override {
     single_id = store.put_single_tier(patterned_memory(32), VmState{});
-    PagePlacement placement(32, Tier::kFast);
-    placement.set_range(16, 16, Tier::kSlow);
+    PagePlacement placement(32, tier_index(0));
+    placement.set_range(16, 16, tier_index(1));
     fast_id = store.allocate_file_id();
     slow_id = store.allocate_file_id();
     store.put_tiered(TieredSnapshot::build(*store.get_single_tier(single_id),
-                                           placement, fast_id, slow_id));
+                                           placement, {fast_id, slow_id}));
   }
 };
 
@@ -453,6 +573,10 @@ TEST_F(SnapshotFailureTest, ResidentBytesFollowTheAliasMap) {
   EXPECT_EQ(store.resident_fast_bytes(slow_id), fast);
   EXPECT_EQ(store.resident_slow_bytes(fast_id), slow);
   EXPECT_EQ(store.resident_slow_bytes(slow_id), slow);
+  // The per-rank view agrees with the rollups.
+  EXPECT_EQ(store.resident_tier_bytes(fast_id, 0), fast);
+  EXPECT_EQ(store.resident_tier_bytes(fast_id, 1), slow);
+  EXPECT_EQ(store.resident_tier_bytes(fast_id, 2), 0u);
 
   EXPECT_EQ(store.resident_fast_bytes(single_id),
             store.get_single_tier(single_id)->memory_bytes());
@@ -490,7 +614,8 @@ TEST_F(SnapshotFailureTest, RestoreMissingFileIdThrowsTyped) {
   MicroVm vm(cfg, store);
   RestorePlan plan;
   plan.guest_pages = 32;
-  plan.mappings.push_back(RestoreMapping{0, 32, Tier::kFast, 999, 0, false});
+  plan.mappings.push_back(
+      RestoreMapping{0, 32, tier_index(0), 999, 0, false});
   EXPECT_EQ(code_of([&] { vm.restore(plan); }), ErrorCode::kSnapshotMissing);
 }
 
@@ -501,7 +626,7 @@ TEST_F(SnapshotFailureTest, RestoreOverrunMappingThrowsCorrupted) {
   RestorePlan plan;
   plan.guest_pages = 64;
   plan.mappings.push_back(
-      RestoreMapping{0, 64, Tier::kFast, single_id, 0, false});
+      RestoreMapping{0, 64, tier_index(0), single_id, 0, false});
   EXPECT_EQ(code_of([&] { vm.restore(plan); }),
             ErrorCode::kSnapshotCorrupted);
 }
@@ -531,12 +656,12 @@ TEST(SnapshotStoreFaults, TornPutLeavesPreviousGenerationReadable) {
   const u64 gen2 = store.put_single_tier(patterned_memory(32), VmState{});
   EXPECT_EQ(gen2, gen1 + 1);
 
-  PagePlacement placement(32, Tier::kFast);
-  placement.set_range(0, 16, Tier::kSlow);
+  PagePlacement placement(32, tier_index(0));
+  placement.set_range(0, 16, tier_index(1));
   const u64 fast_id = store.allocate_file_id();
   const u64 slow_id = store.allocate_file_id();
   TieredSnapshot tiered = TieredSnapshot::build(
-      *store.get_single_tier(gen2), placement, fast_id, slow_id);
+      *store.get_single_tier(gen2), placement, {fast_id, slow_id});
   EXPECT_EQ(code_of([&] { store.put_tiered(tiered); }),
             ErrorCode::kTransientIo);
   EXPECT_EQ(store.get_tiered(fast_id), nullptr);

@@ -103,8 +103,8 @@ TEST_P(AllFunctionsTest, SlowTierNeverFasterThanDram) {
   const FunctionModel& m = reg.models()[static_cast<size_t>(GetParam())];
   for (int input = 0; input < kNumInputs; ++input) {
     const Invocation inv = m.invoke(input, 11);
-    EXPECT_GE(inv.trace.time_uniform(model, Tier::kSlow),
-              inv.trace.time_uniform(model, Tier::kFast));
+    EXPECT_GE(inv.trace.time_uniform(model, tier_index(1)),
+              inv.trace.time_uniform(model, tier_index(0)));
   }
 }
 
@@ -124,8 +124,8 @@ TEST(Calibration, PagerankIsTheMostMemoryIntensive) {
   double pagerank_sd = 0, best_other = 0;
   for (const auto& m : reg.models()) {
     const Invocation inv = m.invoke(3, 42);
-    const double warm = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
-    const double slow = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
+    const double warm = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
+    const double slow = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(1));
     const double sd = slow / warm;
     if (m.name() == "pagerank")
       pagerank_sd = sd;
@@ -146,8 +146,8 @@ TEST(Calibration, CompressNegligibleSlowTierSlowdown) {
   ASSERT_NE(m, nullptr);
   for (int input = 0; input < kNumInputs; ++input) {
     const Invocation inv = m->invoke(input, 42);
-    const double warm = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kFast);
-    const double slow = inv.cpu_ns + inv.trace.time_uniform(model, Tier::kSlow);
+    const double warm = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(0));
+    const double slow = inv.cpu_ns + inv.trace.time_uniform(model, tier_index(1));
     EXPECT_LT(slow / warm, 1.10) << "input " << input;
   }
 }

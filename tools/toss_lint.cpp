@@ -43,6 +43,10 @@
 //                    surface; everyone else reaches the shared types
 //                    through "platform/engine.hpp" /
 //                    "platform/cluster.hpp" (or the umbrella).
+//   tier-alias       Tier::kFast / Tier::kSlow are deprecated two-tier
+//                    aliases; outside src/mem/ (where the ladder itself
+//                    lives) code must use tier_index(rank) / computed
+//                    ranks so it works on any ladder depth.
 //
 // Findings print as `file:line rule message`, one per line, and the exit
 // code is 1 when any finding is unsuppressed (0 clean, 2 usage/IO error).
@@ -78,7 +82,7 @@ struct Finding {
 const char* const kRuleNames[] = {
     "deep-include",   "platform-throw", "raw-assert",      "nondeterminism",
     "thread-spawn",   "pragma-once",    "swallowed-error", "unbounded-wait",
-    "host-internal",
+    "host-internal",  "tier-alias",
 };
 
 bool known_rule(const std::string& name) {
@@ -314,6 +318,7 @@ void check_file(const SourceFile& f, std::vector<Finding>& findings) {
   const bool thread_exempt = f.stem_is("src/util/thread_pool") ||
                              f.stem_is("src/platform/concurrency");
   const bool catch_exempt = f.stem_is("src/util/fault");
+  const bool tier_alias_exempt = f.under("src/mem/");
 
   // Parse every allow() trailer once up front, so unknown rule names are
   // flagged even on lines that trip nothing.
@@ -427,6 +432,14 @@ void check_file(const SourceFile& f, std::vector<Finding>& findings) {
                "forever; pass a predicate or use wait_for/wait_until"});
       }
     }
+
+    if (!tier_alias_exempt &&
+        (contains_qualified(code, "Tier::", "kFast") ||
+         contains_qualified(code, "Tier::", "kSlow")))
+      raw_findings.push_back(
+          {f.rel, line_no, "tier-alias",
+           "Tier::kFast/kSlow are deprecated two-tier aliases; use "
+           "tier_index(rank) and walk the SystemConfig ladder"});
 
     if (in_src && !catch_exempt) {
       for (size_t pos = code.find("catch"); pos != std::string::npos;
