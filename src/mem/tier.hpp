@@ -8,8 +8,8 @@
 // ordered *vector* of TierSpecs — index 0 is the fastest, each following
 // rank slower and cheaper — and `Tier` is a plain tier index into that
 // ladder. The paper's fast/slow pair is the two-rung degenerate case
-// (`paper_default()`); `Tier::kFast`/`Tier::kSlow` survive only as
-// deprecated aliases for ranks 0 and 1.
+// (`paper_default()`). The old `Tier::kFast`/`Tier::kSlow` aliases are
+// gone: every tier is named by its computed rank via tier_index().
 #pragma once
 
 #include <string>
@@ -29,10 +29,7 @@ inline constexpr size_t kMaxTiers = 6;
 /// Index of a memory tier in the SystemConfig ladder (0 = fastest). Kept as
 /// a scoped enum so a tier index never mixes silently with page counts;
 /// convert explicitly with tier_index()/tier_rank().
-enum class Tier : u8 {
-  kFast [[deprecated("tier ladder: use tier_index(0)")]] = 0,
-  kSlow [[deprecated("tier ladder: use tier_index(1) or a computed rank")]] = 1,
-};
+enum class Tier : u8 {};
 
 /// Rank -> Tier. The ladder's depth bounds valid ranks; SystemConfig::tier()
 /// enforces that at lookup time.

@@ -256,7 +256,9 @@ Result<ClusterReport> ClusterEngine::run(int threads) {
   if (threads > 1 && function_count() > 1)
     pool = std::make_unique<ThreadPool>(threads);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // Real elapsed time is a measurement channel (ClusterReport::wall_ns),
+  // not simulated state; the ledger-equality harness strips it.
+  const auto t0 = std::chrono::steady_clock::now();  // toss-lint: allow(det-wallclock)
   for (;;) {
     bool any_active = false;
     for (const auto& host : hosts_)
@@ -273,7 +275,7 @@ Result<ClusterReport> ClusterEngine::run(int threads) {
     maybe_migrate();
     ++epochs_;
   }
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // toss-lint: allow(det-wallclock)
   wall_ns_ += static_cast<Nanos>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
 

@@ -9,9 +9,9 @@
 //     validates options up front and returns Result<void>;
 //   - fallible calls return Result<T>; reference accessors throw
 //     toss::Error (never raw std::out_of_range);
-//   - the pre-builder register_function(spec, kind, options) shim is gone;
-//     the deprecated Tier::kFast/kSlow index aliases (mem/tier.hpp) are now
-//     the platform's only deprecation surface.
+//   - the pre-builder register_function(spec, kind, options) shim is gone,
+//     and so are the Tier::kFast/kSlow index aliases (mem/tier.hpp): the
+//     platform carries no deprecation surface at all.
 #pragma once
 
 #include <map>

@@ -20,9 +20,9 @@
 //     and Step V regenerates a fresh artifact instead of re-mapping rot.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 
 #include "mem/page_cache.hpp"
 #include "mem/tier.hpp"
@@ -115,10 +115,15 @@ class SnapshotStore {
   FaultInjector* faults_ = nullptr;
   u64 next_file_id_ = 1;
   u64 quarantine_count_ = 0;
-  std::unordered_map<u64, SingleTierSnapshot> single_tier_;
-  std::unordered_map<u64, TieredSnapshot> tiered_;
-  std::unordered_map<u64, u64> tiered_alias_;  ///< deep-rank id -> rank-0 id
-  std::unordered_set<u64> quarantined_;        ///< rank-0 ids
+  // Ordered containers on purpose: the store sits in the include closure
+  // of the metrics ledger, and any future walk over snapshots (resident-
+  // byte rollups, eviction sweeps) must visit ids in a run-stable order.
+  // Hash-map iteration order is not, and the det-unordered-iter lint rule
+  // would reject it; id-ordered maps are deterministic by construction.
+  std::map<u64, SingleTierSnapshot> single_tier_;
+  std::map<u64, TieredSnapshot> tiered_;
+  std::map<u64, u64> tiered_alias_;  ///< deep-rank id -> rank-0 id
+  std::set<u64> quarantined_;        ///< rank-0 ids
   HostPageCache page_cache_;
 };
 

@@ -230,7 +230,9 @@ TEST(ContractsDeathTest, LockRankViolationAborts) {
         RankedMutex low(LockRank::kEngineScheduler, "engine-lock");
         RankedMutex high(LockRank::kMetricsRegistry, "metrics-lock");
         std::lock_guard<RankedMutex> l1(high);
-        std::lock_guard<RankedMutex> l2(low);
+        // Deliberate inversion: the static lock-rank pass flags exactly
+        // what this death test expects the runtime detector to catch.
+        std::lock_guard<RankedMutex> l2(low);  // toss-lint: allow(lock-rank)
       },
       "lock-rank violation");
 }

@@ -1,0 +1,24 @@
+// Fixture: racy floating-point accumulation inside a parallel region —
+// a shared += and a fetch_add on an atomic<double>, both inside the
+// parallel_for call's argument list.
+#include <atomic>
+#include <cstddef>
+
+namespace fx {
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t n, F f);
+};
+
+double reduce(Pool& pool, const double* xs, std::size_t n) {
+  double total = 0.0;
+  std::atomic<double> atomic_total{0.0};
+  pool.parallel_for(n, [&](std::size_t i) {
+    total += xs[i];
+    atomic_total.fetch_add(xs[i]);
+  });
+  return total;
+}
+
+}  // namespace fx

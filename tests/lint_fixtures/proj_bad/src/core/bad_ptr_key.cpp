@@ -1,0 +1,10 @@
+// Fixture: pointer-valued ordering keys; allocation order is ASLR-
+// dependent, so both containers are flagged.
+#include <map>
+#include <set>
+
+namespace fx {
+struct Region {};
+std::map<Region*, int> residency;
+std::set<const Region*> active;
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads outside bench/. Neither clock is in the
+// legacy nondeterminism list, so only det-wallclock fires.
+#include <chrono>
+
+namespace fx {
+long now_ns() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::high_resolution_clock::now();
+  return (t1 - t0.time_since_epoch().zero()).time_since_epoch().count();
+}
+}  // namespace fx

@@ -1,0 +1,3 @@
+// Fixture: one half of an include cycle.
+#pragma once
+#include "core/cycle_b.hpp"

@@ -1,0 +1,3 @@
+// Fixture: closes the include cycle; the finding lands on this back edge.
+#pragma once
+#include "core/cycle_a.hpp"

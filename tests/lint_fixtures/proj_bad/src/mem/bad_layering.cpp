@@ -1,0 +1,8 @@
+// Fixture: upward include — mem (layer 1) reaching into platform
+// (layer 6). The target header does not need to exist; layering maps the
+// include target by path prefix.
+#include "platform/arbiter.hpp"
+
+namespace fx {
+int use_arbiter() { return 0; }
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: lexically nested guards acquired against rank order. The pass
+// reads the enum values and the member declarations from this same file.
+#include <mutex>
+
+namespace fx {
+
+enum class LockRank : int {
+  kScheduler = 10,
+  kRegistry = 20,
+};
+
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name);
+};
+
+struct Engine {
+  RankedMutex sched_{LockRank::kScheduler, "sched"};
+  RankedMutex registry_{LockRank::kRegistry, "registry"};
+
+  void flush() {
+    std::lock_guard<RankedMutex> outer(registry_);
+    std::lock_guard<RankedMutex> inner(sched_);
+  }
+};
+
+}  // namespace fx

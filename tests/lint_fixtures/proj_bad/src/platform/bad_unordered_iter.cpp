@@ -1,0 +1,23 @@
+// Fixture: walking unordered containers in a ledger-feeding TU (the
+// include below puts metrics.hpp in this file's closure). Hash order is
+// unspecified, so both the range-for and the begin() call are flagged.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "platform/metrics.hpp"
+
+namespace fx {
+
+struct Rollup {
+  std::unordered_map<int, long> counts_;
+  std::unordered_set<int> ids_;
+
+  long total() const {
+    long sum = 0;
+    for (const auto& kv : counts_) sum += kv.second;
+    return sum;
+  }
+  int first() const { return *ids_.begin(); }
+};
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: stand-in for the metrics ledger header. Files whose include
+// closure reaches this path are "ledger-feeding" for det-unordered-iter.
+#pragma once
+
+namespace fx {
+struct MetricsRegistry {
+  int series = 0;
+};
+}  // namespace fx

@@ -1,0 +1,7 @@
+// Fixture: peer-layer include — vmm and damon share a layer and must not
+// include each other.
+#include "damon/regions.hpp"
+
+namespace fx {
+int use_regions() { return 0; }
+}  // namespace fx

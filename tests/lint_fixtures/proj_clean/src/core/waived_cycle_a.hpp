@@ -1,0 +1,4 @@
+// Fixture: a known include cycle, waived on both edges (the finding
+// lands on whichever edge the DFS closes, so both lines carry trailers).
+#pragma once
+#include "core/waived_cycle_b.hpp"  // toss-lint: allow(include-cycle)

@@ -1,0 +1,3 @@
+// Fixture: second half of the waived include cycle.
+#pragma once
+#include "core/waived_cycle_a.hpp"  // toss-lint: allow(include-cycle)

@@ -1,0 +1,30 @@
+// Fixture: the deterministic reduction shape (per-task slots, reduced in
+// index order after the join) plus one waived in-place accumulation.
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t n, F f);
+};
+
+double reduce(Pool& pool, const double* xs, std::size_t n) {
+  std::vector<double> partial(n, 0.0);
+  pool.parallel_for(n, [&](std::size_t i) { partial[i] = xs[i] * 2.0; });
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += partial[i];
+  return total;
+}
+
+double reduce_serial(Pool& pool, const double* xs, std::size_t n) {
+  double total = 0.0;
+  pool.parallel_for(1, [&](std::size_t) {
+    for (std::size_t i = 0; i < n; ++i)
+      total += xs[i];  // toss-lint: allow(det-fp-accum)
+  });
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: the preferred stable-id key next to a waived pointer key (an
+// arena that hands out pointers in deterministic order).
+#include <map>
+
+namespace fx {
+struct Node {};
+std::map<long, int> by_id;
+std::map<const Node*, int> interned;  // toss-lint: allow(det-ptr-key)
+}  // namespace fx

@@ -1,0 +1,7 @@
+// Fixture: a transitional upward include tracked by waiver until the
+// shared type moves down the ladder.
+#include "platform/arbiter.hpp"  // toss-lint: allow(layering)
+
+namespace fx {
+int use_arbiter() { return 0; }
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: stand-in for the metrics ledger header (marks the files that
+// include it as ledger-feeding for det-unordered-iter).
+#pragma once
+
+namespace fx {
+struct MetricsRegistry {
+  int series = 0;
+};
+}  // namespace fx

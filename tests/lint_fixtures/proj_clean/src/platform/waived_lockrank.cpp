@@ -1,0 +1,31 @@
+// Fixture: rank-ordered nesting passes with no waiver; the one deliberate
+// inversion (mirroring the runtime detector's death test) carries one.
+#include <mutex>
+
+namespace fx {
+
+enum class LockRank : int {
+  kScheduler = 10,
+  kRegistry = 20,
+};
+
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name);
+};
+
+struct Engine {
+  RankedMutex sched_{LockRank::kScheduler, "sched"};
+  RankedMutex registry_{LockRank::kRegistry, "registry"};
+
+  void ordered() {
+    std::lock_guard<RankedMutex> outer(sched_);
+    std::lock_guard<RankedMutex> inner(registry_);
+  }
+  void inverted_on_purpose() {
+    std::lock_guard<RankedMutex> outer(registry_);
+    std::lock_guard<RankedMutex> inner(sched_);  // toss-lint: allow(lock-rank)
+  }
+};
+
+}  // namespace fx

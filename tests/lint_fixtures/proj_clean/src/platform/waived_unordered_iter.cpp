@@ -1,0 +1,23 @@
+// Fixture: a hash-order walk kept deliberately — the result (a max) is
+// order-independent — so the line carries a waiver. Membership tests on
+// the same containers need none: only iteration is flagged.
+#include <unordered_map>
+
+#include "platform/metrics.hpp"
+
+namespace fx {
+
+struct Gauge {
+  std::unordered_map<int, long> counts_;
+
+  long peak() const {
+    long best = 0;
+    for (const auto& kv : counts_) {  // toss-lint: allow(det-unordered-iter)
+      if (kv.second > best) best = kv.second;
+    }
+    return best;
+  }
+  bool tracked(int id) const { return counts_.count(id) != 0; }
+};
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: a real-time measurement channel the ledger diff strips; the
+// waiver records that this value never feeds simulated state.
+#include <chrono>
+
+namespace fx {
+long wall_ns() {
+  const auto t = std::chrono::steady_clock::now();  // toss-lint: allow(det-wallclock)
+  return t.time_since_epoch().count();
+}
+}  // namespace fx

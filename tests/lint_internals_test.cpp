@@ -1,0 +1,277 @@
+// Library-level tests for the toss_lint internals (tools/lint/): the
+// shared tokenizer's literal/comment handling — the part every rule used
+// to re-implement badly — and the include-graph resolution, transitive
+// closure, and cycle detection the multi-pass analyzer runs on. Links
+// toss_lint_core directly; no fixture files or subprocesses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace {
+
+using toss_lint::Finding;
+using toss_lint::IncludeEdge;
+using toss_lint::lex;
+using toss_lint::LexOutput;
+using toss_lint::Project;
+using toss_lint::SourceFile;
+using toss_lint::Token;
+
+bool has_ident(const LexOutput& out, const std::string& text) {
+  for (const Token& t : out.tokens)
+    if (t.kind == Token::Kind::kIdent && t.text == text) return true;
+  return false;
+}
+
+// --- tokenizer -------------------------------------------------------------
+
+TEST(LintLexer, StripsCommentsButKeepsLayout) {
+  const LexOutput out = lex({
+      "int a = 1;  // trailing rand()",
+      "/* block assert(x) */ int b = 2;",
+  });
+  ASSERT_EQ(out.code.size(), 2u);
+  // Positions of surviving code are untouched; comment bodies are blanks.
+  EXPECT_EQ(out.code[0].substr(0, 10), "int a = 1;");
+  EXPECT_EQ(out.code[0].find("rand"), std::string::npos);
+  EXPECT_EQ(out.code[1].find("assert"), std::string::npos);
+  EXPECT_NE(out.code[1].find("int b = 2;"), std::string::npos);
+  EXPECT_FALSE(has_ident(out, "rand"));
+  EXPECT_TRUE(has_ident(out, "b"));
+}
+
+TEST(LintLexer, BlockCommentSpansLines) {
+  const LexOutput out = lex({
+      "start(); /* comment",
+      "still comment \" unterminated quote",
+      "done */ finish();",
+  });
+  EXPECT_TRUE(has_ident(out, "start"));
+  EXPECT_TRUE(has_ident(out, "finish"));
+  EXPECT_FALSE(has_ident(out, "still"));
+  // The stray quote inside the comment must not open a string.
+  EXPECT_EQ(out.code[1].find('"'), std::string::npos);
+}
+
+TEST(LintLexer, LineCommentContinuedByBackslash) {
+  const LexOutput out = lex({
+      "int a = 1;  // comment continued \\",
+      "still comment rand()",
+      "int b = 2;",
+  });
+  EXPECT_FALSE(has_ident(out, "rand"));
+  EXPECT_TRUE(has_ident(out, "b"));
+  EXPECT_EQ(out.code[1].find_first_not_of(' '), std::string::npos);
+}
+
+TEST(LintLexer, RawStringSpansLinesAndIgnoresCommentMarkers) {
+  const LexOutput out = lex({
+      "auto s = R\"(first // not a comment",
+      "assert(true) \" lone quote",
+      ")\" + tail;",
+  });
+  EXPECT_FALSE(has_ident(out, "assert"));
+  EXPECT_TRUE(has_ident(out, "tail"));
+  // Contents blanked, line 2 fully inside the literal.
+  EXPECT_EQ(out.code[1].find_first_not_of(' '), std::string::npos);
+  // One string token, at the literal's start.
+  size_t strings = 0;
+  for (const Token& t : out.tokens)
+    if (t.kind == Token::Kind::kString) ++strings;
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(LintLexer, DelimitedRawStringDoesNotCloseEarly) {
+  // The undelimited terminator )" appears inside; only )ab" closes it.
+  const LexOutput out = lex({
+      "auto s = R\"ab(x )\" y)ab\"; int z = 0;",
+  });
+  EXPECT_TRUE(has_ident(out, "z"));
+  EXPECT_FALSE(has_ident(out, "y"));
+  EXPECT_NE(out.code[0].find("int z = 0;"), std::string::npos);
+}
+
+TEST(LintLexer, StringContinuedByBackslashNewline) {
+  const LexOutput out = lex({
+      "const char* s = \"abc \\",
+      "def rand()\"; int after = 1;",
+  });
+  EXPECT_FALSE(has_ident(out, "rand"));
+  EXPECT_TRUE(has_ident(out, "after"));
+}
+
+TEST(LintLexer, EncodingPrefixesAndEscapes) {
+  const LexOutput out = lex({
+      "auto a = u8\"text rand()\";",
+      "auto b = L'\\'';  auto c = U\"more\";",
+  });
+  EXPECT_FALSE(has_ident(out, "rand"));
+  EXPECT_FALSE(has_ident(out, "text"));
+  EXPECT_TRUE(has_ident(out, "c"));
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral) {
+  const LexOutput out = lex({
+      "long n = 1'000'000; int tail = 2;",
+  });
+  bool found_number = false;
+  for (const Token& t : out.tokens) {
+    EXPECT_NE(t.kind, Token::Kind::kChar) << "separator misread as char";
+    if (t.kind == Token::Kind::kNumber && t.text == "1'000'000")
+      found_number = true;
+  }
+  EXPECT_TRUE(found_number);
+  EXPECT_TRUE(has_ident(out, "tail"));
+}
+
+TEST(LintLexer, NoDigraphInterpretation) {
+  // `<:` and `%>` are plain punctuator pairs to this lexer (the build does
+  // not enable digraphs); nothing should be folded into brackets.
+  const LexOutput out = lex({"a<:0:> = 1;"});
+  bool open_bracket = false;
+  for (const Token& t : out.tokens)
+    if (t.kind == Token::Kind::kPunct && (t.text == "[" || t.text == "]"))
+      open_bracket = true;
+  EXPECT_FALSE(open_bracket);
+  EXPECT_TRUE(has_ident(out, "a"));
+}
+
+TEST(LintLexer, TokenPositionsAreOneBasedLineZeroBasedCol) {
+  const LexOutput out = lex({"", "  foo();"});
+  ASSERT_FALSE(out.tokens.empty());
+  EXPECT_EQ(out.tokens[0].text, "foo");
+  EXPECT_EQ(out.tokens[0].line, 2u);
+  EXPECT_EQ(out.tokens[0].col, 2u);
+}
+
+TEST(LintLexer, MultiCharPunctuatorsStayWhole) {
+  const LexOutput out = lex({"a += b; c->d; e::f; g >>= 2;"});
+  std::vector<std::string> puncts;
+  for (const Token& t : out.tokens)
+    if (t.kind == Token::Kind::kPunct) puncts.push_back(t.text);
+  const auto has = [&](const char* p) {
+    for (const std::string& s : puncts)
+      if (s == p) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("+="));
+  EXPECT_TRUE(has("->"));
+  EXPECT_TRUE(has("::"));
+  EXPECT_TRUE(has(">>="));
+}
+
+// --- include graph ---------------------------------------------------------
+
+SourceFile make_file(std::string rel,
+                     std::vector<std::pair<size_t, std::string>> includes) {
+  SourceFile f;
+  f.rel = std::move(rel);
+  for (auto& [line, target] : includes)
+    f.includes.push_back(IncludeEdge{line, std::move(target), ""});
+  return f;
+}
+
+Project make_project(std::vector<SourceFile> files) {
+  Project p;
+  p.files = std::move(files);
+  std::sort(p.files.begin(), p.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  for (size_t i = 0; i < p.files.size(); ++i) p.index[p.files[i].rel] = i;
+  toss_lint::build_include_graph(p);
+  return p;
+}
+
+const IncludeEdge& only_edge(const Project& p, const std::string& rel) {
+  const SourceFile* f = p.find(rel);
+  EXPECT_NE(f, nullptr);
+  EXPECT_EQ(f->includes.size(), 1u);
+  return f->includes.front();
+}
+
+TEST(LintIncludeGraph, ResolvesAgainstSrcRoot) {
+  const Project p = make_project({
+      make_file("src/platform/host.cpp", {{1, "platform/host.hpp"}}),
+      make_file("src/platform/host.hpp", {}),
+  });
+  EXPECT_EQ(only_edge(p, "src/platform/host.cpp").resolved,
+            "src/platform/host.hpp");
+}
+
+TEST(LintIncludeGraph, ResolvesAgainstIncludingDirectoryFirst) {
+  const Project p = make_project({
+      make_file("bench/harness.cpp", {{1, "common.hpp"}}),
+      make_file("bench/common.hpp", {}),
+  });
+  EXPECT_EQ(only_edge(p, "bench/harness.cpp").resolved, "bench/common.hpp");
+}
+
+TEST(LintIncludeGraph, UnresolvableTargetsStayEmpty) {
+  const Project p = make_project({
+      make_file("src/core/a.cpp", {{1, "platform/not_in_project.hpp"}}),
+  });
+  EXPECT_EQ(only_edge(p, "src/core/a.cpp").resolved, "");
+}
+
+TEST(LintIncludeGraph, ClosureIsTransitive) {
+  const Project p = make_project({
+      make_file("src/core/a.cpp", {{1, "core/b.hpp"}}),
+      make_file("src/core/b.hpp", {{1, "util/c.hpp"}}),
+      make_file("src/util/c.hpp", {}),
+  });
+  const auto closure = p.closure("src/core/a.cpp");
+  EXPECT_EQ(closure.size(), 2u);
+  EXPECT_TRUE(closure.count("src/core/b.hpp"));
+  EXPECT_TRUE(closure.count("src/util/c.hpp"));
+  EXPECT_TRUE(p.closure("src/util/c.hpp").empty());
+}
+
+TEST(LintIncludeGraph, CycleReportedOnceAtBackEdge) {
+  const Project p = make_project({
+      make_file("src/core/a.hpp", {{3, "core/b.hpp"}}),
+      make_file("src/core/b.hpp", {{5, "core/a.hpp"}}),
+  });
+  std::vector<Finding> findings;
+  toss_lint::find_include_cycles(p, findings);
+  ASSERT_EQ(findings.size(), 1u);
+  // Sorted DFS starts at a.hpp, so b.hpp's include of a.hpp is the back
+  // edge that closes the cycle.
+  EXPECT_EQ(findings[0].file, "src/core/b.hpp");
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_NE(findings[0].message.find("src/core/a.hpp -> src/core/b.hpp -> "
+                                     "src/core/a.hpp"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LintIncludeGraph, DiamondIsNotACycle) {
+  const Project p = make_project({
+      make_file("src/core/top.cpp", {{1, "core/l.hpp"}, {2, "core/r.hpp"}}),
+      make_file("src/core/l.hpp", {{1, "core/base.hpp"}}),
+      make_file("src/core/r.hpp", {{1, "core/base.hpp"}}),
+      make_file("src/core/base.hpp", {}),
+  });
+  std::vector<Finding> findings;
+  toss_lint::find_include_cycles(p, findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintIncludeGraph, SelfIncludeIsACycle) {
+  const Project p = make_project({
+      make_file("src/core/selfie.hpp", {{2, "core/selfie.hpp"}}),
+  });
+  std::vector<Finding> findings;
+  toss_lint::find_include_cycles(p, findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/selfie.hpp");
+}
+
+}  // namespace

@@ -1,9 +1,13 @@
-// Unit tests for tools/toss_lint: each rule must fire on the bad fixture
-// mini-project with a `file:line rule` diagnostic and a nonzero exit, the
-// clean fixture project (sanctioned patterns + allow() trailers) must pass,
-// and the real tree must currently be lint-clean (the same invariant the
-// `toss_lint` ctest enforces, checked here so a fixture regression and a
-// tree regression are distinguishable).
+// End-to-end tests for the tools/lint/ analyzer binary: each rule — the
+// ported line rules and the layering / determinism / lock-rank passes —
+// must fire on the bad fixture mini-project with a `file:line rule`
+// diagnostic and a nonzero exit, the clean fixture project (sanctioned
+// patterns + allow() trailers) must pass, --format=json must report the
+// waiver usage CI budgets, and the real tree must currently be lint-clean
+// (the same invariant the `toss_lint` ctest enforces, checked here so a
+// fixture regression and a tree regression are distinguishable).
+// tests/lint_internals_test.cpp covers the tokenizer and include graph at
+// the library level.
 //
 // The binary path and source root arrive via compile definitions from
 // tests/CMakeLists.txt.
@@ -20,8 +24,10 @@ struct LintRun {
   std::string output;  // stdout + stderr
 };
 
-LintRun run_lint(const std::string& root) {
-  const std::string cmd = std::string(TOSS_LINT_BIN) + " " + root + " 2>&1";
+LintRun run_lint(const std::string& root, const std::string& flags = "") {
+  const std::string cmd = std::string(TOSS_LINT_BIN) +
+                          (flags.empty() ? "" : " " + flags) + " " + root +
+                          " 2>&1";
   LintRun run;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return run;
@@ -86,18 +92,72 @@ TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
       << run.output;
   // host-internal: core reaching around the engine/cluster facades. The
   // clean project includes the same header from src/platform/, where it is
-  // allowed (asserted via CleanProjectPasses).
+  // allowed (asserted via CleanProjectPasses). The same include now also
+  // breaks the layer map (core sits below platform).
   EXPECT_NE(
       run.output.find("src/core/bad_host_include.cpp:3 host-internal"),
       std::string::npos)
       << run.output;
-  // tier-alias: deprecated Tier::kFast/kSlow outside src/mem/. The clean
-  // project uses the same pattern under src/mem/, where the ladder lives
-  // (asserted via CleanProjectPasses).
+  EXPECT_NE(run.output.find("src/core/bad_host_include.cpp:3 layering"),
+            std::string::npos)
+      << run.output;
+  // tier-alias: Tier::kFast/kSlow are gone project-wide — the clean
+  // project's src/mem/ use survives only behind an allow() trailer.
   EXPECT_NE(run.output.find("src/core/bad_tier_alias.cpp:4 tier-alias"),
             std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("src/core/bad_tier_alias.cpp:7 tier-alias"),
+            std::string::npos)
+      << run.output;
+  // layering: an upward include (mem -> platform) and a peer-layer include
+  // (vmm -> damon), both checked on the include target as written.
+  EXPECT_NE(run.output.find("src/mem/bad_layering.cpp:4 layering"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/vmm/bad_peer_include.cpp:3 layering"),
+            std::string::npos)
+      << run.output;
+  // include-cycle: reported once, on the back edge that closes it.
+  EXPECT_NE(run.output.find("src/core/cycle_b.hpp:3 include-cycle"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/cycle_a.hpp -> src/core/cycle_b.hpp "
+                            "-> src/core/cycle_a.hpp"),
+            std::string::npos)
+      << run.output;
+  // det-unordered-iter: both iteration shapes in a ledger-feeding TU.
+  EXPECT_NE(run.output.find(
+                "src/platform/bad_unordered_iter.cpp:17 det-unordered-iter"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find(
+                "src/platform/bad_unordered_iter.cpp:20 det-unordered-iter"),
+            std::string::npos)
+      << run.output;
+  // det-wallclock: clocks the legacy nondeterminism rule never covered.
+  EXPECT_NE(run.output.find("src/core/bad_wallclock.cpp:7 det-wallclock"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_wallclock.cpp:8 det-wallclock"),
+            std::string::npos)
+      << run.output;
+  // det-ptr-key: pointer-ordered map and set.
+  EXPECT_NE(run.output.find("src/core/bad_ptr_key.cpp:8 det-ptr-key"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_ptr_key.cpp:9 det-ptr-key"),
+            std::string::npos)
+      << run.output;
+  // det-fp-accum: shared += and atomic<double>::fetch_add inside the
+  // parallel_for call.
+  EXPECT_NE(run.output.find("src/core/bad_fp_accum.cpp:18 det-fp-accum"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_fp_accum.cpp:19 det-fp-accum"),
+            std::string::npos)
+      << run.output;
+  // lock-rank: nested guards acquired against declared rank order.
+  EXPECT_NE(run.output.find("src/platform/bad_lockrank.cpp:23 lock-rank"),
             std::string::npos)
       << run.output;
 }
@@ -129,6 +189,34 @@ TEST(TossLint, SuppressionIsPerRule) {
 TEST(TossLint, RealTreeIsClean) {
   const LintRun run = run_lint(TOSS_SOURCE_DIR);
   EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(TossLint, JsonFormatListsFindingsAndWaivers) {
+  // Clean project: no findings, but the waived list carries every allow()
+  // trailer that actually suppressed something (CI diffs the count against
+  // tools/lint/waiver_budget.txt).
+  const LintRun clean = run_lint(fixture("proj_clean"), "--format=json");
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("\"findings\": []"), std::string::npos)
+      << clean.output;
+  EXPECT_NE(clean.output.find("\"waivers_used\""), std::string::npos)
+      << clean.output;
+  EXPECT_NE(clean.output.find("\"rule\": \"tier-alias\""), std::string::npos)
+      << clean.output;
+  EXPECT_NE(clean.output.find("\"rule\": \"lock-rank\""), std::string::npos)
+      << clean.output;
+
+  // Bad project: findings appear with file/line/rule/message and the exit
+  // code still signals failure.
+  const LintRun bad = run_lint(fixture("proj_bad"), "--format=json");
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(
+      bad.output.find("{\"file\": \"src/platform/bad_lockrank.cpp\", "
+                      "\"line\": 23, \"rule\": \"lock-rank\""),
+      std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("\"rule\": \"include-cycle\""), std::string::npos)
+      << bad.output;
 }
 
 TEST(TossLint, UsageErrorsExitTwo) {

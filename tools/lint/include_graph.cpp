@@ -1,0 +1,128 @@
+// Project include-graph construction, transitive closure, and cycle
+// detection. Only quoted includes that resolve to scanned project files
+// become edges; system headers and unresolvable targets are ignored (the
+// layering pass still checks unresolved targets by path prefix, so fixture
+// mini-projects don't need every header to exist).
+#include <algorithm>
+
+#include "lint.hpp"
+
+namespace toss_lint {
+
+namespace {
+
+/// Lexically normalize "a/b/../c" -> "a/c" (generic '/' paths only).
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (part == "..") {
+        if (!parts.empty()) parts.pop_back();
+      } else if (!part.empty() && part != ".") {
+        parts.push_back(part);
+      }
+      part.clear();
+    } else {
+      part.push_back(path[i]);
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& rel) {
+  const size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? "" : rel.substr(0, slash);
+}
+
+}  // namespace
+
+void build_include_graph(Project& project) {
+  for (SourceFile& f : project.files) {
+    const std::string dir = dirname_of(f.rel);
+    for (IncludeEdge& edge : f.includes) {
+      // Same resolution order the build uses: the including file's own
+      // directory (bench/common.hpp, tools/lint internals), then the src/
+      // include root (every "platform/..."-style project header), then the
+      // project root.
+      const std::string candidates[] = {
+          dir.empty() ? edge.target : normalize(dir + "/" + edge.target),
+          "src/" + edge.target, edge.target};
+      for (const std::string& candidate : candidates) {
+        if (project.index.count(candidate) != 0) {
+          edge.resolved = candidate;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::set<std::string> Project::closure(const std::string& rel) const {
+  std::set<std::string> seen;
+  std::vector<const SourceFile*> stack;
+  if (const SourceFile* start = find(rel)) stack.push_back(start);
+  while (!stack.empty()) {
+    const SourceFile* f = stack.back();
+    stack.pop_back();
+    for (const IncludeEdge& edge : f->includes) {
+      if (edge.resolved.empty() || !seen.insert(edge.resolved).second)
+        continue;
+      if (const SourceFile* next = find(edge.resolved))
+        stack.push_back(next);
+    }
+  }
+  return seen;
+}
+
+namespace {
+
+enum class Color { kWhite, kGray, kBlack };
+
+struct CycleDfs {
+  const Project& project;
+  std::map<std::string, Color> color;
+  std::vector<std::string> path;  // gray stack, for the report message
+  std::vector<Finding>& findings;
+
+  void visit(const SourceFile& f) {
+    color[f.rel] = Color::kGray;
+    path.push_back(f.rel);
+    for (const IncludeEdge& edge : f.includes) {
+      if (edge.resolved.empty()) continue;
+      const Color c = color[edge.resolved];
+      if (c == Color::kGray) {
+        // Back edge: the cycle is the gray path from the target onward.
+        std::string msg = "include cycle: ";
+        const auto begin =
+            std::find(path.begin(), path.end(), edge.resolved);
+        for (auto it = begin; it != path.end(); ++it) msg += *it + " -> ";
+        msg += edge.resolved;
+        findings.push_back({f.rel, edge.line, "include-cycle", msg});
+        continue;
+      }
+      if (c == Color::kWhite) {
+        if (const SourceFile* next = project.find(edge.resolved))
+          visit(*next);
+      }
+    }
+    path.pop_back();
+    color[f.rel] = Color::kBlack;
+  }
+};
+
+}  // namespace
+
+void find_include_cycles(const Project& project,
+                         std::vector<Finding>& findings) {
+  CycleDfs dfs{project, {}, {}, findings};
+  for (const SourceFile& f : project.files)
+    if (dfs.color[f.rel] == Color::kWhite) dfs.visit(f);
+}
+
+}  // namespace toss_lint

@@ -1,0 +1,136 @@
+// Declarative layering over the include graph, plus the two API-surface
+// rules the layer map absorbed from the one-pass linter:
+//
+//   layering        src/ is a ladder of layers; a file may include only
+//                   its own directory and strictly lower layers. Peer
+//                   directories that share a layer must not include each
+//                   other. The declared map (low to high):
+//
+//                       util < mem < trace < vmm|damon|workloads
+//                            < baseline < core < platform
+//
+//                   and the umbrella src/toss.hpp sits above everything.
+//                   DESIGN.md §12 records why baseline and the
+//                   vmm/damon/workloads trio sit below core: the engine
+//                   composes policies and baselines, so they are its
+//                   dependencies, not its clients.
+//   include-cycle   no cycles in the resolved include graph (checked on
+//                   resolved edges; see tools/lint/include_graph.cpp).
+//   host-internal   "platform/host.hpp" may be included only from files
+//                   under src/platform/ — the Host object is the
+//                   engine/cluster implementation seam, not public
+//                   surface.
+//   tier-alias      Tier::kFast / Tier::kSlow no longer exist (the
+//                   enumerators were removed once every caller moved to
+//                   tier_index(rank)); any spelling of them is a stale
+//                   two-tier assumption. Checked project-wide — the old
+//                   src/mem/ carve-out died with the enumerators.
+//
+// The layer check runs on the include *target as written*, mapped to a
+// layer by path prefix, so fixture mini-projects exercise it without
+// having to materialize every header they mention. Cycle detection, which
+// needs real edges, runs on resolved paths.
+#include "lint.hpp"
+
+namespace toss_lint {
+
+namespace {
+
+struct LayerInfo {
+  int rank = -1;     ///< higher may include lower; -1 = not in the map
+  std::string dir;   ///< "util", "platform", ... ("" for the umbrella)
+};
+
+constexpr int kUmbrellaRank = 100;
+
+/// Layer of a project-relative path under src/. Anything outside src/ (or
+/// in an undeclared directory) gets rank -1 and is exempt.
+LayerInfo layer_of(const std::string& path) {
+  if (path == "src/toss.hpp") return {kUmbrellaRank, ""};
+  static const std::pair<const char*, int> kMap[] = {
+      {"util", 0},      {"mem", 1},  {"trace", 2},
+      {"vmm", 3},       {"damon", 3}, {"workloads", 3},
+      {"baseline", 4},  {"core", 5}, {"platform", 6},
+  };
+  if (path.rfind("src/", 0) != 0) return {};
+  const size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  const std::string dir = path.substr(4, slash - 4);
+  for (const auto& [name, rank] : kMap)
+    if (dir == name) return {rank, dir};
+  return {};
+}
+
+/// Path the layer map is keyed on for an include edge: the resolved
+/// project file when there is one, otherwise the target as written mapped
+/// into the src/ include root (how the build would look it up).
+std::string target_path(const SourceFile& f, const IncludeEdge& edge) {
+  if (!edge.resolved.empty()) return edge.resolved;
+  if (edge.target.find('/') != std::string::npos)
+    return "src/" + edge.target;
+  // Bare filename: same-directory include.
+  const size_t slash = f.rel.rfind('/');
+  return slash == std::string::npos ? edge.target
+                                    : f.rel.substr(0, slash + 1) + edge.target;
+}
+
+}  // namespace
+
+void run_layering(const Project& project, std::vector<Finding>& findings) {
+  for (const SourceFile& f : project.files) {
+    const LayerInfo own = layer_of(f.rel);
+    const bool in_platform = f.under("src/platform/");
+
+    for (const IncludeEdge& edge : f.includes) {
+      const std::string target = target_path(f, edge);
+
+      if (!in_platform &&
+          (edge.target == "platform/host.hpp" || edge.target == "host.hpp" ||
+           edge.target.ends_with("/host.hpp")))
+        findings.push_back(
+            {f.rel, edge.line, "host-internal",
+             "\"platform/host.hpp\" is the engine/cluster implementation "
+             "seam; include \"platform/engine.hpp\" or "
+             "\"platform/cluster.hpp\" instead"});
+
+      if (own.rank < 0 || own.rank == kUmbrellaRank) continue;
+      const LayerInfo tgt = layer_of(target);
+      if (tgt.rank < 0) continue;
+
+      if (tgt.rank > own.rank) {
+        findings.push_back(
+            {f.rel, edge.line, "layering",
+             "src/" + own.dir + " (layer " + std::to_string(own.rank) +
+                 ") must not include \"" + edge.target + "\" from " +
+                 (tgt.rank == kUmbrellaRank ? std::string("the umbrella")
+                                            : "src/" + tgt.dir) +
+                 " (layer " + std::to_string(tgt.rank) +
+                 "); dependencies point downward: util < mem < trace < "
+                 "vmm|damon|workloads < baseline < core < platform"});
+      } else if (tgt.rank == own.rank && tgt.dir != own.dir) {
+        findings.push_back(
+            {f.rel, edge.line, "layering",
+             "src/" + own.dir + " and src/" + tgt.dir +
+                 " are peer directories in the same layer and must not "
+                 "include each other; hoist the shared piece into a lower "
+                 "layer"});
+      }
+    }
+
+    // tier-alias is a token check, not a graph check, but it lives here
+    // because the layer map owns the "no two-tier shortcuts" contract.
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& code = f.code[i];
+      if (contains_qualified(code, "Tier::", "kFast") ||
+          contains_qualified(code, "Tier::", "kSlow"))
+        findings.push_back(
+            {f.rel, i + 1, "tier-alias",
+             "Tier::kFast/kSlow were removed; use tier_index(rank) and walk "
+             "the SystemConfig ladder"});
+    }
+  }
+
+  find_include_cycles(project, findings);
+}
+
+}  // namespace toss_lint

@@ -1,0 +1,228 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace toss_lint {
+
+namespace {
+
+bool word_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// String-literal prefixes that make the following quote a raw string.
+bool raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "u8R" || ident == "UR" ||
+         ident == "LR";
+}
+
+/// Encoding prefixes for ordinary string/char literals (u"x", L'c', ...).
+bool literal_prefix(const std::string& ident) {
+  return ident == "u" || ident == "u8" || ident == "U" || ident == "L";
+}
+
+/// Multi-character punctuators we keep whole so token-stream passes can
+/// match `::`, `->`, `+=` etc. without reassembling characters. Longest
+/// match first within each arity.
+const char* const kPunct3[] = {"<<=", ">>=", "->*", "..."};
+const char* const kPunct2[] = {"::", "->", "+=", "-=", "*=", "/=", "%=",
+                               "&=", "|=", "^=", "==", "!=", "<=", ">=",
+                               "&&", "||", "<<", ">>", "++", "--"};
+
+/// Carry-over lexing state between physical lines.
+enum class Mode {
+  kNormal,
+  kBlockComment,  ///< inside /* ... */
+  kLineComment,   ///< a // comment continued by a trailing backslash
+  kRawString,     ///< inside R"delim( ... )delim"
+  kString,        ///< "..." continued by a trailing backslash
+  kChar,          ///< '...' continued by a trailing backslash
+};
+
+}  // namespace
+
+LexOutput lex(const std::vector<std::string>& raw) {
+  LexOutput out;
+  out.code.reserve(raw.size());
+  Mode mode = Mode::kNormal;
+  std::string raw_terminator;  // ")delim\"" while in a raw string
+
+  for (size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    std::string code(line.size(), ' ');
+    size_t i = 0;
+    const bool continued = !line.empty() && line.back() == '\\';
+
+    if (mode == Mode::kLineComment) {
+      if (!continued) mode = Mode::kNormal;
+      out.code.push_back(std::move(code));
+      continue;
+    }
+    if (mode == Mode::kBlockComment) {
+      const size_t end = line.find("*/");
+      if (end == std::string::npos) {
+        out.code.push_back(std::move(code));
+        continue;
+      }
+      i = end + 2;
+      mode = Mode::kNormal;
+    }
+    if (mode == Mode::kRawString) {
+      const size_t end = line.find(raw_terminator);
+      if (end == std::string::npos) {
+        out.code.push_back(std::move(code));
+        continue;
+      }
+      i = end + raw_terminator.size();
+      code[i - 1] = '"';
+      mode = Mode::kNormal;
+    }
+    if (mode == Mode::kString || mode == Mode::kChar) {
+      const char quote = mode == Mode::kString ? '"' : '\'';
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          code[i] = quote;
+          ++i;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) {
+        if (!continued) mode = Mode::kNormal;  // unterminated: recover
+        out.code.push_back(std::move(code));
+        continue;
+      }
+      mode = Mode::kNormal;
+    }
+
+    // Normal scanning from column i.
+    while (i < line.size()) {
+      const char c = line[i];
+
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        if (continued) mode = Mode::kLineComment;
+        break;  // rest of the line is comment
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        const size_t end = line.find("*/", i + 2);
+        if (end == std::string::npos) {
+          mode = Mode::kBlockComment;
+          break;
+        }
+        i = end + 2;
+        continue;
+      }
+
+      if (word_start(c)) {
+        const size_t b = i;
+        while (i < line.size() && word_char(line[i])) ++i;
+        const std::string ident = line.substr(b, i - b);
+        if (i < line.size() && line[i] == '"' && raw_string_prefix(ident)) {
+          // Raw string literal: find the )delim" terminator, possibly on a
+          // later line. The delimiter is everything between the quote and
+          // the first '('.
+          const size_t paren = line.find('(', i + 1);
+          out.tokens.push_back({Token::Kind::kString, "", li + 1, b});
+          code[i] = '"';
+          if (paren == std::string::npos) {  // malformed; treat as plain
+            i = line.size();
+            break;
+          }
+          raw_terminator = ")" + line.substr(i + 1, paren - i - 1) + "\"";
+          const size_t end = line.find(raw_terminator, paren + 1);
+          if (end == std::string::npos) {
+            mode = Mode::kRawString;
+            i = line.size();
+            break;
+          }
+          i = end + raw_terminator.size();
+          code[i - 1] = '"';
+          continue;
+        }
+        if (i < line.size() && (line[i] == '"' || line[i] == '\'') &&
+            literal_prefix(ident)) {
+          // Encoding prefix: let the quote handler below consume the
+          // literal; the prefix itself is not a token.
+          continue;
+        }
+        for (size_t k = b; k < i; ++k) code[k] = line[k];
+        out.tokens.push_back({Token::Kind::kIdent, ident, li + 1, b});
+        continue;
+      }
+
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        const size_t b = i;
+        while (i < line.size() &&
+               (word_char(line[i]) || line[i] == '.' ||
+                (line[i] == '\'' && i + 1 < line.size() &&
+                 word_char(line[i + 1]))))
+          ++i;
+        for (size_t k = b; k < i; ++k) code[k] = line[k];
+        out.tokens.push_back(
+            {Token::Kind::kNumber, line.substr(b, i - b), li + 1, b});
+        continue;
+      }
+
+      if (c == '"' || c == '\'') {
+        code[i] = c;
+        out.tokens.push_back({c == '"' ? Token::Kind::kString
+                                       : Token::Kind::kChar,
+                              "", li + 1, i});
+        ++i;
+        bool closed = false;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) break;  // backslash-newline: continue
+            i += 2;
+            continue;
+          }
+          if (line[i] == c) {
+            code[i] = c;
+            ++i;
+            closed = true;
+            break;
+          }
+          ++i;
+        }
+        if (!closed) {
+          if (continued) mode = c == '"' ? Mode::kString : Mode::kChar;
+          i = line.size();
+        }
+        continue;
+      }
+
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+
+      // Punctuator: longest match among the multi-char set, else one char.
+      size_t len = 1;
+      for (const char* p : kPunct3)
+        if (line.compare(i, 3, p) == 0) len = 3;
+      if (len == 1)
+        for (const char* p : kPunct2)
+          if (line.compare(i, 2, p) == 0) len = 2;
+      for (size_t k = i; k < i + len && k < line.size(); ++k)
+        code[k] = line[k];
+      out.tokens.push_back(
+          {Token::Kind::kPunct, line.substr(i, len), li + 1, i});
+      i += len;
+    }
+
+    out.code.push_back(std::move(code));
+  }
+  return out;
+}
+
+}  // namespace toss_lint

@@ -1,0 +1,192 @@
+// Static lock-rank verifier (rule: lock-rank). The runtime detector in
+// platform/concurrency.cpp aborts checked builds when a thread acquires
+// RankedMutexes out of rank order — but only on the interleavings a given
+// run happens to execute. This pass proves the lexically nested cases at
+// lint time:
+//
+//   1. The LockRank enum is parsed project-wide (name -> numeric value,
+//      auto-incrementing like the compiler when no initializer is given).
+//   2. Every `RankedMutex name{LockRank::kX, ...}` declaration binds the
+//      symbol to its rank. A guard's mutex symbol resolves against the
+//      guard's own file first, then the companion header with the same
+//      stem (host.cpp -> host.hpp); symbols found in neither are skipped,
+//      which also sidesteps same-name mutexes in unrelated classes.
+//   3. Walking each file's token stream with a brace-depth counter and a
+//      stack of live guards, every `lock_guard/unique_lock/scoped_lock
+//      <RankedMutex> g(sym)` must acquire a strictly higher rank than the
+//      innermost live guard.
+//
+// Cross-function nesting (f() locks A then calls g() which locks B) is
+// invisible lexically and stays the runtime detector's job; DESIGN.md §12
+// spells out the split.
+#include "lint.hpp"
+
+namespace toss_lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+/// LockRank enumerator values, parsed from every `enum ... LockRank {...}`
+/// in the project (there is one, in platform/concurrency.hpp, but fixture
+/// mini-projects declare their own).
+std::map<std::string, long> collect_lock_ranks(const Project& project) {
+  std::map<std::string, long> ranks;
+  for (const SourceFile& f : project.files) {
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i], "LockRank")) continue;
+      const bool preceded_by_enum =
+          (i >= 1 && is_ident(t[i - 1], "enum")) ||
+          (i >= 2 && is_ident(t[i - 1], "class") && is_ident(t[i - 2], "enum"));
+      if (!preceded_by_enum) continue;
+      size_t j = i + 1;
+      while (j < t.size() && !is_punct(t[j], "{")) {
+        if (is_punct(t[j], ";")) break;  // a forward mention, not the defn
+        ++j;
+      }
+      if (j >= t.size() || !is_punct(t[j], "{")) continue;
+      long next_value = 0;
+      for (++j; j < t.size() && !is_punct(t[j], "}"); ++j) {
+        if (t[j].kind != Token::Kind::kIdent) continue;
+        const std::string name = t[j].text;
+        long value = next_value;
+        if (j + 2 < t.size() && is_punct(t[j + 1], "=") &&
+            t[j + 2].kind == Token::Kind::kNumber) {
+          value = std::stol(t[j + 2].text);
+          j += 2;
+        }
+        ranks[name] = value;
+        next_value = value + 1;
+        while (j < t.size() && !is_punct(t[j], ",") && !is_punct(t[j], "}"))
+          ++j;
+        if (j < t.size() && is_punct(t[j], "}")) break;
+      }
+    }
+  }
+  return ranks;
+}
+
+/// `RankedMutex sym{LockRank::kX, ...}` (or parens) declarations in `f`:
+/// symbol -> enumerator name.
+std::map<std::string, std::string> collect_mutex_decls(const SourceFile& f) {
+  std::map<std::string, std::string> decls;
+  const std::vector<Token>& t = f.tokens;
+  for (size_t i = 0; i + 5 < t.size(); ++i) {
+    if (!is_ident(t[i], "RankedMutex")) continue;
+    if (t[i + 1].kind != Token::Kind::kIdent) continue;
+    const std::string sym = t[i + 1].text;
+    if (!is_punct(t[i + 2], "{") && !is_punct(t[i + 2], "(")) continue;
+    if (is_ident(t[i + 3], "LockRank") && is_punct(t[i + 4], "::") &&
+        t[i + 5].kind == Token::Kind::kIdent)
+      decls[sym] = t[i + 5].text;
+  }
+  return decls;
+}
+
+/// The guard templates the pass understands. Returns the guarded mutex
+/// symbol when tokens at `i` spell `guard<RankedMutex> name(sym...` or the
+/// brace-init equivalent; "" otherwise.
+std::string guard_target(const std::vector<Token>& t, size_t i) {
+  if (t[i].kind != Token::Kind::kIdent ||
+      (t[i].text != "lock_guard" && t[i].text != "unique_lock" &&
+       t[i].text != "scoped_lock"))
+    return "";
+  if (i + 4 >= t.size() || !is_punct(t[i + 1], "<") ||
+      !is_ident(t[i + 2], "RankedMutex") || !is_punct(t[i + 3], ">"))
+    return "";
+  size_t j = i + 4;
+  if (t[j].kind != Token::Kind::kIdent) return "";  // guard variable name
+  ++j;
+  if (j + 1 >= t.size() || (!is_punct(t[j], "(") && !is_punct(t[j], "{")))
+    return "";
+  return t[j + 1].kind == Token::Kind::kIdent ? t[j + 1].text : "";
+}
+
+std::string companion_header(const std::string& rel) {
+  if (!rel.ends_with(".cpp")) return "";
+  return rel.substr(0, rel.size() - 4) + ".hpp";
+}
+
+}  // namespace
+
+void run_lock_rank(const Project& project, std::vector<Finding>& findings) {
+  const std::map<std::string, long> ranks = collect_lock_ranks(project);
+  if (ranks.empty()) return;
+
+  std::map<std::string, std::map<std::string, std::string>> decls;
+  for (const SourceFile& f : project.files)
+    decls[f.rel] = collect_mutex_decls(f);
+
+  for (const SourceFile& f : project.files) {
+    // Rank lookup for a mutex symbol used in this file.
+    const std::map<std::string, std::string>& own = decls[f.rel];
+    const std::map<std::string, std::string>* companion = nullptr;
+    const std::string header = companion_header(f.rel);
+    if (!header.empty()) {
+      const auto it = decls.find(header);
+      if (it != decls.end()) companion = &it->second;
+    }
+    const auto rank_of = [&](const std::string& sym) -> const long* {
+      const auto o = own.find(sym);
+      const std::string* enumerator =
+          o != own.end() ? &o->second : nullptr;
+      if (!enumerator && companion) {
+        const auto c = companion->find(sym);
+        if (c != companion->end()) enumerator = &c->second;
+      }
+      if (!enumerator) return nullptr;
+      const auto r = ranks.find(*enumerator);
+      return r == ranks.end() ? nullptr : &r->second;
+    };
+
+    struct LiveGuard {
+      long rank;
+      int depth;
+      std::string sym;
+    };
+    std::vector<LiveGuard> live;
+    int depth = 0;
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      // Preprocessor alternatives restart the scope's contents: guards
+      // declared in the #if branch are not held in the #else branch, so
+      // drop the ones from the current scope (outer scopes still apply).
+      if (is_punct(t[i], "#") && i + 1 < t.size() &&
+          (is_ident(t[i + 1], "else") || is_ident(t[i + 1], "elif"))) {
+        while (!live.empty() && live.back().depth >= depth) live.pop_back();
+        continue;
+      }
+      if (is_punct(t[i], "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(t[i], "}")) {
+        --depth;
+        while (!live.empty() && live.back().depth > depth) live.pop_back();
+        continue;
+      }
+      const std::string sym = guard_target(t, i);
+      if (sym.empty()) continue;
+      const long* rank = rank_of(sym);
+      if (!rank) continue;
+      if (!live.empty() && *rank <= live.back().rank)
+        findings.push_back(
+            {f.rel, t[i].line, "lock-rank",
+             "acquires '" + sym + "' (rank " + std::to_string(*rank) +
+                 ") while holding '" + live.back().sym + "' (rank " +
+                 std::to_string(live.back().rank) +
+                 "); ranks must strictly increase inward — the checked "
+                 "build would abort here"});
+      live.push_back({*rank, depth, sym});
+    }
+  }
+}
+
+}  // namespace toss_lint
