@@ -105,26 +105,6 @@ std::unique_ptr<ClusterEngine> make_cluster(const SystemConfig& cfg,
   return cluster;
 }
 
-bool same_ledgers(const ClusterReport& a, const ClusterReport& b) {
-  if (a.migrations != b.migrations || a.epochs != b.epochs) return false;
-  if (a.hosts.size() != b.hosts.size()) return false;
-  for (size_t h = 0; h < a.hosts.size(); ++h) {
-    const EngineReport& x = a.hosts[h].report;
-    const EngineReport& y = b.hosts[h].report;
-    if (x.arbiter.events != y.arbiter.events) return false;
-    if (x.functions.size() != y.functions.size()) return false;
-    for (size_t i = 0; i < x.functions.size(); ++i) {
-      if (x.functions[i].name != y.functions[i].name ||
-          x.functions[i].stats.invocations != y.functions[i].stats.invocations ||
-          x.functions[i].stats.total_charge != y.functions[i].stats.total_charge ||
-          !(x.functions[i].overload == y.functions[i].overload) ||
-          x.functions[i].shed_events != y.functions[i].shed_events)
-        return false;
-    }
-  }
-  return true;
-}
-
 struct SeedRow {
   u64 seed = 0;
   u64 invocations = 0, shed = 0, migrations = 0, epochs = 0;
@@ -188,45 +168,46 @@ int main(int argc, char** argv) {
   constexpr u64 kExpected = kLanes * kRequestsPerLane + kHogRequests;
   std::vector<SeedRow> rows;
   std::vector<MigrationEvent> sample_migrations;
-  bool placement_ok = true, ledgers_ok = true, goodput_ok = true,
-       migrated = false;
+  bool placement_ok = true, goodput_ok = true, migrated = false;
 
-  for (const u64 seed : kSeeds) {
-    auto parallel = make_cluster(cfg, budget, seed);
-    for (size_t h = 0; h < kHosts; ++h)
-      placement_ok = placement_ok &&
-                     parallel->predicted_load()[h] <=
-                         parallel->host_fast_budget_bytes(h);
-    const ClusterReport p = parallel->run(4).value();
+  const std::vector<u64> seeds(std::begin(kSeeds), std::end(kSeeds));
+  const bool ledgers_ok = bench::ledger_equality_sweep(
+      seeds, /*threads=*/4,
+      [&](u64 seed, int threads) {
+        auto cluster = make_cluster(cfg, budget, seed);
+        for (size_t h = 0; h < kHosts; ++h)
+          placement_ok = placement_ok &&
+                         cluster->predicted_load()[h] <=
+                             cluster->host_fast_budget_bytes(h);
+        return cluster->run(threads).value();
+      },
+      bench::cluster_ledgers_equal,
+      [&](u64 seed, const ClusterReport& p, bool match) {
+        SeedRow row;
+        row.seed = seed;
+        row.invocations = p.total_invocations();
+        row.shed = p.total_shed();
+        row.migrations = p.migrations.size();
+        row.epochs = p.epochs;
+        row.ledgers_match = match;
+        row.wall_ms = p.wall_ns / 1e6;
+        rows.push_back(row);
 
-    auto serial = make_cluster(cfg, budget, seed);
-    const ClusterReport s = serial->run(1).value();
+        goodput_ok =
+            goodput_ok && row.shed == 0 && row.invocations == kExpected;
+        if (!p.migrations.empty()) migrated = true;
+        if (sample_migrations.empty()) sample_migrations = p.migrations;
 
-    SeedRow row;
-    row.seed = seed;
-    row.invocations = p.total_invocations();
-    row.shed = p.total_shed();
-    row.migrations = p.migrations.size();
-    row.epochs = p.epochs;
-    row.ledgers_match = same_ledgers(s, p);
-    row.wall_ms = p.wall_ns / 1e6;
-    rows.push_back(row);
-
-    ledgers_ok = ledgers_ok && row.ledgers_match;
-    goodput_ok = goodput_ok && row.shed == 0 && row.invocations == kExpected;
-    if (!p.migrations.empty()) migrated = true;
-    if (sample_migrations.empty()) sample_migrations = p.migrations;
-
-    std::printf(
-        "seed %llu: %llu invocations, %llu shed, %llu migrations over %llu "
-        "epochs, ledgers %s\n",
-        static_cast<unsigned long long>(seed),
-        static_cast<unsigned long long>(row.invocations),
-        static_cast<unsigned long long>(row.shed),
-        static_cast<unsigned long long>(row.migrations),
-        static_cast<unsigned long long>(row.epochs),
-        row.ledgers_match ? "match" : "DIVERGED");
-  }
+        std::printf(
+            "seed %llu: %llu invocations, %llu shed, %llu migrations over "
+            "%llu epochs, ledgers %s\n",
+            static_cast<unsigned long long>(seed),
+            static_cast<unsigned long long>(row.invocations),
+            static_cast<unsigned long long>(row.shed),
+            static_cast<unsigned long long>(row.migrations),
+            static_cast<unsigned long long>(row.epochs),
+            row.ledgers_match ? "match" : "DIVERGED");
+      });
 
   write_json(bench::artifact_path(argc, argv, "cluster_scale.json"), budget,
              rows, sample_migrations);

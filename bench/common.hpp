@@ -91,4 +91,34 @@ std::string artifact_dir(int argc, char** argv);
 std::string artifact_path(int argc, char** argv,
                           const std::string& filename);
 
+/// Deep equality over everything in a ClusterReport that falls under the
+/// determinism contract: migration/failover/health ledgers, hosts_lost,
+/// epoch count, per-host arbiter events and per-function invocation
+/// counts, charges, overload stats and shed ledgers. Shared by the
+/// cluster soaks (cluster_scale, cluster_chaos) so a new ledger added to
+/// the report is compared everywhere or nowhere — never silently skipped
+/// by one bench.
+bool cluster_ledgers_equal(const ClusterReport& a, const ClusterReport& b);
+
+/// The N-seed x {1, threads} determinism soak shared by the benches that
+/// gate on ledger bit-equality. For each seed, `run(seed, threads)` and
+/// `run(seed, 1)` produce two reports, `same(serial, parallel)` decides
+/// equality, and `observe(seed, parallel, match)` lets the caller log and
+/// collect rows from the parallel run. Returns true iff every seed
+/// matched. Single-configuration checks (overload_shed's heaviest-load
+/// gate) pass one dummy seed; the shape is the contract, not the count.
+template <typename RunFn, typename SameFn, typename ObserveFn>
+bool ledger_equality_sweep(const std::vector<u64>& seeds, int threads,
+                           RunFn&& run, SameFn&& same, ObserveFn&& observe) {
+  bool all_match = true;
+  for (const u64 seed : seeds) {
+    auto parallel = run(seed, threads);
+    auto serial = run(seed, 1);
+    const bool match = same(serial, parallel);
+    observe(seed, parallel, match);
+    all_match = all_match && match;
+  }
+  return all_match;
+}
+
 }  // namespace toss::bench

@@ -203,11 +203,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   // Gate 2: the shed ledger at the heaviest load is bit-identical between
-  // a serial and a 4-thread drain (the determinism contract, soaked).
+  // a serial and a 4-thread drain (the determinism contract, soaked). One
+  // dummy seed: the sweep shape is shared with the cluster soaks.
   const double heaviest = kMultipliers[std::size(kMultipliers) - 1];
-  const LoadRun serial = run_load(cfg, heaviest, mean_service, 1);
-  const LoadRun parallel = run_load(cfg, heaviest, mean_service, 4);
-  if (serial.ledgers != parallel.ledgers) {
+  const bool ledgers_ok = toss::bench::ledger_equality_sweep(
+      {0}, /*threads=*/4,
+      [&](u64, int threads) {
+        return run_load(cfg, heaviest, mean_service, threads);
+      },
+      [](const LoadRun& s, const LoadRun& p) { return s.ledgers == p.ledgers; },
+      [](u64, const LoadRun&, bool) {});
+  if (!ledgers_ok) {
     std::printf("FAIL: shed ledgers diverged between 1 and 4 threads\n");
     return 1;
   }

@@ -85,10 +85,14 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
   };
   recompute();
 
+  // A quarantined host's budget is withdrawn: the ladder walks against
+  // zero, so everything demotes/flushes and admission stays closed below.
+  const u64 budget = budget_withdrawn_ ? 0 : budget_;
+
   // Ladder down. `stuck` marks lanes whose re-tier failed this tick (e.g.
   // persistence faults) so the loop moves on instead of spinning.
   std::vector<bool> stuck(lanes.size(), false);
-  while (resident_ > budget_) {
+  while (resident_ > budget) {
     // Rung A: shed warmth first — it only costs a future cold start.
     if (std::optional<std::string> victim = warm_.evict_lowest()) {
       ++keepalive_evictions_;
@@ -126,7 +130,9 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
   }
 
   // Rung C: when even a fully demoted fleet cannot fit, stop admitting.
-  if (resident_ > budget_) {
+  // A withdrawn budget closes admission unconditionally, even on an empty
+  // fleet — the host is quarantined, not merely full.
+  if (resident_ > budget || budget_withdrawn_) {
     if (!admission_closed_) {
       admission_closed_ = true;
       ++admission_closures_;
@@ -160,7 +166,7 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
     const int target = rung_[lane] - 1;
     const u64 predicted =
         resident_ - fast[k] + bytes_at_rung_[lane][static_cast<size_t>(target)];
-    if (predicted > budget_) break;  // would re-demote next tick; hold
+    if (predicted > budget) break;  // would re-demote next tick; hold
     const RetierBound bound = bound_for_rung(target, bytes_at_rung_[lane][0]);
     const std::optional<u64> applied = apply(lane, target, bound);
     if (!applied) break;  // re-tier failed; retry next tick

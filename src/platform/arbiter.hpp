@@ -138,6 +138,14 @@ class FastTierArbiter {
   void tick(u64 epoch, const std::vector<LaneDemand>& lanes,
             const ApplyRung& apply);
 
+  /// Host health governance (cluster): while withdrawn the fleet budget is
+  /// treated as zero — warmth is flushed, every demotable lane walks to the
+  /// ladder floor and admission closes at the next tick, staying closed
+  /// until the budget is restored. Quarantining a host must not strand its
+  /// fast-tier bytes in limbo; this is how the fleet arbiter reclaims them.
+  void set_budget_withdrawn(bool withdrawn) { budget_withdrawn_ = withdrawn; }
+  bool budget_withdrawn() const { return budget_withdrawn_; }
+
   bool admission_closed() const { return admission_closed_; }
   int rung(size_t lane) const {
     return lane < rung_.size() ? rung_[lane] : 0;
@@ -166,6 +174,7 @@ class FastTierArbiter {
   std::vector<size_t> demote_stack_;
 
   bool admission_closed_ = false;
+  bool budget_withdrawn_ = false;
   u64 resident_ = 0;
   u64 peak_resident_ = 0;
   u64 demotions_ = 0;

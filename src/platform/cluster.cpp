@@ -10,6 +10,25 @@
 
 namespace toss {
 
+const char* migration_outcome_name(MigrationOutcome outcome) {
+  switch (outcome) {
+    case MigrationOutcome::kCommitted: return "committed";
+    case MigrationOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* host_health_action_name(HostHealthAction action) {
+  switch (action) {
+    case HostHealthAction::kBrownout: return "brownout";
+    case HostHealthAction::kQuarantine: return "quarantine";
+    case HostHealthAction::kProbe: return "probe";
+    case HostHealthAction::kReadmit: return "readmit";
+    case HostHealthAction::kCrash: return "crash";
+  }
+  return "?";
+}
+
 u64 ClusterReport::total_invocations() const {
   u64 n = 0;
   for (const ClusterHostReport& h : hosts) n += h.report.total_invocations();
@@ -36,6 +55,7 @@ std::string ClusterReport::to_json() const {
       ",\"migrations\":" + std::to_string(migrations.size()) +
       ",\"total_invocations\":" + std::to_string(total_invocations()) +
       ",\"total_shed\":" + std::to_string(total_shed()) +
+      ",\"hosts_lost\":" + std::to_string(hosts_lost) +
       ",\"migration_events\":[";
   for (size_t i = 0; i < migrations.size(); ++i) {
     const MigrationEvent& m = migrations[i];
@@ -45,7 +65,30 @@ std::string ClusterReport::to_json() const {
            m.to_host + "\",\"moved_bytes\":" + std::to_string(m.moved_bytes) +
            ",\"transfer_ns\":" +
            std::to_string(static_cast<unsigned long long>(m.transfer_ns)) +
+           ",\"outcome\":\"" + migration_outcome_name(m.outcome) +
+           "\",\"attempts\":" + std::to_string(m.attempts) +
+           ",\"retry_backoff_ns\":" +
+           std::to_string(static_cast<unsigned long long>(m.retry_backoff_ns)) +
            "}";
+  }
+  out += "],\"failover_events\":[";
+  for (size_t i = 0; i < failovers.size(); ++i) {
+    const FailoverEvent& f = failovers[i];
+    if (i) out += ",";
+    out += "{\"epoch\":" + std::to_string(f.epoch) + ",\"function\":\"" +
+           f.function + "\",\"from\":\"" + f.from_host + "\",\"to\":\"" +
+           f.to_host + "\",\"moved_bytes\":" + std::to_string(f.moved_bytes) +
+           ",\"restore_ns\":" +
+           std::to_string(static_cast<unsigned long long>(f.restore_ns)) +
+           ",\"requeued\":" + std::to_string(f.requeued) +
+           ",\"shed\":" + std::to_string(f.shed) + "}";
+  }
+  out += "],\"health_events\":[";
+  for (size_t i = 0; i < health_events.size(); ++i) {
+    const HostHealthEvent& h = health_events[i];
+    if (i) out += ",";
+    out += "{\"epoch\":" + std::to_string(h.epoch) + ",\"host\":\"" + h.host +
+           "\",\"action\":\"" + host_health_action_name(h.action) + "\"}";
   }
   out += "]},\"hosts\":[";
   for (size_t i = 0; i < hosts.size(); ++i) {
@@ -133,9 +176,23 @@ ClusterEngine::ClusterEngine(ClusterOptions options, SystemConfig cfg,
   // every host runs with its arbiter on.
   options_.host_options.arbiter.enabled = true;
   hosts_.reserve(options_.hosts);
-  for (size_t i = 0; i < options_.hosts; ++i)
+  health_.reserve(options_.hosts);
+  for (size_t i = 0; i < options_.hosts; ++i) {
     hosts_.push_back(std::make_unique<Host>("host" + std::to_string(i), cfg_,
                                             pricing, options_.host_options));
+    // Per-host injector keyed by host name: crashes, brownouts and
+    // transfer aborts replay identically for a fixed plan seed, and one
+    // host's draws never shift another's schedule.
+    FaultPlan host_plan = options_.cluster_fault_plan;
+    host_plan.seed =
+        mix_seed(options_.cluster_fault_plan.seed, hosts_.back()->name());
+    HostHealth h;
+    h.injector = std::make_unique<FaultInjector>(std::move(host_plan), 0);
+    h.breaker = CircuitBreaker(options_.health_breaker);
+    health_.push_back(std::move(h));
+  }
+  migration_rng_ =
+      Rng(mix_seed(options_.cluster_fault_plan.seed, "migration-backoff"));
   predicted_load_.assign(options_.hosts, 0);
   predicted_tier_load_.assign(options_.hosts,
                               std::vector<u64>(cfg_.tier_count(), 0));
@@ -164,9 +221,12 @@ Result<void> ClusterEngine::add(const FunctionRegistration& registration,
   const u64 demand = tier_demand.front();
   // Placement binds on rank 0 only: the fast tier is the arbiter-defended
   // scarce resource; deeper rungs are modelled as abundant, and their
-  // predicted demand is tracked for capacity reporting.
-  const size_t target =
-      place_on_host(demand, predicted_load_, hosts_[0]->fast_budget_bytes());
+  // predicted demand is tracked for capacity reporting. Dead and
+  // quarantined hosts are not eligible targets.
+  const size_t target = pick_host(demand, npos);
+  if (target == npos)
+    return {ErrorCode::kHostLost,
+            name + ": no live host is eligible for placement"};
   if (Result<void> added = hosts_[target]->add(registration, std::move(requests));
       !added.ok())
     return added;
@@ -183,12 +243,51 @@ Result<void> ClusterEngine::enqueue(const std::string& function,
   if (target == npos)
     return {ErrorCode::kUnknownFunction,
             function + " is not registered on any host"};
+  // A placement still pointing at a dead host means the lane could not be
+  // failed over (no survivors / failover disabled): the loss is typed, not
+  // silently queued into the void.
+  if (health_[target].dead)
+    return {ErrorCode::kHostLost,
+            function + " was lost with host " + hosts_[target]->name()};
   return hosts_[target]->enqueue(function, std::move(requests));
+}
+
+bool ClusterEngine::host_quarantined(size_t index) const {
+  return health_[index].breaker.state() != CircuitBreaker::State::kClosed;
+}
+
+size_t ClusterEngine::pick_host(u64 demand_bytes, size_t exclude) const {
+  // Two passes: healthy hosts first, alive-but-quarantined as a last
+  // resort (landing on a browned-out host beats shedding a whole lane).
+  // The candidate list is compacted so a dead host can never win the
+  // worst-fit by sentinel accident.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<size_t> idx;
+    std::vector<u64> loads;
+    for (size_t i = 0; i < hosts_.size(); ++i) {
+      if (i == exclude || health_[i].dead) continue;
+      if ((pass == 0) == host_quarantined(i)) continue;
+      idx.push_back(i);
+      loads.push_back(predicted_load_[i]);
+    }
+    if (idx.empty()) continue;
+    // Compaction preserves index order, so place_on_host's lowest-index
+    // tie-break survives the mapping back.
+    return idx[place_on_host(demand_bytes, loads,
+                             hosts_[idx[0]]->fast_budget_bytes())];
+  }
+  return npos;
+}
+
+void ClusterEngine::push_health_event(const std::string& host,
+                                      HostHealthAction action) {
+  health_events_.push_back(HostHealthEvent{epochs_, host, action});
 }
 
 void ClusterEngine::maybe_migrate() {
   if (!options_.enable_migration || hosts_.size() < 2) return;
   for (size_t s = 0; s < hosts_.size(); ++s) {
+    if (health_[s].dead) continue;
     Host& src = *hosts_[s];
     if (src.admission_closed_streak() < options_.migrate_after_pinned_epochs)
       continue;
@@ -200,11 +299,12 @@ void ClusterEngine::maybe_migrate() {
       continue;
     }
     // Destination: the most predicted headroom against the (uniform)
-    // budget, excluding the source; ties toward the lowest index.
+    // budget, excluding the source and any dead or quarantined host; ties
+    // toward the lowest index.
     size_t dest = npos;
     u64 best_headroom = 0;
     for (size_t d = 0; d < hosts_.size(); ++d) {
-      if (d == s) continue;
+      if (d == s || health_[d].dead || host_quarantined(d)) continue;
       const u64 budget = hosts_[d]->fast_budget_bytes();
       const u64 load = std::min(predicted_load_[d], budget);
       const u64 headroom = budget - load;
@@ -214,23 +314,60 @@ void ClusterEngine::maybe_migrate() {
       }
     }
     if (dest == npos || best_headroom == 0) {
-      // Whole cluster saturated: migrating would only thrash.
+      // Whole cluster saturated (or nothing healthy to move to):
+      // migrating would only thrash.
+      src.reset_admission_streak();
+      continue;
+    }
+
+    // Transactional transfer: the source lane stays authoritative — still
+    // admitting and serving — until a copy attempt survives to the commit
+    // point, so an aborted attempt rolls back by simply not moving
+    // anything. kMigrationAbort fires per attempt from the source host's
+    // injector; attempts are bounded by the RetryPolicy, with the backoff
+    // accumulated in simulated time.
+    const HostLane* view = src.lane_at(li);
+    const ServerlessPlatform::ResidentBytes rb =
+        view->host->resident_bytes(view->name);
+    const u64 moved = rb.fast + rb.slow;
+    FaultInjector& inj = *health_[s].injector;
+    const u32 max_attempts =
+        static_cast<u32>(std::max(1, options_.migration_retry.max_attempts));
+    u32 attempts = 0;
+    Nanos backoff = 0;
+    bool committed = false;
+    while (attempts < max_attempts) {
+      ++attempts;
+      if (!inj.should_fire(FaultSite::kMigrationAbort)) {
+        committed = true;
+        break;
+      }
+      if (attempts < max_attempts)
+        backoff += options_.migration_retry.backoff_ns(
+            static_cast<int>(attempts) - 1, migration_rng_);
+    }
+    if (!committed) {
+      // Abandoned: the source keeps the lane (no split ownership, no lane
+      // stall — the copy runs off the serving path, so rollback is free).
+      // The typed ledger entry is the cluster-level analogue of the
+      // recovery ladder exhausting its retries.
+      migrations_.push_back(MigrationEvent{
+          epochs_, view->name, src.name(), hosts_[dest]->name(), moved, 0,
+          MigrationOutcome::kAborted, attempts, backoff});
       src.reset_admission_streak();
       continue;
     }
 
     std::unique_ptr<HostLane> lane = src.extract_lane(li);
-    const ServerlessPlatform::ResidentBytes rb =
-        lane->host->resident_bytes(lane->name);
-    const u64 moved = rb.fast + rb.slow;
     // The snapshot files travel with the lane's own SnapshotStore; the
-    // simulated cost of reading them out for the copy is charged to the
-    // lane's clock, so a migrated function visibly stalls.
+    // simulated cost of reading them out for the copy — plus any backoff
+    // burned on aborted attempts — is charged to the lane's clock, so a
+    // migrated function visibly stalls.
     const Nanos transfer = lane->host->store().seq_read_ns(moved);
-    lane->sim_now += transfer;
-    migrations_.push_back(MigrationEvent{epochs_, lane->name, src.name(),
-                                         hosts_[dest]->name(), moved,
-                                         transfer});
+    lane->sim_now += transfer + backoff;
+    migrations_.push_back(MigrationEvent{
+        epochs_, lane->name, src.name(), hosts_[dest]->name(), moved,
+        transfer, MigrationOutcome::kCommitted, attempts, backoff});
     for (Placement& p : placements_) {
       if (p.function != lane->name) continue;
       predicted_load_[s] -= std::min(predicted_load_[s], p.demand);
@@ -250,6 +387,120 @@ void ClusterEngine::maybe_migrate() {
   }
 }
 
+void ClusterEngine::inject_failure_domains() {
+  // Without -DTOSS_FAULTS=ON no site can ever fire and no breaker can ever
+  // observe a degraded epoch: skipping the whole barrier keeps production
+  // cluster ledgers bit-identical to the pre-failure-domain behaviour.
+  if constexpr (!kFaultInjectionEnabled) return;
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    HostHealth& h = health_[i];
+    if (h.dead) continue;
+    if (h.injector->should_fire(FaultSite::kHostCrash)) {
+      fail_over(i);
+      continue;
+    }
+    bool browned = false;
+    if (h.injector->should_fire(FaultSite::kHostBrownout)) {
+      browned = true;
+      ++h.brownouts;
+      hosts_[i]->apply_brownout(
+          h.injector->stall_ns(FaultSite::kHostBrownout));
+      push_health_event(hosts_[i]->name(), HostHealthAction::kBrownout);
+    }
+    // One breaker observation per epoch (never wall-clock): consecutive
+    // browned-out epochs open it, a clean cooldown closes it again.
+    const CircuitBreaker::State before = h.breaker.state();
+    h.breaker.observe(browned);
+    const CircuitBreaker::State after = h.breaker.state();
+    if (after == before) continue;
+    switch (after) {
+      case CircuitBreaker::State::kOpen:
+        ++h.quarantines;
+        // The fleet arbiter treats a quarantined host's fast-tier budget
+        // as withdrawn: warmth flushes, lanes demote, admission closes.
+        hosts_[i]->set_budget_withdrawn(true);
+        push_health_event(hosts_[i]->name(), HostHealthAction::kQuarantine);
+        break;
+      case CircuitBreaker::State::kHalfOpen:
+        push_health_event(hosts_[i]->name(), HostHealthAction::kProbe);
+        break;
+      case CircuitBreaker::State::kClosed:
+        ++h.readmissions;
+        hosts_[i]->set_budget_withdrawn(false);
+        push_health_event(hosts_[i]->name(), HostHealthAction::kReadmit);
+        break;
+    }
+  }
+}
+
+void ClusterEngine::fail_over(size_t dead_host) {
+  Host& dead = *hosts_[dead_host];
+  HostHealth& h = health_[dead_host];
+  h.dead = true;
+  ++hosts_lost_;
+  push_health_event(dead.name(), HostHealthAction::kCrash);
+  for (size_t li = 0; li < dead.lane_count(); ++li) {
+    const HostLane* view = dead.lane_at(li);
+    if (view == nullptr) continue;  // migrated away earlier
+    Placement* placement = nullptr;
+    for (Placement& p : placements_)
+      if (p.function == view->name) {
+        placement = &p;
+        break;
+      }
+    const std::string fn = view->name;
+    const u64 demand = placement != nullptr ? placement->demand : 0;
+    const size_t dst =
+        options_.enable_failover ? pick_host(demand, dead_host) : npos;
+    if (dst == npos) {
+      // No survivor (or failover disabled): every pending request on this
+      // lane resolves as kHostLost via abandon_pending() below, and the
+      // placement stays on the dead host so enqueue() reports the loss
+      // with a typed error instead of queueing into the void.
+      const u64 pending = view->queue.size() +
+                          (view->requests.size() - view->arrived);
+      failovers_.push_back(FailoverEvent{epochs_, view->name, dead.name(),
+                                         "", 0, 0, 0, pending});
+      continue;
+    }
+    std::unique_ptr<HostLane> lane = dead.extract_lane(li);
+    // Tiered restore from surviving snapshot state: the artifact store is
+    // durable and travels with the lane, so re-materializing on the
+    // destination costs one sequential read of the resident bytes — the
+    // recovery ladder's happy rung. A corrupted survivor is caught by the
+    // same per-invocation ladder on first use (verify -> retry -> degrade
+    // -> regenerate), so failover never needs a separate repair path.
+    const ServerlessPlatform::ResidentBytes rb =
+        lane->host->resident_bytes(lane->name);
+    const u64 moved = rb.fast + rb.slow;
+    const Nanos restore = lane->host->store().seq_read_ns(moved);
+    lane->sim_now += restore;
+    u64 requeued = 0;
+    u64 shed = 0;
+    // Only fails for duplicate names, excluded cluster-wide by host_of().
+    hosts_[dst]->adopt_failover_lane(std::move(lane), &requeued, &shed).ok();
+    if (placement != nullptr) {
+      predicted_load_[dead_host] -=
+          std::min(predicted_load_[dead_host], placement->demand);
+      predicted_load_[dst] += placement->demand;
+      for (size_t r = 0; r < placement->tier_demand.size(); ++r) {
+        predicted_tier_load_[dead_host][r] -=
+            std::min(predicted_tier_load_[dead_host][r],
+                     placement->tier_demand[r]);
+        predicted_tier_load_[dst][r] += placement->tier_demand[r];
+      }
+      placement->host = dst;
+    }
+    ++h.lanes_failed_over;
+    failovers_.push_back(FailoverEvent{epochs_, fn, dead.name(),
+                                       hosts_[dst]->name(), moved, restore,
+                                       requeued, shed});
+  }
+  // Lanes that found no survivor shed everything still pending, so each
+  // request resolves to exactly one typed outcome and idle() holds.
+  dead.abandon_pending();
+}
+
 Result<ClusterReport> ClusterEngine::run(int threads) {
   if (threads <= 0) threads = ThreadPool::hardware_threads();
   std::unique_ptr<ThreadPool> pool;
@@ -261,15 +512,19 @@ Result<ClusterReport> ClusterEngine::run(int threads) {
   const auto t0 = std::chrono::steady_clock::now();  // toss-lint: allow(det-wallclock)
   for (;;) {
     bool any_active = false;
-    for (const auto& host : hosts_)
-      if (!host->idle()) {
+    for (size_t i = 0; i < hosts_.size(); ++i)
+      if (!health_[i].dead && !hosts_[i]->idle()) {
         any_active = true;
         break;
       }
     if (!any_active) break;
-    for (const auto& host : hosts_) {
-      if (host->idle()) continue;
-      if (Result<void> stepped = host->step_epoch(pool.get()); !stepped.ok())
+    // Failure-domain barrier first: crashes and brownouts land at the
+    // epoch boundary, before any host steps, in host index order.
+    inject_failure_domains();
+    for (size_t i = 0; i < hosts_.size(); ++i) {
+      if (health_[i].dead || hosts_[i]->idle()) continue;
+      if (Result<void> stepped = hosts_[i]->step_epoch(pool.get());
+          !stepped.ok())
         return {stepped.code(), stepped.message()};
     }
     maybe_migrate();
@@ -285,9 +540,24 @@ Result<ClusterReport> ClusterEngine::run(int threads) {
 ClusterReport ClusterEngine::report(int threads) const {
   ClusterReport out;
   out.hosts.reserve(hosts_.size());
-  for (const auto& host : hosts_)
-    out.hosts.push_back(ClusterHostReport{host->name(), host->report(threads)});
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    ClusterHostReport hr{hosts_[i]->name(), hosts_[i]->report(threads)};
+    // Schema-5 health rollup: the cluster is the only layer that knows a
+    // host's failure-domain history, so it stamps the snapshot here.
+    HostHealthRollup& health = hr.report.metrics.health;
+    health.present = true;
+    health.lost = health_[i].dead;
+    health.quarantined = !health_[i].dead && host_quarantined(i);
+    health.brownouts = health_[i].brownouts;
+    health.quarantines = health_[i].quarantines;
+    health.readmissions = health_[i].readmissions;
+    health.lanes_failed_over = health_[i].lanes_failed_over;
+    out.hosts.push_back(std::move(hr));
+  }
   out.migrations = migrations_;
+  out.failovers = failovers_;
+  out.health_events = health_events_;
+  out.hosts_lost = hosts_lost_;
   out.epochs = epochs_;
   out.threads = threads;
   out.wall_ns = wall_ns_;

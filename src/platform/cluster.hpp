@@ -21,9 +21,22 @@
 //   destination. Every move lands in a MigrationEvent ledger with the same
 //   determinism contract as ShedEvents.
 //
+//   Failure domains (DESIGN.md §13). The host itself can die (kHostCrash),
+//   straggle (kHostBrownout) or abort a cross-host transfer mid-copy
+//   (kMigrationAbort); each host derives an independent FaultInjector from
+//   (cluster_fault_plan.seed, host name). Migration is transactional — the
+//   source lane stays authoritative until the transfer commits, aborted
+//   attempts retry under RetryPolicy and then abandon with a typed
+//   kAborted ledger entry. A crash re-places the dead host's lanes by the
+//   same worst-fit predictor onto healthy survivors (queued requests
+//   re-admitted under the destination's bounds or shed as kHostLost), and
+//   a per-host CircuitBreaker quarantines browned-out hosts from placement
+//   and migration while their fast-tier budget is withdrawn.
+//
 // Determinism: run() steps hosts one epoch at a time in host index order,
-// and migration is decided between epochs from simulated state only, so
-// the full cluster ledger (shed + arbiter + migration) is bit-identical
+// and migration, failover and health governance are decided between epochs
+// at the serial barrier from simulated state only, so the full cluster
+// ledger (shed + arbiter + migration + failover + health) is bit-identical
 // for any worker thread count at a fixed seed.
 #pragma once
 
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "platform/host.hpp"
+#include "platform/recovery.hpp"
 
 namespace toss {
 
@@ -46,9 +60,31 @@ struct ClusterOptions {
   /// before the cluster migrates a function away (hysteresis).
   int migrate_after_pinned_epochs = 4;
   bool enable_migration = true;
+  /// Cluster-level fault plan (kHostCrash / kHostBrownout /
+  /// kMigrationAbort). Each host derives an independent injector seeded by
+  /// (seed, host name) — distinct from host_options.fault_plan, which
+  /// drives the per-lane snapshot sites. Inert without -DTOSS_FAULTS=ON.
+  FaultPlan cluster_fault_plan;
+  /// Bounded retry for aborted migration transfers (simulated backoff,
+  /// charged to the lane only when the move eventually commits).
+  RetryPolicy migration_retry;
+  /// Survive host crashes by re-placing the dead host's lanes onto
+  /// survivors; when off, a crash sheds everything pending as kHostLost.
+  bool enable_failover = true;
+  /// Per-host health breaker: consecutive browned-out epochs open it
+  /// (quarantine), a clean cooldown closes it (readmission).
+  CircuitBreakerOptions health_breaker;
 };
 
-/// One cross-host move; part of the cluster's determinism contract.
+/// How a migration transaction ended.
+enum class MigrationOutcome : u8 {
+  kCommitted = 0,  ///< destination restore verified; source lane moved
+  kAborted,        ///< every transfer attempt aborted; source kept the lane
+};
+
+const char* migration_outcome_name(MigrationOutcome outcome);
+
+/// One cross-host move attempt; part of the cluster's determinism contract.
 struct MigrationEvent {
   u64 epoch = 0;  ///< cluster epoch the decision was made at
   std::string function;
@@ -56,8 +92,46 @@ struct MigrationEvent {
   std::string to_host;
   u64 moved_bytes = 0;    ///< snapshot bytes copied (fast + slow tier)
   Nanos transfer_ns = 0;  ///< simulated copy cost charged to the lane
+  MigrationOutcome outcome = MigrationOutcome::kCommitted;
+  u32 attempts = 1;            ///< transfer attempts (1 = clean first try)
+  Nanos retry_backoff_ns = 0;  ///< simulated backoff across aborted tries
 
   bool operator==(const MigrationEvent&) const = default;
+};
+
+/// One lane re-placed (or abandoned) at a host-crash barrier.
+struct FailoverEvent {
+  u64 epoch = 0;
+  std::string function;
+  std::string from_host;
+  /// Destination host; empty when no survivor could adopt the lane (its
+  /// pending requests were shed as kHostLost on the dead host).
+  std::string to_host;
+  u64 moved_bytes = 0;   ///< surviving snapshot bytes restored on the dest
+  Nanos restore_ns = 0;  ///< simulated tiered-restore cost charged to lane
+  u64 requeued = 0;      ///< queued requests re-admitted on the destination
+  u64 shed = 0;          ///< pending requests shed as kHostLost
+
+  bool operator==(const FailoverEvent&) const = default;
+};
+
+/// Host health governance transitions (per-host CircuitBreaker).
+enum class HostHealthAction : u8 {
+  kBrownout = 0,  ///< a brownout epoch inflated the host's lane clocks
+  kQuarantine,    ///< breaker opened: withdrawn from placement + budget
+  kProbe,         ///< breaker half-open: next clean epoch readmits
+  kReadmit,       ///< breaker closed again: budget + eligibility restored
+  kCrash,         ///< the host died at this epoch's barrier
+};
+
+const char* host_health_action_name(HostHealthAction action);
+
+struct HostHealthEvent {
+  u64 epoch = 0;
+  std::string host;
+  HostHealthAction action = HostHealthAction::kBrownout;
+
+  bool operator==(const HostHealthEvent&) const = default;
 };
 
 struct ClusterHostReport {
@@ -68,6 +142,9 @@ struct ClusterHostReport {
 struct ClusterReport {
   std::vector<ClusterHostReport> hosts;  ///< host index order
   std::vector<MigrationEvent> migrations;
+  std::vector<FailoverEvent> failovers;
+  std::vector<HostHealthEvent> health_events;
+  u64 hosts_lost = 0;
   u64 epochs = 0;
   int threads = 1;
   Nanos wall_ns = 0;
@@ -76,10 +153,11 @@ struct ClusterReport {
   u64 total_shed() const;
   /// The function's report on whichever host currently owns it.
   const FunctionReport* find(const std::string& name) const;
-  /// Schema-4 JSON: {"schema":4,"cluster":{...},"hosts":[<per-host
+  /// Schema-5 JSON: {"schema":5,"cluster":{...},"hosts":[<per-host
   /// metrics>...]} — each hosts[] entry is a MetricsSnapshot::to_json()
-  /// tagged with its host name (and, since schema 4, its per-tier
-  /// resident/occupancy rollup).
+  /// tagged with its host name, its per-tier resident/occupancy rollup
+  /// (schema 4) and its health rollup (schema 5). The cluster block adds
+  /// the failover/health ledgers and the hosts_lost count.
   std::string to_json() const;
 };
 
@@ -150,16 +228,55 @@ class ClusterEngine {
     return hosts_[index]->fast_budget_bytes();
   }
   const std::vector<MigrationEvent>& migrations() const { return migrations_; }
+  const std::vector<FailoverEvent>& failovers() const { return failovers_; }
+  const std::vector<HostHealthEvent>& health_events() const {
+    return health_events_;
+  }
+  /// True once kHostCrash fired for the host (its lanes were failed over
+  /// or abandoned; it no longer steps, places or adopts).
+  bool host_dead(size_t index) const { return health_[index].dead; }
+  /// True while the host's health breaker is not closed (withdrawn from
+  /// placement and migration targets, fast-tier budget treated as zero).
+  bool host_quarantined(size_t index) const;
+  u64 hosts_lost() const { return hosts_lost_; }
   u64 epochs() const { return epochs_; }
   const ClusterOptions& options() const { return options_; }
 
  private:
+  /// Per-host failure-domain state. The injector derives from
+  /// (cluster_fault_plan.seed, host name), so each host's crash/brownout/
+  /// abort stream is independent of every other host and of the per-lane
+  /// snapshot sites.
+  struct HostHealth {
+    std::unique_ptr<FaultInjector> injector;
+    CircuitBreaker breaker;
+    bool dead = false;
+    u64 brownouts = 0;
+    u64 quarantines = 0;
+    u64 readmissions = 0;
+    u64 lanes_failed_over = 0;
+  };
+
   void maybe_migrate();
+  /// Serial failure-domain barrier, run before the hosts step each epoch:
+  /// arm kHostCrash / kHostBrownout per alive host in index order, fail
+  /// over crashes, stall brownouts, and advance each health breaker.
+  void inject_failure_domains();
+  void fail_over(size_t dead_host);
+  /// Worst-fit over eligible hosts (alive and not quarantined; falls back
+  /// to alive-but-quarantined when nothing healthy remains). `exclude` is
+  /// skipped (npos = no exclusion). npos when no host is eligible.
+  size_t pick_host(u64 demand_bytes, size_t exclude) const;
+  void push_health_event(const std::string& host, HostHealthAction action);
   ClusterReport report(int threads) const;
 
   ClusterOptions options_;
   SystemConfig cfg_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<HostHealth> health_;  ///< parallel to hosts_
+  /// Backoff jitter for transactional-migration retries. Drawn only at the
+  /// serial barrier, in host index order — deterministic.
+  Rng migration_rng_{0};
   std::vector<u64> predicted_load_;  ///< placed rank-0 demand per host index
   /// Placed demand per host per ladder rank (see predicted_tier_load()).
   std::vector<std::vector<u64>> predicted_tier_load_;
@@ -173,6 +290,9 @@ class ClusterEngine {
   };
   std::vector<Placement> placements_;
   std::vector<MigrationEvent> migrations_;
+  std::vector<FailoverEvent> failovers_;
+  std::vector<HostHealthEvent> health_events_;
+  u64 hosts_lost_ = 0;
   u64 epochs_ = 0;
   Nanos wall_ns_ = 0;
 };

@@ -22,12 +22,18 @@ const char* shed_cause_name(ShedCause cause) {
     case ShedCause::kGlobalOverload: return "global_overload";
     case ShedCause::kAdmissionClosed: return "admission_closed";
     case ShedCause::kDeadlineExpired: return "deadline_expired";
+    case ShedCause::kHostLost: return "host_lost";
   }
   return "?";
 }
 
 Error shed_error(const std::string& function, const ShedEvent& event) {
-  return Error(ErrorCode::kOverloaded,
+  // Host loss is not retryable-later the way overload is: the caller must
+  // re-resolve the function's placement first, so it gets its own code.
+  const ErrorCode code = event.cause == ShedCause::kHostLost
+                             ? ErrorCode::kHostLost
+                             : ErrorCode::kOverloaded;
+  return Error(code,
                function + ": request " + std::to_string(event.request_index) +
                    " shed (" + shed_cause_name(event.cause) + ")");
 }
@@ -291,6 +297,10 @@ void Host::shed(HostLane& lane, size_t request_index, ShedCause cause) {
     case ShedCause::kDeadlineExpired:
       ++lane.overload.shed_deadline;
       lane.series->shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedCause::kHostLost:
+      ++lane.overload.shed_host_lost;
+      lane.series->shed_host_lost.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   if (options_.keep_shed_events)
@@ -656,6 +666,73 @@ Result<void> Host::adopt_lane(std::unique_ptr<HostLane> lane) {
   }
   lanes_.push_back(std::move(lane));
   return {};
+}
+
+// ---------------------------------------------------------------------------
+// Failure-domain hooks (cluster failover / health governance).
+
+Result<void> Host::adopt_failover_lane(std::unique_ptr<HostLane> lane,
+                                       u64* requeued, u64* shed_count) {
+  if (lane == nullptr)
+    return {ErrorCode::kInvalidRequest, name_ + ": cannot adopt a null lane"};
+  const std::string fn = lane->name;
+  if (Result<void> adopted = adopt_lane(std::move(lane)); !adopted.ok())
+    return adopted;
+  HostLane* l = find_lane(fn);
+  u64 dropped = 0;
+  if (options_.max_lane_queue > 0) {
+    while (l->queue.size() > options_.max_lane_queue) {
+      // Same drop policy as admission: tail-drop sheds the newest queued
+      // request, oldest-drop the stalest.
+      const size_t idx = options_.drop_policy == DropPolicy::kTailDrop
+                             ? l->queue.back()
+                             : l->queue.front();
+      if (options_.drop_policy == DropPolicy::kTailDrop)
+        l->queue.pop_back();
+      else
+        l->queue.pop_front();
+      shed(*l, idx, ShedCause::kHostLost);
+      ++dropped;
+    }
+  }
+  if (requeued != nullptr) *requeued = l->queue.size();
+  if (shed_count != nullptr) *shed_count = dropped;
+  return {};
+}
+
+u64 Host::abandon_pending(ShedCause cause) {
+  u64 dropped = 0;
+  for (const auto& lane : lanes_) {
+    if (lane == nullptr) continue;
+    // Queued requests were admitted but never served.
+    while (!lane->queue.empty()) {
+      shed(*lane, lane->queue.front(), cause);
+      lane->queue.pop_front();
+      ++dropped;
+    }
+    // Future arrivals never reach admission anywhere: they are offered to
+    // (and shed by) the dead host so each one still has a typed outcome.
+    while (lane->arrived < lane->requests.size()) {
+      const size_t idx = lane->arrived++;
+      ++lane->overload.offered;
+      shed(*lane, idx, cause);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void Host::apply_brownout(Nanos stall_ns) {
+  if (stall_ns <= 0) return;
+  for (const auto& lane : lanes_) {
+    if (lane == nullptr || lane->drained()) continue;
+    lane->sim_now += stall_ns;
+  }
+}
+
+void Host::set_budget_withdrawn(bool withdrawn) {
+  if (!options_.arbiter.enabled) return;
+  ensure_arbiter()->set_budget_withdrawn(withdrawn);
 }
 
 }  // namespace toss

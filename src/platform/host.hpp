@@ -62,6 +62,7 @@ enum class ShedCause : u8 {
   kGlobalOverload,    ///< global queue bound trimmed the longest lane queue
   kAdmissionClosed,   ///< the arbiter closed admission (ladder rung C)
   kDeadlineExpired,   ///< deadline already past when the request was popped
+  kHostLost,          ///< owning host crashed; shed at the failover barrier
 };
 
 const char* shed_cause_name(ShedCause cause);
@@ -88,6 +89,7 @@ struct OverloadStats {
   u64 shed_global = 0;
   u64 shed_admission = 0;
   u64 shed_deadline = 0;
+  u64 shed_host_lost = 0;  ///< host crashed with the request still pending
   /// Served past their deadline (admitted, not shed, but SLO-late).
   u64 deadline_misses = 0;
   u64 demotions = 0;   ///< arbiter re-tiered this lane down a rung
@@ -96,7 +98,8 @@ struct OverloadStats {
   size_t queue_peak = 0;  ///< high-water mark of the lane queue
 
   u64 total_shed() const {
-    return shed_queue_full + shed_global + shed_admission + shed_deadline;
+    return shed_queue_full + shed_global + shed_admission + shed_deadline +
+           shed_host_lost;
   }
 
   bool operator==(const OverloadStats&) const = default;
@@ -293,6 +296,34 @@ class Host {
   /// host's registry and restore its unconstrained placement (the
   /// destination arbiter re-demotes it if the budget here disagrees).
   Result<void> adopt_lane(std::unique_ptr<HostLane> lane);
+
+  // ---- Cluster hooks (failure domains) ----
+
+  /// Failover adoption: adopt_lane() plus re-admission — the queue the lane
+  /// carried off its dead host must fit this host's admission bounds, so
+  /// overflow is shed as kHostLost under the configured drop policy.
+  /// Returns the number of re-admitted requests via `requeued` and the
+  /// number shed via `shed_count` (both optional).
+  Result<void> adopt_failover_lane(std::unique_ptr<HostLane> lane,
+                                   u64* requeued = nullptr,
+                                   u64* shed_count = nullptr);
+
+  /// Terminal shed for a crashed host with no survivors: every queued and
+  /// not-yet-arrived request on every live lane is shed as kHostLost, so
+  /// each request still resolves to exactly one typed outcome. The lanes
+  /// become drained (idle() holds) but keep their ledgers for the report.
+  /// Returns the number of requests shed.
+  u64 abandon_pending(ShedCause cause = ShedCause::kHostLost);
+
+  /// Brownout/straggle: inflate every live lane's simulated clock by
+  /// `stall_ns`, modelling a host-wide slowdown for one epoch. Driven from
+  /// the cluster's serial barrier, so it is deterministic by construction.
+  void apply_brownout(Nanos stall_ns);
+
+  /// Host health governance: while withdrawn, this host's arbiter treats
+  /// its fast-tier budget as zero (see FastTierArbiter::set_budget_
+  /// withdrawn). No-op when the arbiter is disabled.
+  void set_budget_withdrawn(bool withdrawn);
 
   // ---- Introspection ----
 

@@ -147,6 +147,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         s->shed_queue_global.load(std::memory_order_relaxed);
     m.shed_admission = s->shed_admission.load(std::memory_order_relaxed);
     m.shed_deadline = s->shed_deadline.load(std::memory_order_relaxed);
+    m.shed_host_lost = s->shed_host_lost.load(std::memory_order_relaxed);
     m.deadline_misses = s->deadline_misses.load(std::memory_order_relaxed);
     m.demotions = s->demotions.load(std::memory_order_relaxed);
     m.promotions = s->promotions.load(std::memory_order_relaxed);
@@ -208,6 +209,20 @@ std::string MetricsSnapshot::to_json() const {
     }
     out += "],";
   }
+  if (health.present) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "\"health\":{\"lost\":%s,\"quarantined\":%s,"
+                  "\"brownouts\":%llu,\"quarantines\":%llu,"
+                  "\"readmissions\":%llu,\"lanes_failed_over\":%llu},",
+                  health.lost ? "true" : "false",
+                  health.quarantined ? "true" : "false",
+                  static_cast<unsigned long long>(health.brownouts),
+                  static_cast<unsigned long long>(health.quarantines),
+                  static_cast<unsigned long long>(health.readmissions),
+                  static_cast<unsigned long long>(health.lanes_failed_over));
+    out += buf;
+  }
   out += "\"functions\":[";
   for (size_t i = 0; i < functions.size(); ++i) {
     const FunctionMetrics& m = functions[i];
@@ -243,7 +258,8 @@ std::string MetricsSnapshot::to_json() const {
     std::snprintf(obuf, sizeof(obuf),
                   "\"overload\":{\"admitted\":%llu,\"shed_queue_full\":%llu,"
                   "\"shed_queue_global\":%llu,\"shed_admission\":%llu,"
-                  "\"shed_deadline\":%llu,\"deadline_misses\":%llu,"
+                  "\"shed_deadline\":%llu,\"shed_host_lost\":%llu,"
+                  "\"deadline_misses\":%llu,"
                   "\"demotions\":%llu,\"promotions\":%llu,"
                   "\"watchdog_trips\":%llu},",
                   static_cast<unsigned long long>(m.admitted),
@@ -251,6 +267,7 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(m.shed_queue_global),
                   static_cast<unsigned long long>(m.shed_admission),
                   static_cast<unsigned long long>(m.shed_deadline),
+                  static_cast<unsigned long long>(m.shed_host_lost),
                   static_cast<unsigned long long>(m.deadline_misses),
                   static_cast<unsigned long long>(m.demotions),
                   static_cast<unsigned long long>(m.promotions),

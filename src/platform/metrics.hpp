@@ -80,6 +80,7 @@ struct FunctionSeries {
   std::atomic<u64> shed_queue_global{0};
   std::atomic<u64> shed_admission{0};
   std::atomic<u64> shed_deadline{0};
+  std::atomic<u64> shed_host_lost{0};
   std::atomic<u64> deadline_misses{0};
   std::atomic<u64> demotions{0};
   std::atomic<u64> promotions{0};
@@ -111,6 +112,7 @@ struct FunctionMetrics {
   u64 shed_queue_global = 0;
   u64 shed_admission = 0;
   u64 shed_deadline = 0;
+  u64 shed_host_lost = 0;
   u64 deadline_misses = 0;
   u64 demotions = 0;
   u64 promotions = 0;
@@ -129,6 +131,19 @@ struct TierRollup {
   double occupancy = 0;
 };
 
+/// Per-host health rollup (schema 5), filled by the cluster's health
+/// governance. `present` gates the "health" key in to_json(), so a bare
+/// engine's snapshot is unchanged from schema 4 modulo the version bump.
+struct HostHealthRollup {
+  bool present = false;
+  bool lost = false;         ///< host crashed (lanes failed over / abandoned)
+  bool quarantined = false;  ///< health breaker open at snapshot time
+  u64 brownouts = 0;         ///< brownout epochs this host absorbed
+  u64 quarantines = 0;       ///< breaker open transitions
+  u64 readmissions = 0;      ///< breaker half-open -> closed transitions
+  u64 lanes_failed_over = 0;  ///< lanes re-placed off this host at crash
+};
+
 struct MetricsSnapshot {
   /// Layout version of to_json() (the top-level "schema" key). Version 2
   /// added the per-function "overload" block (DESIGN.md §9); version 3
@@ -136,8 +151,12 @@ struct MetricsSnapshot {
   /// and the cluster rollup in ClusterReport::to_json (DESIGN.md §10);
   /// version 4 added the top-level "tiers" array (present when `tiers` is
   /// non-empty) — one resident/occupancy rollup per ladder rank, fastest
-  /// first (DESIGN.md §11). Consumers should ignore unknown keys.
-  static constexpr int kJsonSchemaVersion = 4;
+  /// first (DESIGN.md §11); version 5 added the per-function
+  /// "shed_host_lost" overload counter, the top-level "health" rollup
+  /// (present when the cluster's health governance filled it) and the
+  /// failover/health ledgers in ClusterReport::to_json (DESIGN.md §13).
+  /// Consumers should ignore unknown keys.
+  static constexpr int kJsonSchemaVersion = 5;
 
   /// Which simulated host produced this snapshot; empty outside the
   /// engine/cluster (e.g. a bare MetricsRegistry).
@@ -145,6 +164,8 @@ struct MetricsSnapshot {
   /// Per-ladder-rank rollup, index 0 = fastest; filled by the engine
   /// (a bare MetricsRegistry has no ladder to sample).
   std::vector<TierRollup> tiers;
+  /// Host health rollup; filled by ClusterEngine::report() (schema 5).
+  HostHealthRollup health;
   std::vector<FunctionMetrics> functions;  ///< registration order
 
   u64 total_invocations() const;

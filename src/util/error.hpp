@@ -37,6 +37,7 @@ enum class ErrorCode : u8 {
   kTransientIo,        ///< torn write, mmap failure: retryable
   kExecutionCrashed,   ///< guest crashed mid-invocation: retryable
   kOverloaded,         ///< admission control shed the request (retry later)
+  kHostLost,           ///< owning host crashed; request shed at failover
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -51,6 +52,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTransientIo: return "transient_io";
     case ErrorCode::kExecutionCrashed: return "execution_crashed";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kHostLost: return "host_lost";
   }
   return "?";
 }

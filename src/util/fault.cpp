@@ -4,19 +4,6 @@
 
 namespace toss {
 
-const char* fault_site_name(FaultSite site) {
-  switch (site) {
-    case FaultSite::kPutSingleTier: return "put_single_tier";
-    case FaultSite::kPutTiered: return "put_tiered";
-    case FaultSite::kTierBitrot: return "tier_bitrot";
-    case FaultSite::kTierTruncate: return "tier_truncate";
-    case FaultSite::kRestoreMapping: return "restore_mapping";
-    case FaultSite::kSlowTierStall: return "slow_tier_stall";
-    case FaultSite::kExecCrash: return "exec_crash";
-  }
-  return "?";
-}
-
 const char* fallback_level_name(FallbackLevel level) {
   switch (level) {
     case FallbackLevel::kNone: return "none";

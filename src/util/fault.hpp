@@ -1,5 +1,6 @@
-// Deterministic fault injection for the snapshot failure domains, plus the
-// retry/recovery vocabulary the self-healing ladder shares across layers.
+// Deterministic fault injection for the snapshot and cluster failure
+// domains, plus the retry/recovery vocabulary the self-healing ladder
+// shares across layers.
 //
 // Every invocation depends on on-disk artifacts (tier files, the memory
 // layout file) and on restores succeeding; production snapshot stores treat
@@ -24,6 +25,8 @@
 #pragma once
 
 #include <array>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -40,7 +43,10 @@ inline constexpr bool kFaultInjectionEnabled = false;
 /// True in builds compiled with -DTOSS_FAULTS=ON.
 constexpr bool fault_injection_enabled() { return kFaultInjectionEnabled; }
 
-/// Injection sites, one per failure domain of the snapshot path.
+/// Injection sites: one per failure domain of the snapshot path, plus the
+/// cluster-level domains (whole-host death, host slowdown, cross-host
+/// transfer). Cluster sites arm from per-host derived seeds inside
+/// ClusterEngine, so host failures are as reproducible as page bitrot.
 enum class FaultSite : u8 {
   kPutSingleTier = 0,  ///< torn write persisting the single-tier snapshot
   kPutTiered,          ///< torn write persisting the tiered artifact
@@ -49,10 +55,36 @@ enum class FaultSite : u8 {
   kRestoreMapping,     ///< transient mmap failure at restore
   kSlowTierStall,      ///< latency spike on slow-tier mappings at restore
   kExecCrash,          ///< guest crash mid-invocation, before any snapshot
+  kHostCrash,          ///< whole-host death at a cluster epoch boundary
+  kHostBrownout,       ///< host straggle: epoch wall-clock inflated delay_ns
+  kMigrationAbort,     ///< cross-host snapshot transfer aborts mid-copy
 };
-inline constexpr size_t kFaultSiteCount = 7;
+/// Derived from the last enumerator, so adding a site cannot leave the
+/// count (and every array sized by it) stale.
+inline constexpr size_t kFaultSiteCount =
+    static_cast<size_t>(FaultSite::kMigrationAbort) + 1;
 
-const char* fault_site_name(FaultSite site);
+/// Wire names, indexed by FaultSite. constexpr so tests can static_assert
+/// the table, the enum and kFaultSiteCount stay in sync.
+inline constexpr std::array<const char*, kFaultSiteCount> kFaultSiteNames = {
+    "put_single_tier", "put_tiered",      "tier_bitrot",  "tier_truncate",
+    "restore_mapping", "slow_tier_stall", "exec_crash",   "host_crash",
+    "host_brownout",   "migration_abort",
+};
+
+constexpr const char* fault_site_name(FaultSite site) {
+  return kFaultSiteNames[static_cast<size_t>(site)];
+}
+
+/// Inverse of fault_site_name; empty when the name is unknown. constexpr,
+/// so the round-trip (site -> name -> site) is checkable at compile time.
+constexpr std::optional<FaultSite> fault_site_from_name(
+    std::string_view name) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i)
+    if (name == std::string_view(kFaultSiteNames[i]))
+      return static_cast<FaultSite>(i);
+  return std::nullopt;
+}
 
 /// When a site fires. `schedule` lists explicit 0-based arm indices (the
 /// n-th time the site is reached); `probability` adds an independent

@@ -256,7 +256,9 @@ TEST(Cluster, MigratesLargestTieredFunctionAfterKPinnedEpochs) {
 
   // The JSON rollup carries the cluster block and the migration ledger.
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":" +
+                      std::to_string(MetricsSnapshot::kJsonSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(json.find("\"cluster\":{"), std::string::npos);
   EXPECT_NE(json.find("\"migration_events\":["), std::string::npos);
   EXPECT_NE(json.find("\"host\":\"host1\""), std::string::npos);
@@ -273,6 +275,78 @@ TEST(Cluster, HysteresisHoldsMigrationBelowKPinnedEpochs) {
   const ClusterReport report = frozen.cluster->run(2).value();
   EXPECT_TRUE(report.migrations.empty());
   EXPECT_EQ(report.total_invocations(), 60u + 60u + 80u);
+}
+
+TEST(Cluster, MigratingTheLastTieredLaneLeavesNoCandidateBehind) {
+  const u64 tiered = probe_tiered_fast_bytes();
+  ASSERT_GT(tiered, 0u);
+  // The candidate is the hog host's *only* tiered lane. After it migrates
+  // the host stays pinned (the hog keeps profiling past the budget) but
+  // has no candidate left: the cluster must ride the pressure out without
+  // inventing moves, losing the hog's work, or wedging the epoch loop.
+  PressureFleet fleet = pressure_cluster(3 * tiered, 2, true, 9);
+  const ClusterReport report = fleet.cluster->run(2).value();
+  const size_t dest = 1 - fleet.hog_host;
+
+  ASSERT_GE(report.migrations.size(), 1u);
+  EXPECT_EQ(report.migrations[0].function, fleet.candidate);
+  for (const MigrationEvent& ev : report.migrations)
+    EXPECT_EQ(ev.from_host, "host" + std::to_string(fleet.hog_host))
+        << "only the hog host ever has a candidate to give up";
+  EXPECT_EQ(fleet.cluster->host_of(fleet.candidate), dest);
+  EXPECT_EQ(fleet.cluster->host_at(fleet.hog_host).lane_host(fleet.candidate),
+            nullptr);
+  EXPECT_EQ(report.total_invocations(), 60u + 60u + 80u);
+  EXPECT_EQ(report.total_shed(), 0u);
+}
+
+TEST(Cluster, MigrationLandsOnHostThatClosesAdmissionSameEpoch) {
+  const u64 tiered = probe_tiered_fast_bytes();
+  ASSERT_GT(tiered, 0u);
+  // Both hosts carry a profiling hog, so any migration destination is
+  // itself at (or heading into) the close-admission rung when the lane
+  // lands. The adopted lane's already-admitted queue must still drain
+  // there — admission closure only gates new arrivals — and no request
+  // may be lost to the double pressure.
+  ClusterOptions opts;
+  opts.hosts = 2;
+  opts.migrate_after_pinned_epochs = 2;
+  opts.host_options.chunk = 2;
+  opts.host_options.arbiter.enabled = true;
+  opts.host_options.arbiter.fast_budget_bytes = 3 * tiered;
+  opts.host_options.arbiter.keepalive = false;
+  ClusterEngine cluster(opts);
+
+  TossOptions never_tiers = fast_toss();
+  never_tiers.stable_invocations = 1000;
+  never_tiers.max_profiling_invocations = 1000;
+  const size_t lengths[] = {60, 60, 80, 80};
+  for (size_t i = 0; i < 4; ++i) {
+    FunctionSpec spec = workloads::all_functions()[0];
+    spec.name += "#" + std::to_string(i);
+    ASSERT_TRUE(cluster
+                    .add(FunctionRegistration(std::move(spec))
+                             .policy(PolicyKind::kToss)
+                             .toss(i < 2 ? fast_toss() : never_tiers)
+                             .seed(42 + i),
+                         RequestGenerator::round_robin(lengths[i], 9))
+                    .ok());
+  }
+  // Worst-fit splits the candidates and then the hogs: one of each per
+  // host, so both arbiters pin.
+  ASSERT_NE(cluster.host_of("float_operation#2"),
+            cluster.host_of("float_operation#3"));
+
+  const ClusterReport report = cluster.run(2).value();
+  ASSERT_GE(report.migrations.size(), 1u);
+  // Both hosts were pinned, so the destination of the first move had its
+  // own close-admission streak — visible in its arbiter ledger.
+  const size_t dest_host =
+      report.migrations[0].to_host == "host0" ? 0u : 1u;
+  EXPECT_FALSE(report.hosts[dest_host].report.arbiter.events.empty());
+  // Exactly-once despite landing behind a closed admission gate.
+  EXPECT_EQ(report.total_invocations(), 60u + 60u + 80u + 80u);
+  EXPECT_EQ(report.total_shed(), 0u);
 }
 
 TEST(Cluster, LedgersAreBitIdenticalAcrossThreadCounts) {

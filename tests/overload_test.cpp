@@ -379,11 +379,13 @@ TEST(Overload, DeadlineExpiredWorkIsShedBeforeRestore) {
   EXPECT_NE(std::string(err.what()).find("shed"), std::string::npos);
   EXPECT_FALSE(is_transient(ErrorCode::kOverloaded));
 
-  // Metrics mirror the ledger under the schema-4 layout (versioned; v3
-  // added the host tag the cluster rollup keys on, v4 the per-tier
-  // resident/occupancy rollup).
+  // Metrics mirror the ledger under the versioned layout (v3 added the
+  // host tag the cluster rollup keys on, v4 the per-tier rollup, v5 the
+  // host-lost shed counter and health rollup).
   const std::string json = report.metrics.to_json();
-  EXPECT_NE(json.find("\"schema\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":" +
+                      std::to_string(MetricsSnapshot::kJsonSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(json.find("\"host\":\"host0\""), std::string::npos);
   EXPECT_NE(json.find("\"overload\":{"), std::string::npos);
   EXPECT_NE(json.find("\"shed_deadline\":"), std::string::npos);

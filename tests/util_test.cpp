@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -12,6 +13,31 @@
 
 namespace toss {
 namespace {
+
+TEST(FaultSites, NameTableRoundTripsAtCompileTime) {
+  // The name table, the derived count and the enum must stay in sync: a
+  // new FaultSite without a name (or a stale count) fails right here at
+  // compile time, not at a distant runtime lookup.
+  static_assert(kFaultSiteNames.size() == kFaultSiteCount);
+  static_assert(kFaultSiteCount ==
+                static_cast<size_t>(FaultSite::kMigrationAbort) + 1);
+  static_assert([] {
+    for (size_t i = 0; i < kFaultSiteCount; ++i) {
+      const auto site = static_cast<FaultSite>(i);
+      const auto back = fault_site_from_name(fault_site_name(site));
+      if (!back.has_value() || *back != site) return false;
+    }
+    return true;
+  }());
+  // Runtime pass too, so a regression names the offending site.
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    EXPECT_EQ(fault_site_from_name(fault_site_name(site)), site)
+        << fault_site_name(site);
+  }
+  EXPECT_FALSE(fault_site_from_name("no_such_site").has_value());
+  EXPECT_FALSE(fault_site_from_name("").has_value());
+}
 
 TEST(Units, PageMath) {
   EXPECT_EQ(pages_for_bytes(0), 0u);

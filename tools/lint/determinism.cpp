@@ -4,8 +4,10 @@
 //
 //   det-unordered-iter  iterating an unordered container in a
 //                       ledger-feeding TU (any file whose transitive
-//                       includes reach platform/metrics.hpp, plus the
-//                       headers in those closures). Hash order is
+//                       includes reach platform/metrics.hpp or
+//                       platform/cluster.hpp — where the cluster's
+//                       migration/failover/health ledgers live — plus
+//                       the headers in those closures). Hash order is
 //                       unspecified and varies across libstdc++ versions
 //                       and ASLR, so whatever is accumulated during the
 //                       walk diverges. Membership tests are fine; only
@@ -305,16 +307,29 @@ void check_fp_accum(const SourceFile& f, std::vector<Finding>& findings) {
 }  // namespace
 
 void run_determinism(const Project& project, std::vector<Finding>& findings) {
-  // Ledger-feeding set: every src/ file whose transitive includes reach
-  // the metrics ledger header, the header itself, and every header inside
-  // those closures (members declared there get iterated in the TUs).
-  const std::string kLedgerHeader = "src/platform/metrics.hpp";
+  // Ledger-feeding set: every src/ file whose transitive includes reach a
+  // ledger-declaring header, those headers themselves, and every header
+  // inside those closures (members declared there get iterated in the
+  // TUs). Ledgers live in two headers: the metrics ledger
+  // (platform/metrics.hpp) and the cluster's migration/failover/health
+  // event ledgers (platform/cluster.hpp, DESIGN.md §13) — rooting the set
+  // at both keeps cluster.cpp covered even if its include graph stops
+  // reaching the metrics header.
+  const std::set<std::string> kLedgerHeaders = {
+      "src/platform/metrics.hpp", "src/platform/cluster.hpp"};
+  auto reaches_ledger = [&](const std::string& rel,
+                            const std::set<std::string>& cl) {
+    if (kLedgerHeaders.count(rel)) return true;
+    for (const std::string& h : kLedgerHeaders)
+      if (cl.count(h)) return true;
+    return false;
+  };
   std::set<std::string> ledger;
   std::map<std::string, std::set<std::string>> closures;
   for (const SourceFile& f : project.files) {
     if (!f.under("src/")) continue;
     std::set<std::string> cl = project.closure(f.rel);
-    if (f.rel == kLedgerHeader || cl.count(kLedgerHeader)) {
+    if (reaches_ledger(f.rel, cl)) {
       ledger.insert(f.rel);
       for (const std::string& h : cl)
         if (h.ends_with(".hpp")) ledger.insert(h);
