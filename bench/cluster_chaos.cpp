@@ -167,7 +167,7 @@ SeedRow summarize(u64 seed, const ClusterReport& report, bool match) {
       row.offered += f.overload.offered;
       row.completed += f.overload.completed;
       row.shed += f.overload.total_shed();
-      row.shed_host_lost += f.overload.shed_host_lost;
+      row.shed_host_lost += f.overload.shed_by(ShedCause::kHostLost);
     }
     // The bucketed histograms live in the metrics snapshot; a migrated
     // lane's samples are split across the hosts it visited, which is fine

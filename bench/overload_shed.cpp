@@ -13,6 +13,14 @@
 // (service / multiplier) and deadlines from it, so "10x offered load"
 // means the same thing for a 128 MB function and a 3 GB one.
 //
+// `--qos` switches to the SLO sweep instead (DESIGN.md §14): even lanes
+// are gold at a fixed 0.8x load, odd lanes bronze sweeping the same
+// multipliers, against a fast-tier budget barely above the gold demand.
+// The gates there are QoS ones — gold SLO attainment flat across the
+// sweep, bronze absorbing the shedding at the heaviest load, and the
+// QoS-aware ledgers bit-identical across thread counts over three seeds —
+// with results in overload_shed_qos.json.
+//
 // Results land in overload_shed.json under the bench artifact directory
 // (--out-dir=PATH, default <build>/bench_artifacts). The process exits
 // nonzero — a CI gate, not just a plot — if any lane queue ever exceeded
@@ -46,21 +54,23 @@ TossOptions fast_toss() {
   return opt;
 }
 
+/// QoS-mode class assignment: even lanes gold, odd lanes bronze.
+QosClass lane_class(size_t lane) {
+  return lane % 2 == 0 ? QosClass::kGold : QosClass::kBronze;
+}
+
 std::unique_ptr<PlatformEngine> make_fleet(
     const SystemConfig& cfg, const EngineOptions& opts,
-    const std::vector<std::vector<Request>>& streams) {
+    const std::vector<std::vector<Request>>& streams, bool qos = false) {
   auto engine = std::make_unique<PlatformEngine>(cfg, PricingPlan{}, opts);
   const std::vector<FunctionSpec> base = workloads::all_functions();
   for (size_t i = 0; i < kFleetSize; ++i) {
     FunctionSpec spec = base[i % base.size()];
     spec.name += "#" + std::to_string(i);
-    engine
-        ->add(FunctionRegistration(std::move(spec))
-                  .policy(PolicyKind::kToss)
-                  .toss(fast_toss())
-                  .seed(700 + i),
-              streams[i])
-        .value();
+    FunctionRegistration reg(std::move(spec));
+    reg.policy(PolicyKind::kToss).toss(fast_toss()).seed(700 + i);
+    if (qos) reg.qos(lane_class(i));
+    engine->add(reg, streams[i]).value();
   }
   return engine;
 }
@@ -169,9 +179,207 @@ void write_json(const std::string& path, const std::vector<LoadRow>& rows) {
   std::printf("artifact: %s\n", path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// --qos mode: gold lanes hold a fixed sub-saturation load while bronze
+// lanes sweep the same multipliers as the default mode, with the host's
+// global queue bound as the shared bottleneck the classes contend for. The
+// claim under test is the SLO one: as bronze load climbs past saturation,
+// the QoS-aware degradation order (bronze-first global trim, EDF pop
+// within a lane, deadline shedding) must keep gold SLO attainment flat
+// while bronze absorbs the shedding. (The arbiter's curve demotion and
+// per-class admission gates are covered by qos_test's scripted harness:
+// a fresh fleet cannot tier under a budget tight enough to exercise them,
+// because pre-tiered lanes pin their whole image in DRAM.)
+
+constexpr double kGoldMultiplier = 0.8;
+constexpr size_t kGlobalQueueDepth = kFleetSize * kQueueDepth / 2;
+constexpr double kGoldFlatTolerance = 0.05;
+
+struct QosClassRow {
+  u64 offered = 0, completed = 0, shed = 0, deadline_misses = 0;
+  double attainment() const {
+    return offered == 0
+               ? 1.0
+               : static_cast<double>(completed - deadline_misses) /
+                     static_cast<double>(offered);
+  }
+};
+
+struct QosRow {
+  double multiplier = 0;  ///< bronze load; gold holds kGoldMultiplier
+  QosClassRow gold, bronze;
+  size_t queue_peak = 0;
+};
+
+struct QosRun {
+  QosRow row;
+  std::vector<std::vector<ShedEvent>> ledgers;  // per lane
+};
+
+QosRun run_qos_load(const SystemConfig& cfg, double bronze_multiplier,
+                    const std::vector<Nanos>& mean_service, int threads,
+                    u64 seed) {
+  EngineOptions opts;
+  opts.chunk = 4;
+  opts.max_lane_queue = kQueueDepth;
+  // The shared bottleneck the classes contend for: a host-wide queue bound
+  // at half the lane-bound sum, so bronze saturation forces the barrier's
+  // global trim — which sheds bronze to exhaustion before touching gold.
+  opts.max_global_queue = kGlobalQueueDepth;
+  opts.enforce_deadlines = true;
+
+  std::vector<std::vector<Request>> streams;
+  for (size_t i = 0; i < kFleetSize; ++i) {
+    const double multiplier = lane_class(i) == QosClass::kGold
+                                  ? kGoldMultiplier
+                                  : bronze_multiplier;
+    const Nanos gap = mean_service[i] / multiplier;
+    const Nanos deadline = kDeadlineServiceMultiple * mean_service[i];
+    streams.push_back(RequestGenerator::open_loop(
+        closed_stream(i), gap, deadline, 97 + i + seed * 131));
+  }
+
+  auto engine = make_fleet(cfg, opts, streams, /*qos=*/true);
+  const EngineReport report = engine->run(threads).value();
+
+  QosRun run;
+  run.row.multiplier = bronze_multiplier;
+  size_t lane = 0;
+  for (const FunctionReport& f : report.functions) {
+    QosClassRow& c =
+        lane_class(lane) == QosClass::kGold ? run.row.gold : run.row.bronze;
+    c.offered += f.overload.offered;
+    c.completed += f.overload.completed;
+    c.shed += f.overload.total_shed();
+    c.deadline_misses += f.overload.deadline_misses;
+    run.row.queue_peak = std::max(run.row.queue_peak, f.overload.queue_peak);
+    run.ledgers.push_back(f.shed_events);
+    ++lane;
+  }
+  return run;
+}
+
+void write_qos_json(const std::string& path, const std::vector<QosRow>& rows) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"overload_shed_qos\",\"fleet\":%zu,"
+               "\"requests_per_function\":%zu,\"queue_depth\":%zu,"
+               "\"deadline_service_multiple\":%g,\"gold_multiplier\":%g,"
+               "\"global_queue_depth\":%zu,\"rows\":[",
+               kFleetSize, kRequestsPerFunction, kQueueDepth,
+               kDeadlineServiceMultiple, kGoldMultiplier, kGlobalQueueDepth);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const QosRow& r = rows[i];
+    std::fprintf(
+        out,
+        "%s{\"multiplier\":%g,\"queue_peak\":%zu,"
+        "\"gold\":{\"offered\":%llu,\"completed\":%llu,\"shed\":%llu,"
+        "\"deadline_misses\":%llu,\"attainment\":%.6f},"
+        "\"bronze\":{\"offered\":%llu,\"completed\":%llu,\"shed\":%llu,"
+        "\"deadline_misses\":%llu,\"attainment\":%.6f}}",
+        i ? "," : "", r.multiplier, r.queue_peak,
+        static_cast<unsigned long long>(r.gold.offered),
+        static_cast<unsigned long long>(r.gold.completed),
+        static_cast<unsigned long long>(r.gold.shed),
+        static_cast<unsigned long long>(r.gold.deadline_misses),
+        r.gold.attainment(),
+        static_cast<unsigned long long>(r.bronze.offered),
+        static_cast<unsigned long long>(r.bronze.completed),
+        static_cast<unsigned long long>(r.bronze.shed),
+        static_cast<unsigned long long>(r.bronze.deadline_misses),
+        r.bronze.attainment());
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("artifact: %s\n", path.c_str());
+}
+
+int run_qos_mode(int argc, char** argv, const SystemConfig& cfg) {
+  const std::vector<Nanos> mean_service = calibrate(cfg);
+
+  std::printf("gold holds %.2fx; bronze sweeps. global queue bound = %zu\n",
+              kGoldMultiplier, kGlobalQueueDepth);
+  std::printf("%6s %9s %9s %9s %9s %9s %9s\n", "load", "gold-att",
+              "gold-shed", "brz-att", "brz-shed", "brz-compl", "qpeak");
+  std::vector<QosRow> rows;
+  bool queue_bound_held = true;
+  for (const double multiplier : kMultipliers) {
+    const QosRun run =
+        run_qos_load(cfg, multiplier, mean_service, /*threads=*/4, 41);
+    const QosRow& r = run.row;
+    queue_bound_held = queue_bound_held && r.queue_peak <= kQueueDepth;
+    std::printf("%5.2fx %9.4f %9llu %9.4f %9llu %9llu %9zu\n", r.multiplier,
+                r.gold.attainment(),
+                static_cast<unsigned long long>(r.gold.shed),
+                r.bronze.attainment(),
+                static_cast<unsigned long long>(r.bronze.shed),
+                static_cast<unsigned long long>(r.bronze.completed),
+                r.queue_peak);
+    rows.push_back(r);
+  }
+
+  write_qos_json(
+      toss::bench::artifact_path(argc, argv, "overload_shed_qos.json"), rows);
+
+  // Gate 1: bounded queues stayed bounded.
+  if (!queue_bound_held) {
+    std::printf("FAIL: a lane queue exceeded its bound of %zu\n", kQueueDepth);
+    return 1;
+  }
+  // Gate 2: gold SLO attainment holds flat across the whole bronze sweep —
+  // saturation lands on bronze, not gold.
+  double gold_min = 1.0, gold_max = 0.0;
+  for (const QosRow& r : rows) {
+    gold_min = std::min(gold_min, r.gold.attainment());
+    gold_max = std::max(gold_max, r.gold.attainment());
+  }
+  if (gold_max - gold_min > kGoldFlatTolerance) {
+    std::printf("FAIL: gold SLO attainment sagged under bronze overload "
+                "(%.4f .. %.4f)\n",
+                gold_min, gold_max);
+    return 1;
+  }
+  // Gate 3: bronze absorbed the shedding at the heaviest load.
+  const QosRow& heaviest_row = rows.back();
+  if (heaviest_row.bronze.shed <= heaviest_row.gold.shed) {
+    std::printf("FAIL: shedding was not QoS-ordered at %.0fx (bronze %llu "
+                "<= gold %llu)\n",
+                heaviest_row.multiplier,
+                static_cast<unsigned long long>(heaviest_row.bronze.shed),
+                static_cast<unsigned long long>(heaviest_row.gold.shed));
+    return 1;
+  }
+  // Gate 4: the QoS-aware shed ledgers stay bit-identical between a serial
+  // and a 4-thread drain at the heaviest load, over three stream seeds.
+  const double heaviest = kMultipliers[std::size(kMultipliers) - 1];
+  const bool ledgers_ok = toss::bench::ledger_equality_sweep(
+      {41, 42, 43}, /*threads=*/4,
+      [&](u64 seed, int threads) {
+        return run_qos_load(cfg, heaviest, mean_service, threads, seed);
+      },
+      [](const QosRun& s, const QosRun& p) { return s.ledgers == p.ledgers; },
+      [](u64, const QosRun&, bool) {});
+  if (!ledgers_ok) {
+    std::printf("FAIL: QoS shed ledgers diverged between 1 and 4 threads\n");
+    return 1;
+  }
+  std::printf("gold SLO holds flat: %.4f .. %.4f across bronze %.2fx .. "
+              "%.0fx\n",
+              gold_min, gold_max, kMultipliers[0], heaviest);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--qos")
+      return run_qos_mode(argc, argv,
+                          toss::bench::ladder_config_from_args(argc, argv));
   // `--config=paper|cxl|nvme` (or --ladder=2|3|4) picks the host ladder;
   // the default two-tier run is the bit-stable CI artifact.
   const SystemConfig cfg = toss::bench::ladder_config_from_args(argc, argv);

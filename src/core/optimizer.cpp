@@ -6,6 +6,23 @@
 
 namespace toss {
 
+double derive_slowdown_threshold(const BinProfile& profile, double base_cost,
+                                 double slo_slowdown) {
+  size_t best_prefix = 0;
+  double best_cost = base_cost;
+  for (size_t k = 0; k < profile.steps.size(); ++k) {
+    const BinStep& s = profile.steps[k];
+    if (s.cumulative_slowdown > slo_slowdown) break;
+    if (s.cumulative_cost < best_cost) {
+      best_cost = s.cumulative_cost;
+      best_prefix = k + 1;
+    }
+  }
+  return best_prefix == 0
+             ? 0.0
+             : profile.steps[best_prefix - 1].cumulative_slowdown;
+}
+
 TieringDecision choose_placement(const SystemConfig& cfg,
                                  const std::vector<Bin>& bins,
                                  const RegionList& zero_regions,
@@ -21,6 +38,19 @@ TieringDecision choose_placement(const SystemConfig& cfg,
   d.offloaded.assign(bins.size(), false);
   d.bin_rank.assign(bins.size(), 0);
 
+  const double base_cost = ladder_normalized_cost(
+      1.0, d.profile.base_placement.deep_fractions(ranks), ratios);
+
+  // SLO -> threshold (DESIGN.md §14): a QoS class's SLO target picks the
+  // cheapest configuration it admits, and that configuration's slowdown
+  // becomes the effective Step-III threshold. An explicit threshold wins.
+  std::optional<double> threshold = options.slowdown_threshold;
+  if (!threshold && options.slo_slowdown) {
+    d.derived_threshold =
+        derive_slowdown_threshold(d.profile, base_cost, *options.slo_slowdown);
+    threshold = d.derived_threshold;
+  }
+
   // The progressive sweep pushes bins down the ladder coldest-first; each
   // step's cumulative Eq 1 cost is the memory cost of stopping there. The
   // minimum-cost configuration is the prefix with the lowest cumulative
@@ -28,37 +58,69 @@ TieringDecision choose_placement(const SystemConfig& cfg,
   // A slowdown threshold restricts the eligible prefixes to those whose
   // cumulative slowdown stays within bounds.
   size_t best_prefix = 0;  // number of applied descents; 0 = bins all fast
-  double best_cost = ladder_normalized_cost(
-      1.0, d.profile.base_placement.deep_fractions(ranks), ratios);
+  double best_cost = base_cost;
   for (size_t k = 0; k < d.profile.steps.size(); ++k) {
     const BinStep& s = d.profile.steps[k];
-    if (options.slowdown_threshold &&
-        s.cumulative_slowdown > *options.slowdown_threshold)
-      break;
+    if (threshold && s.cumulative_slowdown > *threshold) break;
     if (s.cumulative_cost < best_cost) {
       best_cost = s.cumulative_cost;
       best_prefix = k + 1;
     }
   }
 
+  // Rank-0 residue after each sweep prefix, in pages: only steps leaving
+  // rank 0 shrink it. Feeds the fast-budget extension and the demotion
+  // curve below.
+  std::vector<u64> bin_pages(bins.size(), 0);
+  for (size_t b = 0; b < bins.size(); ++b)
+    for (const Region& r : bins[b].regions) bin_pages[b] += r.page_count;
+  std::vector<u64> fast_after(d.profile.steps.size() + 1, 0);
+  fast_after[0] = d.profile.base_placement.pages_in(tier_index(0));
+  for (size_t k = 0; k < d.profile.steps.size(); ++k)
+    fast_after[k + 1] =
+        fast_after[k] - (d.profile.steps[k].from_rank == 0
+                             ? bin_pages[d.profile.steps[k].bin_index]
+                             : 0);
+
   // Fast-budget bound (the arbiter's demotion hook): extend the descent
   // prefix until the rank-0 residue fits the cap. Only pass-1 steps (rank
   // 0 -> 1) shrink the fast tier, and they all come first in sweep order,
   // so the extension resolves within pass 1.
   if (options.max_fast_bytes) {
-    std::vector<u64> bin_pages(bins.size(), 0);
-    for (size_t b = 0; b < bins.size(); ++b)
-      for (const Region& r : bins[b].regions) bin_pages[b] += r.page_count;
-    u64 fast_pages = d.profile.base_placement.pages_in(tier_index(0));
-    for (size_t k = 0; k < best_prefix; ++k)
-      if (d.profile.steps[k].from_rank == 0)
-        fast_pages -= bin_pages[d.profile.steps[k].bin_index];
-    while (bytes_for_pages(fast_pages) > *options.max_fast_bytes &&
-           best_prefix < d.profile.steps.size()) {
-      if (d.profile.steps[best_prefix].from_rank == 0)
-        fast_pages -= bin_pages[d.profile.steps[best_prefix].bin_index];
+    while (bytes_for_pages(fast_after[best_prefix]) > *options.max_fast_bytes &&
+           best_prefix < d.profile.steps.size())
       ++best_prefix;
-    }
+  }
+
+  // Continuous-demotion floor: the QoS arbiter re-enters placement at the
+  // next demotion_curve point, which outranks the threshold preference the
+  // same way the fast-budget cap does.
+  if (options.min_descent_prefix)
+    best_prefix = std::max(
+        best_prefix,
+        std::min(*options.min_descent_prefix, d.profile.steps.size()));
+  d.chosen_prefix = best_prefix;
+
+  // Demotion curve: for each strictly smaller rank-0 footprint reachable
+  // beyond the chosen prefix, the cheapest prefix at that footprint — the
+  // "next local minimum" stops the QoS arbiter demotes through, nearest
+  // first. Prefixes that do not shrink rank 0 cannot relieve fast-tier
+  // pressure and are folded into their footprint level.
+  u64 level_pages = fast_after[best_prefix];
+  for (size_t k = best_prefix + 1; k <= d.profile.steps.size(); ++k) {
+    if (fast_after[k] >= level_pages) continue;
+    level_pages = fast_after[k];
+    // Cheapest prefix at this footprint level (ties toward the shallowest).
+    size_t cheapest = k;
+    for (size_t j = k + 1;
+         j <= d.profile.steps.size() && fast_after[j] == fast_after[k]; ++j)
+      if (d.profile.steps[j - 1].cumulative_cost <
+          d.profile.steps[cheapest - 1].cumulative_cost)
+        cheapest = j;
+    d.demotion_curve.push_back(
+        CostCurvePoint{cheapest, bytes_for_pages(fast_after[k]),
+                       d.profile.steps[cheapest - 1].cumulative_slowdown,
+                       d.profile.steps[cheapest - 1].cumulative_cost});
   }
 
   // Apply: zero regions at the deepest rung, each bin on the rung its last

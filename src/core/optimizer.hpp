@@ -20,6 +20,14 @@ class ThreadPool;
 struct TieringOptions {
   int bin_count = 10;                         ///< paper: N = 10
   std::optional<double> slowdown_threshold;   ///< e.g. 0.10 for <= 10%
+  /// QoS SLO target: derive the slowdown threshold from this instead of
+  /// taking it as a given. When set and slowdown_threshold is not, Step III
+  /// walks the Eq-1 cost curve to the cheapest configuration whose
+  /// cumulative slowdown stays within the SLO and uses that configuration's
+  /// slowdown as the effective threshold (recorded in
+  /// TieringDecision::derived_threshold). An explicit slowdown_threshold
+  /// always wins.
+  std::optional<double> slo_slowdown;
   /// Optional pool for the bin-profiling sweep; nullptr = serial. The
   /// measured configurations are independent, so the decision is
   /// bit-identical with or without a pool.
@@ -35,6 +43,24 @@ struct TieringOptions {
   /// be placed above this ladder rank. 0 = no floor; ladder_size-1 pushes
   /// the whole image to the deepest rung. Clamped to the ladder.
   size_t min_tier_rank = 0;
+  /// Continuous-demotion floor (RetierBound::min_descent_prefix): force the
+  /// chosen configuration at least this many descents down the sweep, past
+  /// whatever the threshold alone would pick. The QoS arbiter demotes a
+  /// lane by re-tiering at the next TieringDecision::demotion_curve point.
+  std::optional<size_t> min_descent_prefix;
+};
+
+/// One stop further down the Step-III descent sweep: the cheapest prefix at
+/// a strictly smaller rank-0 (fastest tier) footprint than the point above
+/// it. TieringDecision::demotion_curve lists these nearest-first; the QoS
+/// arbiter's continuous demotion walks them instead of a fixed rung ladder.
+struct CostCurvePoint {
+  size_t prefix = 0;       ///< descents applied (sweep-order prefix length)
+  u64 fast_bytes = 0;      ///< rank-0 bytes the placement would keep
+  double slowdown = 0;     ///< cumulative slowdown at this prefix
+  double cost = 0;         ///< cumulative Eq-1 normalized cost
+
+  bool operator==(const CostCurvePoint&) const = default;
 };
 
 struct TieringDecision {
@@ -44,8 +70,26 @@ struct TieringDecision {
   double slow_fraction = 0;       ///< Table II's "slow tier percentage"
   std::vector<bool> offloaded;    ///< per bin index: below rank 0?
   std::vector<size_t> bin_rank;   ///< per bin index: chosen ladder rung
+  /// Descents actually applied (after the threshold sweep, the fast-budget
+  /// extension and the min_descent_prefix floor).
+  size_t chosen_prefix = 0;
+  /// Slowdown threshold derived from TieringOptions::slo_slowdown; unset
+  /// when no SLO drove the selection.
+  std::optional<double> derived_threshold;
+  /// Demotion candidates below the chosen configuration, nearest first:
+  /// for each strictly smaller rank-0 footprint reachable further down the
+  /// sweep, the cheapest prefix at that footprint. Empty = fully descended.
+  std::vector<CostCurvePoint> demotion_curve;
   BinProfile profile;             ///< kept for diagnostics and benches
 };
+
+/// SLO -> Eq-1 threshold derivation: the cumulative slowdown of the
+/// cheapest sweep prefix whose slowdown stays within `slo_slowdown`
+/// (`base_cost` is the prefix-0 / everything-fast cost; the walk mirrors
+/// choose_placement and stops at the first step exceeding the SLO).
+/// Returns 0 when no descent fits the SLO — the placement stays all-fast.
+double derive_slowdown_threshold(const BinProfile& profile, double base_cost,
+                                 double slo_slowdown);
 
 /// Run the full analysis for a set of packed bins: bin profiling followed
 /// by the minimum-cost (optionally slowdown-bounded) descent selection.

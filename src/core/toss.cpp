@@ -256,8 +256,10 @@ TieringDecision TossFunction::analyze_now(const RetierBound& bound) const {
   TieringOptions topt;
   topt.bin_count = options_.bin_count;
   topt.slowdown_threshold = options_.slowdown_threshold;
+  topt.slo_slowdown = options_.slo_slowdown;
   topt.max_fast_bytes = bound.max_fast_bytes;
   topt.min_tier_rank = bound.min_tier_rank;
+  topt.min_descent_prefix = bound.min_descent_prefix;
   // Analysis happens once per (re)profiling cycle, so a transient pool for
   // the bin sweep is cheap relative to the sweep itself.
   std::unique_ptr<ThreadPool> pool;

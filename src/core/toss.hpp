@@ -38,6 +38,12 @@ struct TossOptions {
   int bin_count = 10;
   double unified_change_epsilon = 0.02;
   std::optional<double> slowdown_threshold;
+  /// QoS SLO slowdown target (DESIGN.md §14): when set and
+  /// slowdown_threshold is not, Step III derives the threshold by walking
+  /// the Eq-1 cost curve to the cheapest configuration meeting the SLO
+  /// (TieringOptions::slo_slowdown). Set by FunctionRegistration::qos()/
+  /// slo(); an explicit slowdown_threshold always wins.
+  std::optional<double> slo_slowdown;
   double reprofile_budget = 1e-4;
   DamonConfig damon;
   /// The evaluation methodology drops the host page cache between

@@ -44,6 +44,7 @@ void FastTierArbiter::ensure_lane(size_t lane) {
     rung_.resize(lane + 1, 0);
     bytes_at_rung_.resize(lane + 1,
                           std::vector<u64>(static_cast<size_t>(max_rung_) + 1, 0));
+    descent_.resize(lane + 1);
   }
 }
 
@@ -61,6 +62,10 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
   for (size_t k = 0; k < lanes.size(); ++k) {
     const LaneDemand& d = lanes[k];
     ensure_lane(d.lane);
+    // Any classed lane latches QoS mode for the arbiter's lifetime:
+    // curve-based continuous demotion, class-ordered victims, per-class
+    // admission gates.
+    if (d.qos != QosClass::kNone) qos_mode_ = true;
     fast[k] = d.fast_bytes;
     // A lane that went back to work while its VM sat warm re-absorbs it:
     // count the reuse as a keep-alive hit and release the pool bytes (the
@@ -90,8 +95,12 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
   const u64 budget = budget_withdrawn_ ? 0 : budget_;
 
   // Ladder down. `stuck` marks lanes whose re-tier failed this tick (e.g.
-  // persistence faults) so the loop moves on instead of spinning.
+  // persistence faults) so the loop moves on instead of spinning. `used`
+  // counts curve steps consumed this tick (QoS mode): the demand's curve
+  // was snapshotted before any re-tier, so mid-tick demotions keep walking
+  // the same absolute-prefix candidates.
   std::vector<bool> stuck(lanes.size(), false);
+  std::vector<size_t> used(lanes.size(), 0);
   while (resident_ > budget) {
     // Rung A: shed warmth first — it only costs a future cold start.
     if (std::optional<std::string> victim = warm_.evict_lowest()) {
@@ -100,21 +109,41 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
       push_event(epoch, *victim, ArbiterAction::kEvictWarm, 0);
       continue;
     }
-    // Rung B: demote the largest-footprint tiered lane one rung
-    // (ties break toward the lowest lane index — deterministic).
+    // Rung B: pick the demotion victim. Classic mode: largest-footprint
+    // tiered lane, one fixed rung down. QoS mode: class outranks footprint
+    // (bronze lanes walk their curve to exhaustion before an unclassed
+    // lane moves, gold last), and the step is the lane's next Eq-1 curve
+    // point. Ties break toward the lowest lane index — deterministic.
     size_t best = lanes.size();
     for (size_t k = 0; k < lanes.size(); ++k) {
       const LaneDemand& d = lanes[k];
       if (!d.active || !d.demotable || stuck[k]) continue;
-      if (rung_[d.lane] >= max_rung_) continue;
-      if (best == lanes.size() || fast[k] > fast[best]) best = k;
+      if (qos_mode_ ? used[k] >= d.curve.size() : rung_[d.lane] >= max_rung_)
+        continue;
+      if (best == lanes.size()) {
+        best = k;
+        continue;
+      }
+      if (qos_mode_) {
+        const int rk = qos_shed_rank(d.qos);
+        const int rb = qos_shed_rank(lanes[best].qos);
+        if (rk != rb) {
+          if (rk < rb) best = k;
+          continue;
+        }
+      }
+      if (fast[k] > fast[best]) best = k;
     }
     if (best == lanes.size()) break;  // ladder exhausted
     const LaneDemand& d = lanes[best];
     const int target = rung_[d.lane] + 1;
     if (rung_[d.lane] == 0) bytes_at_rung_[d.lane][0] = fast[best];
-    const RetierBound bound =
-        bound_for_rung(target, bytes_at_rung_[d.lane][0]);
+    RetierBound bound;
+    if (qos_mode_) {
+      bound.min_descent_prefix = d.curve[used[best]].prefix;
+    } else {
+      bound = bound_for_rung(target, bytes_at_rung_[d.lane][0]);
+    }
     const std::optional<u64> applied = apply(d.lane, target, bound);
     if (!applied) {
       stuck[best] = true;
@@ -122,7 +151,12 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
     }
     fast[best] = *applied;
     rung_[d.lane] = target;
-    bytes_at_rung_[d.lane][static_cast<size_t>(target)] = *applied;
+    if (qos_mode_) {
+      descent_[d.lane].push_back(CurveStep{d.curve[used[best]].prefix, *applied});
+      ++used[best];
+    } else {
+      bytes_at_rung_[d.lane][static_cast<size_t>(target)] = *applied;
+    }
     demote_stack_.push_back(d.lane);
     ++demotions_;
     recompute();
@@ -131,20 +165,51 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
 
   // Rung C: when even a fully demoted fleet cannot fit, stop admitting.
   // A withdrawn budget closes admission unconditionally, even on an empty
-  // fleet — the host is quarantined, not merely full.
+  // fleet — the host is quarantined, not merely full. QoS mode closes one
+  // class per tick, bronze first, so gold admission survives transient
+  // pressure spikes; a withdrawn budget still slams both gates at once.
   if (resident_ > budget || budget_withdrawn_) {
-    if (!admission_closed_) {
+    if (!qos_mode_) {
+      if (!admission_closed_) {
+        admission_closed_ = true;
+        ++admission_closures_;
+        push_event(epoch, "", ArbiterAction::kCloseAdmission, 0);
+      }
+      return;
+    }
+    bool closed_this_tick = false;
+    if (!closed_bronze_) {
+      closed_bronze_ = true;
       admission_closed_ = true;
       ++admission_closures_;
-      push_event(epoch, "", ArbiterAction::kCloseAdmission, 0);
+      push_event(epoch, "bronze", ArbiterAction::kCloseAdmission, 0);
+      closed_this_tick = true;
+    }
+    if (!closed_gold_ && (budget_withdrawn_ || !closed_this_tick)) {
+      closed_gold_ = true;
+      admission_closed_ = true;
+      ++admission_closures_;
+      push_event(epoch, "gold", ArbiterAction::kCloseAdmission, 0);
     }
     return;
   }
 
-  // Recovery, in reverse ladder order: re-open admission first...
-  if (admission_closed_) {
+  // Recovery, in reverse ladder order: re-open admission first. QoS mode
+  // reopens one class per tick, gold first (gold-protecting hysteresis:
+  // gold traffic readmits before bronze may add pressure back).
+  if (!qos_mode_) {
+    if (admission_closed_) {
+      admission_closed_ = false;
+      push_event(epoch, "", ArbiterAction::kOpenAdmission, 0);
+    }
+  } else if (closed_gold_) {
+    closed_gold_ = false;
+    admission_closed_ = closed_bronze_;
+    push_event(epoch, "gold", ArbiterAction::kOpenAdmission, 0);
+  } else if (closed_bronze_) {
+    closed_bronze_ = false;
     admission_closed_ = false;
-    push_event(epoch, "", ArbiterAction::kOpenAdmission, 0);
+    push_event(epoch, "bronze", ArbiterAction::kOpenAdmission, 0);
   }
 
   // ...then promote the most recently demoted lane one rung — at most one
@@ -161,17 +226,39 @@ void FastTierArbiter::tick(u64 epoch, const std::vector<LaneDemand>& lanes,
     if (k == lanes.size() || !lanes[k].active || !lanes[k].demotable ||
         rung_[lane] == 0) {
       demote_stack_.pop_back();  // stale: lane finished or left kTiered
+      descent_[lane].clear();
       continue;
     }
     const int target = rung_[lane] - 1;
-    const u64 predicted =
-        resident_ - fast[k] + bytes_at_rung_[lane][static_cast<size_t>(target)];
+    // QoS mode replays the recorded descent LIFO: the fit-check reads the
+    // resident bytes observed when the lane landed at the target depth,
+    // and the bound restores that depth's curve prefix (depth 0 =
+    // unconstrained). Classic mode keeps the fixed-rung bookkeeping. A
+    // depth/stack mismatch means the rungs predate QoS mode; fall back to
+    // the classic path, which is exactly how they were built.
+    const bool curve_walk =
+        qos_mode_ && descent_[lane].size() == static_cast<size_t>(rung_[lane]);
+    const u64 target_bytes =
+        curve_walk ? (target == 0
+                          ? bytes_at_rung_[lane][0]
+                          : descent_[lane][static_cast<size_t>(target) - 1]
+                                .fast_bytes)
+                   : bytes_at_rung_[lane][static_cast<size_t>(target)];
+    const u64 predicted = resident_ - fast[k] + target_bytes;
     if (predicted > budget) break;  // would re-demote next tick; hold
-    const RetierBound bound = bound_for_rung(target, bytes_at_rung_[lane][0]);
+    RetierBound bound;
+    if (curve_walk) {
+      if (target > 0)
+        bound.min_descent_prefix =
+            descent_[lane][static_cast<size_t>(target) - 1].prefix;
+    } else {
+      bound = bound_for_rung(target, bytes_at_rung_[lane][0]);
+    }
     const std::optional<u64> applied = apply(lane, target, bound);
     if (!applied) break;  // re-tier failed; retry next tick
     fast[k] = *applied;
     rung_[lane] = target;
+    if (curve_walk) descent_[lane].pop_back();
     demote_stack_.pop_back();
     ++promotions_;
     recompute();

@@ -34,8 +34,21 @@
 
 #include "core/retier_bound.hpp"
 #include "platform/keepalive.hpp"
+#include "platform/qos.hpp"
 
 namespace toss {
+
+/// One remaining demotion candidate on a lane's Eq-1 cost curve: re-tiering
+/// with min_descent_prefix = `prefix` lands the lane at `fast_bytes` of
+/// rank-0 footprint (the cheapest prefix at that footprint level — a local
+/// minimum of ladder_normalized_cost). Mirrors core's CostCurvePoint
+/// without dragging optimizer.hpp into the platform layer.
+struct CurveStep {
+  size_t prefix = 0;
+  u64 fast_bytes = 0;
+
+  bool operator==(const CurveStep&) const = default;
+};
 
 struct ArbiterOptions {
   /// Master switch; everything below is inert when false.
@@ -109,6 +122,15 @@ class FastTierArbiter {
     /// Predicted time until the function's next arrival (prewarm
     /// handshake); negative = the predictor has no confident estimate.
     Nanos predicted_reuse_gap_ns = -1;
+    /// Service class (DESIGN.md §14). Any classed lane latches the arbiter
+    /// into QoS mode: curve-based continuous demotion in qos_shed_rank
+    /// order and per-class admission gates.
+    QosClass qos = QosClass::kNone;
+    /// Remaining demotion candidates on the lane's Eq-1 cost curve,
+    /// nearest (smallest footprint drop) first; filled by the host from
+    /// TieringDecision::demotion_curve when QoS classes are engaged. A
+    /// demotable lane with an empty curve is at the curve's floor.
+    std::vector<CurveStep> curve;
   };
 
   /// Re-tier hook: ask the engine to rebuild `lane`'s snapshot under
@@ -147,6 +169,14 @@ class FastTierArbiter {
   bool budget_withdrawn() const { return budget_withdrawn_; }
 
   bool admission_closed() const { return admission_closed_; }
+  /// Per-class admission gate (QoS mode): bronze lanes close first and
+  /// reopen last; gold (and unclassed) lanes hold out until the ladder is
+  /// exhausted and readmit first. Outside QoS mode every class reads the
+  /// single legacy gate, so the answer is identical for all callers.
+  bool admission_closed(QosClass cls) const {
+    if (!qos_mode_) return admission_closed_;
+    return cls == QosClass::kBronze ? closed_bronze_ : closed_gold_;
+  }
   int rung(size_t lane) const {
     return lane < rung_.size() ? rung_[lane] : 0;
   }
@@ -172,8 +202,18 @@ class FastTierArbiter {
   std::vector<std::vector<u64>> bytes_at_rung_;
   /// Demotion order; promotions pop LIFO (one stack entry per demotion).
   std::vector<size_t> demote_stack_;
+  /// QoS mode: applied curve steps per engine lane index, in descent order
+  /// — entry d-1 is the (prefix, resident fast bytes) the lane landed on
+  /// at depth d. Promotions pop this stack; rung_ doubles as the depth.
+  std::vector<std::vector<CurveStep>> descent_;
 
   bool admission_closed_ = false;
+  /// QoS mode latch (any classed LaneDemand ever seen) + per-class gates.
+  /// Invariant while latched: admission_closed_ == closed_bronze_ ||
+  /// closed_gold_, so admission_closed_streak bookkeeping is unchanged.
+  bool qos_mode_ = false;
+  bool closed_bronze_ = false;
+  bool closed_gold_ = false;
   bool budget_withdrawn_ = false;
   u64 resident_ = 0;
   u64 peak_resident_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "core/optimizer.hpp"
 #include "trace/pattern.hpp"
@@ -90,7 +91,37 @@ std::string ClusterReport::to_json() const {
     out += "{\"epoch\":" + std::to_string(h.epoch) + ",\"host\":\"" + h.host +
            "\",\"action\":\"" + host_health_action_name(h.action) + "\"}";
   }
-  out += "]},\"hosts\":[";
+  out += "]";
+  // Schema-6 cluster-wide per-class SLO rollup: the hosts' per-class
+  // ledgers summed in QosClass enum order. Absent for unclassed fleets,
+  // so pre-QoS reports only change by the schema number.
+  std::string qos_json;
+  for (QosClass cls : {QosClass::kGold, QosClass::kBronze}) {
+    QosAttainment sum;
+    bool any = false;
+    for (const ClusterHostReport& h : hosts)
+      for (const QosClassRollup& r : h.report.metrics.qos)
+        if (r.cls == cls) {
+          any = true;
+          sum.offered += r.ledger.offered;
+          sum.completed += r.ledger.completed;
+          sum.slo_met += r.ledger.slo_met;
+        }
+    if (!any) continue;
+    if (!qos_json.empty()) qos_json += ",";
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"class\":\"%s\",\"offered\":%llu,\"completed\":%llu,"
+                  "\"slo_met\":%llu,\"attainment\":%.6f}",
+                  qos_class_name(cls),
+                  static_cast<unsigned long long>(sum.offered),
+                  static_cast<unsigned long long>(sum.completed),
+                  static_cast<unsigned long long>(sum.slo_met),
+                  sum.attainment());
+    qos_json += buf;
+  }
+  if (!qos_json.empty()) out += ",\"qos\":[" + qos_json + "]";
+  out += "},\"hosts\":[";
   for (size_t i = 0; i < hosts.size(); ++i) {
     if (i) out += ",";
     out += hosts[i].report.metrics.to_json();
@@ -152,6 +183,7 @@ std::vector<u64> predicted_tier_demand(
   TieringOptions topt;
   topt.bin_count = registration.toss_options().bin_count;
   topt.slowdown_threshold = registration.toss_options().slowdown_threshold;
+  topt.slo_slowdown = registration.toss_options().slo_slowdown;
   const TieringDecision decision =
       analyze_pattern(cfg, unified, representative, topt);
   const std::vector<u64> pages =
@@ -439,9 +471,21 @@ void ClusterEngine::fail_over(size_t dead_host) {
   h.dead = true;
   ++hosts_lost_;
   push_health_event(dead.name(), HostHealthAction::kCrash);
-  for (size_t li = 0; li < dead.lane_count(); ++li) {
+  // Re-place the lanes gold-first: gold lanes claim survivor headroom (and
+  // the destination's admission-bounded queue slots) before bronze, so any
+  // failover shedding lands on bronze. Unclassed fleets sort equal, so the
+  // stable sort preserves the historical slot order bit-identically.
+  std::vector<size_t> order;
+  order.reserve(dead.lane_count());
+  for (size_t li = 0; li < dead.lane_count(); ++li)
+    if (dead.lane_at(li) != nullptr) order.push_back(li);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return qos_shed_rank(dead.lane_at(a)->qos.cls) >
+           qos_shed_rank(dead.lane_at(b)->qos.cls);
+  });
+  for (size_t li : order) {
     const HostLane* view = dead.lane_at(li);
-    if (view == nullptr) continue;  // migrated away earlier
+    if (view == nullptr) continue;  // unreachable; defensive
     Placement* placement = nullptr;
     for (Placement& p : placements_)
       if (p.function == view->name) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
@@ -12,17 +13,6 @@ const char* drop_policy_name(DropPolicy policy) {
   switch (policy) {
     case DropPolicy::kTailDrop: return "tail_drop";
     case DropPolicy::kOldestDrop: return "oldest_drop";
-  }
-  return "?";
-}
-
-const char* shed_cause_name(ShedCause cause) {
-  switch (cause) {
-    case ShedCause::kQueueFull: return "queue_full";
-    case ShedCause::kGlobalOverload: return "global_overload";
-    case ShedCause::kAdmissionClosed: return "admission_closed";
-    case ShedCause::kDeadlineExpired: return "deadline_expired";
-    case ShedCause::kHostLost: return "host_lost";
   }
   return "?";
 }
@@ -124,6 +114,8 @@ Result<void> Host::add(const FunctionRegistration& registration,
   lane->requests = std::move(requests);
   if (options_.keep_outcomes) lane->outcomes.reserve(lane->requests.size());
   lane->series = metrics_.series(name);
+  lane->qos = registration.qos_spec();
+  if (lane->qos.cls != QosClass::kNone) qos_engaged_ = true;
   lanes_.push_back(std::move(lane));
   return {};
 }
@@ -281,28 +273,9 @@ void Host::drain_legacy(int threads) {
 // shed/arbiter ledgers are bit-identical for any thread count.
 
 void Host::shed(HostLane& lane, size_t request_index, ShedCause cause) {
-  switch (cause) {
-    case ShedCause::kQueueFull:
-      ++lane.overload.shed_queue_full;
-      lane.series->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kGlobalOverload:
-      ++lane.overload.shed_global;
-      lane.series->shed_queue_global.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kAdmissionClosed:
-      ++lane.overload.shed_admission;
-      lane.series->shed_admission.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kDeadlineExpired:
-      ++lane.overload.shed_deadline;
-      lane.series->shed_deadline.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ShedCause::kHostLost:
-      ++lane.overload.shed_host_lost;
-      lane.series->shed_host_lost.fetch_add(1, std::memory_order_relaxed);
-      break;
-  }
+  const size_t c = static_cast<size_t>(cause);
+  ++lane.overload.shed[c];
+  lane.series->shed[c].fetch_add(1, std::memory_order_relaxed);
   if (options_.keep_shed_events)
     lane.shed_events.push_back(ShedEvent{request_index, cause, lane.sim_now});
 }
@@ -354,8 +327,23 @@ void Host::process_chunk_overload(HostLane& lane, bool admission_closed) {
           std::max(lane.sim_now, lane.requests[lane.arrived].arrival_ns);
       continue;
     }
-    const size_t idx = lane.queue.front();
-    lane.queue.pop_front();
+    // Pop order: FIFO on the legacy path; earliest-deadline-first once QoS
+    // classes are engaged (zero deadlines sort last, ties keep the lowest
+    // queue position), so SLO-bearing work is served before best-effort.
+    size_t pos = 0;
+    if (qos_engaged_ && lane.queue.size() > 1) {
+      Nanos best_deadline = std::numeric_limits<Nanos>::max();
+      for (size_t q = 0; q < lane.queue.size(); ++q) {
+        const Nanos dl = lane.requests[lane.queue[q]].deadline_ns;
+        const Nanos key = dl > 0 ? dl : std::numeric_limits<Nanos>::max();
+        if (key < best_deadline) {
+          best_deadline = key;
+          pos = q;
+        }
+      }
+    }
+    const size_t idx = lane.queue[pos];
+    lane.queue.erase(lane.queue.begin() + static_cast<std::ptrdiff_t>(pos));
     const Request& r = lane.requests[idx];
     if (options_.enforce_deadlines && r.deadline_ns > 0 &&
         lane.sim_now > r.deadline_ns) {
@@ -408,12 +396,25 @@ void Host::enforce_global_queue_bound() {
     if (lane != nullptr) total += lane->queue.size();
   while (total > options_.max_global_queue) {
     // Trim the longest queue; ties break toward the lowest lane index.
+    // With QoS classes engaged, class outranks length: bronze queues are
+    // trimmed to exhaustion before unclassed ones, and gold last.
     size_t victim = lanes_.size();
-    for (size_t i = 0; i < lanes_.size(); ++i)
-      if (lanes_[i] != nullptr && !lanes_[i]->queue.empty() &&
-          (victim == lanes_.size() ||
-           lanes_[i]->queue.size() > lanes_[victim]->queue.size()))
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i] == nullptr || lanes_[i]->queue.empty()) continue;
+      if (victim == lanes_.size()) {
         victim = i;
+        continue;
+      }
+      if (qos_engaged_) {
+        const int ri = qos_shed_rank(lanes_[i]->qos.cls);
+        const int rv = qos_shed_rank(lanes_[victim]->qos.cls);
+        if (ri != rv) {
+          if (ri < rv) victim = i;
+          continue;
+        }
+      }
+      if (lanes_[i]->queue.size() > lanes_[victim]->queue.size()) victim = i;
+    }
     if (victim == lanes_.size()) return;  // unreachable; defensive
     HostLane& lane = *lanes_[victim];
     const size_t idx = options_.drop_policy == DropPolicy::kTailDrop
@@ -471,6 +472,17 @@ void Host::arbiter_tick(FastTierArbiter& arbiter, u64 epoch) {
     const TossFunction* toss = lane.host->toss_state(lane.name);
     d.demotable = toss != nullptr && toss->phase() == TossPhase::kTiered;
     d.cold_cost_ns = lane.last_setup_ns;
+    d.qos = lane.qos.cls;
+    // QoS mode: hand the arbiter the lane's remaining Eq-1 demotion curve
+    // (cheapest prefix per strictly-smaller rank-0 footprint, nearest
+    // first) so it can demote continuously instead of by fixed rung.
+    if (qos_engaged_ && d.demotable) {
+      if (const TieringDecision* dec = toss->decision()) {
+        d.curve.reserve(dec->demotion_curve.size());
+        for (const CostCurvePoint& p : dec->demotion_curve)
+          d.curve.push_back(CurveStep{p.prefix, p.fast_bytes});
+      }
+    }
     // Prewarm handshake: a warm VM whose next arrival is predicted soon is
     // worth more than its GDSF priority alone says. -1 = no prediction.
     if (options_.arbiter.prewarm_hints) {
@@ -509,11 +521,15 @@ Result<void> Host::step_epoch(ThreadPool* pool) {
 
   FastTierArbiter* arbiter =
       options_.arbiter.enabled ? ensure_arbiter() : nullptr;
-  // Snapshot the admission gate once per epoch so every lane sees the same
-  // decision regardless of scheduling.
-  const bool closed = arbiter != nullptr && arbiter->admission_closed();
+  // Snapshot the admission gates once per epoch so every lane sees the same
+  // decision regardless of scheduling. Per-class gates (QoS mode) resolve
+  // here, serially; outside QoS mode every class reads the same gate.
+  std::vector<char> closed(active.size(), 0);
+  if (arbiter != nullptr)
+    for (size_t k = 0; k < active.size(); ++k)
+      closed[k] = arbiter->admission_closed(lanes_[active[k]]->qos.cls) ? 1 : 0;
   parallel_for(pool, active.size(), [&](size_t k) {
-    process_chunk_overload(*lanes_[active[k]], closed);
+    process_chunk_overload(*lanes_[active[k]], closed[k] != 0);
   });
   // parallel_for joins before returning, so reading the failure flag and
   // running the serial barrier below cannot race with workers.
@@ -601,6 +617,36 @@ MetricsSnapshot Host::metrics() const {
     if (t.capacity_bytes > 0)
       t.occupancy = static_cast<double>(t.resident_bytes) /
                     static_cast<double>(t.capacity_bytes);
+  if (qos_engaged_) {
+    // Schema-6 SLO ledgers: per-function attainment from the lane's
+    // overload ledger (a shed or SLO-late request counts against the
+    // class), plus the per-class rollup in QosClass enum order. Both are
+    // derived from barrier-serial counters, so they inherit the engine's
+    // thread-count independence.
+    for (FunctionMetrics& m : snap.functions) {
+      const HostLane* lane = find_lane(m.function);
+      if (lane == nullptr || lane->qos.cls == QosClass::kNone) continue;
+      m.qos = lane->qos.cls;
+      m.slo_slowdown = lane->qos.slo_slowdown;
+      m.slo.offered = lane->overload.offered;
+      m.slo.completed = lane->overload.completed;
+      m.slo.slo_met = lane->overload.completed - lane->overload.deadline_misses;
+    }
+    for (QosClass cls : {QosClass::kGold, QosClass::kBronze}) {
+      QosClassRollup rollup;
+      rollup.cls = cls;
+      bool any = false;
+      for (const auto& lane : lanes_) {
+        if (lane == nullptr || lane->qos.cls != cls) continue;
+        any = true;
+        rollup.ledger.offered += lane->overload.offered;
+        rollup.ledger.completed += lane->overload.completed;
+        rollup.ledger.slo_met +=
+            lane->overload.completed - lane->overload.deadline_misses;
+      }
+      if (any) snap.qos.push_back(rollup);
+    }
+  }
   return snap;
 }
 
@@ -656,6 +702,7 @@ Result<void> Host::adopt_lane(std::unique_ptr<HostLane> lane) {
   // registry; from here on this host's series accumulates them — the
   // cluster rollup sums both.
   lane->series = metrics_.series(lane->name);
+  if (lane->qos.cls != QosClass::kNone) qos_engaged_ = true;
   if (lane->rung != 0) {
     // Arrive un-demoted: the migration target was chosen for its headroom,
     // so restore the unconstrained Step-IV placement and let this host's

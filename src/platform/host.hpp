@@ -30,6 +30,7 @@
 //     lane's metrics series to the destination registry.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -56,19 +57,9 @@ enum class DropPolicy : u8 {
 
 const char* drop_policy_name(DropPolicy policy);
 
-/// Why a request was shed instead of served.
-enum class ShedCause : u8 {
-  kQueueFull = 0,     ///< per-lane queue at max_lane_queue
-  kGlobalOverload,    ///< global queue bound trimmed the longest lane queue
-  kAdmissionClosed,   ///< the arbiter closed admission (ladder rung C)
-  kDeadlineExpired,   ///< deadline already past when the request was popped
-  kHostLost,          ///< owning host crashed; shed at the failover barrier
-};
-
-const char* shed_cause_name(ShedCause cause);
-
-/// One shed decision; part of the determinism contract (the sequence is
-/// bit-identical for any thread count at a fixed seed).
+/// One shed decision, carrying the typed ShedCause (platform/qos.hpp); part
+/// of the determinism contract (the sequence is bit-identical for any
+/// thread count at a fixed seed).
 struct ShedEvent {
   size_t request_index = 0;  ///< index into the lane's request stream
   ShedCause cause = ShedCause::kQueueFull;
@@ -85,11 +76,8 @@ struct OverloadStats {
   u64 offered = 0;    ///< arrivals that reached admission control
   u64 admitted = 0;   ///< arrivals that entered the queue
   u64 completed = 0;  ///< requests actually served
-  u64 shed_queue_full = 0;
-  u64 shed_global = 0;
-  u64 shed_admission = 0;
-  u64 shed_deadline = 0;
-  u64 shed_host_lost = 0;  ///< host crashed with the request still pending
+  /// Per-cause shed counters, indexed by ShedCause (platform/qos.hpp).
+  std::array<u64, kShedCauseCount> shed{};
   /// Served past their deadline (admitted, not shed, but SLO-late).
   u64 deadline_misses = 0;
   u64 demotions = 0;   ///< arbiter re-tiered this lane down a rung
@@ -97,9 +85,13 @@ struct OverloadStats {
   u64 watchdog_trips = 0;
   size_t queue_peak = 0;  ///< high-water mark of the lane queue
 
+  u64 shed_by(ShedCause cause) const {
+    return shed[static_cast<size_t>(cause)];
+  }
   u64 total_shed() const {
-    return shed_queue_full + shed_global + shed_admission + shed_deadline +
-           shed_host_lost;
+    u64 total = 0;
+    for (u64 v : shed) total += v;
+    return total;
   }
 
   bool operator==(const OverloadStats&) const = default;
@@ -207,6 +199,9 @@ struct HostLane {
   std::vector<ShedEvent> shed_events;
   bool finish_reported = false;  ///< keep-alive insert happened
   int rung = 0;                  ///< arbiter demotion rung
+  /// Service class + effective SLO slowdown target (DESIGN.md §14); the
+  /// default (kNone) leaves every scheduler decision on the legacy path.
+  QosSpec qos;
   /// Inter-arrival predictor fed by admitted arrivals; the arbiter tick
   /// turns its prediction into a warm-demand hint (prewarm handshake).
   ArrivalPredictor predictor;
@@ -277,6 +272,11 @@ class Host {
   /// The arbiter's current fleet accounting (warm pool + active lanes);
   /// 0 before the first arbiter tick.
   u64 arbiter_resident_fast_bytes() const;
+
+  /// True once any lane carries a QoS class. Latches on add/adopt; every
+  /// QoS-aware scheduler branch is gated on it so an unclassed host stays
+  /// bit-identical to the pre-QoS ledgers (DESIGN.md §14).
+  bool qos_engaged() const { return qos_engaged_; }
 
   /// Lane-slot count including migration tombstones; lane_at() returns
   /// nullptr for tombstones.
@@ -372,6 +372,7 @@ class Host {
   std::unique_ptr<FastTierArbiter> arbiter_;
   u64 epoch_ = 0;
   int closed_streak_ = 0;
+  bool qos_engaged_ = false;  ///< any lane carries a QoS class
   Nanos wall_ns_ = 0;  ///< real time spent draining, summed
 
   // Scheduler state (valid during a drain). The mutex is rank-checked: a

@@ -142,12 +142,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         s->breaker_suspended.load(std::memory_order_relaxed);
     m.incomplete = s->incomplete.load(std::memory_order_relaxed);
     m.admitted = s->admitted.load(std::memory_order_relaxed);
-    m.shed_queue_full = s->shed_queue_full.load(std::memory_order_relaxed);
-    m.shed_queue_global =
-        s->shed_queue_global.load(std::memory_order_relaxed);
-    m.shed_admission = s->shed_admission.load(std::memory_order_relaxed);
-    m.shed_deadline = s->shed_deadline.load(std::memory_order_relaxed);
-    m.shed_host_lost = s->shed_host_lost.load(std::memory_order_relaxed);
+    for (size_t c = 0; c < kShedCauseCount; ++c)
+      m.shed[c] = s->shed[c].load(std::memory_order_relaxed);
     m.deadline_misses = s->deadline_misses.load(std::memory_order_relaxed);
     m.demotions = s->demotions.load(std::memory_order_relaxed);
     m.promotions = s->promotions.load(std::memory_order_relaxed);
@@ -223,6 +219,24 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(health.lanes_failed_over));
     out += buf;
   }
+  if (!qos.empty()) {
+    out += "\"qos\":[";
+    for (size_t i = 0; i < qos.size(); ++i) {
+      const QosClassRollup& q = qos[i];
+      if (i) out += ",";
+      char buf[224];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"class\":\"%s\",\"offered\":%llu,\"completed\":%llu,"
+                    "\"slo_met\":%llu,\"attainment\":%.6f}",
+                    qos_class_name(q.cls),
+                    static_cast<unsigned long long>(q.ledger.offered),
+                    static_cast<unsigned long long>(q.ledger.completed),
+                    static_cast<unsigned long long>(q.ledger.slo_met),
+                    q.ledger.attainment());
+      out += buf;
+    }
+    out += "],";
+  }
   out += "\"functions\":[";
   for (size_t i = 0; i < functions.size(); ++i) {
     const FunctionMetrics& m = functions[i];
@@ -254,25 +268,36 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(m.breaker_suspended),
                   static_cast<unsigned long long>(m.incomplete));
     out += buf;
-    char obuf[384];
+    // The per-cause keys are the historical schema-2/5 names, one per
+    // ShedCause, emitted in enum order (shed_cause_json_key).
+    out += "\"overload\":{\"admitted\":" + std::to_string(m.admitted) + ",";
+    for (size_t c = 0; c < kShedCauseCount; ++c) {
+      out += "\"";
+      out += shed_cause_json_key(static_cast<ShedCause>(c));
+      out += "\":" + std::to_string(m.shed[c]) + ",";
+    }
+    char obuf[256];
     std::snprintf(obuf, sizeof(obuf),
-                  "\"overload\":{\"admitted\":%llu,\"shed_queue_full\":%llu,"
-                  "\"shed_queue_global\":%llu,\"shed_admission\":%llu,"
-                  "\"shed_deadline\":%llu,\"shed_host_lost\":%llu,"
                   "\"deadline_misses\":%llu,"
                   "\"demotions\":%llu,\"promotions\":%llu,"
                   "\"watchdog_trips\":%llu},",
-                  static_cast<unsigned long long>(m.admitted),
-                  static_cast<unsigned long long>(m.shed_queue_full),
-                  static_cast<unsigned long long>(m.shed_queue_global),
-                  static_cast<unsigned long long>(m.shed_admission),
-                  static_cast<unsigned long long>(m.shed_deadline),
-                  static_cast<unsigned long long>(m.shed_host_lost),
                   static_cast<unsigned long long>(m.deadline_misses),
                   static_cast<unsigned long long>(m.demotions),
                   static_cast<unsigned long long>(m.promotions),
                   static_cast<unsigned long long>(m.watchdog_trips));
     out += obuf;
+    if (m.qos != QosClass::kNone) {
+      std::snprintf(obuf, sizeof(obuf),
+                    "\"qos\":{\"class\":\"%s\",\"slo_slowdown\":%g,"
+                    "\"offered\":%llu,\"completed\":%llu,\"slo_met\":%llu,"
+                    "\"attainment\":%.6f},",
+                    qos_class_name(m.qos), m.slo_slowdown,
+                    static_cast<unsigned long long>(m.slo.offered),
+                    static_cast<unsigned long long>(m.slo.completed),
+                    static_cast<unsigned long long>(m.slo.slo_met),
+                    m.slo.attainment());
+      out += obuf;
+    }
     append_histogram(out, "total_ns", m.total_ns);
     out += ",";
     append_histogram(out, "setup_ns", m.setup_ns);

@@ -17,6 +17,7 @@
 
 #include "core/toss.hpp"
 #include "platform/concurrency.hpp"
+#include "platform/qos.hpp"
 
 namespace toss {
 
@@ -76,11 +77,10 @@ struct FunctionSeries {
   // engine increments these directly; like everything else here they are
   // commutative relaxed adds, so totals are thread-count independent.
   std::atomic<u64> admitted{0};
-  std::atomic<u64> shed_queue_full{0};
-  std::atomic<u64> shed_queue_global{0};
-  std::atomic<u64> shed_admission{0};
-  std::atomic<u64> shed_deadline{0};
-  std::atomic<u64> shed_host_lost{0};
+  /// Per-cause shed counters, indexed by ShedCause (platform/qos.hpp).
+  /// One array instead of one ad-hoc field per cause; the JSON keys stay
+  /// the historical ones via shed_cause_json_key().
+  std::array<std::atomic<u64>, kShedCauseCount> shed{};
   std::atomic<u64> deadline_misses{0};
   std::atomic<u64> demotions{0};
   std::atomic<u64> promotions{0};
@@ -108,18 +108,26 @@ struct FunctionMetrics {
   u64 breaker_suspended = 0;
   u64 incomplete = 0;
   u64 admitted = 0;
-  u64 shed_queue_full = 0;
-  u64 shed_queue_global = 0;
-  u64 shed_admission = 0;
-  u64 shed_deadline = 0;
-  u64 shed_host_lost = 0;
+  /// Per-cause shed counters, indexed by ShedCause.
+  std::array<u64, kShedCauseCount> shed{};
   u64 deadline_misses = 0;
   u64 demotions = 0;
   u64 promotions = 0;
   u64 watchdog_trips = 0;
+  /// QoS class / SLO annotation (schema 6); stamped by the host from its
+  /// lane state when QoS classes are engaged, kNone otherwise.
+  QosClass qos = QosClass::kNone;
+  double slo_slowdown = 0;
+  /// Per-function SLO attainment, derived from the lane's OverloadStats;
+  /// all-zero when the function carries no QoS class.
+  QosAttainment slo;
   LatencyHistogram::Snapshot total_ns;
   LatencyHistogram::Snapshot setup_ns;
   LatencyHistogram::Snapshot exec_ns;
+
+  u64 shed_by(ShedCause cause) const {
+    return shed[static_cast<size_t>(cause)];
+  }
 };
 
 /// Fleet-wide rollup of one ladder rank at snapshot time (schema 4).
@@ -144,6 +152,14 @@ struct HostHealthRollup {
   u64 lanes_failed_over = 0;  ///< lanes re-placed off this host at crash
 };
 
+/// One QoS class's SLO-attainment rollup across a host's lanes (schema 6).
+/// Only classes with at least one lane appear; order is the QosClass enum
+/// order, so the rollup is deterministic by construction.
+struct QosClassRollup {
+  QosClass cls = QosClass::kNone;
+  QosAttainment ledger;
+};
+
 struct MetricsSnapshot {
   /// Layout version of to_json() (the top-level "schema" key). Version 2
   /// added the per-function "overload" block (DESIGN.md §9); version 3
@@ -154,9 +170,13 @@ struct MetricsSnapshot {
   /// first (DESIGN.md §11); version 5 added the per-function
   /// "shed_host_lost" overload counter, the top-level "health" rollup
   /// (present when the cluster's health governance filled it) and the
-  /// failover/health ledgers in ClusterReport::to_json (DESIGN.md §13).
+  /// failover/health ledgers in ClusterReport::to_json (DESIGN.md §13);
+  /// version 6 added the per-function "qos" block (present when the
+  /// function carries a QoS class), the top-level "qos" per-class
+  /// SLO-attainment array (present when any lane is classed) and the same
+  /// rollup in ClusterReport::to_json's cluster block (DESIGN.md §14).
   /// Consumers should ignore unknown keys.
-  static constexpr int kJsonSchemaVersion = 5;
+  static constexpr int kJsonSchemaVersion = 6;
 
   /// Which simulated host produced this snapshot; empty outside the
   /// engine/cluster (e.g. a bare MetricsRegistry).
@@ -166,6 +186,9 @@ struct MetricsSnapshot {
   std::vector<TierRollup> tiers;
   /// Host health rollup; filled by ClusterEngine::report() (schema 5).
   HostHealthRollup health;
+  /// Per-class SLO-attainment rollup in QosClass enum order; empty unless
+  /// the host has QoS-classed lanes (schema 6).
+  std::vector<QosClassRollup> qos;
   std::vector<FunctionMetrics> functions;  ///< registration order
 
   u64 total_invocations() const;

@@ -64,6 +64,9 @@ Result<void> FunctionRegistration::validate() const {
   if (r.jitter < 0.0 || r.jitter > 1.0)
     return {ErrorCode::kInvalidOptions,
             spec_.name + ": retry.jitter must be in [0, 1]"};
+  if (toss_options_.slo_slowdown && *toss_options_.slo_slowdown < 0)
+    return {ErrorCode::kInvalidOptions,
+            spec_.name + ": slo slowdown target must be >= 0"};
   if (breaker_.failure_threshold == 0)
     return {ErrorCode::kInvalidOptions,
             spec_.name + ": breaker.failure_threshold must be >= 1"};

@@ -27,6 +27,7 @@
 #include "platform/errors.hpp"
 #include "platform/invoker.hpp"
 #include "platform/pricing.hpp"
+#include "platform/qos.hpp"
 #include "platform/recovery.hpp"
 #include "platform/request_gen.hpp"
 #include "util/fault.hpp"
@@ -104,6 +105,23 @@ class FunctionRegistration {
     breaker_ = options;
     return *this;
   }
+  /// QoS class (DESIGN.md §14). Gold lanes are degraded last and readmitted
+  /// first; bronze absorb demotion and shedding. Setting a class also fills
+  /// the SLO slowdown target with the class default unless slo() set one.
+  /// For kToss lanes without an explicit slowdown_threshold, Step III
+  /// derives the threshold from the SLO (TossOptions::slo_slowdown).
+  FunctionRegistration& qos(QosClass cls) {
+    qos_class_ = cls;
+    if (!toss_options_.slo_slowdown && cls != QosClass::kNone)
+      toss_options_.slo_slowdown = qos_default_slo_slowdown(cls);
+    return *this;
+  }
+  /// Explicit SLO slowdown target (e.g. 0.10 for "within 10% of DRAM").
+  /// Overrides the class default in either call order.
+  FunctionRegistration& slo(double slowdown) {
+    toss_options_.slo_slowdown = slowdown;
+    return *this;
+  }
 
   /// All registration-time invariants in one place.
   Result<void> validate() const;
@@ -114,6 +132,10 @@ class FunctionRegistration {
   int concurrency() const { return concurrency_; }
   u64 seed() const { return seed_; }
   const CircuitBreakerOptions& breaker_options() const { return breaker_; }
+  /// Resolved service class + effective SLO slowdown target.
+  QosSpec qos_spec() const {
+    return QosSpec{qos_class_, toss_options_.slo_slowdown.value_or(0)};
+  }
 
  private:
   FunctionSpec spec_;
@@ -122,6 +144,7 @@ class FunctionRegistration {
   int concurrency_ = 1;
   u64 seed_ = 42;
   CircuitBreakerOptions breaker_;
+  QosClass qos_class_ = QosClass::kNone;
 };
 
 class ServerlessPlatform {

@@ -1,0 +1,61 @@
+#include "platform/qos.hpp"
+
+namespace toss {
+
+const char* shed_cause_name(ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kQueueFull: return "queue_full";
+    case ShedCause::kGlobalOverload: return "global_overload";
+    case ShedCause::kAdmissionClosed: return "admission_closed";
+    case ShedCause::kDeadlineExpired: return "deadline_expired";
+    case ShedCause::kHostLost: return "host_lost";
+  }
+  return "?";
+}
+
+const char* shed_cause_json_key(ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kQueueFull: return "shed_queue_full";
+    case ShedCause::kGlobalOverload: return "shed_queue_global";
+    case ShedCause::kAdmissionClosed: return "shed_admission";
+    case ShedCause::kDeadlineExpired: return "shed_deadline";
+    case ShedCause::kHostLost: return "shed_host_lost";
+  }
+  return "?";
+}
+
+const char* qos_class_name(QosClass cls) {
+  switch (cls) {
+    case QosClass::kNone: return "none";
+    case QosClass::kGold: return "gold";
+    case QosClass::kBronze: return "bronze";
+  }
+  return "?";
+}
+
+std::optional<QosClass> parse_qos_class(const std::string& text) {
+  if (text.empty() || text == "none") return QosClass::kNone;
+  if (text == "gold") return QosClass::kGold;
+  if (text == "bronze") return QosClass::kBronze;
+  return std::nullopt;
+}
+
+double qos_default_slo_slowdown(QosClass cls) {
+  switch (cls) {
+    case QosClass::kNone: return 0;
+    case QosClass::kGold: return 0.10;
+    case QosClass::kBronze: return 0.60;
+  }
+  return 0;
+}
+
+int qos_shed_rank(QosClass cls) {
+  switch (cls) {
+    case QosClass::kBronze: return 0;
+    case QosClass::kNone: return 1;
+    case QosClass::kGold: return 2;
+  }
+  return 1;
+}
+
+}  // namespace toss

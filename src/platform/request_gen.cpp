@@ -117,6 +117,7 @@ Result<std::vector<TraceStream>> RequestGenerator::from_trace(
   // Per-stream default-input/default-seed state, parallel to `streams`.
   std::vector<int> next_input;
   std::vector<Rng> seed_rng;
+  std::vector<char> qos_set;  ///< stream saw an explicit qos column value
 
   std::string line;
   size_t line_no = 0;
@@ -126,10 +127,10 @@ Result<std::vector<TraceStream>> RequestGenerator::from_trace(
     if (line.empty()) continue;
     const std::vector<std::string> fields = split_csv(line);
     if (line_no == 1 && fields[0] == "function_id") continue;  // header
-    if (fields.size() < 3 || fields.size() > 5)
+    if (fields.size() < 3 || fields.size() > 6)
       return trace_error(path, line_no,
                          "expected function_id,arrival_ns,deadline_ns"
-                         "[,input[,seed]], got " +
+                         "[,input[,seed[,qos]]], got " +
                              std::to_string(fields.size()) + " fields");
     const std::string& function = fields[0];
     if (function.empty())
@@ -144,6 +145,12 @@ Result<std::vector<TraceStream>> RequestGenerator::from_trace(
       return trace_error(path, line_no,
                          "deadline_ns '" + fields[2] +
                              "' is not a non-negative number");
+    // A nonzero deadline before the arrival is dead on admission — reject
+    // the row instead of silently shedding the request at serve time.
+    if (deadline > 0 && deadline < arrival)
+      return trace_error(path, line_no,
+                         "deadline_ns " + fields[2] +
+                             " precedes arrival_ns " + fields[1]);
 
     size_t s = streams.size();
     for (size_t i = 0; i < streams.size(); ++i)
@@ -155,6 +162,7 @@ Result<std::vector<TraceStream>> RequestGenerator::from_trace(
       streams.push_back(TraceStream{function, {}});
       next_input.push_back(0);
       seed_rng.emplace_back(mix_seed(42, function));
+      qos_set.push_back(0);
     }
 
     Request r;
@@ -172,7 +180,7 @@ Result<std::vector<TraceStream>> RequestGenerator::from_trace(
       r.input = next_input[s];
       next_input[s] = (next_input[s] + 1) % kNumInputs;
     }
-    if (fields.size() == 5) {
+    if (fields.size() >= 5) {
       double seed = 0;
       if (!parse_number(fields[4], &seed) || seed < 0)
         return trace_error(path, line_no,
@@ -181,6 +189,19 @@ Result<std::vector<TraceStream>> RequestGenerator::from_trace(
       r.seed = static_cast<u64>(seed);
     } else {
       r.seed = seed_rng[s].next();
+    }
+    if (fields.size() == 6) {
+      const std::optional<QosClass> qos = parse_qos_class(fields[5]);
+      if (!qos)
+        return trace_error(path, line_no,
+                           "qos '" + fields[5] +
+                               "' is not one of none/gold/bronze");
+      if (qos_set[s] && streams[s].qos != *qos)
+        return trace_error(path, line_no,
+                           function + ": conflicting qos class '" + fields[5] +
+                               "' (a function carries one class per trace)");
+      streams[s].qos = *qos;
+      qos_set[s] = 1;
     }
 
     if (!streams[s].requests.empty() &&

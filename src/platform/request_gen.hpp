@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "platform/errors.hpp"
+#include "platform/qos.hpp"
 #include "util/rng.hpp"
 #include "workloads/function_model.hpp"
 
@@ -32,6 +33,9 @@ struct Request {
 struct TraceStream {
   std::string function;
   std::vector<Request> requests;  ///< sorted by arrival_ns
+  /// Service class from the optional 6th CSV column; kNone when the trace
+  /// never names one. Callers forward it to FunctionRegistration::qos().
+  QosClass qos = QosClass::kNone;
 };
 
 class RequestGenerator {
@@ -62,18 +66,22 @@ class RequestGenerator {
 
   /// Load an Azure-Functions-style CSV arrival schedule:
   ///
-  ///   function_id,arrival_ns,deadline_ns[,input[,seed]]
+  ///   function_id,arrival_ns,deadline_ns[,input[,seed[,qos]]]
   ///
   /// One row per invocation; an optional header row (first field literally
   /// "function_id") is skipped, as are blank lines. Rows are grouped by
   /// function_id into TraceStreams in first-appearance order; each
   /// function's rows must already be sorted by arrival_ns (the per-lane
   /// contract PlatformEngine::add enforces). deadline_ns is absolute, 0 =
-  /// none. Omitted `input` defaults to a per-function round-robin over
+  /// none; a nonzero deadline before the row's own arrival is rejected.
+  /// Omitted `input` defaults to a per-function round-robin over
   /// [0, kNumInputs); omitted `seed` to a per-function deterministic Rng
   /// stream — so a bare 3-column trace still drives varied, reproducible
-  /// work. Malformed rows fail with ErrorCode::kInvalidRequest naming the
-  /// line; an unreadable path fails with kTransientIo.
+  /// work. The optional `qos` column (none/gold/bronze, empty = none)
+  /// names the function's service class; rows of one function that spell
+  /// out different classes are rejected. Malformed rows fail with
+  /// ErrorCode::kInvalidRequest naming the line; an unreadable path fails
+  /// with kTransientIo.
   static Result<std::vector<TraceStream>> from_trace(const std::string& path);
 };
 

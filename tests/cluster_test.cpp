@@ -442,6 +442,12 @@ TEST(Trace, ErrorsAreTypedAndNameTheLine) {
       {"seed.csv", "f,5,0,1,-2\n", "not a non-negative number"},
       {"order.csv", "f,100,0\nf,50,0\n", "arrivals out of order"},
       {"empty_id.csv", ",5,0\n", "empty function_id"},
+      // A nonzero deadline earlier than the row's own arrival is dead on
+      // admission — rejected at load, not silently shed at serve time.
+      {"dead_on_arrival.csv", "f,100,99\n", "precedes arrival_ns"},
+      {"qos_bad.csv", "f,5,0,1,2,silver\n", "not one of none/gold/bronze"},
+      {"qos_conflict.csv", "f,5,0,1,2,gold\nf,6,0,1,2,bronze\n",
+       "conflicting qos class"},
   };
   for (const Case& c : cases) {
     const auto result =
@@ -455,6 +461,43 @@ TEST(Trace, ErrorsAreTypedAndNameTheLine) {
       write_trace("line.csv", "function_id,arrival_ns,deadline_ns\nf,1,0\nf,0,0\n"));
   EXPECT_NE(bad.message().find("line.csv:3:"), std::string::npos)
       << bad.message();
+}
+
+TEST(Trace, DeadlineEqualToArrivalIsAdmissible) {
+  // The boundary case of the dead-on-admission check: a request due the
+  // instant it arrives is tight but serviceable, so the row loads.
+  const std::string path =
+      write_trace("toss_trace_edge.csv", "f,100,100\nf,200,0\n");
+  const auto streams = RequestGenerator::from_trace(path).value();
+  ASSERT_EQ(streams.size(), 1u);
+  ASSERT_EQ(streams[0].requests.size(), 2u);
+  EXPECT_EQ(streams[0].requests[0].deadline_ns, 100);
+  EXPECT_EQ(streams[0].requests[1].deadline_ns, 0);
+}
+
+TEST(Trace, QosColumnNamesTheServiceClass) {
+  // The optional 6th column carries the function's service class. One
+  // class per function: later rows may repeat it or leave it blank, and a
+  // function that never names one stays kNone.
+  const std::string path = write_trace(
+      "toss_trace_qos.csv",
+      "function_id,arrival_ns,deadline_ns,input,seed,qos\n"
+      "gold_fn,0,0,1,2,gold\n"
+      "bronze_fn,0,0,1,2,bronze\n"
+      "plain_fn,0,0,1,2,\n"
+      "gold_fn,10,0,1,2,gold\n"
+      "bronze_fn,10,0\n"
+      "none_fn,0,0,1,2,none\n");
+  const auto streams = RequestGenerator::from_trace(path).value();
+  ASSERT_EQ(streams.size(), 4u);
+  EXPECT_EQ(streams[0].function, "gold_fn");
+  EXPECT_EQ(streams[0].qos, QosClass::kGold);
+  EXPECT_EQ(streams[1].function, "bronze_fn");
+  EXPECT_EQ(streams[1].qos, QosClass::kBronze);
+  EXPECT_EQ(streams[2].function, "plain_fn");
+  EXPECT_EQ(streams[2].qos, QosClass::kNone);
+  EXPECT_EQ(streams[3].function, "none_fn");
+  EXPECT_EQ(streams[3].qos, QosClass::kNone);
 }
 
 TEST(Trace, FeedsAClusterEndToEnd) {

@@ -119,7 +119,7 @@ Accounting account(const ClusterReport& report) {
       a.offered += f.overload.offered;
       a.completed += f.overload.completed;
       a.shed += f.overload.total_shed();
-      a.shed_host_lost += f.overload.shed_host_lost;
+      a.shed_host_lost += f.overload.shed_by(ShedCause::kHostLost);
     }
   }
   return a;

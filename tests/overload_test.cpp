@@ -367,7 +367,7 @@ TEST(Overload, DeadlineExpiredWorkIsShedBeforeRestore) {
   // miss, not a shed); everything queued behind a millisecond-scale service
   // time is already SLO-dead and must be shed without costing a restore.
   EXPECT_GE(f.overload.completed, 1u);
-  EXPECT_GT(f.overload.shed_deadline, 0u);
+  EXPECT_GT(f.overload.shed_by(ShedCause::kDeadlineExpired), 0u);
   EXPECT_GE(f.overload.deadline_misses, 1u);
   EXPECT_EQ(f.stats.invocations, f.overload.completed);
   EXPECT_EQ(f.outcomes.size(), f.overload.completed);
@@ -414,7 +414,7 @@ TEST(Overload, GlobalQueueBoundTrimsTheLongestLane) {
   const EngineReport report = engine->run(2).value();
   u64 shed_global = 0;
   for (const FunctionReport& f : report.functions) {
-    shed_global += f.overload.shed_global;
+    shed_global += f.overload.shed_by(ShedCause::kGlobalOverload);
     EXPECT_EQ(f.overload.offered,
               f.overload.completed + f.overload.total_shed())
         << f.name;

@@ -1,0 +1,569 @@
+// Tests for SLO-driven QoS classes (DESIGN.md §14): the SLO -> Eq-1
+// threshold derivation, the demotion curve Step III publishes for the
+// arbiter's continuous demotion, the arbiter's QoS mode (bronze walks its
+// curve to exhaustion before gold moves, per-class admission gates with
+// gold-protecting hysteresis), EDF pop order inside a lane, bronze-before-
+// gold shedding at the global queue bound, the per-class attainment
+// ledgers in metrics JSON schema 6 — and the determinism contract: with
+// QoS engaged every ledger stays bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/merge.hpp"
+#include "core/optimizer.hpp"
+#include "platform/engine.hpp"
+#include "workloads/functions.hpp"
+#include "workloads/registry.hpp"
+
+namespace toss {
+namespace {
+
+TossOptions fast_toss() {
+  TossOptions opt;
+  opt.stable_invocations = 4;
+  opt.max_profiling_invocations = 30;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary: the qos.hpp names other layers key on.
+// ---------------------------------------------------------------------------
+
+TEST(QosVocab, ParseNamesRanksAndDefaults) {
+  EXPECT_EQ(parse_qos_class("gold"), QosClass::kGold);
+  EXPECT_EQ(parse_qos_class("bronze"), QosClass::kBronze);
+  EXPECT_EQ(parse_qos_class("none"), QosClass::kNone);
+  EXPECT_EQ(parse_qos_class(""), QosClass::kNone);
+  EXPECT_FALSE(parse_qos_class("silver").has_value());
+
+  // Degradation order: bronze absorbs first, unclassed next, gold last.
+  EXPECT_LT(qos_shed_rank(QosClass::kBronze), qos_shed_rank(QosClass::kNone));
+  EXPECT_LT(qos_shed_rank(QosClass::kNone), qos_shed_rank(QosClass::kGold));
+
+  EXPECT_GT(qos_default_slo_slowdown(QosClass::kGold), 0.0);
+  EXPECT_GT(qos_default_slo_slowdown(QosClass::kBronze),
+            qos_default_slo_slowdown(QosClass::kGold));
+  EXPECT_EQ(qos_default_slo_slowdown(QosClass::kNone), 0.0);
+
+  // The JSON counter keys predate the enum and are frozen for artifact
+  // consumers; a rename here is a schema break.
+  EXPECT_STREQ(shed_cause_json_key(ShedCause::kQueueFull), "shed_queue_full");
+  EXPECT_STREQ(shed_cause_json_key(ShedCause::kGlobalOverload),
+               "shed_queue_global");
+  EXPECT_STREQ(shed_cause_json_key(ShedCause::kAdmissionClosed),
+               "shed_admission");
+  EXPECT_STREQ(shed_cause_json_key(ShedCause::kDeadlineExpired),
+               "shed_deadline");
+  EXPECT_STREQ(shed_cause_json_key(ShedCause::kHostLost), "shed_host_lost");
+}
+
+TEST(QosVocab, AttainmentLedgerArithmetic) {
+  QosAttainment a;
+  EXPECT_EQ(a.attainment(), 1.0);  // nothing offered, nothing violated
+  a.offered = 10;
+  a.completed = 8;
+  a.slo_met = 6;
+  EXPECT_DOUBLE_EQ(a.attainment(), 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// SLO -> Eq-1 threshold derivation and the demotion curve (Step III).
+// ---------------------------------------------------------------------------
+
+TEST(QosSlo, DerivedThresholdIsTheCheapestAdmissibleStop) {
+  // Synthetic sweep: slowdown 2% / 5% / 20%, cost falling 0.9 / 0.7 / 0.5.
+  BinProfile profile;
+  const double slowdowns[] = {0.02, 0.05, 0.20};
+  const double costs[] = {0.9, 0.7, 0.5};
+  for (size_t k = 0; k < 3; ++k) {
+    BinStep s;
+    s.cumulative_slowdown = slowdowns[k];
+    s.cumulative_cost = costs[k];
+    profile.steps.push_back(s);
+  }
+  // A 10% SLO admits the first two steps; the cheaper one (5%, 0.7) wins
+  // and its slowdown becomes the effective threshold.
+  EXPECT_DOUBLE_EQ(derive_slowdown_threshold(profile, 1.0, 0.10), 0.05);
+  // A 1% SLO admits nothing: the placement stays all-fast.
+  EXPECT_DOUBLE_EQ(derive_slowdown_threshold(profile, 1.0, 0.01), 0.0);
+  // An unbounded SLO walks to the global minimum.
+  EXPECT_DOUBLE_EQ(derive_slowdown_threshold(profile, 1.0, 1.0), 0.20);
+  // A step that fits the SLO but raises cost above the base is skipped.
+  EXPECT_DOUBLE_EQ(derive_slowdown_threshold(profile, 0.65, 0.10), 0.0);
+}
+
+class QosAnalysisTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg = SystemConfig::paper_default();
+  FunctionRegistry reg = FunctionRegistry::table1();
+
+  PageAccessCounts unified_for(const FunctionModel& m) {
+    const double scale = DamonConfig{}.count_scale;
+    PageAccessCounts unified(m.guest_pages());
+    for (int input = 0; input < kNumInputs; ++input) {
+      for (u64 rep = 0; rep < 2; ++rep) {
+        const Invocation inv = m.invoke(input, 800 + rep);
+        unified.merge_max(
+            PageAccessCounts::from_trace(inv.trace, m.guest_pages()));
+      }
+    }
+    for (u64 p = 0; p < unified.num_pages(); ++p)
+      unified.set(p, static_cast<u64>(
+                         static_cast<double>(unified.at(p)) * scale));
+    return unified;
+  }
+
+  static u64 fast_bytes_of(const TieringDecision& d) {
+    return bytes_for_pages(d.placement.pages_in(tier_index(0)));
+  }
+};
+
+TEST_F(QosAnalysisTest, SloDrivesTheThresholdAndStaysWithinIt) {
+  const FunctionModel& m = *reg.find("pagerank");
+  const PageAccessCounts unified = unified_for(m);
+  const Invocation rep = m.invoke(3, 802);
+
+  TieringOptions slo;
+  slo.slo_slowdown = 0.10;
+  const TieringDecision d = analyze_pattern(cfg, unified, rep, slo);
+  ASSERT_TRUE(d.derived_threshold.has_value());
+  EXPECT_LE(*d.derived_threshold, 0.10);
+  EXPECT_LE(d.expected_slowdown, 0.10 + 0.02);
+
+  // The derivation is the closed loop over Eq 1: handing the derived
+  // threshold back as an explicit bound reproduces the same configuration.
+  TieringOptions explicit_opt;
+  explicit_opt.slowdown_threshold = *d.derived_threshold;
+  const TieringDecision e = analyze_pattern(cfg, unified, rep, explicit_opt);
+  EXPECT_EQ(d.chosen_prefix, e.chosen_prefix);
+  EXPECT_FALSE(e.derived_threshold.has_value());
+
+  // An explicit threshold always wins over the SLO.
+  TieringOptions both;
+  both.slo_slowdown = 0.10;
+  both.slowdown_threshold = 0.0;
+  const TieringDecision tight = analyze_pattern(cfg, unified, rep, both);
+  EXPECT_FALSE(tight.derived_threshold.has_value());
+  EXPECT_NEAR(tight.expected_slowdown, 0.0, 1e-6);
+}
+
+TEST_F(QosAnalysisTest, DemotionCurveDescendsInFootprintAndPrefix) {
+  const FunctionModel& m = *reg.find("pagerank");
+  TieringOptions slo;
+  slo.slo_slowdown = 0.10;
+  const TieringDecision d =
+      analyze_pattern(cfg, unified_for(m), m.invoke(3, 802), slo);
+  // pagerank keeps a large fast residue under a 10% SLO, so descents
+  // remain below the chosen configuration.
+  ASSERT_FALSE(d.demotion_curve.empty());
+
+  u64 prev_fast = fast_bytes_of(d);
+  size_t prev_prefix = d.chosen_prefix;
+  double prev_slowdown = d.expected_slowdown;
+  for (const CostCurvePoint& p : d.demotion_curve) {
+    EXPECT_GT(p.prefix, prev_prefix);        // strictly deeper in the sweep
+    EXPECT_LT(p.fast_bytes, prev_fast);      // strictly smaller footprint
+    EXPECT_GE(p.slowdown, prev_slowdown - 1e-9);  // cumulative, so monotone
+    prev_prefix = p.prefix;
+    prev_fast = p.fast_bytes;
+    prev_slowdown = p.slowdown;
+  }
+  // The curve bottoms out at an empty fast tier: the deepest point has
+  // every pass-1 descent applied.
+  EXPECT_EQ(d.demotion_curve.back().fast_bytes, 0u);
+}
+
+TEST_F(QosAnalysisTest, MinDescentPrefixLandsOnTheCurvePoint) {
+  const FunctionModel& m = *reg.find("pagerank");
+  const PageAccessCounts unified = unified_for(m);
+  const Invocation rep = m.invoke(3, 802);
+  TieringOptions slo;
+  slo.slo_slowdown = 0.10;
+  const TieringDecision d = analyze_pattern(cfg, unified, rep, slo);
+  ASSERT_FALSE(d.demotion_curve.empty());
+  const CostCurvePoint& next = d.demotion_curve.front();
+
+  // Re-entering Step III at the next curve point (what the QoS arbiter's
+  // ApplyRung does) must land exactly on that point's footprint — past the
+  // SLO preference, which fitting the budget outranks under duress.
+  TieringOptions demoted = slo;
+  demoted.min_descent_prefix = next.prefix;
+  const TieringDecision e = analyze_pattern(cfg, unified, rep, demoted);
+  EXPECT_GE(e.chosen_prefix, next.prefix);
+  EXPECT_EQ(fast_bytes_of(e), next.fast_bytes);
+  EXPECT_LT(fast_bytes_of(e), fast_bytes_of(d));
+}
+
+// ---------------------------------------------------------------------------
+// FastTierArbiter QoS mode, with synthetic demands and a scripted re-tier.
+// ---------------------------------------------------------------------------
+
+FastTierArbiter::LaneDemand demand(size_t lane, const std::string& name,
+                                   u64 fast_bytes, QosClass qos,
+                                   std::vector<CurveStep> curve = {},
+                                   bool demotable = true) {
+  FastTierArbiter::LaneDemand d;
+  d.lane = lane;
+  d.name = &name;
+  d.active = true;
+  d.demotable = demotable;
+  d.fast_bytes = fast_bytes;
+  d.qos = qos;
+  d.curve = std::move(curve);
+  return d;
+}
+
+ArbiterOptions qos_arbiter_options() {
+  ArbiterOptions opt;
+  opt.enabled = true;
+  opt.keepalive = false;
+  return opt;
+}
+
+/// Scripted ApplyRung: answer each re-tier with the bound's curve
+/// footprint, recording (lane, prefix) pairs.
+struct CurveScript {
+  std::vector<std::pair<size_t, size_t>> calls;  ///< (lane, min prefix)
+  std::vector<std::pair<size_t, u64>> bytes;     ///< prefix -> fast bytes
+
+  FastTierArbiter::ApplyRung hook() {
+    return [this](size_t lane, int,
+                  const RetierBound& bound) -> std::optional<u64> {
+      const size_t prefix = bound.min_descent_prefix.value_or(0);
+      calls.push_back({lane, prefix});
+      for (const auto& [p, b] : bytes)
+        if (p == prefix) return b;
+      return std::nullopt;
+    };
+  }
+};
+
+TEST(QosArbiter, BronzeWalksItsCurveToExhaustionBeforeGoldMoves) {
+  FastTierArbiter arb(qos_arbiter_options(), /*fast_budget_bytes=*/50);
+  const std::string gold = "gold_fn", bronze = "bronze_fn";
+  CurveScript script;
+  script.bytes = {{2, 30}, {4, 10}, {1, 5}};
+
+  // gold 40 + bronze 60 = 100 > 50. Bronze must absorb both demotions —
+  // its whole curve — even though gold starts smaller.
+  arb.tick(0,
+           {demand(0, gold, 40, QosClass::kGold, {{1, 5}}),
+            demand(1, bronze, 60, QosClass::kBronze, {{2, 30}, {4, 10}})},
+           script.hook());
+  ASSERT_EQ(script.calls.size(), 2u);
+  EXPECT_EQ(script.calls[0], (std::pair<size_t, size_t>{1, 2}));
+  EXPECT_EQ(script.calls[1], (std::pair<size_t, size_t>{1, 4}));
+  EXPECT_EQ(arb.rung(1), 2);  // rung doubles as curve depth in QoS mode
+  EXPECT_EQ(arb.rung(0), 0);
+  EXPECT_EQ(arb.resident_fast_bytes(), 50u);
+  EXPECT_FALSE(arb.admission_closed());
+
+  // Bronze is at its curve floor (empty remaining curve): with more
+  // pressure only gold can move, and it walks its own curve point.
+  script.calls.clear();
+  arb.tick(1,
+           {demand(0, gold, 40, QosClass::kGold, {{1, 5}}),
+            demand(1, bronze, 10, QosClass::kBronze, {}),
+            demand(2, bronze, 20, QosClass::kBronze, {}, /*demotable=*/false)},
+           script.hook());
+  ASSERT_EQ(script.calls.size(), 1u);
+  EXPECT_EQ(script.calls[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(arb.rung(0), 1);
+  EXPECT_EQ(arb.resident_fast_bytes(), 35u);
+}
+
+TEST(QosArbiter, AdmissionClosesBronzeFirstAndReopensGoldFirst) {
+  FastTierArbiter arb(qos_arbiter_options(), 50);
+  const std::string pinned = "pinned";
+  size_t retiers = 0;
+  const auto apply = [&](size_t, int, const RetierBound&) {
+    ++retiers;
+    return std::optional<u64>{};
+  };
+  const auto pressure = [&](u64 epoch, u64 fast) {
+    arb.tick(epoch, {demand(0, pinned, fast, QosClass::kGold, {},
+                            /*demotable=*/false)},
+             apply);
+  };
+
+  // Tick 0: ladder exhausted -> only the bronze gate closes; gold (and
+  // unclassed) traffic rides through the first pressure spike.
+  pressure(0, 200);
+  EXPECT_TRUE(arb.admission_closed(QosClass::kBronze));
+  EXPECT_FALSE(arb.admission_closed(QosClass::kGold));
+  EXPECT_FALSE(arb.admission_closed(QosClass::kNone));
+  EXPECT_TRUE(arb.admission_closed());
+
+  // Tick 1: pressure persists -> gold closes too.
+  pressure(1, 200);
+  EXPECT_TRUE(arb.admission_closed(QosClass::kGold));
+  EXPECT_EQ(arb.report().admission_closures, 2u);
+
+  // Tick 2: pressure subsides -> gold reopens first (hysteresis protects
+  // gold readmission from bronze pressure); bronze stays closed.
+  pressure(2, 10);
+  EXPECT_FALSE(arb.admission_closed(QosClass::kGold));
+  EXPECT_TRUE(arb.admission_closed(QosClass::kBronze));
+  EXPECT_TRUE(arb.admission_closed());
+
+  // Tick 3: bronze reopens last; the legacy gate clears with it.
+  pressure(3, 10);
+  EXPECT_FALSE(arb.admission_closed(QosClass::kBronze));
+  EXPECT_FALSE(arb.admission_closed());
+  EXPECT_EQ(retiers, 0u);
+
+  // The event ledger names the gates in degradation order.
+  std::vector<std::pair<ArbiterAction, std::string>> gates;
+  for (const ArbiterEvent& e : arb.report().events)
+    gates.push_back({e.action, e.function});
+  const std::vector<std::pair<ArbiterAction, std::string>> expected = {
+      {ArbiterAction::kCloseAdmission, "bronze"},
+      {ArbiterAction::kCloseAdmission, "gold"},
+      {ArbiterAction::kOpenAdmission, "gold"},
+      {ArbiterAction::kOpenAdmission, "bronze"},
+  };
+  EXPECT_EQ(gates, expected);
+}
+
+TEST(QosArbiter, WithdrawnBudgetSlamsBothGatesAtOnce) {
+  FastTierArbiter arb(qos_arbiter_options(), 50);
+  const std::string lane = "fn";
+  const auto apply = [](size_t, int, const RetierBound&) {
+    return std::optional<u64>{};
+  };
+
+  arb.set_budget_withdrawn(true);
+  arb.tick(0, {demand(0, lane, 10, QosClass::kBronze, {},
+                      /*demotable=*/false)},
+           apply);
+  // Quarantine is not a pressure spike: no one-per-tick grace for gold.
+  EXPECT_TRUE(arb.admission_closed(QosClass::kBronze));
+  EXPECT_TRUE(arb.admission_closed(QosClass::kGold));
+  EXPECT_EQ(arb.report().admission_closures, 2u);
+
+  arb.set_budget_withdrawn(false);
+  arb.tick(1, {demand(0, lane, 10, QosClass::kBronze, {},
+                      /*demotable=*/false)},
+           apply);
+  EXPECT_FALSE(arb.admission_closed(QosClass::kGold));
+  EXPECT_TRUE(arb.admission_closed(QosClass::kBronze));
+  arb.tick(2, {demand(0, lane, 10, QosClass::kBronze, {},
+                      /*demotable=*/false)},
+           apply);
+  EXPECT_FALSE(arb.admission_closed());
+}
+
+TEST(QosArbiter, PromotionReplaysTheDescentLifo) {
+  FastTierArbiter arb(qos_arbiter_options(), 50);
+  const std::string bronze = "bronze_fn", pinned = "pinned";
+  CurveScript script;
+  script.bytes = {{2, 30}, {4, 10}};
+
+  // bronze 60 + pinned 30 = 90 > 50: bronze walks two curve points down
+  // (60 -> 30, still 60 > 50 -> 10; 10 + 30 = 40 fits).
+  arb.tick(0,
+           {demand(0, bronze, 60, QosClass::kBronze, {{2, 30}, {4, 10}}),
+            demand(1, pinned, 30, QosClass::kNone, {}, /*demotable=*/false)},
+           script.hook());
+  ASSERT_EQ(script.calls.size(), 2u);
+  EXPECT_EQ(arb.rung(0), 2);
+
+  // The pinned lane leaves: recovery promotes exactly one step per tick,
+  // replaying the recorded descent LIFO — back to the depth-1 point (the
+  // prefix it was demoted through), not the classic fixed rung.
+  script.calls.clear();
+  arb.tick(1, {demand(0, bronze, 10, QosClass::kBronze, {})}, script.hook());
+  ASSERT_EQ(script.calls.size(), 1u);
+  EXPECT_EQ(script.calls[0], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(arb.rung(0), 1);
+  EXPECT_EQ(arb.resident_fast_bytes(), 30u);
+
+  // Promoting to depth 0 would restore the unconstrained 60 bytes > 50:
+  // hysteresis holds the lane at depth 1.
+  script.calls.clear();
+  arb.tick(2, {demand(0, bronze, 30, QosClass::kBronze, {})}, script.hook());
+  EXPECT_TRUE(script.calls.empty());
+  EXPECT_EQ(arb.rung(0), 1);
+
+  const ArbiterReport r = arb.report();
+  EXPECT_EQ(r.demotions, 2u);
+  EXPECT_EQ(r.promotions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: EDF pop order, bronze-before-gold shedding at the
+// global bound, per-class ledgers, and cross-thread determinism.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PlatformEngine> single_lane(const EngineOptions& opts,
+                                            std::vector<Request> stream,
+                                            QosClass qos) {
+  auto engine = std::make_unique<PlatformEngine>(
+      SystemConfig::paper_default(), PricingPlan{}, opts);
+  FunctionSpec spec = workloads::all_functions()[0];
+  FunctionRegistration reg(std::move(spec));
+  reg.policy(PolicyKind::kToss).toss(fast_toss()).seed(42);
+  if (qos != QosClass::kNone) reg.qos(qos);
+  EXPECT_TRUE(engine->add(std::move(reg), std::move(stream)).ok());
+  return engine;
+}
+
+TEST(QosEngine, EdfServesTheTightDeadlineQueuedBehindSlackWork) {
+  // Three requests, all available at t=0: two with no deadline and one
+  // whose deadline passes the instant any other request is served first.
+  EngineOptions opts;
+  opts.enforce_deadlines = true;
+  opts.max_lane_queue = 8;
+  const auto stream = [] {
+    std::vector<Request> s = RequestGenerator::round_robin(3, 5);
+    s[2].deadline_ns = 1;  // 1 ns after its t=0 arrival
+    return s;
+  };
+
+  // A classed lane pops earliest-deadline-first: the tight request is
+  // served first (late — an SLO miss, not a shed), then the zero-deadline
+  // pair in queue order. Nothing is dropped.
+  const EngineReport gold =
+      single_lane(opts, stream(), QosClass::kGold)->run(1).value();
+  const FunctionReport& g = gold.functions[0];
+  EXPECT_EQ(g.overload.completed, 3u);
+  EXPECT_EQ(g.overload.total_shed(), 0u);
+  EXPECT_GE(g.overload.deadline_misses, 1u);
+
+  // The same stream on an unclassed lane keeps strict FIFO: by the time
+  // the tight request reaches the head its deadline is long gone.
+  const EngineReport plain =
+      single_lane(opts, stream(), QosClass::kNone)->run(1).value();
+  const FunctionReport& p = plain.functions[0];
+  EXPECT_EQ(p.overload.completed, 2u);
+  EXPECT_EQ(p.overload.shed_by(ShedCause::kDeadlineExpired), 1u);
+}
+
+TEST(QosEngine, DeadlineEqualToArrivalIsServedNotShed) {
+  // The serve-time twin of the trace loader's boundary rule: shedding
+  // requires sim_now strictly past the deadline, so a request due the
+  // moment it arrives is still served (and counted as an SLO miss).
+  EngineOptions opts;
+  opts.enforce_deadlines = true;
+  std::vector<Request> s = RequestGenerator::round_robin(1, 5);
+  s[0].arrival_ns = us(5);
+  s[0].deadline_ns = us(5);
+  const EngineReport report =
+      single_lane(opts, std::move(s), QosClass::kGold)->run(1).value();
+  const FunctionReport& f = report.functions[0];
+  EXPECT_EQ(f.overload.completed, 1u);
+  EXPECT_EQ(f.overload.total_shed(), 0u);
+  EXPECT_EQ(f.overload.deadline_misses, 1u);
+}
+
+/// A saturated mixed fleet: gold/bronze alternating, tight lane queues and
+/// a global bound at half the fleet's aggregate depth, deadlines enforced.
+std::unique_ptr<PlatformEngine> qos_fleet(u64 seed) {
+  EngineOptions opts;
+  // chunk = 1 so the barrier sees each lane's queue at its full depth
+  // (a larger chunk serves the queue down between arrivals and the
+  // global bound would never bind against this bursty load).
+  opts.chunk = 1;
+  opts.max_lane_queue = 3;
+  // Below what the deadline-free lanes alone hold at the barrier (4 lanes
+  // x depth-1 queued after each serves one), so the trim always binds.
+  opts.max_global_queue = 6;
+  opts.enforce_deadlines = true;
+  auto engine = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
+                                                 PricingPlan{}, opts);
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  for (size_t i = 0; i < 6; ++i) {
+    const QosClass cls = i % 2 == 0 ? QosClass::kGold : QosClass::kBronze;
+    FunctionSpec spec = base[i % base.size()];
+    spec.name += "#" + std::to_string(i);
+    // Deadlines on one lane of each class only: a fleet-wide deadline
+    // would drain whole queues as free deadline sheds at pop (service
+    // times dwarf any tight deadline) and the global bound would never
+    // bind. The deadline-free majority keeps the barrier's lane queues
+    // full, so the trim engages and its victim order is observable.
+    const Nanos deadline = i < 2 ? ms(5) : 0;
+    auto stream = RequestGenerator::open_loop(
+        RequestGenerator::round_robin(40, mix_seed(seed, spec.name)), us(10),
+        deadline, mix_seed(seed, spec.name));
+    FunctionRegistration reg(std::move(spec));
+    reg.policy(PolicyKind::kToss).toss(fast_toss()).seed(seed + i).qos(cls);
+    EXPECT_TRUE(engine->add(std::move(reg), std::move(stream)).ok());
+  }
+  return engine;
+}
+
+TEST(QosEngine, GlobalBoundShedsBronzeBeforeGold) {
+  const EngineReport report = qos_fleet(17)->run(2).value();
+  u64 gold_shed = 0, bronze_shed = 0, gold_trim = 0, bronze_trim = 0;
+  for (size_t i = 0; i < report.functions.size(); ++i) {
+    const OverloadStats& o = report.functions[i].overload;
+    EXPECT_EQ(o.offered, o.completed + o.total_shed())
+        << report.functions[i].name;
+    if (i % 2 == 0) {
+      gold_shed += o.total_shed();
+      gold_trim += o.shed_by(ShedCause::kGlobalOverload);
+    } else {
+      bronze_shed += o.total_shed();
+      bronze_trim += o.shed_by(ShedCause::kGlobalOverload);
+    }
+  }
+  // The load genuinely saturates the global bound, and the trim victims
+  // are bronze lanes — gold is only trimmed when no bronze queue remains.
+  EXPECT_GT(bronze_trim, 0u);
+  EXPECT_GE(bronze_trim, gold_trim);
+  EXPECT_GT(bronze_shed, gold_shed);
+
+  // Per-class rollups (metrics JSON schema 6) mirror the lane ledgers.
+  ASSERT_EQ(report.metrics.qos.size(), 2u);
+  EXPECT_EQ(report.metrics.qos[0].cls, QosClass::kGold);
+  EXPECT_EQ(report.metrics.qos[1].cls, QosClass::kBronze);
+  u64 gold_offered = 0, bronze_offered = 0;
+  for (size_t i = 0; i < report.functions.size(); ++i)
+    (i % 2 == 0 ? gold_offered : bronze_offered) +=
+        report.functions[i].overload.offered;
+  EXPECT_EQ(report.metrics.qos[0].ledger.offered, gold_offered);
+  EXPECT_EQ(report.metrics.qos[1].ledger.offered, bronze_offered);
+  EXPECT_GE(report.metrics.qos[0].ledger.attainment(),
+            report.metrics.qos[1].ledger.attainment());
+
+  const std::string json = report.metrics.to_json();
+  EXPECT_NE(json.find("\"schema\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"qos\":["), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"gold\""), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"bronze\""), std::string::npos);
+}
+
+TEST(QosEngine, LedgersBitIdenticalAcrossThreadCountsWithQosEngaged) {
+  // The determinism contract survives every QoS feature at once: EDF pops,
+  // class-ordered global trims, per-class rollups. Equal-deadline ties are
+  // common here (fixed relative deadline), so this is also the EDF
+  // tie-break determinism check.
+  for (u64 seed : {31u, 32u, 33u}) {
+    const EngineReport serial = qos_fleet(seed)->run(1).value();
+    const EngineReport parallel = qos_fleet(seed)->run(4).value();
+
+    ASSERT_EQ(serial.functions.size(), parallel.functions.size());
+    for (size_t i = 0; i < serial.functions.size(); ++i) {
+      const FunctionReport& a = serial.functions[i];
+      const FunctionReport& b = parallel.functions[i];
+      ASSERT_EQ(a.name, b.name);
+      EXPECT_EQ(a.overload, b.overload) << a.name << " seed " << seed;
+      EXPECT_EQ(a.shed_events, b.shed_events) << a.name << " seed " << seed;
+      EXPECT_EQ(a.stats.invocations, b.stats.invocations) << a.name;
+    }
+    ASSERT_EQ(serial.metrics.qos.size(), parallel.metrics.qos.size());
+    for (size_t i = 0; i < serial.metrics.qos.size(); ++i) {
+      EXPECT_EQ(serial.metrics.qos[i].cls, parallel.metrics.qos[i].cls);
+      EXPECT_EQ(serial.metrics.qos[i].ledger, parallel.metrics.qos[i].ledger)
+          << "seed " << seed;
+    }
+    EXPECT_GT(serial.total_shed(), 0u) << "seed " << seed;
+    EXPECT_EQ(serial.total_shed(), parallel.total_shed()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace toss

@@ -310,13 +310,16 @@ void run_determinism(const Project& project, std::vector<Finding>& findings) {
   // Ledger-feeding set: every src/ file whose transitive includes reach a
   // ledger-declaring header, those headers themselves, and every header
   // inside those closures (members declared there get iterated in the
-  // TUs). Ledgers live in two headers: the metrics ledger
-  // (platform/metrics.hpp) and the cluster's migration/failover/health
-  // event ledgers (platform/cluster.hpp, DESIGN.md §13) — rooting the set
-  // at both keeps cluster.cpp covered even if its include graph stops
-  // reaching the metrics header.
+  // TUs). Ledgers live in three headers: the metrics ledger
+  // (platform/metrics.hpp), the cluster's migration/failover/health event
+  // ledgers (platform/cluster.hpp, DESIGN.md §13), and the QoS shed/SLO
+  // vocabulary (platform/qos.hpp, DESIGN.md §14 — ShedCause-indexed
+  // counters and the per-class attainment rollups) — rooting the set at
+  // all three keeps every consumer covered even if its include graph
+  // stops reaching the metrics header.
   const std::set<std::string> kLedgerHeaders = {
-      "src/platform/metrics.hpp", "src/platform/cluster.hpp"};
+      "src/platform/metrics.hpp", "src/platform/cluster.hpp",
+      "src/platform/qos.hpp"};
   auto reaches_ledger = [&](const std::string& rel,
                             const std::set<std::string>& cl) {
     if (kLedgerHeaders.count(rel)) return true;
