@@ -37,7 +37,9 @@
 //
 // `--calibrate=N` sweeps cluster seeds 1..N printing hosts_lost and the
 // crash epochs per seed (for re-curating kSeeds after a change to the
-// epoch schedule), then exits without gating.
+// epoch schedule), then exits without gating. `--threads=N` sets the
+// parallel side of the determinism comparison (default 4); the CI
+// parallel-soak job runs the bench at 1 and 8.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -265,20 +267,23 @@ int main(int argc, char** argv) {
         "note: built without -DTOSS_FAULTS=ON; no host ever crashes and the "
         "bench degenerates to a determinism soak.\n");
 
+  int threads = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--calibrate=", 0) == 0)
       return calibrate(cfg, budget,
                        std::strtoull(arg.data() + 12, nullptr, 10));
+    if (arg.rfind("--threads=", 0) == 0) threads = std::atoi(arg.data() + 10);
   }
+  if (threads < 1) threads = 1;
 
   constexpr u64 kExpected = kLanes * kRequestsPerLane + kHogRequests;
   std::vector<SeedRow> rows;
   const std::vector<u64> seeds(std::begin(kSeeds), std::end(kSeeds));
   const bool ledgers_ok = bench::ledger_equality_sweep(
-      seeds, /*threads=*/4,
-      [&](u64 seed, int threads) {
-        return make_cluster(cfg, budget, seed)->run(threads).value();
+      seeds, threads,
+      [&](u64 seed, int t) {
+        return make_cluster(cfg, budget, seed)->run(t).value();
       },
       bench::cluster_ledgers_equal,
       [&](u64 seed, const ClusterReport& report, bool match) {
@@ -306,7 +311,7 @@ int main(int argc, char** argv) {
   double clean_p99_ms = 0;
   if (faults) {
     auto baseline = make_cluster(cfg, budget, kSeeds[0], /*with_faults=*/false);
-    const ClusterReport clean_report = baseline->run(4).value();
+    const ClusterReport clean_report = baseline->run(threads).value();
     for (const ClusterHostReport& host : clean_report.hosts)
       for (const FunctionMetrics& m : host.report.metrics.functions)
         clean_p99_ms =
@@ -360,7 +365,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!ledgers_ok) {
-    std::printf("FAIL: cluster ledgers diverged between 1 and 4 threads\n");
+    std::printf("FAIL: cluster ledgers diverged between 1 and %d threads\n",
+                threads);
     return 1;
   }
   std::printf(faults ? "chaos gates hold: %zu/%zu hosts lost per seed, "

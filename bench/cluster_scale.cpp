@@ -1,5 +1,6 @@
 // Cluster scale-out soak: 8 simulated hosts x 100+ lanes behind the
-// ClusterEngine placement layer (DESIGN.md §10).
+// ClusterEngine placement layer (DESIGN.md §10), doubling as the parallel
+// data plane's scaling + determinism gate (DESIGN.md §15).
 //
 // The fleet is 104 small TOSS functions bin-packed by predicted fast-tier
 // demand against a per-host budget sized to ~1.4x the mean per-host load,
@@ -9,17 +10,31 @@
 // tiered functions away — the skewed-load story the placement estimate
 // alone cannot solve.
 //
+// Every seed runs a full variant matrix: worker threads {1, 4, T} (T = 8,
+// or --threads=N) crossed with host-parallel epochs on/off, with faults
+// off and again with a brownout + migration-abort fault plan armed (when
+// the build carries -DTOSS_FAULTS=ON). The 1-thread host-serial run is the
+// reference; every other variant's cluster ledger (migrations, per-host
+// arbiter events, shed events, per-function stats) must match it
+// bit-for-bit. Wall times of the host-parallel fault-free runs become the
+// scaling curve in the JSON artifact.
+//
 // Results land in cluster_scale.json under the bench artifact directory
 // (--out-dir=PATH, default <build>/bench_artifacts). The process exits
 // nonzero — a CI gate, not just a plot — if placement ever exceeds a host
-// budget, if the skew produced no migration, if any work was shed or lost
-// (the streams are all-admitted-up-front, so goodput must be 100%), or if
-// any part of the cluster ledger (migrations, per-host arbiter events,
-// shed events, per-function stats) differs between a 1-thread and a
-// 4-thread run at any of three seeds.
+// budget, if the skew produced no migration, if any fault-free work was
+// shed or lost (those streams are all-admitted-up-front, so goodput must
+// be 100%), if any variant's ledger diverges from the reference, or if the
+// parallel speedup at T threads falls below the floor the machine can
+// actually deliver: >= 3x when the host has >= 8 hardware threads and T
+// >= 8, >= 1.5x when it has >= 4; below that the curve is report-only (a
+// single-core runner cannot demonstrate parallel speedup by construction).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "toss.hpp"
@@ -71,14 +86,31 @@ u64 pick_budget(const SystemConfig& cfg) {
   return total + total * 2 / 5 + 2 * largest * kHosts;
 }
 
+/// Faults-on mode: brownouts soak the health breaker and migration aborts
+/// soak the transactional retry path, but no kHostCrash — this bench's
+/// goodput gate requires 100% completion, and the chaos soak
+/// (cluster_chaos) already owns the crash story.
+FaultPlan scale_fault_plan(u64 seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.set(FaultSite::kHostBrownout, {.probability = 0.08, .delay_ns = ms(1)});
+  plan.set(FaultSite::kMigrationAbort, {.probability = 0.4});
+  return plan;
+}
+
 std::unique_ptr<ClusterEngine> make_cluster(const SystemConfig& cfg,
-                                            u64 budget, u64 seed) {
+                                            u64 budget, u64 seed,
+                                            bool with_faults,
+                                            bool parallel_hosts) {
   ClusterOptions opts;
   opts.hosts = kHosts;
   opts.migrate_after_pinned_epochs = kPinnedEpochs;
   opts.host_options.chunk = 2;
   opts.host_options.arbiter.enabled = true;
   opts.host_options.arbiter.fast_budget_bytes = budget;
+  opts.parallel_hosts = parallel_hosts;
+  if (with_faults)
+    opts.cluster_fault_plan = scale_fault_plan(mix_seed(seed, "scale-faults"));
   auto cluster = std::make_unique<ClusterEngine>(opts, cfg);
   const std::vector<FunctionSpec> base = workloads::all_functions();
   for (size_t i = 0; i < kLanes; ++i) {
@@ -107,14 +139,25 @@ std::unique_ptr<ClusterEngine> make_cluster(const SystemConfig& cfg,
 
 struct SeedRow {
   u64 seed = 0;
+  bool faults = false;
   u64 invocations = 0, shed = 0, migrations = 0, epochs = 0;
   bool ledgers_match = false;
-  double wall_ms = 0;
+  double wall_ms = 0;  ///< the T-thread host-parallel run
+};
+
+/// One point on the scaling curve: mean wall time of the host-parallel
+/// fault-free runs at `threads` workers over all seeds.
+struct ScalePoint {
+  int threads = 1;
+  double wall_ms_sum = 0;
+  size_t runs = 0;
+  double mean_ms() const { return runs ? wall_ms_sum / runs : 0; }
 };
 
 void write_json(const std::string& path, u64 budget,
                 const std::vector<SeedRow>& rows,
-                const std::vector<MigrationEvent>& migrations) {
+                const std::vector<ScalePoint>& curve, double serial_ms,
+                double speedup, const std::vector<MigrationEvent>& migrations) {
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::printf("cannot write %s\n", path.c_str());
@@ -123,23 +166,37 @@ void write_json(const std::string& path, u64 budget,
   std::fprintf(out,
                "{\"bench\":\"cluster_scale\",\"hosts\":%zu,\"lanes\":%zu,"
                "\"requests_per_lane\":%zu,\"hog_requests\":%zu,"
-               "\"pinned_epochs\":%d,\"fast_budget_bytes\":%llu,\"seeds\":[",
+               "\"pinned_epochs\":%d,\"fast_budget_bytes\":%llu,"
+               "\"hardware_threads\":%d,\"faults_enabled\":%s,\"seeds\":[",
                kHosts, kLanes + 1, kRequestsPerLane, kHogRequests,
-               kPinnedEpochs, static_cast<unsigned long long>(budget));
+               kPinnedEpochs, static_cast<unsigned long long>(budget),
+               ThreadPool::hardware_threads(),
+               fault_injection_enabled() ? "true" : "false");
   for (size_t i = 0; i < rows.size(); ++i) {
     const SeedRow& r = rows[i];
     std::fprintf(out,
-                 "%s{\"seed\":%llu,\"invocations\":%llu,\"shed\":%llu,"
-                 "\"migrations\":%llu,\"epochs\":%llu,"
+                 "%s{\"seed\":%llu,\"faults\":%s,\"invocations\":%llu,"
+                 "\"shed\":%llu,\"migrations\":%llu,\"epochs\":%llu,"
                  "\"ledgers_match\":%s,\"wall_ms\":%.1f}",
                  i ? "," : "", static_cast<unsigned long long>(r.seed),
+                 r.faults ? "true" : "false",
                  static_cast<unsigned long long>(r.invocations),
                  static_cast<unsigned long long>(r.shed),
                  static_cast<unsigned long long>(r.migrations),
                  static_cast<unsigned long long>(r.epochs),
                  r.ledgers_match ? "true" : "false", r.wall_ms);
   }
-  std::fprintf(out, "],\"migration_events\":[");
+  std::fprintf(out, "],\"scaling\":{\"serial_wall_ms\":%.1f,"
+               "\"speedup_at_max\":%.2f,\"points\":[", serial_ms, speedup);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const ScalePoint& p = curve[i];
+    const double mean = p.mean_ms();
+    std::fprintf(out,
+                 "%s{\"threads\":%d,\"wall_ms\":%.1f,\"speedup\":%.2f}",
+                 i ? "," : "", p.threads, mean,
+                 mean > 0 ? serial_ms / mean : 0.0);
+  }
+  std::fprintf(out, "]},\"migration_events\":[");
   for (size_t i = 0; i < migrations.size(); ++i) {
     const MigrationEvent& m = migrations[i];
     std::fprintf(out,
@@ -159,58 +216,132 @@ void write_json(const std::string& path, u64 budget,
 
 int main(int argc, char** argv) {
   // `--config=paper|cxl|nvme` (or --ladder=2|3|4) picks the host ladder;
-  // the default two-tier run is the bit-stable CI artifact.
+  // the default two-tier run is the bit-stable CI artifact. `--threads=N`
+  // sets the top of the scaling sweep (default 8).
   const SystemConfig cfg = bench::ladder_config_from_args(argc, argv);
+  int max_threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0)
+      max_threads = std::atoi(arg.data() + 10);
+  }
+  if (max_threads < 1) max_threads = 1;
+
   const u64 budget = pick_budget(cfg) / kHosts;
-  std::printf("hosts=%zu lanes=%zu budget=%.1f MiB/host\n", kHosts, kLanes + 1,
-              static_cast<double>(budget) / static_cast<double>(kMiB));
+  std::printf("hosts=%zu lanes=%zu budget=%.1f MiB/host max_threads=%d "
+              "(hardware: %d)\n",
+              kHosts, kLanes + 1,
+              static_cast<double>(budget) / static_cast<double>(kMiB),
+              max_threads, ThreadPool::hardware_threads());
+
+  // The sweep axis: worker thread counts, host-parallel on. {1, 4, T}
+  // deduplicated and sorted.
+  std::vector<int> thread_axis = {1, 4, max_threads};
+  std::sort(thread_axis.begin(), thread_axis.end());
+  thread_axis.erase(std::unique(thread_axis.begin(), thread_axis.end()),
+                    thread_axis.end());
 
   constexpr u64 kExpected = kLanes * kRequestsPerLane + kHogRequests;
   std::vector<SeedRow> rows;
+  std::vector<ScalePoint> curve;
+  for (const int t : thread_axis) curve.push_back({t, 0, 0});
   std::vector<MigrationEvent> sample_migrations;
   bool placement_ok = true, goodput_ok = true, migrated = false;
+  bool ledgers_ok = true;
+  double serial_ms_sum = 0;
+  size_t serial_runs = 0;
 
-  const std::vector<u64> seeds(std::begin(kSeeds), std::end(kSeeds));
-  const bool ledgers_ok = bench::ledger_equality_sweep(
-      seeds, /*threads=*/4,
-      [&](u64 seed, int threads) {
-        auto cluster = make_cluster(cfg, budget, seed);
+  for (const bool faults : {false, true}) {
+    if (faults && !fault_injection_enabled()) {
+      std::printf("note: built without -DTOSS_FAULTS=ON; skipping the "
+                  "faults-on ledger sweep.\n");
+      continue;
+    }
+    for (const u64 seed : kSeeds) {
+      // Reference: 1 worker thread, hosts stepped serially.
+      auto ref_cluster = make_cluster(cfg, budget, seed, faults,
+                                      /*parallel_hosts=*/false);
+      if (!faults)
         for (size_t h = 0; h < kHosts; ++h)
           placement_ok = placement_ok &&
-                         cluster->predicted_load()[h] <=
-                             cluster->host_fast_budget_bytes(h);
-        return cluster->run(threads).value();
-      },
-      bench::cluster_ledgers_equal,
-      [&](u64 seed, const ClusterReport& p, bool match) {
-        SeedRow row;
-        row.seed = seed;
-        row.invocations = p.total_invocations();
-        row.shed = p.total_shed();
-        row.migrations = p.migrations.size();
-        row.epochs = p.epochs;
-        row.ledgers_match = match;
-        row.wall_ms = p.wall_ns / 1e6;
-        rows.push_back(row);
+                         ref_cluster->predicted_load()[h] <=
+                             ref_cluster->host_fast_budget_bytes(h);
+      const ClusterReport reference = ref_cluster->run(1).value();
+      if (!faults) {
+        serial_ms_sum += reference.wall_ns / 1e6;
+        ++serial_runs;
+      }
 
-        goodput_ok =
-            goodput_ok && row.shed == 0 && row.invocations == kExpected;
-        if (!p.migrations.empty()) migrated = true;
-        if (sample_migrations.empty()) sample_migrations = p.migrations;
+      // Variants: every thread count x host-parallel on/off (minus the
+      // reference itself). Each must reproduce the reference ledger.
+      SeedRow row;
+      row.seed = seed;
+      row.faults = faults;
+      row.ledgers_match = true;
+      for (const int threads : thread_axis) {
+        for (const bool parallel_hosts : {false, true}) {
+          if (threads == 1 && !parallel_hosts) continue;  // the reference
+          auto cluster =
+              make_cluster(cfg, budget, seed, faults, parallel_hosts);
+          const ClusterReport report = cluster->run(threads).value();
+          const bool match = bench::cluster_ledgers_equal(reference, report);
+          row.ledgers_match = row.ledgers_match && match;
+          if (!match)
+            std::printf("DIVERGED: seed %llu faults=%d threads=%d "
+                        "parallel_hosts=%d\n",
+                        static_cast<unsigned long long>(seed), faults ? 1 : 0,
+                        threads, parallel_hosts ? 1 : 0);
+          if (parallel_hosts && !faults) {
+            ScalePoint& point =
+                *std::find_if(curve.begin(), curve.end(),
+                              [&](const ScalePoint& p) {
+                                return p.threads == threads;
+                              });
+            point.wall_ms_sum += report.wall_ns / 1e6;
+            ++point.runs;
+          }
+          if (threads == max_threads && parallel_hosts) {
+            row.invocations = report.total_invocations();
+            row.shed = report.total_shed();
+            row.migrations = report.migrations.size();
+            row.epochs = report.epochs;
+            row.wall_ms = report.wall_ns / 1e6;
+            if (!faults) {
+              goodput_ok = goodput_ok && row.shed == 0 &&
+                           row.invocations == kExpected;
+              if (!report.migrations.empty()) migrated = true;
+              if (sample_migrations.empty())
+                sample_migrations = report.migrations;
+            }
+          }
+        }
+      }
+      ledgers_ok = ledgers_ok && row.ledgers_match;
+      rows.push_back(row);
+      std::printf(
+          "seed %llu (faults %s): %llu invocations, %llu shed, %llu "
+          "migrations over %llu epochs, ledgers %s\n",
+          static_cast<unsigned long long>(seed), faults ? "on" : "off",
+          static_cast<unsigned long long>(row.invocations),
+          static_cast<unsigned long long>(row.shed),
+          static_cast<unsigned long long>(row.migrations),
+          static_cast<unsigned long long>(row.epochs),
+          row.ledgers_match ? "match" : "DIVERGED");
+    }
+  }
 
-        std::printf(
-            "seed %llu: %llu invocations, %llu shed, %llu migrations over "
-            "%llu epochs, ledgers %s\n",
-            static_cast<unsigned long long>(seed),
-            static_cast<unsigned long long>(row.invocations),
-            static_cast<unsigned long long>(row.shed),
-            static_cast<unsigned long long>(row.migrations),
-            static_cast<unsigned long long>(row.epochs),
-            row.ledgers_match ? "match" : "DIVERGED");
-      });
+  const double serial_ms = serial_runs ? serial_ms_sum / serial_runs : 0;
+  double speedup_at_max = 0;
+  for (const ScalePoint& p : curve) {
+    const double mean = p.mean_ms();
+    const double speedup = mean > 0 ? serial_ms / mean : 0;
+    if (p.threads == max_threads) speedup_at_max = speedup;
+    std::printf("scaling: %d threads -> %.1f ms (speedup %.2fx)\n", p.threads,
+                mean, speedup);
+  }
 
   write_json(bench::artifact_path(argc, argv, "cluster_scale.json"), budget,
-             rows, sample_migrations);
+             rows, curve, serial_ms, speedup_at_max, sample_migrations);
 
   if (!placement_ok) {
     std::printf("FAIL: placement exceeded a host's fast-tier budget\n");
@@ -225,11 +356,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!ledgers_ok) {
-    std::printf("FAIL: cluster ledgers diverged between 1 and 4 threads\n");
+    std::printf("FAIL: a cluster ledger diverged from the 1-thread "
+                "host-serial reference\n");
     return 1;
   }
+  // Speedup floor, scaled to what the machine can deliver: a runner with
+  // fewer hardware threads than the sweep top cannot exhibit the full
+  // parallel speedup no matter how good the executor is.
+  const int hw = ThreadPool::hardware_threads();
+  double floor = 0;
+  if (hw >= 8 && max_threads >= 8)
+    floor = 3.0;
+  else if (hw >= 4 && max_threads >= 4)
+    floor = 1.5;
+  if (floor > 0 && speedup_at_max < floor) {
+    std::printf("FAIL: %d-thread speedup %.2fx below the %.1fx floor "
+                "(hardware threads: %d)\n",
+                max_threads, speedup_at_max, floor, hw);
+    return 1;
+  }
+  if (floor == 0)
+    std::printf("note: %d hardware threads — speedup is report-only on this "
+                "machine\n", hw);
   std::printf("cluster scale gates hold: %zu lanes on %zu hosts, "
-              "%zu sample migrations\n",
-              kLanes + 1, kHosts, sample_migrations.size());
+              "%zu sample migrations, %.2fx at %d threads\n",
+              kLanes + 1, kHosts, sample_migrations.size(), speedup_at_max,
+              max_threads);
   return 0;
 }

@@ -1,24 +1,32 @@
-// Engine throughput: wall-clock speedup of the concurrent PlatformEngine
-// over the serial reference path on a 64-function fleet, with a bit-for-bit
-// determinism check between the two runs.
+// Engine throughput: wall-clock scaling of the concurrent data plane over
+// the serial reference path on a 64-function fleet, with a bit-for-bit
+// determinism check at every point of the sweep.
 //
 // The fleet cycles the ten Table-I functions (distinct registrations, so 64
 // isolated lanes); every lane drives enough requests to cross the full TOSS
-// lifecycle. The serial run (1 thread) and the parallel run (8 threads by
-// default, or --engine_threads=N) must produce identical per-function
-// statistics — lanes share no mutable state — so the only thing allowed to
-// change is the wall clock. Metrics (counters + latency histograms per
-// function/phase) are snapshotted into engine_metrics.json under the bench
-// artifact directory (--out-dir=PATH, default <build>/bench_artifacts).
+// lifecycle. The sweep runs the fleet at 1/2/4/8 worker threads (the top
+// overridable with --engine_threads=N) and, with --hosts=N, spreads the
+// same fleet over N simulated hosts behind the ClusterEngine so the
+// host-parallel epoch path is on the measured spine too. Every point must
+// reproduce the 1-thread run's per-function statistics (or, on the cluster
+// axis, the full cluster ledger) bit-for-bit — lanes share no mutable
+// state — so the only thing allowed to change is the wall clock.
 //
-// Note: the achievable speedup is bounded by the host's core count; on a
-// single-core machine both runs take the same time by construction.
+// Artifacts under the bench artifact directory (--out-dir=PATH, default
+// <build>/bench_artifacts): engine_metrics.json (counters + latency
+// histograms from the widest run) and engine_scaling.json (the scaling
+// curve). The exit code gates on determinism at every point and on a
+// minimum parallel speedup at the sweep top — >= 3x with >= 8 hardware
+// threads, >= 1.5x with >= 4; report-only below (a single-core runner
+// cannot demonstrate parallel speedup by construction).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "toss.hpp"
 
@@ -31,31 +39,58 @@ namespace {
 constexpr size_t kFleetSize = 64;
 constexpr size_t kRequestsPerFunction = 48;
 
+TossOptions fleet_toss() {
+  TossOptions toss;
+  toss.stable_invocations = 5;
+  toss.max_profiling_invocations = 40;
+  return toss;
+}
+
+FunctionRegistration fleet_registration(size_t i, FunctionSpec spec) {
+  spec.name += "#" + std::to_string(i);
+  return FunctionRegistration(std::move(spec))
+      .policy(PolicyKind::kToss)
+      .toss(fleet_toss())
+      .seed(1000 + i);
+}
+
 std::unique_ptr<PlatformEngine> build_fleet() {
   EngineOptions opts;
   opts.keep_outcomes = false;  // 64 x 48 outcomes are noise; stats suffice
   auto engine = std::make_unique<PlatformEngine>(SystemConfig::paper_default(),
                                                  PricingPlan{}, opts);
-
   const std::vector<FunctionSpec> base = workloads::all_functions();
-  TossOptions toss;
-  toss.stable_invocations = 5;
-  toss.max_profiling_invocations = 40;
-
   for (size_t i = 0; i < kFleetSize; ++i) {
     FunctionSpec spec = base[i % base.size()];
-    spec.name += "#" + std::to_string(i);
     auto requests = RequestGenerator::round_robin(
         kRequestsPerFunction, mix_seed(7000 + i, spec.name));
-    engine
-        ->add(FunctionRegistration(std::move(spec))
-                 .policy(PolicyKind::kToss)
-                 .toss(toss)
-                 .seed(1000 + i),
-             std::move(requests))
+    engine->add(fleet_registration(i, std::move(spec)), std::move(requests))
         .value();
   }
   return engine;
+}
+
+/// The --hosts=N axis: the same 64 lanes spread over N simulated hosts, so
+/// the sweep also measures the cluster's host-parallel epoch path. The
+/// arbiter budget is effectively unbounded — this bench measures the
+/// executor, not admission control.
+std::unique_ptr<ClusterEngine> build_cluster_fleet(size_t hosts) {
+  ClusterOptions opts;
+  opts.hosts = hosts;
+  opts.host_options.keep_outcomes = false;
+  opts.host_options.arbiter.enabled = true;
+  opts.host_options.arbiter.fast_budget_bytes = u64{1} << 40;
+  auto cluster =
+      std::make_unique<ClusterEngine>(opts, SystemConfig::paper_default());
+  const std::vector<FunctionSpec> base = workloads::all_functions();
+  for (size_t i = 0; i < kFleetSize; ++i) {
+    FunctionSpec spec = base[i % base.size()];
+    auto requests = RequestGenerator::round_robin(
+        kRequestsPerFunction, mix_seed(7000 + i, spec.name));
+    cluster->add(fleet_registration(i, std::move(spec)), std::move(requests))
+        .value();
+  }
+  return cluster;
 }
 
 bool identical_stats(const OnlineStats& a, const OnlineStats& b) {
@@ -64,26 +99,10 @@ bool identical_stats(const OnlineStats& a, const OnlineStats& b) {
          a.variance() == b.variance();
 }
 
-int run_comparison(int threads, const std::string& metrics_path) {
-  std::printf("fleet: %zu functions x %zu requests, host threads: %d\n",
-              kFleetSize, kRequestsPerFunction, ThreadPool::hardware_threads());
-
-  auto serial_engine = build_fleet();
-  const EngineReport serial = serial_engine->run(1).value();
-  std::printf("serial   (1 thread) : %8.1f ms wall\n", to_ms(serial.wall_ns));
-
-  auto parallel_engine = build_fleet();
-  const EngineReport parallel = parallel_engine->run(threads).value();
-  std::printf("parallel (%d threads): %8.1f ms wall\n", threads,
-              to_ms(parallel.wall_ns));
-
-  const double speedup =
-      parallel.wall_ns > 0 ? serial.wall_ns / parallel.wall_ns : 0;
-  std::printf("speedup: %.2fx (serialization violations: %llu)\n", speedup,
-              static_cast<unsigned long long>(
-                  parallel.serialization_violations));
-
-  // Determinism: per-function stats must match bit-for-bit.
+/// Per-function stat equality between two engine runs (the single-host
+/// determinism contract; the cluster axis uses cluster_ledgers_equal).
+size_t count_mismatches(const EngineReport& serial,
+                        const EngineReport& parallel) {
   size_t mismatches = 0;
   for (size_t i = 0; i < serial.functions.size(); ++i) {
     const FunctionReport& s = serial.functions[i];
@@ -100,26 +119,160 @@ int run_comparison(int threads, const std::string& metrics_path) {
       std::printf("MISMATCH: %s\n", s.name.c_str());
     }
   }
-  std::printf("determinism: %zu/%zu functions bit-identical\n",
-              serial.functions.size() - mismatches, serial.functions.size());
+  return mismatches;
+}
 
-  u64 tiered = 0;
-  for (const FunctionReport& f : parallel.functions)
-    if (f.final_phase == TossPhase::kTiered) ++tiered;
-  std::printf("lifecycle: %llu/%zu lanes reached the tiered phase\n",
-              static_cast<unsigned long long>(tiered),
-              parallel.functions.size());
+struct ScalePoint {
+  int threads = 1;
+  double wall_ms = 0;
+  bool deterministic = false;
+};
 
-  if (FILE* out = std::fopen(metrics_path.c_str(), "w")) {
-    const std::string json = parallel.metrics.to_json();
-    std::fwrite(json.data(), 1, json.size(), out);
-    std::fclose(out);
-    std::printf("metrics: %s (%zu functions, %llu invocations)\n",
-                metrics_path.c_str(), parallel.metrics.functions.size(),
-                static_cast<unsigned long long>(
-                    parallel.metrics.total_invocations()));
+void write_scaling_json(const std::string& path, size_t hosts,
+                        const std::vector<ScalePoint>& points,
+                        double speedup_at_max) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
   }
-  return mismatches == 0 && parallel.serialization_violations == 0 ? 0 : 1;
+  const double serial_ms = points.empty() ? 0 : points.front().wall_ms;
+  std::fprintf(out,
+               "{\"bench\":\"engine_throughput\",\"fleet\":%zu,"
+               "\"requests_per_function\":%zu,\"hosts\":%zu,"
+               "\"hardware_threads\":%d,\"speedup_at_max\":%.2f,"
+               "\"points\":[",
+               kFleetSize, kRequestsPerFunction, hosts,
+               ThreadPool::hardware_threads(), speedup_at_max);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(out,
+                 "%s{\"threads\":%d,\"wall_ms\":%.1f,\"speedup\":%.2f,"
+                 "\"deterministic\":%s}",
+                 i ? "," : "", p.threads, p.wall_ms,
+                 p.wall_ms > 0 ? serial_ms / p.wall_ms : 0.0,
+                 p.deterministic ? "true" : "false");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("artifact: %s\n", path.c_str());
+}
+
+int run_sweep(int max_threads, size_t hosts, const std::string& metrics_path,
+              const std::string& scaling_path) {
+  std::printf("fleet: %zu functions x %zu requests, hosts: %zu, "
+              "host threads: %d\n",
+              kFleetSize, kRequestsPerFunction, hosts,
+              ThreadPool::hardware_threads());
+
+  std::vector<int> axis = {1, 2, 4, 8, max_threads};
+  std::sort(axis.begin(), axis.end());
+  axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+  axis.erase(std::remove_if(axis.begin(), axis.end(),
+                            [&](int t) { return t > max_threads; }),
+             axis.end());
+
+  std::vector<ScalePoint> points;
+  bool deterministic = true;
+  u64 violations = 0;
+
+  if (hosts <= 1) {
+    auto serial_engine = build_fleet();
+    const EngineReport serial = serial_engine->run(1).value();
+    EngineReport widest = serial;
+    for (const int threads : axis) {
+      ScalePoint point;
+      point.threads = threads;
+      if (threads == 1) {
+        point.wall_ms = to_ms(serial.wall_ns);
+        point.deterministic = true;
+      } else {
+        auto engine = build_fleet();
+        const EngineReport report = engine->run(threads).value();
+        point.wall_ms = to_ms(report.wall_ns);
+        point.deterministic = count_mismatches(serial, report) == 0 &&
+                              report.serialization_violations == 0;
+        violations += report.serialization_violations;
+        if (threads == axis.back()) widest = report;
+      }
+      deterministic = deterministic && point.deterministic;
+      points.push_back(point);
+      std::printf("%2d threads: %8.1f ms wall, per-function stats %s\n",
+                  threads, point.wall_ms,
+                  point.deterministic ? "bit-identical" : "DIVERGED");
+    }
+
+    u64 tiered = 0;
+    for (const FunctionReport& f : widest.functions)
+      if (f.final_phase == TossPhase::kTiered) ++tiered;
+    std::printf("lifecycle: %llu/%zu lanes reached the tiered phase\n",
+                static_cast<unsigned long long>(tiered),
+                widest.functions.size());
+
+    if (FILE* out = std::fopen(metrics_path.c_str(), "w")) {
+      const std::string json = widest.metrics.to_json();
+      std::fwrite(json.data(), 1, json.size(), out);
+      std::fclose(out);
+      std::printf("metrics: %s (%zu functions, %llu invocations)\n",
+                  metrics_path.c_str(), widest.metrics.functions.size(),
+                  static_cast<unsigned long long>(
+                      widest.metrics.total_invocations()));
+    }
+  } else {
+    auto serial_cluster = build_cluster_fleet(hosts);
+    const ClusterReport serial = serial_cluster->run(1).value();
+    for (const int threads : axis) {
+      ScalePoint point;
+      point.threads = threads;
+      if (threads == 1) {
+        point.wall_ms = to_ms(serial.wall_ns);
+        point.deterministic = true;
+      } else {
+        auto cluster = build_cluster_fleet(hosts);
+        const ClusterReport report = cluster->run(threads).value();
+        point.wall_ms = to_ms(report.wall_ns);
+        point.deterministic = bench::cluster_ledgers_equal(serial, report);
+      }
+      deterministic = deterministic && point.deterministic;
+      points.push_back(point);
+      std::printf("%2d threads x %zu hosts: %8.1f ms wall, ledgers %s\n",
+                  threads, hosts, point.wall_ms,
+                  point.deterministic ? "bit-identical" : "DIVERGED");
+    }
+  }
+
+  const double serial_ms = points.front().wall_ms;
+  const double widest_ms = points.back().wall_ms;
+  const double speedup = widest_ms > 0 ? serial_ms / widest_ms : 0;
+  std::printf("speedup at %d threads: %.2fx (serialization violations: "
+              "%llu)\n",
+              points.back().threads, speedup,
+              static_cast<unsigned long long>(violations));
+
+  write_scaling_json(scaling_path, hosts, points, speedup);
+
+  if (!deterministic) {
+    std::printf("FAIL: a sweep point diverged from the serial reference\n");
+    return 1;
+  }
+  // Hardware-adaptive speedup floor (same scheme as cluster_scale).
+  const int hw = ThreadPool::hardware_threads();
+  const int top = points.back().threads;
+  double floor = 0;
+  if (hw >= 8 && top >= 8)
+    floor = 3.0;
+  else if (hw >= 4 && top >= 4)
+    floor = 1.5;
+  if (floor > 0 && speedup < floor) {
+    std::printf("FAIL: %d-thread speedup %.2fx below the %.1fx floor "
+                "(hardware threads: %d)\n",
+                top, speedup, floor, hw);
+    return 1;
+  }
+  if (floor == 0)
+    std::printf("note: %d hardware threads — speedup is report-only on this "
+                "machine\n", hw);
+  return 0;
 }
 
 void BM_engine_parallel(benchmark::State& state) {
@@ -136,12 +289,19 @@ BENCHMARK(BM_engine_parallel)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   int threads = 8;
-  for (int i = 1; i < argc; ++i)
+  size_t hosts = 1;
+  for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--engine_threads=", 17) == 0)
       threads = std::atoi(argv[i] + 17);
+    if (std::strncmp(argv[i], "--hosts=", 8) == 0)
+      hosts = static_cast<size_t>(std::atoi(argv[i] + 8));
+  }
   const std::string metrics_path =
       toss::bench::artifact_path(argc, argv, "engine_metrics.json");
-  const int rc = run_comparison(threads > 0 ? threads : 8, metrics_path);
+  const std::string scaling_path =
+      toss::bench::artifact_path(argc, argv, "engine_scaling.json");
+  const int rc = run_sweep(threads > 0 ? threads : 8, hosts > 0 ? hosts : 1,
+                           metrics_path, scaling_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return rc;

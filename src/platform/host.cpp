@@ -212,9 +212,11 @@ void Host::scheduler_loop() {
     size_t idx;
     {
       std::unique_lock<RankedMutex> lock(mu_);
+      ++waiting_workers_;
       ready_cv_.wait(lock, [this] {
         return abort_ || !ready_.empty() || unfinished_ == 0;
       });
+      --waiting_workers_;
       if (abort_ || (ready_.empty() && unfinished_ == 0)) return;
       if (ready_.empty()) continue;  // spurious wake while others finish
       idx = ready_.front();
@@ -226,11 +228,15 @@ void Host::scheduler_loop() {
 
     {
       std::lock_guard<RankedMutex> lock(mu_);
+      // Notify only when a worker is actually parked: a busy worker
+      // re-checks ready_ under mu_ before it can sleep, so the skipped
+      // notify is never lost — it just skips the futex syscall. This is
+      // the per-epoch wakeup-convoy fix for the legacy path.
       if (lane.next < lane.requests.size()) {
         ready_.push_back(idx);
-        ready_cv_.notify_one();
+        if (waiting_workers_ > 0) ready_cv_.notify_one();
       } else if (--unfinished_ == 0) {
-        ready_cv_.notify_all();
+        if (waiting_workers_ > 0) ready_cv_.notify_all();
       }
     }
   }
@@ -511,37 +517,56 @@ void Host::arbiter_tick(FastTierArbiter& arbiter, u64 epoch) {
   arbiter.tick(epoch, demands, apply);
 }
 
-Result<void> Host::step_epoch(ThreadPool* pool) {
+Result<EpochPlan> Host::plan_epoch() {
   if (failed_) return {error_code_, error_message_};
-  std::vector<size_t> active;
-  active.reserve(lanes_.size());
+  EpochPlan plan;
+  plan.active.reserve(lanes_.size());
   for (size_t i = 0; i < lanes_.size(); ++i)
-    if (lanes_[i] != nullptr && !lanes_[i]->drained()) active.push_back(i);
-  if (active.empty()) return {};
+    if (lanes_[i] != nullptr && !lanes_[i]->drained()) plan.active.push_back(i);
+  if (plan.active.empty()) return plan;
 
   FastTierArbiter* arbiter =
       options_.arbiter.enabled ? ensure_arbiter() : nullptr;
   // Snapshot the admission gates once per epoch so every lane sees the same
   // decision regardless of scheduling. Per-class gates (QoS mode) resolve
   // here, serially; outside QoS mode every class reads the same gate.
-  std::vector<char> closed(active.size(), 0);
+  plan.closed.assign(plan.active.size(), 0);
   if (arbiter != nullptr)
-    for (size_t k = 0; k < active.size(); ++k)
-      closed[k] = arbiter->admission_closed(lanes_[active[k]]->qos.cls) ? 1 : 0;
-  parallel_for(pool, active.size(), [&](size_t k) {
-    process_chunk_overload(*lanes_[active[k]], closed[k] != 0);
-  });
-  // parallel_for joins before returning, so reading the failure flag and
-  // running the serial barrier below cannot race with workers.
-  if (failed_) return {error_code_, error_message_};
+    for (size_t k = 0; k < plan.active.size(); ++k)
+      plan.closed[k] =
+          arbiter->admission_closed(lanes_[plan.active[k]]->qos.cls) ? 1 : 0;
+  return plan;
+}
 
+void Host::run_planned_lane(const EpochPlan& plan, size_t k) {
+  process_chunk_overload(*lanes_[plan.active[k]], plan.closed[k] != 0);
+}
+
+Result<void> Host::finish_epoch() {
+  // The executor joined before this runs, so reading the failure flag and
+  // applying the cross-lane barrier decisions cannot race with workers.
+  if (failed_) return {error_code_, error_message_};
   enforce_global_queue_bound();
-  if (arbiter != nullptr) {
-    arbiter_tick(*arbiter, epoch_);
-    closed_streak_ = arbiter->admission_closed() ? closed_streak_ + 1 : 0;
+  if (options_.arbiter.enabled) {
+    FastTierArbiter& arbiter = *ensure_arbiter();
+    arbiter_tick(arbiter, epoch_);
+    closed_streak_ = arbiter.admission_closed() ? closed_streak_ + 1 : 0;
   }
   ++epoch_;
   return {};
+}
+
+Result<void> Host::step_epoch(LaneExecutor* executor) {
+  Result<EpochPlan> plan = plan_epoch();
+  if (!plan.ok()) return {plan.code(), plan.message()};
+  if (plan->empty()) return {};
+  if (executor != nullptr) {
+    executor->run_epoch(plan->active.size(),
+                        [&](size_t k) { run_planned_lane(*plan, k); });
+  } else {
+    for (size_t k = 0; k < plan->active.size(); ++k) run_planned_lane(*plan, k);
+  }
+  return finish_epoch();
 }
 
 Result<EngineReport> Host::drain(int threads) {
@@ -552,11 +577,11 @@ Result<EngineReport> Host::drain(int threads) {
   // not simulated state; the ledger-equality harness strips it.
   const auto t0 = std::chrono::steady_clock::now();  // toss-lint: allow(det-wallclock)
   if (options_.overload_protection()) {
-    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<LaneExecutor> executor;
     if (threads > 1 && function_count() > 1)
-      pool = std::make_unique<ThreadPool>(threads);
+      executor = std::make_unique<LaneExecutor>(threads);
     while (!idle()) {
-      if (!step_epoch(pool.get()).ok()) break;
+      if (!step_epoch(executor.get()).ok()) break;
     }
   } else {
     drain_legacy(threads);

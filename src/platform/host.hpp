@@ -47,8 +47,6 @@
 
 namespace toss {
 
-class ThreadPool;
-
 /// What a bounded lane queue sheds when full.
 enum class DropPolicy : u8 {
   kTailDrop = 0,  ///< shed the newly arrived request
@@ -165,6 +163,18 @@ struct EngineReport {
   const FunctionReport* find(const std::string& name) const;
 };
 
+/// One epoch's parallel phase, computed at the serial plan step: which lane
+/// slots run a chunk and the admission-gate snapshot each one sees. The
+/// split exists so a ClusterEngine can plan every host serially, flatten
+/// all hosts' (plan, k) pairs into ONE LaneExecutor round — no nested
+/// parallelism — and then run each host's serial barrier in host-index
+/// order (DESIGN.md §15).
+struct EpochPlan {
+  std::vector<size_t> active;  ///< lane slot indices with work this epoch
+  std::vector<char> closed;    ///< per-active-lane admission-gate snapshot
+  bool empty() const { return active.empty(); }
+};
+
 /// One request batch for a retained lane, for PlatformEngine::drain /
 /// Host::enqueue.
 struct LaneBatch {
@@ -250,10 +260,23 @@ class Host {
   Result<EngineReport> drain(int threads);
 
   /// One epoch of the overload scheduler: a parallel chunk per active lane
-  /// (inline when pool is null), then the serial barrier (global queue
-  /// bound, arbiter tick). No-op when idle. The cluster calls this in host
-  /// index order so cross-host decisions stay deterministic.
-  Result<void> step_epoch(ThreadPool* pool);
+  /// (inline when executor is null), then the serial barrier (global queue
+  /// bound, arbiter tick). No-op when idle. Composes the three phases
+  /// below; the cluster calls the phases directly so it can run many
+  /// hosts' lanes in one executor round.
+  Result<void> step_epoch(LaneExecutor* executor);
+
+  /// Serial plan phase: the active-lane set and the admission-gate
+  /// snapshot every lane of this epoch will see. Empty plan when idle.
+  /// Sticky lane failures surface here (and on every later call).
+  Result<EpochPlan> plan_epoch();
+  /// Parallel phase, safe to run concurrently across k (and across hosts):
+  /// one chunk of the k-th planned lane, touching lane-local state only.
+  void run_planned_lane(const EpochPlan& plan, size_t k);
+  /// Serial barrier phase: cross-lane decisions (global queue bound,
+  /// arbiter ladder) in lane slot order, then the epoch counter. Must be
+  /// called exactly once after the parallel phase of a non-empty plan.
+  Result<void> finish_epoch();
 
   /// Epochs the overload scheduler has completed since construction.
   u64 epochs() const { return epoch_; }
@@ -376,11 +399,17 @@ class Host {
   Nanos wall_ns_ = 0;  ///< real time spent draining, summed
 
   // Scheduler state (valid during a drain). The mutex is rank-checked: a
-  // worker holding it may still create metric series (kMetricsRegistry
-  // ranks higher), but the registry must never call back into the host.
+  // worker holding it may still create metric series (the registry's
+  // optimistic latch sits above kEngineScheduler in the ordering), but
+  // the registry must never call back into the host.
   RankedMutex mu_{LockRank::kEngineScheduler, "Host::mu_"};
   std::condition_variable_any ready_cv_;
   std::deque<size_t> ready_;
+  /// Workers blocked in ready_cv_.wait (guarded by mu_): notifies are
+  /// skipped when nobody is parked, since a busy worker re-checks the
+  /// queue under mu_ before it can sleep — this removes the O(workers)
+  /// notify convoy the legacy scheduler paid per requeue.
+  int waiting_workers_ = 0;
   size_t unfinished_ = 0;
   bool abort_ = false;
   std::atomic<u64> serialization_violations_{0};

@@ -110,7 +110,18 @@ void FunctionSeries::record(TossPhase phase, bool cold_boot, Nanos total,
 }
 
 FunctionSeries* MetricsRegistry::series(const std::string& name) {
-  std::lock_guard<RankedMutex> lock(mu_);
+  {
+    // Fast path: the name almost always exists already (every invocation
+    // resolves its series). Shared mode — the vector and the names are
+    // plain memory, so optimistic reads would race with a concurrent
+    // registration's push_back.
+    SharedLatchGuard guard(latch_);
+    for (const auto& s : series_)
+      if (s->function == name) return s.get();
+  }
+  ExclusiveLatchGuard guard(latch_);
+  // Re-scan: another thread may have registered the name between the
+  // shared release and the exclusive acquire.
   for (const auto& s : series_)
     if (s->function == name) return s.get();
   series_.push_back(std::make_unique<FunctionSeries>(name));
@@ -119,7 +130,7 @@ FunctionSeries* MetricsRegistry::series(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
-  std::lock_guard<RankedMutex> lock(mu_);
+  SharedLatchGuard guard(latch_);
   out.functions.reserve(series_.size());
   for (const auto& s : series_) {
     FunctionMetrics m;

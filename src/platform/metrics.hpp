@@ -16,8 +16,8 @@
 #include <vector>
 
 #include "core/toss.hpp"
-#include "platform/concurrency.hpp"
 #include "platform/qos.hpp"
+#include "util/optimistic.hpp"
 
 namespace toss {
 
@@ -199,16 +199,20 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
-  /// Create (or fetch) the series for `name`. Cold path: takes a lock.
+  /// Create (or fetch) the series for `name`. Lookups of an existing name
+  /// take the latch shared (lock-free CAS, no mutex); only the first call
+  /// for a new name upgrades to exclusive and allocates.
   FunctionSeries* series(const std::string& name);
 
   /// Consistent-enough copy of all counters (each value is read atomically;
-  /// the set of functions is read under the lock).
+  /// the set of functions is read under the shared latch).
   MetricsSnapshot snapshot() const;
 
  private:
-  mutable RankedMutex mu_{LockRank::kMetricsRegistry,
-                          "MetricsRegistry::mu_"};
+  /// Optimistic version-stamped latch (DESIGN.md §15) guarding the series
+  /// vector — the FunctionSeries counters themselves are atomics and are
+  /// recorded without any latch at all.
+  mutable OptimisticLatch latch_;
   std::vector<std::unique_ptr<FunctionSeries>> series_;
 };
 

@@ -24,16 +24,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  bool wake;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    // Notify only when a worker is actually parked: a busy worker re-checks
+    // the queue under mu_ before it can sleep (wait-with-predicate), so a
+    // skipped notify is never lost — it just skips the futex syscall. The
+    // engine submits one task per worker per epoch, so this turns an
+    // O(workers) wakeup convoy into zero syscalls in steady state.
+    wake = waiting_ > 0;
   }
-  has_work_.notify_one();
+  if (wake) has_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
+  ++idle_waiting_;
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  --idle_waiting_;
 }
 
 void ThreadPool::worker_loop() {
@@ -41,7 +50,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++waiting_;
       has_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      --waiting_;
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -51,7 +62,8 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0 && idle_waiting_ > 0)
+        idle_.notify_all();
     }
   }
 }

@@ -52,6 +52,14 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   int in_flight_ = 0;
+  /// Workers currently blocked in has_work_.wait (under mu_). submit()
+  /// skips the notify syscall when nobody is parked — a worker that is
+  /// busy re-checks the queue itself when it finishes, so the wakeup
+  /// would be wasted. This is what removes the O(workers) notify convoy
+  /// per epoch from the legacy engine path.
+  int waiting_ = 0;
+  /// Threads blocked in wait_idle (under mu_); gates idle_ notifies.
+  int idle_waiting_ = 0;
   bool stopping_ = false;
 };
 

@@ -18,8 +18,19 @@
 //   - Quarantine: a checksum-failed tiered artifact is marked unreadable
 //     so the recovery ladder degrades to the retained single-tier snapshot
 //     and Step V regenerates a fresh artifact instead of re-mapping rot.
+//
+// Thread safety (DESIGN.md §15): once the work-stealing executor lets any
+// worker run any lane, a store's resident-byte accounting is read from the
+// arbiter barrier while another worker may be serving its lane — so the
+// container maps are guarded by the vmcache optimistic version-stamped
+// latch: shared (CAS-counted, lock-free) for every read that walks the
+// maps, exclusive for puts, fault arming, quarantine and damage hooks.
+// Returned blob pointers stay valid after the guard drops because std::map
+// nodes are stable and the engine's ownership discipline confines blob
+// *mutation* to the lane that owns the id (or the serial barrier).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -28,6 +39,7 @@
 #include "mem/tier.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/optimistic.hpp"
 #include "vmm/snapshot.hpp"
 #include "vmm/tiered_snapshot.hpp"
 
@@ -87,7 +99,9 @@ class SnapshotStore {
   /// Mark a tiered artifact unreadable (checksum failure). Idempotent.
   void quarantine_tiered(u64 file_id);
   bool is_quarantined(u64 file_id) const;
-  u64 quarantine_count() const { return quarantine_count_; }
+  u64 quarantine_count() const {
+    return quarantine_count_.load(std::memory_order_acquire);
+  }
 
   /// Fault/test hooks: damage a stored tiered artifact in place (checksums
   /// go stale, which verify_tiered detects). Return false for unknown ids.
@@ -107,14 +121,25 @@ class SnapshotStore {
   const SystemConfig& config() const { return *cfg_; }
 
  private:
+  // _unlocked helpers assume latch_ is already held (shared or exclusive)
+  // by the public wrapper; fetch_tiered holds it exclusive across fault
+  // arming + lookup, so the lookups must not re-enter the latch.
   /// Resolve a tiered id through the deep-rank -> rank-0 alias map.
   u64 resolve_tiered(u64 file_id) const;
   TieredSnapshot* find_tiered(u64 file_id);
+  const SingleTierSnapshot* get_single_tier_unlocked(u64 file_id) const;
+  const TieredSnapshot* get_tiered_unlocked(u64 file_id) const;
+  bool is_quarantined_unlocked(u64 file_id) const;
+  Result<void> verify_tiered_unlocked(u64 file_id) const;
 
   const SystemConfig* cfg_;
   FaultInjector* faults_ = nullptr;
-  u64 next_file_id_ = 1;
-  u64 quarantine_count_ = 0;
+  /// Atomic: id allocation must not serialize behind the blob latch.
+  std::atomic<u64> next_file_id_{1};
+  std::atomic<u64> quarantine_count_{0};
+  /// vmcache-style optimistic word guarding the four containers below;
+  /// every exclusive unlock bumps the version.
+  mutable OptimisticLatch latch_;
   // Ordered containers on purpose: the store sits in the include closure
   // of the metrics ledger, and any future walk over snapshots (resident-
   // byte rollups, eviction sweeps) must visit ids in a run-stable order.

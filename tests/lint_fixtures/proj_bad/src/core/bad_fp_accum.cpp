@@ -21,4 +21,15 @@ double reduce(Pool& pool, const double* xs, std::size_t n) {
   return total;
 }
 
+struct LaneExecutor {
+  template <typename F>
+  void run_epoch(std::size_t n, F f);
+};
+
+double reduce_epoch(LaneExecutor& exec, const double* xs, std::size_t n) {
+  double sum = 0.0;
+  exec.run_epoch(n, [&](std::size_t i) { sum += xs[i]; });
+  return sum;
+}
+
 }  // namespace fx

@@ -1,0 +1,35 @@
+// Fixture: the work-stealing executor's low ranks — a deque lock may never
+// be taken while a platform lock is held; two deque locks share a rank, so
+// holding both is a potential ABBA and is flagged too.
+#include <mutex>
+
+namespace fx {
+
+enum class LockRank : int {
+  kExecQueue = 4,
+  kExecPark = 6,
+  kEpochScheduler = 10,
+};
+
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name);
+};
+
+struct Executor {
+  RankedMutex queue_{LockRank::kExecQueue, "queue"};
+  RankedMutex peer_queue_{LockRank::kExecQueue, "peer_queue"};
+  RankedMutex sched_{LockRank::kEpochScheduler, "sched"};
+
+  void steal_under_barrier() {
+    std::lock_guard<RankedMutex> outer(sched_);
+    std::lock_guard<RankedMutex> inner(queue_);
+  }
+
+  void steal_both() {
+    std::lock_guard<RankedMutex> mine(queue_);
+    std::lock_guard<RankedMutex> victim(peer_queue_);
+  }
+};
+
+}  // namespace fx

@@ -149,16 +149,36 @@ TEST(TossLint, BadProjectFailsWithFileLineRuleDiagnostics) {
             std::string::npos)
       << run.output;
   // det-fp-accum: shared += and atomic<double>::fetch_add inside the
-  // parallel_for call.
+  // parallel_for call, and a shared += inside a work-stealing executor's
+  // run_epoch call.
   EXPECT_NE(run.output.find("src/core/bad_fp_accum.cpp:18 det-fp-accum"),
             std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("src/core/bad_fp_accum.cpp:19 det-fp-accum"),
             std::string::npos)
       << run.output;
+  EXPECT_NE(run.output.find("src/core/bad_fp_accum.cpp:31 det-fp-accum"),
+            std::string::npos)
+      << run.output;
+  // det-unordered-iter is also rooted at the executor header: this file
+  // reaches platform/concurrency.hpp but never metrics.hpp.
+  EXPECT_NE(run.output.find(
+                "src/platform/bad_executor_iter.cpp:16 det-unordered-iter"),
+            std::string::npos)
+      << run.output;
   // lock-rank: nested guards acquired against declared rank order.
   EXPECT_NE(run.output.find("src/platform/bad_lockrank.cpp:23 lock-rank"),
             std::string::npos)
+      << run.output;
+  // lock-rank, executor ranks: a deque lock under a platform lock, and two
+  // same-rank deque locks held together (potential ABBA).
+  EXPECT_NE(
+      run.output.find("src/platform/bad_executor_lockrank.cpp:26 lock-rank"),
+      std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("src/platform/bad_executor_lockrank.cpp:31 lock-rank"),
+      std::string::npos)
       << run.output;
 }
 

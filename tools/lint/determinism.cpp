@@ -27,11 +27,15 @@
 //                       order, which ASLR reshuffles every run.
 //   det-fp-accum        `+=`/`-=` on a floating-point symbol, or
 //                       fetch_add on an atomic<double>, lexically inside
-//                       a parallel_for(...) or .submit(...) call. FP
-//                       addition is non-associative, so a racy
-//                       accumulation order changes the low bits run to
-//                       run. Accumulate per-task and reduce in index
-//                       order instead (see bin_profiler.cpp).
+//                       a parallel_for(...), .submit(...) or
+//                       .run_epoch(...) call — the last is the
+//                       work-stealing LaneExecutor's fan-out point, where
+//                       a stolen chunk makes accumulation order depend on
+//                       the steal schedule. FP addition is
+//                       non-associative, so a racy accumulation order
+//                       changes the low bits run to run. Accumulate
+//                       per-task and reduce in index order instead (see
+//                       bin_profiler.cpp).
 //
 // All four run on the token stream, so string literals and comments never
 // trip them — which is also what lets this file self-host.
@@ -245,16 +249,21 @@ FloatSymbols float_decls(const SourceFile& f) {
   return out;
 }
 
-/// Token-index ranges lexically inside `parallel_for(...)` and
-/// `.submit(...)` / `->submit(...)` call argument lists.
+/// Token-index ranges lexically inside `parallel_for(...)`,
+/// `.submit(...)` / `->submit(...)` and `.run_epoch(...)` /
+/// `->run_epoch(...)` call argument lists (the latter is the LaneExecutor
+/// work-stealing fan-out; its steal schedule reorders execution just like
+/// the pool's claim order does).
 std::vector<std::pair<size_t, size_t>> parallel_spans(const SourceFile& f) {
   std::vector<std::pair<size_t, size_t>> spans;
   const std::vector<Token>& t = f.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != Token::Kind::kIdent) continue;
     const bool pf = t[i].text == "parallel_for";
-    const bool sub = t[i].text == "submit" && i > 0 &&
-                     (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+    const bool member = i > 0 && (is_punct(t[i - 1], ".") ||
+                                  is_punct(t[i - 1], "->"));
+    const bool sub =
+        (t[i].text == "submit" || t[i].text == "run_epoch") && member;
     if (!pf && !sub) continue;
     if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
     int depth = 1;
@@ -312,14 +321,16 @@ void run_determinism(const Project& project, std::vector<Finding>& findings) {
   // inside those closures (members declared there get iterated in the
   // TUs). Ledgers live in three headers: the metrics ledger
   // (platform/metrics.hpp), the cluster's migration/failover/health event
-  // ledgers (platform/cluster.hpp, DESIGN.md §13), and the QoS shed/SLO
+  // ledgers (platform/cluster.hpp, DESIGN.md §13), the QoS shed/SLO
   // vocabulary (platform/qos.hpp, DESIGN.md §14 — ShedCause-indexed
-  // counters and the per-class attainment rollups) — rooting the set at
-  // all three keeps every consumer covered even if its include graph
-  // stops reaching the metrics header.
+  // counters and the per-class attainment rollups), and the work-stealing
+  // executor (platform/concurrency.hpp, DESIGN.md §15 — everything it
+  // fans out feeds a ledger from a steal-ordered worker) — rooting the
+  // set at all four keeps every consumer covered even if its include
+  // graph stops reaching the metrics header.
   const std::set<std::string> kLedgerHeaders = {
       "src/platform/metrics.hpp", "src/platform/cluster.hpp",
-      "src/platform/qos.hpp"};
+      "src/platform/qos.hpp", "src/platform/concurrency.hpp"};
   auto reaches_ledger = [&](const std::string& rel,
                             const std::set<std::string>& cl) {
     if (kLedgerHeaders.count(rel)) return true;
